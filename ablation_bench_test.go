@@ -1,0 +1,205 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// asynchronous logging queue, the Bloom filters, the block cache, the
+// writer-preferring shared-exclusive lock, the timestamp oracle, and the
+// linearizable-snapshot variant. Each isolates one mechanism so its cost
+// or benefit is measurable independently of the full figures.
+package clsm_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"clsm/internal/baseline"
+	"clsm/internal/core"
+	"clsm/internal/harness"
+	"clsm/internal/oracle"
+	"clsm/internal/syncutil"
+	"clsm/internal/workload"
+)
+
+// BenchmarkAblationWALMode measures the put path under the three logging
+// disciplines: asynchronous (cLSM/LevelDB default), synchronous (durable),
+// and disabled.
+func BenchmarkAblationWALMode(b *testing.B) {
+	modes := []struct {
+		name          string
+		sync, disable bool
+	}{
+		{"async", false, false},
+		{"sync", true, false},
+		{"none", false, true},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := harness.Smoke.CoreOptions()
+			opts.SyncWrites = mode.sync
+			opts.DisableWAL = mode.disable
+			s, err := baseline.New(baseline.NameCLSM, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			g := workload.New(workload.Config{KeySpace: 1 << 20, KeySize: 8, ValueSize: 256}, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := append([]byte(nil), g.NextKey()...)
+				if err := s.Put(k, g.Value(int64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBloom measures point reads of absent keys with and
+// without table filters — the case Bloom filters exist for.
+func BenchmarkAblationBloom(b *testing.B) {
+	for _, bits := range []int{0, 10} {
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			opts := harness.Smoke.CoreOptions()
+			opts.Disk.BloomBitsPerKey = bits
+			s, err := baseline.New(baseline.NameCLSM, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			cfg := workload.Config{KeySpace: 30_000, KeySize: 8, ValueSize: 128}
+			if err := harness.Preload(s, cfg, 30_000, 4); err != nil {
+				b.Fatal(err)
+			}
+			absent := make([][]byte, 1024)
+			for i := range absent {
+				absent[i] = []byte(fmt.Sprintf("nosuchkey%06d", i))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok, err := s.Get(absent[i%len(absent)]); err != nil {
+					b.Fatal(err)
+				} else if ok {
+					b.Fatal("absent key found")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBlockCache measures hot reads across block-cache sizes.
+func BenchmarkAblationBlockCache(b *testing.B) {
+	for _, mb := range []int64{1, 8, 64} {
+		b.Run(fmt.Sprintf("cache=%dMB", mb), func(b *testing.B) {
+			opts := harness.Smoke.CoreOptions()
+			opts.BlockCacheSize = mb << 20
+			s, err := baseline.New(baseline.NameCLSM, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			cfg := workload.Config{KeySpace: 30_000, KeySize: 8, ValueSize: 256, Dist: workload.Hotspot}
+			if err := harness.Preload(s, cfg, 30_000, 4); err != nil {
+				b.Fatal(err)
+			}
+			g := workload.New(cfg, 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.Get(g.NextKey()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSnapshotVariant compares the default (serializable,
+// possibly-in-the-past) getSnap with the blocking linearizable variant of
+// §3.2.1 under concurrent writers.
+func BenchmarkAblationSnapshotVariant(b *testing.B) {
+	for _, lin := range []bool{false, true} {
+		name := "serializable"
+		if lin {
+			name = "linearizable"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := harness.Smoke.CoreOptions()
+			opts.LinearizableSnapshots = lin
+			db, err := core.Open(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(w int) { // background writers keep timestamps active
+					defer wg.Done()
+					g := workload.New(workload.Config{KeySpace: 1 << 16, KeySize: 8, ValueSize: 64}, int64(w))
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						k := append([]byte(nil), g.NextKey()...)
+						db.Put(k, g.Value(int64(i)))
+					}
+				}(w)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				snap, err := db.GetSnapshot()
+				if err != nil {
+					b.Fatal(err)
+				}
+				snap.Close()
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkAblationSharedExclusiveVsRWMutex compares the custom
+// writer-preferring lock against sync.RWMutex on the put-path usage
+// pattern (short shared sections, rare exclusive).
+func BenchmarkAblationSharedExclusiveVsRWMutex(b *testing.B) {
+	b.Run("SharedExclusive", func(b *testing.B) {
+		var l syncutil.SharedExclusive
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				l.LockShared()
+				l.UnlockShared()
+			}
+		})
+	})
+	b.Run("RWMutex", func(b *testing.B) {
+		var l sync.RWMutex
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				l.RLock()
+				l.RUnlock()
+			}
+		})
+	})
+}
+
+// BenchmarkAblationOracle measures timestamp issue/release (every put pays
+// this) and snapshot acquisition.
+func BenchmarkAblationOracle(b *testing.B) {
+	b.Run("GetTS", func(b *testing.B) {
+		o := oracle.New()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				_, slot := o.GetTS()
+				o.Done(slot)
+			}
+		})
+	})
+	b.Run("SnapshotTS", func(b *testing.B) {
+		o := oracle.New()
+		for i := 0; i < b.N; i++ {
+			o.SnapshotTS()
+		}
+	})
+}

@@ -1,0 +1,247 @@
+// Benchmarks regenerating every figure of the paper's evaluation (§5) at
+// smoke scale, plus micro-benchmarks of the substrates. Each figure bench
+// reports throughput as Kops/s (the paper's unit) via b.ReportMetric; run
+// the clsm-bench command for the full tables at realistic scales.
+package clsm_test
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clsm/internal/baseline"
+	"clsm/internal/harness"
+	"clsm/internal/keys"
+	"clsm/internal/skiplist"
+	"clsm/internal/storage"
+	"clsm/internal/wal"
+	"clsm/internal/workload"
+)
+
+// benchScale trims the smoke preset so the full -bench=. sweep stays fast.
+func benchScale() harness.Scale {
+	sc := harness.Smoke
+	sc.Duration = 100 * time.Millisecond
+	sc.KeySpace, sc.Preload = 20_000, 10_000
+	sc.Threads = []int{4}
+	sc.ReadThreads = []int{4}
+	return sc
+}
+
+// metricName builds a testing.B metric unit (no whitespace allowed).
+func metricName(parts ...string) string {
+	return strings.ReplaceAll(strings.Join(parts, "_"), " ", "-")
+}
+
+// reportFigure runs a figure once per benchmark invocation and reports each
+// series' throughput in the paper's Kops/s unit.
+func reportFigure(b *testing.B, run func(harness.Scale) (*harness.Figure, error)) {
+	b.Helper()
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		fig, err := run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, s := range fig.Series {
+				last := s.Points[len(s.Points)-1]
+				b.ReportMetric(last.Throughput/1000, metricName(s.Store, "Kops/s"))
+			}
+		}
+	}
+}
+
+// BenchmarkFig1 — partitioned LevelDB/Hyper vs one shared cLSM partition.
+func BenchmarkFig1(b *testing.B) { reportFigure(b, harness.Fig1) }
+
+// BenchmarkFig5a — write throughput, 100% uniform puts (Fig. 5a).
+func BenchmarkFig5a(b *testing.B) { reportFigure(b, harness.Fig5) }
+
+// BenchmarkFig5b — write throughput vs p90 latency (Fig. 5b).
+func BenchmarkFig5b(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.Fig5(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, s := range fig.Series {
+				last := s.Points[len(s.Points)-1]
+				b.ReportMetric(float64(last.P90.Nanoseconds()), metricName(s.Store, "p90ns"))
+			}
+		}
+	}
+}
+
+// BenchmarkFig6a — read throughput, 90/10 hotspot gets (Fig. 6a).
+func BenchmarkFig6a(b *testing.B) { reportFigure(b, harness.Fig6) }
+
+// BenchmarkFig6b — read throughput vs p90 latency (Fig. 6b).
+func BenchmarkFig6b(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.Fig6(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, s := range fig.Series {
+				last := s.Points[len(s.Points)-1]
+				b.ReportMetric(float64(last.P90.Nanoseconds()), metricName(s.Store, "p90ns"))
+			}
+		}
+	}
+}
+
+// BenchmarkFig7a — mixed 50/50 read/write throughput (Fig. 7a).
+func BenchmarkFig7a(b *testing.B) { reportFigure(b, harness.Fig7a) }
+
+// BenchmarkFig7b — mixed scan/write throughput in keys/s (Fig. 7b).
+func BenchmarkFig7b(b *testing.B) { reportFigure(b, harness.Fig7b) }
+
+// BenchmarkFig8 — throughput vs memory-component size (Fig. 8).
+func BenchmarkFig8(b *testing.B) { reportFigure(b, harness.Fig8) }
+
+// BenchmarkFig9 — RMW throughput, Algorithm 3 vs lock striping (Fig. 9).
+func BenchmarkFig9(b *testing.B) { reportFigure(b, harness.Fig9) }
+
+// BenchmarkFig10 — production-like workloads (Fig. 10, four datasets).
+func BenchmarkFig10(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		figs, err := harness.Fig10(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, fig := range figs {
+				for _, s := range fig.Series {
+					last := s.Points[len(s.Points)-1]
+					b.ReportMetric(last.Throughput/1000, metricName(fig.ID, s.Store, "Kops/s"))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig11 — disk-bound heavy compaction (Fig. 11).
+func BenchmarkFig11(b *testing.B) {
+	sc := benchScale()
+	sc.Preload = 4000
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.Fig11(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, s := range fig.Series {
+				last := s.Points[len(s.Points)-1]
+				b.ReportMetric(last.Throughput/1000, metricName(s.Store, "Kops/s"))
+			}
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Substrate micro-benchmarks.
+
+func BenchmarkSkiplistInsert(b *testing.B) {
+	l := skiplist.New()
+	k := make([]byte, 16)
+	v := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(k, fmt.Sprintf("%016d", i))
+		l.Insert(keys.Make(k, uint64(i+1), keys.KindValue), v)
+	}
+}
+
+func BenchmarkSkiplistInsertParallel(b *testing.B) {
+	l := skiplist.New()
+	var ctr atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		k := make([]byte, 16)
+		v := make([]byte, 64)
+		for pb.Next() {
+			i := ctr.Add(1)
+			copy(k, fmt.Sprintf("%016d", i))
+			l.Insert(keys.Make(k, uint64(i), keys.KindValue), v)
+		}
+	})
+}
+
+func BenchmarkSkiplistGet(b *testing.B) {
+	l := skiplist.New()
+	for i := 0; i < 100000; i++ {
+		l.Insert(keys.Make([]byte(fmt.Sprintf("%016d", i)), uint64(i+1), keys.KindValue), []byte("v"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Get([]byte(fmt.Sprintf("%016d", i%100000)), keys.MaxTimestamp)
+	}
+}
+
+func BenchmarkWALAppend(b *testing.B) {
+	fs := storage.NewMemFS()
+	f, _ := fs.Create("l")
+	w := wal.NewWriter(f, false)
+	rec := make([]byte, 300)
+	b.SetBytes(int64(len(rec)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStorePut(b *testing.B) {
+	for _, name := range []baseline.Name{baseline.NameLevelDB, baseline.NameCLSM} {
+		b.Run(string(name), func(b *testing.B) {
+			s, err := baseline.New(name, benchScale().CoreOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			g := workload.New(workload.Config{KeySpace: 1 << 20, KeySize: 8, ValueSize: 256}, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := append([]byte(nil), g.NextKey()...)
+				if err := s.Put(k, g.Value(int64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStoreGetParallel(b *testing.B) {
+	for _, name := range []baseline.Name{baseline.NameLevelDB, baseline.NameCLSM} {
+		b.Run(string(name), func(b *testing.B) {
+			s, err := baseline.New(name, benchScale().CoreOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			cfg := workload.Config{KeySpace: 50_000, KeySize: 8, ValueSize: 256, Dist: workload.Hotspot}
+			if err := harness.Preload(s, cfg, 50_000, 8); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var seed atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				g := workload.New(cfg, seed.Add(1))
+				for pb.Next() {
+					if _, _, err := s.Get(g.NextKey()); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,193 @@
+// Package clsm is a concurrent log-structured merge key-value store — a
+// from-scratch Go implementation of cLSM ("Scaling Concurrent Log-Structured
+// Data Stores", EuroSys 2015).
+//
+// The store offers atomic Put/Get/Delete, consistent snapshot scans and
+// range queries, atomic write batches, and general non-blocking atomic
+// read-modify-write operations, on top of a LevelDB-style leveled LSM tree
+// (write-ahead log, sorted-table files, block cache, background
+// compaction). Its concurrency design follows the paper: gets never block;
+// puts run concurrently under a shared lock and block only for the short
+// pointer-swap windows around memtable merges; snapshots are timestamps
+// issued by a non-blocking oracle; and read-modify-write uses optimistic
+// conflict detection directly on the lock-free skip-list memtable.
+//
+// # Quick start
+//
+//	db, err := clsm.Open(clsm.Options{Path: "/tmp/mydb"})
+//	if err != nil { ... }
+//	defer db.Close()
+//
+//	db.Put([]byte("k"), []byte("v"))
+//	v, ok, err := db.Get([]byte("k"))
+//
+//	snap, _ := db.GetSnapshot()
+//	defer snap.Close()
+//	it, _ := snap.NewIterator()
+//	defer it.Close()
+//	for it.Seek([]byte("a")); it.Valid(); it.Next() { ... }
+package clsm
+
+import (
+	"time"
+
+	"clsm/internal/batch"
+	"clsm/internal/core"
+	"clsm/internal/storage"
+	"clsm/internal/version"
+)
+
+// Options configures a store.
+type Options struct {
+	// Path is the database directory on the local filesystem. When empty,
+	// the store runs on a volatile in-memory filesystem (tests, caches,
+	// benchmarks).
+	Path string
+
+	// MemtableSize is the in-memory component's spill threshold in bytes.
+	// Default 4 MiB (the paper's serving configuration uses 128 MiB; see
+	// the Fig. 8 benchmark for the effect of this knob).
+	MemtableSize int64
+
+	// BlockCacheSize bounds the SSTable block cache in bytes (default 32 MiB).
+	BlockCacheSize int64
+
+	// SyncWrites makes every write wait for WAL durability. Default
+	// false: asynchronous group logging, which allows writes at memory
+	// speed at the risk of losing the last few writes in a crash.
+	SyncWrites bool
+
+	// DisableWAL turns off logging entirely. Data not yet flushed to
+	// sorted tables is lost on restart. For caches and benchmarks.
+	DisableWAL bool
+
+	// LinearizableSnapshots trades snapshot acquisition latency for
+	// linearizability: the snapshot is guaranteed to include every write
+	// completed before GetSnapshot was called. The default (false) gives
+	// serializable snapshots that may be slightly in the past.
+	LinearizableSnapshots bool
+
+	// CompactionThreads is the number of background compaction workers
+	// (default 1).
+	CompactionThreads int
+
+	// SnapshotTTL, when positive, reclaims snapshot handles the
+	// application forgot to Close after this duration; reads on a
+	// reclaimed handle fail with ErrSnapshotExpired.
+	SnapshotTTL time.Duration
+
+	// Compression enables DEFLATE compression of on-disk table blocks.
+	Compression bool
+
+	// L0CompactionTrigger, BaseLevelBytes, TableFileSize, BlockSize and
+	// BloomBitsPerKey shape the disk component; zero values pick
+	// LevelDB-compatible defaults (4 files, 10 MiB, 2 MiB, 4 KiB, 10).
+	L0CompactionTrigger int
+	BaseLevelBytes      int64
+	TableFileSize       int64
+	BlockSize           int
+	BloomBitsPerKey     int
+}
+
+// ErrSnapshotExpired is returned by reads on a TTL-reclaimed snapshot.
+var ErrSnapshotExpired = core.ErrSnapshotExpired
+
+// Batch is an ordered set of writes applied atomically by DB.Write.
+type Batch = batch.Batch
+
+// Snapshot is a consistent read-only view of the store; see DB.GetSnapshot.
+type Snapshot = core.Snapshot
+
+// Iterator walks user keys in ascending order; see DB.NewIterator.
+type Iterator = core.Iterator
+
+// Metrics reports engine counters; see DB.Metrics.
+type Metrics = core.Metrics
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = core.ErrClosed
+
+// DB is a concurrent LSM key-value store. All methods are safe for
+// concurrent use by any number of goroutines.
+type DB struct {
+	inner *core.DB
+}
+
+// Open creates or opens a store.
+func Open(opts Options) (*DB, error) {
+	var fs storage.FS
+	if opts.Path == "" {
+		fs = storage.NewMemFS()
+	} else {
+		osfs, err := storage.NewOSFS(opts.Path)
+		if err != nil {
+			return nil, err
+		}
+		fs = osfs
+	}
+	inner, err := core.Open(core.Options{
+		FS:                    fs,
+		MemtableSize:          opts.MemtableSize,
+		BlockCacheSize:        opts.BlockCacheSize,
+		SyncWrites:            opts.SyncWrites,
+		DisableWAL:            opts.DisableWAL,
+		LinearizableSnapshots: opts.LinearizableSnapshots,
+		SnapshotTTL:           opts.SnapshotTTL,
+		CompactionThreads:     opts.CompactionThreads,
+		Disk: version.Options{
+			L0CompactionTrigger: opts.L0CompactionTrigger,
+			BaseLevelBytes:      opts.BaseLevelBytes,
+			TableFileSize:       opts.TableFileSize,
+			BlockSize:           opts.BlockSize,
+			BloomBitsPerKey:     opts.BloomBitsPerKey,
+			Compress:            opts.Compression,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner}, nil
+}
+
+// Put stores (key, value), overwriting any previous value. It never blocks
+// except during memtable-merge pointer swaps and write stalls.
+func (db *DB) Put(key, value []byte) error { return db.inner.Put(key, value) }
+
+// Get returns the current value of key. ok is false when the key is absent
+// or deleted. Gets never block.
+func (db *DB) Get(key []byte) (value []byte, ok bool, err error) { return db.inner.Get(key) }
+
+// Delete removes key.
+func (db *DB) Delete(key []byte) error { return db.inner.Delete(key) }
+
+// Write applies the batch atomically: concurrent readers and snapshots see
+// either all of the batch or none of it.
+func (db *DB) Write(b *Batch) error { return db.inner.Write(b) }
+
+// RMW atomically replaces key's value with f(current). f may be called
+// multiple times on conflicts; it must be pure. This is the paper's
+// general non-blocking read-modify-write (Algorithm 3) — useful for
+// counters, vector-clock updates, and multisite reconciliation.
+func (db *DB) RMW(key []byte, f func(old []byte, exists bool) []byte) error {
+	return db.inner.RMW(key, f)
+}
+
+// GetSnapshot returns a consistent snapshot handle for point reads and
+// scans. Close it promptly: live snapshots pin old versions, blocking
+// their garbage collection during merges.
+func (db *DB) GetSnapshot() (*Snapshot, error) { return db.inner.GetSnapshot() }
+
+// NewIterator returns an iterator over a fresh implicit snapshot. Close it
+// when done.
+func (db *DB) NewIterator() (*Iterator, error) { return db.inner.NewIterator() }
+
+// CompactRange synchronously flushes the memtable and compacts every level
+// downward, reclaiming shadowed versions and tombstones.
+func (db *DB) CompactRange() error { return db.inner.CompactRange() }
+
+// Metrics returns a snapshot of the engine's counters.
+func (db *DB) Metrics() Metrics { return db.inner.Metrics() }
+
+// Close flushes the log and releases all resources. Unflushed writes are
+// recovered from the WAL on the next Open (unless DisableWAL was set).
+func (db *DB) Close() error { return db.inner.Close() }

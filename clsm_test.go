@@ -1,0 +1,151 @@
+package clsm_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"clsm"
+)
+
+func openMem(t *testing.T) *clsm.DB {
+	t.Helper()
+	db, err := clsm.Open(clsm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPublicAPIBasics(t *testing.T) {
+	db := openMem(t)
+	defer db.Close()
+
+	if err := db.Put([]byte("hello"), []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := db.Get([]byte("hello"))
+	if err != nil || !ok || string(v) != "world" {
+		t.Fatalf("Get = %q,%v,%v", v, ok, err)
+	}
+	if err := db.Delete([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := db.Get([]byte("hello")); ok {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestPublicAPIOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	db, err := clsm.Open(clsm.Options{Path: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := clsm.Open(clsm.Options{Path: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	v, ok, _ := db2.Get([]byte("k0500"))
+	if !ok || string(v) != "v500" {
+		t.Fatalf("persisted Get = %q,%v", v, ok)
+	}
+}
+
+func TestPublicBatchAndSnapshot(t *testing.T) {
+	db := openMem(t)
+	defer db.Close()
+	var b clsm.Batch
+	b.Put([]byte("a"), []byte("1"))
+	b.Put([]byte("b"), []byte("2"))
+	if err := db.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := db.GetSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	db.Put([]byte("a"), []byte("9"))
+	if v, _, _ := snap.Get([]byte("a")); string(v) != "1" {
+		t.Fatalf("snapshot isolation broken: %q", v)
+	}
+}
+
+func TestPublicIterator(t *testing.T) {
+	db := openMem(t)
+	defer db.Close()
+	for i := 9; i >= 0; i-- {
+		db.Put([]byte(fmt.Sprintf("k%d", i)), []byte{byte('0' + i)})
+	}
+	it, err := db.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var got []string
+	for it.First(); it.Valid(); it.Next() {
+		got = append(got, string(it.Key()))
+	}
+	if len(got) != 10 || got[0] != "k0" || got[9] != "k9" {
+		t.Fatalf("iterator order: %v", got)
+	}
+}
+
+func TestPublicRMW(t *testing.T) {
+	db := openMem(t)
+	defer db.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				db.RMW([]byte("n"), func(old []byte, exists bool) []byte {
+					if !exists {
+						return []byte{1}
+					}
+					return []byte{old[0] + 1}
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	v, ok, _ := db.Get([]byte("n"))
+	if !ok || int(v[0]) != 1000%256 {
+		t.Fatalf("RMW result = %v,%v want %d", v, ok, 1000%256)
+	}
+}
+
+func TestPublicMetricsAndCompact(t *testing.T) {
+	db, err := clsm.Open(clsm.Options{MemtableSize: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	val := bytes.Repeat([]byte("v"), 128)
+	for i := 0; i < 2000; i++ {
+		db.Put([]byte(fmt.Sprintf("k%05d", i)), val)
+	}
+	if err := db.CompactRange(); err != nil {
+		t.Fatal(err)
+	}
+	m := db.Metrics()
+	if m.Puts != 2000 || m.Flushes == 0 || m.DiskBytes == 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("x"), nil); err != clsm.ErrClosed {
+		t.Fatalf("Put after close = %v", err)
+	}
+}

@@ -1,0 +1,115 @@
+// Command clsm-bench regenerates the tables and figures of "Scaling
+// Concurrent Log-Structured Data Stores" (EuroSys 2015).
+//
+// Usage:
+//
+//	clsm-bench -fig all            # every figure at the default scale
+//	clsm-bench -fig fig5 -scale full
+//	clsm-bench -fig fig6 -latency  # add the throughput-vs-latency view
+//	clsm-bench -list
+//
+// Scales: smoke (seconds, CI), small (minutes, default), full (paper-like
+// parameters, tens of minutes). Output is the tabular equivalent of each
+// plot: one row per x-value, one column per store model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"clsm/internal/harness"
+)
+
+type figureFn func(harness.Scale) ([]*harness.Figure, error)
+
+func single(f func(harness.Scale) (*harness.Figure, error)) figureFn {
+	return func(sc harness.Scale) ([]*harness.Figure, error) {
+		fig, err := f(sc)
+		if err != nil {
+			return nil, err
+		}
+		return []*harness.Figure{fig}, nil
+	}
+}
+
+var figures = map[string]struct {
+	fn    figureFn
+	about string
+}{
+	"fig1":  {single(harness.Fig1), "partitioned LevelDB/Hyper vs shared cLSM, production workload"},
+	"fig5":  {single(harness.Fig5), "write throughput + latency, 100% uniform puts"},
+	"fig6":  {single(harness.Fig6), "read throughput + latency, 90/10 hotspot gets"},
+	"fig7a": {single(harness.Fig7a), "mixed 50/50 read/write throughput"},
+	"fig7b": {single(harness.Fig7b), "mixed scan/write throughput (keys/sec)"},
+	"fig8":  {single(harness.Fig8), "throughput vs memory component size"},
+	"fig9":  {single(harness.Fig9), "RMW: lock-free (Alg. 3) vs lock striping"},
+	"fig10": {harness.Fig10, "four production-like datasets, 85-96% reads"},
+	"fig11": {single(harness.Fig11), "disk-bound heavy compaction, RocksDB multi-threaded compaction"},
+}
+
+func main() {
+	var (
+		figFlag   = flag.String("fig", "all", "figure to regenerate (fig1,fig5,...,fig11 or all)")
+		scaleFlag = flag.String("scale", "small", "experiment scale: smoke | small | full")
+		latency   = flag.Bool("latency", false, "also print throughput-vs-p90-latency tables")
+		list      = flag.Bool("list", false, "list figures and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(figures))
+		for n := range figures {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%-7s %s\n", n, figures[n].about)
+		}
+		return
+	}
+
+	sc, err := harness.ScaleByName(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	var ids []string
+	if *figFlag == "all" {
+		for n := range figures {
+			ids = append(ids, n)
+		}
+		sort.Strings(ids)
+	} else {
+		if _, ok := figures[*figFlag]; !ok {
+			fatal(fmt.Errorf("unknown figure %q (use -list)", *figFlag))
+		}
+		ids = []string{*figFlag}
+	}
+
+	fmt.Printf("# cLSM benchmark suite — scale=%s, GOMAXPROCS=%d\n", sc.Name, runtime.GOMAXPROCS(0))
+	grand := time.Now()
+	for _, id := range ids {
+		start := time.Now()
+		figs, err := figures[id].fn(sc)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		for _, fig := range figs {
+			fig.WriteTable(os.Stdout)
+			if *latency {
+				fig.WriteLatencyTable(os.Stdout)
+			}
+		}
+		fmt.Printf("(%s finished in %v)\n", id, time.Since(start).Round(time.Second))
+	}
+	fmt.Printf("# total %v\n", time.Since(grand).Round(time.Second))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clsm-bench:", err)
+	os.Exit(1)
+}

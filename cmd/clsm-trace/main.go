@@ -1,0 +1,138 @@
+// Command clsm-trace records and replays operation traces — the bridge for
+// running real production logs (as the paper's §5.2 evaluation does)
+// against any store model.
+//
+// Usage:
+//
+//	# produce a shareable synthetic trace (production-like distribution)
+//	clsm-trace record -out trace.bin -ops 1000000 -dist production -reads 0.9
+//
+//	# replay a trace against a store model
+//	clsm-trace replay -in trace.bin -store cLSM -threads 8 -preload 100000
+//
+// The trace format is documented in docs/FORMATS.md; convert your own logs
+// to it to benchmark with real traffic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"clsm/internal/baseline"
+	"clsm/internal/harness"
+	"clsm/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	var (
+		out      = fs.String("out", "trace.bin", "output trace file")
+		ops      = fs.Int64("ops", 100_000, "operations to record")
+		keyspace = fs.Int64("keyspace", 1_000_000, "distinct keys")
+		keySize  = fs.Int("keysize", 40, "key bytes")
+		valSize  = fs.Int("valsize", 1024, "value bytes")
+		dist     = fs.String("dist", "production", "key distribution: uniform|hotspot|zipf|production")
+		reads    = fs.Float64("reads", 0.9, "fraction of gets")
+		scans    = fs.Float64("scans", 0, "fraction of scans (10-20 keys)")
+		seed     = fs.Int64("seed", 42, "rng seed")
+	)
+	fs.Parse(args)
+
+	var d workload.Dist
+	switch *dist {
+	case "uniform":
+		d = workload.Uniform
+	case "hotspot":
+		d = workload.Hotspot
+	case "zipf":
+		d = workload.Zipf
+	case "production":
+		d = workload.ProductionSynth
+	default:
+		fatal(fmt.Errorf("unknown distribution %q", *dist))
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := workload.Config{KeySpace: *keyspace, KeySize: *keySize, ValueSize: *valSize, Dist: d}
+	mix := workload.Mix{GetRatio: *reads, ScanRatio: *scans, ScanMin: 10, ScanMax: 20}
+	if err := workload.RecordSynthetic(f, cfg, mix, *ops, *seed); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	st, _ := os.Stat(*out)
+	fmt.Printf("recorded %d ops to %s (%d bytes)\n", *ops, *out, st.Size())
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	var (
+		in      = fs.String("in", "trace.bin", "input trace file")
+		store   = fs.String("store", string(baseline.NameCLSM), "store model")
+		threads = fs.Int("threads", 4, "replay worker goroutines")
+		preload = fs.Int64("preload", 0, "keys to preload before replay")
+		scale   = fs.String("scale", "small", "engine sizing preset")
+	)
+	fs.Parse(args)
+
+	sc, err := harness.ScaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := baseline.New(baseline.Name(*store), sc.CoreOptions())
+	if err != nil {
+		fatal(err)
+	}
+	defer s.Close()
+	if *preload > 0 {
+		cfg := workload.Config{KeySpace: *preload, KeySize: 40, ValueSize: 1024}
+		if err := harness.Preload(s, cfg, *preload, *threads); err != nil {
+			fatal(err)
+		}
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	res, err := harness.ReplayTrace(s, f, *threads)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replayed %d ops in %v — %.0f ops/s, %.0f keys/s\n",
+		res.Ops, res.Elapsed.Round(time.Millisecond), res.Throughput(), res.KeysPerSec())
+	fmt.Printf("latency p50=%v p90=%v p99=%v\n",
+		res.Hist.Quantile(0.5).Round(time.Microsecond),
+		res.Hist.Quantile(0.9).Round(time.Microsecond),
+		res.Hist.Quantile(0.99).Round(time.Microsecond))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: clsm-trace record|replay [flags] (see -h per subcommand)")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clsm-trace:", err)
+	os.Exit(1)
+}

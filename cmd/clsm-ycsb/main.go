@@ -1,0 +1,96 @@
+// Command clsm-ycsb runs the six core YCSB workloads against cLSM or any
+// of the baseline store models.
+//
+// Usage:
+//
+//	clsm-ycsb -workload a -records 100000 -ops 200000 -threads 8
+//	clsm-ycsb -workload f -store LevelDB
+//	clsm-ycsb -all -threads 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"clsm/internal/baseline"
+	"clsm/internal/harness"
+	"clsm/internal/ycsb"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "a", "YCSB workload a-f")
+		all     = flag.Bool("all", false, "run every workload a-f")
+		store   = flag.String("store", string(baseline.NameCLSM), "store model (cLSM, LevelDB, HyperLevelDB, RocksDB, bLSM)")
+		records = flag.Int64("records", 100_000, "records to preload")
+		ops     = flag.Int64("ops", 100_000, "operations in the transaction phase")
+		threads = flag.Int("threads", 4, "client threads")
+		scale   = flag.String("scale", "small", "engine sizing preset: smoke | small | full")
+	)
+	flag.Parse()
+
+	sc, err := harness.ScaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	var workloads []ycsb.Workload
+	if *all {
+		workloads = []ycsb.Workload{ycsb.WorkloadA, ycsb.WorkloadB, ycsb.WorkloadC,
+			ycsb.WorkloadD, ycsb.WorkloadE, ycsb.WorkloadF}
+	} else {
+		w, err := ycsb.ParseWorkload(*wl)
+		if err != nil {
+			fatal(err)
+		}
+		workloads = []ycsb.Workload{w}
+	}
+
+	for _, w := range workloads {
+		s, err := baseline.New(baseline.Name(*store), sc.CoreOptions())
+		if err != nil {
+			fatal(err)
+		}
+		cfg := ycsb.Config{
+			Workload:    w,
+			RecordCount: *records,
+			OpCount:     *ops,
+			Threads:     *threads,
+		}
+		loadStart := time.Now()
+		if err := ycsb.Load(s, cfg); err != nil {
+			fatal(err)
+		}
+		loadDur := time.Since(loadStart)
+		res, err := ycsb.Run(s, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n=== YCSB workload %c on %s (%d records, %d ops, %d threads) ===\n",
+			w, *store, *records, *ops, *threads)
+		fmt.Printf("load phase:  %v (%.0f inserts/s)\n",
+			loadDur.Round(time.Millisecond), float64(*records)/loadDur.Seconds())
+		fmt.Printf("txn phase:   %v, %.0f ops/s\n",
+			res.Elapsed.Round(time.Millisecond), res.Throughput)
+		for _, op := range []string{"read", "update", "insert", "scan", "rmw"} {
+			r := res.PerOp[op]
+			if r.Count == 0 {
+				continue
+			}
+			fmt.Printf("  %-7s %8d ops   p50=%-10v p90=%-10v p99=%v\n",
+				op, r.Count,
+				r.Hist.Quantile(0.50).Round(time.Microsecond),
+				r.Hist.Quantile(0.90).Round(time.Microsecond),
+				r.Hist.Quantile(0.99).Round(time.Microsecond))
+		}
+		if err := s.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clsm-ycsb:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,197 @@
+// Command clsm is a small inspection and manipulation tool for cLSM
+// databases.
+//
+// Usage:
+//
+//	clsm -db /path/to/db put <key> <value>
+//	clsm -db /path/to/db get <key>
+//	clsm -db /path/to/db del <key>
+//	clsm -db /path/to/db scan [start [limit]]
+//	clsm -db /path/to/db incr <key>       # atomic counter via RMW
+//	clsm -db /path/to/db compact
+//	clsm -db /path/to/db stats
+//
+// Offline (read-only, no engine):
+//
+//	clsm -db /path/to/db verify           # check tables, WALs, manifest
+//	clsm -db /path/to/db manifest         # dump version edits
+//	clsm -db /path/to/db dump-sst <num>   # dump one table
+//	clsm -db /path/to/db dump-wal <num>   # dump one log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"clsm"
+	"clsm/internal/storage"
+	"clsm/internal/tools"
+)
+
+func main() {
+	dir := flag.String("db", "", "database directory (required)")
+	sync := flag.Bool("sync", false, "synchronous WAL writes")
+	flag.Parse()
+	args := flag.Args()
+	if *dir == "" || len(args) == 0 {
+		usage()
+	}
+
+	switch args[0] {
+	case "verify", "manifest", "dump-sst", "dump-wal":
+		offline(*dir, args)
+		return
+	}
+
+	db, err := clsm.Open(clsm.Options{Path: *dir, SyncWrites: *sync})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	switch args[0] {
+	case "put":
+		need(args, 3)
+		if err := db.Put([]byte(args[1]), []byte(args[2])); err != nil {
+			fatal(err)
+		}
+	case "get":
+		need(args, 2)
+		v, ok, err := db.Get([]byte(args[1]))
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			fmt.Fprintln(os.Stderr, "(not found)")
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", v)
+	case "del":
+		need(args, 2)
+		if err := db.Delete([]byte(args[1])); err != nil {
+			fatal(err)
+		}
+	case "scan":
+		var start []byte
+		limit := 100
+		if len(args) > 1 {
+			start = []byte(args[1])
+		}
+		if len(args) > 2 {
+			n, err := strconv.Atoi(args[2])
+			if err != nil {
+				fatal(err)
+			}
+			limit = n
+		}
+		it, err := db.NewIterator()
+		if err != nil {
+			fatal(err)
+		}
+		defer it.Close()
+		count := 0
+		for it.Seek(start); it.Valid() && count < limit; it.Next() {
+			fmt.Printf("%s\t%s\n", it.Key(), it.Value())
+			count++
+		}
+		if err := it.Err(); err != nil {
+			fatal(err)
+		}
+	case "incr":
+		need(args, 2)
+		var after int64
+		err := db.RMW([]byte(args[1]), func(old []byte, exists bool) []byte {
+			var n int64
+			if exists {
+				n, _ = strconv.ParseInt(string(old), 10, 64)
+			}
+			after = n + 1
+			return []byte(strconv.FormatInt(after, 10))
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(after)
+	case "compact":
+		if err := db.CompactRange(); err != nil {
+			fatal(err)
+		}
+	case "stats":
+		m := db.Metrics()
+		fmt.Printf("disk bytes:   %d\n", m.DiskBytes)
+		fmt.Printf("disk files:   %d\n", m.DiskFiles)
+		fmt.Printf("level sizes:  %v\n", m.LevelSize)
+		fmt.Printf("flushes:      %d\n", m.Flushes)
+		fmt.Printf("compactions:  %d\n", m.Compactions)
+	default:
+		usage()
+	}
+}
+
+// offline runs the read-only inspection commands without opening the
+// engine (safe on a database another process has live, or a corrupt one).
+func offline(dir string, args []string) {
+	fs, err := storage.NewOSFS(dir)
+	if err != nil {
+		fatal(err)
+	}
+	switch args[0] {
+	case "verify":
+		res, err := tools.Check(fs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Summary())
+		if !res.OK() {
+			os.Exit(1)
+		}
+	case "manifest":
+		if err := tools.DumpManifest(fs, os.Stdout); err != nil {
+			fatal(err)
+		}
+	case "dump-sst", "dump-wal":
+		need(args, 2)
+		num, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			fatal(err)
+		}
+		if args[0] == "dump-sst" {
+			err = tools.DumpTable(fs, num, os.Stdout)
+		} else {
+			err = tools.DumpLog(fs, num, os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: clsm -db DIR COMMAND ...
+commands:
+  put KEY VALUE    store a pair
+  get KEY          read a value
+  del KEY          delete a key
+  scan [START [N]] list up to N pairs from START
+  incr KEY         atomically increment a decimal counter (RMW)
+  compact          force a full flush + compaction sweep
+  stats            print store shape
+  verify           offline integrity check (tables, WALs, manifest)
+  manifest         dump the MANIFEST edit sequence
+  dump-sst NUM     dump one table file
+  dump-wal NUM     dump one write-ahead log`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clsm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+package clsm_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"clsm"
+)
+
+// Compressed stores must round-trip through close/reopen and CompactRange.
+func TestCompressionEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *clsm.DB {
+		db, err := clsm.Open(clsm.Options{
+			Path:         dir,
+			Compression:  true,
+			MemtableSize: 64 << 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	db := open()
+	val := bytes.Repeat([]byte("compressible "), 20)
+	for i := 0; i < 2000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%05d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CompactRange(); err != nil {
+		t.Fatal(err)
+	}
+	m := db.Metrics()
+	logical := uint64(2000 * (6 + len(val)))
+	if m.DiskBytes >= logical/2 {
+		t.Errorf("compression ineffective: disk=%d logical=%d", m.DiskBytes, logical)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := open()
+	defer db2.Close()
+	for i := 0; i < 2000; i += 97 {
+		v, ok, err := db2.Get([]byte(fmt.Sprintf("k%05d", i)))
+		if err != nil || !ok || !bytes.Equal(v, val) {
+			t.Fatalf("Get(%d) after compressed reopen = %v,%v", i, ok, err)
+		}
+	}
+	it, _ := db2.NewIterator()
+	defer it.Close()
+	n := 0
+	for it.First(); it.Valid(); it.Next() {
+		n++
+	}
+	if n != 2000 {
+		t.Fatalf("scan over compressed tables saw %d keys", n)
+	}
+}

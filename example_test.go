@@ -1,0 +1,100 @@
+package clsm_test
+
+import (
+	"fmt"
+	"log"
+
+	"clsm"
+)
+
+// Example shows the basic open/put/get lifecycle on an in-memory store.
+func Example() {
+	db, err := clsm.Open(clsm.Options{}) // empty Path = in-memory store
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.Put([]byte("greeting"), []byte("hello")); err != nil {
+		log.Fatal(err)
+	}
+	v, ok, err := db.Get([]byte("greeting"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(v), ok)
+	// Output: hello true
+}
+
+// ExampleDB_RMW implements an atomic counter with the paper's non-blocking
+// read-modify-write.
+func ExampleDB_RMW() {
+	db, _ := clsm.Open(clsm.Options{})
+	defer db.Close()
+
+	incr := func(old []byte, exists bool) []byte {
+		n := byte(0)
+		if exists {
+			n = old[0]
+		}
+		return []byte{n + 1}
+	}
+	for i := 0; i < 3; i++ {
+		if err := db.RMW([]byte("visits"), incr); err != nil {
+			log.Fatal(err)
+		}
+	}
+	v, _, _ := db.Get([]byte("visits"))
+	fmt.Println(v[0])
+	// Output: 3
+}
+
+// ExampleDB_GetSnapshot demonstrates snapshot isolation: the snapshot keeps
+// seeing the state at its creation while the live store moves on.
+func ExampleDB_GetSnapshot() {
+	db, _ := clsm.Open(clsm.Options{})
+	defer db.Close()
+
+	db.Put([]byte("k"), []byte("v1"))
+	snap, _ := db.GetSnapshot()
+	defer snap.Close()
+
+	db.Put([]byte("k"), []byte("v2"))
+
+	old, _, _ := snap.Get([]byte("k"))
+	live, _, _ := db.Get([]byte("k"))
+	fmt.Println(string(old), string(live))
+	// Output: v1 v2
+}
+
+// ExampleDB_Write applies several writes atomically.
+func ExampleDB_Write() {
+	db, _ := clsm.Open(clsm.Options{})
+	defer db.Close()
+
+	var b clsm.Batch
+	b.Put([]byte("from"), []byte("-10"))
+	b.Put([]byte("to"), []byte("+10"))
+	if err := db.Write(&b); err != nil {
+		log.Fatal(err)
+	}
+	v, _, _ := db.Get([]byte("to"))
+	fmt.Println(string(v))
+	// Output: +10
+}
+
+// ExampleDB_NewIterator scans a key range in order.
+func ExampleDB_NewIterator() {
+	db, _ := clsm.Open(clsm.Options{})
+	defer db.Close()
+
+	for _, k := range []string{"b", "a", "c"} {
+		db.Put([]byte("k/"+k), []byte(k))
+	}
+	it, _ := db.NewIterator()
+	defer it.Close()
+	for it.Seek([]byte("k/")); it.Valid(); it.Next() {
+		fmt.Printf("%s ", it.Value())
+	}
+	// Output: a b c
+}

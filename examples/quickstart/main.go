@@ -1,0 +1,77 @@
+// Quickstart: open a store, write, read, scan a range, use an atomic
+// batch, and reopen to show durability.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"clsm"
+)
+
+func main() {
+	dir := filepath.Join(os.TempDir(), "clsm-quickstart")
+	defer os.RemoveAll(dir)
+
+	db, err := clsm.Open(clsm.Options{Path: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Basic puts and gets.
+	if err := db.Put([]byte("user:1:name"), []byte("ada")); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Put([]byte("user:2:name"), []byte("grace")); err != nil {
+		log.Fatal(err)
+	}
+	v, ok, err := db.Get([]byte("user:1:name"))
+	if err != nil || !ok {
+		log.Fatalf("get: %v ok=%v", err, ok)
+	}
+	fmt.Printf("user:1:name = %s\n", v)
+
+	// An atomic batch: all-or-nothing under concurrent readers.
+	var b clsm.Batch
+	b.Put([]byte("user:3:name"), []byte("edsger"))
+	b.Put([]byte("user:3:city"), []byte("austin"))
+	if err := db.Write(&b); err != nil {
+		log.Fatal(err)
+	}
+
+	// Range scan over a consistent snapshot.
+	it, err := db.NewIterator()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("all users:")
+	for it.Seek([]byte("user:")); it.Valid(); it.Next() {
+		fmt.Printf("  %s = %s\n", it.Key(), it.Value())
+	}
+	if err := it.Err(); err != nil {
+		log.Fatal(err)
+	}
+	it.Close()
+
+	// Deletes write a tombstone; compaction reclaims the space later.
+	if err := db.Delete([]byte("user:2:name")); err != nil {
+		log.Fatal(err)
+	}
+
+	// Durability: close and reopen.
+	if err := db.Close(); err != nil {
+		log.Fatal(err)
+	}
+	db, err = clsm.Open(clsm.Options{Path: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if _, ok, _ := db.Get([]byte("user:2:name")); ok {
+		log.Fatal("deleted key resurrected")
+	}
+	v, ok, _ = db.Get([]byte("user:3:city"))
+	fmt.Printf("after reopen, user:3:city = %s (ok=%v)\n", v, ok)
+}

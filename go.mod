@@ -1,0 +1,3 @@
+module clsm
+
+go 1.22

@@ -1,0 +1,99 @@
+// Package arena provides a non-blocking append-only byte allocator.
+//
+// It models the lock-free memory allocator the paper's implementation uses
+// for skip-list nodes (Michael, "Scalable lock-free dynamic memory
+// allocation"). Allocation is a single atomic add on the current chunk;
+// when a chunk fills up, the allocating goroutine installs a fresh chunk
+// with a CAS. Memory is never freed individually — the whole arena is
+// released when the owning memtable is discarded after a merge, exactly
+// like the paper's per-component lifetime.
+package arena
+
+import (
+	"sync/atomic"
+)
+
+const (
+	// DefaultChunkSize is the allocation granularity of a fresh arena.
+	DefaultChunkSize = 1 << 20
+	// maxAlloc keeps single allocations within one chunk.
+	maxAlloc = DefaultChunkSize / 2
+)
+
+type chunk struct {
+	buf []byte
+	off atomic.Int64
+}
+
+// Arena is a lock-free bump allocator. The zero value is not usable; call
+// New.
+type Arena struct {
+	cur       atomic.Pointer[chunk]
+	allocated atomic.Int64 // total bytes handed out (size accounting)
+	reserved  atomic.Int64 // total bytes of chunks allocated
+	chunkSize int64
+}
+
+// New returns an empty arena with the given chunk size (DefaultChunkSize if
+// size <= 0).
+func New(size int) *Arena {
+	if size <= 0 {
+		size = DefaultChunkSize
+	}
+	a := &Arena{chunkSize: int64(size)}
+	a.cur.Store(&chunk{buf: make([]byte, size)})
+	a.reserved.Store(int64(size))
+	return a
+}
+
+// Alloc returns a zeroed byte slice of length n carved from the arena. Large
+// requests (bigger than half a chunk) get a dedicated allocation so they do
+// not poison chunk utilization.
+func (a *Arena) Alloc(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	if int64(n) > min64(maxAlloc, a.chunkSize/2) {
+		a.allocated.Add(int64(n))
+		a.reserved.Add(int64(n))
+		return make([]byte, n)
+	}
+	for {
+		c := a.cur.Load()
+		end := c.off.Add(int64(n))
+		if end <= int64(len(c.buf)) {
+			a.allocated.Add(int64(n))
+			return c.buf[end-int64(n) : end : end]
+		}
+		// Chunk exhausted: install a fresh one. Losing the CAS just means
+		// another goroutine already installed it; retry on that chunk.
+		nc := &chunk{buf: make([]byte, a.chunkSize)}
+		if a.cur.CompareAndSwap(c, nc) {
+			a.reserved.Add(a.chunkSize)
+		}
+	}
+}
+
+// Append copies b into the arena and returns the stable copy.
+func (a *Arena) Append(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	dst := a.Alloc(len(b))
+	copy(dst, b)
+	return dst
+}
+
+// Allocated reports the bytes handed out so far. Memtables use this as the
+// spill-threshold metric.
+func (a *Arena) Allocated() int64 { return a.allocated.Load() }
+
+// Reserved reports the bytes of backing memory held by the arena.
+func (a *Arena) Reserved() int64 { return a.reserved.Load() }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

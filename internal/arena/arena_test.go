@@ -1,0 +1,105 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAllocBasic(t *testing.T) {
+	a := New(1024)
+	b1 := a.Alloc(10)
+	if len(b1) != 10 {
+		t.Fatalf("len = %d", len(b1))
+	}
+	for _, x := range b1 {
+		if x != 0 {
+			t.Fatal("allocation not zeroed")
+		}
+	}
+	if a.Allocated() != 10 {
+		t.Errorf("Allocated = %d", a.Allocated())
+	}
+}
+
+func TestAllocZero(t *testing.T) {
+	a := New(0)
+	if b := a.Alloc(0); b != nil {
+		t.Errorf("Alloc(0) = %v, want nil", b)
+	}
+}
+
+func TestAppendCopies(t *testing.T) {
+	a := New(0)
+	src := []byte("hello")
+	cp := a.Append(src)
+	src[0] = 'X'
+	if string(cp) != "hello" {
+		t.Errorf("arena copy aliased source: %q", cp)
+	}
+}
+
+func TestChunkRollover(t *testing.T) {
+	a := New(256)
+	var slices [][]byte
+	for i := 0; i < 100; i++ {
+		b := a.Alloc(100)
+		for j := range b {
+			b[j] = byte(i)
+		}
+		slices = append(slices, b)
+	}
+	for i, b := range slices {
+		for _, x := range b {
+			if x != byte(i) {
+				t.Fatalf("allocation %d was overwritten", i)
+			}
+		}
+	}
+	if a.Reserved() < a.Allocated() {
+		t.Errorf("Reserved %d < Allocated %d", a.Reserved(), a.Allocated())
+	}
+}
+
+func TestLargeAlloc(t *testing.T) {
+	a := New(1024)
+	b := a.Alloc(10_000) // bigger than a chunk: dedicated allocation
+	if len(b) != 10_000 {
+		t.Fatalf("len = %d", len(b))
+	}
+}
+
+// Concurrent allocations must never overlap.
+func TestConcurrentAllocDisjoint(t *testing.T) {
+	a := New(4096)
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	out := make([][][]byte, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				b := a.Alloc(16)
+				for j := range b {
+					b[j] = byte(w + 1)
+				}
+				out[w] = append(out[w], b)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := range out {
+		for i, b := range out[w] {
+			for _, x := range b {
+				if x != byte(w+1) {
+					t.Fatalf("worker %d alloc %d overlaps another allocation", w, i)
+				}
+			}
+		}
+	}
+	want := int64(workers * perWorker * 16)
+	if a.Allocated() != want {
+		t.Errorf("Allocated = %d, want %d", a.Allocated(), want)
+	}
+}

@@ -1,0 +1,155 @@
+package baseline
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"clsm/internal/core"
+	"clsm/internal/storage"
+	"clsm/internal/version"
+)
+
+func testOpts() core.Options {
+	return core.Options{
+		FS:           storage.NewMemFS(),
+		MemtableSize: 64 << 10,
+		Disk: version.Options{
+			BaseLevelBytes: 256 << 10,
+			TableFileSize:  32 << 10,
+		},
+	}
+}
+
+var allWithStriped = append(append([]Name(nil), AllModels...), NameStriped)
+
+// Every model must provide correct KV semantics; only performance differs.
+func TestAllModelsCorrectness(t *testing.T) {
+	for _, name := range allWithStriped {
+		t.Run(string(name), func(t *testing.T) {
+			s, err := New(name, testOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+
+			for i := 0; i < 500; i++ {
+				k := []byte(fmt.Sprintf("k%04d", i))
+				if err := s.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 500; i += 17 {
+				k := []byte(fmt.Sprintf("k%04d", i))
+				v, ok, err := s.Get(k)
+				if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+					t.Fatalf("Get(%s) = %q,%v,%v", k, v, ok, err)
+				}
+			}
+			if err := s.Delete([]byte("k0100")); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, _ := s.Get([]byte("k0100")); ok {
+				t.Fatal("delete failed")
+			}
+			n, err := s.Scan([]byte("k0000"), 50)
+			if err != nil || n != 50 {
+				t.Fatalf("Scan = %d,%v", n, err)
+			}
+			if m := s.Metrics(); m.Puts == 0 {
+				t.Fatal("metrics not wired")
+			}
+		})
+	}
+}
+
+// RMW atomicity must hold in every model (each uses a different mechanism:
+// Algorithm 3, global mutex, or lock striping).
+func TestAllModelsRMWAtomic(t *testing.T) {
+	for _, name := range allWithStriped {
+		t.Run(string(name), func(t *testing.T) {
+			s, err := New(name, testOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			incr := func(old []byte, exists bool) []byte {
+				n := 0
+				if exists {
+					fmt.Sscanf(string(old), "%d", &n)
+				}
+				return []byte(fmt.Sprintf("%d", n+1))
+			}
+			const workers = 4
+			const per = 200
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if err := s.RMW([]byte("ctr"), incr); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			v, ok, _ := s.Get([]byte("ctr"))
+			if !ok {
+				t.Fatal("counter missing")
+			}
+			var got int
+			fmt.Sscanf(string(v), "%d", &got)
+			if got != workers*per {
+				t.Fatalf("counter = %d, want %d", got, workers*per)
+			}
+		})
+	}
+}
+
+// Concurrent mixed traffic must be linearizable enough to never corrupt
+// data under any model.
+func TestAllModelsConcurrentMix(t *testing.T) {
+	for _, name := range AllModels {
+		t.Run(string(name), func(t *testing.T) {
+			s, err := New(name, testOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 500; i++ {
+						k := []byte(fmt.Sprintf("w%d-%04d", w, i))
+						if err := s.Put(k, k); err != nil {
+							t.Error(err)
+							return
+						}
+						if v, ok, err := s.Get(k); err != nil || !ok || string(v) != string(k) {
+							t.Errorf("read-your-write failed: %q %v %v", v, ok, err)
+							return
+						}
+						if i%50 == 0 {
+							if _, err := s.Scan(k, 10); err != nil {
+								t.Error(err)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func TestUnknownModel(t *testing.T) {
+	if _, err := New(Name("nope"), testOpts()); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}

@@ -1,0 +1,138 @@
+// Package batch defines the serialized representation of a group of write
+// operations. The same encoding is the WAL record payload and the unit of
+// the public atomic-batch API, so a logged batch replays exactly.
+//
+// Layout:
+//
+//	count   uvarint
+//	entries count times:
+//	  kind  byte          (keys.KindValue | keys.KindDelete)
+//	  ts    uvarint       (timestamp assigned at apply time)
+//	  klen  uvarint, key bytes
+//	  vlen  uvarint, value bytes   (KindValue only)
+package batch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"clsm/internal/keys"
+)
+
+// Entry is one decoded write operation.
+type Entry struct {
+	Kind  keys.Kind
+	TS    uint64
+	Key   []byte
+	Value []byte
+}
+
+// ErrCorrupt reports a malformed batch encoding.
+var ErrCorrupt = errors.New("batch: corrupt encoding")
+
+// Batch accumulates write operations for atomic application.
+type Batch struct {
+	entries []Entry
+}
+
+// Put queues a key/value write.
+func (b *Batch) Put(key, value []byte) {
+	b.entries = append(b.entries, Entry{Kind: keys.KindValue, Key: key, Value: value})
+}
+
+// Delete queues a deletion (a ⊥ marker in the paper's terminology).
+func (b *Batch) Delete(key []byte) {
+	b.entries = append(b.entries, Entry{Kind: keys.KindDelete, Key: key})
+}
+
+// Len returns the number of queued operations.
+func (b *Batch) Len() int { return len(b.entries) }
+
+// Reset clears the batch for reuse.
+func (b *Batch) Reset() { b.entries = b.entries[:0] }
+
+// Entries exposes the queued operations. The engine stamps TS fields before
+// encoding.
+func (b *Batch) Entries() []Entry { return b.entries }
+
+// SetTimestamps assigns consecutive timestamps starting at base to the
+// entries and returns the first unused timestamp.
+func (b *Batch) SetTimestamps(base uint64) uint64 {
+	for i := range b.entries {
+		b.entries[i].TS = base + uint64(i)
+	}
+	return base + uint64(len(b.entries))
+}
+
+// Encode appends the serialized batch to dst.
+func (b *Batch) Encode(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b.entries)))
+	for i := range b.entries {
+		e := &b.entries[i]
+		dst = append(dst, byte(e.Kind))
+		dst = binary.AppendUvarint(dst, e.TS)
+		dst = binary.AppendUvarint(dst, uint64(len(e.Key)))
+		dst = append(dst, e.Key...)
+		if e.Kind == keys.KindValue {
+			dst = binary.AppendUvarint(dst, uint64(len(e.Value)))
+			dst = append(dst, e.Value...)
+		}
+	}
+	return dst
+}
+
+// Decode parses a serialized batch. The returned entries alias data.
+func Decode(data []byte) ([]Entry, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	data = data[n:]
+	if count > uint64(len(data)) { // each entry is at least 1 byte
+		return nil, fmt.Errorf("%w: implausible count %d", ErrCorrupt, count)
+	}
+	entries := make([]Entry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(data) < 1 {
+			return nil, ErrCorrupt
+		}
+		kind := keys.Kind(data[0])
+		if kind != keys.KindValue && kind != keys.KindDelete {
+			return nil, fmt.Errorf("%w: bad kind %d", ErrCorrupt, kind)
+		}
+		data = data[1:]
+		ts, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, ErrCorrupt
+		}
+		data = data[n:]
+		key, rest, err := takeBytes(data)
+		if err != nil {
+			return nil, err
+		}
+		data = rest
+		e := Entry{Kind: kind, TS: ts, Key: key}
+		if kind == keys.KindValue {
+			val, rest, err := takeBytes(data)
+			if err != nil {
+				return nil, err
+			}
+			data = rest
+			e.Value = val
+		}
+		entries = append(entries, e)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data))
+	}
+	return entries, nil
+}
+
+func takeBytes(data []byte) (b, rest []byte, err error) {
+	l, n := binary.Uvarint(data)
+	if n <= 0 || l > uint64(len(data)-n) {
+		return nil, nil, ErrCorrupt
+	}
+	return data[n : n+int(l)], data[n+int(l):], nil
+}

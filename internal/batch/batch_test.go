@@ -1,0 +1,110 @@
+package batch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clsm/internal/keys"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	var b Batch
+	b.Put([]byte("k1"), []byte("v1"))
+	b.Delete([]byte("k2"))
+	b.Put([]byte(""), []byte("")) // empty key/value are legal
+	next := b.SetTimestamps(100)
+	if next != 103 {
+		t.Fatalf("SetTimestamps returned %d", next)
+	}
+
+	enc := b.Encode(nil)
+	entries, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("decoded %d entries", len(entries))
+	}
+	if entries[0].Kind != keys.KindValue || string(entries[0].Key) != "k1" ||
+		string(entries[0].Value) != "v1" || entries[0].TS != 100 {
+		t.Errorf("entry 0 = %+v", entries[0])
+	}
+	if entries[1].Kind != keys.KindDelete || string(entries[1].Key) != "k2" || entries[1].TS != 101 {
+		t.Errorf("entry 1 = %+v", entries[1])
+	}
+	if entries[2].TS != 102 {
+		t.Errorf("entry 2 ts = %d", entries[2].TS)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{},                 // empty
+		{0x01},             // count=1, no entry
+		{0x01, 0x07},       // bad kind
+		{0x02, 0x01, 0x01}, // count=2, truncated
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("case %d: Decode accepted corrupt input", i)
+		}
+	}
+	// trailing garbage
+	var b Batch
+	b.Put([]byte("k"), []byte("v"))
+	b.SetTimestamps(1)
+	enc := append(b.Encode(nil), 0xff)
+	if _, err := Decode(enc); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var b Batch
+	b.Put([]byte("a"), []byte("b"))
+	b.Reset()
+	if b.Len() != 0 {
+		t.Errorf("Len after Reset = %d", b.Len())
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(ops []struct {
+		Key, Val []byte
+		Del      bool
+	}, base uint64) bool {
+		var b Batch
+		for _, op := range ops {
+			if op.Del {
+				b.Delete(op.Key)
+			} else {
+				b.Put(op.Key, op.Val)
+			}
+		}
+		base &= keys.MaxTimestamp - uint64(len(ops)) // avoid overflow past 56 bits
+		b.SetTimestamps(base)
+		entries, err := Decode(b.Encode(nil))
+		if err != nil || len(entries) != len(ops) {
+			return false
+		}
+		for i, op := range ops {
+			e := entries[i]
+			if !bytes.Equal(e.Key, op.Key) || e.TS != base+uint64(i) {
+				return false
+			}
+			if op.Del != (e.Kind == keys.KindDelete) {
+				return false
+			}
+			if !op.Del && !bytes.Equal(e.Value, op.Val) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

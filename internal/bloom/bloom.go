@@ -1,0 +1,110 @@
+// Package bloom implements the Bloom filter used to short-circuit SSTable
+// lookups (Bloom 1970, as adopted by LevelDB). It uses double hashing: two
+// base hashes combined as g_i = h1 + i*h2 simulate k independent hash
+// functions with one pass over the key.
+package bloom
+
+import "encoding/binary"
+
+// Filter is an immutable serialized Bloom filter. The last byte stores the
+// number of probes k.
+type Filter []byte
+
+// BitsPerKey is the standard space budget (10 bits/key ≈ 1% false positives).
+const BitsPerKey = 10
+
+// New builds a filter over the given keys with the standard bits-per-key
+// budget.
+func New(keyHashes []uint64) Filter {
+	return NewWithBits(keyHashes, BitsPerKey)
+}
+
+// NewWithBits builds a filter with an explicit bits-per-key budget.
+func NewWithBits(keyHashes []uint64, bitsPerKey int) Filter {
+	if bitsPerKey < 1 {
+		bitsPerKey = 1
+	}
+	// k = ln2 * bits/key, clamped to a sane range.
+	k := uint8(float64(bitsPerKey) * 0.69)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	nBits := len(keyHashes) * bitsPerKey
+	if nBits < 64 {
+		nBits = 64
+	}
+	nBytes := (nBits + 7) / 8
+	nBits = nBytes * 8
+	f := make(Filter, nBytes+1)
+	f[nBytes] = k
+	for _, h := range keyHashes {
+		h1 := uint32(h)
+		h2 := uint32(h >> 32)
+		for i := uint8(0); i < k; i++ {
+			pos := (h1 + uint32(i)*h2) % uint32(nBits)
+			f[pos/8] |= 1 << (pos % 8)
+		}
+	}
+	return f
+}
+
+// MayContain reports whether the filter possibly contains a key with the
+// given hash. False negatives never occur for keys the filter was built
+// over.
+func (f Filter) MayContain(h uint64) bool {
+	if len(f) < 2 {
+		return true // degenerate filter: claim everything
+	}
+	k := f[len(f)-1]
+	if k > 30 {
+		// Reserved encoding from a newer version: fail open.
+		return true
+	}
+	nBits := uint32((len(f) - 1) * 8)
+	h1 := uint32(h)
+	h2 := uint32(h >> 32)
+	for i := uint8(0); i < k; i++ {
+		pos := (h1 + uint32(i)*h2) % nBits
+		if f[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash is the 64-bit key hash fed to the filter — a FNV-1a variant inlined
+// for speed on the hot read path.
+func Hash(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	// Final avalanche so h1/h2 halves are well mixed even for short keys.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// Marshal frames the filter for embedding in an SSTable (length-prefixed).
+func (f Filter) Marshal(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(f)))
+	return append(dst, f...)
+}
+
+// Unmarshal parses a framed filter, returning the remaining bytes.
+func Unmarshal(data []byte) (Filter, []byte, bool) {
+	l, n := binary.Uvarint(data)
+	if n <= 0 || l > uint64(len(data)-n) {
+		return nil, nil, false
+	}
+	return Filter(data[n : n+int(l)]), data[n+int(l):], true
+}

@@ -1,0 +1,115 @@
+package bloom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func hashes(keys []string) []uint64 {
+	hs := make([]uint64, len(keys))
+	for i, k := range keys {
+		hs[i] = Hash([]byte(k))
+	}
+	return hs
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	var ks []string
+	for i := 0; i < 10000; i++ {
+		ks = append(ks, fmt.Sprintf("key-%d", i))
+	}
+	f := New(hashes(ks))
+	for _, k := range ks {
+		if !f.MayContain(Hash([]byte(k))) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	var ks []string
+	for i := 0; i < 10000; i++ {
+		ks = append(ks, fmt.Sprintf("member-%d", i))
+	}
+	f := New(hashes(ks))
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.MayContain(Hash([]byte(fmt.Sprintf("absent-%d", i)))) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Errorf("false positive rate %.4f exceeds 3%% at 10 bits/key", rate)
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	f := New(nil)
+	// An empty filter may answer anything but must not crash; with no bits
+	// set it should reject.
+	if f.MayContain(Hash([]byte("x"))) {
+		t.Log("empty filter claims containment (allowed but suboptimal)")
+	}
+}
+
+func TestDegenerateFilterFailsOpen(t *testing.T) {
+	if !Filter(nil).MayContain(1) {
+		t.Error("nil filter must fail open")
+	}
+	if !Filter([]byte{0x00, 99}).MayContain(1) {
+		t.Error("filter with reserved k must fail open")
+	}
+}
+
+func TestMarshalUnmarshal(t *testing.T) {
+	f := New(hashes([]string{"a", "b", "c"}))
+	framed := f.Marshal(nil)
+	framed = append(framed, 0xde, 0xad)
+	g, rest, ok := Unmarshal(framed)
+	if !ok || len(rest) != 2 {
+		t.Fatalf("Unmarshal ok=%v rest=%d", ok, len(rest))
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if !g.MayContain(Hash([]byte(k))) {
+			t.Errorf("unmarshaled filter lost %q", k)
+		}
+	}
+	if _, _, ok := Unmarshal([]byte{0xff}); ok {
+		t.Error("Unmarshal accepted truncated framing")
+	}
+}
+
+// Property: membership is always reported for inserted hashes, any filter
+// size.
+func TestNoFalseNegativesQuick(t *testing.T) {
+	f := func(raw []uint64, bits uint8) bool {
+		bpk := int(bits%20) + 1
+		flt := NewWithBits(raw, bpk)
+		for _, h := range raw {
+			if !flt.MayContain(h) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashDispersion(t *testing.T) {
+	// Short sequential keys must not collide in either 32-bit half.
+	seen := map[uint64]bool{}
+	for i := 0; i < 100000; i++ {
+		h := Hash([]byte(fmt.Sprintf("%d", i)))
+		if seen[h] {
+			t.Fatalf("hash collision at %d", i)
+		}
+		seen[h] = true
+	}
+}

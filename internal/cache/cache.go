@@ -1,0 +1,131 @@
+// Package cache provides the sharded LRU block cache that backs SSTable
+// reads. The paper's CPU-bound read experiments (§5.1) depend on the disk
+// component serving hot blocks from RAM; this cache plays that role. It is
+// sharded 16 ways so concurrent readers do not serialize on one mutex.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+const shards = 16
+
+// Key identifies a cached block by file number and block offset.
+type Key struct {
+	File   uint64
+	Offset uint64
+}
+
+// Cache is a fixed-capacity sharded LRU cache of byte blocks.
+type Cache struct {
+	capacityPerShard int64
+	shard            [shards]lruShard
+}
+
+type lruShard struct {
+	mu    sync.Mutex
+	order *list.List // front = most recent
+	items map[Key]*list.Element
+	used  int64
+}
+
+type entry struct {
+	key   Key
+	value []byte
+}
+
+// New returns a cache bounded at roughly capacity bytes total.
+func New(capacity int64) *Cache {
+	c := &Cache{capacityPerShard: capacity / shards}
+	if c.capacityPerShard < 1 {
+		c.capacityPerShard = 1
+	}
+	for i := range c.shard {
+		c.shard[i].order = list.New()
+		c.shard[i].items = make(map[Key]*list.Element)
+	}
+	return c
+}
+
+func (c *Cache) shardFor(k Key) *lruShard {
+	h := k.File*0x9e3779b97f4a7c15 + k.Offset
+	return &c.shard[h%shards]
+}
+
+// Get returns the cached block and whether it was present.
+func (c *Cache) Get(k Key) ([]byte, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		s.order.MoveToFront(el)
+		return el.Value.(*entry).value, true
+	}
+	return nil, false
+}
+
+// Put inserts a block, evicting LRU entries to stay within capacity.
+// Blocks are immutable once inserted; callers must not modify value.
+func (c *Cache) Put(k Key, value []byte) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		old := el.Value.(*entry)
+		s.used += int64(len(value)) - int64(len(old.value))
+		old.value = value
+		s.order.MoveToFront(el)
+	} else {
+		el := s.order.PushFront(&entry{key: k, value: value})
+		s.items[k] = el
+		s.used += int64(len(value))
+	}
+	for s.used > c.capacityPerShard && s.order.Len() > 1 {
+		tail := s.order.Back()
+		e := tail.Value.(*entry)
+		s.order.Remove(tail)
+		delete(s.items, e.key)
+		s.used -= int64(len(e.value))
+	}
+}
+
+// EvictFile drops every cached block of a deleted table file.
+func (c *Cache) EvictFile(file uint64) {
+	for i := range c.shard {
+		s := &c.shard[i]
+		s.mu.Lock()
+		for k, el := range s.items {
+			if k.File == file {
+				s.order.Remove(el)
+				s.used -= int64(len(el.Value.(*entry).value))
+				delete(s.items, k)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Len returns the number of cached blocks (tests, metrics).
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shard {
+		s := &c.shard[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Used returns the cached byte volume.
+func (c *Cache) Used() int64 {
+	var n int64
+	for i := range c.shard {
+		s := &c.shard[i]
+		s.mu.Lock()
+		n += s.used
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,122 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New(1 << 20)
+	k := Key{File: 1, Offset: 0}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, []byte("block"))
+	v, ok := c.Get(k)
+	if !ok || string(v) != "block" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+}
+
+func TestUpdateExisting(t *testing.T) {
+	c := New(1 << 20)
+	k := Key{File: 1, Offset: 7}
+	c.Put(k, []byte("old"))
+	c.Put(k, []byte("newer"))
+	v, _ := c.Get(k)
+	if string(v) != "newer" {
+		t.Fatalf("Get = %q", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestEviction(t *testing.T) {
+	c := New(16 * 100) // 100 bytes per shard
+	// Fill one shard far past capacity.
+	var lastKeys []Key
+	for i := 0; i < 50; i++ {
+		k := Key{File: 0, Offset: uint64(i) * 16} // same shard when hash collides is not guaranteed; use many
+		c.Put(k, make([]byte, 40))
+		lastKeys = append(lastKeys, k)
+	}
+	if c.Used() > 16*100+40*16 {
+		t.Errorf("cache exceeded capacity: used=%d", c.Used())
+	}
+	// Most recently inserted key must survive.
+	if _, ok := c.Get(lastKeys[len(lastKeys)-1]); !ok {
+		t.Error("most recent entry evicted")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	c := New(16 * 100)
+	// Keys in the same shard: craft by trial.
+	var same []Key
+	target := c.shardFor(Key{File: 9, Offset: 0})
+	for off := uint64(0); len(same) < 3; off++ {
+		k := Key{File: 9, Offset: off}
+		if c.shardFor(k) == target {
+			same = append(same, k)
+		}
+	}
+	c.Put(same[0], make([]byte, 40))
+	c.Put(same[1], make([]byte, 40))
+	c.Get(same[0])                   // touch 0 so 1 is LRU
+	c.Put(same[2], make([]byte, 40)) // evicts 1
+	if _, ok := c.Get(same[1]); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(same[0]); !ok {
+		t.Error("recently used entry evicted")
+	}
+}
+
+func TestEvictFile(t *testing.T) {
+	c := New(1 << 20)
+	for i := uint64(0); i < 10; i++ {
+		c.Put(Key{File: 1, Offset: i}, []byte("a"))
+		c.Put(Key{File: 2, Offset: i}, []byte("b"))
+	}
+	c.EvictFile(1)
+	for i := uint64(0); i < 10; i++ {
+		if _, ok := c.Get(Key{File: 1, Offset: i}); ok {
+			t.Fatal("file-1 block survived EvictFile")
+		}
+		if _, ok := c.Get(Key{File: 2, Offset: i}); !ok {
+			t.Fatal("file-2 block wrongly evicted")
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(1 << 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				k := Key{File: uint64(w), Offset: uint64(i % 100)}
+				if v, ok := c.Get(k); ok {
+					if string(v) != fmt.Sprintf("%d-%d", w, i%100) {
+						t.Errorf("cross-thread corruption: %q", v)
+						return
+					}
+				}
+				c.Put(k, []byte(fmt.Sprintf("%d-%d", w, i%100)))
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestTinyCapacity(t *testing.T) {
+	c := New(0) // degenerate; must still hold at least one entry per shard
+	c.Put(Key{File: 1, Offset: 1}, []byte("xxxx"))
+	if c.Len() < 1 {
+		t.Error("tiny cache refuses all entries")
+	}
+}

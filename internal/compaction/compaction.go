@@ -1,0 +1,294 @@
+package compaction
+
+import (
+	"bytes"
+	"fmt"
+
+	"clsm/internal/iterator"
+	"clsm/internal/keys"
+	"clsm/internal/memtable"
+	"clsm/internal/sstable"
+	"clsm/internal/storage"
+	"clsm/internal/version"
+)
+
+// Compactor executes merges: memtable flushes and level compactions. It is
+// deliberately independent of the engine's concurrency control — the paper
+// treats the merge procedure as a pluggable building block bracketed by the
+// beforeMerge/afterMerge hooks.
+type Compactor struct {
+	fs  storage.FS
+	set *version.Set
+}
+
+// NewCompactor wires a compactor to the filesystem and version set.
+func NewCompactor(fs storage.FS, set *version.Set) *Compactor {
+	return &Compactor{fs: fs, set: set}
+}
+
+// Stats summarizes one merge execution.
+type Stats struct {
+	EntriesIn    int
+	EntriesOut   int
+	EntriesDrop  int
+	BytesWritten uint64
+	Outputs      int
+}
+
+// FlushMemtable writes the frozen memtable to one or more L0 tables and
+// returns the edit installing them. dropBelow is the timestamp returned by
+// beforeMerge: versions shadowed by a newer version at or below it are
+// obsolete for every snapshot and are garbage-collected during the merge.
+func (c *Compactor) FlushMemtable(mt *memtable.Table, dropBelow uint64) (*version.Edit, Stats, error) {
+	it := mt.NewIterator()
+	edit := &version.Edit{}
+	stats, err := c.writeOutputs(it, edit, 0, dropBelow, nil)
+	if err != nil {
+		return nil, stats, err
+	}
+	return edit, stats, nil
+}
+
+// Run executes a level compaction and returns the edit that installs the
+// outputs and retires the inputs. dropBelow has the same meaning as in
+// FlushMemtable and must be obtained under the engine's exclusive lock.
+func (c *Compactor) Run(comp *version.Compaction, dropBelow uint64) (*version.Edit, Stats, error) {
+	edit := &version.Edit{}
+	for side, files := range comp.Inputs {
+		for _, f := range files {
+			edit.DeleteFile(comp.Level+side, f.Num)
+		}
+	}
+
+	if comp.TrivialMove() {
+		f := comp.Inputs[0][0]
+		edit.AddFile(comp.Level+1, f.FileDesc)
+		return edit, Stats{Outputs: 1}, nil
+	}
+
+	var children []iterator.Iterator
+	if comp.Level == 0 {
+		// L0 files overlap: one iterator each, newest first.
+		for _, f := range comp.Inputs[0] {
+			r, err := c.set.Tables().Get(f.Num)
+			if err != nil {
+				return nil, Stats{}, err
+			}
+			children = append(children, r.NewIterator())
+		}
+	} else {
+		children = append(children, newConcatIter(c.set, comp.Inputs[0]))
+	}
+	if len(comp.Inputs[1]) > 0 {
+		children = append(children, newConcatIter(c.set, comp.Inputs[1]))
+	}
+
+	merged := NewMergeIter(children)
+	isBase := comp.IsBaseLevelForKey
+	stats, err := c.writeOutputs(merged, edit, comp.Level+1, dropBelow, isBase)
+	if err != nil {
+		return nil, stats, err
+	}
+	return edit, stats, nil
+}
+
+// writeOutputs drains it into output tables at outLevel, applying the
+// version GC policy:
+//
+//  1. an entry is dropped when a newer entry of the same user key exists
+//     with timestamp <= dropBelow (no snapshot or future read can see it);
+//  2. a deletion marker is dropped when additionally no deeper level holds
+//     the key (isBase).
+func (c *Compactor) writeOutputs(it iterator.Iterator, edit *version.Edit, outLevel int, dropBelow uint64, isBase func([]byte) bool) (Stats, error) {
+	var stats Stats
+	var w *sstable.Writer
+	var fileNum uint64
+	opts := c.set.Options()
+
+	var lastUK []byte
+	haveLast := false
+	var newerTS uint64 // timestamp of the previous (newer) entry for lastUK
+
+	finish := func() error {
+		if w == nil {
+			return nil
+		}
+		meta, err := w.Finish()
+		if err != nil {
+			return err
+		}
+		stats.BytesWritten += meta.Size
+		stats.Outputs++
+		edit.AddFile(outLevel, version.FileDesc{
+			Num:      fileNum,
+			Size:     meta.Size,
+			Entries:  meta.Entries,
+			Smallest: meta.Smallest,
+			Largest:  meta.Largest,
+		})
+		w = nil
+		return nil
+	}
+
+	it.First()
+	for ; it.Valid(); it.Next() {
+		ik := it.Key()
+		uk, ts, kind, ok := keys.Decode(ik)
+		if !ok {
+			return stats, fmt.Errorf("compaction: corrupt internal key %x", ik)
+		}
+		stats.EntriesIn++
+
+		sameKey := haveLast && bytes.Equal(uk, lastUK)
+		drop := false
+		if sameKey && newerTS <= dropBelow {
+			// A newer version at or below every live snapshot shadows this
+			// one for all observers.
+			drop = true
+		} else if kind == keys.KindDelete && ts <= dropBelow && isBase != nil && isBase(uk) {
+			// The tombstone itself is visible everywhere and nothing older
+			// can exist below: it has done its job.
+			drop = true
+		}
+		if !sameKey {
+			lastUK = append(lastUK[:0], uk...)
+			haveLast = true
+		}
+		newerTS = ts
+
+		if drop {
+			stats.EntriesDrop++
+			continue
+		}
+
+		// Output files may only split at user-key boundaries so deeper
+		// levels stay disjoint in user-key space.
+		if w != nil && w.EstimatedSize() >= uint64(opts.TableFileSize) && !sameKey {
+			if err := finish(); err != nil {
+				return stats, err
+			}
+		}
+		if w == nil {
+			fileNum = c.set.NewFileNum()
+			f, err := c.fs.Create(version.TableFileName(fileNum))
+			if err != nil {
+				return stats, err
+			}
+			comp := sstable.NoCompression
+			if opts.Compress {
+				comp = sstable.FlateCompression
+			}
+			w = sstable.NewWriter(f, sstable.WriterOptions{
+				BlockSize:       opts.BlockSize,
+				BloomBitsPerKey: opts.BloomBitsPerKey,
+				Compression:     comp,
+			})
+		}
+		if err := w.Add(ik, it.Value()); err != nil {
+			return stats, err
+		}
+		stats.EntriesOut++
+	}
+	if err := it.Err(); err != nil {
+		return stats, err
+	}
+	if err := finish(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// concatIter wraps the version package's disjoint-level concatenation for
+// an explicit file list.
+type concatIter struct {
+	files []*version.FileMeta
+	set   *version.Set
+	idx   int
+	cur   iterator.Iterator
+	err   error
+}
+
+func newConcatIter(set *version.Set, files []*version.FileMeta) iterator.Iterator {
+	return &concatIter{set: set, files: files, idx: -1}
+}
+
+func (it *concatIter) open(i int) {
+	it.idx = i
+	it.cur = nil
+	if i < 0 || i >= len(it.files) {
+		return
+	}
+	r, err := it.set.Tables().Get(it.files[i].Num)
+	if err != nil {
+		it.err = err
+		return
+	}
+	it.cur = r.NewIterator()
+}
+
+func (it *concatIter) First() {
+	if len(it.files) == 0 {
+		return
+	}
+	it.open(0)
+	if it.cur != nil {
+		it.cur.First()
+		it.skipForward()
+	}
+}
+
+func (it *concatIter) SeekGE(ikey []byte) {
+	i := 0
+	for i < len(it.files) && keys.Compare(it.files[i].Largest, ikey) < 0 {
+		i++
+	}
+	if i >= len(it.files) {
+		it.cur = nil
+		it.idx = len(it.files)
+		return
+	}
+	it.open(i)
+	if it.cur != nil {
+		it.cur.SeekGE(ikey)
+		it.skipForward()
+	}
+}
+
+func (it *concatIter) Next() {
+	if it.cur == nil {
+		return
+	}
+	it.cur.Next()
+	it.skipForward()
+}
+
+func (it *concatIter) skipForward() {
+	for it.err == nil && it.cur != nil && !it.cur.Valid() {
+		if err := it.cur.Err(); err != nil {
+			it.err = err
+			it.cur = nil
+			return
+		}
+		if it.idx+1 >= len(it.files) {
+			it.cur = nil
+			return
+		}
+		it.open(it.idx + 1)
+		if it.cur != nil {
+			it.cur.First()
+		}
+	}
+}
+
+func (it *concatIter) Valid() bool   { return it.err == nil && it.cur != nil && it.cur.Valid() }
+func (it *concatIter) Key() []byte   { return it.cur.Key() }
+func (it *concatIter) Value() []byte { return it.cur.Value() }
+func (it *concatIter) Err() error {
+	if it.err != nil {
+		return it.err
+	}
+	if it.cur != nil {
+		return it.cur.Err()
+	}
+	return nil
+}

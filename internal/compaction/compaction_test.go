@@ -1,0 +1,389 @@
+package compaction
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"clsm/internal/iterator"
+	"clsm/internal/keys"
+	"clsm/internal/memtable"
+	"clsm/internal/storage"
+	"clsm/internal/version"
+)
+
+// sliceIter is a test iterator over in-memory pairs.
+type sliceIter struct {
+	ks, vs [][]byte
+	i      int
+}
+
+func newSliceIter(pairs map[string]string, ts func(k string) uint64) *sliceIter {
+	it := &sliceIter{}
+	var sorted [][]byte
+	for k := range pairs {
+		sorted = append(sorted, keys.Make([]byte(k), ts(k), keys.KindValue))
+	}
+	sort.Slice(sorted, func(i, j int) bool { return keys.Compare(sorted[i], sorted[j]) < 0 })
+	for _, ik := range sorted {
+		it.ks = append(it.ks, ik)
+		it.vs = append(it.vs, []byte(pairs[string(keys.UserKey(ik))]))
+	}
+	it.i = -1
+	return it
+}
+
+func (it *sliceIter) First() { it.i = 0 }
+func (it *sliceIter) SeekGE(ik []byte) {
+	it.i = sort.Search(len(it.ks), func(i int) bool { return keys.Compare(it.ks[i], ik) >= 0 })
+}
+func (it *sliceIter) Next()         { it.i++ }
+func (it *sliceIter) Valid() bool   { return it.i >= 0 && it.i < len(it.ks) }
+func (it *sliceIter) Key() []byte   { return it.ks[it.i] }
+func (it *sliceIter) Value() []byte { return it.vs[it.i] }
+func (it *sliceIter) Err() error    { return nil }
+
+func TestMergeIterInterleaves(t *testing.T) {
+	a := newSliceIter(map[string]string{"a": "1", "c": "3", "e": "5"}, func(string) uint64 { return 10 })
+	b := newSliceIter(map[string]string{"b": "2", "d": "4"}, func(string) uint64 { return 10 })
+	m := NewMergeIter([]iterator.Iterator{a, b})
+	var got []string
+	for m.First(); m.Valid(); m.Next() {
+		got = append(got, string(keys.UserKey(m.Key()))+"="+string(m.Value()))
+	}
+	want := []string{"a=1", "b=2", "c=3", "d=4", "e=5"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("merge = %v", got)
+	}
+	if m.Err() != nil {
+		t.Fatal(m.Err())
+	}
+}
+
+func TestMergeIterVersionOrder(t *testing.T) {
+	// Same user key at different timestamps across children: newest first.
+	a := newSliceIter(map[string]string{"k": "new"}, func(string) uint64 { return 20 })
+	b := newSliceIter(map[string]string{"k": "old"}, func(string) uint64 { return 10 })
+	m := NewMergeIter([]iterator.Iterator{b, a}) // order of children irrelevant for distinct ts
+	m.First()
+	if !m.Valid() || keys.Timestamp(m.Key()) != 20 {
+		t.Fatalf("first entry ts = %d", keys.Timestamp(m.Key()))
+	}
+	m.Next()
+	if !m.Valid() || keys.Timestamp(m.Key()) != 10 {
+		t.Fatal("older version lost")
+	}
+}
+
+func TestMergeIterSeek(t *testing.T) {
+	a := newSliceIter(map[string]string{"a": "1", "m": "2", "z": "3"}, func(string) uint64 { return 5 })
+	b := newSliceIter(map[string]string{"c": "4", "p": "5"}, func(string) uint64 { return 5 })
+	m := NewMergeIter([]iterator.Iterator{a, b})
+	m.SeekGE(keys.SeekKey([]byte("n"), keys.MaxTimestamp))
+	if !m.Valid() || string(keys.UserKey(m.Key())) != "p" {
+		t.Fatalf("SeekGE(n) landed on %s", m.Key())
+	}
+}
+
+func TestMergeIterEmpty(t *testing.T) {
+	m := NewMergeIter(nil)
+	m.First()
+	if m.Valid() {
+		t.Fatal("empty merge valid")
+	}
+}
+
+func setupSet(t *testing.T) (*storage.MemFS, *version.Set, *Compactor) {
+	t.Helper()
+	fs := storage.NewMemFS()
+	set, err := version.Open(fs, nil, version.Options{
+		BaseLevelBytes: 64 << 10, TableFileSize: 8 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, set, NewCompactor(fs, set)
+}
+
+func TestFlushMemtable(t *testing.T) {
+	_, set, c := setupSet(t)
+	defer set.Close()
+	mt := memtable.New(1)
+	defer mt.Unref()
+	for i := 0; i < 1000; i++ {
+		mt.Add([]byte(fmt.Sprintf("k%04d", i)), uint64(i+1), keys.KindValue, []byte(fmt.Sprintf("v%d", i)))
+	}
+	edit, stats, err := c.FlushMemtable(mt, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EntriesIn != 1000 || stats.EntriesOut != 1000 || stats.Outputs == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if err := set.LogAndApply(edit); err != nil {
+		t.Fatal(err)
+	}
+	v := set.Current()
+	defer v.Unref()
+	val, _, found, err := v.Get(keys.SeekKey([]byte("k0500"), keys.MaxTimestamp))
+	if err != nil || !found || string(val) != "v500" {
+		t.Fatalf("flushed Get = %q,%v,%v", val, found, err)
+	}
+}
+
+// Shadowed versions below the horizon are dropped during flush; versions a
+// snapshot can still see are kept.
+func TestFlushDropsShadowedVersions(t *testing.T) {
+	_, set, c := setupSet(t)
+	defer set.Close()
+	mt := memtable.New(1)
+	defer mt.Unref()
+	// Key with versions at ts 10, 20, 30.
+	for _, ts := range []uint64{10, 20, 30} {
+		mt.Add([]byte("k"), ts, keys.KindValue, []byte(fmt.Sprintf("v%d", ts)))
+	}
+	// Horizon 25: version 30 is the newest (kept); 20 is the newest <= 25
+	// (kept for a snapshot at 25); 10 is shadowed by 20 (dropped).
+	edit, stats, err := c.FlushMemtable(mt, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EntriesDrop != 1 || stats.EntriesOut != 2 {
+		t.Fatalf("stats = %+v (want drop=1 out=2)", stats)
+	}
+	if err := set.LogAndApply(edit); err != nil {
+		t.Fatal(err)
+	}
+	v := set.Current()
+	defer v.Unref()
+	val, _, found, _ := v.Get(keys.SeekKey([]byte("k"), 25))
+	if !found || string(val) != "v20" {
+		t.Fatalf("snapshot-visible version lost: %q,%v", val, found)
+	}
+	val, _, found, _ = v.Get(keys.SeekKey([]byte("k"), keys.MaxTimestamp))
+	if !found || string(val) != "v30" {
+		t.Fatalf("newest version = %q,%v", val, found)
+	}
+}
+
+func TestCompactionMergesLevels(t *testing.T) {
+	_, set, c := setupSet(t)
+	defer set.Close()
+	// Two L0 memtable flushes with overlapping keys, newer shadowing older.
+	for round, ts := range []uint64{10, 20} {
+		mt := memtable.New(uint64(round))
+		for i := 0; i < 500; i++ {
+			mt.Add([]byte(fmt.Sprintf("k%04d", i)), ts+uint64(i)%5, keys.KindValue,
+				[]byte(fmt.Sprintf("r%d-%d", round, i)))
+		}
+		edit, _, err := c.FlushMemtable(mt, 0) // horizon 0: keep everything
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := set.LogAndApply(edit); err != nil {
+			t.Fatal(err)
+		}
+		mt.Unref()
+	}
+	comp := set.PickForcedCompaction(0)
+	if comp == nil {
+		t.Fatal("no forced compaction for non-empty L0")
+	}
+	edit, stats, err := c.Run(comp, 100) // horizon above all: drop shadowed
+	comp.Release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EntriesIn != 1000 || stats.EntriesDrop != 500 {
+		t.Fatalf("stats = %+v (want in=1000 drop=500)", stats)
+	}
+	if err := set.LogAndApply(edit); err != nil {
+		t.Fatal(err)
+	}
+	v := set.Current()
+	defer v.Unref()
+	if len(v.Levels[0]) != 0 {
+		t.Fatalf("L0 still has %d files", len(v.Levels[0]))
+	}
+	val, _, found, _ := v.Get(keys.SeekKey([]byte("k0007"), keys.MaxTimestamp))
+	if !found || string(val) != "r1-7" {
+		t.Fatalf("post-compaction Get = %q,%v", val, found)
+	}
+}
+
+// Tombstones are dropped only at the bottom of the key's range.
+func TestTombstoneElision(t *testing.T) {
+	_, set, c := setupSet(t)
+	defer set.Close()
+	// L0 file: value then tombstone for "k".
+	mt := memtable.New(1)
+	mt.Add([]byte("k"), 10, keys.KindValue, []byte("v"))
+	mt.Add([]byte("k"), 20, keys.KindDelete, nil)
+	edit, _, err := c.FlushMemtable(mt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.LogAndApply(edit); err != nil {
+		t.Fatal(err)
+	}
+	mt.Unref()
+
+	comp := set.PickForcedCompaction(0)
+	edit, stats, err := c.Run(comp, 100)
+	comp.Release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both the shadowed value and the now-useless tombstone disappear
+	// (nothing below L1 holds the key).
+	if stats.EntriesDrop != 2 || stats.EntriesOut != 0 {
+		t.Fatalf("stats = %+v (want both entries dropped)", stats)
+	}
+	if err := set.LogAndApply(edit); err != nil {
+		t.Fatal(err)
+	}
+	v := set.Current()
+	defer v.Unref()
+	if _, _, found, _ := v.Get(keys.SeekKey([]byte("k"), keys.MaxTimestamp)); found {
+		t.Fatal("deleted key visible after compaction")
+	}
+}
+
+// A tombstone must be KEPT when deeper levels still hold the key.
+func TestTombstoneKeptWhenBaseHoldsKey(t *testing.T) {
+	fs, set, c := setupSet(t)
+	_ = fs
+	defer set.Close()
+	// Deep value at L3.
+	mtDeep := memtable.New(1)
+	mtDeep.Add([]byte("k"), 5, keys.KindValue, []byte("deep"))
+	deepEdit, _, err := c.FlushMemtable(mtDeep, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtDeep.Unref()
+	// Move the flushed file to L3 manually.
+	mv := &version.Edit{}
+	for _, a := range deepEdit.Added {
+		mv.AddFile(3, a.Meta)
+	}
+	if err := set.LogAndApply(mv); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tombstone at L0.
+	mtTomb := memtable.New(2)
+	mtTomb.Add([]byte("k"), 20, keys.KindDelete, nil)
+	tombEdit, _, err := c.FlushMemtable(mtTomb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.LogAndApply(tombEdit); err != nil {
+		t.Fatal(err)
+	}
+	mtTomb.Unref()
+
+	comp := set.PickForcedCompaction(0) // L0 -> L1; L3 still holds "k"
+	edit, stats, err := c.Run(comp, 100)
+	comp.Release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EntriesDrop != 0 || stats.EntriesOut != 1 {
+		t.Fatalf("tombstone wrongly elided: %+v", stats)
+	}
+	if err := set.LogAndApply(edit); err != nil {
+		t.Fatal(err)
+	}
+	v := set.Current()
+	defer v.Unref()
+	_, deleted, found, _ := v.Get(keys.SeekKey([]byte("k"), keys.MaxTimestamp))
+	if !found || !deleted {
+		t.Fatalf("tombstone lost: deleted=%v found=%v — deep value would resurrect", deleted, found)
+	}
+}
+
+func TestTrivialMove(t *testing.T) {
+	_, set, c := setupSet(t)
+	defer set.Close()
+	mt := memtable.New(1)
+	for i := 0; i < 100; i++ {
+		mt.Add([]byte(fmt.Sprintf("k%03d", i)), uint64(i+1), keys.KindValue, []byte("v"))
+	}
+	edit, _, err := c.FlushMemtable(mt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt.Unref()
+	// Install at L1 (no L2 overlap -> trivial move candidate).
+	mv := &version.Edit{}
+	for _, a := range edit.Added {
+		mv.AddFile(1, a.Meta)
+	}
+	if err := set.LogAndApply(mv); err != nil {
+		t.Fatal(err)
+	}
+	comp := set.PickForcedCompaction(1)
+	if comp == nil {
+		t.Fatal("no compaction")
+	}
+	if len(comp.Inputs[0]) == 1 && len(comp.Inputs[1]) == 0 && !comp.TrivialMove() {
+		t.Fatal("trivial move not detected")
+	}
+	edit2, stats, err := c.Run(comp, 1000)
+	comp.Release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EntriesIn != 0 {
+		t.Fatalf("trivial move rewrote data: %+v", stats)
+	}
+	if err := set.LogAndApply(edit2); err != nil {
+		t.Fatal(err)
+	}
+	v := set.Current()
+	defer v.Unref()
+	if len(v.Levels[1]) != 0 || len(v.Levels[2]) != 1 {
+		t.Fatalf("levels after move: L1=%d L2=%d", len(v.Levels[1]), len(v.Levels[2]))
+	}
+	// Data still readable through the moved file.
+	if _, _, found, _ := v.Get(keys.SeekKey([]byte("k050"), keys.MaxTimestamp)); !found {
+		t.Fatal("data lost by trivial move")
+	}
+}
+
+// Output files must split only at user-key boundaries so deeper levels stay
+// disjoint in user-key space.
+func TestOutputSplitRespectsUserKeys(t *testing.T) {
+	_, set, c := setupSet(t)
+	defer set.Close()
+	mt := memtable.New(1)
+	// One very hot key with many versions larger than TableFileSize in
+	// total, plus neighbors.
+	big := make([]byte, 1024)
+	for ts := uint64(1); ts <= 20; ts++ {
+		mt.Add([]byte("hot"), ts, keys.KindValue, big)
+	}
+	mt.Add([]byte("aaa"), 1, keys.KindValue, []byte("x"))
+	mt.Add([]byte("zzz"), 1, keys.KindValue, []byte("y"))
+	edit, _, err := c.FlushMemtable(mt, 0) // keep all versions
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt.Unref()
+	// Verify: no two output files share a user key boundary.
+	type rng struct{ lo, hi string }
+	var ranges []rng
+	for _, a := range edit.Added {
+		ranges = append(ranges, rng{
+			string(keys.UserKey(a.Meta.Smallest)),
+			string(keys.UserKey(a.Meta.Largest)),
+		})
+	}
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].lo < ranges[j].lo })
+	for i := 1; i < len(ranges); i++ {
+		if ranges[i].lo <= ranges[i-1].hi {
+			t.Fatalf("user key straddles output files: %v", ranges)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package compaction implements the merge procedure of the LSM-DS: the
+// k-way merging iterator, memtable flushes into L0 tables, and level
+// compactions with snapshot-aware garbage collection of obsolete versions
+// (§3.2.1 of the paper).
+package compaction
+
+import (
+	"container/heap"
+
+	"clsm/internal/iterator"
+	"clsm/internal/keys"
+)
+
+// MergeIter performs a k-way merge over child iterators, yielding entries
+// in internal-key order. Ties on identical internal keys (which only arise
+// across components during scans, never within a compaction's inputs) are
+// broken toward the lower-index child, so callers list newer components
+// first.
+//
+// The iterator is bidirectional when every child implements
+// iterator.Bidirectional (true for memtable, table, and level iterators;
+// compaction-only concatenating iterators merge strictly forward and never
+// see Prev/Last).
+type MergeIter struct {
+	children []iterator.Iterator
+	h        mergeHeap
+	err      error
+	reversed bool
+}
+
+// NewMergeIter builds a merging iterator; children must be listed from the
+// newest component to the oldest.
+func NewMergeIter(children []iterator.Iterator) *MergeIter {
+	return &MergeIter{children: children}
+}
+
+type mergeItem struct {
+	it  iterator.Iterator
+	idx int
+}
+
+type mergeHeap struct {
+	items   []mergeItem
+	reverse bool
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	c := keys.Compare(h.items[i].it.Key(), h.items[j].it.Key())
+	if c != 0 {
+		if h.reverse {
+			return c > 0
+		}
+		return c < 0
+	}
+	return h.items[i].idx < h.items[j].idx
+}
+func (h *mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x interface{}) {
+	h.items = append(h.items, x.(mergeItem))
+}
+func (h *mergeHeap) Pop() interface{} {
+	n := len(h.items)
+	x := h.items[n-1]
+	h.items = h.items[:n-1]
+	return x
+}
+
+func (m *MergeIter) rebuild(reverse bool) {
+	m.reversed = reverse
+	m.h.reverse = reverse
+	m.h.items = m.h.items[:0]
+	for i, it := range m.children {
+		if err := it.Err(); err != nil {
+			m.err = err
+			return
+		}
+		if it.Valid() {
+			m.h.items = append(m.h.items, mergeItem{it: it, idx: i})
+		}
+	}
+	heap.Init(&m.h)
+}
+
+// First positions every child at its start.
+func (m *MergeIter) First() {
+	for _, it := range m.children {
+		it.First()
+	}
+	m.rebuild(false)
+}
+
+// Last positions every child at its end; iteration proceeds backward.
+func (m *MergeIter) Last() {
+	for _, it := range m.children {
+		it.(iterator.Bidirectional).Last()
+	}
+	m.rebuild(true)
+}
+
+// SeekGE positions every child at ikey; iteration proceeds forward.
+func (m *MergeIter) SeekGE(ikey []byte) {
+	for _, it := range m.children {
+		it.SeekGE(ikey)
+	}
+	m.rebuild(false)
+}
+
+// Next advances to the successor entry, reversing direction if needed.
+func (m *MergeIter) Next() {
+	if m.err != nil || len(m.h.items) == 0 {
+		return
+	}
+	if m.reversed {
+		// Direction switch: every child must end up strictly after the
+		// current key; the winning child simply steps forward.
+		key := append([]byte(nil), m.Key()...)
+		cur := m.h.items[0].it
+		for _, child := range m.children {
+			if child == cur {
+				continue
+			}
+			child.SeekGE(key)
+			if child.Valid() && keys.Compare(child.Key(), key) == 0 {
+				child.Next()
+			}
+		}
+		cur.Next()
+		m.rebuild(false)
+		return
+	}
+	top := m.h.items[0].it
+	top.Next()
+	m.fixTop(top)
+}
+
+// Prev steps to the predecessor entry, reversing direction if needed.
+func (m *MergeIter) Prev() {
+	if m.err != nil || len(m.h.items) == 0 {
+		return
+	}
+	if !m.reversed {
+		// Direction switch: every child must end up strictly before the
+		// current key.
+		key := append([]byte(nil), m.Key()...)
+		cur := m.h.items[0].it
+		for _, child := range m.children {
+			b := child.(iterator.Bidirectional)
+			if child == cur {
+				b.Prev()
+				continue
+			}
+			b.SeekGE(key)
+			if child.Valid() {
+				b.Prev() // now strictly before key
+			} else {
+				b.Last() // everything sorts before key
+			}
+		}
+		m.rebuild(true)
+		return
+	}
+	top := m.h.items[0].it
+	top.(iterator.Bidirectional).Prev()
+	m.fixTop(top)
+}
+
+// fixTop restores the heap after the winning child moved.
+func (m *MergeIter) fixTop(top iterator.Iterator) {
+	if err := top.Err(); err != nil {
+		m.err = err
+		return
+	}
+	if top.Valid() {
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+}
+
+// Valid reports whether an entry is available.
+func (m *MergeIter) Valid() bool { return m.err == nil && len(m.h.items) > 0 }
+
+// Key returns the current winning internal key.
+func (m *MergeIter) Key() []byte { return m.h.items[0].it.Key() }
+
+// Value returns the value paired with Key.
+func (m *MergeIter) Value() []byte { return m.h.items[0].it.Value() }
+
+// Err returns the first child error.
+func (m *MergeIter) Err() error {
+	if m.err != nil {
+		return m.err
+	}
+	for _, it := range m.children {
+		if err := it.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

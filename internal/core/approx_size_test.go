@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"clsm/internal/storage"
+)
+
+func TestApproximateSize(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+	val := bytes.Repeat([]byte("v"), 200)
+	for i := 0; i < 5000; i++ {
+		db.Put([]byte(fmt.Sprintf("k%05d", i)), val)
+	}
+	if err := db.CompactRange(); err != nil {
+		t.Fatal(err)
+	}
+
+	whole := db.ApproximateSize(nil, nil)
+	if whole == 0 {
+		t.Fatal("whole-range estimate is zero")
+	}
+	half := db.ApproximateSize([]byte("k02500"), nil)
+	if half == 0 || half >= whole {
+		t.Fatalf("upper-half estimate %d vs whole %d", half, whole)
+	}
+	// Roughly proportional: the top half should be 25-75%% of the total.
+	if ratio := float64(half) / float64(whole); ratio < 0.25 || ratio > 0.75 {
+		t.Errorf("half-range ratio %.2f, expected ~0.5", ratio)
+	}
+	empty := db.ApproximateSize([]byte("zzz"), nil)
+	if empty != 0 {
+		t.Errorf("out-of-range estimate %d, want 0", empty)
+	}
+	slice := db.ApproximateSize([]byte("k01000"), []byte("k02000"))
+	if slice == 0 || slice >= whole {
+		t.Errorf("slice estimate %d out of bounds (whole %d)", slice, whole)
+	}
+}
+
+func TestSeekForPrev(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+	for _, k := range []string{"b", "d", "f"} {
+		db.Put([]byte(k), []byte("v"+k))
+	}
+	db.Delete([]byte("d"))
+	db.Put([]byte("d2"), []byte("vd2"))
+
+	it, _ := db.NewIterator()
+	defer it.Close()
+
+	cases := []struct {
+		seek string
+		want string // "" = invalid
+	}{
+		{"a", ""},   // everything sorts above
+		{"b", "b"},  // exact hit
+		{"c", "b"},  // between keys
+		{"d", "b"},  // d deleted: skip the tombstone to the predecessor
+		{"e", "d2"}, // d2 visible
+		{"z", "f"},  // past the end -> last
+	}
+
+	for _, c := range cases {
+		it.SeekForPrev([]byte(c.seek))
+		if c.want == "" {
+			if it.Valid() {
+				t.Fatalf("SeekForPrev(%q) = %q, want invalid", c.seek, it.Key())
+			}
+			continue
+		}
+		if !it.Valid() || string(it.Key()) != c.want {
+			t.Fatalf("SeekForPrev(%q) = %q (valid=%v), want %q", c.seek, it.Key(), it.Valid(), c.want)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"clsm/internal/memtable"
+	"clsm/internal/version"
+	"clsm/internal/wal"
+)
+
+// flushLoop is the merge driver for the in-memory component: it rotates the
+// memtable (beforeMerge), writes the frozen table to L0, installs the new
+// version, and retires the frozen table (afterMerge).
+func (db *DB) flushLoop() {
+	defer db.bg.Done()
+	ticker := time.NewTicker(10 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-db.closing:
+			return
+		case <-db.flushC:
+		case <-ticker.C:
+		}
+		mt := db.mem.Load()
+		if mt == nil || mt.ApproximateSize() < db.opts.MemtableSize {
+			continue
+		}
+		db.flushMu.Lock()
+		if db.imm.Load() != nil {
+			db.flushMu.Unlock()
+			continue // previous merge still in flight
+		}
+		err := db.rotateAndFlush()
+		db.flushMu.Unlock()
+		if err != nil {
+			db.setBGErr(err)
+			return
+		}
+		db.kickCompaction()
+	}
+}
+
+// rotateAndFlush performs one full memtable merge cycle. The caller holds
+// flushMu and has verified that no immutable memtable is in flight.
+func (db *DB) rotateAndFlush() error {
+	// Prepare the successor memtable and WAL outside the critical section.
+	logNum := db.versions.NewFileNum()
+	var newLogger *wal.Logger
+	if !db.opts.DisableWAL {
+		f, err := db.fs.Create(version.LogFileName(logNum))
+		if err != nil {
+			return err
+		}
+		newLogger = wal.NewLogger(f, db.opts.SyncWrites)
+	}
+	newMem := memtable.New(logNum)
+
+	// beforeMerge (Algorithm 2 lines 25-31): under the exclusive lock,
+	// freeze Pm into P'm, publish the fresh Pm, and read the merge's
+	// version-GC horizon. Pointer order matters for lock-free readers:
+	// P'm must be set before Pm is replaced.
+	db.lock.LockExclusive()
+	old := db.mem.Load()
+	db.imm.Store(old)
+	db.mem.Store(newMem)
+	oldLogger := db.log.Swap(newLogger)
+	dropBelow := db.mergeHorizonLocked()
+	db.lock.UnlockExclusive()
+
+	// Every writer that used the old memtable has released the shared
+	// lock, so the old WAL queue is complete; drain and close it.
+	if oldLogger != nil {
+		if err := oldLogger.Close(); err != nil {
+			return err
+		}
+	}
+
+	// The merge proper: frozen memtable -> L0 table(s).
+	start := time.Now()
+	edit, stats, err := db.compactor.FlushMemtable(old, dropBelow)
+	if err != nil {
+		return err
+	}
+	db.metrics.flushBytes.Add(stats.BytesWritten)
+	edit.SetLogNum(logNum)
+	edit.SetLastTS(db.oracle.Now())
+
+	// afterMerge first half: publish the new disk component (Pd).
+	if err := db.versions.LogAndApply(edit); err != nil {
+		return err
+	}
+
+	// afterMerge second half (Algorithm 1 lines 13-17): drop P'm. Readers
+	// that still hold references keep the table alive until they finish.
+	db.lock.LockExclusive()
+	db.imm.Store(nil)
+	db.lock.UnlockExclusive()
+	old.Unref()
+
+	// The frozen table's WAL is fully merged; remove it.
+	if !db.opts.DisableWAL {
+		db.fs.Remove(version.LogFileName(old.LogNum))
+	}
+
+	db.metrics.flushes.Add(1)
+	db.metrics.flushNanos.Add(int64(time.Since(start)))
+	db.wakeStalled(&db.immGone)
+	db.wakeStalled(&db.l0Relaxed)
+	return nil
+}
+
+// mergeHorizonLocked computes the timestamp below which shadowed versions
+// are invisible to every current and future observer. It must run under
+// the exclusive lock: with no put or getSnap in flight, any snapshot
+// installed later is guaranteed a timestamp at or above the current
+// counter (see DESIGN.md, correctness notes).
+func (db *DB) mergeHorizonLocked() uint64 {
+	if ts := db.oracle.MinSnapshot(); ts != 0 {
+		return ts
+	}
+	return db.oracle.Now()
+}
+
+// wakeStalled replaces and closes a broadcast channel, releasing every
+// writer parked in makeRoomForWrite. The atomic swap guarantees each
+// channel is closed exactly once even when flusher and compactors race.
+func (db *DB) wakeStalled(p *atomic.Pointer[chan struct{}]) {
+	fresh := make(chan struct{})
+	old := p.Swap(&fresh)
+	close(*old)
+}
+
+// snapshotSweepLoop reclaims snapshot handles past their TTL.
+func (db *DB) snapshotSweepLoop() {
+	defer db.bg.Done()
+	period := db.opts.SnapshotTTL / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-db.closing:
+			return
+		case now := <-ticker.C:
+			db.sweepExpiredSnapshots(now)
+		}
+	}
+}
+
+// compactLoop drives disk-component compactions. Multiple instances may
+// run (Options.CompactionThreads); a level-busy table keeps concurrent
+// compactions on disjoint level pairs, mirroring RocksDB's multi-threaded
+// compaction used in the Fig. 11 comparison.
+func (db *DB) compactLoop() {
+	defer db.bg.Done()
+	ticker := time.NewTicker(25 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-db.closing:
+			return
+		case <-db.compactC:
+		case <-ticker.C:
+		}
+		for {
+			select {
+			case <-db.closing:
+				return
+			default:
+			}
+			did, err := db.compactOnce()
+			if err != nil {
+				db.setBGErr(err)
+				return
+			}
+			if !did {
+				break
+			}
+			db.wakeStalled(&db.l0Relaxed)
+		}
+	}
+}
+
+// compactOnce picks and runs one compaction; reports whether work was done.
+func (db *DB) compactOnce() (bool, error) {
+	db.busyMu.Lock()
+	c := db.versions.PickCompactionFiltered(func(level int) bool {
+		return level < version.NumLevels && db.levelBusy[level]
+	})
+	if c == nil {
+		db.busyMu.Unlock()
+		return false, nil
+	}
+	db.markLevelsLocked(c.Level, true)
+	db.busyMu.Unlock()
+	defer func() {
+		db.busyMu.Lock()
+		db.markLevelsLocked(c.Level, false)
+		db.busyMu.Unlock()
+	}()
+	return true, db.runCompaction(c)
+}
+
+// markLevelsLocked flips the busy flags for a compaction's level pair.
+// Caller holds busyMu.
+func (db *DB) markLevelsLocked(level int, busy bool) {
+	db.levelBusy[level] = busy
+	if level+1 < version.NumLevels {
+		db.levelBusy[level+1] = busy
+	}
+}
+
+// tryLockLevels attempts to claim a level pair for a forced compaction.
+func (db *DB) tryLockLevels(level int) bool {
+	db.busyMu.Lock()
+	defer db.busyMu.Unlock()
+	if db.levelBusy[level] || (level+1 < version.NumLevels && db.levelBusy[level+1]) {
+		return false
+	}
+	db.markLevelsLocked(level, true)
+	return true
+}
+
+func (db *DB) unlockLevels(level int) {
+	db.busyMu.Lock()
+	db.markLevelsLocked(level, false)
+	db.busyMu.Unlock()
+}
+
+// runCompaction executes c and installs its edit, releasing c.
+func (db *DB) runCompaction(c *version.Compaction) error {
+	defer c.Release()
+	// The version-GC horizon must be read under the exclusive lock, the
+	// same way beforeMerge does for memtable merges.
+	db.lock.LockExclusive()
+	dropBelow := db.mergeHorizonLocked()
+	db.lock.UnlockExclusive()
+
+	edit, stats, err := db.compactor.Run(c, dropBelow)
+	if err != nil {
+		return err
+	}
+	if err := db.versions.LogAndApply(edit); err != nil {
+		return err
+	}
+	db.metrics.compactions.Add(1)
+	db.metrics.compactionBytes.Add(stats.BytesWritten)
+	return nil
+}
+
+// CompactRange forces a full sweep: flush the memtable, then push every
+// level's data down one level at a time, merging away shadowed versions.
+// Used by tools, tests, and the memory-sweep benchmark.
+func (db *DB) CompactRange() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	// Force a rotation regardless of size.
+	if db.memLen() > 0 {
+		if err := db.forceFlush(); err != nil {
+			return err
+		}
+	}
+	for level := 0; level < version.NumLevels-1; level++ {
+		for {
+			if err := db.backgroundErr(); err != nil {
+				return err
+			}
+			if !db.tryLockLevels(level) {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			c := db.versions.PickForcedCompaction(level)
+			if c == nil {
+				db.unlockLevels(level)
+				break
+			}
+			err := db.runCompaction(c)
+			db.unlockLevels(level)
+			if err != nil {
+				return err
+			}
+			break
+		}
+	}
+	return nil
+}
+
+func (db *DB) memLen() int {
+	mt := db.mem.Load()
+	if mt == nil {
+		return 0
+	}
+	return mt.Len()
+}
+
+// forceFlush synchronously rotates and flushes the current memtable, even
+// below the size threshold. It waits out an in-flight merge first.
+func (db *DB) forceFlush() error {
+	for {
+		if err := db.backgroundErr(); err != nil {
+			return err
+		}
+		db.flushMu.Lock()
+		if db.imm.Load() == nil {
+			err := db.rotateAndFlush()
+			db.flushMu.Unlock()
+			return err
+		}
+		db.flushMu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clsm/internal/cache"
+	"clsm/internal/compaction"
+	"clsm/internal/memtable"
+	"clsm/internal/oracle"
+	"clsm/internal/storage"
+	"clsm/internal/syncutil"
+	"clsm/internal/version"
+	"clsm/internal/wal"
+)
+
+// ErrClosed is returned by operations on a closed engine.
+var ErrClosed = errors.New("clsm: database closed")
+
+// DB is the cLSM engine. All methods are safe for concurrent use.
+type DB struct {
+	opts Options
+	fs   storage.FS
+
+	// lock is the paper's shared-exclusive Lock: shared by puts, RMWs and
+	// getSnap; exclusive in beforeMerge/afterMerge and atomic batches.
+	lock syncutil.SharedExclusive
+
+	oracle *oracle.Oracle
+
+	// mem and imm are the paper's Pm and P'm; versions.Current() is Pd.
+	mem atomic.Pointer[memtable.Table]
+	imm atomic.Pointer[memtable.Table]
+
+	// log is the WAL front end of the current memtable. Swapped together
+	// with mem under the exclusive lock; accessed under the shared lock.
+	log atomic.Pointer[wal.Logger]
+
+	versions  *version.Set
+	compactor *compaction.Compactor
+	blocks    *cache.Cache
+
+	// Background machinery.
+	flushC    chan struct{}
+	compactC  chan struct{}
+	flushMu   sync.Mutex // serializes memtable rotation cycles
+	closing   chan struct{}
+	bg        sync.WaitGroup
+	closed    atomic.Bool
+	bgErr     atomic.Pointer[error]
+	levelBusy [version.NumLevels]bool
+	busyMu    sync.Mutex
+
+	// immGone is broadcast (closed and replaced) whenever the immutable
+	// memtable finishes merging, waking stalled writers.
+	immGone   atomic.Pointer[chan struct{}]
+	l0Relaxed atomic.Pointer[chan struct{}]
+
+	// TTL-tracked snapshot handles (Options.SnapshotTTL).
+	snapMu   sync.Mutex
+	ttlSnaps []*Snapshot
+
+	metrics struct {
+		puts, gets, deletes, rmws, rmwRetries atomic.Uint64
+		snapshots, flushes, compactions       atomic.Uint64
+		flushBytes, compactionBytes           atomic.Uint64
+		stallNanos, flushNanos                atomic.Int64
+	}
+}
+
+// Open creates or recovers an engine.
+func Open(opts Options) (*DB, error) {
+	opts = opts.WithDefaults()
+	db := &DB{
+		opts:     opts,
+		fs:       opts.FS,
+		oracle:   oracle.New(),
+		flushC:   make(chan struct{}, 1),
+		compactC: make(chan struct{}, 1),
+		closing:  make(chan struct{}),
+	}
+	db.blocks = cache.New(opts.BlockCacheSize)
+	vs, err := version.Open(opts.FS, db.blocks, opts.Disk)
+	if err != nil {
+		return nil, err
+	}
+	db.versions = vs
+	db.compactor = compaction.NewCompactor(opts.FS, vs)
+	db.storeBroadcast(&db.immGone)
+	db.storeBroadcast(&db.l0Relaxed)
+
+	db.oracle.Advance(vs.LastTS())
+	if err := db.recoverWAL(); err != nil {
+		vs.Close()
+		return nil, err
+	}
+	if db.mem.Load() == nil {
+		if err := db.installFreshMemtable(); err != nil {
+			vs.Close()
+			return nil, err
+		}
+	}
+
+	db.bg.Add(1 + opts.CompactionThreads)
+	go db.flushLoop()
+	for i := 0; i < opts.CompactionThreads; i++ {
+		go db.compactLoop()
+	}
+	if opts.SnapshotTTL > 0 {
+		db.bg.Add(1)
+		go db.snapshotSweepLoop()
+	}
+	return db, nil
+}
+
+func (db *DB) storeBroadcast(p *atomic.Pointer[chan struct{}]) {
+	ch := make(chan struct{})
+	p.Store(&ch)
+}
+
+// installFreshMemtable creates a new WAL + memtable pair and publishes them.
+// Callers must ensure no concurrent writers (startup, or exclusive lock).
+func (db *DB) installFreshMemtable() error {
+	logNum := db.versions.NewFileNum()
+	var logger *wal.Logger
+	if !db.opts.DisableWAL {
+		f, err := db.fs.Create(version.LogFileName(logNum))
+		if err != nil {
+			return err
+		}
+		logger = wal.NewLogger(f, db.opts.SyncWrites)
+	}
+	db.mem.Store(memtable.New(logNum))
+	db.log.Store(logger)
+	return nil
+}
+
+// Close stops background work, drains the WAL, and releases every
+// resource. Pending writes are durable in the WAL and recovered on the
+// next Open.
+func (db *DB) Close() error {
+	if !db.closed.CompareAndSwap(false, true) {
+		return ErrClosed
+	}
+	close(db.closing)
+	db.bg.Wait()
+
+	var firstErr error
+	if l := db.log.Swap(nil); l != nil {
+		if err := l.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if m := db.mem.Swap(nil); m != nil {
+		m.Unref()
+	}
+	if m := db.imm.Swap(nil); m != nil {
+		m.Unref()
+	}
+	if err := db.versions.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if e := db.bgErr.Load(); e != nil && firstErr == nil {
+		firstErr = *e
+	}
+	return firstErr
+}
+
+// Oracle exposes the timestamp oracle (tests, tools).
+func (db *DB) Oracle() *oracle.Oracle { return db.oracle }
+
+// MemtableFillFraction reports how full the mutable memtable is relative
+// to its spill threshold (used by merge-aware write schedulers).
+func (db *DB) MemtableFillFraction() float64 {
+	mt := db.mem.Load()
+	if mt == nil {
+		return 0
+	}
+	return float64(mt.ApproximateSize()) / float64(db.opts.MemtableSize)
+}
+
+// MergeInFlight reports whether an immutable memtable is currently being
+// merged into the disk component.
+func (db *DB) MergeInFlight() bool { return db.imm.Load() != nil }
+
+// Metrics returns a snapshot of engine counters.
+func (db *DB) Metrics() Metrics {
+	var m Metrics
+	m.Puts = db.metrics.puts.Load()
+	m.Gets = db.metrics.gets.Load()
+	m.Deletes = db.metrics.deletes.Load()
+	m.RMWs = db.metrics.rmws.Load()
+	m.RMWRetries = db.metrics.rmwRetries.Load()
+	m.Snapshots = db.metrics.snapshots.Load()
+	m.Flushes = db.metrics.flushes.Load()
+	m.Compactions = db.metrics.compactions.Load()
+	m.FlushBytes = db.metrics.flushBytes.Load()
+	m.CompactionBytes = db.metrics.compactionBytes.Load()
+	m.StallTime = time.Duration(db.metrics.stallNanos.Load())
+	if v := db.versions.Current(); v != nil {
+		m.DiskBytes = v.SizeBytes()
+		m.DiskFiles = v.NumFiles()
+		for i := range v.Levels {
+			m.LevelSize[i] = len(v.Levels[i])
+		}
+		v.Unref()
+	}
+	return m
+}
+
+// ApproximateSize estimates the on-disk bytes holding keys in
+// [start, end) — file sizes of fully covered tables plus halves of the
+// boundary-overlapping ones. Memtable contents are excluded (they have no
+// stable on-disk representation yet).
+func (db *DB) ApproximateSize(start, end []byte) uint64 {
+	v := db.versions.Current()
+	if v == nil {
+		return 0
+	}
+	defer v.Unref()
+	return v.ApproximateSize(start, end)
+}
+
+// background error capture: a failed flush/compaction poisons the engine.
+func (db *DB) setBGErr(err error) {
+	if err != nil {
+		db.bgErr.CompareAndSwap(nil, &err)
+	}
+}
+
+func (db *DB) backgroundErr() error {
+	if e := db.bgErr.Load(); e != nil {
+		return *e
+	}
+	return nil
+}

@@ -1,0 +1,744 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clsm/internal/batch"
+	"clsm/internal/storage"
+	"clsm/internal/version"
+)
+
+func testOptions(fs storage.FS) Options {
+	return Options{
+		FS:           fs,
+		MemtableSize: 64 << 10, // small so tests exercise the merge pipeline
+		Disk: version.Options{
+			BaseLevelBytes: 256 << 10,
+			TableFileSize:  32 << 10,
+			BlockSize:      1 << 10,
+		},
+	}
+}
+
+func mustOpen(t *testing.T, fs storage.FS) *DB {
+	t.Helper()
+	db, err := Open(testOptions(fs))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return db
+}
+
+func TestPutGetDelete(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+
+	if err := db.Put([]byte("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := db.Get([]byte("k"))
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("Get = %q,%v,%v", v, ok, err)
+	}
+	if err := db.Put([]byte("k"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ = db.Get([]byte("k"))
+	if !ok || string(v) != "v2" {
+		t.Fatalf("Get after overwrite = %q,%v", v, ok)
+	}
+	if err := db.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := db.Get([]byte("k")); ok {
+		t.Fatal("deleted key still visible")
+	}
+	if _, ok, _ := db.Get([]byte("absent")); ok {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestFillFlushCompactVerify(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+
+	const n = 20000
+	val := bytes.Repeat([]byte("x"), 64)
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key%06d", i))
+		if err := db.Put(k, append(val, k...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := db.Metrics()
+	if m.Flushes == 0 {
+		t.Fatal("no flush happened despite tiny memtable")
+	}
+	// Every key must be readable through the full mem/imm/disk stack.
+	for i := 0; i < n; i += 97 {
+		k := []byte(fmt.Sprintf("key%06d", i))
+		v, ok, err := db.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("Get(%s) = %v,%v (metrics %+v)", k, ok, err, m)
+		}
+		if !bytes.HasSuffix(v, k) {
+			t.Fatalf("Get(%s) returned wrong value", k)
+		}
+	}
+	if err := db.CompactRange(); err != nil {
+		t.Fatal(err)
+	}
+	m = db.Metrics()
+	if m.Compactions == 0 {
+		t.Fatal("CompactRange did no compactions")
+	}
+	if m.LevelSize[0] > 4 {
+		t.Errorf("L0 still has %d files after full compaction", m.LevelSize[0])
+	}
+	for i := 0; i < n; i += 97 {
+		k := []byte(fmt.Sprintf("key%06d", i))
+		if _, ok, _ := db.Get(k); !ok {
+			t.Fatalf("key %s lost after compaction", k)
+		}
+	}
+}
+
+func TestOverwritesAndTombstonesAcrossFlush(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("k%03d", i))
+		db.Put(k, []byte("old"))
+	}
+	if err := db.CompactRange(); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite half, delete a quarter, then flush again.
+	for i := 0; i < 100; i += 2 {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("new"))
+	}
+	for i := 0; i < 100; i += 4 {
+		db.Delete([]byte(fmt.Sprintf("k%03d", i)))
+	}
+	if err := db.CompactRange(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("k%03d", i))
+		v, ok, _ := db.Get(k)
+		switch {
+		case i%4 == 0:
+			if ok {
+				t.Fatalf("%s should be deleted", k)
+			}
+		case i%2 == 0:
+			if !ok || string(v) != "new" {
+				t.Fatalf("%s = %q,%v want new", k, v, ok)
+			}
+		default:
+			if !ok || string(v) != "old" {
+				t.Fatalf("%s = %q,%v want old", k, v, ok)
+			}
+		}
+	}
+}
+
+func TestReopenRecoversWAL(t *testing.T) {
+	fs := storage.NewMemFS()
+	db := mustOpen(t, fs)
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	db.Delete([]byte("k0100"))
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := mustOpen(t, fs)
+	defer db2.Close()
+	for i := 0; i < 500; i++ {
+		k := []byte(fmt.Sprintf("k%04d", i))
+		v, ok, err := db2.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 100 {
+			if ok {
+				t.Fatal("tombstone lost in recovery")
+			}
+			continue
+		}
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("recovered Get(%s) = %q,%v", k, v, ok)
+		}
+	}
+}
+
+func TestReopenAfterFlushAndCompact(t *testing.T) {
+	fs := storage.NewMemFS()
+	db := mustOpen(t, fs)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("key%06d", i)), []byte(fmt.Sprintf("val%d", i)))
+	}
+	if err := db.CompactRange(); err != nil {
+		t.Fatal(err)
+	}
+	// More writes after compaction stay in the WAL.
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("fresh%03d", i)), []byte("w"))
+	}
+	db.Close()
+
+	db2 := mustOpen(t, fs)
+	defer db2.Close()
+	for i := 0; i < n; i += 131 {
+		k := []byte(fmt.Sprintf("key%06d", i))
+		v, ok, _ := db2.Get(k)
+		if !ok || string(v) != fmt.Sprintf("val%d", i) {
+			t.Fatalf("Get(%s) = %q,%v", k, v, ok)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if _, ok, _ := db2.Get([]byte(fmt.Sprintf("fresh%03d", i))); !ok {
+			t.Fatalf("post-compaction write fresh%03d lost", i)
+		}
+	}
+}
+
+func TestTruncatedWALTail(t *testing.T) {
+	fs := storage.NewMemFS()
+	db := mustOpen(t, fs)
+	for i := 0; i < 200; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	db.Close()
+
+	// Simulate a crash that tore the last few bytes of the newest WAL.
+	names, _ := fs.List()
+	for _, name := range names {
+		if kind, _, ok := version.ParseFileName(name); ok && kind == version.KindLog {
+			data, _ := fs.ReadFile(name)
+			if len(data) > 10 {
+				fs.WriteFile(name, data[:len(data)-7])
+			}
+		}
+	}
+	db2, err := Open(testOptions(fs))
+	if err != nil {
+		t.Fatalf("reopen with torn WAL: %v", err)
+	}
+	defer db2.Close()
+	// The intact prefix must be recovered.
+	found := 0
+	for i := 0; i < 200; i++ {
+		if _, ok, _ := db2.Get([]byte(fmt.Sprintf("k%03d", i))); ok {
+			found++
+		}
+	}
+	if found < 190 {
+		t.Fatalf("only %d/200 keys survived torn-tail recovery", found)
+	}
+}
+
+func TestAtomicBatch(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+	var b batch.Batch
+	b.Put([]byte("a"), []byte("1"))
+	b.Put([]byte("b"), []byte("2"))
+	b.Delete([]byte("a"))
+	if err := db.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := db.Get([]byte("a")); ok {
+		t.Fatal("batch delete did not apply last")
+	}
+	if v, ok, _ := db.Get([]byte("b")); !ok || string(v) != "2" {
+		t.Fatal("batch put lost")
+	}
+}
+
+// Snapshot isolation: a snapshot never observes writes after its creation,
+// and atomic batches are never observed torn.
+func TestSnapshotConsistency(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+
+	db.Put([]byte("x"), []byte("0"))
+	db.Put([]byte("y"), []byte("0"))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer keeps x and y equal via atomic batches
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			var b batch.Batch
+			val := []byte(fmt.Sprintf("%d", i))
+			b.Put([]byte("x"), val)
+			b.Put([]byte("y"), val)
+			if err := db.Write(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	for round := 0; round < 300; round++ {
+		snap, err := db.GetSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vx, okx, _ := snap.Get([]byte("x"))
+		vy, oky, _ := snap.Get([]byte("y"))
+		if !okx || !oky || !bytes.Equal(vx, vy) {
+			t.Fatalf("torn snapshot: x=%q(%v) y=%q(%v)", vx, okx, vy, oky)
+		}
+		// Repeated reads within a snapshot are stable.
+		vx2, _, _ := snap.Get([]byte("x"))
+		if !bytes.Equal(vx, vx2) {
+			t.Fatalf("snapshot read not repeatable: %q then %q", vx, vx2)
+		}
+		snap.Close()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSnapshotIgnoresLaterWrites(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+	db.Put([]byte("k"), []byte("before"))
+	snap, _ := db.GetSnapshot()
+	defer snap.Close()
+	db.Put([]byte("k"), []byte("after"))
+	db.Put([]byte("new"), []byte("n"))
+
+	if v, ok, _ := snap.Get([]byte("k")); !ok || string(v) != "before" {
+		t.Fatalf("snapshot sees %q", v)
+	}
+	if _, ok, _ := snap.Get([]byte("new")); ok {
+		t.Fatal("snapshot sees later insert")
+	}
+	// Live reads see the new state.
+	if v, ok, _ := db.Get([]byte("k")); !ok || string(v) != "after" {
+		t.Fatalf("live read sees %q", v)
+	}
+}
+
+func TestIteratorBasics(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	db.Delete([]byte("k050"))
+
+	it, err := db.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	count := 0
+	var last []byte
+	for it.First(); it.Valid(); it.Next() {
+		if last != nil && bytes.Compare(last, it.Key()) >= 0 {
+			t.Fatal("iterator keys not strictly ascending")
+		}
+		if string(it.Key()) == "k050" {
+			t.Fatal("iterator exposed deleted key")
+		}
+		last = append(last[:0], it.Key()...)
+		count++
+	}
+	if count != 99 {
+		t.Fatalf("iterated %d keys, want 99", count)
+	}
+
+	it.Seek([]byte("k042"))
+	if !it.Valid() || string(it.Key()) != "k042" {
+		t.Fatalf("Seek landed on %q", it.Key())
+	}
+	it.Seek([]byte("k04x"))
+	if !it.Valid() || string(it.Key()) != "k051" { // k050 deleted -> k051
+		t.Fatalf("Seek(k04x) landed on %q", it.Key())
+	}
+}
+
+func TestIteratorAcrossComponents(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+	// disk layer
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("disk"))
+	}
+	if err := db.CompactRange(); err != nil {
+		t.Fatal(err)
+	}
+	// newer versions in memtable for a subset
+	for i := 0; i < 100; i += 3 {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("mem"))
+	}
+	it, _ := db.NewIterator()
+	defer it.Close()
+	n := 0
+	for it.First(); it.Valid(); it.Next() {
+		want := "disk"
+		var idx int
+		fmt.Sscanf(string(it.Key()), "k%d", &idx)
+		if idx%3 == 0 {
+			want = "mem"
+		}
+		if string(it.Value()) != want {
+			t.Fatalf("%s = %q, want %q", it.Key(), it.Value(), want)
+		}
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("saw %d keys", n)
+	}
+}
+
+func TestRangeQuery(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+	for i := 0; i < 50; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	it, _ := db.NewIterator()
+	defer it.Close()
+	ks, _, err := it.Range([]byte("k010"), []byte("k020"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 10 || string(ks[0]) != "k010" || string(ks[9]) != "k019" {
+		t.Fatalf("Range returned %d keys [%s..]", len(ks), ks[0])
+	}
+	ks, _, _ = it.Range([]byte("k000"), nil, 5)
+	if len(ks) != 5 {
+		t.Fatalf("limited Range returned %d keys", len(ks))
+	}
+}
+
+func TestRMWCounter(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+	incr := func(old []byte, exists bool) []byte {
+		n := 0
+		if exists {
+			fmt.Sscanf(string(old), "%d", &n)
+		}
+		return []byte(fmt.Sprintf("%d", n+1))
+	}
+	const workers = 8
+	const per = 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := db.RMW([]byte("counter"), incr); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, ok, _ := db.Get([]byte("counter"))
+	if !ok {
+		t.Fatal("counter missing")
+	}
+	var got int
+	fmt.Sscanf(string(v), "%d", &got)
+	if got != workers*per {
+		t.Fatalf("counter = %d, want %d (lost RMW updates)", got, workers*per)
+	}
+}
+
+// RMW must stay atomic across memtable rotations and when the base value
+// lives on disk.
+func TestRMWAcrossFlush(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+	db.Put([]byte("acc"), []byte("0"))
+	if err := db.CompactRange(); err != nil { // value now on disk
+		t.Fatal(err)
+	}
+	incr := func(old []byte, exists bool) []byte {
+		n := 0
+		if exists {
+			fmt.Sscanf(string(old), "%d", &n)
+		}
+		return []byte(fmt.Sprintf("%d", n+1))
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // background noise to force rotations
+		defer wg.Done()
+		filler := bytes.Repeat([]byte("f"), 512)
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			db.Put([]byte(fmt.Sprintf("noise%08d", i)), filler)
+		}
+	}()
+	const workers = 4
+	const per = 200
+	var rmwWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		rmwWG.Add(1)
+		go func() {
+			defer rmwWG.Done()
+			for i := 0; i < per; i++ {
+				if err := db.RMW([]byte("acc"), incr); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	rmwWG.Wait()
+	close(stop)
+	wg.Wait()
+	v, ok, _ := db.Get([]byte("acc"))
+	if !ok {
+		t.Fatal("acc missing")
+	}
+	var got int
+	fmt.Sscanf(string(v), "%d", &got)
+	if got != workers*per {
+		t.Fatalf("acc = %d, want %d", got, workers*per)
+	}
+}
+
+func TestConcurrentReadersWritersScanners(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var writes atomic.Uint64
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i++
+				k := []byte(fmt.Sprintf("w%d-%06d", w, i))
+				if err := db.Put(k, k); err != nil {
+					t.Error(err)
+					return
+				}
+				writes.Add(1)
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := []byte(fmt.Sprintf("w0-%06d", 1))
+				if v, ok, err := db.Get(k); err != nil {
+					t.Error(err)
+					return
+				} else if ok && !bytes.Equal(v, k) {
+					t.Errorf("Get returned wrong value %q", v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			it, err := db.NewIterator()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var last []byte
+			for it.First(); it.Valid(); it.Next() {
+				if last != nil && bytes.Compare(last, it.Key()) >= 0 {
+					t.Error("scan order violation")
+					it.Close()
+					return
+				}
+				last = append(last[:0], it.Key()...)
+			}
+			if err := it.Err(); err != nil {
+				t.Error(err)
+			}
+			it.Close()
+		}
+	}()
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if err := db.backgroundErr(); err != nil {
+		t.Fatal(err)
+	}
+	if writes.Load() == 0 {
+		t.Fatal("no writes happened")
+	}
+}
+
+func TestCloseIsIdempotentAndRejectsOps(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != ErrClosed {
+		t.Fatalf("second Close = %v", err)
+	}
+	if err := db.Put([]byte("k"), []byte("v")); err != ErrClosed {
+		t.Fatalf("Put after Close = %v", err)
+	}
+	if _, _, err := db.Get([]byte("k")); err != ErrClosed {
+		t.Fatalf("Get after Close = %v", err)
+	}
+}
+
+func TestSnapshotPinsVersionsAcrossMerge(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+	db.Put([]byte("pin"), []byte("old"))
+	snap, _ := db.GetSnapshot()
+	defer snap.Close()
+
+	db.Put([]byte("pin"), []byte("new"))
+	// Force rotation+flush+compaction; the merge must keep the snapshot's
+	// version alive.
+	if err := db.CompactRange(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CompactRange(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := snap.Get([]byte("pin")); !ok || string(v) != "old" {
+		t.Fatalf("snapshot lost pinned version: %q,%v", v, ok)
+	}
+	if v, _, _ := db.Get([]byte("pin")); string(v) != "new" {
+		t.Fatalf("live read = %q", v)
+	}
+}
+
+func TestMergeDropsObsoleteVersions(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 50; i++ {
+			db.Put([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("r%d", round)))
+		}
+		if err := db.CompactRange(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After repeated full compactions with no snapshots, at most one
+	// version per key should survive on disk.
+	m := db.Metrics()
+	v := db.versions.Current()
+	defer v.Unref()
+	total := 0
+	for _, level := range v.Levels {
+		for _, f := range level {
+			total += f.Entries
+		}
+	}
+	if total > 60 { // 50 keys + slack for racing flushes
+		t.Fatalf("disk holds %d entries for 50 keys; version GC failed (metrics %+v)", total, m)
+	}
+}
+
+func TestLinearizableSnapshotOption(t *testing.T) {
+	opts := testOptions(storage.NewMemFS())
+	opts.LinearizableSnapshots = true
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.Put([]byte("k"), []byte("v1"))
+	now := db.Oracle().Now()
+	snap, _ := db.GetSnapshot()
+	defer snap.Close()
+	if snap.TS() < now {
+		t.Fatalf("linearizable snapshot ts %d below counter %d", snap.TS(), now)
+	}
+	if v, ok, _ := snap.Get([]byte("k")); !ok || string(v) != "v1" {
+		t.Fatalf("linearizable snapshot missed committed write: %q,%v", v, ok)
+	}
+}
+
+func TestDisableWAL(t *testing.T) {
+	opts := testOptions(storage.NewMemFS())
+	opts.DisableWAL = true
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 1000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok, _ := db.Get([]byte("k0500")); !ok {
+		t.Fatal("read-your-write failed with WAL disabled")
+	}
+}
+
+func TestSyncWrites(t *testing.T) {
+	fs := storage.NewMemFS()
+	opts := testOptions(fs)
+	opts.SyncWrites = true
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put([]byte("durable"), []byte("yes"))
+	db.Close()
+	db2 := mustOpen(t, fs)
+	defer db2.Close()
+	if v, ok, _ := db2.Get([]byte("durable")); !ok || string(v) != "yes" {
+		t.Fatalf("sync write lost: %q,%v", v, ok)
+	}
+}

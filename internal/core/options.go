@@ -1,0 +1,105 @@
+// Package core implements the cLSM engine: Algorithms 1–3 of the paper
+// wired to the substrates. It provides non-blocking gets, mostly
+// non-blocking puts guarded by a writer-preferring shared-exclusive lock,
+// serializable snapshot scans via the timestamp oracle, and optimistic
+// lock-free read-modify-write on the skip-list memtable.
+package core
+
+import (
+	"time"
+
+	"clsm/internal/storage"
+	"clsm/internal/version"
+)
+
+// Options configures an engine instance.
+type Options struct {
+	// FS is the storage medium. Defaults to an in-memory filesystem.
+	FS storage.FS
+
+	// MemtableSize is the soft spill threshold of the mutable memtable
+	// (the paper's default is 128 MB; the engine default is smaller so
+	// examples and tests exercise the full merge pipeline quickly).
+	MemtableSize int64
+
+	// BlockCacheSize bounds the SSTable block cache.
+	BlockCacheSize int64
+
+	// SyncWrites makes every put wait for WAL durability. The paper's
+	// (and LevelDB's) default is asynchronous logging.
+	SyncWrites bool
+
+	// DisableWAL turns logging off entirely (benchmark ablations only).
+	DisableWAL bool
+
+	// LinearizableSnapshots makes getSnap wait for a snapshot timestamp
+	// at or above the time counter observed at call time, trading
+	// blocking for linearizability (§3.2.1's variant; the default is the
+	// serializable, possibly-in-the-past snapshot).
+	LinearizableSnapshots bool
+
+	// L0SlowdownTrigger and L0StopTrigger throttle writers when L0 backs
+	// up, as in LevelDB.
+	L0SlowdownTrigger int
+	L0StopTrigger     int
+
+	// SnapshotTTL, when positive, reclaims snapshot handles the
+	// application forgot to Close after this duration (§3.2.1 of the
+	// paper); reads on a reclaimed handle fail with ErrSnapshotExpired.
+	// Zero disables the sweeper.
+	SnapshotTTL time.Duration
+
+	// CompactionThreads is the number of concurrent background
+	// compactors (1 everywhere in the paper except the RocksDB-style
+	// Fig. 11 configuration).
+	CompactionThreads int
+
+	// Disk tunes the disk component.
+	Disk version.Options
+}
+
+// WithDefaults fills unset fields.
+func (o Options) WithDefaults() Options {
+	if o.FS == nil {
+		o.FS = storage.NewMemFS()
+	}
+	if o.MemtableSize <= 0 {
+		o.MemtableSize = 4 << 20
+	}
+	if o.BlockCacheSize <= 0 {
+		o.BlockCacheSize = 32 << 20
+	}
+	if o.L0SlowdownTrigger <= 0 {
+		o.L0SlowdownTrigger = 8
+	}
+	if o.L0StopTrigger <= 0 {
+		o.L0StopTrigger = 12
+	}
+	if o.CompactionThreads <= 0 {
+		o.CompactionThreads = 1
+	}
+	o.Disk = o.Disk.WithDefaults()
+	return o
+}
+
+// Metrics exposes engine counters. All fields are cumulative.
+type Metrics struct {
+	Puts        uint64
+	Gets        uint64
+	Deletes     uint64
+	RMWs        uint64
+	RMWRetries  uint64
+	Snapshots   uint64
+	Flushes     uint64
+	Compactions uint64
+	// FlushBytes and CompactionBytes are the cumulative volumes written
+	// by memtable flushes and level compactions (write amplification =
+	// (FlushBytes+CompactionBytes) / logical bytes written).
+	FlushBytes      uint64
+	CompactionBytes uint64
+	StallTime       time.Duration
+	// Disk shape.
+	DiskBytes uint64
+	DiskFiles int
+	LevelSize [version.NumLevels]int
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"clsm/internal/keys"
+	"clsm/internal/memtable"
+	"clsm/internal/syncutil"
+)
+
+// Get returns the newest value of key, or ok=false if the key is absent or
+// deleted. Gets never block (§3.1): component pointers are read with the
+// RCU acquire protocol and searched in data-flow order Pm → P'm → Pd,
+// which is the reverse of the order the merge updates them, so a
+// concurrent rotation can at worst cause the same data to be searched
+// twice.
+func (db *DB) Get(key []byte) (value []byte, ok bool, err error) {
+	return db.GetAt(key, keys.MaxTimestamp)
+}
+
+// GetAt returns the newest value of key visible at timestamp ts (snapshot
+// reads use this with their snapshot time).
+func (db *DB) GetAt(key []byte, ts uint64) (value []byte, ok bool, err error) {
+	if db.closed.Load() {
+		return nil, false, ErrClosed
+	}
+	db.metrics.gets.Add(1)
+
+	// Pm
+	if mt := syncutil.Acquire[memtable.Table](&db.mem); mt != nil {
+		v, deleted, found := mt.Get(key, ts)
+		if found {
+			v = cloneValue(v, mt)
+			mt.Unref()
+			if deleted {
+				return nil, false, nil
+			}
+			return v, true, nil
+		}
+		mt.Unref()
+	}
+	// P'm
+	if imm := syncutil.Acquire[memtable.Table](&db.imm); imm != nil {
+		v, deleted, found := imm.Get(key, ts)
+		if found {
+			v = cloneValue(v, imm)
+			imm.Unref()
+			if deleted {
+				return nil, false, nil
+			}
+			return v, true, nil
+		}
+		imm.Unref()
+	}
+	// Pd
+	cur := db.versions.Current()
+	if cur == nil {
+		return nil, false, ErrClosed
+	}
+	defer cur.Unref()
+	v, deleted, found, err := cur.Get(keys.SeekKey(key, ts))
+	if err != nil || !found || deleted {
+		return nil, false, err
+	}
+	// SSTable values alias cached blocks, which the garbage collector
+	// keeps alive for as long as the caller holds the slice; no copy is
+	// needed.
+	return v, true, nil
+}
+
+// cloneValue copies a memtable value out before the component reference is
+// dropped. Memtable arenas are never recycled while referenced, but the
+// caller may hold the value long after the memtable is discarded; copying
+// keeps Get's contract independent of component lifetime. (Go's GC would
+// keep the arena alive through the slice; the copy bounds memory instead.)
+func cloneValue(v []byte, _ *memtable.Table) []byte {
+	if v == nil {
+		return nil
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out
+}
+
+// Has reports whether key is present (not deleted).
+func (db *DB) Has(key []byte) (bool, error) {
+	_, ok, err := db.Get(key)
+	return ok, err
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"clsm/internal/storage"
+)
+
+// Backward iteration must see exactly the forward view, reversed, across
+// all components (memtable + immutable + multiple disk levels).
+func TestIteratorBackwardMatchesForward(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+
+	rng := rand.New(rand.NewSource(17))
+	// Layer 1: deep disk data.
+	for i := 0; i < 300; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("disk"))
+	}
+	if err := db.CompactRange(); err != nil {
+		t.Fatal(err)
+	}
+	// Layer 2: L0 overwrites and deletes.
+	for i := 0; i < 300; i += 3 {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("l0"))
+	}
+	for i := 1; i < 300; i += 7 {
+		db.Delete([]byte(fmt.Sprintf("k%04d", i)))
+	}
+	if err := db.forceFlush(); err != nil {
+		t.Fatal(err)
+	}
+	// Layer 3: fresh memtable writes.
+	for i := 0; i < 300; i += 5 {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("mem"))
+	}
+	_ = rng
+
+	it, err := db.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+
+	var fwd []string
+	for it.First(); it.Valid(); it.Next() {
+		fwd = append(fwd, string(it.Key())+"="+string(it.Value()))
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	var bwd []string
+	for it.Last(); it.Valid(); it.Prev() {
+		bwd = append(bwd, string(it.Key())+"="+string(it.Value()))
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(fwd) != len(bwd) {
+		t.Fatalf("forward saw %d keys, backward %d", len(fwd), len(bwd))
+	}
+	for i := range fwd {
+		if fwd[i] != bwd[len(bwd)-1-i] {
+			t.Fatalf("mismatch at %d: fwd=%q bwd=%q", i, fwd[i], bwd[len(bwd)-1-i])
+		}
+	}
+}
+
+// Direction changes mid-iteration must be consistent.
+func TestIteratorDirectionSwitch(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+	for i := 0; i < 20; i++ {
+		db.Put([]byte(fmt.Sprintf("k%02d", i)), []byte{byte(i)})
+	}
+	db.CompactRange()
+	for i := 0; i < 20; i += 2 { // newer versions in memtable
+		db.Put([]byte(fmt.Sprintf("k%02d", i)), []byte{byte(i + 100)})
+	}
+
+	it, _ := db.NewIterator()
+	defer it.Close()
+
+	it.Seek([]byte("k10"))
+	if string(it.Key()) != "k10" {
+		t.Fatalf("Seek landed on %q", it.Key())
+	}
+	it.Next() // k11
+	it.Next() // k12
+	it.Prev() // back to k11
+	if string(it.Key()) != "k11" {
+		t.Fatalf("after Next,Next,Prev at %q", it.Key())
+	}
+	it.Prev() // k10
+	it.Prev() // k09
+	if string(it.Key()) != "k09" {
+		t.Fatalf("at %q, want k09", it.Key())
+	}
+	it.Next() // k10 again
+	if string(it.Key()) != "k10" || it.Value()[0] != 110 {
+		t.Fatalf("at %q=%v, want k10=110 (memtable version)", it.Key(), it.Value())
+	}
+	// Prev from the first key exhausts.
+	it.First()
+	it.Prev()
+	if it.Valid() {
+		t.Fatal("Prev before first key still valid")
+	}
+	// Last lands on the biggest key.
+	it.Last()
+	if string(it.Key()) != "k19" {
+		t.Fatalf("Last = %q", it.Key())
+	}
+}
+
+// Backward iteration must respect snapshots (skip too-new versions) and
+// tombstones, including keys whose only visible version is deleted.
+func TestIteratorBackwardSnapshotAndTombstones(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+	db.Put([]byte("a"), []byte("a1"))
+	db.Put([]byte("b"), []byte("b1"))
+	db.Put([]byte("c"), []byte("c1"))
+	snap, _ := db.GetSnapshot()
+	defer snap.Close()
+
+	db.Put([]byte("b"), []byte("b2")) // too new for snap
+	db.Delete([]byte("c"))            // tombstone after snap
+	db.Put([]byte("d"), []byte("d1")) // born after snap
+
+	it, err := snap.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var got []string
+	for it.Last(); it.Valid(); it.Prev() {
+		got = append(got, string(it.Key())+"="+string(it.Value()))
+	}
+	want := []string{"c=c1", "b=b1", "a=a1"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("snapshot backward = %v, want %v", got, want)
+	}
+
+	// Live view backward: b2 visible, c deleted, d present.
+	it2, _ := db.NewIterator()
+	defer it2.Close()
+	got = nil
+	for it2.Last(); it2.Valid(); it2.Prev() {
+		got = append(got, string(it2.Key())+"="+string(it2.Value()))
+	}
+	want = []string{"d=d1", "b=b2", "a=a1"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("live backward = %v, want %v", got, want)
+	}
+}
+
+// Randomized cross-check against a model map.
+func TestIteratorBackwardRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+	model := map[string]string{}
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("key%03d", rng.Intn(500))
+		switch rng.Intn(10) {
+		case 0:
+			db.Delete([]byte(k))
+			delete(model, k)
+		default:
+			v := fmt.Sprintf("v%d", i)
+			db.Put([]byte(k), []byte(v))
+			model[k] = v
+		}
+		if i%911 == 0 {
+			db.CompactRange()
+		}
+	}
+	var want []string
+	for k, v := range model {
+		want = append(want, k+"="+v)
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(want)))
+
+	it, _ := db.NewIterator()
+	defer it.Close()
+	i := 0
+	for it.Last(); it.Valid(); it.Prev() {
+		got := string(it.Key()) + "=" + string(it.Value())
+		if got != want[i] {
+			t.Fatalf("backward position %d: got %q want %q", i, got, want[i])
+		}
+		i++
+	}
+	if i != len(want) {
+		t.Fatalf("backward saw %d keys, want %d", i, len(want))
+	}
+
+	// Seek + Prev: predecessor queries.
+	for trial := 0; trial < 200; trial++ {
+		probe := fmt.Sprintf("key%03d", rng.Intn(500))
+		it.Seek([]byte(probe))
+		it.Prev()
+		// Expected: largest model key strictly below probe.
+		var exp string
+		for k := range model {
+			if k < probe && k > exp {
+				exp = k
+			}
+		}
+		if exp == "" {
+			if it.Valid() {
+				t.Fatalf("Seek(%q)+Prev = %q, want exhausted", probe, it.Key())
+			}
+			continue
+		}
+		if !it.Valid() || string(it.Key()) != exp {
+			t.Fatalf("Seek(%q)+Prev = %q (valid=%v), want %q", probe, it.Key(), it.Valid(), exp)
+		}
+	}
+}
+
+// Prev must also work when positioned via Seek at a key that exists.
+func TestSeekThenPrevAcrossComponents(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+	db.Put([]byte("apple"), []byte("1"))
+	db.CompactRange()
+	db.Put([]byte("mango"), []byte("2"))
+	db.forceFlush()
+	db.Put([]byte("zebra"), []byte("3"))
+
+	it, _ := db.NewIterator()
+	defer it.Close()
+	it.Seek([]byte("mango"))
+	if string(it.Key()) != "mango" {
+		t.Fatalf("Seek = %q", it.Key())
+	}
+	it.Prev()
+	if !it.Valid() || string(it.Key()) != "apple" {
+		t.Fatalf("Prev = %q (valid=%v)", it.Key(), it.Valid())
+	}
+	it.Next()
+	if !bytes.Equal(it.Key(), []byte("mango")) {
+		t.Fatalf("Next after Prev = %q", it.Key())
+	}
+}

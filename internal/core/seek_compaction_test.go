@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"clsm/internal/storage"
+	"clsm/internal/version"
+)
+
+// Seek-triggered compaction: a file whose gets repeatedly miss (forcing the
+// search to fall through to deeper levels) exhausts its seek allowance and
+// gets compacted even though no size trigger fires.
+func TestSeekTriggeredCompaction(t *testing.T) {
+	opts := testOptions(storage.NewMemFS())
+	opts.Disk = version.Options{
+		BaseLevelBytes:      64 << 20, // huge: no size-triggered compaction
+		TableFileSize:       32 << 10,
+		L0CompactionTrigger: 100, // L0 never triggers by count
+		AllowSeekCompaction: true,
+	}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// Build two overlapping L0 files: misses on keys present only in the
+	// second file charge the first file's seek budget.
+	for i := 0; i < 200; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("v1"))
+	}
+	if err := db.forceFlush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 100; i < 300; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("v2"))
+	}
+	if err := db.forceFlush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.level0Count(); n != 2 {
+		t.Fatalf("setup: L0 has %d files", n)
+	}
+
+	// A get that must consult BOTH files charges the first file's seek
+	// budget (it wasted a seek): absent keys inside the overlap region
+	// [100,200) range-match both files. Shrink the allowance so a handful
+	// of such gets exhausts it deterministically.
+	v := db.versions.Current()
+	v.Levels[0][0].AllowedSeeks.Store(1)
+	v.Unref()
+	for i := 0; i < 50; i++ {
+		db.Get([]byte(fmt.Sprintf("k%04dx", 100+i))) // absent, in both ranges
+	}
+	db.kickCompaction()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for db.level0Count() > 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("seek-triggered compaction never ran (L0=%d, compactions=%d)",
+				db.level0Count(), db.Metrics().Compactions)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

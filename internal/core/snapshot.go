@@ -1,0 +1,434 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"clsm/internal/compaction"
+	"clsm/internal/iterator"
+	"clsm/internal/keys"
+	"clsm/internal/memtable"
+	"clsm/internal/syncutil"
+	"clsm/internal/version"
+)
+
+// Snapshot is a consistent read-only view of the store at one timestamp
+// (Algorithm 2's getSnap). It must be released with Close when no longer
+// needed, or merges cannot reclaim the versions it pins. When
+// Options.SnapshotTTL is set, the engine reclaims forgotten handles after
+// the TTL, as the paper's §3.2.1 prescribes; an expired snapshot's reads
+// fail with ErrSnapshotExpired.
+type Snapshot struct {
+	db      *DB
+	ts      uint64
+	closed  atomic.Bool
+	expired atomic.Bool
+	created time.Time
+}
+
+// ErrSnapshotExpired is returned by reads on a snapshot reclaimed by the
+// TTL sweeper.
+var ErrSnapshotExpired = errors.New("clsm: snapshot handle expired (TTL)")
+
+// GetSnapshot acquires a snapshot handle. The snapshot is serializable: it
+// reflects the store at a single logical time, possibly slightly in the
+// past (set Options.LinearizableSnapshots for the blocking, linearizable
+// variant described in §3.2.1).
+func (db *DB) GetSnapshot() (*Snapshot, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	db.metrics.snapshots.Add(1)
+
+	var floor uint64
+	if db.opts.LinearizableSnapshots {
+		floor = db.oracle.Now()
+	}
+	db.lock.LockShared()
+	ts := db.oracle.SnapshotTS()
+	for ts < floor {
+		// Linearizable variant: insist on a snapshot no older than the
+		// counter observed at call time.
+		ts = db.oracle.SnapshotTS()
+	}
+	db.oracle.InstallSnapshot(ts)
+	db.lock.UnlockShared()
+	snap := &Snapshot{db: db, ts: ts, created: time.Now()}
+	if db.opts.SnapshotTTL > 0 {
+		db.snapMu.Lock()
+		db.ttlSnaps = append(db.ttlSnaps, snap)
+		db.snapMu.Unlock()
+	}
+	return snap, nil
+}
+
+// sweepExpiredSnapshots releases handles older than the TTL so abandoned
+// snapshots cannot pin obsolete versions forever.
+func (db *DB) sweepExpiredSnapshots(now time.Time) {
+	db.snapMu.Lock()
+	live := db.ttlSnaps[:0]
+	var expired []*Snapshot
+	for _, s := range db.ttlSnaps {
+		switch {
+		case s.closed.Load():
+			// Dropped by the application; forget it.
+		case now.Sub(s.created) > db.opts.SnapshotTTL:
+			expired = append(expired, s)
+		default:
+			live = append(live, s)
+		}
+	}
+	db.ttlSnaps = live
+	db.snapMu.Unlock()
+	for _, s := range expired {
+		if s.closed.CompareAndSwap(false, true) {
+			s.expired.Store(true)
+			db.oracle.ReleaseSnapshot(s.ts)
+		}
+	}
+}
+
+// TS exposes the snapshot timestamp (tests, tools).
+func (s *Snapshot) TS() uint64 { return s.ts }
+
+// Get reads key as of the snapshot.
+func (s *Snapshot) Get(key []byte) (value []byte, ok bool, err error) {
+	if err := s.usable(); err != nil {
+		return nil, false, err
+	}
+	return s.db.GetAt(key, s.ts)
+}
+
+// NewIterator returns an iterator over the snapshot's visible state.
+func (s *Snapshot) NewIterator() (*Iterator, error) {
+	if err := s.usable(); err != nil {
+		return nil, err
+	}
+	return s.db.newIterator(s.ts)
+}
+
+func (s *Snapshot) usable() error {
+	if s.closed.Load() {
+		if s.expired.Load() {
+			return ErrSnapshotExpired
+		}
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close releases the snapshot handle so merges may garbage-collect the
+// versions it pinned. Closing an already-expired handle is a no-op.
+func (s *Snapshot) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		s.db.oracle.ReleaseSnapshot(s.ts)
+	}
+}
+
+// NewIterator returns an iterator over the current state of the store.
+// Internally it is a snapshot scan at an implicit snapshot, released when
+// the iterator is closed.
+func (db *DB) NewIterator() (*Iterator, error) {
+	snap, err := db.GetSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	it, err := db.newIterator(snap.ts)
+	if err != nil {
+		snap.Close()
+		return nil, err
+	}
+	it.ownedSnap = snap
+	return it, nil
+}
+
+// Iterator walks user keys in ascending order, exposing for each key the
+// newest version visible at the iterator's snapshot time and hiding
+// deletion markers. It holds references on every component it reads; Close
+// releases them.
+type Iterator struct {
+	db        *DB
+	ts        uint64
+	merge     *compaction.MergeIter
+	mem, imm  *memtable.Table
+	ver       *version.Version
+	ownedSnap *Snapshot
+
+	key    []byte
+	value  []byte
+	valid  bool
+	err    error
+	closed bool
+	// dirBack records that the merged cursor was last moved backward: it
+	// then rests at (or below) the entry preceding the emitted key, so a
+	// direction change to Next must reseek past the current user key.
+	dirBack bool
+}
+
+// newIterator captures component references and builds the merged view.
+func (db *DB) newIterator(ts uint64) (*Iterator, error) {
+	it := &Iterator{db: db, ts: ts}
+	var children []iterator.Iterator
+
+	// Capture in data-flow order, matching Get's traversal argument.
+	it.mem = syncutil.Acquire[memtable.Table](&db.mem)
+	if it.mem != nil {
+		children = append(children, it.mem.NewIterator())
+	}
+	it.imm = syncutil.Acquire[memtable.Table](&db.imm)
+	if it.imm != nil {
+		children = append(children, it.imm.NewIterator())
+	}
+	it.ver = db.versions.Current()
+	if it.ver != nil {
+		var err error
+		children, err = it.ver.Iterators(children)
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+	}
+	it.merge = compaction.NewMergeIter(children)
+	return it, nil
+}
+
+// First positions at the smallest visible user key.
+func (it *Iterator) First() {
+	if it.closed {
+		return
+	}
+	it.merge.First()
+	it.settle(nil)
+}
+
+// Seek positions at the first visible user key >= key.
+func (it *Iterator) Seek(key []byte) {
+	if it.closed {
+		return
+	}
+	it.merge.SeekGE(keys.SeekKey(key, it.ts))
+	it.settle(nil)
+}
+
+// Next advances to the next visible user key.
+func (it *Iterator) Next() {
+	if it.closed || !it.valid {
+		return
+	}
+	prev := it.key
+	if it.dirBack {
+		// Direction change: the merged cursor sits at or below the
+		// current key. (key, ts=0, kind=0) sorts after every real version
+		// of key — timestamps start at 1 — so this seek lands on the
+		// first entry strictly past the current user key.
+		it.merge.SeekGE(keys.Make(prev, 0, keys.Kind(0)))
+		it.settle(prev)
+		return
+	}
+	it.merge.Next()
+	it.settle(prev)
+}
+
+// SeekForPrev positions at the largest visible user key <= key (RocksDB's
+// SeekForPrev): the natural entry point for descending range queries.
+func (it *Iterator) SeekForPrev(key []byte) {
+	if it.closed {
+		return
+	}
+	it.Seek(key)
+	if !it.valid {
+		// Everything visible sorts below key (or the store is empty).
+		it.Last()
+		return
+	}
+	if !bytes.Equal(it.key, key) {
+		it.Prev()
+	}
+}
+
+// Last positions at the largest visible user key.
+func (it *Iterator) Last() {
+	if it.closed {
+		return
+	}
+	it.merge.Last()
+	it.settleBackward()
+}
+
+// Prev retreats to the previous visible user key.
+func (it *Iterator) Prev() {
+	if it.closed || !it.valid {
+		return
+	}
+	cur := it.key
+	if !it.dirBack {
+		// The merged cursor rests on the emitted entry; step it strictly
+		// before the current user key.
+		for it.merge.Valid() && bytes.Equal(keys.UserKey(it.merge.Key()), cur) {
+			it.merge.Prev()
+		}
+	}
+	it.settleBackward()
+}
+
+// settleBackward walks the merged cursor backward to the previous visible
+// user key. Moving backward, a user key's versions arrive oldest first, so
+// the candidate version is continually replaced by each newer visible one
+// until the key group ends; tombstoned and fully-too-new groups are
+// skipped.
+func (it *Iterator) settleBackward() {
+	var (
+		candUK   []byte
+		candVal  []byte
+		candKind keys.Kind
+		have     bool
+	)
+	emit := func() bool {
+		if have && candKind != keys.KindDelete {
+			it.key = candUK
+			it.value = candVal
+			it.valid = true
+			it.dirBack = true
+			return true
+		}
+		return false
+	}
+	for it.merge.Valid() {
+		ik := it.merge.Key()
+		uk, ets, kind, ok := keys.Decode(ik)
+		if !ok {
+			it.fail()
+			return
+		}
+		if have && !bytes.Equal(uk, candUK) {
+			// The group for candUK is complete; the cursor already sits
+			// on the next (smaller) user key, ready for a further Prev.
+			if emit() {
+				return
+			}
+			have = false // group was deleted/invisible: keep walking
+		}
+		if ets <= it.ts {
+			// Newer visible version than any seen in this group so far.
+			candUK = append([]byte(nil), uk...)
+			candVal = it.merge.Value()
+			candKind = kind
+			have = true
+		}
+		it.merge.Prev()
+	}
+	if err := it.merge.Err(); err != nil {
+		it.err = err
+		it.valid = false
+		return
+	}
+	if emit() {
+		return
+	}
+	it.valid = false
+}
+
+// settle advances the merged cursor to the newest visible version of the
+// next undecided user key, skipping versions newer than the snapshot,
+// older shadowed versions, duplicate entries from overlapping components,
+// and tombstones.
+func (it *Iterator) settle(skipUK []byte) {
+	var decided []byte
+	haveDecided := false
+	if skipUK != nil {
+		decided = skipUK
+		haveDecided = true
+	}
+	for it.merge.Valid() {
+		ik := it.merge.Key()
+		uk, ets, kind, ok := keys.Decode(ik)
+		if !ok {
+			it.fail()
+			return
+		}
+		if haveDecided && bytes.Equal(uk, decided) {
+			it.merge.Next()
+			continue
+		}
+		if ets > it.ts {
+			// Version too new for this snapshot; an older one may follow.
+			it.merge.Next()
+			continue
+		}
+		// Newest visible version of uk decides the key's fate.
+		decided = append([]byte(nil), uk...)
+		haveDecided = true
+		if kind == keys.KindDelete {
+			it.merge.Next()
+			continue
+		}
+		it.key = decided
+		it.value = it.merge.Value()
+		it.valid = true
+		it.dirBack = false
+		return
+	}
+	if err := it.merge.Err(); err != nil {
+		it.err = err
+	}
+	it.valid = false
+}
+
+func (it *Iterator) fail() {
+	it.err = keys.ErrCorruptKey
+	it.valid = false
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iterator) Valid() bool { return !it.closed && it.valid }
+
+// Key returns the current user key. The slice is stable until Close.
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current value. Stable until Close.
+func (it *Iterator) Value() []byte { return it.value }
+
+// Err returns the first error encountered.
+func (it *Iterator) Err() error { return it.err }
+
+// Close releases component references (and the implicit snapshot for
+// iterators created directly from the DB).
+func (it *Iterator) Close() {
+	if it.closed {
+		return
+	}
+	it.closed = true
+	it.valid = false
+	if it.mem != nil {
+		it.mem.Unref()
+	}
+	if it.imm != nil {
+		it.imm.Unref()
+	}
+	if it.ver != nil {
+		it.ver.Unref()
+	}
+	if it.ownedSnap != nil {
+		it.ownedSnap.Close()
+	}
+}
+
+// Range copies up to limit visible pairs with keys in [start, end) as of
+// the iterator's snapshot. A nil end means "to the last key"; limit <= 0
+// means no bound. It is a convenience wrapper over Seek/Next used by the
+// range-query benchmarks (§5.1's scan workload).
+func (it *Iterator) Range(start, end []byte, limit int) (ks, vs [][]byte, err error) {
+	for it.Seek(start); it.Valid(); it.Next() {
+		if end != nil && bytes.Compare(it.Key(), end) >= 0 {
+			break
+		}
+		ks = append(ks, append([]byte(nil), it.Key()...))
+		vs = append(vs, append([]byte(nil), it.Value()...))
+		if limit > 0 && len(ks) >= limit {
+			break
+		}
+	}
+	return ks, vs, it.Err()
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"clsm/internal/storage"
+)
+
+func TestSnapshotTTLExpiry(t *testing.T) {
+	opts := testOptions(storage.NewMemFS())
+	opts.SnapshotTTL = 50 * time.Millisecond
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	db.Put([]byte("k"), []byte("v"))
+	snap, err := db.GetSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := snap.Get([]byte("k")); err != nil || !ok {
+		t.Fatalf("fresh snapshot read failed: %v %v", ok, err)
+	}
+
+	// Wait past the TTL; the sweeper must reclaim the handle.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, err := snap.Get([]byte("k")); err == ErrSnapshotExpired {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("snapshot never expired")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The oracle must have released the handle so merges can reclaim.
+	if m := db.Oracle().MinSnapshot(); m != 0 {
+		t.Fatalf("expired snapshot still installed (min=%d)", m)
+	}
+	// Closing an expired handle is a harmless no-op.
+	snap.Close()
+	if _, _, err := snap.Get([]byte("k")); err != ErrSnapshotExpired {
+		t.Fatalf("post-close error = %v, want ErrSnapshotExpired", err)
+	}
+}
+
+func TestSnapshotTTLDoesNotExpireClosed(t *testing.T) {
+	opts := testOptions(storage.NewMemFS())
+	opts.SnapshotTTL = 20 * time.Millisecond
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	snap, _ := db.GetSnapshot()
+	snap.Close() // user closed before TTL
+	time.Sleep(80 * time.Millisecond)
+	// Registry must have been drained and the error must stay ErrClosed,
+	// not ErrSnapshotExpired.
+	if _, _, err := snap.Get([]byte("k")); err != ErrClosed {
+		t.Fatalf("error = %v, want ErrClosed", err)
+	}
+	db.snapMu.Lock()
+	n := len(db.ttlSnaps)
+	db.snapMu.Unlock()
+	if n != 0 {
+		t.Fatalf("ttl registry holds %d stale handles", n)
+	}
+}
+
+func TestSnapshotWithoutTTLNeverExpires(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+	db.Put([]byte("k"), []byte("v"))
+	snap, _ := db.GetSnapshot()
+	defer snap.Close()
+	time.Sleep(50 * time.Millisecond)
+	if _, ok, err := snap.Get([]byte("k")); err != nil || !ok {
+		t.Fatalf("TTL-less snapshot failed: %v %v", ok, err)
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clsm/internal/storage"
+)
+
+// TestStressSoak runs all operation types at full concurrency for a few
+// seconds, checking invariants throughout. Skipped under -short.
+func TestStressSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+
+	const dur = 3 * time.Second
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var fail atomic.Bool
+
+	// Invariant A: keys "inv:N" always hold a value equal to their key
+	// (writers re-put the same contract; readers verify).
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := []byte(fmt.Sprintf("inv:%03d", rng.Intn(200)))
+				if err := db.Put(k, k); err != nil {
+					t.Error(err)
+					fail.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := []byte(fmt.Sprintf("inv:%03d", rng.Intn(200)))
+			v, ok, err := db.Get(k)
+			if err != nil {
+				t.Error(err)
+				fail.Store(true)
+				return
+			}
+			if ok && !bytes.Equal(v, k) {
+				t.Errorf("invariant broken: %s holds %q", k, v)
+				fail.Store(true)
+				return
+			}
+		}
+	}()
+
+	// Invariant B: RMW counter increments are never lost (verified at end).
+	var rmwOps atomic.Int64
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := db.RMW([]byte("soak:counter"), func(old []byte, exists bool) []byte {
+					var n int64
+					if exists {
+						fmt.Sscanf(string(old), "%d", &n)
+					}
+					return []byte(fmt.Sprintf("%d", n+1))
+				})
+				if err != nil {
+					t.Error(err)
+					fail.Store(true)
+					return
+				}
+				rmwOps.Add(1)
+			}
+		}()
+	}
+
+	// Invariant C: scans are sorted and tear-free snapshots.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			it, err := db.NewIterator()
+			if err != nil {
+				t.Error(err)
+				fail.Store(true)
+				return
+			}
+			var prev []byte
+			for it.First(); it.Valid(); it.Next() {
+				if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+					t.Error("scan order violated")
+					fail.Store(true)
+					it.Close()
+					return
+				}
+				prev = append(prev[:0], it.Key()...)
+			}
+			if err := it.Err(); err != nil {
+				t.Error(err)
+				fail.Store(true)
+			}
+			it.Close()
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	// Churn: bulk filler traffic to drive flushes and compactions.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		filler := bytes.Repeat([]byte("f"), 256)
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			if err := db.Put([]byte(fmt.Sprintf("fill:%08d", i)), filler); err != nil {
+				t.Error(err)
+				fail.Store(true)
+				return
+			}
+		}
+	}()
+
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	if fail.Load() {
+		t.Fatal("soak failed")
+	}
+
+	// Verify invariant B.
+	v, ok, err := db.Get([]byte("soak:counter"))
+	if err != nil || !ok {
+		t.Fatalf("counter missing: %v %v", ok, err)
+	}
+	var got int64
+	fmt.Sscanf(string(v), "%d", &got)
+	if got != rmwOps.Load() {
+		t.Fatalf("counter = %d, want %d (lost RMW updates)", got, rmwOps.Load())
+	}
+	m := db.Metrics()
+	if m.Flushes == 0 || m.Compactions == 0 {
+		t.Fatalf("soak did not exercise the merge pipeline: %+v", m)
+	}
+	if err := db.backgroundErr(); err != nil {
+		t.Fatal(err)
+	}
+}

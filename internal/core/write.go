@@ -1,0 +1,288 @@
+package core
+
+import (
+	"time"
+
+	"clsm/internal/batch"
+	"clsm/internal/keys"
+	"clsm/internal/memtable"
+)
+
+// Put stores (key, value). It follows Algorithm 2's put: acquire the
+// shared lock, draw a timestamp (registering it in the Active set), log,
+// insert into the mutable memtable, release the timestamp, unlock.
+func (db *DB) Put(key, value []byte) error {
+	return db.write(key, value, keys.KindValue)
+}
+
+// Delete removes key by writing a deletion marker (the paper's ⊥).
+func (db *DB) Delete(key []byte) error {
+	return db.write(key, nil, keys.KindDelete)
+}
+
+func (db *DB) write(key, value []byte, kind keys.Kind) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if err := db.backgroundErr(); err != nil {
+		return err
+	}
+	if err := db.makeRoomForWrite(); err != nil {
+		return err
+	}
+
+	db.lock.LockShared()
+	mt := db.mem.Load()
+	logger := db.log.Load()
+
+	ts, slot := db.oracle.GetTS()
+	if logger != nil {
+		var b batch.Batch
+		if kind == keys.KindDelete {
+			b.Delete(key)
+		} else {
+			b.Put(key, value)
+		}
+		b.SetTimestamps(ts)
+		if err := logger.Append(b.Encode(nil)); err != nil {
+			db.oracle.Done(slot)
+			db.lock.UnlockShared()
+			return err
+		}
+	}
+	mt.Add(key, ts, kind, value)
+	db.oracle.Done(slot)
+	db.lock.UnlockShared()
+
+	if kind == keys.KindDelete {
+		db.metrics.deletes.Add(1)
+	} else {
+		db.metrics.puts.Add(1)
+	}
+	db.maybeTriggerFlush(mt)
+	return nil
+}
+
+// Write applies a batch atomically. Like LevelDB (and cLSM, §4), atomic
+// batches take the coarse path: the exclusive lock serializes them against
+// all puts and snapshot acquisitions, so the batch's contiguous timestamp
+// range is exposed all-or-nothing.
+func (db *DB) Write(b *batch.Batch) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if err := db.backgroundErr(); err != nil {
+		return err
+	}
+	if b.Len() == 0 {
+		return nil
+	}
+	if err := db.makeRoomForWrite(); err != nil {
+		return err
+	}
+
+	db.lock.LockExclusive()
+	mt := db.mem.Load()
+	logger := db.log.Load()
+
+	first, slot := db.oracle.GetTSBatch(uint64(b.Len()))
+	b.SetTimestamps(first)
+	if logger != nil {
+		if err := logger.Append(b.Encode(nil)); err != nil {
+			db.oracle.Done(slot)
+			db.lock.UnlockExclusive()
+			return err
+		}
+	}
+	for _, e := range b.Entries() {
+		mt.Add(e.Key, e.TS, e.Kind, e.Value)
+	}
+	db.oracle.Done(slot)
+	db.lock.UnlockExclusive()
+
+	db.metrics.puts.Add(uint64(b.Len()))
+	db.maybeTriggerFlush(mt)
+	return nil
+}
+
+// RMW atomically replaces the value of key with f(current). f receives the
+// current value (nil, false if the key is absent or deleted) and returns
+// the value to store. The implementation is Algorithm 3: optimistic,
+// non-blocking, with conflicts detected on the skip list and retried.
+func (db *DB) RMW(key []byte, f func(old []byte, exists bool) []byte) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if err := db.backgroundErr(); err != nil {
+		return err
+	}
+	if err := db.makeRoomForWrite(); err != nil {
+		return err
+	}
+
+	db.lock.LockShared()
+	defer db.lock.UnlockShared()
+	mt := db.mem.Load()
+	logger := db.log.Load()
+
+	for attempt := 0; ; attempt++ {
+		// Read step (Alg. 3 line 4): newest version across Pm, P'm, Pd.
+		val, readTS, exists, err := db.readLatestLocked(mt, key)
+		if err != nil {
+			return err
+		}
+		newVal := f(val, exists)
+
+		ts, slot := db.oracle.GetTS()
+		if mt.InsertRMW(key, ts, newVal, readTS) {
+			if logger != nil {
+				var b batch.Batch
+				b.Put(key, newVal)
+				b.SetTimestamps(ts)
+				if err := logger.Append(b.Encode(nil)); err != nil {
+					db.oracle.Done(slot)
+					return err
+				}
+			}
+			db.oracle.Done(slot)
+			db.metrics.rmws.Add(1)
+			db.metrics.rmwRetries.Add(uint64(attempt))
+			db.maybeTriggerFlush(mt)
+			return nil
+		}
+		// Conflict (Alg. 3 line 13): release the timestamp and restart.
+		db.oracle.Done(slot)
+	}
+}
+
+// readLatestLocked returns the newest version of key and its timestamp.
+// The caller holds the shared lock, so the memtable cannot rotate and any
+// conflicting concurrent write must land in mt.
+func (db *DB) readLatestLocked(mt *memtable.Table, key []byte) (value []byte, readTS uint64, exists bool, err error) {
+	if v, vts, deleted, found := mt.GetWithTS(key, keys.MaxTimestamp); found {
+		return v, vts, !deleted, nil
+	}
+	if imm := db.imm.Load(); imm != nil {
+		if v, vts, deleted, found := imm.GetWithTS(key, keys.MaxTimestamp); found {
+			return v, vts, !deleted, nil
+		}
+	}
+	cur := db.versions.Current()
+	if cur == nil {
+		return nil, 0, false, ErrClosed
+	}
+	defer cur.Unref()
+	v, deleted, found, err := cur.Get(keys.SeekKey(key, keys.MaxTimestamp))
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if !found || deleted {
+		return nil, 0, false, nil
+	}
+	// The read was served by a component other than Pm. Every Pm version
+	// of the key is strictly newer than what we read (rotation is a write
+	// barrier and the shared lock is held), so "a version newer than ours
+	// appeared in Pm" is exactly "any version of the key is in Pm" — a
+	// conflict baseline of 0 encodes that. A retry then re-reads through
+	// Pm and adopts the interfering version.
+	return v, 0, true, nil
+}
+
+// maybeTriggerFlush signals the flusher when the mutable memtable crosses
+// its soft limit.
+func (db *DB) maybeTriggerFlush(mt *memtable.Table) {
+	if mt.ApproximateSize() >= db.opts.MemtableSize {
+		select {
+		case db.flushC <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// makeRoomForWrite implements the paper's only put-side blocking: when the
+// mutable memtable is full but the previous one is still being merged, or
+// when L0 backs up, the writer waits outside the lock (never inside, which
+// would deadlock the merge's exclusive acquisition).
+func (db *DB) makeRoomForWrite() error {
+	slowed := false
+	for {
+		select {
+		case <-db.closing:
+			return ErrClosed
+		default:
+		}
+		if err := db.backgroundErr(); err != nil {
+			return err
+		}
+
+		l0 := db.level0Count()
+		switch {
+		case !slowed && l0 >= db.opts.L0SlowdownTrigger && l0 < db.opts.L0StopTrigger:
+			// Soft backpressure: one millisecond, once, as in LevelDB.
+			start := time.Now()
+			time.Sleep(time.Millisecond)
+			db.metrics.stallNanos.Add(int64(time.Since(start)))
+			db.kickCompaction()
+			slowed = true
+			continue
+		case l0 >= db.opts.L0StopTrigger:
+			start := time.Now()
+			ch := *db.l0Relaxed.Load()
+			db.kickCompaction()
+			select {
+			case <-ch:
+			case <-db.closing:
+				return ErrClosed
+			case <-time.After(10 * time.Millisecond):
+			}
+			db.metrics.stallNanos.Add(int64(time.Since(start)))
+			continue
+		}
+
+		mt := db.mem.Load()
+		if mt == nil {
+			return ErrClosed
+		}
+		if mt.ApproximateSize() < db.opts.MemtableSize {
+			return nil
+		}
+		// Mutable memtable is full.
+		if db.imm.Load() == nil {
+			// Rotation is pending; the flusher will pick it up. Writing
+			// into the (soft-limited) full memtable is allowed.
+			select {
+			case db.flushC <- struct{}{}:
+			default:
+			}
+			return nil
+		}
+		// Both memtables full: wait for the in-flight merge (the paper's
+		// "blocks puts for short periods ... before batch I/Os").
+		start := time.Now()
+		ch := *db.immGone.Load()
+		select {
+		case <-ch:
+		case <-db.closing:
+			return ErrClosed
+		case <-time.After(10 * time.Millisecond):
+		}
+		db.metrics.stallNanos.Add(int64(time.Since(start)))
+	}
+}
+
+func (db *DB) level0Count() int {
+	v := db.versions.Current()
+	if v == nil {
+		return 0
+	}
+	n := len(v.Levels[0])
+	v.Unref()
+	return n
+}
+
+func (db *DB) kickCompaction() {
+	select {
+	case db.compactC <- struct{}{}:
+	default:
+	}
+}

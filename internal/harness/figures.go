@@ -1,0 +1,560 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"clsm/internal/baseline"
+	"clsm/internal/core"
+	"clsm/internal/storage"
+	"clsm/internal/version"
+	"clsm/internal/workload"
+)
+
+// Scale bundles the dataset/duration knobs of an experiment run. The paper
+// uses a 150 GB dataset on a 16-core Xeon; Full approximates its shape on
+// one machine, Small finishes a figure in tens of seconds, and Smoke keeps
+// unit tests and `go test -bench` fast.
+type Scale struct {
+	Name         string
+	KeySpace     int64
+	Preload      int64
+	Duration     time.Duration
+	MemtableSize int64
+	BlockCache   int64
+	BaseLevel    int64
+	TableFile    int64
+	Threads      []int // write/mixed thread ladder (paper: 1..16)
+	ReadThreads  []int // read thread ladder (paper: 1..128)
+}
+
+// Predefined scales.
+var (
+	// Smoke is for tests and testing.B benchmarks.
+	Smoke = Scale{
+		Name: "smoke", KeySpace: 40_000, Preload: 20_000,
+		Duration:     150 * time.Millisecond,
+		MemtableSize: 1 << 20, BlockCache: 8 << 20,
+		BaseLevel: 512 << 10, TableFile: 128 << 10,
+		Threads:     []int{1, 4},
+		ReadThreads: []int{1, 4, 16},
+	}
+	// Small regenerates every figure in a few minutes.
+	Small = Scale{
+		Name: "small", KeySpace: 2_000_000, Preload: 400_000,
+		Duration:     2 * time.Second,
+		MemtableSize: 16 << 20, BlockCache: 128 << 20,
+		BaseLevel: 8 << 20, TableFile: 2 << 20,
+		Threads:     []int{1, 2, 4, 8, 16},
+		ReadThreads: []int{1, 2, 4, 8, 16, 32, 64, 128},
+	}
+	// Full approximates the paper's configuration (128 MB memtables,
+	// deeper thread ladders, longer measurement windows).
+	Full = Scale{
+		Name: "full", KeySpace: 50_000_000, Preload: 10_000_000,
+		Duration:     10 * time.Second,
+		MemtableSize: 128 << 20, BlockCache: 1 << 30,
+		BaseLevel: 64 << 20, TableFile: 8 << 20,
+		Threads:     []int{1, 2, 4, 8, 16},
+		ReadThreads: []int{1, 2, 4, 8, 16, 32, 64, 128},
+	}
+)
+
+// ScaleByName resolves a preset.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "smoke":
+		return Smoke, nil
+	case "small", "":
+		return Small, nil
+	case "full":
+		return Full, nil
+	}
+	return Scale{}, fmt.Errorf("harness: unknown scale %q (smoke|small|full)", name)
+}
+
+// CoreOptions builds engine options matching the scale, on a fresh
+// in-memory filesystem (exported for external benchmarks).
+func (sc Scale) CoreOptions() core.Options { return sc.coreOptions(nil) }
+
+func (sc Scale) coreOptions(fs storage.FS) core.Options {
+	if fs == nil {
+		fs = storage.NewMemFS()
+	}
+	return core.Options{
+		FS:             fs,
+		MemtableSize:   sc.MemtableSize,
+		BlockCacheSize: sc.BlockCache,
+		Disk: version.Options{
+			BaseLevelBytes:  sc.BaseLevel,
+			TableFileSize:   sc.TableFile,
+			BloomBitsPerKey: 10,
+		},
+	}
+}
+
+// Point is one measurement of one store.
+type Point struct {
+	X          float64 // thread count, MB, etc.
+	Throughput float64 // ops/sec (or keys/sec where the figure says so)
+	P90        time.Duration
+}
+
+// Series is one store's curve.
+type Series struct {
+	Store  string
+	Points []Point
+}
+
+// Figure is a regenerated table/figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// WriteTable renders the figure as the tabular equivalent of the paper's
+// plot: one row per X value, one column per store.
+func (f Figure) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s: %s ==\n", f.ID, f.Title)
+	fmt.Fprintf(w, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "%18s", s.Store)
+	}
+	fmt.Fprintf(w, "    (%s)\n", f.YLabel)
+	if len(f.Series) == 0 {
+		return
+	}
+	for i := range f.Series[0].Points {
+		fmt.Fprintf(w, "%-12g", f.Series[0].Points[i].X)
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				fmt.Fprintf(w, "%18s", FormatThroughput(s.Points[i].Throughput))
+			} else {
+				fmt.Fprintf(w, "%18s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteLatencyTable renders the throughput-vs-latency view (Figs. 5b, 6b).
+func (f Figure) WriteLatencyTable(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s: %s — 90th percentile latency ==\n", f.ID, f.Title)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "%s:\n", s.Store)
+		for _, p := range s.Points {
+			lat := "-"
+			if p.P90 > 0 {
+				lat = p.P90.Round(time.Microsecond).String()
+			}
+			fmt.Fprintf(w, "  %3g threads  %10s Kops/s  p90=%s\n",
+				p.X, FormatThroughput(p.Throughput), lat)
+		}
+	}
+}
+
+// runLadder measures one store model across a thread ladder.
+func runLadder(name baseline.Name, sc Scale, threads []int, mix workload.Mix,
+	wcfg workload.Config, preload int64, opts core.Options) (Series, error) {
+
+	series := Series{Store: string(name)}
+	for _, th := range threads {
+		s, err := baseline.New(name, opts)
+		if err != nil {
+			return series, err
+		}
+		if preload > 0 {
+			if err := Preload(s, wcfg, preload, 8); err != nil {
+				s.Close()
+				return series, err
+			}
+		}
+		res, err := Run(s, Spec{
+			Threads:  th,
+			Duration: sc.Duration,
+			Mix:      mix,
+			Workload: wcfg,
+			Seed:     int64(th) * 31,
+		})
+		cerr := s.Close()
+		if err != nil {
+			return series, err
+		}
+		if cerr != nil {
+			return series, cerr
+		}
+		tput := res.Throughput()
+		if mix.ScanRatio > 0 {
+			tput = res.KeysPerSec()
+		}
+		series.Points = append(series.Points, Point{
+			X:          float64(th),
+			Throughput: tput,
+			P90:        res.Hist.Quantile(0.90),
+		})
+	}
+	return series, nil
+}
+
+// runModels measures several models over the same ladder. Each model gets
+// a fresh filesystem via mkOpts.
+func runModels(models []baseline.Name, sc Scale, threads []int, mix workload.Mix,
+	wcfg workload.Config, preload int64, mkOpts func(baseline.Name) core.Options) (*Figure, error) {
+
+	fig := &Figure{}
+	for _, name := range models {
+		s, err := runLadder(name, sc, threads, mix, wcfg, preload, mkOpts(name))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+func defaultMkOpts(sc Scale) func(baseline.Name) core.Options {
+	return func(baseline.Name) core.Options { return sc.coreOptions(nil) }
+}
+
+// Fig5 reproduces Fig. 5: 100 % uniform writes, 8 B keys / 256 B values,
+// throughput and 90th-percentile latency per thread count.
+func Fig5(sc Scale) (*Figure, error) {
+	wcfg := workload.Config{
+		KeySpace: sc.KeySpace, KeySize: 8, ValueSize: 256, Dist: workload.Uniform,
+	}
+	fig, err := runModels(baseline.AllModels, sc, sc.Threads,
+		workload.Mix{}, wcfg, 0, defaultMkOpts(sc))
+	if err != nil {
+		return nil, err
+	}
+	fig.ID, fig.Title = "fig5", "Write performance (100% put, uniform keys)"
+	fig.XLabel, fig.YLabel = "threads", "Kops/s"
+	return fig, nil
+}
+
+// Fig6 reproduces Fig. 6: 100 % reads with locality (90 % of accesses on
+// 10 % of the data), thread ladder up to 128.
+func Fig6(sc Scale) (*Figure, error) {
+	wcfg := workload.Config{
+		KeySpace: sc.Preload, KeySize: 8, ValueSize: 256, Dist: workload.Hotspot,
+	}
+	fig, err := runModels(baseline.AllModels, sc, sc.ReadThreads,
+		workload.Mix{GetRatio: 1}, wcfg, sc.Preload, defaultMkOpts(sc))
+	if err != nil {
+		return nil, err
+	}
+	fig.ID, fig.Title = "fig6", "Read performance (100% get, 90/10 hotspot)"
+	fig.XLabel, fig.YLabel = "threads", "Kops/s"
+	return fig, nil
+}
+
+// Fig7a reproduces Fig. 7a: 1:1 read/write mix.
+func Fig7a(sc Scale) (*Figure, error) {
+	wcfg := workload.Config{
+		KeySpace: sc.Preload, KeySize: 8, ValueSize: 256, Dist: workload.Hotspot,
+	}
+	fig, err := runModels(baseline.AllModels, sc, sc.Threads,
+		workload.Mix{GetRatio: 0.5}, wcfg, sc.Preload, defaultMkOpts(sc))
+	if err != nil {
+		return nil, err
+	}
+	fig.ID, fig.Title = "fig7a", "Mixed read/write throughput (50%/50%)"
+	fig.XLabel, fig.YLabel = "threads", "Kops/s"
+	return fig, nil
+}
+
+// Fig7b reproduces Fig. 7b: scan/write mix. Ranges span 10-20 keys and
+// scans are an order of magnitude rarer than writes, keeping keys written
+// and scanned balanced; the metric is keys/sec. bLSM is excluded (no
+// consistent scans), as in the paper.
+func Fig7b(sc Scale) (*Figure, error) {
+	wcfg := workload.Config{
+		KeySpace: sc.Preload, KeySize: 8, ValueSize: 256, Dist: workload.Hotspot,
+	}
+	models := []baseline.Name{baseline.NameRocksDB, baseline.NameLevelDB,
+		baseline.NameHyper, baseline.NameCLSM}
+	fig, err := runModels(models, sc, sc.Threads,
+		workload.Mix{ScanRatio: 1.0 / 11, ScanMin: 10, ScanMax: 20},
+		wcfg, sc.Preload, defaultMkOpts(sc))
+	if err != nil {
+		return nil, err
+	}
+	fig.ID, fig.Title = "fig7b", "Mixed scan/write throughput (1:10 scans:writes, ranges 10-20)"
+	fig.XLabel, fig.YLabel = "threads", "Kkeys/s"
+	return fig, nil
+}
+
+// Fig8 reproduces Fig. 8: mixed read/write throughput at 8 threads as a
+// function of the memory component size — LevelDB stops benefiting early,
+// cLSM keeps converting RAM into throughput.
+func Fig8(sc Scale) (*Figure, error) {
+	sizesMB := []int64{1, 4, 8, 16, 32, 64}
+	if sc.Name == "full" {
+		sizesMB = []int64{1, 16, 32, 64, 128, 256, 512}
+	}
+	if sc.Name == "smoke" {
+		sizesMB = []int64{1, 4}
+	}
+	wcfg := workload.Config{
+		KeySpace: sc.Preload, KeySize: 8, ValueSize: 256, Dist: workload.Hotspot,
+	}
+	threads := 8
+	if sc.Name == "smoke" {
+		threads = 4
+	}
+	fig := &Figure{
+		ID:     "fig8",
+		Title:  fmt.Sprintf("Mixed read/write vs memtable size (%d threads)", threads),
+		XLabel: "memtable MB", YLabel: "Kops/s",
+	}
+	for _, name := range []baseline.Name{baseline.NameLevelDB, baseline.NameCLSM} {
+		series := Series{Store: string(name)}
+		for _, mb := range sizesMB {
+			opts := sc.coreOptions(nil)
+			opts.MemtableSize = mb << 20
+			s, err := baseline.New(name, opts)
+			if err != nil {
+				return nil, err
+			}
+			if err := Preload(s, wcfg, sc.Preload, 8); err != nil {
+				s.Close()
+				return nil, err
+			}
+			res, err := Run(s, Spec{
+				Threads: threads, Duration: sc.Duration,
+				Mix: workload.Mix{GetRatio: 0.5}, Workload: wcfg,
+				Seed: mb,
+			})
+			cerr := s.Close()
+			if err != nil {
+				return nil, err
+			}
+			if cerr != nil {
+				return nil, cerr
+			}
+			series.Points = append(series.Points, Point{
+				X: float64(mb), Throughput: res.Throughput(), P90: res.Hist.Quantile(0.9),
+			})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// Fig9 reproduces Fig. 9: 100 % put-if-absent read-modify-write with
+// locality — cLSM's lock-free RMW (Algorithm 3) against the textbook
+// lock-striping implementation on the LevelDB model.
+func Fig9(sc Scale) (*Figure, error) {
+	wcfg := workload.Config{
+		KeySpace: sc.KeySpace, KeySize: 8, ValueSize: 256, Dist: workload.Hotspot,
+	}
+	models := []baseline.Name{baseline.NameStriped, baseline.NameCLSM}
+	fig, err := runModels(models, sc, sc.Threads,
+		workload.Mix{RMWRatio: 1}, wcfg, 0, defaultMkOpts(sc))
+	if err != nil {
+		return nil, err
+	}
+	fig.ID, fig.Title = "fig9", "Read-modify-write throughput (100% put-if-absent)"
+	fig.XLabel, fig.YLabel = "threads", "Kops/s"
+	return fig, nil
+}
+
+// Fig10 reproduces Fig. 10: four synthetic reconstructions of the §5.2
+// production workloads — 40 B keys, 1 KiB values, heavy-tailed key
+// popularity, read ratios 93 %, 85 %, 96 %, 86 %.
+func Fig10(sc Scale) ([]*Figure, error) {
+	readRatios := []float64{0.93, 0.85, 0.96, 0.86}
+	models := []baseline.Name{baseline.NameRocksDB, baseline.NameLevelDB,
+		baseline.NameHyper, baseline.NameCLSM}
+	var figs []*Figure
+	for i, rr := range readRatios {
+		wcfg := workload.Config{
+			KeySpace: sc.Preload, KeySize: 40, ValueSize: 1024,
+			Dist: workload.ProductionSynth,
+		}
+		preload := sc.Preload / 4 // 1 KiB values: keep preload volume sane
+		wcfg.KeySpace = preload
+		fig, err := runModels(models, sc, sc.Threads,
+			workload.Mix{GetRatio: rr}, wcfg, preload, defaultMkOpts(sc))
+		if err != nil {
+			return nil, err
+		}
+		fig.ID = fmt.Sprintf("fig10%c", 'a'+i)
+		fig.Title = fmt.Sprintf("Production dataset %d (%d%% reads)", i+1, int(rr*100))
+		fig.XLabel, fig.YLabel = "threads", "Kops/s"
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// Fig1 reproduces Fig. 1: resource-shared cLSM (one big partition, all
+// threads) versus resource-isolated LevelDB/HyperLevelDB (four partitions,
+// a quarter of the threads each) on the production workload.
+func Fig1(sc Scale) (*Figure, error) {
+	wcfg := workload.Config{
+		KeySpace: sc.Preload / 4, KeySize: 40, ValueSize: 1024,
+		Dist: workload.ProductionSynth,
+	}
+	preloadPerPart := sc.Preload / 16
+	mix := workload.Mix{GetRatio: 0.9}
+	fig := &Figure{
+		ID:     "fig1",
+		Title:  "Partitioned (4x LevelDB/Hyper) vs shared (1x cLSM), production workload",
+		XLabel: "threads", YLabel: "Kops/s",
+	}
+	var threads []int
+	for _, th := range sc.Threads {
+		if th >= 4 {
+			threads = append(threads, th)
+		}
+	}
+
+	for _, name := range []baseline.Name{baseline.NameLevelDB, baseline.NameHyper} {
+		series := Series{Store: "4x" + string(name)}
+		for _, th := range threads {
+			tput, err := runPartitioned(name, sc, th, 4, mix, wcfg, preloadPerPart)
+			if err != nil {
+				return nil, err
+			}
+			series.Points = append(series.Points, Point{X: float64(th), Throughput: tput})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	clsmSeries, err := runLadder(baseline.NameCLSM, sc, threads, mix, wcfg,
+		preloadPerPart*4, sc.coreOptions(nil))
+	if err != nil {
+		return nil, err
+	}
+	clsmSeries.Store = "1x cLSM"
+	fig.Series = append(fig.Series, clsmSeries)
+	return fig, nil
+}
+
+// runPartitioned drives parts store instances concurrently, each with
+// threads/parts workers on its own key space, and sums throughput.
+func runPartitioned(name baseline.Name, sc Scale, threads, parts int,
+	mix workload.Mix, wcfg workload.Config, preloadPerPart int64) (float64, error) {
+
+	perPart := threads / parts
+	if perPart < 1 {
+		perPart = 1
+	}
+	stores := make([]baseline.Store, parts)
+	for p := range stores {
+		s, err := baseline.New(name, sc.coreOptions(nil))
+		if err != nil {
+			return 0, err
+		}
+		stores[p] = s
+		if err := Preload(s, wcfg, preloadPerPart, 4); err != nil {
+			return 0, err
+		}
+	}
+	defer func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	results := make([]Result, parts)
+	errs := make([]error, parts)
+	for p := range stores {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			results[p], errs[p] = Run(stores[p], Spec{
+				Threads:  perPart,
+				Duration: sc.Duration,
+				Mix:      mix,
+				Workload: wcfg,
+				Seed:     int64(p+1) * 97,
+			})
+		}(p)
+	}
+	wg.Wait()
+	var total float64
+	for p := range results {
+		if errs[p] != nil {
+			return 0, errs[p]
+		}
+		total += results[p].Throughput()
+	}
+	return total, nil
+}
+
+// Fig11 reproduces Fig. 11: the disk-bound regime. The database is bulk
+// loaded with sequentially increasing 10 B keys / 400 B values on a
+// bandwidth-throttled device, then updated under uniform random writes
+// while compaction runs continuously. RocksDB uses multi-threaded
+// compaction; cLSM keeps its single merge thread.
+func Fig11(sc Scale) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig11",
+		Title:  "Heavy disk-compaction workload (throttled device, 100% update)",
+		XLabel: "threads", YLabel: "Kops/s",
+	}
+	nKeys := sc.Preload
+	wcfg := workload.Config{KeySpace: nKeys, KeySize: 10, ValueSize: 400, Dist: workload.Uniform}
+	// Scale the simulated device so compaction, not the memtable, is the
+	// bottleneck: ~4x the expected write volume per second.
+	bandwidth := int64(64 << 20)
+	if sc.Name == "smoke" {
+		bandwidth = 8 << 20
+	}
+
+	for _, model := range []struct {
+		name    baseline.Name
+		threads int
+	}{{baseline.NameRocksDB, 3}, {baseline.NameCLSM, 1}} {
+		series := Series{Store: string(model.name)}
+		for _, th := range sc.Threads {
+			fs := storage.NewThrottledMemFS(bandwidth)
+			opts := sc.coreOptions(fs)
+			opts.CompactionThreads = model.threads
+			s, err := baseline.New(model.name, opts)
+			if err != nil {
+				return nil, err
+			}
+			if err := preloadSequential(s, wcfg, nKeys); err != nil {
+				s.Close()
+				return nil, err
+			}
+			res, err := Run(s, Spec{
+				Threads: th, Duration: sc.Duration,
+				Mix: workload.Mix{}, Workload: wcfg, Seed: int64(th),
+			})
+			cerr := s.Close()
+			if err != nil {
+				return nil, err
+			}
+			if cerr != nil {
+				return nil, cerr
+			}
+			series.Points = append(series.Points, Point{
+				X: float64(th), Throughput: res.Throughput(), P90: res.Hist.Quantile(0.9),
+			})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// preloadSequential bulk loads keys in physical order (Fig. 11's setup).
+func preloadSequential(s baseline.Store, cfg workload.Config, n int64) error {
+	cfg = cfg.WithDefaults()
+	g := workload.New(cfg, 1)
+	var kbuf []byte
+	for i := int64(0); i < n; i++ {
+		kbuf = workload.SequentialKey(kbuf, i, cfg.KeySize)
+		if err := s.Put(copyKey(kbuf), g.Value(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"clsm/internal/baseline"
+	"clsm/internal/workload"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 400*time.Microsecond || p50 > 620*time.Microsecond {
+		t.Errorf("p50 = %v, want ~500us", p50)
+	}
+	p90 := h.Quantile(0.9)
+	if p90 < 780*time.Microsecond || p90 > 1050*time.Microsecond {
+		t.Errorf("p90 = %v, want ~900us", p90)
+	}
+	if h.Quantile(0) > h.Quantile(1) {
+		t.Error("quantiles not monotone")
+	}
+	if h.Max() != 1000*time.Microsecond || h.Min() != time.Microsecond {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 100; i++ {
+		a.Record(time.Millisecond)
+		b.Record(10 * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if p := a.Quantile(0.25); p > 2*time.Millisecond {
+		t.Errorf("p25 = %v", p)
+	}
+	if p := a.Quantile(0.75); p < 8*time.Millisecond {
+		t.Errorf("p75 = %v", p)
+	}
+	a.Merge(nil) // no-op
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.9) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestRunCountsOps(t *testing.T) {
+	s, err := baseline.New(baseline.NameCLSM, Smoke.coreOptions(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := Run(s, Spec{
+		Threads:      4,
+		OpsPerThread: 500,
+		Mix:          workload.Mix{GetRatio: 0.5},
+		Workload:     workload.Config{KeySpace: 1000, KeySize: 8, ValueSize: 64},
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 2000 {
+		t.Fatalf("Ops = %d, want 2000", res.Ops)
+	}
+	if res.Hist.Count() == 0 {
+		t.Fatal("no latency samples recorded")
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("throughput not positive")
+	}
+}
+
+func TestPreloadMakesKeysReadable(t *testing.T) {
+	s, err := baseline.New(baseline.NameCLSM, Smoke.coreOptions(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cfg := workload.Config{KeySpace: 5000, KeySize: 8, ValueSize: 32}
+	if err := Preload(s, cfg, 5000, 4); err != nil {
+		t.Fatal(err)
+	}
+	g := workload.New(cfg, 99)
+	miss := 0
+	for i := int64(0); i < 5000; i += 101 {
+		if _, ok, err := s.Get(g.Key(i)); err != nil {
+			t.Fatal(err)
+		} else if !ok {
+			miss++
+		}
+	}
+	if miss != 0 {
+		t.Fatalf("%d preloaded keys unreadable", miss)
+	}
+}
+
+// Every figure runner must complete at smoke scale and produce a full
+// series grid.
+func TestFiguresSmoke(t *testing.T) {
+	sc := Smoke
+	sc.Duration = 60 * time.Millisecond
+	sc.KeySpace, sc.Preload = 20_000, 8_000
+	sc.Threads = []int{1, 2}
+	sc.ReadThreads = []int{2}
+
+	check := func(t *testing.T, fig *Figure, wantSeries int, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fig.Series) != wantSeries {
+			t.Fatalf("%s: %d series, want %d", fig.ID, len(fig.Series), wantSeries)
+		}
+		for _, s := range fig.Series {
+			if len(s.Points) == 0 {
+				t.Fatalf("%s/%s: no points", fig.ID, s.Store)
+			}
+			for _, p := range s.Points {
+				if p.Throughput <= 0 {
+					t.Fatalf("%s/%s: zero throughput at x=%g", fig.ID, s.Store, p.X)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		fig.WriteTable(&buf)
+		if !strings.Contains(buf.String(), fig.ID) {
+			t.Fatalf("table output missing figure id: %s", buf.String())
+		}
+	}
+
+	t.Run("fig5", func(t *testing.T) {
+		fig, err := Fig5(sc)
+		check(t, fig, 5, err)
+		var buf bytes.Buffer
+		fig.WriteLatencyTable(&buf)
+		if !strings.Contains(buf.String(), "p90") {
+			t.Fatal("latency table missing p90")
+		}
+	})
+	t.Run("fig6", func(t *testing.T) {
+		fig, err := Fig6(sc)
+		check(t, fig, 5, err)
+	})
+	t.Run("fig7a", func(t *testing.T) {
+		fig, err := Fig7a(sc)
+		check(t, fig, 5, err)
+	})
+	t.Run("fig7b", func(t *testing.T) {
+		fig, err := Fig7b(sc)
+		check(t, fig, 4, err)
+	})
+	t.Run("fig8", func(t *testing.T) {
+		fig, err := Fig8(sc)
+		check(t, fig, 2, err)
+	})
+	t.Run("fig9", func(t *testing.T) {
+		fig, err := Fig9(sc)
+		check(t, fig, 2, err)
+	})
+	t.Run("fig10", func(t *testing.T) {
+		figs, err := Fig10(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(figs) != 4 {
+			t.Fatalf("fig10 produced %d datasets", len(figs))
+		}
+		for _, fig := range figs {
+			check(t, fig, 4, nil)
+		}
+	})
+	t.Run("fig1", func(t *testing.T) {
+		sc1 := sc
+		sc1.Threads = []int{4}
+		fig, err := Fig1(sc1)
+		check(t, fig, 3, err)
+	})
+	t.Run("fig11", func(t *testing.T) {
+		sc11 := sc
+		sc11.Preload = 4000
+		fig, err := Fig11(sc11)
+		check(t, fig, 2, err)
+	})
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"smoke", "small", "full", ""} {
+		if _, err := ScaleByName(name); err != nil {
+			t.Errorf("ScaleByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ScaleByName("nope"); err == nil {
+		t.Error("bad scale accepted")
+	}
+}

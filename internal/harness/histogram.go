@@ -1,0 +1,128 @@
+// Package harness measures store throughput and latency and regenerates
+// every table and figure of the paper's evaluation (§5). See DESIGN.md for
+// the experiment index.
+package harness
+
+import (
+	"math"
+	"time"
+)
+
+// Histogram is a log-bucketed latency histogram (HDR-style): buckets grow
+// geometrically by ~7 % from 64 ns to ~100 s, giving better-than-10 %
+// quantile resolution with a few hundred buckets. Not safe for concurrent
+// use — each worker records into its own and merges at the end.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+	min    time.Duration
+	max    time.Duration
+}
+
+const (
+	histMinNanos = 64
+	histGrowth   = 1.07
+	histBuckets  = 320 // 64ns * 1.07^320 ≈ 160 s
+)
+
+var histBounds [histBuckets]float64
+
+func init() {
+	b := float64(histMinNanos)
+	for i := range histBounds {
+		histBounds[i] = b
+		b *= histGrowth
+	}
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]uint64, histBuckets)}
+}
+
+func bucketFor(d time.Duration) int {
+	n := float64(d.Nanoseconds())
+	if n < histMinNanos {
+		return 0
+	}
+	i := int(math.Log(n/histMinNanos) / math.Log(histGrowth))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.counts[bucketFor(d)]++
+	h.total++
+	if h.min == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	if other.min != 0 && (h.min == 0 || other.min < h.min) {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Quantile returns the latency at quantile q in [0, 1].
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.total))
+	if target >= h.total {
+		return h.max
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > target {
+			return time.Duration(histBounds[i])
+		}
+	}
+	return h.max
+}
+
+// Mean returns the approximate mean latency.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for i, c := range h.counts {
+		sum += histBounds[i] * float64(c)
+	}
+	return time.Duration(sum / float64(h.total))
+}
+
+// Min and Max report the extreme samples.
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max reports the largest sample.
+func (h *Histogram) Max() time.Duration { return h.max }

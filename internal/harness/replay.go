@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clsm/internal/baseline"
+	"clsm/internal/workload"
+)
+
+// ReplayTrace drives a store with a pre-recorded operation trace (see
+// workload.TraceWriter), fanning records out to the given number of worker
+// goroutines — the mechanism for running real production logs against any
+// store model, as the paper's §5.2 evaluation does.
+//
+// Records are dispatched in order through a channel; per-key ordering
+// across workers is therefore not guaranteed (matching the paper's
+// partition servers, where independent clients race).
+func ReplayTrace(s baseline.Store, r io.Reader, threads int) (Result, error) {
+	if threads < 1 {
+		threads = 1
+	}
+	tr := workload.NewTraceReader(r)
+
+	ops := make(chan workload.TraceOp, 4*threads)
+	var (
+		wg      sync.WaitGroup
+		done    atomic.Uint64
+		keys    atomic.Uint64
+		firstE  atomic.Pointer[error]
+		hists   = make([]*Histogram, threads)
+		started = time.Now()
+	)
+	for w := 0; w < threads; w++ {
+		hists[w] = NewHistogram()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hist := hists[w]
+			i := 0
+			for op := range ops {
+				i++
+				sample := i%16 == 0
+				var t0 time.Time
+				if sample {
+					t0 = time.Now()
+				}
+				var err error
+				var visited int
+				switch op.Op {
+				case workload.TracePut:
+					err = s.Put(op.Key, op.Value)
+					visited = 1
+				case workload.TraceGet:
+					_, _, err = s.Get(op.Key)
+					visited = 1
+				case workload.TraceDelete:
+					err = s.Delete(op.Key)
+					visited = 1
+				case workload.TraceScan:
+					visited, err = s.Scan(op.Key, op.ScanLen)
+				case workload.TraceRMW:
+					val := op.Value
+					err = s.RMW(op.Key, func([]byte, bool) []byte { return val })
+					visited = 1
+				}
+				if err != nil {
+					firstE.CompareAndSwap(nil, &err)
+					// Drain remaining ops so the feeder never blocks.
+					continue
+				}
+				if sample {
+					hist.Record(time.Since(t0))
+				}
+				done.Add(1)
+				keys.Add(uint64(visited))
+			}
+		}(w)
+	}
+
+	var feedErr error
+	for {
+		op, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			feedErr = err
+			break
+		}
+		ops <- op
+	}
+	close(ops)
+	wg.Wait()
+
+	if feedErr != nil {
+		return Result{}, feedErr
+	}
+	if e := firstE.Load(); e != nil {
+		return Result{}, *e
+	}
+	agg := NewHistogram()
+	for _, h := range hists {
+		agg.Merge(h)
+	}
+	return Result{
+		Threads: threads,
+		Ops:     done.Load(),
+		Keys:    keys.Load(),
+		Elapsed: time.Since(started),
+		Hist:    agg,
+	}, nil
+}

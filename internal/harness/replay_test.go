@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"clsm/internal/baseline"
+	"clsm/internal/workload"
+)
+
+func TestReplayTrace(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := workload.Config{KeySpace: 500, KeySize: 8, ValueSize: 64}
+	mix := workload.Mix{GetRatio: 0.4, ScanRatio: 0.1, RMWRatio: 0.1, ScanMin: 3, ScanMax: 6}
+	const n = 2000
+	if err := workload.RecordSynthetic(&buf, cfg, mix, n, 11); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := baseline.New(baseline.NameCLSM, Smoke.CoreOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := Preload(s, cfg, 500, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := ReplayTrace(s, &buf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != n {
+		t.Fatalf("replayed %d ops, want %d", res.Ops, n)
+	}
+	if res.Throughput() <= 0 || res.Hist.Count() == 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	// The replay's writes must be visible afterwards.
+	m := s.Metrics()
+	if m.Puts == 0 || m.Gets == 0 {
+		t.Fatalf("replay did not mix ops: %+v", m)
+	}
+}
+
+func TestReplayTraceCorruptStream(t *testing.T) {
+	s, err := baseline.New(baseline.NameCLSM, Smoke.CoreOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := ReplayTrace(s, bytes.NewReader([]byte{0xff, 0x01, 'k'}), 2); err == nil {
+		t.Fatal("corrupt trace accepted")
+	}
+}

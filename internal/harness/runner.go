@@ -1,0 +1,232 @@
+package harness
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clsm/internal/baseline"
+	"clsm/internal/workload"
+)
+
+// Spec describes one measurement run against one store.
+type Spec struct {
+	// Threads is the number of worker goroutines issuing operations.
+	Threads int
+	// Duration bounds the timed phase.
+	Duration time.Duration
+	// OpsPerThread, when > 0, bounds the run by count instead of time.
+	OpsPerThread int
+	// Mix is the operation mixture; Workload the key/value shape.
+	Mix      workload.Mix
+	Workload workload.Config
+	// Preload inserts this many keys (indexes 0..Preload-1) before the
+	// timed phase so reads have something to find.
+	Preload int64
+	// SampleEvery records the latency of one in every N operations
+	// (default 16) to keep measurement overhead off the hot path.
+	SampleEvery int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Threads int
+	Ops     uint64
+	Keys    uint64 // keys touched (scans count their whole range)
+	Elapsed time.Duration
+	Hist    *Histogram
+}
+
+// Throughput returns operations per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// KeysPerSec returns keys accessed per second (the Fig. 7b metric).
+func (r Result) KeysPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Keys) / r.Elapsed.Seconds()
+}
+
+// Preload bulk-inserts the initial dataset with parallel writers.
+func Preload(s baseline.Store, cfg workload.Config, n int64, parallel int) error {
+	cfg = cfg.WithDefaults()
+	if parallel < 1 {
+		parallel = 4
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, parallel)
+	stride := (n + int64(parallel) - 1) / int64(parallel)
+	for w := 0; w < parallel; w++ {
+		lo := int64(w) * stride
+		hi := lo + stride
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int64) {
+			defer wg.Done()
+			g := workload.New(cfg, lo+1)
+			for i := lo; i < hi; i++ {
+				if err := s.Put(copyKey(g.Key(i)), g.Value(i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+func copyKey(k []byte) []byte {
+	// Stores may retain the key slice briefly (WAL queue); the generator
+	// reuses its buffer, so hand the store a stable copy.
+	out := make([]byte, len(k))
+	copy(out, k)
+	return out
+}
+
+// Run executes the timed phase and returns the aggregate result.
+func Run(s baseline.Store, spec Spec) (Result, error) {
+	if spec.Threads < 1 {
+		spec.Threads = 1
+	}
+	if spec.SampleEvery < 1 {
+		spec.SampleEvery = 16
+	}
+	if spec.Duration <= 0 && spec.OpsPerThread <= 0 {
+		spec.Duration = time.Second
+	}
+	cfg := spec.Workload.WithDefaults()
+
+	var (
+		wg      sync.WaitGroup
+		ops     atomic.Uint64
+		keyN    atomic.Uint64
+		stop    atomic.Bool
+		firstE  atomic.Pointer[error]
+		hists   = make([]*Histogram, spec.Threads)
+		started = make(chan struct{})
+	)
+
+	for w := 0; w < spec.Threads; w++ {
+		hists[w] = NewHistogram()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := workload.New(cfg, spec.Seed*1024+int64(w)+7)
+			rng := rand.New(rand.NewSource(spec.Seed*8192 + int64(w)))
+			hist := hists[w]
+			<-started
+			var localOps, localKeys uint64
+			for i := 0; spec.OpsPerThread <= 0 || i < spec.OpsPerThread; i++ {
+				if i%64 == 0 && stop.Load() {
+					break
+				}
+				sample := i%spec.SampleEvery == 0
+				var t0 time.Time
+				if sample {
+					t0 = time.Now()
+				}
+				if err := doOp(s, g, rng, spec.Mix, &localKeys); err != nil {
+					firstE.CompareAndSwap(nil, &err)
+					break
+				}
+				if sample {
+					hist.Record(time.Since(t0))
+				}
+				localOps++
+			}
+			ops.Add(localOps)
+			keyN.Add(localKeys)
+		}(w)
+	}
+
+	begin := time.Now()
+	close(started)
+	if spec.Duration > 0 {
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-time.After(spec.Duration):
+			stop.Store(true)
+			<-done
+		case <-done:
+		}
+	} else {
+		wg.Wait()
+	}
+	elapsed := time.Since(begin)
+
+	if e := firstE.Load(); e != nil {
+		return Result{}, *e
+	}
+	agg := NewHistogram()
+	for _, h := range hists {
+		agg.Merge(h)
+	}
+	return Result{
+		Threads: spec.Threads,
+		Ops:     ops.Load(),
+		Keys:    keyN.Load(),
+		Elapsed: elapsed,
+		Hist:    agg,
+	}, nil
+}
+
+// doOp executes one operation of the mixture.
+func doOp(s baseline.Store, g *workload.Generator, rng *rand.Rand, mix workload.Mix, keys *uint64) error {
+	idx := g.NextIndex()
+	switch mix.NextOp(rng) {
+	case workload.OpGet:
+		_, _, err := s.Get(g.Key(idx))
+		*keys++
+		return err
+	case workload.OpScan:
+		n := mix.ScanLen(rng)
+		visited, err := s.Scan(g.Key(idx), n)
+		*keys += uint64(visited)
+		return err
+	case workload.OpRMW:
+		*keys++
+		return s.RMW(copyKey(g.Key(idx)), putIfAbsent)
+	default:
+		*keys++
+		return s.Put(copyKey(g.Key(idx)), g.Value(idx))
+	}
+}
+
+// putIfAbsent is the paper's Fig. 9 RMW flavor: keep the existing value if
+// present, install a fresh one otherwise.
+func putIfAbsent(old []byte, exists bool) []byte {
+	if exists {
+		return old
+	}
+	var v [16]byte
+	binary.BigEndian.PutUint64(v[:], 1)
+	return v[:]
+}
+
+// FormatThroughput renders ops/s in the paper's "ops/sec x10^3" unit.
+func FormatThroughput(opsPerSec float64) string {
+	return fmt.Sprintf("%.1f", opsPerSec/1000)
+}

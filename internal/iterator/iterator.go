@@ -1,0 +1,36 @@
+// Package iterator defines the iteration contract shared by memtables,
+// SSTables, and the merging machinery.
+package iterator
+
+// Iterator walks entries in ascending internal-key order. Implementations
+// are single-goroutine; concurrency comes from each reader holding its own
+// iterator over immutable (or weakly consistent) components.
+type Iterator interface {
+	// First positions at the smallest entry.
+	First()
+	// SeekGE positions at the first entry with internal key >= ikey.
+	SeekGE(ikey []byte)
+	// Next advances by one entry. Only legal when Valid.
+	Next()
+	// Valid reports whether the iterator is positioned at an entry.
+	Valid() bool
+	// Key returns the internal key at the cursor. The slice is only valid
+	// until the next positioning call.
+	Key() []byte
+	// Value returns the value at the cursor, with the same lifetime as Key.
+	Value() []byte
+	// Err returns the first I/O or corruption error encountered, if any.
+	// An iterator with a pending error reports Valid() == false.
+	Err() error
+}
+
+// Bidirectional extends Iterator with reverse traversal. Every component
+// iterator that feeds user-facing scans implements it; compaction-only
+// iterators (which merge strictly forward) need not.
+type Bidirectional interface {
+	Iterator
+	// Prev steps to the predecessor entry. Only legal when Valid.
+	Prev()
+	// Last positions at the largest entry.
+	Last()
+}

@@ -1,0 +1,174 @@
+// Package keys defines the internal key encoding shared by the memtable,
+// write-ahead log, and SSTables.
+//
+// An internal key is a user key extended with a 64-bit trailer packing a
+// timestamp (56 bits) and a value kind (8 bits):
+//
+//	| user key ... | ts<<8 | kind  (8 bytes, big-endian) |
+//
+// Internal keys order by user key ascending and timestamp descending, so a
+// seek for (k, ts) lands on the newest version of k that is not newer than
+// ts. This is the ordering assumed throughout the engine; Algorithm 3 of the
+// paper is adapted to it (see DESIGN.md).
+package keys
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrCorruptKey reports an internal key too short to carry a trailer.
+var ErrCorruptKey = errors.New("keys: corrupt internal key")
+
+// Kind discriminates the payload of an internal key.
+type Kind uint8
+
+const (
+	// KindDelete marks a deletion (the paper's ⊥ value).
+	KindDelete Kind = 0
+	// KindValue marks a regular key/value pair.
+	KindValue Kind = 1
+)
+
+// MaxTimestamp is the largest encodable timestamp (56 bits).
+const MaxTimestamp = uint64(1)<<56 - 1
+
+// TrailerSize is the number of bytes the trailer adds to a user key.
+const TrailerSize = 8
+
+// PackTrailer combines a timestamp and kind into the 64-bit trailer.
+// Timestamps above MaxTimestamp are truncated to 56 bits.
+func PackTrailer(ts uint64, kind Kind) uint64 {
+	return (ts&MaxTimestamp)<<8 | uint64(kind)
+}
+
+// UnpackTrailer splits a trailer into its timestamp and kind.
+func UnpackTrailer(t uint64) (ts uint64, kind Kind) {
+	return t >> 8, Kind(t & 0xff)
+}
+
+// Encode appends the internal encoding of (key, ts, kind) to dst.
+func Encode(dst, key []byte, ts uint64, kind Kind) []byte {
+	dst = append(dst, key...)
+	var tr [TrailerSize]byte
+	binary.BigEndian.PutUint64(tr[:], PackTrailer(ts, kind))
+	return append(dst, tr[:]...)
+}
+
+// Make returns the internal encoding of (key, ts, kind) as a new slice.
+func Make(key []byte, ts uint64, kind Kind) []byte {
+	return Encode(make([]byte, 0, len(key)+TrailerSize), key, ts, kind)
+}
+
+// Decode splits an internal key into its parts. It returns false if ik is
+// too short to contain a trailer.
+func Decode(ik []byte) (key []byte, ts uint64, kind Kind, ok bool) {
+	if len(ik) < TrailerSize {
+		return nil, 0, 0, false
+	}
+	n := len(ik) - TrailerSize
+	ts, kind = UnpackTrailer(binary.BigEndian.Uint64(ik[n:]))
+	return ik[:n], ts, kind, true
+}
+
+// UserKey returns the user-key prefix of an internal key. It panics on
+// malformed input, which indicates corruption upstream.
+func UserKey(ik []byte) []byte {
+	if len(ik) < TrailerSize {
+		panic(fmt.Sprintf("keys: internal key too short: %d bytes", len(ik)))
+	}
+	return ik[:len(ik)-TrailerSize]
+}
+
+// Timestamp returns the timestamp of an internal key.
+func Timestamp(ik []byte) uint64 {
+	ts, _ := mustTrailer(ik)
+	return ts
+}
+
+// KindOf returns the kind of an internal key.
+func KindOf(ik []byte) Kind {
+	_, kind := mustTrailer(ik)
+	return kind
+}
+
+func mustTrailer(ik []byte) (uint64, Kind) {
+	if len(ik) < TrailerSize {
+		panic(fmt.Sprintf("keys: internal key too short: %d bytes", len(ik)))
+	}
+	return UnpackTrailer(binary.BigEndian.Uint64(ik[len(ik)-TrailerSize:]))
+}
+
+// Compare orders internal keys by user key ascending, then timestamp
+// descending, then kind descending. The trailer comparison is achieved by
+// comparing packed trailers in reverse, so newer versions sort first.
+func Compare(a, b []byte) int {
+	ak, atr := split(a)
+	bk, btr := split(b)
+	if c := bytes.Compare(ak, bk); c != 0 {
+		return c
+	}
+	switch {
+	case atr > btr:
+		return -1
+	case atr < btr:
+		return 1
+	}
+	return 0
+}
+
+func split(ik []byte) ([]byte, uint64) {
+	if len(ik) < TrailerSize {
+		// Treat malformed keys as (ik, oldest) so corruption surfaces as
+		// mis-ordering in tests rather than a panic during comparison.
+		return ik, 0
+	}
+	n := len(ik) - TrailerSize
+	return ik[:n], binary.BigEndian.Uint64(ik[n:])
+}
+
+// SeekKey returns the internal key that positions an iterator at the newest
+// version of key visible at timestamp ts.
+func SeekKey(key []byte, ts uint64) []byte {
+	return Make(key, ts, Kind(0xff))
+}
+
+// Separator returns a short internal key sep such that a <= sep < b in the
+// internal ordering, used to shorten index-block entries. a and b are
+// internal keys with UserKey(a) < UserKey(b).
+func Separator(dst, a, b []byte) []byte {
+	au, bu := UserKey(a), UserKey(b)
+	n := sharedPrefixLen(au, bu)
+	if n < len(au) && n < len(bu) && au[n]+1 < bu[n] {
+		u := make([]byte, n+1)
+		copy(u, au[:n+1])
+		u[n]++
+		return Encode(dst, u, MaxTimestamp, Kind(0xff))
+	}
+	return append(dst, a...)
+}
+
+func sharedPrefixLen(a, b []byte) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+// Successor returns a short internal key s >= a used as the final index
+// entry of a table.
+func Successor(dst, a []byte) []byte {
+	return append(dst, a...)
+}
+
+// String renders an internal key for debugging.
+func String(ik []byte) string {
+	k, ts, kind, ok := Decode(ik)
+	if !ok {
+		return fmt.Sprintf("corrupt(%x)", ik)
+	}
+	return fmt.Sprintf("%q@%d#%d", k, ts, kind)
+}

@@ -1,0 +1,180 @@
+package keys
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []struct {
+		key  string
+		ts   uint64
+		kind Kind
+	}{
+		{"", 0, KindDelete},
+		{"a", 1, KindValue},
+		{"hello world", 12345678, KindValue},
+		{"\x00\xff", MaxTimestamp, KindDelete},
+	}
+	for _, c := range cases {
+		ik := Make([]byte(c.key), c.ts, c.kind)
+		k, ts, kind, ok := Decode(ik)
+		if !ok {
+			t.Fatalf("Decode(%x) failed", ik)
+		}
+		if string(k) != c.key || ts != c.ts || kind != c.kind {
+			t.Errorf("round trip (%q,%d,%d) -> (%q,%d,%d)", c.key, c.ts, c.kind, k, ts, kind)
+		}
+	}
+}
+
+func TestDecodeTooShort(t *testing.T) {
+	if _, _, _, ok := Decode([]byte("short")); ok {
+		t.Error("Decode of 5-byte input should fail")
+	}
+}
+
+func TestUserKeyAndAccessors(t *testing.T) {
+	ik := Make([]byte("k1"), 42, KindValue)
+	if string(UserKey(ik)) != "k1" {
+		t.Errorf("UserKey = %q", UserKey(ik))
+	}
+	if Timestamp(ik) != 42 {
+		t.Errorf("Timestamp = %d", Timestamp(ik))
+	}
+	if KindOf(ik) != KindValue {
+		t.Errorf("KindOf = %d", KindOf(ik))
+	}
+}
+
+func TestUserKeyPanicsOnShort(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	UserKey([]byte("x"))
+}
+
+func TestCompareOrdering(t *testing.T) {
+	// user key ascending, ts descending, kind descending
+	ordered := [][]byte{
+		Make([]byte("a"), 9, KindValue),
+		Make([]byte("a"), 5, KindValue),
+		Make([]byte("a"), 5, KindDelete),
+		Make([]byte("a"), 1, KindValue),
+		Make([]byte("b"), 100, KindValue),
+		Make([]byte("b"), 2, KindDelete),
+		Make([]byte("ba"), 50, KindValue),
+	}
+	for i := 0; i < len(ordered); i++ {
+		for j := 0; j < len(ordered); j++ {
+			got := Compare(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%s, %s) = %d, want %d", String(ordered[i]), String(ordered[j]), got, want)
+			}
+		}
+	}
+}
+
+func TestSeekKeyFindsNewestVisible(t *testing.T) {
+	// SeekKey(k, ts) must sort <= every version of k with timestamp <= ts
+	// and > every version with timestamp > ts.
+	sk := SeekKey([]byte("k"), 10)
+	if Compare(sk, Make([]byte("k"), 10, KindValue)) > 0 {
+		t.Error("seek key must not sort after version at ts=10")
+	}
+	if Compare(sk, Make([]byte("k"), 11, KindValue)) <= 0 {
+		t.Error("seek key must sort after version at ts=11")
+	}
+}
+
+// Property: Compare is order-isomorphic to comparing (userKey asc, ts desc).
+func TestCompareQuick(t *testing.T) {
+	f := func(k1, k2 []byte, t1, t2 uint64) bool {
+		t1 &= MaxTimestamp
+		t2 &= MaxTimestamp
+		a := Make(k1, t1, KindValue)
+		b := Make(k2, t2, KindValue)
+		want := bytes.Compare(k1, k2)
+		if want == 0 {
+			switch {
+			case t1 > t2:
+				want = -1
+			case t1 < t2:
+				want = 1
+			}
+		}
+		return Compare(a, b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a <= Separator(a, b) < b for internal keys with distinct user keys.
+func TestSeparatorQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		k1 := randKey(rng)
+		k2 := randKey(rng)
+		switch bytes.Compare(k1, k2) {
+		case 0:
+			continue
+		case 1:
+			k1, k2 = k2, k1
+		}
+		a := Make(k1, uint64(rng.Intn(1000)+1), KindValue)
+		b := Make(k2, uint64(rng.Intn(1000)+1), KindValue)
+		sep := Separator(nil, a, b)
+		if Compare(a, sep) > 0 {
+			t.Fatalf("a > sep: a=%s sep=%s", String(a), String(sep))
+		}
+		if Compare(sep, b) >= 0 {
+			t.Fatalf("sep >= b: sep=%s b=%s", String(sep), String(b))
+		}
+		if len(sep) > len(a) {
+			t.Fatalf("separator longer than a: %d > %d", len(sep), len(a))
+		}
+	}
+}
+
+func TestSuccessor(t *testing.T) {
+	a := Make([]byte("abc"), 5, KindValue)
+	s := Successor(nil, a)
+	if Compare(a, s) > 0 {
+		t.Error("successor sorts before key")
+	}
+}
+
+func randKey(rng *rand.Rand) []byte {
+	n := rng.Intn(6) + 1
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(4))
+	}
+	return b
+}
+
+func TestSortStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var ks [][]byte
+	for i := 0; i < 500; i++ {
+		ks = append(ks, Make(randKey(rng), uint64(rng.Intn(100)+1), KindValue))
+	}
+	sort.Slice(ks, func(i, j int) bool { return Compare(ks[i], ks[j]) < 0 })
+	for i := 1; i < len(ks); i++ {
+		if Compare(ks[i-1], ks[i]) > 0 {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}

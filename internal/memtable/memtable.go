@@ -1,0 +1,88 @@
+// Package memtable provides the in-memory component (the paper's Cm / C'm):
+// a reference-counted, multi-versioned sorted map over the lock-free skip
+// list. Rotation (beforeMerge) freezes the table by publishing a fresh one;
+// the frozen table serves reads until its merge completes and the last
+// reader drops its reference.
+package memtable
+
+import (
+	"clsm/internal/iterator"
+	"clsm/internal/keys"
+	"clsm/internal/skiplist"
+	"clsm/internal/syncutil"
+)
+
+// Table is one in-memory component.
+type Table struct {
+	syncutil.RefCounted
+	list *skiplist.List
+	// LogNum is the WAL file absorbing this table's writes; the log can be
+	// deleted once the table is merged into the disk component.
+	LogNum uint64
+}
+
+// New returns an empty memtable backed by WAL file logNum, holding one
+// reference for the creator.
+func New(logNum uint64) *Table {
+	t := &Table{list: skiplist.New(), LogNum: logNum}
+	t.InitRef(nil)
+	return t
+}
+
+// Add inserts a version. Safe for concurrent use.
+func (t *Table) Add(key []byte, ts uint64, kind keys.Kind, value []byte) {
+	t.list.Insert(keys.Make(key, ts, kind), value)
+}
+
+// Get returns the newest version of key visible at ts.
+// found=false means the table holds no visible version; deleted=true means
+// that version is a tombstone (the search must NOT continue to older
+// components).
+func (t *Table) Get(key []byte, ts uint64) (value []byte, deleted, found bool) {
+	v, _, kind, ok := t.list.Get(key, ts)
+	if !ok {
+		return nil, false, false
+	}
+	if kind == keys.KindDelete {
+		return nil, true, true
+	}
+	return v, false, true
+}
+
+// GetWithTS additionally reports the version's timestamp — the read step of
+// Algorithm 3.
+func (t *Table) GetWithTS(key []byte, ts uint64) (value []byte, valTS uint64, deleted, found bool) {
+	v, vts, kind, ok := t.list.Get(key, ts)
+	if !ok {
+		return nil, 0, false, false
+	}
+	if kind == keys.KindDelete {
+		return nil, vts, true, true
+	}
+	return v, vts, false, true
+}
+
+// InsertRMW attempts one conflict-checked insert (Algorithm 3); see
+// skiplist.List.InsertRMW.
+func (t *Table) InsertRMW(key []byte, ts uint64, value []byte, readTS uint64) bool {
+	return t.list.InsertRMW(keys.Make(key, ts, keys.KindValue), value, readTS)
+}
+
+// ApproximateSize returns the bytes retained by entries, the memtable
+// spill metric.
+func (t *Table) ApproximateSize() int64 { return t.list.MemoryUsage() }
+
+// Len returns the number of entries (all versions).
+func (t *Table) Len() int { return t.list.Len() }
+
+// iter adapts the skip-list iterator to the shared iterator contract.
+type iter struct {
+	*skiplist.Iterator
+}
+
+func (iter) Err() error { return nil }
+
+// NewIterator returns a weakly consistent iterator over the table.
+func (t *Table) NewIterator() iterator.Iterator {
+	return iter{t.list.NewIterator()}
+}

@@ -1,0 +1,54 @@
+package oracle
+
+import "testing"
+
+func TestGetTSBatchContiguous(t *testing.T) {
+	o := New()
+	first, slot := o.GetTSBatch(5)
+	if first != 1 {
+		t.Fatalf("first = %d", first)
+	}
+	if o.Now() != 5 {
+		t.Fatalf("counter = %d, want 5", o.Now())
+	}
+	// The range's lower bound is active, fencing snapshots below it.
+	if m := o.ActiveMin(); m != first {
+		t.Fatalf("ActiveMin = %d, want %d", m, first)
+	}
+	// A snapshot taken while the batch is in flight must land strictly
+	// below the whole range (it cannot see half a batch).
+	if snap := o.SnapshotTS(); snap >= first {
+		t.Fatalf("snapshot %d inside/after active batch starting at %d", snap, first)
+	}
+	o.Done(slot)
+	// Once the batch is committed, snapshots may cover it entirely.
+	if snap := o.SnapshotTS(); snap < 5 {
+		t.Fatalf("post-batch snapshot %d below committed range end 5", snap)
+	}
+}
+
+func TestGetTSBatchZero(t *testing.T) {
+	o := New()
+	first, slot := o.GetTSBatch(0) // treated as 1
+	o.Done(slot)
+	if first != 1 || o.Now() != 1 {
+		t.Fatalf("first=%d now=%d", first, o.Now())
+	}
+}
+
+func TestGetTSBatchRollsBackUnderFence(t *testing.T) {
+	o := New()
+	// Take a snapshot to raise the fence.
+	ts, slot := o.GetTS()
+	o.Done(slot)
+	fence := o.SnapshotTS()
+	if fence < ts {
+		t.Fatalf("fence %d < %d", fence, ts)
+	}
+	// A batch must start strictly above the fence.
+	first, slot2 := o.GetTSBatch(3)
+	defer o.Done(slot2)
+	if first <= fence {
+		t.Fatalf("batch first %d <= fence %d", first, fence)
+	}
+}

@@ -1,0 +1,216 @@
+package oracle
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetTSMonotonic(t *testing.T) {
+	o := New()
+	ts1, s1 := o.GetTS()
+	ts2, s2 := o.GetTS()
+	if ts2 <= ts1 {
+		t.Fatalf("timestamps not increasing: %d then %d", ts1, ts2)
+	}
+	o.Done(s1)
+	o.Done(s2)
+}
+
+func TestActiveSetAddRemoveFindMin(t *testing.T) {
+	var s ActiveSet
+	if s.FindMin() != 0 {
+		t.Fatal("empty set FindMin != 0")
+	}
+	a := s.Add(10)
+	b := s.Add(5)
+	c := s.Add(20)
+	if m := s.FindMin(); m != 5 {
+		t.Fatalf("FindMin = %d, want 5", m)
+	}
+	s.Remove(b)
+	if m := s.FindMin(); m != 10 {
+		t.Fatalf("FindMin = %d, want 10", m)
+	}
+	s.Remove(a)
+	s.Remove(c)
+	if s.FindMin() != 0 {
+		t.Fatal("set should be empty")
+	}
+}
+
+// The Fig. 3 scenario: a snapshot must not land at or above an active put
+// timestamp.
+func TestSnapshotBelowActivePuts(t *testing.T) {
+	o := New()
+	ts1, s1 := o.GetTS() // active put, not yet written
+	_, s2 := o.GetTS()   // another active put
+	// Fig. 3 of the paper: with timestamps ts1, ts1+1 both active, the
+	// snapshot must land below ts1. The fence is ts1-1, which is below
+	// both active timestamps, so SnapshotTS does not block here.
+	got := o.SnapshotTS()
+	if got >= ts1 {
+		t.Fatalf("snapshot %d >= active put ts %d", got, ts1)
+	}
+	o.Done(s1)
+	o.Done(s2)
+}
+
+// The Fig. 4 race: a put whose timestamp is at or below snapTime must roll
+// back and draw a fresh one.
+func TestPutRollsBackBelowSnapTime(t *testing.T) {
+	o := New()
+	ts, slot := o.GetTS()
+	o.Done(slot)
+	snap := o.SnapshotTS()
+	if snap < ts {
+		t.Fatalf("snapshot %d below completed put %d", snap, ts)
+	}
+	ts2, slot2 := o.GetTS()
+	if ts2 <= snap {
+		t.Fatalf("new put ts %d not above snapTime %d", ts2, snap)
+	}
+	o.Done(slot2)
+}
+
+func TestSnapshotMonotonic(t *testing.T) {
+	o := New()
+	var prev uint64
+	for i := 0; i < 100; i++ {
+		ts, slot := o.GetTS()
+		o.Done(slot)
+		_ = ts
+		s := o.SnapshotTS()
+		if s < prev {
+			t.Fatalf("snapshot time moved backwards: %d then %d", prev, s)
+		}
+		prev = s
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	o := New()
+	o.Advance(1000)
+	if o.Now() != 1000 {
+		t.Fatalf("Now = %d", o.Now())
+	}
+	o.Advance(500) // never moves backwards
+	if o.Now() != 1000 {
+		t.Fatalf("Now after backwards Advance = %d", o.Now())
+	}
+	ts, slot := o.GetTS()
+	o.Done(slot)
+	if ts != 1001 {
+		t.Fatalf("ts after Advance = %d", ts)
+	}
+}
+
+func TestSnapshotListMin(t *testing.T) {
+	o := New()
+	if o.MinSnapshot() != 0 {
+		t.Fatal("MinSnapshot on empty list")
+	}
+	o.InstallSnapshot(30)
+	o.InstallSnapshot(10)
+	o.InstallSnapshot(10)
+	o.InstallSnapshot(20)
+	if m := o.MinSnapshot(); m != 10 {
+		t.Fatalf("MinSnapshot = %d", m)
+	}
+	o.ReleaseSnapshot(10)
+	if m := o.MinSnapshot(); m != 10 {
+		t.Fatalf("MinSnapshot after one release = %d (refcounted)", m)
+	}
+	o.ReleaseSnapshot(10)
+	if m := o.MinSnapshot(); m != 20 {
+		t.Fatalf("MinSnapshot = %d", m)
+	}
+}
+
+// Serializability core property under concurrency: every snapshot timestamp
+// must be fully "settled" — no put may later insert with a timestamp at or
+// below any returned snapshot unless that put's timestamp was already
+// removed from Active before the snapshot was taken.
+func TestConcurrentPutsAndSnapshots(t *testing.T) {
+	o := New()
+	var putters, snappers sync.WaitGroup
+	var maxSnap atomic.Uint64
+	var violations atomic.Int64
+	stop := make(chan struct{})
+
+	for w := 0; w < 4; w++ {
+		putters.Add(1)
+		go func() {
+			defer putters.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ts, slot := o.GetTS()
+				// Simulate the memtable insert: by Algorithm 2 the insert
+				// happens while ts is in Active. If a snapshot >= ts was
+				// already fixed, serializability is broken.
+				if s := maxSnap.Load(); s >= ts {
+					violations.Add(1)
+				}
+				o.Done(slot)
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		snappers.Add(1)
+		go func() {
+			defer snappers.Done()
+			for i := 0; i < 2000; i++ {
+				s := o.SnapshotTS()
+				for {
+					cur := maxSnap.Load()
+					if s <= cur || maxSnap.CompareAndSwap(cur, s) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	snappers.Wait()
+	close(stop)
+	putters.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d serializability violations", v)
+	}
+}
+
+func TestGetTSParallelUnique(t *testing.T) {
+	o := New()
+	const workers = 8
+	const per = 5000
+	seen := make([]map[uint64]bool, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		seen[w] = make(map[uint64]bool, per)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ts, slot := o.GetTS()
+				seen[w][ts] = true
+				o.Done(slot)
+			}
+		}(w)
+	}
+	wg.Wait()
+	all := make(map[uint64]bool)
+	for w := range seen {
+		for ts := range seen[w] {
+			if all[ts] {
+				t.Fatalf("duplicate timestamp %d", ts)
+			}
+			all[ts] = true
+		}
+	}
+	if len(all) != workers*per {
+		t.Fatalf("got %d unique timestamps, want %d", len(all), workers*per)
+	}
+}

@@ -1,0 +1,65 @@
+package skiplist
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"clsm/internal/keys"
+)
+
+func TestIteratorReverse(t *testing.T) {
+	l := New()
+	rng := rand.New(rand.NewSource(5))
+	var all [][]byte
+	for i := 0; i < 2000; i++ {
+		ik := ik(fmt.Sprintf("key%04d", rng.Intn(700)), uint64(i+1))
+		l.Insert(ik, []byte("v"))
+		all = append(all, ik)
+	}
+	sort.Slice(all, func(i, j int) bool { return keys.Compare(all[i], all[j]) < 0 })
+
+	it := l.NewIterator()
+	i := len(all) - 1
+	for it.Last(); it.Valid(); it.Prev() {
+		if !bytes.Equal(it.Key(), all[i]) {
+			t.Fatalf("reverse position %d: got %s want %s",
+				i, keys.String(it.Key()), keys.String(all[i]))
+		}
+		i--
+	}
+	if i != -1 {
+		t.Fatalf("reverse stopped at %d", i)
+	}
+}
+
+func TestSeekThenPrevSkiplist(t *testing.T) {
+	l := New()
+	for i := 0; i < 100; i++ {
+		l.Insert(ik(fmt.Sprintf("k%03d", i*2), uint64(i+1)), []byte("v"))
+	}
+	it := l.NewIterator()
+	// Seek between entries, then Prev.
+	it.SeekGE(keys.SeekKey([]byte("k101"), keys.MaxTimestamp))
+	if !it.Valid() || string(keys.UserKey(it.Key())) != "k102" {
+		t.Fatalf("SeekGE = %s", keys.String(it.Key()))
+	}
+	it.Prev()
+	if !it.Valid() || string(keys.UserKey(it.Key())) != "k100" {
+		t.Fatalf("Prev = %s", keys.String(it.Key()))
+	}
+	// Prev at the very first entry exhausts.
+	it.First()
+	it.Prev()
+	if it.Valid() {
+		t.Fatal("Prev before first valid")
+	}
+	// Last on empty list.
+	empty := New().NewIterator()
+	empty.Last()
+	if empty.Valid() {
+		t.Fatal("Last on empty list valid")
+	}
+}

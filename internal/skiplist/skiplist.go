@@ -1,0 +1,327 @@
+// Package skiplist implements the lock-free concurrent skip list at the
+// heart of cLSM's in-memory component.
+//
+// The list stores internal keys (see internal/keys) in ascending order —
+// user key ascending, timestamp descending — and supports:
+//
+//   - non-blocking concurrent Insert (CAS splice, Herlihy & Shavit style;
+//     the list is insert-only, so no deletion marking is needed),
+//   - weakly consistent iterators: an element present for the whole
+//     duration of a scan is guaranteed to be observed (§3.2 of the paper),
+//   - the optimistic conflict-detecting insert used by Algorithm 3
+//     (read-modify-write): InsertRMW performs one attempt and reports a
+//     conflict if a newer version of the user key raced in.
+//
+// Nodes live for the lifetime of the list; key and value bytes are copied
+// into a lock-free arena, mirroring the paper's per-component allocator.
+package skiplist
+
+import (
+	"sync/atomic"
+
+	"clsm/internal/arena"
+	"clsm/internal/keys"
+)
+
+const (
+	maxHeight = 20
+	// branching factor 4: P(level up) = 1/4, as in LevelDB.
+	branchBits = 2
+)
+
+type node struct {
+	key []byte // internal key, arena-backed
+	val []byte // value bytes, arena-backed
+	// next[i] is the successor at level i. Only next[:height] are valid.
+	next []atomic.Pointer[node]
+}
+
+func (n *node) loadNext(level int) *node { return n.next[level].Load() }
+
+// List is a concurrent insert-only skip list over internal keys.
+type List struct {
+	head    *node
+	arena   *arena.Arena
+	height  atomic.Int32 // current max height in use
+	seed    atomic.Uint64
+	entries atomic.Int64
+}
+
+// New returns an empty list backed by a fresh arena.
+func New() *List {
+	l := &List{arena: arena.New(0)}
+	l.head = &node{next: make([]atomic.Pointer[node], maxHeight)}
+	l.height.Store(1)
+	l.seed.Store(0x9e3779b97f4a7c15)
+	return l
+}
+
+// Len returns the number of entries inserted so far.
+func (l *List) Len() int { return int(l.entries.Load()) }
+
+// MemoryUsage returns the approximate bytes retained by entries.
+func (l *List) MemoryUsage() int64 { return l.arena.Allocated() }
+
+// randomHeight draws a height with geometric distribution (p = 1/4) from a
+// lock-free splitmix64 stream, so concurrent inserters never contend on a
+// RNG lock.
+func (l *List) randomHeight() int {
+	z := l.seed.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	h := 1
+	for h < maxHeight && z&((1<<branchBits)-1) == 0 {
+		h++
+		z >>= branchBits
+	}
+	return h
+}
+
+// findSplice fills preds/succs with the nodes straddling ikey at every
+// level: preds[i] < ikey <= succs[i]. It returns true if succs[0] holds a
+// key equal to ikey.
+func (l *List) findSplice(ikey []byte, preds, succs *[maxHeight]*node) bool {
+	h := int(l.height.Load())
+	prev := l.head
+	equal := false
+	for i := maxHeight - 1; i >= 0; i-- {
+		if i >= h {
+			preds[i], succs[i] = l.head, nil
+			continue
+		}
+		next := prev.loadNext(i)
+		for next != nil {
+			c := keys.Compare(next.key, ikey)
+			if c >= 0 {
+				if i == 0 && c == 0 {
+					equal = true
+				}
+				break
+			}
+			prev = next
+			next = prev.loadNext(i)
+		}
+		preds[i], succs[i] = prev, next
+	}
+	return equal
+}
+
+// Insert adds (ikey, value) to the list. Internal keys are expected to be
+// unique (each put draws a fresh timestamp); inserting a duplicate internal
+// key is a no-op returning false.
+func (l *List) Insert(ikey, value []byte) bool {
+	k := l.arena.Append(ikey)
+	v := l.arena.Append(value)
+	height := l.randomHeight()
+	n := &node{key: k, val: v, next: make([]atomic.Pointer[node], height)}
+
+	// Raise the list height if needed. A racy CAS-max is fine: a stale
+	// lower height only costs an extra level walk.
+	for {
+		h := l.height.Load()
+		if int(h) >= height || l.height.CompareAndSwap(h, int32(height)) {
+			break
+		}
+	}
+
+	var preds, succs [maxHeight]*node
+	for {
+		if l.findSplice(k, &preds, &succs) {
+			return false // duplicate internal key
+		}
+		// Splice bottom level first: that makes the node logically present.
+		n.next[0].Store(succs[0])
+		if preds[0].next[0].CompareAndSwap(succs[0], n) {
+			break
+		}
+		// Lost the race; recompute the splice.
+	}
+	l.linkUpper(n, height, &preds, &succs)
+	l.entries.Add(1)
+	return true
+}
+
+// linkUpper links n into levels [1, height). Upper levels are an index only;
+// failures simply recompute the splice for that level.
+func (l *List) linkUpper(n *node, height int, preds, succs *[maxHeight]*node) {
+	for i := 1; i < height; i++ {
+		for {
+			n.next[i].Store(succs[i])
+			if preds[i].next[i].CompareAndSwap(succs[i], n) {
+				break
+			}
+			l.findSpliceLevel(n.key, i, preds, succs)
+		}
+	}
+}
+
+// findSpliceLevel recomputes the splice at a single level.
+func (l *List) findSpliceLevel(ikey []byte, level int, preds, succs *[maxHeight]*node) {
+	prev := preds[level]
+	if prev == nil {
+		prev = l.head
+	}
+	// The previously computed pred may now sort after ikey only if it was
+	// never < ikey, which findSplice guarantees against; it can only have
+	// gained new successors. Walk forward from it.
+	next := prev.loadNext(level)
+	for next != nil && keys.Compare(next.key, ikey) < 0 {
+		prev = next
+		next = prev.loadNext(level)
+	}
+	preds[level], succs[level] = prev, next
+}
+
+// InsertRMW performs one optimistic attempt of Algorithm 3's update step:
+// insert ikey (a fresh version of user key uk with timestamp newer than
+// readTS) unless a conflicting version — one with timestamp greater than
+// readTS — has appeared. It returns:
+//
+//	ok=true            inserted
+//	ok=false           conflict detected or CAS lost; caller must release
+//	                   its timestamp and restart the whole RMW loop
+func (l *List) InsertRMW(ikey, value []byte, readTS uint64) bool {
+	uk := keys.UserKey(ikey)
+	var preds, succs [maxHeight]*node
+	if l.findSplice(ikey, &preds, &succs) {
+		return false // duplicate timestamp: impossible in practice, treat as conflict
+	}
+
+	// Conflict detection (paper Alg. 3 lines 6 and 8, adapted to
+	// timestamp-descending order): the successor at the bottom level holds
+	// the newest pre-existing version of uk, if any. If that version is
+	// newer than what the caller read, another writer interfered.
+	if s := succs[0]; s != nil {
+		sk := keys.UserKey(s.key)
+		if string(sk) == string(uk) && keys.Timestamp(s.key) > readTS {
+			return false
+		}
+	}
+	// The predecessor can only hold uk if a concurrent writer obtained an
+	// even newer timestamp and spliced it in ahead of us.
+	if p := preds[0]; p != l.head {
+		if string(keys.UserKey(p.key)) == string(uk) {
+			return false
+		}
+	}
+
+	k := l.arena.Append(ikey)
+	v := l.arena.Append(value)
+	height := l.randomHeight()
+	n := &node{key: k, val: v, next: make([]atomic.Pointer[node], height)}
+	for {
+		h := l.height.Load()
+		if int(h) >= height || l.height.CompareAndSwap(h, int32(height)) {
+			break
+		}
+	}
+	n.next[0].Store(succs[0])
+	if !preds[0].next[0].CompareAndSwap(succs[0], n) {
+		// Alg. 3 line 13: failed CAS means some insert interfered; restart.
+		return false
+	}
+	l.linkUpper(n, height, &preds, &succs)
+	l.entries.Add(1)
+	return true
+}
+
+// Iterator walks the list in internal-key order. It is weakly consistent:
+// entries inserted before the iterator passes their position are observed;
+// entries inserted behind the cursor are not revisited.
+type Iterator struct {
+	list *List
+	node *node
+}
+
+// NewIterator returns an iterator positioned before the first entry.
+func (l *List) NewIterator() *Iterator { return &Iterator{list: l} }
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iterator) Valid() bool { return it.node != nil }
+
+// Key returns the internal key at the cursor. Valid only when Valid().
+func (it *Iterator) Key() []byte { return it.node.key }
+
+// Value returns the value at the cursor. Valid only when Valid().
+func (it *Iterator) Value() []byte { return it.node.val }
+
+// First positions the iterator at the smallest entry.
+func (it *Iterator) First() {
+	it.node = it.list.head.loadNext(0)
+}
+
+// Next advances to the successor entry.
+func (it *Iterator) Next() {
+	it.node = it.node.loadNext(0)
+}
+
+// SeekGE positions the iterator at the first entry with key >= ikey.
+func (it *Iterator) SeekGE(ikey []byte) {
+	var preds, succs [maxHeight]*node
+	it.list.findSplice(ikey, &preds, &succs)
+	it.node = succs[0]
+}
+
+// Prev steps to the predecessor entry. The list is singly linked, so this
+// re-descends from the head (O(log n)), exactly like LevelDB's memtable
+// iterator.
+func (it *Iterator) Prev() {
+	it.node = it.list.findLessThan(it.node.key)
+}
+
+// Last positions the iterator at the largest entry.
+func (it *Iterator) Last() {
+	it.node = it.list.findLast()
+}
+
+// findLessThan returns the last node whose key sorts strictly before ikey,
+// or nil when no such node exists.
+func (l *List) findLessThan(ikey []byte) *node {
+	prev := l.head
+	for i := int(l.height.Load()) - 1; i >= 0; i-- {
+		next := prev.loadNext(i)
+		for next != nil && keys.Compare(next.key, ikey) < 0 {
+			prev = next
+			next = prev.loadNext(i)
+		}
+	}
+	if prev == l.head {
+		return nil
+	}
+	return prev
+}
+
+// findLast returns the last node of the list, or nil when empty.
+func (l *List) findLast() *node {
+	prev := l.head
+	for i := int(l.height.Load()) - 1; i >= 0; i-- {
+		for {
+			next := prev.loadNext(i)
+			if next == nil {
+				break
+			}
+			prev = next
+		}
+	}
+	if prev == l.head {
+		return nil
+	}
+	return prev
+}
+
+// Get returns the newest version of user key uk visible at timestamp ts.
+// ok is false if the list holds no version of uk at or below ts.
+func (l *List) Get(uk []byte, ts uint64) (value []byte, valTS uint64, kind keys.Kind, ok bool) {
+	var preds, succs [maxHeight]*node
+	l.findSplice(keys.SeekKey(uk, ts), &preds, &succs)
+	n := succs[0]
+	if n == nil {
+		return nil, 0, 0, false
+	}
+	k, kts, kk, valid := keys.Decode(n.key)
+	if !valid || string(k) != string(uk) {
+		return nil, 0, 0, false
+	}
+	return n.val, kts, kk, true
+}

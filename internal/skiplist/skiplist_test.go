@@ -1,0 +1,289 @@
+package skiplist
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"clsm/internal/keys"
+)
+
+func ik(k string, ts uint64) []byte { return keys.Make([]byte(k), ts, keys.KindValue) }
+
+func TestInsertAndGet(t *testing.T) {
+	l := New()
+	l.Insert(ik("a", 1), []byte("v1"))
+	l.Insert(ik("a", 3), []byte("v3"))
+	l.Insert(ik("b", 2), []byte("w2"))
+
+	v, ts, kind, ok := l.Get([]byte("a"), keys.MaxTimestamp)
+	if !ok || string(v) != "v3" || ts != 3 || kind != keys.KindValue {
+		t.Fatalf("Get(a, max) = %q,%d,%d,%v", v, ts, kind, ok)
+	}
+	v, ts, _, ok = l.Get([]byte("a"), 2)
+	if !ok || string(v) != "v1" || ts != 1 {
+		t.Fatalf("Get(a, 2) = %q,%d,%v", v, ts, ok)
+	}
+	if _, _, _, ok := l.Get([]byte("c"), keys.MaxTimestamp); ok {
+		t.Fatal("Get(c) should miss")
+	}
+	if _, _, _, ok := l.Get([]byte("b"), 1); ok {
+		t.Fatal("Get(b, 1) should miss: only version is ts=2")
+	}
+}
+
+func TestDuplicateInsert(t *testing.T) {
+	l := New()
+	if !l.Insert(ik("a", 1), []byte("x")) {
+		t.Fatal("first insert failed")
+	}
+	if l.Insert(ik("a", 1), []byte("y")) {
+		t.Fatal("duplicate internal key insert should be rejected")
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestIteratorOrder(t *testing.T) {
+	l := New()
+	rng := rand.New(rand.NewSource(42))
+	var want []string
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key%04d", rng.Intn(400))
+		ts := uint64(i + 1)
+		l.Insert(ik(k, ts), []byte("v"))
+		want = append(want, string(ik(k, ts)))
+	}
+	sort.Slice(want, func(i, j int) bool {
+		return keys.Compare([]byte(want[i]), []byte(want[j])) < 0
+	})
+	it := l.NewIterator()
+	i := 0
+	for it.First(); it.Valid(); it.Next() {
+		if !bytes.Equal(it.Key(), []byte(want[i])) {
+			t.Fatalf("position %d: got %s want %s", i, keys.String(it.Key()), keys.String([]byte(want[i])))
+		}
+		i++
+	}
+	if i != len(want) {
+		t.Fatalf("iterated %d entries, want %d", i, len(want))
+	}
+}
+
+func TestSeekGE(t *testing.T) {
+	l := New()
+	l.Insert(ik("b", 5), []byte("b5"))
+	l.Insert(ik("d", 7), []byte("d7"))
+
+	it := l.NewIterator()
+	it.SeekGE(keys.SeekKey([]byte("a"), keys.MaxTimestamp))
+	if !it.Valid() || string(keys.UserKey(it.Key())) != "b" {
+		t.Fatal("SeekGE(a) should land on b")
+	}
+	it.SeekGE(keys.SeekKey([]byte("c"), keys.MaxTimestamp))
+	if !it.Valid() || string(keys.UserKey(it.Key())) != "d" {
+		t.Fatal("SeekGE(c) should land on d")
+	}
+	it.SeekGE(keys.SeekKey([]byte("e"), keys.MaxTimestamp))
+	if it.Valid() {
+		t.Fatal("SeekGE(e) should be exhausted")
+	}
+}
+
+// Model-based property test: the skip list must agree with a sorted map.
+func TestAgainstModel(t *testing.T) {
+	l := New()
+	model := map[string]struct {
+		ts uint64
+		v  string
+	}{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 1; i <= 5000; i++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(300))
+		v := fmt.Sprintf("v%d", i)
+		ts := uint64(i)
+		l.Insert(ik(k, ts), []byte(v))
+		if m, ok := model[k]; !ok || ts > m.ts {
+			model[k] = struct {
+				ts uint64
+				v  string
+			}{ts, v}
+		}
+	}
+	for k, want := range model {
+		v, ts, _, ok := l.Get([]byte(k), keys.MaxTimestamp)
+		if !ok || string(v) != want.v || ts != want.ts {
+			t.Fatalf("Get(%s) = %q,%d,%v; want %q,%d", k, v, ts, ok, want.v, want.ts)
+		}
+	}
+}
+
+func TestConcurrentInsertAllVisible(t *testing.T) {
+	l := New()
+	const workers = 8
+	const perWorker = 3000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ts := uint64(w*perWorker + i + 1)
+				k := fmt.Sprintf("key%05d", ts)
+				l.Insert(ik(k, ts), []byte(k))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != workers*perWorker {
+		t.Fatalf("Len = %d, want %d", l.Len(), workers*perWorker)
+	}
+	// every key readable
+	for ts := uint64(1); ts <= workers*perWorker; ts++ {
+		k := fmt.Sprintf("key%05d", ts)
+		v, _, _, ok := l.Get([]byte(k), keys.MaxTimestamp)
+		if !ok || string(v) != k {
+			t.Fatalf("lost insert %s", k)
+		}
+	}
+	// order invariant
+	it := l.NewIterator()
+	var prev []byte
+	n := 0
+	for it.First(); it.Valid(); it.Next() {
+		if prev != nil && keys.Compare(prev, it.Key()) >= 0 {
+			t.Fatalf("order violation at entry %d", n)
+		}
+		prev = append(prev[:0], it.Key()...)
+		n++
+	}
+	if n != workers*perWorker {
+		t.Fatalf("iterator saw %d entries", n)
+	}
+}
+
+// Weak consistency: entries present before a scan starts are always seen.
+func TestIteratorWeakConsistency(t *testing.T) {
+	l := New()
+	for i := 1; i <= 100; i++ {
+		l.Insert(ik(fmt.Sprintf("stable%03d", i), uint64(i)), []byte("x"))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ts := uint64(1000)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				ts++
+				l.Insert(ik(fmt.Sprintf("noise%06d", ts), ts), []byte("n"))
+			}
+		}
+	}()
+	for round := 0; round < 50; round++ {
+		seen := 0
+		it := l.NewIterator()
+		for it.First(); it.Valid(); it.Next() {
+			if bytes.HasPrefix(keys.UserKey(it.Key()), []byte("stable")) {
+				seen++
+			}
+		}
+		if seen != 100 {
+			t.Fatalf("scan missed stable entries: saw %d", seen)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestInsertRMWConflicts(t *testing.T) {
+	l := New()
+	l.Insert(ik("k", 5), []byte("v5"))
+
+	// No conflict: we read ts=5, no newer version exists.
+	if !l.InsertRMW(ik("k", 6), []byte("v6"), 5) {
+		t.Fatal("expected success")
+	}
+	// Conflict: we read ts=5 but ts=6 now exists.
+	if l.InsertRMW(ik("k", 7), []byte("v7"), 5) {
+		t.Fatal("expected conflict: version 6 is newer than read ts 5")
+	}
+	// Success after re-reading ts=6.
+	if !l.InsertRMW(ik("k", 8), []byte("v8"), 6) {
+		t.Fatal("expected success after fresh read")
+	}
+	// Key absent from memtable (read from disk at ts=0): first version wins...
+	if !l.InsertRMW(ik("fresh", 9), []byte("f"), 0) {
+		t.Fatal("expected success for fresh key")
+	}
+	// ...and a second writer that also read "absent" must conflict.
+	if l.InsertRMW(ik("fresh", 10), []byte("g"), 0) {
+		t.Fatal("expected conflict for stale absent-read")
+	}
+}
+
+// Counter increments through InsertRMW must never be lost.
+func TestRMWCounterLosesNothing(t *testing.T) {
+	l := New()
+	const workers = 8
+	const perWorker = 500
+	var tsCounter struct {
+		sync.Mutex
+		n uint64
+	}
+	nextTS := func() uint64 {
+		tsCounter.Lock()
+		defer tsCounter.Unlock()
+		tsCounter.n++
+		return tsCounter.n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				for {
+					v, readTS, _, ok := l.Get([]byte("ctr"), keys.MaxTimestamp)
+					var cur int
+					if ok {
+						fmt.Sscanf(string(v), "%d", &cur)
+					} else {
+						readTS = 0
+					}
+					ts := nextTS()
+					if l.InsertRMW(ik("ctr", ts), []byte(fmt.Sprintf("%d", cur+1)), readTS) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, _, _, ok := l.Get([]byte("ctr"), keys.MaxTimestamp)
+	if !ok {
+		t.Fatal("counter missing")
+	}
+	var got int
+	fmt.Sscanf(string(v), "%d", &got)
+	if got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, workers*perWorker)
+	}
+}
+
+func TestMemoryUsageGrows(t *testing.T) {
+	l := New()
+	before := l.MemoryUsage()
+	l.Insert(ik("key", 1), bytes.Repeat([]byte("v"), 1000))
+	if l.MemoryUsage() <= before {
+		t.Error("MemoryUsage did not grow")
+	}
+}

@@ -1,0 +1,250 @@
+// Package sstable implements the immutable sorted-table file format of the
+// disk component: prefix-compressed data blocks with restart points, a
+// whole-table Bloom filter, an index block, and a fixed-size footer —
+// structurally the LevelDB table format, rebuilt from scratch.
+package sstable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"clsm/internal/keys"
+)
+
+// restartInterval is the number of entries between full (uncompressed)
+// keys within a block.
+const restartInterval = 16
+
+// ErrCorrupt reports a structurally invalid block or table.
+var ErrCorrupt = errors.New("sstable: corrupt table")
+
+// blockBuilder assembles one block: entries with shared-prefix key
+// compression plus a restart-point array.
+type blockBuilder struct {
+	buf      []byte
+	restarts []uint32
+	count    int
+	lastKey  []byte
+}
+
+func (b *blockBuilder) add(ikey, value []byte) {
+	shared := 0
+	if b.count%restartInterval == 0 {
+		b.restarts = append(b.restarts, uint32(len(b.buf)))
+	} else {
+		n := len(ikey)
+		if len(b.lastKey) < n {
+			n = len(b.lastKey)
+		}
+		for shared < n && ikey[shared] == b.lastKey[shared] {
+			shared++
+		}
+	}
+	b.buf = binary.AppendUvarint(b.buf, uint64(shared))
+	b.buf = binary.AppendUvarint(b.buf, uint64(len(ikey)-shared))
+	b.buf = binary.AppendUvarint(b.buf, uint64(len(value)))
+	b.buf = append(b.buf, ikey[shared:]...)
+	b.buf = append(b.buf, value...)
+	b.lastKey = append(b.lastKey[:0], ikey...)
+	b.count++
+}
+
+func (b *blockBuilder) estimatedSize() int {
+	return len(b.buf) + 4*len(b.restarts) + 4
+}
+
+func (b *blockBuilder) empty() bool { return b.count == 0 }
+
+// finish appends the restart array and count, returning the block contents.
+func (b *blockBuilder) finish() []byte {
+	if len(b.restarts) == 0 {
+		b.restarts = append(b.restarts, 0)
+	}
+	for _, r := range b.restarts {
+		b.buf = binary.LittleEndian.AppendUint32(b.buf, r)
+	}
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, uint32(len(b.restarts)))
+	return b.buf
+}
+
+func (b *blockBuilder) reset() {
+	b.buf = b.buf[:0]
+	b.restarts = b.restarts[:0]
+	b.count = 0
+	b.lastKey = b.lastKey[:0]
+}
+
+// blockIter iterates one decoded block.
+type blockIter struct {
+	data     []byte // entry region (restart array stripped)
+	restarts []uint32
+	off      int // offset of current entry within data
+	nextOff  int
+	key      []byte
+	val      []byte
+	valid    bool
+	err      error
+}
+
+func newBlockIter(block []byte) (*blockIter, error) {
+	if len(block) < 4 {
+		return nil, fmt.Errorf("%w: block too small", ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint32(block[len(block)-4:]))
+	restartsOff := len(block) - 4 - 4*n
+	if n <= 0 || restartsOff < 0 {
+		return nil, fmt.Errorf("%w: bad restart count %d", ErrCorrupt, n)
+	}
+	restarts := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		restarts[i] = binary.LittleEndian.Uint32(block[restartsOff+4*i:])
+		if int(restarts[i]) > restartsOff {
+			return nil, fmt.Errorf("%w: restart beyond entries", ErrCorrupt)
+		}
+	}
+	return &blockIter{data: block[:restartsOff], restarts: restarts}, nil
+}
+
+func (it *blockIter) First() {
+	it.nextOff = 0
+	it.key = it.key[:0]
+	it.valid = false
+	it.Next()
+}
+
+// Next is also the initial step after First/seekToRestart.
+func (it *blockIter) Next() {
+	if it.err != nil || it.nextOff >= len(it.data) {
+		it.valid = false
+		return
+	}
+	it.off = it.nextOff
+	shared, n1 := binary.Uvarint(it.data[it.nextOff:])
+	if n1 <= 0 {
+		it.fail()
+		return
+	}
+	p := it.nextOff + n1
+	unshared, n2 := binary.Uvarint(it.data[p:])
+	if n2 <= 0 {
+		it.fail()
+		return
+	}
+	p += n2
+	vlen, n3 := binary.Uvarint(it.data[p:])
+	if n3 <= 0 {
+		it.fail()
+		return
+	}
+	p += n3
+	if int(shared) > len(it.key) || p+int(unshared)+int(vlen) > len(it.data) {
+		it.fail()
+		return
+	}
+	it.key = append(it.key[:shared], it.data[p:p+int(unshared)]...)
+	p += int(unshared)
+	it.val = it.data[p : p+int(vlen)]
+	it.nextOff = p + int(vlen)
+	it.valid = true
+}
+
+func (it *blockIter) fail() {
+	it.err = fmt.Errorf("%w: bad entry at offset %d", ErrCorrupt, it.nextOff)
+	it.valid = false
+}
+
+func (it *blockIter) seekToRestart(i int) {
+	it.nextOff = int(it.restarts[i])
+	it.key = it.key[:0]
+	it.Next()
+}
+
+// SeekGE positions at the first entry >= ikey.
+func (it *blockIter) SeekGE(ikey []byte) {
+	// Binary-search restart points for the last restart whose key < ikey.
+	i := sort.Search(len(it.restarts), func(i int) bool {
+		k, ok := it.restartKey(i)
+		return !ok || keys.Compare(k, ikey) >= 0
+	})
+	if it.err != nil {
+		it.valid = false
+		return
+	}
+	if i > 0 {
+		i--
+	}
+	it.seekToRestart(i)
+	for it.valid && keys.Compare(it.key, ikey) < 0 {
+		it.Next()
+	}
+}
+
+// restartKey decodes the full key stored at restart i.
+func (it *blockIter) restartKey(i int) ([]byte, bool) {
+	off := int(it.restarts[i])
+	_, n1 := binary.Uvarint(it.data[off:])
+	if n1 <= 0 {
+		it.err = fmt.Errorf("%w: bad restart entry", ErrCorrupt)
+		return nil, false
+	}
+	p := off + n1
+	unshared, n2 := binary.Uvarint(it.data[p:])
+	if n2 <= 0 {
+		it.err = fmt.Errorf("%w: bad restart entry", ErrCorrupt)
+		return nil, false
+	}
+	p += n2
+	vlen, n3 := binary.Uvarint(it.data[p:])
+	if n3 <= 0 || p+n3+int(unshared) > len(it.data) {
+		it.err = fmt.Errorf("%w: bad restart entry", ErrCorrupt)
+		return nil, false
+	}
+	_ = vlen
+	p += n3
+	return it.data[p : p+int(unshared)], true
+}
+
+// Last positions at the final entry of the block.
+func (it *blockIter) Last() {
+	if it.err != nil || len(it.data) == 0 {
+		it.valid = false
+		return
+	}
+	it.seekToRestart(len(it.restarts) - 1)
+	for it.valid && it.nextOff < len(it.data) {
+		it.Next()
+	}
+}
+
+// Prev steps to the predecessor entry by replaying forward from the
+// nearest restart point — the standard technique for prefix-compressed
+// blocks (entries cannot be decoded backwards).
+func (it *blockIter) Prev() {
+	if it.err != nil || !it.valid {
+		it.valid = false
+		return
+	}
+	target := it.off
+	if target == 0 {
+		it.valid = false // caller moves to the previous block
+		return
+	}
+	// Largest restart strictly before the current entry.
+	i := sort.Search(len(it.restarts), func(i int) bool {
+		return int(it.restarts[i]) >= target
+	}) - 1
+	if i < 0 {
+		i = 0
+	}
+	it.seekToRestart(i)
+	for it.valid && it.nextOff < target {
+		it.Next()
+	}
+}
+
+func (it *blockIter) Valid() bool   { return it.valid }
+func (it *blockIter) Key() []byte   { return it.key }
+func (it *blockIter) Value() []byte { return it.val }
+func (it *blockIter) Err() error    { return it.err }

@@ -1,0 +1,108 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"clsm/internal/keys"
+	"clsm/internal/storage"
+)
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(77)) }
+
+func TestFlateRoundTrip(t *testing.T) {
+	fs := storage.NewMemFS()
+	// Highly compressible values.
+	entries := make([]kv, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		entries = append(entries, kv{
+			ik: keys.Make([]byte(fmt.Sprintf("key%06d", i)), uint64(i+1), keys.KindValue),
+			v:  bytes.Repeat([]byte("abcdef"), 40),
+		})
+	}
+	buildTable(t, fs, "raw", entries, WriterOptions{BlockSize: 2048})
+	buildTable(t, fs, "flate", entries, WriterOptions{BlockSize: 2048, Compression: FlateCompression})
+
+	rawData, _ := fs.ReadFile("raw")
+	flateData, _ := fs.ReadFile("flate")
+	if len(flateData) >= len(rawData)/2 {
+		t.Errorf("compression ineffective: raw=%d flate=%d", len(rawData), len(flateData))
+	}
+
+	r := openTable(t, fs, "flate", nil)
+	defer r.Close()
+	it := r.NewIterator()
+	i := 0
+	for it.First(); it.Valid(); it.Next() {
+		if !bytes.Equal(it.Key(), entries[i].ik) || !bytes.Equal(it.Value(), entries[i].v) {
+			t.Fatalf("entry %d corrupted by compression", i)
+		}
+		i++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(entries) {
+		t.Fatalf("iterated %d entries", i)
+	}
+	// Point reads through compressed blocks.
+	for i := 0; i < 1000; i += 111 {
+		_, v, ok, err := r.Get(keys.SeekKey([]byte(fmt.Sprintf("key%06d", i)), keys.MaxTimestamp))
+		if err != nil || !ok || !bytes.Equal(v, entries[i].v) {
+			t.Fatalf("Get(%d) through flate block failed: %v %v", i, ok, err)
+		}
+	}
+}
+
+// Incompressible data must fall back to raw blocks transparently.
+func TestFlateFallbackToRaw(t *testing.T) {
+	fs := storage.NewMemFS()
+	rng := newTestRand()
+	entries := make([]kv, 0, 200)
+	for i := 0; i < 200; i++ {
+		v := make([]byte, 256)
+		rng.Read(v)
+		entries = append(entries, kv{
+			ik: keys.Make([]byte(fmt.Sprintf("key%06d", i)), uint64(i+1), keys.KindValue),
+			v:  v,
+		})
+	}
+	buildTable(t, fs, "t", entries, WriterOptions{BlockSize: 1024, Compression: FlateCompression})
+	r := openTable(t, fs, "t", nil)
+	defer r.Close()
+	it := r.NewIterator()
+	n := 0
+	for it.First(); it.Valid(); it.Next() {
+		if !bytes.Equal(it.Value(), entries[n].v) {
+			t.Fatalf("entry %d mismatch", n)
+		}
+		n++
+	}
+	if n != 200 || it.Err() != nil {
+		t.Fatalf("n=%d err=%v", n, it.Err())
+	}
+}
+
+// Corruption inside a compressed block must be detected (CRC covers the
+// compressed bytes).
+func TestFlateCorruptionDetected(t *testing.T) {
+	fs := storage.NewMemFS()
+	entries := []kv{{ik: keys.Make([]byte("k"), 1, keys.KindValue), v: bytes.Repeat([]byte("z"), 4096)}}
+	buildTable(t, fs, "t", entries, WriterOptions{Compression: FlateCompression})
+	data, _ := fs.ReadFile("t")
+	data[3] ^= 0xff
+	fs.WriteFile("bad", data)
+	src, _ := fs.Open("bad")
+	r, err := NewReader(src, 9, nil)
+	if err != nil {
+		return // index/footer parse caught it: fine
+	}
+	it := r.NewIterator()
+	for it.First(); it.Valid(); it.Next() {
+	}
+	if it.Err() == nil {
+		t.Fatal("corrupted compressed block not detected")
+	}
+}

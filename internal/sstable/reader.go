@@ -1,0 +1,332 @@
+package sstable
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"clsm/internal/bloom"
+	"clsm/internal/cache"
+	"clsm/internal/iterator"
+	"clsm/internal/keys"
+)
+
+// Reader provides random access to a finished table. It is safe for
+// concurrent use: all state after construction is immutable, and block
+// loads go through the shared cache.
+type Reader struct {
+	src     readerSource
+	fileNum uint64
+	cache   *cache.Cache
+	index   []byte // decoded index block contents
+	filter  bloom.Filter
+}
+
+// readerSource is the subset of storage.RandomReader the reader needs.
+type readerSource interface {
+	io.ReaderAt
+	Size() int64
+	Close() error
+}
+
+// NewReader opens a table. fileNum keys the block cache; pass a nil cache
+// to bypass caching.
+func NewReader(src readerSource, fileNum uint64, c *cache.Cache) (*Reader, error) {
+	size := src.Size()
+	if size < footerSize {
+		return nil, fmt.Errorf("%w: file too small (%d bytes)", ErrCorrupt, size)
+	}
+	var footer [footerSize]byte
+	if _, err := src.ReadAt(footer[:], size-footerSize); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("sstable: read footer: %w", err)
+	}
+	if binary.LittleEndian.Uint64(footer[32:]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	r := &Reader{src: src, fileNum: fileNum, cache: c}
+	filterHandle := blockHandle{
+		offset: binary.LittleEndian.Uint64(footer[0:]),
+		length: binary.LittleEndian.Uint64(footer[8:]),
+	}
+	indexHandle := blockHandle{
+		offset: binary.LittleEndian.Uint64(footer[16:]),
+		length: binary.LittleEndian.Uint64(footer[24:]),
+	}
+	idx, err := r.readBlockRaw(indexHandle)
+	if err != nil {
+		return nil, err
+	}
+	r.index = idx
+	if filterHandle.length > 0 {
+		f, err := r.readBlockRaw(filterHandle)
+		if err != nil {
+			return nil, err
+		}
+		r.filter = bloom.Filter(f)
+	}
+	return r, nil
+}
+
+// Close releases the underlying file.
+func (r *Reader) Close() error { return r.src.Close() }
+
+// readBlockRaw reads and verifies a block without touching the cache.
+func (r *Reader) readBlockRaw(h blockHandle) ([]byte, error) {
+	buf := make([]byte, h.length+blockTrailerSize)
+	if _, err := r.src.ReadAt(buf, int64(h.offset)); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("sstable: read block @%d: %w", h.offset, err)
+	}
+	n := int(h.length)
+	wantCRC := binary.LittleEndian.Uint32(buf[n+1:])
+	if crc32.Checksum(buf[:n+1], castagnoli) != wantCRC {
+		return nil, fmt.Errorf("%w: block checksum mismatch @%d", ErrCorrupt, h.offset)
+	}
+	switch buf[n] {
+	case blockTypeRaw:
+		return buf[:n:n], nil
+	case blockTypeFlate:
+		fr := flate.NewReader(bytes.NewReader(buf[:n]))
+		out, err := io.ReadAll(fr)
+		fr.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%w: flate block @%d: %v", ErrCorrupt, h.offset, err)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown block type %d", ErrCorrupt, buf[n])
+	}
+}
+
+// readBlock reads a data block through the cache.
+func (r *Reader) readBlock(h blockHandle) ([]byte, error) {
+	if r.cache == nil {
+		return r.readBlockRaw(h)
+	}
+	key := cache.Key{File: r.fileNum, Offset: h.offset}
+	if b, ok := r.cache.Get(key); ok {
+		return b, nil
+	}
+	b, err := r.readBlockRaw(h)
+	if err != nil {
+		return nil, err
+	}
+	r.cache.Put(key, b)
+	return b, nil
+}
+
+// decodeHandle parses an index-entry value.
+func decodeHandle(v []byte) (blockHandle, error) {
+	off, n1 := binary.Uvarint(v)
+	if n1 <= 0 {
+		return blockHandle{}, fmt.Errorf("%w: bad block handle", ErrCorrupt)
+	}
+	length, n2 := binary.Uvarint(v[n1:])
+	if n2 <= 0 {
+		return blockHandle{}, fmt.Errorf("%w: bad block handle", ErrCorrupt)
+	}
+	return blockHandle{offset: off, length: length}, nil
+}
+
+// MayContain consults the Bloom filter for a user key. Tables built without
+// a filter always report true.
+func (r *Reader) MayContain(userKey []byte) bool {
+	if r.filter == nil {
+		return true
+	}
+	return r.filter.MayContain(bloom.Hash(userKey))
+}
+
+// Get returns the first entry with internal key >= ikey whose user key
+// matches ikey's — i.e. the newest visible version when ikey is a seek key.
+// ok is false when the table holds no such entry.
+func (r *Reader) Get(ikey []byte) (foundKey, value []byte, ok bool, err error) {
+	uk := keys.UserKey(ikey)
+	if !r.MayContain(uk) {
+		return nil, nil, false, nil
+	}
+	it := r.NewIterator()
+	it.SeekGE(ikey)
+	if err := it.Err(); err != nil {
+		return nil, nil, false, err
+	}
+	if !it.Valid() {
+		return nil, nil, false, nil
+	}
+	fk := it.Key()
+	if string(keys.UserKey(fk)) != string(uk) {
+		return nil, nil, false, nil
+	}
+	return fk, it.Value(), true, nil
+}
+
+// tableIter is the two-level iterator: index block -> data blocks.
+type tableIter struct {
+	r    *Reader
+	idx  *blockIter
+	data *blockIter
+	err  error
+}
+
+// NewIterator returns an iterator over the whole table.
+func (r *Reader) NewIterator() iterator.Iterator {
+	idx, err := newBlockIter(r.index)
+	if err != nil {
+		return &tableIter{r: r, err: err}
+	}
+	return &tableIter{r: r, idx: idx}
+}
+
+func (it *tableIter) loadData() {
+	it.data = nil
+	if !it.idx.Valid() {
+		return
+	}
+	h, err := decodeHandle(it.idx.Value())
+	if err != nil {
+		it.err = err
+		return
+	}
+	b, err := it.r.readBlock(h)
+	if err != nil {
+		it.err = err
+		return
+	}
+	d, err := newBlockIter(b)
+	if err != nil {
+		it.err = err
+		return
+	}
+	it.data = d
+}
+
+func (it *tableIter) First() {
+	if it.err != nil {
+		return
+	}
+	it.idx.First()
+	it.loadData()
+	if it.data != nil {
+		it.data.First()
+		it.skipEmptyForward()
+	}
+}
+
+func (it *tableIter) SeekGE(ikey []byte) {
+	if it.err != nil {
+		return
+	}
+	// Index entries are separators >= every key in their block, so the
+	// first index entry >= ikey names the candidate block.
+	it.idx.SeekGE(ikey)
+	it.loadData()
+	if it.data != nil {
+		it.data.SeekGE(ikey)
+		it.skipEmptyForward()
+	}
+}
+
+func (it *tableIter) Next() {
+	if it.err != nil || it.data == nil {
+		return
+	}
+	it.data.Next()
+	it.skipEmptyForward()
+}
+
+// skipEmptyForward advances to the next non-exhausted data block.
+func (it *tableIter) skipEmptyForward() {
+	for it.data != nil && !it.data.Valid() {
+		if err := it.data.Err(); err != nil {
+			it.err = err
+			it.data = nil
+			return
+		}
+		it.idx.Next()
+		if !it.idx.Valid() {
+			if err := it.idx.Err(); err != nil {
+				it.err = err
+			}
+			it.data = nil
+			return
+		}
+		it.loadData()
+		if it.data != nil {
+			it.data.First()
+		}
+	}
+}
+
+// Last positions at the final entry of the table.
+func (it *tableIter) Last() {
+	if it.err != nil {
+		return
+	}
+	it.idx.Last()
+	it.loadData()
+	if it.data != nil {
+		it.data.Last()
+		it.skipEmptyBackward()
+	}
+}
+
+// Prev steps to the predecessor entry, crossing into the previous data
+// block when the current one is exhausted.
+func (it *tableIter) Prev() {
+	if it.err != nil || it.data == nil {
+		return
+	}
+	it.data.Prev()
+	it.skipEmptyBackward()
+}
+
+// skipEmptyBackward retreats to the last entry of the previous non-empty
+// data block.
+func (it *tableIter) skipEmptyBackward() {
+	for it.data != nil && !it.data.Valid() {
+		if err := it.data.Err(); err != nil {
+			it.err = err
+			it.data = nil
+			return
+		}
+		it.idx.Prev()
+		if !it.idx.Valid() {
+			if err := it.idx.Err(); err != nil {
+				it.err = err
+			}
+			it.data = nil
+			return
+		}
+		it.loadData()
+		if it.data != nil {
+			it.data.Last()
+		}
+	}
+}
+
+func (it *tableIter) Valid() bool {
+	return it.err == nil && it.data != nil && it.data.Valid()
+}
+
+func (it *tableIter) Key() []byte {
+	return it.data.Key()
+}
+
+func (it *tableIter) Value() []byte {
+	return it.data.Value()
+}
+
+func (it *tableIter) Err() error {
+	if it.err != nil {
+		return it.err
+	}
+	if it.idx != nil && it.idx.Err() != nil {
+		return it.idx.Err()
+	}
+	if it.data != nil && it.data.Err() != nil {
+		return it.data.Err()
+	}
+	return nil
+}

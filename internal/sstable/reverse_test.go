@@ -1,0 +1,80 @@
+package sstable
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"clsm/internal/iterator"
+	"clsm/internal/keys"
+	"clsm/internal/storage"
+)
+
+func TestTableReverseIteration(t *testing.T) {
+	fs := storage.NewMemFS()
+	entries := genEntries(1500, 2)
+	buildTable(t, fs, "t", entries, WriterOptions{BlockSize: 512})
+	r := openTable(t, fs, "t", nil)
+	defer r.Close()
+	it := r.NewIterator().(iterator.Bidirectional)
+
+	// Last + Prev must visit everything in exact reverse.
+	i := len(entries) - 1
+	for it.Last(); it.Valid(); it.Prev() {
+		if !bytes.Equal(it.Key(), entries[i].ik) || !bytes.Equal(it.Value(), entries[i].v) {
+			t.Fatalf("reverse position %d: got %s", i, keys.String(it.Key()))
+		}
+		i--
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != -1 {
+		t.Fatalf("reverse iteration stopped at %d", i)
+	}
+}
+
+func TestTableSeekThenPrev(t *testing.T) {
+	fs := storage.NewMemFS()
+	entries := genEntries(500, 1)
+	buildTable(t, fs, "t", entries, WriterOptions{BlockSize: 256})
+	r := openTable(t, fs, "t", nil)
+	defer r.Close()
+	it := r.NewIterator().(iterator.Bidirectional)
+
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		i := rng.Intn(len(entries))
+		it.SeekGE(entries[i].ik)
+		if !bytes.Equal(it.Key(), entries[i].ik) {
+			t.Fatalf("SeekGE landed on %s", keys.String(it.Key()))
+		}
+		it.Prev()
+		if i == 0 {
+			if it.Valid() {
+				t.Fatal("Prev before first entry valid")
+			}
+			continue
+		}
+		if !bytes.Equal(it.Key(), entries[i-1].ik) {
+			t.Fatalf("Prev from %d landed on %s", i, keys.String(it.Key()))
+		}
+		// And forward again.
+		it.Next()
+		if !bytes.Equal(it.Key(), entries[i].ik) {
+			t.Fatalf("Next after Prev landed on %s", keys.String(it.Key()))
+		}
+	}
+}
+
+func TestEmptyTableReverse(t *testing.T) {
+	fs := storage.NewMemFS()
+	buildTable(t, fs, "t", nil, WriterOptions{})
+	r := openTable(t, fs, "t", nil)
+	defer r.Close()
+	it := r.NewIterator().(iterator.Bidirectional)
+	it.Last()
+	if it.Valid() {
+		t.Fatal("empty table Last valid")
+	}
+}

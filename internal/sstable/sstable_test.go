@@ -1,0 +1,319 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"clsm/internal/cache"
+	"clsm/internal/keys"
+	"clsm/internal/storage"
+)
+
+type kv struct {
+	ik []byte
+	v  []byte
+}
+
+func buildTable(t *testing.T, fs *storage.MemFS, name string, entries []kv, opts WriterOptions) Meta {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f, opts)
+	for _, e := range entries {
+		if err := w.Add(e.ik, e.v); err != nil {
+			t.Fatalf("Add(%s): %v", keys.String(e.ik), err)
+		}
+	}
+	meta, err := w.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return meta
+}
+
+func openTable(t *testing.T, fs *storage.MemFS, name string, c *cache.Cache) *Reader {
+	t.Helper()
+	src, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(src, 1, c)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	return r
+}
+
+func genEntries(n int, versions int) []kv {
+	var out []kv
+	ts := uint64(1)
+	for i := 0; i < n; i++ {
+		for v := 0; v < versions; v++ {
+			k := fmt.Sprintf("key%06d", i)
+			out = append(out, kv{
+				ik: keys.Make([]byte(k), ts, keys.KindValue),
+				v:  []byte(fmt.Sprintf("val-%d-%d", i, ts)),
+			})
+			ts++
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return keys.Compare(out[i].ik, out[j].ik) < 0 })
+	return out
+}
+
+func TestBuildAndIterate(t *testing.T) {
+	fs := storage.NewMemFS()
+	entries := genEntries(2000, 2)
+	meta := buildTable(t, fs, "t", entries, WriterOptions{BlockSize: 512, BloomBitsPerKey: 10})
+	if meta.Entries != len(entries) {
+		t.Fatalf("meta.Entries = %d, want %d", meta.Entries, len(entries))
+	}
+	if !bytes.Equal(meta.Smallest, entries[0].ik) || !bytes.Equal(meta.Largest, entries[len(entries)-1].ik) {
+		t.Fatal("meta bounds wrong")
+	}
+
+	r := openTable(t, fs, "t", cache.New(1<<20))
+	defer r.Close()
+	it := r.NewIterator()
+	i := 0
+	for it.First(); it.Valid(); it.Next() {
+		if !bytes.Equal(it.Key(), entries[i].ik) || !bytes.Equal(it.Value(), entries[i].v) {
+			t.Fatalf("entry %d mismatch: got %s", i, keys.String(it.Key()))
+		}
+		i++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(entries) {
+		t.Fatalf("iterated %d entries, want %d", i, len(entries))
+	}
+}
+
+func TestSeekGE(t *testing.T) {
+	fs := storage.NewMemFS()
+	entries := genEntries(500, 1)
+	buildTable(t, fs, "t", entries, WriterOptions{BlockSize: 256})
+	r := openTable(t, fs, "t", nil)
+	defer r.Close()
+	it := r.NewIterator()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		target := entries[rng.Intn(len(entries))].ik
+		it.SeekGE(target)
+		if !it.Valid() {
+			t.Fatalf("SeekGE(%s) exhausted", keys.String(target))
+		}
+		if !bytes.Equal(it.Key(), target) {
+			t.Fatalf("SeekGE(%s) landed on %s", keys.String(target), keys.String(it.Key()))
+		}
+	}
+	// Seek between keys.
+	it.SeekGE(keys.Make([]byte("key000100x"), 1, keys.KindValue))
+	if !it.Valid() || string(keys.UserKey(it.Key())) != "key000101" {
+		t.Fatalf("between-key seek landed on %s", keys.String(it.Key()))
+	}
+	// Seek past the end.
+	it.SeekGE(keys.Make([]byte("zzz"), 1, keys.KindValue))
+	if it.Valid() {
+		t.Fatal("seek past end is valid")
+	}
+}
+
+func TestGetVersions(t *testing.T) {
+	fs := storage.NewMemFS()
+	var entries []kv
+	for _, ts := range []uint64{90, 50, 10} { // descending order within key
+		entries = append(entries, kv{
+			ik: keys.Make([]byte("k"), ts, keys.KindValue),
+			v:  []byte(fmt.Sprintf("v%d", ts)),
+		})
+	}
+	buildTable(t, fs, "t", entries, WriterOptions{BloomBitsPerKey: 10})
+	r := openTable(t, fs, "t", nil)
+	defer r.Close()
+
+	for _, tc := range []struct {
+		ts   uint64
+		want string
+		ok   bool
+	}{
+		{100, "v90", true},
+		{90, "v90", true},
+		{89, "v50", true},
+		{50, "v50", true},
+		{49, "v10", true},
+		{10, "v10", true},
+		{9, "", false},
+	} {
+		fk, v, ok, err := r.Get(keys.SeekKey([]byte("k"), tc.ts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != tc.ok {
+			t.Fatalf("Get@%d ok=%v want %v", tc.ts, ok, tc.ok)
+		}
+		if ok && string(v) != tc.want {
+			t.Fatalf("Get@%d = %q (key %s), want %q", tc.ts, v, keys.String(fk), tc.want)
+		}
+	}
+	// Absent key, filtered by bloom.
+	if _, _, ok, _ := r.Get(keys.SeekKey([]byte("absent"), 100)); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestBloomSkipsAbsent(t *testing.T) {
+	fs := storage.NewMemFS()
+	entries := genEntries(1000, 1)
+	buildTable(t, fs, "t", entries, WriterOptions{BloomBitsPerKey: 10})
+	r := openTable(t, fs, "t", nil)
+	defer r.Close()
+	misses := 0
+	for i := 0; i < 1000; i++ {
+		if !r.MayContain([]byte(fmt.Sprintf("nosuch%d", i))) {
+			misses++
+		}
+	}
+	if misses < 950 {
+		t.Errorf("bloom rejected only %d/1000 absent keys", misses)
+	}
+	for i := 0; i < 1000; i++ {
+		if !r.MayContain([]byte(fmt.Sprintf("key%06d", i))) {
+			t.Fatal("bloom false negative")
+		}
+	}
+}
+
+func TestBlockCacheUsed(t *testing.T) {
+	fs := storage.NewMemFS()
+	entries := genEntries(2000, 1)
+	buildTable(t, fs, "t", entries, WriterOptions{BlockSize: 512})
+	c := cache.New(1 << 20)
+	r := openTable(t, fs, "t", c)
+	defer r.Close()
+	it := r.NewIterator()
+	for it.First(); it.Valid(); it.Next() {
+	}
+	if c.Len() == 0 {
+		t.Fatal("block cache unused after full scan")
+	}
+	before := c.Len()
+	it2 := r.NewIterator()
+	for it2.First(); it2.Valid(); it2.Next() {
+	}
+	if c.Len() != before {
+		t.Errorf("second scan changed cache population: %d -> %d", before, c.Len())
+	}
+}
+
+func TestOutOfOrderAddRejected(t *testing.T) {
+	fs := storage.NewMemFS()
+	f, _ := fs.Create("t")
+	w := NewWriter(f, WriterOptions{})
+	if err := w.Add(keys.Make([]byte("b"), 1, keys.KindValue), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(keys.Make([]byte("a"), 1, keys.KindValue), nil); err == nil {
+		t.Fatal("out-of-order Add accepted")
+	}
+	// Same user key, newer timestamp must also be rejected (it sorts first).
+	if err := w.Add(keys.Make([]byte("b"), 9, keys.KindValue), nil); err == nil {
+		t.Fatal("newer version after older accepted")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	fs := storage.NewMemFS()
+	entries := genEntries(100, 1)
+	buildTable(t, fs, "t", entries, WriterOptions{BlockSize: 256})
+	data, _ := fs.ReadFile("t")
+
+	// Flip a byte in the middle of the first data block.
+	bad := append([]byte(nil), data...)
+	bad[50] ^= 0xff
+	fs.WriteFile("bad", bad)
+	src, _ := fs.Open("bad")
+	r, err := NewReader(src, 2, nil)
+	if err == nil {
+		it := r.NewIterator()
+		for it.First(); it.Valid(); it.Next() {
+		}
+		if it.Err() == nil {
+			t.Fatal("corruption not detected by iterator")
+		}
+	}
+
+	// Corrupt the magic.
+	bad2 := append([]byte(nil), data...)
+	bad2[len(bad2)-1] ^= 0xff
+	fs.WriteFile("bad2", bad2)
+	src2, _ := fs.Open("bad2")
+	if _, err := NewReader(src2, 3, nil); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+
+	// Truncated file.
+	fs.WriteFile("tiny", []byte("short"))
+	src3, _ := fs.Open("tiny")
+	if _, err := NewReader(src3, 4, nil); err == nil {
+		t.Fatal("tiny file accepted")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	fs := storage.NewMemFS()
+	meta := buildTable(t, fs, "t", nil, WriterOptions{})
+	if meta.Entries != 0 {
+		t.Fatalf("Entries = %d", meta.Entries)
+	}
+	r := openTable(t, fs, "t", nil)
+	defer r.Close()
+	it := r.NewIterator()
+	it.First()
+	if it.Valid() {
+		t.Fatal("empty table iterator valid")
+	}
+	if _, _, ok, _ := r.Get(keys.SeekKey([]byte("x"), 1)); ok {
+		t.Fatal("Get on empty table found something")
+	}
+}
+
+// Round-trip with random keys/values and random block size.
+func TestRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		fs := storage.NewMemFS()
+		m := map[string]string{}
+		for i := 0; i < 500; i++ {
+			k := make([]byte, rng.Intn(20)+1)
+			for j := range k {
+				k[j] = byte('a' + rng.Intn(6))
+			}
+			v := make([]byte, rng.Intn(100))
+			rng.Read(v)
+			m[string(k)] = string(v)
+		}
+		var entries []kv
+		ts := uint64(1)
+		for k, v := range m {
+			entries = append(entries, kv{ik: keys.Make([]byte(k), ts, keys.KindValue), v: []byte(v)})
+			ts++
+		}
+		sort.Slice(entries, func(i, j int) bool { return keys.Compare(entries[i].ik, entries[j].ik) < 0 })
+		buildTable(t, fs, "t", entries, WriterOptions{BlockSize: 128 << rng.Intn(6), BloomBitsPerKey: 10})
+		r := openTable(t, fs, "t", nil)
+		for k, v := range m {
+			_, got, ok, err := r.Get(keys.SeekKey([]byte(k), keys.MaxTimestamp))
+			if err != nil || !ok || string(got) != v {
+				t.Fatalf("trial %d: Get(%q) = %q,%v,%v", trial, k, got, ok, err)
+			}
+		}
+		r.Close()
+	}
+}

@@ -1,0 +1,246 @@
+package sstable
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"clsm/internal/bloom"
+	"clsm/internal/keys"
+	"clsm/internal/storage"
+)
+
+const (
+	// DefaultBlockSize matches the paper's 64 KB block configuration for
+	// the disk-bound benchmark; flush/compaction callers may override.
+	DefaultBlockSize = 64 * 1024
+
+	// footerSize: filter handle (16) + index handle (16) + magic (8).
+	footerSize = 40
+	magic      = 0xc15b11f0c15b11f0
+
+	blockTrailerSize = 5 // type byte + crc32
+	blockTypeRaw     = 0
+	blockTypeFlate   = 1
+	// minCompressionGain: keep the block raw unless compression saves at
+	// least 1/8 of its size (LevelDB's policy for snappy).
+	minCompressionRatio = 8
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// blockHandle locates a physical block within the file.
+type blockHandle struct {
+	offset uint64
+	length uint64 // logical block length, excluding trailer
+}
+
+// Compression selects the data-block encoding.
+type Compression int
+
+// Compression codecs.
+const (
+	// NoCompression stores blocks raw.
+	NoCompression Compression = iota
+	// FlateCompression compresses data blocks with DEFLATE (stdlib),
+	// falling back to raw storage when a block does not compress well.
+	FlateCompression
+)
+
+// WriterOptions configures table construction.
+type WriterOptions struct {
+	// BlockSize is the approximate uncompressed size of each data block.
+	BlockSize int
+	// BloomBitsPerKey sizes the table's Bloom filter; 0 disables it.
+	BloomBitsPerKey int
+	// Compression selects the data-block codec (filter and index blocks
+	// stay raw for cheap startup).
+	Compression Compression
+}
+
+func (o WriterOptions) withDefaults() WriterOptions {
+	if o.BlockSize <= 0 {
+		o.BlockSize = DefaultBlockSize
+	}
+	return o
+}
+
+// Meta summarizes a finished table.
+type Meta struct {
+	Size     uint64 // file size in bytes
+	Entries  int
+	Smallest []byte // first internal key
+	Largest  []byte // last internal key
+}
+
+// Writer builds an SSTable from internal keys added in ascending order.
+type Writer struct {
+	f       storage.File
+	opts    WriterOptions
+	data    blockBuilder
+	index   blockBuilder
+	offset  uint64
+	hashes  []uint64 // user-key hashes for the Bloom filter
+	lastUK  []byte
+	meta    Meta
+	pending struct {
+		ready  bool
+		handle blockHandle
+		lastK  []byte
+	}
+	scratch []byte
+}
+
+// NewWriter starts a table on the given file.
+func NewWriter(f storage.File, opts WriterOptions) *Writer {
+	return &Writer{f: f, opts: opts.withDefaults()}
+}
+
+// Add appends an entry. Internal keys must be strictly ascending.
+func (w *Writer) Add(ikey, value []byte) error {
+	if w.meta.Entries > 0 && keys.Compare(ikey, w.meta.Largest) <= 0 {
+		return fmt.Errorf("sstable: keys out of order: %s after %s",
+			keys.String(ikey), keys.String(w.meta.Largest))
+	}
+	w.flushPendingIndex(ikey)
+	if w.meta.Entries == 0 {
+		w.meta.Smallest = append([]byte(nil), ikey...)
+	}
+	w.meta.Largest = append(w.meta.Largest[:0], ikey...)
+	w.meta.Entries++
+
+	uk := keys.UserKey(ikey)
+	if w.opts.BloomBitsPerKey > 0 && string(uk) != string(w.lastUK) {
+		w.hashes = append(w.hashes, bloom.Hash(uk))
+		w.lastUK = append(w.lastUK[:0], uk...)
+	}
+
+	w.data.add(ikey, value)
+	if w.data.estimatedSize() >= w.opts.BlockSize {
+		if err := w.finishDataBlock(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushPendingIndex emits the deferred index entry for the previous block,
+// shortening the separator using the first key of the upcoming block.
+func (w *Writer) flushPendingIndex(upcoming []byte) {
+	if !w.pending.ready {
+		return
+	}
+	var sep []byte
+	if upcoming != nil {
+		sep = keys.Separator(nil, w.pending.lastK, upcoming)
+	} else {
+		sep = keys.Successor(nil, w.pending.lastK)
+	}
+	var hbuf [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hbuf[:], w.pending.handle.offset)
+	n += binary.PutUvarint(hbuf[n:], w.pending.handle.length)
+	w.index.add(sep, hbuf[:n])
+	w.pending.ready = false
+}
+
+func (w *Writer) finishDataBlock() error {
+	if w.data.empty() {
+		return nil
+	}
+	contents := w.data.finish()
+	h, err := w.writeBlockCompressed(contents)
+	if err != nil {
+		return err
+	}
+	w.pending.ready = true
+	w.pending.handle = h
+	w.pending.lastK = append(w.pending.lastK[:0], w.data.lastKey...)
+	w.data.reset()
+	return nil
+}
+
+// writeBlock emits contents raw plus the [type|crc] trailer.
+func (w *Writer) writeBlock(contents []byte) (blockHandle, error) {
+	return w.emitBlock(contents, blockTypeRaw)
+}
+
+// writeBlockCompressed applies the configured codec when it pays off.
+func (w *Writer) writeBlockCompressed(contents []byte) (blockHandle, error) {
+	if w.opts.Compression == FlateCompression {
+		var buf bytes.Buffer
+		fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+		if err == nil {
+			if _, err := fw.Write(contents); err == nil && fw.Close() == nil &&
+				buf.Len() < len(contents)-len(contents)/minCompressionRatio {
+				return w.emitBlock(buf.Bytes(), blockTypeFlate)
+			}
+		}
+	}
+	return w.emitBlock(contents, blockTypeRaw)
+}
+
+func (w *Writer) emitBlock(contents []byte, blockType byte) (blockHandle, error) {
+	h := blockHandle{offset: w.offset, length: uint64(len(contents))}
+	w.scratch = append(w.scratch[:0], contents...)
+	w.scratch = append(w.scratch, blockType)
+	crc := crc32.Checksum(w.scratch[:len(contents)+1], castagnoli)
+	w.scratch = binary.LittleEndian.AppendUint32(w.scratch, crc)
+	if _, err := w.f.Write(w.scratch); err != nil {
+		return blockHandle{}, fmt.Errorf("sstable: write block: %w", err)
+	}
+	w.offset += uint64(len(contents)) + blockTrailerSize
+	return h, nil
+}
+
+// Finish completes the table: final data block, filter, index, footer.
+func (w *Writer) Finish() (Meta, error) {
+	if err := w.finishDataBlock(); err != nil {
+		return Meta{}, err
+	}
+	w.flushPendingIndex(nil)
+
+	var filterHandle blockHandle
+	if w.opts.BloomBitsPerKey > 0 {
+		f := bloom.NewWithBits(w.hashes, w.opts.BloomBitsPerKey)
+		h, err := w.writeBlock(f)
+		if err != nil {
+			return Meta{}, err
+		}
+		filterHandle = h
+	}
+
+	indexContents := w.index.finish()
+	indexHandle, err := w.writeBlock(indexContents)
+	if err != nil {
+		return Meta{}, err
+	}
+
+	var footer [footerSize]byte
+	binary.LittleEndian.PutUint64(footer[0:], filterHandle.offset)
+	binary.LittleEndian.PutUint64(footer[8:], filterHandle.length)
+	binary.LittleEndian.PutUint64(footer[16:], indexHandle.offset)
+	binary.LittleEndian.PutUint64(footer[24:], indexHandle.length)
+	binary.LittleEndian.PutUint64(footer[32:], magic)
+	if _, err := w.f.Write(footer[:]); err != nil {
+		return Meta{}, fmt.Errorf("sstable: write footer: %w", err)
+	}
+	w.offset += footerSize
+	w.meta.Size = w.offset
+	if err := w.f.Sync(); err != nil {
+		return Meta{}, err
+	}
+	if err := w.f.Close(); err != nil {
+		return Meta{}, err
+	}
+	return w.meta, nil
+}
+
+// EstimatedSize returns the bytes emitted so far plus the current block.
+func (w *Writer) EstimatedSize() uint64 {
+	return w.offset + uint64(w.data.estimatedSize())
+}
+
+// Entries returns the number of entries added so far.
+func (w *Writer) Entries() int { return w.meta.Entries }

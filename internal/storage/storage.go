@@ -1,0 +1,377 @@
+// Package storage abstracts the persistent medium underneath the LSM store.
+//
+// Two implementations are provided:
+//
+//   - OSFS: the real filesystem, for durable deployments.
+//   - MemFS: an in-memory filesystem that simulates the paper's SSD array.
+//     The evaluated workloads in §5.1–5.2 of the paper are CPU-bound (reads
+//     served from cache, writes batched sequentially), so MemFS preserves
+//     the synchronization behaviour under study while keeping benchmarks
+//     hermetic. A configurable write-bandwidth throttle reproduces the
+//     disk-bound regime of §5.3 (Fig. 11).
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrNotExist is returned when a named file is absent.
+var ErrNotExist = errors.New("storage: file does not exist")
+
+// File is a sequentially writable file.
+type File interface {
+	io.Writer
+	// Sync flushes buffered data to the medium.
+	Sync() error
+	io.Closer
+}
+
+// RandomReader reads a file at arbitrary offsets.
+type RandomReader interface {
+	io.ReaderAt
+	// Size returns the file length in bytes.
+	Size() int64
+	io.Closer
+}
+
+// FS is the filesystem interface the engine is written against.
+type FS interface {
+	// Create truncates/creates the named file for sequential writing.
+	Create(name string) (File, error)
+	// Open opens the named file for random reads.
+	Open(name string) (RandomReader, error)
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Rename atomically replaces newname with oldname's content.
+	Rename(oldname, newname string) error
+	// List returns the file names under the root, sorted.
+	List() ([]string, error)
+	// ReadFile reads a whole small file (CURRENT, MANIFEST bootstrap).
+	ReadFile(name string) ([]byte, error)
+	// WriteFile atomically writes a whole small file.
+	WriteFile(name string, data []byte) error
+}
+
+// ---------------------------------------------------------------------------
+// OSFS
+
+// OSFS implements FS on a directory of the host filesystem.
+type OSFS struct {
+	root string
+}
+
+// NewOSFS creates (if needed) and wraps the given directory.
+func NewOSFS(root string) (*OSFS, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: mkdir root: %w", err)
+	}
+	return &OSFS{root: root}, nil
+}
+
+func (fs *OSFS) path(name string) string { return filepath.Join(fs.root, name) }
+
+// Create implements FS.
+func (fs *OSFS) Create(name string) (File, error) {
+	f, err := os.Create(fs.path(name))
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+type osRandomReader struct {
+	f    *os.File
+	size int64
+}
+
+func (r *osRandomReader) ReadAt(p []byte, off int64) (int, error) { return r.f.ReadAt(p, off) }
+func (r *osRandomReader) Size() int64                             { return r.size }
+func (r *osRandomReader) Close() error                            { return r.f.Close() }
+
+// Open implements FS.
+func (fs *OSFS) Open(name string) (RandomReader, error) {
+	f, err := os.Open(fs.path(name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNotExist
+		}
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &osRandomReader{f: f, size: st.Size()}, nil
+}
+
+// Remove implements FS.
+func (fs *OSFS) Remove(name string) error { return os.Remove(fs.path(name)) }
+
+// Rename implements FS.
+func (fs *OSFS) Rename(oldname, newname string) error {
+	return os.Rename(fs.path(oldname), fs.path(newname))
+}
+
+// List implements FS.
+func (fs *OSFS) List() ([]string, error) {
+	ents, err := os.ReadDir(fs.root)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ReadFile implements FS.
+func (fs *OSFS) ReadFile(name string) ([]byte, error) {
+	b, err := os.ReadFile(fs.path(name))
+	if os.IsNotExist(err) {
+		return nil, ErrNotExist
+	}
+	return b, err
+}
+
+// WriteFile implements FS.
+func (fs *OSFS) WriteFile(name string, data []byte) error {
+	tmp := fs.path(name + ".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, fs.path(name))
+}
+
+// ---------------------------------------------------------------------------
+// MemFS
+
+// MemFS is an in-memory FS. It is safe for concurrent use and optionally
+// throttles write bandwidth to model a real device.
+type MemFS struct {
+	mu    sync.RWMutex
+	files map[string]*memFile
+
+	// WriteBytesPerSec, when > 0, rate-limits writes the way a saturated
+	// SSD would: each Write sleeps long enough to stay under the budget.
+	throttle *throttle
+}
+
+// NewMemFS returns an empty in-memory filesystem with no throttling.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string]*memFile{}}
+}
+
+// NewThrottledMemFS returns a MemFS whose aggregate write bandwidth is
+// limited to bytesPerSec, simulating a disk-bound device (§5.3).
+func NewThrottledMemFS(bytesPerSec int64) *MemFS {
+	fs := NewMemFS()
+	if bytesPerSec > 0 {
+		fs.throttle = newThrottle(bytesPerSec)
+	}
+	return fs
+}
+
+type memFile struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+type memWriter struct {
+	fs   *MemFS
+	f    *memFile
+	open bool
+}
+
+func (w *memWriter) Write(p []byte) (int, error) {
+	if !w.open {
+		return 0, errors.New("storage: write to closed file")
+	}
+	if w.fs.throttle != nil {
+		w.fs.throttle.wait(int64(len(p)))
+	}
+	w.f.mu.Lock()
+	w.f.data = append(w.f.data, p...)
+	w.f.mu.Unlock()
+	return len(p), nil
+}
+
+func (w *memWriter) Sync() error { return nil }
+func (w *memWriter) Close() error {
+	w.open = false
+	return nil
+}
+
+type memReader struct {
+	f *memFile
+}
+
+func (r *memReader) ReadAt(p []byte, off int64) (int, error) {
+	r.f.mu.RLock()
+	defer r.f.mu.RUnlock()
+	if off >= int64(len(r.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (r *memReader) Size() int64 {
+	r.f.mu.RLock()
+	defer r.f.mu.RUnlock()
+	return int64(len(r.f.data))
+}
+
+func (r *memReader) Close() error { return nil }
+
+// Create implements FS.
+func (fs *MemFS) Create(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := &memFile{}
+	fs.files[name] = f
+	return &memWriter{fs: fs, f: f, open: true}, nil
+}
+
+// Open implements FS.
+func (fs *MemFS) Open(name string) (RandomReader, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, ErrNotExist
+	}
+	return &memReader{f: f}, nil
+}
+
+// Remove implements FS.
+func (fs *MemFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return ErrNotExist
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// Rename implements FS.
+func (fs *MemFS) Rename(oldname, newname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[oldname]
+	if !ok {
+		return ErrNotExist
+	}
+	delete(fs.files, oldname)
+	fs.files[newname] = f
+	return nil
+}
+
+// List implements FS.
+func (fs *MemFS) List() ([]string, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ReadFile implements FS.
+func (fs *MemFS) ReadFile(name string) ([]byte, error) {
+	fs.mu.RLock()
+	f, ok := fs.files[name]
+	fs.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotExist
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]byte, len(f.data))
+	copy(out, f.data)
+	return out, nil
+}
+
+// WriteFile implements FS.
+func (fs *MemFS) WriteFile(name string, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[name] = &memFile{data: append([]byte(nil), data...)}
+	return nil
+}
+
+// TotalSize reports the bytes held across all files (tests, metrics).
+func (fs *MemFS) TotalSize() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var n int64
+	for _, f := range fs.files {
+		f.mu.RLock()
+		n += int64(len(f.data))
+		f.mu.RUnlock()
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// throttle
+
+// throttle is a token bucket refilled at bytesPerSec.
+type throttle struct {
+	mu          sync.Mutex
+	bytesPerSec int64
+	tokens      int64
+	last        time.Time
+}
+
+func newThrottle(bps int64) *throttle {
+	return &throttle{bytesPerSec: bps, tokens: bps / 10, last: time.Now()}
+}
+
+func (t *throttle) wait(n int64) {
+	t.mu.Lock()
+	now := time.Now()
+	elapsed := now.Sub(t.last)
+	t.last = now
+	t.tokens += int64(elapsed.Seconds() * float64(t.bytesPerSec))
+	if max := t.bytesPerSec / 4; t.tokens > max {
+		t.tokens = max
+	}
+	t.tokens -= n
+	var sleep time.Duration
+	if t.tokens < 0 {
+		sleep = time.Duration(float64(-t.tokens) / float64(t.bytesPerSec) * float64(time.Second))
+	}
+	t.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+}
+
+// CleanPath validates a file name used with an FS (no separators, no
+// traversal). The engine generates all names itself; this guards tools that
+// accept user input.
+func CleanPath(name string) error {
+	if name == "" || strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
+		return fmt.Errorf("storage: invalid file name %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package storage
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// exerciseFS runs the common FS contract against an implementation.
+func exerciseFS(t *testing.T, fs FS) {
+	t.Helper()
+	// Create + write + open + read
+	f, err := fs.Create("000001.log")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r, err := fs.Open("000001.log")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if r.Size() != 11 {
+		t.Errorf("Size = %d, want 11", r.Size())
+	}
+	buf := make([]byte, 5)
+	if _, err := r.ReadAt(buf, 6); err != nil && err != io.EOF {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if string(buf) != "world" {
+		t.Errorf("ReadAt = %q", buf)
+	}
+	// Read past EOF
+	if n, err := r.ReadAt(buf, 100); err != io.EOF || n != 0 {
+		t.Errorf("ReadAt past EOF = %d, %v", n, err)
+	}
+	// Short read at tail
+	big := make([]byte, 20)
+	n, err := r.ReadAt(big, 6)
+	if n != 5 || err != io.EOF {
+		t.Errorf("short ReadAt = %d, %v", n, err)
+	}
+	r.Close()
+
+	// Open missing
+	if _, err := fs.Open("nope"); err != ErrNotExist {
+		t.Errorf("Open missing = %v, want ErrNotExist", err)
+	}
+	if _, err := fs.ReadFile("nope"); err != ErrNotExist {
+		t.Errorf("ReadFile missing = %v, want ErrNotExist", err)
+	}
+
+	// WriteFile/ReadFile/Rename/List/Remove
+	if err := fs.WriteFile("CURRENT", []byte("MANIFEST-1\n")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	b, err := fs.ReadFile("CURRENT")
+	if err != nil || string(b) != "MANIFEST-1\n" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	if err := fs.Rename("CURRENT", "CURRENT.bak"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	names, err := fs.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	want := map[string]bool{"000001.log": true, "CURRENT.bak": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Errorf("List missing %v (got %v)", want, names)
+	}
+	if err := fs.Remove("CURRENT.bak"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := fs.Open("CURRENT.bak"); err != ErrNotExist {
+		t.Errorf("Open removed = %v", err)
+	}
+}
+
+func TestMemFS(t *testing.T) { exerciseFS(t, NewMemFS()) }
+
+func TestOSFS(t *testing.T) {
+	fs, err := NewOSFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exerciseFS(t, fs)
+}
+
+func TestMemFSTotalSize(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("a")
+	f.Write(make([]byte, 100))
+	f.Close()
+	fs.WriteFile("b", make([]byte, 50))
+	if got := fs.TotalSize(); got != 150 {
+		t.Errorf("TotalSize = %d", got)
+	}
+}
+
+func TestThrottledWrites(t *testing.T) {
+	fs := NewThrottledMemFS(1 << 20) // 1 MiB/s
+	f, _ := fs.Create("x")
+	start := time.Now()
+	// Write 512 KiB: should take roughly 0.25-0.5s after the initial burst
+	// allowance.
+	for i := 0; i < 8; i++ {
+		f.Write(make([]byte, 64<<10))
+	}
+	elapsed := time.Since(start)
+	if elapsed < 100*time.Millisecond {
+		t.Errorf("throttle ineffective: 512KiB at 1MiB/s took %v", elapsed)
+	}
+	f.Close()
+}
+
+func TestWriteToClosedFile(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("x")
+	f.Close()
+	if _, err := f.Write([]byte("y")); err == nil {
+		t.Error("write to closed file succeeded")
+	}
+}
+
+func TestCleanPath(t *testing.T) {
+	for _, bad := range []string{"", ".", "..", "a/b", `a\b`} {
+		if CleanPath(bad) == nil {
+			t.Errorf("CleanPath(%q) accepted", bad)
+		}
+	}
+	if err := CleanPath("000001.sst"); err != nil {
+		t.Errorf("CleanPath rejected valid name: %v", err)
+	}
+}

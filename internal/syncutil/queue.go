@@ -1,0 +1,75 @@
+package syncutil
+
+import "sync/atomic"
+
+// Queue is a lock-free multi-producer multi-consumer FIFO queue
+// (Michael & Scott), the Go analogue of the libcds non-blocking queue the
+// paper uses for its asynchronous logging path (§4).
+type Queue[T any] struct {
+	head atomic.Pointer[qnode[T]]
+	tail atomic.Pointer[qnode[T]]
+	size atomic.Int64
+}
+
+type qnode[T any] struct {
+	v    T
+	next atomic.Pointer[qnode[T]]
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	sentinel := &qnode[T]{}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// Enqueue appends v. It never blocks.
+func (q *Queue[T]) Enqueue(v T) {
+	n := &qnode[T]{v: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			// Help a lagging enqueuer advance the tail.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n)
+			q.size.Add(1)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest element, or ok=false if empty.
+func (q *Queue[T]) Dequeue() (v T, ok bool) {
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if next == nil {
+			return v, false // empty
+		}
+		if head == tail {
+			// Tail is lagging; help it along.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if q.head.CompareAndSwap(head, next) {
+			q.size.Add(-1)
+			return next.v, true
+		}
+	}
+}
+
+// Len returns the approximate number of queued elements.
+func (q *Queue[T]) Len() int { return int(q.size.Load()) }

@@ -1,0 +1,76 @@
+package syncutil
+
+import "sync/atomic"
+
+// RefCounted is embedded in resources whose lifetime outlives the global
+// pointer that published them — the paper's per-component reference
+// counters (§3.1). The creator holds the initial reference; the component
+// is destroyed when the count drops to zero.
+type RefCounted struct {
+	refs      atomic.Int64
+	finalized atomic.Bool
+	onFinal   func()
+}
+
+// InitRef sets the initial reference count to 1 and registers the finalizer
+// run when the count reaches zero.
+func (r *RefCounted) InitRef(onFinal func()) {
+	r.refs.Store(1)
+	r.onFinal = onFinal
+}
+
+// Ref acquires one reference. It must only be called by a holder of an
+// existing reference or inside an RCU read section (see Acquire).
+func (r *RefCounted) Ref() { r.refs.Add(1) }
+
+// Unref drops one reference, running the finalizer on the last drop.
+//
+// The count may touch zero more than once: a reader racing Acquire against
+// the publisher's swap can momentarily resurrect a component (Ref after
+// the count hit zero) only to discover the pointer moved and drop it
+// again. The object is never dereferenced in that window, but the
+// finalizer must run exactly once, hence the CAS guard rather than a
+// negative-count panic at zero.
+func (r *RefCounted) Unref() {
+	if n := r.refs.Add(-1); n == 0 {
+		if r.onFinal != nil && r.finalized.CompareAndSwap(false, true) {
+			r.onFinal()
+		}
+	} else if n < 0 {
+		panic("syncutil: negative reference count")
+	}
+}
+
+// Refs returns the current count (for tests).
+func (r *RefCounted) Refs() int64 { return r.refs.Load() }
+
+// Referenced is the constraint Acquire needs from a component.
+type Referenced interface {
+	Ref()
+	Unref()
+}
+
+// Acquire implements the paper's RCU-like pointer hand-off: load the
+// published pointer, take a reference, and re-check that the pointer has
+// not been swapped in the meantime. If it has, the stale reference is
+// dropped and the load retries. The returned component is safe to use until
+// the caller Unrefs it, even after the publisher discards it.
+//
+// Acquire returns nil when the pointer is nil (e.g. no immutable memtable
+// is currently being merged).
+func Acquire[T any, PT interface {
+	Referenced
+	*T
+}](p *atomic.Pointer[T]) PT {
+	for {
+		c := PT(p.Load())
+		if c == nil {
+			return nil
+		}
+		c.Ref()
+		if PT(p.Load()) == c {
+			return c
+		}
+		c.Unref()
+	}
+}

@@ -1,0 +1,35 @@
+package syncutil
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// StripedLock is the textbook lock-striping scheme (Gray & Reuter) the
+// paper uses as the baseline for read-modify-write operations in Fig. 9:
+// each key hashes to one of N exclusive locks.
+type StripedLock struct {
+	stripes []sync.Mutex
+}
+
+// NewStripedLock returns a striped lock with n stripes (rounded up to a
+// power of two, minimum 1).
+func NewStripedLock(n int) *StripedLock {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &StripedLock{stripes: make([]sync.Mutex, size)}
+}
+
+func (s *StripedLock) index(key []byte) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32()) & (len(s.stripes) - 1)
+}
+
+// Lock acquires the stripe covering key.
+func (s *StripedLock) Lock(key []byte) { s.stripes[s.index(key)].Lock() }
+
+// Unlock releases the stripe covering key.
+func (s *StripedLock) Unlock(key []byte) { s.stripes[s.index(key)].Unlock() }

@@ -1,0 +1,239 @@
+package syncutil
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSharedExclusiveMutualExclusion(t *testing.T) {
+	var l SharedExclusive
+	var inExclusive atomic.Int64
+	var sharedHolders atomic.Int64
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l.LockShared()
+				sharedHolders.Add(1)
+				if inExclusive.Load() != 0 {
+					violations.Add(1)
+				}
+				sharedHolders.Add(-1)
+				l.UnlockShared()
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l.LockExclusive()
+				if inExclusive.Add(1) != 1 {
+					violations.Add(1)
+				}
+				if sharedHolders.Load() != 0 {
+					violations.Add(1)
+				}
+				inExclusive.Add(-1)
+				l.UnlockExclusive()
+			}
+		}()
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d mutual-exclusion violations", v)
+	}
+}
+
+// Writer preference: an exclusive locker must get in even under a constant
+// stream of shared lockers.
+func TestExclusiveNotStarved(t *testing.T) {
+	var l SharedExclusive
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l.LockShared()
+				l.UnlockShared()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			l.LockExclusive()
+			l.UnlockExclusive()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("exclusive locker starved")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+type testComp struct {
+	RefCounted
+	finalized atomic.Bool
+}
+
+func TestRefCountedFinalizer(t *testing.T) {
+	c := &testComp{}
+	c.InitRef(func() { c.finalized.Store(true) })
+	c.Ref()
+	c.Unref()
+	if c.finalized.Load() {
+		t.Fatal("finalized too early")
+	}
+	c.Unref()
+	if !c.finalized.Load() {
+		t.Fatal("finalizer did not run")
+	}
+}
+
+func TestAcquireRCU(t *testing.T) {
+	var p atomic.Pointer[testComp]
+	c1 := &testComp{}
+	c1.InitRef(func() { c1.finalized.Store(true) })
+	p.Store(c1)
+
+	got := Acquire[testComp](&p)
+	if got != c1 {
+		t.Fatal("acquired wrong component")
+	}
+	// Publisher swaps in a new component and drops its reference to c1.
+	c2 := &testComp{}
+	c2.InitRef(nil)
+	p.Store(c2)
+	c1.Unref()
+	if c1.finalized.Load() {
+		t.Fatal("c1 finalized while still referenced by reader")
+	}
+	got.Unref()
+	if !c1.finalized.Load() {
+		t.Fatal("c1 not finalized after last reader")
+	}
+}
+
+func TestAcquireNil(t *testing.T) {
+	var p atomic.Pointer[testComp]
+	if got := Acquire[testComp](&p); got != nil {
+		t.Fatal("expected nil")
+	}
+}
+
+func TestAcquireUnderSwaps(t *testing.T) {
+	var p atomic.Pointer[testComp]
+	var finalized atomic.Int64
+	mk := func() *testComp {
+		c := &testComp{}
+		c.InitRef(func() { finalized.Add(1) })
+		return c
+	}
+	p.Store(mk())
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // publisher keeps swapping
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			old := p.Swap(mk())
+			old.Unref()
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20000; j++ {
+				c := Acquire[testComp](&p)
+				if c == nil {
+					t.Error("nil component")
+					return
+				}
+				if c.Refs() <= 0 {
+					t.Error("acquired a dead component")
+					return
+				}
+				c.Unref()
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	final := p.Load()
+	final.Unref()
+}
+
+func TestStripedLock(t *testing.T) {
+	s := NewStripedLock(16)
+	var wg sync.WaitGroup
+	counters := map[string]*int{"a": new(int), "b": new(int), "c": new(int)}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				for k, c := range counters {
+					s.Lock([]byte(k))
+					*c++
+					s.Unlock([]byte(k))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for k, c := range counters {
+		if *c != 8000 {
+			t.Errorf("counter %s = %d, want 8000", k, *c)
+		}
+	}
+}
+
+func TestStripedLockSizing(t *testing.T) {
+	s := NewStripedLock(10)
+	if len(s.stripes) != 16 {
+		t.Errorf("stripes = %d, want 16", len(s.stripes))
+	}
+	s = NewStripedLock(0)
+	if len(s.stripes) != 1 {
+		t.Errorf("stripes = %d, want 1", len(s.stripes))
+	}
+}

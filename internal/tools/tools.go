@@ -1,0 +1,332 @@
+// Package tools implements offline inspection and verification of a cLSM
+// database directory: structural checks of every SSTable, the MANIFEST,
+// and the write-ahead logs — the equivalent of LevelDB's ldb/dump
+// utilities. All operations are read-only.
+package tools
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"clsm/internal/batch"
+	"clsm/internal/keys"
+	"clsm/internal/sstable"
+	"clsm/internal/storage"
+	"clsm/internal/version"
+	"clsm/internal/wal"
+)
+
+// CheckResult reports the outcome of a database verification.
+type CheckResult struct {
+	Tables      int
+	TableErrors []string
+	Logs        int
+	LogErrors   []string
+	LogRecords  int
+	Manifest    string
+	Levels      [version.NumLevels]int
+	Problems    []string
+}
+
+// OK reports whether the database passed every check.
+func (r *CheckResult) OK() bool {
+	return len(r.TableErrors) == 0 && len(r.LogErrors) == 0 && len(r.Problems) == 0
+}
+
+// Summary renders a human-readable report.
+func (r *CheckResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "manifest: %s\n", r.Manifest)
+	fmt.Fprintf(&b, "levels:   %v\n", r.Levels)
+	fmt.Fprintf(&b, "tables:   %d checked, %d bad\n", r.Tables, len(r.TableErrors))
+	fmt.Fprintf(&b, "wals:     %d checked (%d records), %d bad\n", r.Logs, r.LogRecords, len(r.LogErrors))
+	for _, e := range r.TableErrors {
+		fmt.Fprintf(&b, "  TABLE: %s\n", e)
+	}
+	for _, e := range r.LogErrors {
+		fmt.Fprintf(&b, "  WAL:   %s\n", e)
+	}
+	for _, p := range r.Problems {
+		fmt.Fprintf(&b, "  META:  %s\n", p)
+	}
+	if r.OK() {
+		b.WriteString("OK\n")
+	} else {
+		b.WriteString("CORRUPTION DETECTED\n")
+	}
+	return b.String()
+}
+
+// Check verifies the whole database directory.
+func Check(fs storage.FS) (*CheckResult, error) {
+	res := &CheckResult{}
+
+	// 1. CURRENT -> MANIFEST.
+	cur, err := fs.ReadFile(version.CurrentFileName)
+	if err != nil {
+		return nil, fmt.Errorf("tools: no CURRENT file: %w", err)
+	}
+	res.Manifest = strings.TrimSpace(string(cur))
+	levels, err := manifestState(fs, res.Manifest)
+	if err != nil {
+		return nil, err
+	}
+	for l, files := range levels {
+		res.Levels[l] = len(files)
+	}
+
+	// 2. Every live table must exist, parse, and be internally sorted;
+	// its bounds must match the manifest.
+	names, err := fs.List()
+	if err != nil {
+		return nil, err
+	}
+	onDisk := map[string]bool{}
+	for _, n := range names {
+		onDisk[n] = true
+	}
+	for level, files := range levels {
+		var prevLargest []byte
+		for _, fd := range files {
+			name := version.TableFileName(fd.Num)
+			if !onDisk[name] {
+				res.Problems = append(res.Problems,
+					fmt.Sprintf("manifest references missing table %s (L%d)", name, level))
+				continue
+			}
+			res.Tables++
+			if err := verifyTable(fs, fd); err != nil {
+				res.TableErrors = append(res.TableErrors, fmt.Sprintf("%s: %v", name, err))
+			}
+			if level > 0 {
+				if prevLargest != nil &&
+					string(keys.UserKey(fd.Smallest)) <= string(keys.UserKey(prevLargest)) {
+					res.Problems = append(res.Problems,
+						fmt.Sprintf("L%d files overlap in user-key space at %s", level, name))
+				}
+				prevLargest = fd.Largest
+			}
+		}
+	}
+
+	// 3. WAL files must hold a parseable record prefix.
+	for _, n := range names {
+		kind, _, ok := version.ParseFileName(n)
+		if !ok || kind != version.KindLog {
+			continue
+		}
+		res.Logs++
+		recs, err := checkLog(fs, n)
+		res.LogRecords += recs
+		if err != nil {
+			res.LogErrors = append(res.LogErrors, fmt.Sprintf("%s: %v", n, err))
+		}
+	}
+	return res, nil
+}
+
+// manifestState replays the manifest and returns the per-level live file
+// descriptors.
+func manifestState(fs storage.FS, name string) ([version.NumLevels][]version.FileDesc, error) {
+	var levels [version.NumLevels][]version.FileDesc
+	src, err := fs.Open(name)
+	if err != nil {
+		return levels, fmt.Errorf("tools: open manifest: %w", err)
+	}
+	defer src.Close()
+	byNum := map[uint64]version.FileDesc{}
+	atLevel := map[uint64]int{}
+	r := wal.NewReader(src)
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return levels, fmt.Errorf("tools: manifest: %w", err)
+		}
+		edit, err := version.DecodeEdit(rec)
+		if err != nil {
+			return levels, fmt.Errorf("tools: manifest: %w", err)
+		}
+		for _, d := range edit.Deleted {
+			delete(byNum, d.Num)
+			delete(atLevel, d.Num)
+		}
+		for _, a := range edit.Added {
+			byNum[a.Meta.Num] = a.Meta
+			atLevel[a.Meta.Num] = a.Level
+		}
+	}
+	for num, fd := range byNum {
+		levels[atLevel[num]] = append(levels[atLevel[num]], fd)
+	}
+	for l := range levels {
+		sort.Slice(levels[l], func(i, j int) bool {
+			return keys.Compare(levels[l][i].Smallest, levels[l][j].Smallest) < 0
+		})
+	}
+	return levels, nil
+}
+
+// verifyTable walks the whole table, checking block checksums (done by the
+// reader), entry ordering, and manifest-recorded bounds.
+func verifyTable(fs storage.FS, fd version.FileDesc) error {
+	src, err := fs.Open(version.TableFileName(fd.Num))
+	if err != nil {
+		return err
+	}
+	r, err := sstable.NewReader(src, fd.Num, nil)
+	if err != nil {
+		src.Close()
+		return err
+	}
+	defer r.Close()
+	it := r.NewIterator()
+	var prev []byte
+	n := 0
+	for it.First(); it.Valid(); it.Next() {
+		if prev != nil && keys.Compare(prev, it.Key()) >= 0 {
+			return fmt.Errorf("entries out of order at #%d", n)
+		}
+		if n == 0 && keys.Compare(it.Key(), fd.Smallest) != 0 {
+			return fmt.Errorf("first key %s != manifest smallest %s",
+				keys.String(it.Key()), keys.String(fd.Smallest))
+		}
+		prev = append(prev[:0], it.Key()...)
+		n++
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	if n != fd.Entries {
+		return fmt.Errorf("entry count %d != manifest %d", n, fd.Entries)
+	}
+	if n > 0 && keys.Compare(prev, fd.Largest) != 0 {
+		return fmt.Errorf("last key %s != manifest largest %s",
+			keys.String(prev), keys.String(fd.Largest))
+	}
+	return nil
+}
+
+// checkLog parses every record in a WAL's intact prefix.
+func checkLog(fs storage.FS, name string) (int, error) {
+	src, err := fs.Open(name)
+	if err != nil {
+		return 0, err
+	}
+	defer src.Close()
+	r := wal.NewReader(src)
+	n := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if _, err := batch.Decode(rec); err != nil {
+			return n, fmt.Errorf("record %d: %w", n, err)
+		}
+		n++
+	}
+}
+
+// DumpTable writes every entry of table num to w.
+func DumpTable(fs storage.FS, num uint64, w io.Writer) error {
+	src, err := fs.Open(version.TableFileName(num))
+	if err != nil {
+		return err
+	}
+	r, err := sstable.NewReader(src, num, nil)
+	if err != nil {
+		src.Close()
+		return err
+	}
+	defer r.Close()
+	it := r.NewIterator()
+	for it.First(); it.Valid(); it.Next() {
+		fmt.Fprintf(w, "%s => %q\n", keys.String(it.Key()), clipBytes(it.Value(), 64))
+	}
+	return it.Err()
+}
+
+// DumpLog writes every WAL record's decoded entries to w.
+func DumpLog(fs storage.FS, num uint64, w io.Writer) error {
+	src, err := fs.Open(version.LogFileName(num))
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	r := wal.NewReader(src)
+	recN := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		entries, err := batch.Decode(rec)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			op := "PUT"
+			if e.Kind == keys.KindDelete {
+				op = "DEL"
+			}
+			fmt.Fprintf(w, "rec %d %s %q@%d => %q\n", recN, op, e.Key, e.TS, clipBytes(e.Value, 64))
+		}
+		recN++
+	}
+}
+
+// DumpManifest writes the decoded edit sequence to w.
+func DumpManifest(fs storage.FS, w io.Writer) error {
+	cur, err := fs.ReadFile(version.CurrentFileName)
+	if err != nil {
+		return err
+	}
+	src, err := fs.Open(strings.TrimSpace(string(cur)))
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	r := wal.NewReader(src)
+	n := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		edit, err := version.DecodeEdit(rec)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "edit %d: log=%d next=%d lastTS=%d\n", n, edit.LogNum, edit.NextFileNum, edit.LastTS)
+		for _, a := range edit.Added {
+			fmt.Fprintf(w, "  + L%d #%d %d bytes, %d entries [%s .. %s]\n",
+				a.Level, a.Meta.Num, a.Meta.Size, a.Meta.Entries,
+				keys.String(a.Meta.Smallest), keys.String(a.Meta.Largest))
+		}
+		for _, d := range edit.Deleted {
+			fmt.Fprintf(w, "  - L%d #%d\n", d.Level, d.Num)
+		}
+		n++
+	}
+}
+
+func clipBytes(b []byte, n int) []byte {
+	if len(b) > n {
+		return append(append([]byte(nil), b[:n]...), []byte("...")...)
+	}
+	return b
+}

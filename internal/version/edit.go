@@ -1,0 +1,185 @@
+package version
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Edit is one durable mutation of the version state, serialized as a
+// MANIFEST record (the record framing reuses the WAL block format).
+type Edit struct {
+	// LogNum, when set, records that WALs below it are fully merged.
+	LogNum    uint64
+	hasLogNum bool
+	// NextFileNum, when set, persists the file-number allocator.
+	NextFileNum    uint64
+	hasNextFileNum bool
+	// LastTS, when set, persists the timestamp high-water mark.
+	LastTS    uint64
+	hasLastTS bool
+
+	Added   []AddedFile
+	Deleted []DeletedFile
+}
+
+// AddedFile places a new table in a level.
+type AddedFile struct {
+	Level int
+	Meta  FileDesc
+}
+
+// DeletedFile removes a table from a level.
+type DeletedFile struct {
+	Level int
+	Num   uint64
+}
+
+// SetLogNum marks WALs below num as merged.
+func (e *Edit) SetLogNum(num uint64) { e.LogNum, e.hasLogNum = num, true }
+
+// SetNextFileNum persists the file allocator position.
+func (e *Edit) SetNextFileNum(num uint64) { e.NextFileNum, e.hasNextFileNum = num, true }
+
+// SetLastTS persists the timestamp high-water mark.
+func (e *Edit) SetLastTS(ts uint64) { e.LastTS, e.hasLastTS = ts, true }
+
+// AddFile schedules meta for level.
+func (e *Edit) AddFile(level int, meta FileDesc) {
+	e.Added = append(e.Added, AddedFile{Level: level, Meta: meta})
+}
+
+// DeleteFile schedules removal of file num from level.
+func (e *Edit) DeleteFile(level int, num uint64) {
+	e.Deleted = append(e.Deleted, DeletedFile{Level: level, Num: num})
+}
+
+// Edit record field tags.
+const (
+	tagLogNum      = 1
+	tagNextFileNum = 2
+	tagLastTS      = 3
+	tagAddFile     = 4
+	tagDeleteFile  = 5
+)
+
+// ErrCorruptEdit reports a malformed manifest record.
+var ErrCorruptEdit = errors.New("version: corrupt manifest edit")
+
+// Encode serializes the edit.
+func (e *Edit) Encode(dst []byte) []byte {
+	if e.hasLogNum {
+		dst = binary.AppendUvarint(dst, tagLogNum)
+		dst = binary.AppendUvarint(dst, e.LogNum)
+	}
+	if e.hasNextFileNum {
+		dst = binary.AppendUvarint(dst, tagNextFileNum)
+		dst = binary.AppendUvarint(dst, e.NextFileNum)
+	}
+	if e.hasLastTS {
+		dst = binary.AppendUvarint(dst, tagLastTS)
+		dst = binary.AppendUvarint(dst, e.LastTS)
+	}
+	for _, a := range e.Added {
+		dst = binary.AppendUvarint(dst, tagAddFile)
+		dst = binary.AppendUvarint(dst, uint64(a.Level))
+		dst = binary.AppendUvarint(dst, a.Meta.Num)
+		dst = binary.AppendUvarint(dst, a.Meta.Size)
+		dst = binary.AppendUvarint(dst, uint64(a.Meta.Entries))
+		dst = appendBytes(dst, a.Meta.Smallest)
+		dst = appendBytes(dst, a.Meta.Largest)
+	}
+	for _, d := range e.Deleted {
+		dst = binary.AppendUvarint(dst, tagDeleteFile)
+		dst = binary.AppendUvarint(dst, uint64(d.Level))
+		dst = binary.AppendUvarint(dst, d.Num)
+	}
+	return dst
+}
+
+// DecodeEdit parses a serialized edit.
+func DecodeEdit(data []byte) (*Edit, error) {
+	e := &Edit{}
+	for len(data) > 0 {
+		tag, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, ErrCorruptEdit
+		}
+		data = data[n:]
+		switch tag {
+		case tagLogNum, tagNextFileNum, tagLastTS:
+			v, n := binary.Uvarint(data)
+			if n <= 0 {
+				return nil, ErrCorruptEdit
+			}
+			data = data[n:]
+			switch tag {
+			case tagLogNum:
+				e.SetLogNum(v)
+			case tagNextFileNum:
+				e.SetNextFileNum(v)
+			case tagLastTS:
+				e.SetLastTS(v)
+			}
+		case tagAddFile:
+			var a AddedFile
+			vals := make([]uint64, 4)
+			for i := range vals {
+				v, n := binary.Uvarint(data)
+				if n <= 0 {
+					return nil, ErrCorruptEdit
+				}
+				vals[i] = v
+				data = data[n:]
+			}
+			a.Level = int(vals[0])
+			if a.Level < 0 || a.Level >= NumLevels {
+				return nil, fmt.Errorf("%w: level %d", ErrCorruptEdit, a.Level)
+			}
+			a.Meta.Num = vals[1]
+			a.Meta.Size = vals[2]
+			a.Meta.Entries = int(vals[3])
+			var ok bool
+			if a.Meta.Smallest, data, ok = takeBytes(data); !ok {
+				return nil, ErrCorruptEdit
+			}
+			if a.Meta.Largest, data, ok = takeBytes(data); !ok {
+				return nil, ErrCorruptEdit
+			}
+			e.Added = append(e.Added, a)
+		case tagDeleteFile:
+			lvl, n := binary.Uvarint(data)
+			if n <= 0 {
+				return nil, ErrCorruptEdit
+			}
+			data = data[n:]
+			num, n := binary.Uvarint(data)
+			if n <= 0 {
+				return nil, ErrCorruptEdit
+			}
+			data = data[n:]
+			if lvl >= NumLevels {
+				return nil, fmt.Errorf("%w: level %d", ErrCorruptEdit, lvl)
+			}
+			e.Deleted = append(e.Deleted, DeletedFile{Level: int(lvl), Num: num})
+		default:
+			return nil, fmt.Errorf("%w: unknown tag %d", ErrCorruptEdit, tag)
+		}
+	}
+	return e, nil
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func takeBytes(data []byte) (b, rest []byte, ok bool) {
+	l, n := binary.Uvarint(data)
+	if n <= 0 || l > uint64(len(data)-n) {
+		return nil, nil, false
+	}
+	out := make([]byte, l)
+	copy(out, data[n:n+int(l)])
+	return out, data[n+int(l):], true
+}

@@ -1,0 +1,121 @@
+// Package version manages the disk component (the paper's Cd): the leveled
+// set of SSTable files, durable MANIFEST edits describing how it evolves,
+// reference-counted Version snapshots of the file set, and compaction
+// picking. A Version is immutable once published, so readers acquire it
+// with the same RCU-style reference protocol as memtables.
+package version
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"clsm/internal/keys"
+)
+
+// NumLevels is the depth of the level hierarchy (matches LevelDB and the
+// paper's 6-level Fig. 11 configuration, plus L0).
+const NumLevels = 7
+
+// FileDesc is the durable description of one SSTable, as persisted in
+// MANIFEST edits.
+type FileDesc struct {
+	Num      uint64
+	Size     uint64
+	Entries  int
+	Smallest []byte // internal key bounds
+	Largest  []byte
+}
+
+// FileMeta is a FileDesc plus runtime state. Instances are shared across
+// Versions and reference-counted; the last release deletes the file from
+// disk.
+type FileMeta struct {
+	FileDesc
+
+	refs     atomic.Int32
+	obsolete atomic.Bool // retired from the live version; delete on last unref
+	deleter  func(*FileMeta)
+	// AllowedSeeks implements LevelDB's seek-triggered compaction budget.
+	AllowedSeeks atomic.Int64
+}
+
+func (f *FileMeta) ref() { f.refs.Add(1) }
+
+// unref releases one reference. The backing file is removed only when the
+// file has been retired from the live version (obsolete) AND no reader can
+// still touch it — dropping references at engine shutdown must not delete
+// live data.
+func (f *FileMeta) unref() {
+	if n := f.refs.Add(-1); n == 0 {
+		if f.deleter != nil && f.obsolete.Load() {
+			f.deleter(f)
+		}
+	} else if n < 0 {
+		panic("version: negative file refcount")
+	}
+}
+
+// markObsolete flags the file for deletion once its last reference drops.
+func (f *FileMeta) markObsolete() { f.obsolete.Store(true) }
+
+// overlapsUser reports whether the file's user-key range intersects
+// [lo, hi] (nil bounds are unbounded).
+func (f *FileMeta) overlapsUser(lo, hi []byte) bool {
+	if hi != nil && string(keys.UserKey(f.Smallest)) > string(hi) {
+		return false
+	}
+	if lo != nil && string(keys.UserKey(f.Largest)) < string(lo) {
+		return false
+	}
+	return true
+}
+
+func (f *FileMeta) String() string {
+	return fmt.Sprintf("#%d[%s..%s]", f.Num, keys.String(f.Smallest), keys.String(f.Largest))
+}
+
+// FileName helpers: every engine artifact lives in one flat directory.
+
+// TableFileName returns the name of SSTable num.
+func TableFileName(num uint64) string { return fmt.Sprintf("%06d.sst", num) }
+
+// LogFileName returns the name of WAL num.
+func LogFileName(num uint64) string { return fmt.Sprintf("%06d.log", num) }
+
+// ManifestFileName returns the name of manifest num.
+func ManifestFileName(num uint64) string { return fmt.Sprintf("MANIFEST-%06d", num) }
+
+// CurrentFileName is the pointer file naming the live manifest.
+const CurrentFileName = "CURRENT"
+
+// ParseFileName recognizes engine file names, returning the kind and number.
+func ParseFileName(name string) (kind FileKind, num uint64, ok bool) {
+	switch {
+	case name == CurrentFileName:
+		return KindCurrent, 0, true
+	case len(name) > 9 && name[:9] == "MANIFEST-":
+		if _, err := fmt.Sscanf(name[9:], "%d", &num); err == nil {
+			return KindManifest, num, true
+		}
+	case len(name) == 10 && name[6:] == ".sst":
+		if _, err := fmt.Sscanf(name[:6], "%d", &num); err == nil {
+			return KindTable, num, true
+		}
+	case len(name) == 10 && name[6:] == ".log":
+		if _, err := fmt.Sscanf(name[:6], "%d", &num); err == nil {
+			return KindLog, num, true
+		}
+	}
+	return 0, 0, false
+}
+
+// FileKind classifies engine files.
+type FileKind int
+
+// File kinds recognized by ParseFileName.
+const (
+	KindCurrent FileKind = iota
+	KindManifest
+	KindTable
+	KindLog
+)

@@ -1,0 +1,235 @@
+package version
+
+import (
+	"bytes"
+
+	"clsm/internal/keys"
+)
+
+// Compaction describes one unit of background merge work: the files of
+// Level and the overlapping files of Level+1. The embedded Version is
+// referenced and must be released via Release.
+type Compaction struct {
+	Level   int
+	Inputs  [2][]*FileMeta
+	Version *Version
+}
+
+// Release drops the version reference held by the compaction.
+func (c *Compaction) Release() {
+	if c.Version != nil {
+		c.Version.Unref()
+		c.Version = nil
+	}
+}
+
+// TrivialMove reports whether the compaction can be satisfied by moving a
+// single input file down one level without rewriting it.
+func (c *Compaction) TrivialMove() bool {
+	return c.Level > 0 && len(c.Inputs[0]) == 1 && len(c.Inputs[1]) == 0
+}
+
+// InputBytes totals the byte volume to be read.
+func (c *Compaction) InputBytes() uint64 {
+	var n uint64
+	for _, side := range c.Inputs {
+		for _, f := range side {
+			n += f.Size
+		}
+	}
+	return n
+}
+
+// IsBaseLevelForKey reports that no level below the compaction output
+// contains the user key, allowing deletion markers to be dropped.
+func (c *Compaction) IsBaseLevelForKey(uk []byte) bool {
+	for level := c.Level + 2; level < NumLevels; level++ {
+		for _, f := range c.Version.Levels[level] {
+			if f.overlapsUser(uk, uk) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxBytesForLevel returns the byte budget of a level (10x per level, as in
+// LevelDB and the paper's 6-level configuration).
+func (s *Set) MaxBytesForLevel(level int) int64 {
+	max := s.opts.BaseLevelBytes
+	for l := 1; l < level; l++ {
+		max *= 10
+	}
+	return max
+}
+
+// Score computes the compaction urgency of each level in v; values >= 1
+// demand work. Exposed for tests and metrics.
+func (s *Set) Score(v *Version, level int) float64 {
+	if level == 0 {
+		return float64(len(v.Levels[0])) / float64(s.opts.L0CompactionTrigger)
+	}
+	var bytes int64
+	for _, f := range v.Levels[level] {
+		bytes += int64(f.Size)
+	}
+	return float64(bytes) / float64(s.MaxBytesForLevel(level))
+}
+
+// NeedsCompaction reports whether any level's score reaches 1 or a seek
+// hint is pending.
+func (s *Set) NeedsCompaction() bool {
+	v := s.Current()
+	if v == nil {
+		return false
+	}
+	defer v.Unref()
+	for level := 0; level < NumLevels-1; level++ {
+		if s.Score(v, level) >= 1 {
+			return true
+		}
+	}
+	return s.pendingSeeks.Len() > 0
+}
+
+// PickCompaction selects the most urgent compaction, or nil when the tree
+// is in shape. The returned compaction holds a version reference.
+func (s *Set) PickCompaction() *Compaction {
+	return s.PickCompactionFiltered(nil)
+}
+
+// PickCompactionFiltered is PickCompaction restricted to levels for which
+// skip returns false (both the input level and the level below must be
+// free). Multi-threaded compaction schedulers use the filter to keep
+// concurrent compactions on disjoint level pairs.
+func (s *Set) PickCompactionFiltered(skip func(level int) bool) *Compaction {
+	blocked := func(level int) bool {
+		return skip != nil && (skip(level) || skip(level+1))
+	}
+	v := s.Current()
+	if v == nil {
+		return nil
+	}
+	bestLevel, bestScore := -1, 0.99
+	for level := 0; level < NumLevels-1; level++ {
+		if blocked(level) {
+			continue
+		}
+		if sc := s.Score(v, level); sc > bestScore {
+			bestLevel, bestScore = level, sc
+		}
+	}
+	if bestLevel < 0 {
+		// Fall back to a pending seek-triggered compaction.
+		for {
+			hint, ok := s.pendingSeeks.Dequeue()
+			if !ok {
+				break
+			}
+			if hint.level >= NumLevels-1 || blocked(hint.level) {
+				continue
+			}
+			// The file must still be live at that level.
+			for _, f := range v.Levels[hint.level] {
+				if f == hint.file {
+					return s.buildCompaction(v, hint.level, []*FileMeta{f})
+				}
+			}
+		}
+		v.Unref()
+		return nil
+	}
+
+	var seeds []*FileMeta
+	if bestLevel == 0 {
+		// L0 files overlap; take them all (the trigger bounds the count).
+		seeds = append(seeds, v.Levels[0]...)
+	} else {
+		// Round-robin through the level's key space so every range is
+		// eventually compacted.
+		s.mu.Lock()
+		ptr := s.compactPtr[bestLevel]
+		s.mu.Unlock()
+		files := v.Levels[bestLevel]
+		for _, f := range files {
+			if ptr == nil || keys.Compare(f.Largest, ptr) > 0 {
+				seeds = append(seeds, f)
+				break
+			}
+		}
+		if len(seeds) == 0 && len(files) > 0 {
+			seeds = append(seeds, files[0]) // wrap around
+		}
+	}
+	if len(seeds) == 0 {
+		v.Unref()
+		return nil
+	}
+	return s.buildCompaction(v, bestLevel, seeds)
+}
+
+// buildCompaction completes input selection: expand L0 seeds transitively,
+// then pull in the overlapping files one level down. Takes ownership of
+// the version reference.
+func (s *Set) buildCompaction(v *Version, level int, seeds []*FileMeta) *Compaction {
+	lo, hi := userRange(seeds)
+	inputs0 := seeds
+	if level == 0 {
+		inputs0 = v.overlappingInputs(0, lo, hi)
+		lo, hi = userRange(inputs0)
+	}
+	inputs1 := v.overlappingInputs(level+1, lo, hi)
+
+	c := &Compaction{Level: level, Version: v}
+	c.Inputs[0] = inputs0
+	c.Inputs[1] = inputs1
+
+	// Advance the round-robin pointer past this range.
+	if level > 0 {
+		s.mu.Lock()
+		s.compactPtr[level] = append([]byte(nil), maxLargest(inputs0)...)
+		s.mu.Unlock()
+	}
+	return c
+}
+
+// PickForcedCompaction builds a compaction over every file at level,
+// regardless of score (CompactRange's level-by-level sweep). Returns nil
+// when the level is empty or out of range.
+func (s *Set) PickForcedCompaction(level int) *Compaction {
+	if level < 0 || level >= NumLevels-1 {
+		return nil
+	}
+	v := s.Current()
+	if v == nil {
+		return nil
+	}
+	if len(v.Levels[level]) == 0 {
+		v.Unref()
+		return nil
+	}
+	seeds := append([]*FileMeta(nil), v.Levels[level]...)
+	return s.buildCompaction(v, level, seeds)
+}
+
+func userRange(files []*FileMeta) (lo, hi []byte) {
+	for _, f := range files {
+		if s := keys.UserKey(f.Smallest); lo == nil || bytes.Compare(s, lo) < 0 {
+			lo = s
+		}
+		if l := keys.UserKey(f.Largest); hi == nil || bytes.Compare(l, hi) > 0 {
+			hi = l
+		}
+	}
+	return lo, hi
+}
+
+func maxLargest(files []*FileMeta) []byte {
+	var out []byte
+	for _, f := range files {
+		if out == nil || keys.Compare(f.Largest, out) > 0 {
+			out = f.Largest
+		}
+	}
+	return out
+}

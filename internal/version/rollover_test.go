@@ -1,0 +1,76 @@
+package version
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"clsm/internal/keys"
+	"clsm/internal/storage"
+)
+
+// The MANIFEST must be rewritten as a snapshot once it grows past the roll
+// threshold, and the database must recover cleanly from the rolled file.
+func TestManifestRollover(t *testing.T) {
+	fs := storage.NewMemFS()
+	s := testSet(t, fs)
+
+	// Drive many edits; each add+delete pair leaves one live file but
+	// appends two records to the manifest.
+	live := writeTable(t, fs, s, 0, 9, 1)
+	var e0 Edit
+	e0.AddFile(1, live)
+	if err := s.LogAndApply(&e0); err != nil {
+		t.Fatal(err)
+	}
+	bigKey := strings.Repeat("x", 2048) // fat bounds inflate edit records
+	for i := 0; i < 400; i++ {
+		num := s.NewFileNum()
+		var add Edit
+		add.AddFile(2, FileDesc{
+			Num: num, Size: 1, Entries: 1,
+			Smallest: keys.Make([]byte(bigKey+fmt.Sprint(i)), 1, keys.KindValue),
+			Largest:  keys.Make([]byte(bigKey+fmt.Sprint(i)), 1, keys.KindValue),
+		})
+		if err := s.LogAndApply(&add); err != nil {
+			t.Fatal(err)
+		}
+		var del Edit
+		del.DeleteFile(2, num)
+		if err := s.LogAndApply(&del); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The manifest must have rolled at least once: only one MANIFEST file
+	// remains and it is small (a snapshot, not 800 edits).
+	names, _ := fs.List()
+	var manifests []string
+	for _, n := range names {
+		if kind, _, ok := ParseFileName(n); ok && kind == KindManifest {
+			manifests = append(manifests, n)
+		}
+	}
+	if len(manifests) != 1 {
+		t.Fatalf("expected exactly one manifest, got %v", manifests)
+	}
+	data, _ := fs.ReadFile(manifests[0])
+	if len(data) > manifestRollSize {
+		t.Fatalf("manifest did not roll: %d bytes", len(data))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery from the rolled manifest sees the live state.
+	s2 := testSet(t, fs)
+	defer s2.Close()
+	v := s2.Current()
+	defer v.Unref()
+	if len(v.Levels[1]) != 1 || v.Levels[1][0].Num != live.Num {
+		t.Fatalf("recovered state wrong: L1=%v", v.Levels[1])
+	}
+	if len(v.Levels[2]) != 0 {
+		t.Fatalf("deleted files resurrected: L2 has %d", len(v.Levels[2]))
+	}
+}

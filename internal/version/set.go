@@ -1,0 +1,429 @@
+package version
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"clsm/internal/cache"
+	"clsm/internal/keys"
+	"clsm/internal/storage"
+	"clsm/internal/syncutil"
+	"clsm/internal/wal"
+)
+
+// Options tunes the shape of the disk component.
+type Options struct {
+	// L0CompactionTrigger is the L0 file count that starts a compaction.
+	L0CompactionTrigger int
+	// BaseLevelBytes is the byte budget of L1; each deeper level gets 10x.
+	BaseLevelBytes int64
+	// TableFileSize caps compaction output files.
+	TableFileSize int64
+	// BlockSize is the SSTable block size.
+	BlockSize int
+	// BloomBitsPerKey sizes table filters (0 disables).
+	BloomBitsPerKey int
+	// Compress enables DEFLATE compression of SSTable data blocks.
+	Compress bool
+	// AllowSeekCompaction enables LevelDB's read-triggered compactions.
+	AllowSeekCompaction bool
+}
+
+// WithDefaults fills unset fields with LevelDB-like values.
+func (o Options) WithDefaults() Options {
+	if o.L0CompactionTrigger <= 0 {
+		o.L0CompactionTrigger = 4
+	}
+	if o.BaseLevelBytes <= 0 {
+		o.BaseLevelBytes = 10 << 20
+	}
+	if o.TableFileSize <= 0 {
+		o.TableFileSize = 2 << 20
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = 4 << 10
+	}
+	return o
+}
+
+// Set owns the current Version, the MANIFEST, and file-number allocation.
+type Set struct {
+	fs     storage.FS
+	opts   Options
+	tables *TableCache
+
+	// current is the published Version; readers use syncutil.Acquire.
+	current atomic.Pointer[Version]
+
+	mu           sync.Mutex // serializes LogAndApply and manifest writes
+	manifest     *wal.Writer
+	manifestNum  uint64
+	nextFile     atomic.Uint64
+	logNum       uint64 // WALs below this are fully merged
+	lastTS       uint64 // recovered timestamp high-water mark
+	compactPtr   [NumLevels][]byte
+	pendingSeeks *syncutil.Queue[seekHint]
+}
+
+type seekHint struct {
+	file  *FileMeta
+	level int
+}
+
+// Open recovers (or initializes) the version state in fs.
+func Open(fs storage.FS, blocks *cache.Cache, opts Options) (*Set, error) {
+	s := &Set{
+		fs:           fs,
+		opts:         opts.WithDefaults(),
+		tables:       NewTableCache(fs, blocks),
+		pendingSeeks: syncutil.NewQueue[seekHint](),
+	}
+	cur, err := fs.ReadFile(CurrentFileName)
+	if err == storage.ErrNotExist {
+		return s, s.createFresh()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s, s.recover(strings.TrimSpace(string(cur)))
+}
+
+func (s *Set) createFresh() error {
+	v := newVersion(s)
+	s.current.Store(v)
+	return s.rollManifest()
+}
+
+// recover replays the named manifest into a fresh Version.
+func (s *Set) recover(manifestName string) error {
+	src, err := s.fs.Open(manifestName)
+	if err != nil {
+		return fmt.Errorf("version: open manifest %q: %w", manifestName, err)
+	}
+	defer src.Close()
+
+	var b builder
+	b.init(s)
+	r := wal.NewReader(src)
+	sawAny := false
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("version: read manifest: %w", err)
+		}
+		edit, err := DecodeEdit(rec)
+		if err != nil {
+			return err
+		}
+		b.apply(edit)
+		sawAny = true
+	}
+	if !sawAny {
+		return fmt.Errorf("version: empty manifest %q", manifestName)
+	}
+	v := b.finish()
+	s.current.Store(v)
+	if kind, num, ok := ParseFileName(manifestName); ok && kind == KindManifest {
+		s.manifestNum = num
+	}
+	// Resume appends on a fresh manifest so a crash mid-recovery never
+	// corrupts the old one.
+	if err := s.rollManifest(); err != nil {
+		return err
+	}
+	s.cleanupObsolete()
+	return nil
+}
+
+// rollManifest writes a new manifest holding a full snapshot edit and
+// repoints CURRENT at it.
+func (s *Set) rollManifest() error {
+	num := s.NewFileNum()
+	name := ManifestFileName(num)
+	f, err := s.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	w := wal.NewWriter(f, false)
+	var snap Edit
+	snap.SetNextFileNum(s.nextFile.Load())
+	snap.SetLogNum(s.logNum)
+	snap.SetLastTS(s.lastTS)
+	v := s.current.Load()
+	for level := 0; level < NumLevels; level++ {
+		for _, fm := range v.Levels[level] {
+			snap.AddFile(level, fm.FileDesc)
+		}
+	}
+	if err := w.Append(snap.Encode(nil)); err != nil {
+		return err
+	}
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	old := s.manifest
+	oldNum := s.manifestNum
+	s.manifest = w
+	s.manifestNum = num
+	if err := s.fs.WriteFile(CurrentFileName, []byte(name+"\n")); err != nil {
+		return err
+	}
+	if old != nil {
+		old.Close()
+		s.fs.Remove(ManifestFileName(oldNum))
+	}
+	return nil
+}
+
+// Current acquires a reference to the live Version (RCU protocol). The
+// caller must Unref it.
+func (s *Set) Current() *Version {
+	return syncutil.Acquire[Version](&s.current)
+}
+
+// NewFileNum allocates a fresh file number.
+func (s *Set) NewFileNum() uint64 { return s.nextFile.Add(1) }
+
+// LogNum returns the lowest WAL number that may still hold unmerged writes.
+func (s *Set) LogNum() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logNum
+}
+
+// LastTS returns the persisted timestamp high-water mark.
+func (s *Set) LastTS() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastTS
+}
+
+// Tables exposes the shared table cache.
+func (s *Set) Tables() *TableCache { return s.tables }
+
+// Options exposes the effective options.
+func (s *Set) Options() Options { return s.opts }
+
+// manifestRollSize bounds MANIFEST growth: once the edit log exceeds this
+// size it is rewritten as a single snapshot edit in a fresh file, so
+// recovery time stays proportional to the live file count rather than the
+// database's whole history.
+const manifestRollSize = 1 << 20
+
+// LogAndApply durably appends edit to the MANIFEST, then publishes the
+// resulting Version. It is the only mutation point of the disk component
+// (the paper's afterMerge updates Pd with its result).
+func (s *Set) LogAndApply(edit *Edit) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if edit.hasLogNum {
+		s.logNum = edit.LogNum
+	}
+	if edit.hasLastTS && edit.LastTS > s.lastTS {
+		s.lastTS = edit.LastTS
+	}
+	edit.SetNextFileNum(s.nextFile.Load())
+
+	if err := s.manifest.Append(edit.Encode(nil)); err != nil {
+		return err
+	}
+	if err := s.manifest.Sync(); err != nil {
+		return err
+	}
+
+	var b builder
+	b.init(s)
+	b.base = s.current.Load()
+	b.apply(edit)
+	v := b.finish()
+	old := s.current.Swap(v)
+	if old != nil {
+		old.Unref()
+	}
+	if s.manifest.Size() > manifestRollSize {
+		if err := s.rollManifest(); err != nil {
+			return fmt.Errorf("version: roll manifest: %w", err)
+		}
+	}
+	return nil
+}
+
+// builder accumulates edits on top of a base version.
+type builder struct {
+	set     *Set
+	base    *Version
+	added   [NumLevels][]*FileMeta
+	deleted [NumLevels]map[uint64]bool
+}
+
+func (b *builder) init(s *Set) {
+	b.set = s
+	for i := range b.deleted {
+		b.deleted[i] = make(map[uint64]bool)
+	}
+}
+
+func (b *builder) apply(e *Edit) {
+	if e.hasNextFileNum && e.NextFileNum > b.set.nextFile.Load() {
+		b.set.nextFile.Store(e.NextFileNum)
+	}
+	if e.hasLogNum && e.LogNum > b.set.logNum {
+		b.set.logNum = e.LogNum
+	}
+	if e.hasLastTS && e.LastTS > b.set.lastTS {
+		b.set.lastTS = e.LastTS
+	}
+	for _, d := range e.Deleted {
+		b.deleted[d.Level][d.Num] = true
+	}
+	for _, a := range e.Added {
+		// A file moved between levels (trivial move) must keep its
+		// existing FileMeta so the reference count spans both versions;
+		// a fresh instance would delete the file when the old version
+		// retires it from its former level.
+		if fm := b.lookupBase(a.Meta.Num); fm != nil {
+			b.added[a.Level] = append(b.added[a.Level], fm)
+			continue
+		}
+		fm := &FileMeta{FileDesc: a.Meta}
+		fm.deleter = b.set.deleteFile
+		// LevelDB's heuristic: one seek is worth compacting ~40 KB.
+		seeks := int64(fm.Size / 16384)
+		if seeks < 100 {
+			seeks = 100
+		}
+		fm.AllowedSeeks.Store(seeks)
+		delete(b.deleted[a.Level], fm.Num)
+		b.added[a.Level] = append(b.added[a.Level], fm)
+	}
+}
+
+// lookupBase finds a live FileMeta by number in the base version.
+func (b *builder) lookupBase(num uint64) *FileMeta {
+	if b.base == nil {
+		return nil
+	}
+	for _, level := range b.base.Levels {
+		for _, f := range level {
+			if f.Num == num {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+func (b *builder) finish() *Version {
+	v := newVersion(b.set)
+	// Files re-added at another level (trivial moves) are not obsolete.
+	addedNums := make(map[uint64]bool)
+	for level := range b.added {
+		for _, f := range b.added[level] {
+			addedNums[f.Num] = true
+		}
+	}
+	for level := 0; level < NumLevels; level++ {
+		var files []*FileMeta
+		if b.base != nil {
+			for _, f := range b.base.Levels[level] {
+				if b.deleted[level][f.Num] {
+					if !addedNums[f.Num] {
+						f.markObsolete()
+					}
+					continue
+				}
+				files = append(files, f)
+			}
+		}
+		// A file added and then deleted within the applied edit sequence
+		// (flushed, then compacted away, during recovery replay) never
+		// joins the version.
+		for _, f := range b.added[level] {
+			if !b.deleted[level][f.Num] {
+				files = append(files, f)
+			}
+		}
+		if level == 0 {
+			sort.Slice(files, func(i, j int) bool { return files[i].Num > files[j].Num })
+		} else {
+			sort.Slice(files, func(i, j int) bool {
+				return keys.Compare(files[i].Smallest, files[j].Smallest) < 0
+			})
+		}
+		for _, f := range files {
+			f.ref()
+		}
+		v.Levels[level] = files
+	}
+	return v
+}
+
+// deleteFile is the FileMeta finalizer: close, evict, remove.
+func (s *Set) deleteFile(f *FileMeta) {
+	s.tables.Evict(f.Num)
+	s.fs.Remove(TableFileName(f.Num))
+}
+
+// recordSeekCompaction notes a file whose seek budget is exhausted.
+func (s *Set) recordSeekCompaction(f *FileMeta, level int) {
+	if s.opts.AllowSeekCompaction {
+		s.pendingSeeks.Enqueue(seekHint{file: f, level: level})
+	}
+}
+
+// cleanupObsolete removes files on disk not referenced by the live version
+// (crash leftovers). WAL cleanup is the engine's job since it knows which
+// logs are still replaying.
+func (s *Set) cleanupObsolete() {
+	names, err := s.fs.List()
+	if err != nil {
+		return
+	}
+	live := make(map[uint64]bool)
+	v := s.current.Load()
+	for _, level := range v.Levels {
+		for _, f := range level {
+			live[f.Num] = true
+		}
+	}
+	for _, name := range names {
+		kind, num, ok := ParseFileName(name)
+		if !ok {
+			continue
+		}
+		switch kind {
+		case KindTable:
+			if !live[num] {
+				s.fs.Remove(name)
+			}
+		case KindManifest:
+			if num != s.manifestNum {
+				s.fs.Remove(name)
+			}
+		}
+	}
+}
+
+// Close releases the manifest and open tables. The caller must have
+// quiesced all readers and compactions.
+func (s *Set) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if s.manifest != nil {
+		err = s.manifest.Close()
+		s.manifest = nil
+	}
+	if v := s.current.Swap(nil); v != nil {
+		v.Unref()
+	}
+	s.tables.Close()
+	return err
+}

@@ -1,0 +1,78 @@
+package version
+
+import (
+	"fmt"
+	"sync"
+
+	"clsm/internal/cache"
+	"clsm/internal/sstable"
+	"clsm/internal/storage"
+)
+
+// TableCache keeps SSTable readers open and shared between gets, scans, and
+// compactions. Readers are immutable and internally thread-safe, so the
+// cache only synchronizes the open/close bookkeeping.
+type TableCache struct {
+	fs     storage.FS
+	blocks *cache.Cache
+
+	mu     sync.RWMutex
+	tables map[uint64]*sstable.Reader
+}
+
+// NewTableCache returns an empty cache over fs; blocks may be nil to
+// disable block caching.
+func NewTableCache(fs storage.FS, blocks *cache.Cache) *TableCache {
+	return &TableCache{fs: fs, blocks: blocks, tables: make(map[uint64]*sstable.Reader)}
+}
+
+// Get returns the open reader for file num, opening it on first use.
+func (tc *TableCache) Get(num uint64) (*sstable.Reader, error) {
+	tc.mu.RLock()
+	r, ok := tc.tables[num]
+	tc.mu.RUnlock()
+	if ok {
+		return r, nil
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if r, ok := tc.tables[num]; ok {
+		return r, nil
+	}
+	src, err := tc.fs.Open(TableFileName(num))
+	if err != nil {
+		return nil, fmt.Errorf("version: open table %d: %w", num, err)
+	}
+	r, err = sstable.NewReader(src, num, tc.blocks)
+	if err != nil {
+		src.Close()
+		return nil, err
+	}
+	tc.tables[num] = r
+	return r, nil
+}
+
+// Evict closes the reader for file num and drops its cached blocks. Called
+// when the file's last reference is gone, just before deletion.
+func (tc *TableCache) Evict(num uint64) {
+	tc.mu.Lock()
+	r, ok := tc.tables[num]
+	delete(tc.tables, num)
+	tc.mu.Unlock()
+	if ok {
+		r.Close()
+	}
+	if tc.blocks != nil {
+		tc.blocks.EvictFile(num)
+	}
+}
+
+// Close releases every open reader.
+func (tc *TableCache) Close() {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	for num, r := range tc.tables {
+		r.Close()
+		delete(tc.tables, num)
+	}
+}

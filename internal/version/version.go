@@ -1,0 +1,342 @@
+package version
+
+import (
+	"bytes"
+	"sort"
+
+	"clsm/internal/iterator"
+	"clsm/internal/keys"
+	"clsm/internal/syncutil"
+)
+
+// Version is one immutable snapshot of the leveled file set. Readers hold a
+// reference while searching so compactions can retire files underneath
+// them safely.
+type Version struct {
+	syncutil.RefCounted
+	set *Set
+
+	// Levels[0] is ordered newest file first (files may overlap);
+	// Levels[1..] are ordered by Smallest with disjoint user-key ranges.
+	Levels [NumLevels][]*FileMeta
+}
+
+func newVersion(s *Set) *Version {
+	v := &Version{set: s}
+	v.InitRef(func() {
+		for _, level := range v.Levels {
+			for _, f := range level {
+				f.unref()
+			}
+		}
+	})
+	return v
+}
+
+// NumFiles returns the total file count (metrics).
+func (v *Version) NumFiles() int {
+	n := 0
+	for _, l := range v.Levels {
+		n += len(l)
+	}
+	return n
+}
+
+// SizeBytes returns the total on-disk byte volume.
+func (v *Version) SizeBytes() uint64 {
+	var n uint64
+	for _, l := range v.Levels {
+		for _, f := range l {
+			n += f.Size
+		}
+	}
+	return n
+}
+
+// Get searches the disk component for the newest visible version at seek
+// key ikey (user key + read timestamp). deleted=true reports a tombstone,
+// which terminates the whole lookup.
+func (v *Version) Get(ikey []byte) (value []byte, deleted, found bool, err error) {
+	uk := keys.UserKey(ikey)
+	var firstSeekFile *FileMeta
+	firstSeekLevel := -1
+	searched := 0
+
+	search := func(f *FileMeta, level int) (done bool) {
+		// Charge the seek-compaction budget: if a get touches more than
+		// one file, the first file wastes a seek.
+		searched++
+		if searched == 2 && firstSeekFile != nil {
+			if firstSeekFile.AllowedSeeks.Add(-1) == 0 {
+				v.set.recordSeekCompaction(firstSeekFile, firstSeekLevel)
+			}
+		}
+		if searched == 1 {
+			firstSeekFile, firstSeekLevel = f, level
+		}
+		r, e := v.set.tables.Get(f.Num)
+		if e != nil {
+			err = e
+			return true
+		}
+		fk, val, ok, e := r.Get(ikey)
+		if e != nil {
+			err = e
+			return true
+		}
+		if !ok {
+			return false
+		}
+		if keys.KindOf(fk) == keys.KindDelete {
+			deleted, found = true, true
+		} else {
+			value, found = val, true
+		}
+		return true
+	}
+
+	// L0: files may overlap; newest first. Successive flushes carry
+	// disjoint, increasing timestamp ranges per key (rotation is a write
+	// barrier), so the first hit is the newest visible version.
+	for _, f := range v.Levels[0] {
+		if !f.overlapsUser(uk, uk) {
+			continue
+		}
+		if search(f, 0) {
+			return value, deleted, found, err
+		}
+	}
+	for level := 1; level < NumLevels; level++ {
+		files := v.Levels[level]
+		i := sort.Search(len(files), func(i int) bool {
+			return bytes.Compare(keys.UserKey(files[i].Largest), uk) >= 0
+		})
+		if i >= len(files) || !files[i].overlapsUser(uk, uk) {
+			continue
+		}
+		if search(files[i], level) {
+			return value, deleted, found, err
+		}
+	}
+	return nil, false, false, nil
+}
+
+// ApproximateSize estimates the byte volume of tables overlapping the
+// user-key range [start, end); nil end means unbounded. Fully contained
+// files count in full, boundary files count half — a cheap estimate in the
+// spirit of LevelDB's GetApproximateSizes.
+func (v *Version) ApproximateSize(start, end []byte) uint64 {
+	var hi []byte
+	if end != nil {
+		hi = end
+	}
+	var total uint64
+	for _, level := range v.Levels {
+		for _, f := range level {
+			// overlapsUser's hi is inclusive; a file touching only the
+			// exclusive end is still counted — at half weight below, which
+			// keeps the estimate conservative.
+			if !f.overlapsUser(start, hi) {
+				continue
+			}
+			contained := (start == nil || bytes.Compare(keys.UserKey(f.Smallest), start) >= 0) &&
+				(hi == nil || bytes.Compare(keys.UserKey(f.Largest), hi) < 0)
+			if contained {
+				total += f.Size
+			} else {
+				total += f.Size / 2
+			}
+		}
+	}
+	return total
+}
+
+// overlappingInputs returns the files in level whose user-key ranges
+// intersect [lo, hi]. For level 0 the range is expanded transitively, since
+// L0 files may mutually overlap.
+func (v *Version) overlappingInputs(level int, lo, hi []byte) []*FileMeta {
+	var out []*FileMeta
+	for i := 0; i < len(v.Levels[level]); i++ {
+		f := v.Levels[level][i]
+		if !f.overlapsUser(lo, hi) {
+			continue
+		}
+		out = append(out, f)
+		if level == 0 {
+			// Expand the range and restart if this file widens it.
+			grew := false
+			if fLo := keys.UserKey(f.Smallest); lo != nil && bytes.Compare(fLo, lo) < 0 {
+				lo, grew = fLo, true
+			}
+			if fHi := keys.UserKey(f.Largest); hi != nil && bytes.Compare(fHi, hi) > 0 {
+				hi, grew = fHi, true
+			}
+			if grew {
+				out = out[:0]
+				i = -1
+			}
+		}
+	}
+	return out
+}
+
+// Iterators appends, to dst, iterators that together cover the whole disk
+// component: one per L0 file, one concatenating iterator per deeper level.
+// The caller must hold a reference on v while using them.
+func (v *Version) Iterators(dst []iterator.Iterator) ([]iterator.Iterator, error) {
+	for _, f := range v.Levels[0] {
+		r, err := v.set.tables.Get(f.Num)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, r.NewIterator())
+	}
+	for level := 1; level < NumLevels; level++ {
+		if len(v.Levels[level]) > 0 {
+			dst = append(dst, newLevelIter(v.set.tables, v.Levels[level]))
+		}
+	}
+	return dst, nil
+}
+
+// levelIter concatenates the file iterators of one disjoint level, opening
+// each file lazily.
+type levelIter struct {
+	tables *TableCache
+	files  []*FileMeta
+	idx    int
+	cur    iterator.Iterator
+	err    error
+}
+
+func newLevelIter(tables *TableCache, files []*FileMeta) *levelIter {
+	return &levelIter{tables: tables, files: files, idx: -1}
+}
+
+func (it *levelIter) open(i int) {
+	it.idx = i
+	it.cur = nil
+	if i < 0 || i >= len(it.files) {
+		return
+	}
+	r, err := it.tables.Get(it.files[i].Num)
+	if err != nil {
+		it.err = err
+		return
+	}
+	it.cur = r.NewIterator()
+}
+
+func (it *levelIter) First() {
+	if len(it.files) == 0 {
+		return
+	}
+	it.open(0)
+	if it.cur != nil {
+		it.cur.First()
+		it.skipForward()
+	}
+}
+
+func (it *levelIter) SeekGE(ikey []byte) {
+	uk := keys.UserKey(ikey)
+	i := sort.Search(len(it.files), func(i int) bool {
+		return bytes.Compare(keys.UserKey(it.files[i].Largest), uk) >= 0
+	})
+	// The file's Largest may equal uk with an older timestamp; comparing
+	// full internal keys refines the choice.
+	for i < len(it.files) && keys.Compare(it.files[i].Largest, ikey) < 0 {
+		i++
+	}
+	if i >= len(it.files) {
+		it.cur = nil
+		it.idx = len(it.files)
+		return
+	}
+	it.open(i)
+	if it.cur != nil {
+		it.cur.SeekGE(ikey)
+		it.skipForward()
+	}
+}
+
+func (it *levelIter) Next() {
+	if it.cur == nil {
+		return
+	}
+	it.cur.Next()
+	it.skipForward()
+}
+
+func (it *levelIter) skipForward() {
+	for it.err == nil && it.cur != nil && !it.cur.Valid() {
+		if err := it.cur.Err(); err != nil {
+			it.err = err
+			it.cur = nil
+			return
+		}
+		if it.idx+1 >= len(it.files) {
+			it.cur = nil
+			return
+		}
+		it.open(it.idx + 1)
+		if it.cur != nil {
+			it.cur.First()
+		}
+	}
+}
+
+// Last positions at the final entry of the level.
+func (it *levelIter) Last() {
+	if len(it.files) == 0 {
+		return
+	}
+	it.open(len(it.files) - 1)
+	if it.cur != nil {
+		it.cur.(iterator.Bidirectional).Last()
+		it.skipBackward()
+	}
+}
+
+// Prev steps to the predecessor entry, crossing file boundaries.
+func (it *levelIter) Prev() {
+	if it.cur == nil {
+		return
+	}
+	it.cur.(iterator.Bidirectional).Prev()
+	it.skipBackward()
+}
+
+func (it *levelIter) skipBackward() {
+	for it.err == nil && it.cur != nil && !it.cur.Valid() {
+		if err := it.cur.Err(); err != nil {
+			it.err = err
+			it.cur = nil
+			return
+		}
+		if it.idx == 0 {
+			it.cur = nil
+			it.idx = -1
+			return
+		}
+		it.open(it.idx - 1)
+		if it.cur != nil {
+			it.cur.(iterator.Bidirectional).Last()
+		}
+	}
+}
+
+func (it *levelIter) Valid() bool {
+	return it.err == nil && it.cur != nil && it.cur.Valid()
+}
+func (it *levelIter) Key() []byte   { return it.cur.Key() }
+func (it *levelIter) Value() []byte { return it.cur.Value() }
+func (it *levelIter) Err() error {
+	if it.err != nil {
+		return it.err
+	}
+	if it.cur != nil {
+		return it.cur.Err()
+	}
+	return nil
+}

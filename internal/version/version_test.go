@@ -1,0 +1,369 @@
+package version
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"clsm/internal/keys"
+	"clsm/internal/sstable"
+	"clsm/internal/storage"
+)
+
+func testSet(t *testing.T, fs storage.FS) *Set {
+	t.Helper()
+	s, err := Open(fs, nil, Options{
+		BaseLevelBytes: 64 << 10,
+		TableFileSize:  16 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// writeTable materializes a small SSTable and returns its descriptor.
+func writeTable(t *testing.T, fs storage.FS, s *Set, lo, hi int, ts uint64) FileDesc {
+	t.Helper()
+	num := s.NewFileNum()
+	f, err := fs.Create(TableFileName(num))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sstable.NewWriter(f, sstable.WriterOptions{BloomBitsPerKey: 10})
+	var smallest, largest []byte
+	for i := lo; i <= hi; i++ {
+		ik := keys.Make([]byte(fmt.Sprintf("k%04d", i)), ts, keys.KindValue)
+		if smallest == nil {
+			smallest = append([]byte(nil), ik...)
+		}
+		largest = append(largest[:0], ik...)
+		if err := w.Add(ik, []byte(fmt.Sprintf("v%d@%d", i, ts))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FileDesc{
+		Num: num, Size: meta.Size, Entries: meta.Entries,
+		Smallest: append([]byte(nil), smallest...),
+		Largest:  append([]byte(nil), largest...),
+	}
+}
+
+func TestFileNames(t *testing.T) {
+	cases := []struct {
+		name string
+		kind FileKind
+		num  uint64
+		ok   bool
+	}{
+		{"000012.sst", KindTable, 12, true},
+		{"000003.log", KindLog, 3, true},
+		{"MANIFEST-000007", KindManifest, 7, true},
+		{"CURRENT", KindCurrent, 0, true},
+		{"garbage", 0, 0, false},
+		{"000012.tmp", 0, 0, false},
+	}
+	for _, c := range cases {
+		kind, num, ok := ParseFileName(c.name)
+		if ok != c.ok || (ok && (kind != c.kind || num != c.num)) {
+			t.Errorf("ParseFileName(%q) = %v,%d,%v", c.name, kind, num, ok)
+		}
+	}
+	if TableFileName(12) != "000012.sst" || LogFileName(3) != "000003.log" {
+		t.Error("file name round trip broken")
+	}
+}
+
+func TestEditEncodeDecodeRoundTrip(t *testing.T) {
+	var e Edit
+	e.SetLogNum(9)
+	e.SetNextFileNum(42)
+	e.SetLastTS(1 << 40)
+	e.AddFile(2, FileDesc{Num: 7, Size: 1234, Entries: 56,
+		Smallest: keys.Make([]byte("a"), 1, keys.KindValue),
+		Largest:  keys.Make([]byte("z"), 9, keys.KindValue)})
+	e.DeleteFile(1, 3)
+
+	dec, err := DecodeEdit(e.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.LogNum != 9 || dec.NextFileNum != 42 || dec.LastTS != 1<<40 {
+		t.Fatalf("scalar fields: %+v", dec)
+	}
+	if len(dec.Added) != 1 || dec.Added[0].Level != 2 || dec.Added[0].Meta.Num != 7 ||
+		dec.Added[0].Meta.Size != 1234 || dec.Added[0].Meta.Entries != 56 {
+		t.Fatalf("added: %+v", dec.Added)
+	}
+	if len(dec.Deleted) != 1 || dec.Deleted[0] != (DeletedFile{Level: 1, Num: 3}) {
+		t.Fatalf("deleted: %+v", dec.Deleted)
+	}
+}
+
+func TestEditDecodeCorrupt(t *testing.T) {
+	for i, bad := range [][]byte{
+		{99},             // unknown tag
+		{tagLogNum},      // missing value
+		{tagAddFile, 50}, // level out of range (after more fields) — truncated
+	} {
+		if _, err := DecodeEdit(bad); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestLogAndApplyAndRecover(t *testing.T) {
+	fs := storage.NewMemFS()
+	s := testSet(t, fs)
+	fd1 := writeTable(t, fs, s, 0, 99, 10)
+	fd2 := writeTable(t, fs, s, 100, 199, 10)
+
+	var e Edit
+	e.AddFile(0, fd1)
+	e.AddFile(1, fd2)
+	e.SetLogNum(5)
+	e.SetLastTS(777)
+	if err := s.LogAndApply(&e); err != nil {
+		t.Fatal(err)
+	}
+	v := s.Current()
+	if len(v.Levels[0]) != 1 || len(v.Levels[1]) != 1 {
+		t.Fatalf("levels: %d/%d", len(v.Levels[0]), len(v.Levels[1]))
+	}
+	if v.NumFiles() != 2 || v.SizeBytes() == 0 {
+		t.Fatalf("NumFiles=%d Size=%d", v.NumFiles(), v.SizeBytes())
+	}
+	v.Unref()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover from the manifest.
+	s2 := testSet(t, fs)
+	defer s2.Close()
+	if s2.LogNum() != 5 || s2.LastTS() != 777 {
+		t.Fatalf("recovered LogNum=%d LastTS=%d", s2.LogNum(), s2.LastTS())
+	}
+	v2 := s2.Current()
+	defer v2.Unref()
+	if v2.NumFiles() != 2 {
+		t.Fatalf("recovered NumFiles = %d", v2.NumFiles())
+	}
+	// Reads must work after recovery.
+	val, deleted, found, err := v2.Get(keys.SeekKey([]byte("k0150"), keys.MaxTimestamp))
+	if err != nil || !found || deleted || string(val) != "v150@10" {
+		t.Fatalf("Get after recovery = %q,%v,%v,%v", val, deleted, found, err)
+	}
+}
+
+func TestVersionGetSemantics(t *testing.T) {
+	fs := storage.NewMemFS()
+	s := testSet(t, fs)
+	defer s.Close()
+	// L0: two overlapping files; the newer one (higher num) has newer ts.
+	old := writeTable(t, fs, s, 0, 50, 10)
+	newer := writeTable(t, fs, s, 25, 75, 20)
+	var e Edit
+	e.AddFile(0, old)
+	e.AddFile(0, newer)
+	if err := s.LogAndApply(&e); err != nil {
+		t.Fatal(err)
+	}
+	v := s.Current()
+	defer v.Unref()
+
+	// Key in both files: newest version wins.
+	val, _, found, err := v.Get(keys.SeekKey([]byte("k0030"), keys.MaxTimestamp))
+	if err != nil || !found || string(val) != "v30@20" {
+		t.Fatalf("Get = %q,%v,%v", val, found, err)
+	}
+	// Timestamp-bounded read sees the old version.
+	val, _, found, _ = v.Get(keys.SeekKey([]byte("k0030"), 15))
+	if !found || string(val) != "v30@10" {
+		t.Fatalf("Get@15 = %q,%v", val, found)
+	}
+	// Key only in the old file.
+	val, _, found, _ = v.Get(keys.SeekKey([]byte("k0010"), keys.MaxTimestamp))
+	if !found || string(val) != "v10@10" {
+		t.Fatalf("Get(k0010) = %q,%v", val, found)
+	}
+	// Absent key.
+	if _, _, found, _ := v.Get(keys.SeekKey([]byte("zzz"), keys.MaxTimestamp)); found {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestOverlappingInputsL0Transitive(t *testing.T) {
+	fs := storage.NewMemFS()
+	s := testSet(t, fs)
+	defer s.Close()
+	// Three L0 files: [0,10], [8,20], [18,30] — seeding from [0,10] must
+	// transitively pull in all three.
+	var e Edit
+	e.AddFile(0, writeTable(t, fs, s, 0, 10, 1))
+	e.AddFile(0, writeTable(t, fs, s, 8, 20, 2))
+	e.AddFile(0, writeTable(t, fs, s, 18, 30, 3))
+	if err := s.LogAndApply(&e); err != nil {
+		t.Fatal(err)
+	}
+	v := s.Current()
+	defer v.Unref()
+	got := v.overlappingInputs(0, []byte("k0000"), []byte("k0010"))
+	if len(got) != 3 {
+		t.Fatalf("transitive expansion found %d files, want 3", len(got))
+	}
+}
+
+func TestPickCompactionL0Trigger(t *testing.T) {
+	fs := storage.NewMemFS()
+	s, err := Open(fs, nil, Options{L0CompactionTrigger: 2, BaseLevelBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.NeedsCompaction() {
+		t.Fatal("empty set needs compaction")
+	}
+	if c := s.PickCompaction(); c != nil {
+		t.Fatal("picked compaction on empty set")
+	}
+	var e Edit
+	e.AddFile(0, writeTable(t, fs, s, 0, 10, 1))
+	e.AddFile(0, writeTable(t, fs, s, 5, 15, 2))
+	if err := s.LogAndApply(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !s.NeedsCompaction() {
+		t.Fatal("L0 at trigger but NeedsCompaction is false")
+	}
+	c := s.PickCompaction()
+	if c == nil || c.Level != 0 || len(c.Inputs[0]) != 2 {
+		t.Fatalf("pick = %+v", c)
+	}
+	if c.TrivialMove() {
+		t.Fatal("L0 compaction must not be a trivial move")
+	}
+	if c.InputBytes() == 0 {
+		t.Fatal("InputBytes = 0")
+	}
+	c.Release()
+}
+
+func TestPickCompactionFilteredSkips(t *testing.T) {
+	fs := storage.NewMemFS()
+	s, err := Open(fs, nil, Options{L0CompactionTrigger: 1, BaseLevelBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var e Edit
+	e.AddFile(0, writeTable(t, fs, s, 0, 10, 1))
+	if err := s.LogAndApply(&e); err != nil {
+		t.Fatal(err)
+	}
+	if c := s.PickCompactionFiltered(func(level int) bool { return level == 0 }); c != nil {
+		t.Fatal("filter ignored")
+	}
+	if c := s.PickCompactionFiltered(func(level int) bool { return level == 1 }); c != nil {
+		t.Fatal("level+1 filter ignored")
+	}
+	c := s.PickCompactionFiltered(func(level int) bool { return level > 1 })
+	if c == nil {
+		t.Fatal("unrelated filter blocked pick")
+	}
+	c.Release()
+}
+
+func TestMaxBytesForLevelGeometric(t *testing.T) {
+	fs := storage.NewMemFS()
+	s, err := Open(fs, nil, Options{BaseLevelBytes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	want := []int64{10, 10, 100, 1000}
+	for l := 1; l < 4; l++ {
+		if got := s.MaxBytesForLevel(l); got != want[l] {
+			t.Errorf("MaxBytesForLevel(%d) = %d, want %d", l, got, want[l])
+		}
+	}
+}
+
+func TestObsoleteFileDeletedOnlyWhenUnreferenced(t *testing.T) {
+	fs := storage.NewMemFS()
+	s := testSet(t, fs)
+	defer s.Close()
+	fd := writeTable(t, fs, s, 0, 10, 1)
+	var e Edit
+	e.AddFile(0, fd)
+	if err := s.LogAndApply(&e); err != nil {
+		t.Fatal(err)
+	}
+	// A reader pins the version containing the file.
+	pinned := s.Current()
+
+	var del Edit
+	del.DeleteFile(0, fd.Num)
+	if err := s.LogAndApply(&del); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open(TableFileName(fd.Num)); err != nil {
+		t.Fatal("file deleted while a version still references it")
+	}
+	pinned.Unref()
+	if _, err := fs.Open(TableFileName(fd.Num)); err != storage.ErrNotExist {
+		t.Fatalf("file not deleted after last reference: %v", err)
+	}
+}
+
+func TestLevelIteratorConcatenation(t *testing.T) {
+	fs := storage.NewMemFS()
+	s := testSet(t, fs)
+	defer s.Close()
+	var e Edit
+	e.AddFile(1, writeTable(t, fs, s, 0, 49, 1))
+	e.AddFile(1, writeTable(t, fs, s, 50, 99, 1))
+	e.AddFile(1, writeTable(t, fs, s, 100, 149, 1))
+	if err := s.LogAndApply(&e); err != nil {
+		t.Fatal(err)
+	}
+	v := s.Current()
+	defer v.Unref()
+	its, err := v.Iterators(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(its) != 1 {
+		t.Fatalf("disjoint level should yield 1 concat iterator, got %d", len(its))
+	}
+	it := its[0]
+	var seen []string
+	for it.First(); it.Valid(); it.Next() {
+		seen = append(seen, string(keys.UserKey(it.Key())))
+	}
+	if len(seen) != 150 || !sort.StringsAreSorted(seen) {
+		t.Fatalf("concat iterator saw %d keys (sorted=%v)", len(seen), sort.StringsAreSorted(seen))
+	}
+	it.SeekGE(keys.SeekKey([]byte("k0120"), keys.MaxTimestamp))
+	if !it.Valid() || string(keys.UserKey(it.Key())) != "k0120" {
+		t.Fatalf("SeekGE across files landed on %s", it.Key())
+	}
+}
+
+func TestCleanupObsoleteRemovesStrays(t *testing.T) {
+	fs := storage.NewMemFS()
+	s := testSet(t, fs)
+	// A stray table not referenced by any edit (crash leftover).
+	stray := writeTable(t, fs, s, 0, 5, 1)
+	s.Close()
+
+	s2 := testSet(t, fs) // recovery runs cleanupObsolete
+	defer s2.Close()
+	if _, err := fs.Open(TableFileName(stray.Num)); err != storage.ErrNotExist {
+		t.Fatalf("stray table survived recovery: %v", err)
+	}
+}

@@ -1,0 +1,141 @@
+package wal
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"clsm/internal/storage"
+	"clsm/internal/syncutil"
+)
+
+// Logger is the engine-facing logging front end. Writers enqueue records on
+// a lock-free queue and return immediately (asynchronous logging, the
+// LevelDB/cLSM default); a dedicated goroutine drains the queue into the
+// block-format Writer. In synchronous mode Append additionally waits until
+// the record has reached the device.
+//
+// Enqueue order is the durability order; since cLSM stamps every entry with
+// its timestamp, cross-record ordering does not matter for recovery.
+type Logger struct {
+	w     *Writer
+	queue *syncutil.Queue[logReq]
+	wake  chan struct{}
+	quit  chan struct{}
+	done  chan struct{}
+	sync  bool
+
+	mu      sync.Mutex // serializes flush waiters
+	err     atomic.Pointer[error]
+	pending atomic.Int64
+}
+
+type logReq struct {
+	rec  []byte
+	done chan error // non-nil in sync mode or for flush barriers
+}
+
+// NewLogger starts the drain goroutine over a fresh log file. If syncMode
+// is true every Append waits for durability.
+func NewLogger(f storage.File, syncMode bool) *Logger {
+	l := &Logger{
+		w:     NewWriter(f, false),
+		queue: syncutil.NewQueue[logReq](),
+		wake:  make(chan struct{}, 1),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+		sync:  syncMode,
+	}
+	go l.drain()
+	return l
+}
+
+// Append logs one record. In async mode it only enqueues; the copy is taken
+// so the caller may reuse rec.
+func (l *Logger) Append(rec []byte) error {
+	if e := l.err.Load(); e != nil {
+		return *e
+	}
+	cp := make([]byte, len(rec))
+	copy(cp, rec)
+	var done chan error
+	if l.sync {
+		done = make(chan error, 1)
+	}
+	l.pending.Add(1)
+	l.queue.Enqueue(logReq{rec: cp, done: done})
+	l.notify()
+	if done != nil {
+		return <-done
+	}
+	return nil
+}
+
+// Flush blocks until everything enqueued before the call is on disk.
+func (l *Logger) Flush() error {
+	done := make(chan error, 1)
+	l.pending.Add(1)
+	l.queue.Enqueue(logReq{done: done})
+	l.notify()
+	return <-done
+}
+
+// Pending returns the approximate queue depth (metrics).
+func (l *Logger) Pending() int64 { return l.pending.Load() }
+
+// Close drains outstanding records, syncs, and closes the file.
+func (l *Logger) Close() error {
+	flushErr := l.Flush()
+	close(l.quit)
+	<-l.done
+	if err := l.w.Close(); err != nil {
+		return err
+	}
+	return flushErr
+}
+
+func (l *Logger) notify() {
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (l *Logger) drain() {
+	defer close(l.done)
+	for {
+		req, ok := l.queue.Dequeue()
+		if !ok {
+			select {
+			case <-l.wake:
+				continue
+			case <-l.quit:
+				// Final sweep for records racing with Close.
+				for {
+					req, ok := l.queue.Dequeue()
+					if !ok {
+						return
+					}
+					l.handle(req)
+				}
+			}
+		}
+		l.handle(req)
+	}
+}
+
+func (l *Logger) handle(req logReq) {
+	var err error
+	if req.rec != nil {
+		err = l.w.Append(req.rec)
+	}
+	if req.done != nil {
+		if err == nil {
+			err = l.w.Sync()
+		}
+		req.done <- err
+	}
+	if err != nil {
+		l.err.CompareAndSwap(nil, &err)
+	}
+	l.pending.Add(-1)
+}

@@ -1,0 +1,257 @@
+// Package wal implements the write-ahead log.
+//
+// The on-disk format follows LevelDB: the file is a sequence of 32 KiB
+// blocks; each record is split into fragments, each fragment carrying a
+// CRC-32C checksum, a length, and a type (full / first / middle / last).
+// A block's unusable tail (< 7 bytes) is zero-padded.
+//
+// Unlike LevelDB, writers are not serialized by the engine: cLSM relaxes
+// the single-writer constraint, so records may be appended out of timestamp
+// order (§4 of the paper). Every record payload is a batch whose entries
+// carry explicit timestamps, so recovery restores the correct order simply
+// by replaying entries into the versioned memtable.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"clsm/internal/storage"
+)
+
+const (
+	// BlockSize is the physical block granularity of the log.
+	BlockSize = 32 * 1024
+	// headerSize is crc(4) + length(2) + type(1).
+	headerSize = 7
+)
+
+type recordType byte
+
+const (
+	typeZero recordType = iota // padding
+	typeFull
+	typeFirst
+	typeMiddle
+	typeLast
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a checksum or framing failure in the log.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Writer appends records to a log file. It is not safe for concurrent use;
+// the engine's Logger (see logger.go) serializes access.
+type Writer struct {
+	f         storage.File
+	blockOff  int // offset within the current block
+	buf       []byte
+	written   int64
+	syncEvery bool
+}
+
+// NewWriter wraps a freshly created log file.
+func NewWriter(f storage.File, syncEvery bool) *Writer {
+	return &Writer{f: f, syncEvery: syncEvery}
+}
+
+// Append writes one record (possibly fragmented across blocks).
+func (w *Writer) Append(record []byte) error {
+	first := true
+	for {
+		avail := BlockSize - w.blockOff
+		if avail < headerSize {
+			// Pad the block tail with zeros.
+			if avail > 0 {
+				if _, err := w.f.Write(make([]byte, avail)); err != nil {
+					return fmt.Errorf("wal: pad block: %w", err)
+				}
+				w.written += int64(avail)
+			}
+			w.blockOff = 0
+			avail = BlockSize
+		}
+		space := avail - headerSize
+		frag := record
+		if len(frag) > space {
+			frag = record[:space]
+		}
+		record = record[len(frag):]
+		var t recordType
+		switch {
+		case first && len(record) == 0:
+			t = typeFull
+		case first:
+			t = typeFirst
+		case len(record) == 0:
+			t = typeLast
+		default:
+			t = typeMiddle
+		}
+		if err := w.emit(t, frag); err != nil {
+			return err
+		}
+		first = false
+		if len(record) == 0 {
+			break
+		}
+	}
+	if w.syncEvery {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+func (w *Writer) emit(t recordType, frag []byte) error {
+	w.buf = w.buf[:0]
+	var hdr [headerSize]byte
+	crc := crc32.Checksum([]byte{byte(t)}, castagnoli)
+	crc = crc32.Update(crc, castagnoli, frag)
+	binary.LittleEndian.PutUint32(hdr[0:4], crc)
+	binary.LittleEndian.PutUint16(hdr[4:6], uint16(len(frag)))
+	hdr[6] = byte(t)
+	w.buf = append(w.buf, hdr[:]...)
+	w.buf = append(w.buf, frag...)
+	if _, err := w.f.Write(w.buf); err != nil {
+		return fmt.Errorf("wal: write fragment: %w", err)
+	}
+	w.blockOff += headerSize + len(frag)
+	w.written += int64(headerSize + len(frag))
+	return nil
+}
+
+// Size returns the bytes written so far.
+func (w *Writer) Size() int64 { return w.written }
+
+// Sync flushes the underlying file.
+func (w *Writer) Sync() error { return w.f.Sync() }
+
+// Close syncs and closes the file.
+func (w *Writer) Close() error {
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
+
+// Reader iterates the records of a log file. A truncated tail — the normal
+// result of a crash mid-write — terminates iteration with io.EOF rather
+// than an error; genuine corruption inside the file surfaces as ErrCorrupt
+// (the caller may choose to stop or to skip to the next block).
+type Reader struct {
+	src    storage.RandomReader
+	off    int64
+	size   int64
+	block  [BlockSize]byte
+	blockN int // valid bytes in block
+	pos    int // cursor within block
+	rec    []byte
+}
+
+// NewReader opens a log file for sequential record iteration.
+func NewReader(src storage.RandomReader) *Reader {
+	return &Reader{src: src, size: src.Size()}
+}
+
+// Next returns the next record, io.EOF at the end of the intact prefix, or
+// ErrCorrupt for a mid-file checksum failure.
+func (r *Reader) Next() ([]byte, error) {
+	r.rec = r.rec[:0]
+	expectContinuation := false
+	for {
+		t, frag, err := r.nextFragment()
+		if err != nil {
+			if err == io.EOF && expectContinuation {
+				// Crash mid-record: the partial record is discarded.
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+		switch t {
+		case typeFull:
+			if expectContinuation {
+				return nil, fmt.Errorf("%w: unexpected full fragment", ErrCorrupt)
+			}
+			return append(r.rec, frag...), nil
+		case typeFirst:
+			if expectContinuation {
+				return nil, fmt.Errorf("%w: unexpected first fragment", ErrCorrupt)
+			}
+			r.rec = append(r.rec, frag...)
+			expectContinuation = true
+		case typeMiddle:
+			if !expectContinuation {
+				return nil, fmt.Errorf("%w: orphan middle fragment", ErrCorrupt)
+			}
+			r.rec = append(r.rec, frag...)
+		case typeLast:
+			if !expectContinuation {
+				return nil, fmt.Errorf("%w: orphan last fragment", ErrCorrupt)
+			}
+			return append(r.rec, frag...), nil
+		default:
+			return nil, fmt.Errorf("%w: unknown fragment type %d", ErrCorrupt, t)
+		}
+	}
+}
+
+func (r *Reader) nextFragment() (recordType, []byte, error) {
+	for {
+		if r.blockN-r.pos < headerSize {
+			// Remaining bytes are padding; load the next block.
+			if err := r.loadBlock(); err != nil {
+				return 0, nil, err
+			}
+			continue
+		}
+		hdr := r.block[r.pos : r.pos+headerSize]
+		length := int(binary.LittleEndian.Uint16(hdr[4:6]))
+		t := recordType(hdr[6])
+		if t == typeZero && length == 0 {
+			// Zero padding inside a partially filled final block.
+			if err := r.loadBlock(); err != nil {
+				return 0, nil, err
+			}
+			continue
+		}
+		if r.pos+headerSize+length > r.blockN {
+			// Fragment extends past the valid data: truncated tail.
+			return 0, nil, io.EOF
+		}
+		frag := r.block[r.pos+headerSize : r.pos+headerSize+length]
+		wantCRC := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := crc32.Checksum([]byte{byte(t)}, castagnoli)
+		crc = crc32.Update(crc, castagnoli, frag)
+		if crc != wantCRC {
+			if r.off >= r.size && r.blockN < BlockSize {
+				// Corruption in the final, partial block: treat as a
+				// truncated tail.
+				return 0, nil, io.EOF
+			}
+			return 0, nil, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, r.off-int64(r.blockN)+int64(r.pos))
+		}
+		r.pos += headerSize + length
+		return t, frag, nil
+	}
+}
+
+func (r *Reader) loadBlock() error {
+	if r.off >= r.size {
+		return io.EOF
+	}
+	n, err := r.src.ReadAt(r.block[:], r.off)
+	if n == 0 {
+		if err == nil || err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("wal: read block: %w", err)
+	}
+	r.off += int64(n)
+	r.blockN = n
+	r.pos = 0
+	return nil
+}

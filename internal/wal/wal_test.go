@@ -1,0 +1,310 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"clsm/internal/storage"
+	"clsm/internal/syncutil"
+)
+
+func writeLog(t *testing.T, fs *storage.MemFS, name string, records [][]byte) {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f, false)
+	for _, r := range records {
+		if err := w.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readAll(t *testing.T, fs *storage.MemFS, name string) [][]byte {
+	t.Helper()
+	src, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	r := NewReader(src)
+	var out [][]byte
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, append([]byte(nil), rec...))
+	}
+}
+
+func TestRoundTripSmallRecords(t *testing.T) {
+	fs := storage.NewMemFS()
+	recs := [][]byte{[]byte("one"), []byte("two"), []byte(""), []byte("four")}
+	writeLog(t, fs, "l", recs)
+	got := readAll(t, fs, "l")
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !bytes.Equal(got[i], recs[i]) {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestRoundTripFragmented(t *testing.T) {
+	fs := storage.NewMemFS()
+	big := make([]byte, 3*BlockSize+123)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	recs := [][]byte{[]byte("pre"), big, []byte("post")}
+	writeLog(t, fs, "l", recs)
+	got := readAll(t, fs, "l")
+	if len(got) != 3 || !bytes.Equal(got[1], big) {
+		t.Fatalf("fragmented record corrupted (got %d records)", len(got))
+	}
+}
+
+func TestBlockBoundaryPadding(t *testing.T) {
+	fs := storage.NewMemFS()
+	// Record sized so the next header would not fit in the block tail.
+	rec1 := make([]byte, BlockSize-headerSize-3) // leaves 3 < headerSize bytes
+	rec2 := []byte("after-pad")
+	writeLog(t, fs, "l", [][]byte{rec1, rec2})
+	got := readAll(t, fs, "l")
+	if len(got) != 2 || !bytes.Equal(got[1], rec2) {
+		t.Fatal("record after block padding lost")
+	}
+}
+
+func TestRoundTripQuickSizes(t *testing.T) {
+	fs := storage.NewMemFS()
+	rng := rand.New(rand.NewSource(11))
+	var recs [][]byte
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(3 * BlockSize)
+		b := make([]byte, n)
+		rng.Read(b)
+		recs = append(recs, b)
+	}
+	writeLog(t, fs, "l", recs)
+	got := readAll(t, fs, "l")
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !bytes.Equal(got[i], recs[i]) {
+			t.Fatalf("record %d mismatch (len %d)", i, len(recs[i]))
+		}
+	}
+}
+
+// A crash-truncated tail must not be treated as corruption: recovery keeps
+// the intact prefix.
+func TestTruncatedTail(t *testing.T) {
+	fs := storage.NewMemFS()
+	recs := [][]byte{[]byte("alpha"), []byte("beta"), make([]byte, 2*BlockSize)}
+	writeLog(t, fs, "l", recs)
+	data, _ := fs.ReadFile("l")
+	for cut := 1; cut < 40; cut += 7 {
+		trunc := data[:len(data)-cut]
+		fs.WriteFile("t", trunc)
+		src, _ := fs.Open("t")
+		r := NewReader(src)
+		n := 0
+		for {
+			_, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("cut %d: unexpected error %v", cut, err)
+			}
+			n++
+		}
+		if n < 2 {
+			t.Errorf("cut %d: intact prefix lost, only %d records", cut, n)
+		}
+		src.Close()
+	}
+}
+
+func TestMidFileCorruption(t *testing.T) {
+	fs := storage.NewMemFS()
+	recs := [][]byte{bytes.Repeat([]byte("a"), 100), bytes.Repeat([]byte("b"), 100)}
+	writeLog(t, fs, "l", recs)
+	data, _ := fs.ReadFile("l")
+	data[headerSize+10] ^= 0xff // flip a payload byte of record 0
+	// Pad so the corrupt block is not the final partial block.
+	data = append(data, make([]byte, BlockSize)...)
+	fs.WriteFile("c", data)
+	src, _ := fs.Open("c")
+	r := NewReader(src)
+	if _, err := r.Next(); err == nil {
+		t.Fatal("corrupted record accepted")
+	}
+	src.Close()
+}
+
+func TestLoggerAsync(t *testing.T) {
+	fs := storage.NewMemFS()
+	f, _ := fs.Create("l")
+	l := NewLogger(f, false)
+	var want [][]byte
+	for i := 0; i < 1000; i++ {
+		rec := []byte(fmt.Sprintf("record-%04d", i))
+		want = append(want, rec)
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, fs, "l")
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestLoggerSyncMode(t *testing.T) {
+	fs := storage.NewMemFS()
+	f, _ := fs.Create("l")
+	l := NewLogger(f, true)
+	if err := l.Append([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	// In sync mode the record must be on "disk" before Append returns.
+	got := readAll(t, fs, "l")
+	if len(got) != 1 || string(got[0]) != "durable" {
+		t.Fatalf("sync append not durable: %q", got)
+	}
+	l.Close()
+}
+
+func TestLoggerConcurrentAppends(t *testing.T) {
+	fs := storage.NewMemFS()
+	f, _ := fs.Create("l")
+	l := NewLogger(f, false)
+	const workers = 8
+	const per = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, fs, "l")
+	if len(got) != workers*per {
+		t.Fatalf("got %d records, want %d", len(got), workers*per)
+	}
+	// Per-producer order must be preserved (FIFO queue).
+	idx := make([]int, workers)
+	for _, rec := range got {
+		var w, i int
+		fmt.Sscanf(string(rec), "w%d-%d", &w, &i)
+		if i != idx[w] {
+			t.Fatalf("producer %d order violated: got %d want %d", w, i, idx[w])
+		}
+		idx[w]++
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := syncutil.NewQueue[int]()
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("empty queue dequeued")
+	}
+	for i := 0; i < 100; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue = %d,%v want %d", v, ok, i)
+		}
+	}
+}
+
+func TestQueueConcurrent(t *testing.T) {
+	q := syncutil.NewQueue[int]()
+	const producers = 4
+	const per = 10000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Enqueue(p*per + i)
+			}
+		}(p)
+	}
+	seen := make(map[int]bool, producers*per)
+	var consumed int
+	var mu sync.Mutex
+	var cwg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, ok := q.Dequeue()
+				if !ok {
+					mu.Lock()
+					done := consumed == producers*per
+					mu.Unlock()
+					if done {
+						return
+					}
+					continue
+				}
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("duplicate dequeue %d", v)
+				}
+				seen[v] = true
+				consumed++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	cwg.Wait()
+	if len(seen) != producers*per {
+		t.Fatalf("consumed %d, want %d", len(seen), producers*per)
+	}
+}

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// The trace facility records an operation stream to a compact binary file
+// and replays it later. The paper's §5.2 evaluation replays production
+// serving logs; users with real logs can convert them to this format and
+// drive the harness with their own traffic instead of the synthetic
+// ProductionSynth reconstruction.
+//
+// Format: one record per op —
+//
+//	op    byte    ('p' put, 'g' get, 'd' delete, 's' scan, 'r' rmw)
+//	klen  uvarint, key bytes
+//	vlen  uvarint, value bytes   (puts and rmws; scan length for scans)
+
+// TraceOp is one replayable operation.
+type TraceOp struct {
+	Op    byte
+	Key   []byte
+	Value []byte
+	// ScanLen is the range length for scan ops.
+	ScanLen int
+}
+
+// Trace op codes.
+const (
+	TracePut    = 'p'
+	TraceGet    = 'g'
+	TraceDelete = 'd'
+	TraceScan   = 's'
+	TraceRMW    = 'r'
+)
+
+// ErrBadTrace reports a malformed trace stream.
+var ErrBadTrace = errors.New("workload: malformed trace")
+
+// TraceWriter serializes operations to an io.Writer.
+type TraceWriter struct {
+	w   *bufio.Writer
+	buf []byte
+	n   int64
+}
+
+// NewTraceWriter wraps w.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{w: bufio.NewWriter(w)}
+}
+
+// Write appends one operation.
+func (t *TraceWriter) Write(op TraceOp) error {
+	t.buf = t.buf[:0]
+	t.buf = append(t.buf, op.Op)
+	t.buf = binary.AppendUvarint(t.buf, uint64(len(op.Key)))
+	t.buf = append(t.buf, op.Key...)
+	switch op.Op {
+	case TracePut, TraceRMW:
+		t.buf = binary.AppendUvarint(t.buf, uint64(len(op.Value)))
+		t.buf = append(t.buf, op.Value...)
+	case TraceScan:
+		t.buf = binary.AppendUvarint(t.buf, uint64(op.ScanLen))
+	case TraceGet, TraceDelete:
+	default:
+		return fmt.Errorf("%w: op %q", ErrBadTrace, op.Op)
+	}
+	if _, err := t.w.Write(t.buf); err != nil {
+		return err
+	}
+	t.n++
+	return nil
+}
+
+// Count returns the number of ops written.
+func (t *TraceWriter) Count() int64 { return t.n }
+
+// Flush drains the buffer to the underlying writer.
+func (t *TraceWriter) Flush() error { return t.w.Flush() }
+
+// TraceReader deserializes operations from an io.Reader.
+type TraceReader struct {
+	r *bufio.Reader
+}
+
+// NewTraceReader wraps r.
+func NewTraceReader(r io.Reader) *TraceReader {
+	return &TraceReader{r: bufio.NewReader(r)}
+}
+
+// Next returns the next operation or io.EOF at the clean end of the
+// stream. The returned slices are freshly allocated.
+func (t *TraceReader) Next() (TraceOp, error) {
+	opb, err := t.r.ReadByte()
+	if err != nil {
+		return TraceOp{}, err // io.EOF passes through
+	}
+	op := TraceOp{Op: opb}
+	key, err := t.readBytes()
+	if err != nil {
+		return TraceOp{}, err
+	}
+	op.Key = key
+	switch opb {
+	case TracePut, TraceRMW:
+		v, err := t.readBytes()
+		if err != nil {
+			return TraceOp{}, err
+		}
+		op.Value = v
+	case TraceScan:
+		n, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			return TraceOp{}, t.truncated(err)
+		}
+		op.ScanLen = int(n)
+	case TraceGet, TraceDelete:
+	default:
+		return TraceOp{}, fmt.Errorf("%w: op byte %#x", ErrBadTrace, opb)
+	}
+	return op, nil
+}
+
+func (t *TraceReader) readBytes() ([]byte, error) {
+	n, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return nil, t.truncated(err)
+	}
+	if n > 64<<20 {
+		return nil, fmt.Errorf("%w: implausible length %d", ErrBadTrace, n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(t.r, b); err != nil {
+		return nil, t.truncated(err)
+	}
+	return b, nil
+}
+
+// truncated maps mid-record EOF to a corruption error (a clean stream ends
+// only between records).
+func (t *TraceReader) truncated(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("%w: truncated record", ErrBadTrace)
+	}
+	return err
+}
+
+// RecordSynthetic writes n operations of the given mix/config to w —
+// a convenience for producing shareable, reproducible trace files.
+func RecordSynthetic(w io.Writer, cfg Config, mix Mix, n int64, seed int64) error {
+	cfg = cfg.WithDefaults()
+	g := New(cfg, seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x5f5f))
+	tw := NewTraceWriter(w)
+	for i := int64(0); i < n; i++ {
+		idx := g.NextIndex()
+		op := TraceOp{Key: append([]byte(nil), g.Key(idx)...)}
+		switch mix.NextOp(rng) {
+		case OpGet:
+			op.Op = TraceGet
+		case OpScan:
+			op.Op = TraceScan
+			op.ScanLen = mix.ScanLen(rng)
+		case OpRMW:
+			op.Op = TraceRMW
+			op.Value = append([]byte(nil), g.Value(idx)...)
+		default:
+			op.Op = TracePut
+			op.Value = append([]byte(nil), g.Value(idx)...)
+		}
+		if err := tw.Write(op); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}

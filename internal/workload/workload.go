@@ -1,0 +1,263 @@
+// Package workload generates the key/value streams the paper's evaluation
+// uses: uniform writes (Fig. 5), hotspot reads with 90 % of accesses on
+// 10 % of the data (Fig. 6–9), sequential bulk loads (Fig. 11), and
+// synthetic reconstructions of the production serving logs of §5.2.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+)
+
+// Dist selects a key distribution.
+type Dist int
+
+// Supported key distributions.
+const (
+	// Uniform draws keys uniformly from the key space.
+	Uniform Dist = iota
+	// Hotspot draws HotAccess of operations from the first HotFraction
+	// of the (block-permuted) key space — the paper's read benchmark
+	// uses 90 % of accesses on 10 % of blocks.
+	Hotspot
+	// Zipf draws keys with a Zipf(s) frequency distribution over ranks,
+	// rank-to-key mapping scrambled.
+	Zipf
+	// Sequential emits keys in increasing order (bulk load, Fig. 11).
+	Sequential
+	// ProductionSynth reproduces the §5.2 production distribution
+	// marginals: heavy tail where ~1-2 % of keys draw >50 % of requests,
+	// ~10 % of keys draw >75 %, and ~10 % of keys appear only once.
+	ProductionSynth
+)
+
+// Config describes a workload.
+type Config struct {
+	// KeySpace is the number of distinct keys.
+	KeySpace int64
+	// KeySize and ValueSize are the formatted sizes in bytes. The paper
+	// uses 8 B keys / 256 B values for synthetic workloads, 40 B / 1 KiB
+	// for production, and 10 B / 400 B for the disk-bound benchmark.
+	KeySize   int
+	ValueSize int
+	// Dist picks the key distribution; the fields below tune it.
+	Dist        Dist
+	HotFraction float64 // Hotspot: fraction of keys that are hot (default 0.1)
+	HotAccess   float64 // Hotspot: fraction of accesses to hot keys (default 0.9)
+	ZipfS       float64 // Zipf/ProductionSynth skew (default 1.1)
+	// SingletonFraction is the share of ProductionSynth accesses hitting
+	// once-only keys (default 0.1).
+	SingletonFraction float64
+}
+
+// WithDefaults fills unset tuning fields.
+func (c Config) WithDefaults() Config {
+	if c.KeySpace <= 0 {
+		c.KeySpace = 1 << 20
+	}
+	if c.KeySize <= 0 {
+		c.KeySize = 8
+	}
+	if c.ValueSize < 0 {
+		c.ValueSize = 0
+	} else if c.ValueSize == 0 {
+		c.ValueSize = 256
+	}
+	if c.HotFraction <= 0 || c.HotFraction > 1 {
+		c.HotFraction = 0.1
+	}
+	if c.HotAccess <= 0 || c.HotAccess > 1 {
+		c.HotAccess = 0.9
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.1
+	}
+	if c.SingletonFraction <= 0 || c.SingletonFraction >= 1 {
+		c.SingletonFraction = 0.1
+	}
+	return c
+}
+
+// Generator produces keys and values for one worker. Not safe for
+// concurrent use; create one per goroutine with distinct seeds.
+type Generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	seq  int64
+	// singleton counter for ProductionSynth's once-only tail, kept outside
+	// the main key space.
+	singleton int64
+	keyBuf    []byte
+	valBuf    []byte
+}
+
+// New creates a generator with a deterministic seed.
+func New(cfg Config, seed int64) *Generator {
+	cfg = cfg.WithDefaults()
+	g := &Generator{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(seed)),
+		keyBuf: make([]byte, cfg.KeySize),
+		valBuf: make([]byte, cfg.ValueSize),
+	}
+	if cfg.Dist == Zipf || cfg.Dist == ProductionSynth {
+		g.zipf = rand.NewZipf(g.rng, cfg.ZipfS, 1, uint64(cfg.KeySpace-1))
+	}
+	// Pre-fill the value with compressible-but-not-trivial content.
+	for i := range g.valBuf {
+		g.valBuf[i] = byte('a' + (i*7)%26)
+	}
+	return g
+}
+
+// KeySpace reports the configured key-space size.
+func (g *Generator) KeySpace() int64 { return g.cfg.KeySpace }
+
+// NextIndex draws the next key index according to the distribution.
+func (g *Generator) NextIndex() int64 {
+	c := &g.cfg
+	switch c.Dist {
+	case Uniform:
+		return g.rng.Int63n(c.KeySpace)
+	case Hotspot:
+		if g.rng.Float64() < c.HotAccess {
+			hot := int64(float64(c.KeySpace) * c.HotFraction)
+			if hot < 1 {
+				hot = 1
+			}
+			return g.rng.Int63n(hot)
+		}
+		return g.rng.Int63n(c.KeySpace)
+	case Zipf:
+		return int64(g.zipf.Uint64())
+	case Sequential:
+		i := g.seq
+		g.seq++
+		if g.seq >= c.KeySpace {
+			g.seq = 0
+		}
+		return i
+	case ProductionSynth:
+		if g.rng.Float64() < c.SingletonFraction {
+			// Once-only key, drawn from a disjoint suffix space.
+			g.singleton++
+			return c.KeySpace + g.singleton
+		}
+		return int64(g.zipf.Uint64())
+	default:
+		return g.rng.Int63n(c.KeySpace)
+	}
+}
+
+// Key formats the key for index i. The returned slice is reused by the
+// next call.
+func (g *Generator) Key(i int64) []byte {
+	return FormatKey(g.keyBuf, i, g.cfg.KeySize)
+}
+
+// NextKey draws and formats the next key.
+func (g *Generator) NextKey() []byte { return g.Key(g.NextIndex()) }
+
+// Value returns a value for index i: a deterministic function of the key
+// so verification is possible. The slice is reused by the next call.
+func (g *Generator) Value(i int64) []byte {
+	if len(g.valBuf) >= 8 {
+		binary.BigEndian.PutUint64(g.valBuf, uint64(i))
+	}
+	return g.valBuf
+}
+
+// FormatKey writes a fixed-width key for index i into buf (reallocating if
+// needed). Indexes are bit-scrambled so "hot" ranges are spread across the
+// key space like real hashed row keys, then hex-coded so keys are printable
+// and ordered deterministically.
+func FormatKey(buf []byte, i int64, size int) []byte {
+	if cap(buf) < size {
+		buf = make([]byte, size)
+	}
+	buf = buf[:size]
+	x := scramble(uint64(i))
+	const hex = "0123456789abcdef"
+	for p := size - 1; p >= 0; p-- {
+		buf[p] = hex[x&0xf]
+		x >>= 4
+	}
+	return buf
+}
+
+// SequentialKey writes an order-preserving key (bulk loads need physical
+// ordering, so no scrambling).
+func SequentialKey(buf []byte, i int64, size int) []byte {
+	if cap(buf) < size {
+		buf = make([]byte, size)
+	}
+	buf = buf[:size]
+	s := fmt.Sprintf("%0*d", size, i)
+	copy(buf, s[len(s)-size:])
+	return buf
+}
+
+// scramble is a 64-bit mix (splitmix64 finalizer) used as a deterministic
+// pseudo-permutation of key indexes.
+func scramble(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// OpKind is the operation type of a mixed workload.
+type OpKind int
+
+// Operation kinds emitted by Mix.
+const (
+	OpPut OpKind = iota
+	OpGet
+	OpScan
+	OpRMW
+)
+
+// Mix describes an operation mixture by ratio (must sum to <= 1; the
+// remainder goes to puts).
+type Mix struct {
+	GetRatio  float64
+	ScanRatio float64
+	RMWRatio  float64
+	// ScanMin/ScanMax bound the range length of scan operations
+	// (Fig. 7b uses 10-20 keys).
+	ScanMin, ScanMax int
+}
+
+// NextOp draws the next operation kind.
+func (m Mix) NextOp(rng *rand.Rand) OpKind {
+	r := rng.Float64()
+	switch {
+	case r < m.GetRatio:
+		return OpGet
+	case r < m.GetRatio+m.ScanRatio:
+		return OpScan
+	case r < m.GetRatio+m.ScanRatio+m.RMWRatio:
+		return OpRMW
+	default:
+		return OpPut
+	}
+}
+
+// ScanLen draws a scan length in [ScanMin, ScanMax].
+func (m Mix) ScanLen(rng *rand.Rand) int {
+	if m.ScanMax <= m.ScanMin {
+		return max(m.ScanMin, 1)
+	}
+	return m.ScanMin + rng.Intn(m.ScanMax-m.ScanMin+1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestFormatKeyDeterministicAndFixedWidth(t *testing.T) {
+	a := FormatKey(nil, 42, 8)
+	b := FormatKey(nil, 42, 8)
+	if !bytes.Equal(a, b) {
+		t.Fatal("FormatKey not deterministic")
+	}
+	if len(a) != 8 {
+		t.Fatalf("len = %d", len(a))
+	}
+	c := FormatKey(nil, 43, 8)
+	if bytes.Equal(a, c) {
+		t.Fatal("distinct indexes collide")
+	}
+}
+
+func TestFormatKeyNoCollisions(t *testing.T) {
+	seen := map[string]bool{}
+	for i := int64(0); i < 200000; i++ {
+		k := string(FormatKey(nil, i, 16))
+		if seen[k] {
+			t.Fatalf("collision at %d", i)
+		}
+		seen[k] = true
+	}
+}
+
+func TestSequentialKeyOrdered(t *testing.T) {
+	prev := SequentialKey(nil, 0, 10)
+	for i := int64(1); i < 1000; i++ {
+		k := SequentialKey(nil, i, 10)
+		if bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("sequential keys not ordered at %d", i)
+		}
+		prev = append(prev[:0], k...)
+	}
+}
+
+func TestUniformCoversSpace(t *testing.T) {
+	g := New(Config{KeySpace: 100, Dist: Uniform}, 1)
+	seen := map[int64]bool{}
+	for i := 0; i < 10000; i++ {
+		idx := g.NextIndex()
+		if idx < 0 || idx >= 100 {
+			t.Fatalf("index %d out of range", idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) < 95 {
+		t.Fatalf("uniform draw covered only %d/100 keys", len(seen))
+	}
+}
+
+func TestHotspotSkew(t *testing.T) {
+	g := New(Config{KeySpace: 1000, Dist: Hotspot, HotFraction: 0.1, HotAccess: 0.9}, 2)
+	hot := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if g.NextIndex() < 100 {
+			hot++
+		}
+	}
+	frac := float64(hot) / draws
+	// 90% hot traffic + ~10% of the uniform remainder lands in the hot range.
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot fraction = %.3f, want ~0.91", frac)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := New(Config{KeySpace: 100000, Dist: Zipf, ZipfS: 1.2}, 3)
+	counts := map[int64]int{}
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[g.NextIndex()]++
+	}
+	// Rank-0 key must dominate.
+	if counts[0] < draws/20 {
+		t.Fatalf("zipf rank-0 count = %d, too flat", counts[0])
+	}
+}
+
+func TestSequentialWraps(t *testing.T) {
+	g := New(Config{KeySpace: 5, Dist: Sequential}, 4)
+	var got []int64
+	for i := 0; i < 12; i++ {
+		got = append(got, g.NextIndex())
+	}
+	want := []int64{0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequential stream %v", got)
+		}
+	}
+}
+
+// ProductionSynth must reproduce the paper's marginals: a heavy tail where
+// a few percent of keys draw the majority of requests, and ~10% singleton
+// accesses.
+func TestProductionSynthMarginals(t *testing.T) {
+	g := New(Config{KeySpace: 100000, Dist: ProductionSynth}, 5)
+	counts := map[int64]int{}
+	singletons := 0
+	const draws = 300000
+	for i := 0; i < draws; i++ {
+		idx := g.NextIndex()
+		if idx >= 100000 {
+			singletons++
+			continue
+		}
+		counts[idx]++
+	}
+	sf := float64(singletons) / draws
+	if sf < 0.07 || sf > 0.13 {
+		t.Fatalf("singleton fraction = %.3f, want ~0.10", sf)
+	}
+	// Top 10% of accessed keys should account for >= 75% of non-singleton
+	// traffic (paper: "10% of the keys stand for more than 75%").
+	var freqs []int
+	total := 0
+	for _, c := range counts {
+		freqs = append(freqs, c)
+		total += c
+	}
+	// simple selection: sort descending
+	for i := 0; i < len(freqs); i++ {
+		for j := i + 1; j < len(freqs); j++ {
+			if freqs[j] > freqs[i] {
+				freqs[i], freqs[j] = freqs[j], freqs[i]
+			}
+		}
+		if i > len(freqs)/10+1 {
+			break
+		}
+	}
+	top := 0
+	for i := 0; i < (len(freqs)+9)/10; i++ {
+		top += freqs[i]
+	}
+	if frac := float64(top) / float64(total); frac < 0.75 {
+		t.Fatalf("top-10%% keys draw %.2f of traffic, want >= 0.75", frac)
+	}
+}
+
+func TestMixRatios(t *testing.T) {
+	m := Mix{GetRatio: 0.5, ScanRatio: 0.2, RMWRatio: 0.1}
+	rng := rand.New(rand.NewSource(6))
+	counts := map[OpKind]int{}
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[m.NextOp(rng)]++
+	}
+	check := func(k OpKind, want float64) {
+		got := float64(counts[k]) / draws
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("op %d ratio %.3f want %.2f", k, got, want)
+		}
+	}
+	check(OpGet, 0.5)
+	check(OpScan, 0.2)
+	check(OpRMW, 0.1)
+	check(OpPut, 0.2)
+}
+
+func TestScanLenBounds(t *testing.T) {
+	m := Mix{ScanMin: 10, ScanMax: 20}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		n := m.ScanLen(rng)
+		if n < 10 || n > 20 {
+			t.Fatalf("scan len %d out of [10,20]", n)
+		}
+	}
+	if (Mix{ScanMin: 5, ScanMax: 5}).ScanLen(rng) != 5 {
+		t.Fatal("degenerate scan range")
+	}
+	if (Mix{}).ScanLen(rng) != 1 {
+		t.Fatal("zero scan range should clamp to 1")
+	}
+}
+
+func TestValueDeterministic(t *testing.T) {
+	g := New(Config{ValueSize: 64}, 8)
+	v1 := append([]byte(nil), g.Value(7)...)
+	v2 := g.Value(7)
+	if !bytes.Equal(v1, v2) {
+		t.Fatal("Value not deterministic")
+	}
+	if len(v1) != 64 {
+		t.Fatalf("value size %d", len(v1))
+	}
+}

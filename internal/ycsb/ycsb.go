@@ -1,0 +1,297 @@
+// Package ycsb implements the six core YCSB workloads (Cooper et al.,
+// SoCC 2010 — the benchmark suite of the key-value-store literature the
+// paper builds on) against any baseline.Store. It complements the paper's
+// figure harness with the industry-standard mix definitions:
+//
+//	A  update heavy   50/50 read/update, zipfian
+//	B  read mostly    95/5 read/update, zipfian
+//	C  read only      100% read, zipfian
+//	D  read latest    95/5 read/insert, skewed to recent inserts
+//	E  short ranges   95/5 scan/insert, zipfian, scans of 1-100 keys
+//	F  read-modify-write  50/50 read/RMW, zipfian
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clsm/internal/baseline"
+	"clsm/internal/harness"
+	"clsm/internal/workload"
+)
+
+// Workload identifies one of the six core mixes.
+type Workload byte
+
+// The six core YCSB workloads.
+const (
+	WorkloadA Workload = 'a'
+	WorkloadB Workload = 'b'
+	WorkloadC Workload = 'c'
+	WorkloadD Workload = 'd'
+	WorkloadE Workload = 'e'
+	WorkloadF Workload = 'f'
+)
+
+// ParseWorkload accepts "a".."f" (case-insensitive).
+func ParseWorkload(s string) (Workload, error) {
+	if len(s) == 1 {
+		c := s[0] | 0x20
+		if c >= 'a' && c <= 'f' {
+			return Workload(c), nil
+		}
+	}
+	return 0, fmt.Errorf("ycsb: unknown workload %q (a-f)", s)
+}
+
+// Config parameterizes a run.
+type Config struct {
+	Workload    Workload
+	RecordCount int64 // preloaded records
+	OpCount     int64 // total operations across threads
+	Threads     int
+	KeySize     int // default 23 ("user" + 20 digits), per YCSB
+	ValueSize   int // default 1000 (10 fields x 100 bytes)
+	Seed        int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RecordCount <= 0 {
+		c.RecordCount = 100_000
+	}
+	if c.OpCount <= 0 {
+		c.OpCount = 100_000
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.KeySize <= 0 {
+		c.KeySize = 23
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// OpResult aggregates one operation type's measurements.
+type OpResult struct {
+	Count uint64
+	Hist  *harness.Histogram
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Workload   Workload
+	Elapsed    time.Duration
+	Total      uint64
+	PerOp      map[string]*OpResult
+	Throughput float64 // ops/sec
+}
+
+// Load preloads the record set (the YCSB load phase).
+func Load(s baseline.Store, cfg Config) error {
+	cfg = cfg.withDefaults()
+	return harness.Preload(s, workload.Config{
+		KeySpace:  cfg.RecordCount,
+		KeySize:   cfg.KeySize,
+		ValueSize: cfg.ValueSize,
+	}, cfg.RecordCount, cfg.Threads)
+}
+
+// Run executes the transaction phase.
+func Run(s baseline.Store, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{
+		Workload: cfg.Workload,
+		PerOp: map[string]*OpResult{
+			"read":   {Hist: harness.NewHistogram()},
+			"update": {Hist: harness.NewHistogram()},
+			"insert": {Hist: harness.NewHistogram()},
+			"scan":   {Hist: harness.NewHistogram()},
+			"rmw":    {Hist: harness.NewHistogram()},
+		},
+	}
+
+	// insertCursor tracks the growing key space (workload D inserts).
+	var insertCursor atomic.Int64
+	insertCursor.Store(cfg.RecordCount)
+
+	perThread := cfg.OpCount / int64(cfg.Threads)
+	var wg sync.WaitGroup
+	var firstErr atomic.Pointer[error]
+	workers := make([]*worker, cfg.Threads)
+	for t := 0; t < cfg.Threads; t++ {
+		workers[t] = newWorker(cfg, int64(t), &insertCursor)
+	}
+
+	start := time.Now()
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			for i := int64(0); i < perThread; i++ {
+				if err := w.step(s); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+			}
+		}(workers[t])
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if e := firstErr.Load(); e != nil {
+		return nil, *e
+	}
+
+	for _, w := range workers {
+		for op, h := range w.hists {
+			r := res.PerOp[op]
+			r.Hist.Merge(h)
+			r.Count += w.counts[op]
+			res.Total += w.counts[op]
+		}
+	}
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.Total) / res.Elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// worker holds one thread's generators and measurement state.
+type worker struct {
+	cfg    Config
+	rng    *rand.Rand
+	zipf   *rand.Zipf
+	cursor *atomic.Int64
+	keyBuf []byte
+	valBuf []byte
+	hists  map[string]*harness.Histogram
+	counts map[string]uint64
+}
+
+func newWorker(cfg Config, id int64, cursor *atomic.Int64) *worker {
+	rng := rand.New(rand.NewSource(cfg.Seed*131 + id))
+	w := &worker{
+		cfg:    cfg,
+		rng:    rng,
+		zipf:   rand.NewZipf(rng, 1.1, 1, uint64(cfg.RecordCount-1)),
+		cursor: cursor,
+		valBuf: make([]byte, cfg.ValueSize),
+		hists:  map[string]*harness.Histogram{},
+		counts: map[string]uint64{},
+	}
+	for _, op := range []string{"read", "update", "insert", "scan", "rmw"} {
+		w.hists[op] = harness.NewHistogram()
+	}
+	for i := range w.valBuf {
+		w.valBuf[i] = byte('A' + (i*13)%26)
+	}
+	return w
+}
+
+// key formats record index i in YCSB's hashed style.
+func (w *worker) key(i int64) []byte {
+	w.keyBuf = workload.FormatKey(w.keyBuf, i, w.cfg.KeySize)
+	return w.keyBuf
+}
+
+// zipfIndex draws a record index over the current key space.
+func (w *worker) zipfIndex() int64 { return int64(w.zipf.Uint64()) }
+
+// latestIndex skews toward recently inserted records (workload D).
+func (w *worker) latestIndex() int64 {
+	max := w.cursor.Load()
+	off := int64(w.zipf.Uint64())
+	idx := max - 1 - off
+	if idx < 0 {
+		idx = 0
+	}
+	return idx
+}
+
+func (w *worker) step(s baseline.Store) error {
+	switch w.cfg.Workload {
+	case WorkloadA:
+		if w.rng.Float64() < 0.5 {
+			return w.read(s, w.zipfIndex())
+		}
+		return w.update(s, w.zipfIndex())
+	case WorkloadB:
+		if w.rng.Float64() < 0.95 {
+			return w.read(s, w.zipfIndex())
+		}
+		return w.update(s, w.zipfIndex())
+	case WorkloadC:
+		return w.read(s, w.zipfIndex())
+	case WorkloadD:
+		if w.rng.Float64() < 0.95 {
+			return w.read(s, w.latestIndex())
+		}
+		return w.insert(s)
+	case WorkloadE:
+		if w.rng.Float64() < 0.95 {
+			return w.scan(s, w.zipfIndex(), 1+w.rng.Intn(100))
+		}
+		return w.insert(s)
+	case WorkloadF:
+		if w.rng.Float64() < 0.5 {
+			return w.read(s, w.zipfIndex())
+		}
+		return w.rmw(s, w.zipfIndex())
+	default:
+		return fmt.Errorf("ycsb: bad workload %q", w.cfg.Workload)
+	}
+}
+
+func (w *worker) measure(op string, f func() error) error {
+	t0 := time.Now()
+	err := f()
+	w.hists[op].Record(time.Since(t0))
+	w.counts[op]++
+	return err
+}
+
+func (w *worker) read(s baseline.Store, idx int64) error {
+	return w.measure("read", func() error {
+		_, _, err := s.Get(w.key(idx))
+		return err
+	})
+}
+
+func (w *worker) update(s baseline.Store, idx int64) error {
+	return w.measure("update", func() error {
+		k := append([]byte(nil), w.key(idx)...)
+		return s.Put(k, w.valBuf)
+	})
+}
+
+func (w *worker) insert(s baseline.Store) error {
+	return w.measure("insert", func() error {
+		idx := w.cursor.Add(1) - 1
+		k := append([]byte(nil), w.key(idx)...)
+		return s.Put(k, w.valBuf)
+	})
+}
+
+func (w *worker) scan(s baseline.Store, idx int64, n int) error {
+	return w.measure("scan", func() error {
+		_, err := s.Scan(w.key(idx), n)
+		return err
+	})
+}
+
+func (w *worker) rmw(s baseline.Store, idx int64) error {
+	return w.measure("rmw", func() error {
+		k := append([]byte(nil), w.key(idx)...)
+		return s.RMW(k, func(old []byte, exists bool) []byte {
+			return w.valBuf
+		})
+	})
+}

@@ -1,0 +1,128 @@
+package ycsb
+
+import (
+	"testing"
+
+	"clsm/internal/baseline"
+	"clsm/internal/harness"
+)
+
+func smallConfig(w Workload) Config {
+	return Config{
+		Workload:    w,
+		RecordCount: 2000,
+		OpCount:     4000,
+		Threads:     4,
+		KeySize:     16,
+		ValueSize:   100,
+		Seed:        7,
+	}
+}
+
+func TestParseWorkload(t *testing.T) {
+	for _, s := range []string{"a", "B", "f"} {
+		if _, err := ParseWorkload(s); err != nil {
+			t.Errorf("ParseWorkload(%q): %v", s, err)
+		}
+	}
+	for _, s := range []string{"", "g", "ab"} {
+		if _, err := ParseWorkload(s); err == nil {
+			t.Errorf("ParseWorkload(%q) accepted", s)
+		}
+	}
+}
+
+func TestAllWorkloadsRun(t *testing.T) {
+	for _, w := range []Workload{WorkloadA, WorkloadB, WorkloadC, WorkloadD, WorkloadE, WorkloadF} {
+		t.Run(string(w), func(t *testing.T) {
+			s, err := baseline.New(baseline.NameCLSM, harness.Smoke.CoreOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			cfg := smallConfig(w)
+			if err := Load(s, cfg); err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(s, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Total != uint64(cfg.OpCount) {
+				t.Fatalf("ran %d ops, want %d", res.Total, cfg.OpCount)
+			}
+			if res.Throughput <= 0 {
+				t.Fatal("zero throughput")
+			}
+		})
+	}
+}
+
+func TestWorkloadMixRatios(t *testing.T) {
+	s, err := baseline.New(baseline.NameCLSM, harness.Smoke.CoreOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cfg := smallConfig(WorkloadA)
+	cfg.OpCount = 20000
+	if err := Load(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := float64(res.PerOp["read"].Count) / float64(res.Total)
+	if reads < 0.45 || reads > 0.55 {
+		t.Fatalf("workload A read ratio = %.3f, want ~0.5", reads)
+	}
+	if res.PerOp["update"].Count == 0 {
+		t.Fatal("no updates in workload A")
+	}
+	if res.PerOp["read"].Hist.Count() == 0 {
+		t.Fatal("no read latencies recorded")
+	}
+}
+
+func TestWorkloadDInsertsGrowKeySpace(t *testing.T) {
+	s, err := baseline.New(baseline.NameCLSM, harness.Smoke.CoreOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cfg := smallConfig(WorkloadD)
+	if err := Load(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerOp["insert"].Count == 0 {
+		t.Fatal("workload D made no inserts")
+	}
+}
+
+func TestWorkloadEScans(t *testing.T) {
+	s, err := baseline.New(baseline.NameCLSM, harness.Smoke.CoreOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cfg := smallConfig(WorkloadE)
+	if err := Load(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerOp["scan"].Count == 0 {
+		t.Fatal("workload E made no scans")
+	}
+	scans := float64(res.PerOp["scan"].Count) / float64(res.Total)
+	if scans < 0.9 {
+		t.Fatalf("workload E scan ratio = %.3f, want ~0.95", scans)
+	}
+}
