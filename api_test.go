@@ -1,0 +1,204 @@
+package clsm_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"clsm"
+)
+
+// TestOpenBothConstructors exercises both public constructors end to end
+// and checks they yield stores with identical observable behavior.
+func TestOpenBothConstructors(t *testing.T) {
+	open := map[string]func() (*clsm.DB, error){
+		"struct": func() (*clsm.DB, error) {
+			return clsm.Open(clsm.Options{MemtableSize: 1 << 20, CompactionThreads: 2})
+		},
+		"functional": func() (*clsm.DB, error) {
+			return clsm.OpenPath("",
+				clsm.WithMemtableSize(1<<20),
+				clsm.WithCompactionThreads(2))
+		},
+	}
+	for name, ctor := range open {
+		t.Run(name, func(t *testing.T) {
+			db, err := ctor()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+
+			if err := db.Put([]byte("k"), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+			v, ok, err := db.Get([]byte("k"))
+			if err != nil || !ok || string(v) != "v" {
+				t.Fatalf("Get = %q %v %v", v, ok, err)
+			}
+
+			// Get/Has symmetry: absence is ok=false with nil error.
+			if ok, err := db.Has([]byte("k")); err != nil || !ok {
+				t.Fatalf("Has(present) = %v %v", ok, err)
+			}
+			if ok, err := db.Has([]byte("missing")); err != nil || ok {
+				t.Fatalf("Has(absent) = %v %v, want false nil", ok, err)
+			}
+			if err := db.Delete([]byte("k")); err != nil {
+				t.Fatal(err)
+			}
+			if ok, err := db.Has([]byte("k")); err != nil || ok {
+				t.Fatalf("Has(deleted) = %v %v, want false nil", ok, err)
+			}
+
+			// Snapshot-scoped Has mirrors the DB method and is isolated
+			// from writes after the snapshot.
+			db.Put([]byte("s"), []byte("1"))
+			snap, err := db.GetSnapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok, err := snap.Has([]byte("s")); err != nil || !ok {
+				t.Fatalf("Snapshot.Has(present) = %v %v", ok, err)
+			}
+			db.Delete([]byte("s"))
+			if ok, err := snap.Has([]byte("s")); err != nil || !ok {
+				t.Fatalf("Snapshot.Has after later delete = %v %v, want true", ok, err)
+			}
+			snap.Close()
+
+			// Observability is always on.
+			if db.Observer() == nil {
+				t.Fatal("Observer() returned nil")
+			}
+			if db.Observer().Op(clsm.OpPut).Count() == 0 {
+				t.Fatal("put latency histogram empty after Puts")
+			}
+		})
+	}
+}
+
+// TestErrorsAreIsComparable pins the wrapped-sentinel contract: closed and
+// expired handles fail with errors testable via errors.Is.
+func TestErrorsAreIsComparable(t *testing.T) {
+	db, err := clsm.OpenPath("", clsm.WithSnapshotTTL(20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.Put([]byte("k"), []byte("v"))
+
+	// TTL-reclaimed snapshot → ErrSnapshotExpired (wrapped with context).
+	snap, err := db.GetSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, _, err := snap.Get([]byte("k"))
+		if errors.Is(err, clsm.ErrSnapshotExpired) {
+			if err == clsm.ErrSnapshotExpired {
+				t.Fatal("expired error is bare; the API promises wrapped sentinels")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("snapshot never expired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Application-closed snapshot → ErrClosed.
+	snap2, _ := db.GetSnapshot()
+	snap2.Close()
+	if _, _, err := snap2.Get([]byte("k")); !errors.Is(err, clsm.ErrClosed) {
+		t.Fatalf("closed-snapshot error = %v, want errors.Is ErrClosed", err)
+	}
+	if _, err := snap2.Has([]byte("k")); !errors.Is(err, clsm.ErrClosed) {
+		t.Fatalf("closed-snapshot Has error = %v, want errors.Is ErrClosed", err)
+	}
+
+	// Closed store → ErrClosed from every surface.
+	db2, _ := clsm.OpenPath("")
+	db2.Close()
+	if err := db2.Put([]byte("k"), []byte("v")); !errors.Is(err, clsm.ErrClosed) {
+		t.Fatalf("Put on closed store = %v, want ErrClosed", err)
+	}
+	if _, _, err := db2.Get([]byte("k")); !errors.Is(err, clsm.ErrClosed) {
+		t.Fatalf("Get on closed store = %v, want ErrClosed", err)
+	}
+	if _, err := db2.Has([]byte("k")); !errors.Is(err, clsm.ErrClosed) {
+		t.Fatalf("Has on closed store = %v, want ErrClosed", err)
+	}
+}
+
+// TestEventSinkViaPublicAPI checks WithObserver delivers engine events
+// through the public constructor.
+func TestEventSinkViaPublicAPI(t *testing.T) {
+	events := make(chan clsm.Event, 4096)
+	db, err := clsm.OpenPath("",
+		clsm.WithMemtableSize(1<<20),
+		clsm.WithObserver(func(e clsm.Event) {
+			select {
+			case events <- e:
+			default:
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 1024)
+	for i := 0; i < 3000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%06d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CompactRange(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	close(events)
+
+	seen := map[clsm.EventType]int{}
+	for e := range events {
+		seen[e.Type]++
+	}
+	for _, want := range []clsm.EventType{
+		clsm.EventFlushStart, clsm.EventFlushEnd,
+		clsm.EventCompactionStart, clsm.EventCompactionEnd,
+	} {
+		if seen[want] == 0 {
+			t.Errorf("sink never saw %s (saw %v)", want, seen)
+		}
+	}
+}
+
+// TestWriteAndRMWHistograms covers the batch and RMW write surfaces and
+// their per-op histograms.
+func TestWriteAndRMWHistograms(t *testing.T) {
+	db, err := clsm.OpenPath("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	var b clsm.Batch
+	b.Put([]byte("a"), []byte("1"))
+	b.Delete([]byte("b"))
+	if err := db.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RMW([]byte("n"), func(old []byte, ok bool) []byte {
+		return append(old, 'x')
+	}); err != nil {
+		t.Fatal(err)
+	}
+	o := db.Observer()
+	if got := o.Op(clsm.OpWrite).Count(); got != 1 {
+		t.Errorf("write histogram count = %d, want 1", got)
+	}
+	if got := o.Op(clsm.OpRMW).Count(); got != 1 {
+		t.Errorf("rmw histogram count = %d, want 1", got)
+	}
+}

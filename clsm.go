@@ -14,7 +14,9 @@
 //
 // # Quick start
 //
-//	db, err := clsm.Open(clsm.Options{Path: "/tmp/mydb"})
+//	db, err := clsm.OpenPath("/tmp/mydb",
+//		clsm.WithMemtableSize(64<<20),
+//		clsm.WithSnapshotTTL(time.Minute))
 //	if err != nil { ... }
 //	defer db.Close()
 //
@@ -26,71 +28,24 @@
 //	it, _ := snap.NewIterator()
 //	defer it.Close()
 //	for it.Seek([]byte("a")); it.Valid(); it.Next() { ... }
+//
+// The struct form clsm.Open(clsm.Options{...}) configures the same
+// settings; both constructors delegate onto one path.
+//
+// # Observability
+//
+// Every store continuously records operation latency histograms, block
+// cache / WAL / compaction counters, and a trace of engine events (memtable
+// flushes, level compactions, write stalls, snapshot reclaims). See
+// DB.Observer, WithObserver, and docs/OBSERVABILITY.md.
 package clsm
 
 import (
-	"time"
-
 	"clsm/internal/batch"
 	"clsm/internal/core"
+	"clsm/internal/obs"
 	"clsm/internal/storage"
-	"clsm/internal/version"
 )
-
-// Options configures a store.
-type Options struct {
-	// Path is the database directory on the local filesystem. When empty,
-	// the store runs on a volatile in-memory filesystem (tests, caches,
-	// benchmarks).
-	Path string
-
-	// MemtableSize is the in-memory component's spill threshold in bytes.
-	// Default 4 MiB (the paper's serving configuration uses 128 MiB; see
-	// the Fig. 8 benchmark for the effect of this knob).
-	MemtableSize int64
-
-	// BlockCacheSize bounds the SSTable block cache in bytes (default 32 MiB).
-	BlockCacheSize int64
-
-	// SyncWrites makes every write wait for WAL durability. Default
-	// false: asynchronous group logging, which allows writes at memory
-	// speed at the risk of losing the last few writes in a crash.
-	SyncWrites bool
-
-	// DisableWAL turns off logging entirely. Data not yet flushed to
-	// sorted tables is lost on restart. For caches and benchmarks.
-	DisableWAL bool
-
-	// LinearizableSnapshots trades snapshot acquisition latency for
-	// linearizability: the snapshot is guaranteed to include every write
-	// completed before GetSnapshot was called. The default (false) gives
-	// serializable snapshots that may be slightly in the past.
-	LinearizableSnapshots bool
-
-	// CompactionThreads is the number of background compaction workers
-	// (default 1).
-	CompactionThreads int
-
-	// SnapshotTTL, when positive, reclaims snapshot handles the
-	// application forgot to Close after this duration; reads on a
-	// reclaimed handle fail with ErrSnapshotExpired.
-	SnapshotTTL time.Duration
-
-	// Compression enables DEFLATE compression of on-disk table blocks.
-	Compression bool
-
-	// L0CompactionTrigger, BaseLevelBytes, TableFileSize, BlockSize and
-	// BloomBitsPerKey shape the disk component; zero values pick
-	// LevelDB-compatible defaults (4 files, 10 MiB, 2 MiB, 4 KiB, 10).
-	L0CompactionTrigger int
-	BaseLevelBytes      int64
-	TableFileSize       int64
-	BlockSize           int
-	BloomBitsPerKey     int
-}
-
-// ErrSnapshotExpired is returned by reads on a TTL-reclaimed snapshot.
-var ErrSnapshotExpired = core.ErrSnapshotExpired
 
 // Batch is an ordered set of writes applied atomically by DB.Write.
 type Batch = batch.Batch
@@ -104,16 +59,15 @@ type Iterator = core.Iterator
 // Metrics reports engine counters; see DB.Metrics.
 type Metrics = core.Metrics
 
-// ErrClosed is returned by operations on a closed store.
-var ErrClosed = core.ErrClosed
-
 // DB is a concurrent LSM key-value store. All methods are safe for
 // concurrent use by any number of goroutines.
 type DB struct {
 	inner *core.DB
 }
 
-// Open creates or opens a store.
+// Open creates or opens a store configured by the options struct. It is
+// equivalent to OpenPath with the corresponding With* options; both
+// constructors lower onto the same engine configuration.
 func Open(opts Options) (*DB, error) {
 	var fs storage.FS
 	if opts.Path == "" {
@@ -125,28 +79,30 @@ func Open(opts Options) (*DB, error) {
 		}
 		fs = osfs
 	}
-	inner, err := core.Open(core.Options{
-		FS:                    fs,
-		MemtableSize:          opts.MemtableSize,
-		BlockCacheSize:        opts.BlockCacheSize,
-		SyncWrites:            opts.SyncWrites,
-		DisableWAL:            opts.DisableWAL,
-		LinearizableSnapshots: opts.LinearizableSnapshots,
-		SnapshotTTL:           opts.SnapshotTTL,
-		CompactionThreads:     opts.CompactionThreads,
-		Disk: version.Options{
-			L0CompactionTrigger: opts.L0CompactionTrigger,
-			BaseLevelBytes:      opts.BaseLevelBytes,
-			TableFileSize:       opts.TableFileSize,
-			BlockSize:           opts.BlockSize,
-			BloomBitsPerKey:     opts.BloomBitsPerKey,
-			Compress:            opts.Compression,
-		},
-	})
+	observer := obs.New()
+	if opts.EventSink != nil {
+		observer.Trace.SetSink(opts.EventSink)
+	}
+	inner, err := core.Open(opts.engineOptions(fs, observer))
 	if err != nil {
 		return nil, err
 	}
 	return &DB{inner: inner}, nil
+}
+
+// OpenPath creates or opens the store at path (empty path = volatile
+// in-memory store), configured by functional options:
+//
+//	db, err := clsm.OpenPath(dir,
+//		clsm.WithMemtableSize(128<<20),
+//		clsm.WithCompactionThreads(4),
+//		clsm.WithObserver(func(e clsm.Event) { log.Println(e.Type) }))
+func OpenPath(path string, options ...Option) (*DB, error) {
+	opts := Options{Path: path}
+	for _, apply := range options {
+		apply(&opts)
+	}
+	return Open(opts)
 }
 
 // Put stores (key, value), overwriting any previous value. It never blocks
@@ -154,8 +110,14 @@ func Open(opts Options) (*DB, error) {
 func (db *DB) Put(key, value []byte) error { return db.inner.Put(key, value) }
 
 // Get returns the current value of key. ok is false when the key is absent
-// or deleted. Gets never block.
+// or deleted — absence is not an error (see the package error docs). Gets
+// never block.
 func (db *DB) Get(key []byte) (value []byte, ok bool, err error) { return db.inner.Get(key) }
+
+// Has reports whether key is present (not deleted). It mirrors Get's
+// tri-state contract: absence is (false, nil), err is reserved for real
+// failures. Snapshot.Has is the snapshot-scoped equivalent.
+func (db *DB) Has(key []byte) (bool, error) { return db.inner.Has(key) }
 
 // Delete removes key.
 func (db *DB) Delete(key []byte) error { return db.inner.Delete(key) }
@@ -187,6 +149,11 @@ func (db *DB) CompactRange() error { return db.inner.CompactRange() }
 
 // Metrics returns a snapshot of the engine's counters.
 func (db *DB) Metrics() Metrics { return db.inner.Metrics() }
+
+// Observer returns the store's observability substrate: per-op latency
+// histograms, substrate counters, and the engine event trace. Never nil;
+// recording is always on (it is allocation-free and contention-striped).
+func (db *DB) Observer() *Observer { return db.inner.Observer() }
 
 // Close flushes the log and releases all resources. Unflushed writes are
 // recovered from the WAL on the next Open (unless DisableWAL was set).

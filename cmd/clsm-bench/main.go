@@ -16,11 +16,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
+	"clsm"
 	"clsm/internal/harness"
 )
 
@@ -57,6 +60,7 @@ func main() {
 		scaleFlag = flag.String("scale", "small", "experiment scale: smoke | small | full")
 		latency   = flag.Bool("latency", false, "also print throughput-vs-p90-latency tables")
 		list      = flag.Bool("list", false, "list figures and exit")
+		obsFlag   = flag.Bool("obs", true, "finish with an instrumented profile run: per-op latency percentiles and the engine event timeline")
 	)
 	flag.Parse()
 
@@ -107,6 +111,98 @@ func main() {
 		fmt.Printf("(%s finished in %v)\n", id, time.Since(start).Round(time.Second))
 	}
 	fmt.Printf("# total %v\n", time.Since(grand).Round(time.Second))
+
+	if *obsFlag {
+		if err := obsProfile(sc); err != nil {
+			fatal(fmt.Errorf("obs profile: %w", err))
+		}
+	}
+}
+
+// obsProfile runs a short mixed workload against an instrumented in-memory
+// store and prints what internal/obs recorded: per-operation latency
+// percentiles (p50/p95/p99/max) and the flush/compaction/stall event
+// timeline. It is the built-in demonstration of the observability surface;
+// long-lived processes serve the same data over HTTP via
+// Observer.Publish + clsm.DebugHandler.
+func obsProfile(sc harness.Scale) error {
+	// A small memtable guarantees flushes, compactions and (under enough
+	// write pressure) stalls even at smoke scale.
+	db, err := clsm.OpenPath("",
+		clsm.WithMemtableSize(1<<20),
+		clsm.WithCompactionThreads(2),
+		clsm.WithL0Triggers(2, 4, 8))
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	ops := 60_000
+	if sc.Name == "full" {
+		ops = 400_000
+	}
+	workers := runtime.GOMAXPROCS(0)
+	val := make([]byte, 512)
+	var wg sync.WaitGroup
+	var firstErr error
+	var errOnce sync.Once
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			key := make([]byte, 0, 16)
+			for i := 0; i < ops/workers; i++ {
+				key = fmt.Appendf(key[:0], "key-%08d", rng.Intn(ops))
+				var err error
+				switch rng.Intn(10) {
+				case 0, 1, 2: // 30% gets
+					_, _, err = db.Get(key)
+				case 3: // 10% RMW counters
+					err = db.RMW(key, func(old []byte, ok bool) []byte { return val[:8] })
+				default: // 60% puts
+					err = db.Put(key, val)
+				}
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+
+	// A snapshot scan exercises the read-path histograms (snapshot
+	// acquisition + iterator next).
+	snap, err := db.GetSnapshot()
+	if err != nil {
+		return err
+	}
+	it, err := snap.NewIterator()
+	if err != nil {
+		snap.Close()
+		return err
+	}
+	n := 0
+	for it.First(); it.Valid() && n < 10_000; it.Next() {
+		n++
+	}
+	it.Close()
+	snap.Close()
+
+	if err := db.CompactRange(); err != nil {
+		return err
+	}
+
+	o := db.Observer()
+	fmt.Println()
+	fmt.Println("## instrumented profile (internal/obs)")
+	o.WriteSummary(os.Stdout)
+	o.WriteEvents(os.Stdout, 40)
+	return nil
 }
 
 func fatal(err error) {

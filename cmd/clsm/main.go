@@ -22,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 
@@ -33,6 +34,7 @@ import (
 func main() {
 	dir := flag.String("db", "", "database directory (required)")
 	sync := flag.Bool("sync", false, "synchronous WAL writes")
+	debugAddr := flag.String("debug-addr", "", "serve observability JSON on http://ADDR/debug/vars while the command runs")
 	flag.Parse()
 	args := flag.Args()
 	if *dir == "" || len(args) == 0 {
@@ -45,11 +47,22 @@ func main() {
 		return
 	}
 
-	db, err := clsm.Open(clsm.Options{Path: *dir, SyncWrites: *sync})
+	db, err := clsm.OpenPath(*dir, clsm.WithSyncWrites(*sync))
 	if err != nil {
 		fatal(err)
 	}
 	defer db.Close()
+
+	if *debugAddr != "" {
+		db.Observer().Publish("clsm")
+		mux := http.NewServeMux()
+		mux.Handle("/debug/vars", clsm.DebugHandler())
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "clsm: debug server:", err)
+			}
+		}()
+	}
 
 	switch args[0] {
 	case "put":
@@ -125,6 +138,11 @@ func main() {
 		fmt.Printf("level sizes:  %v\n", m.LevelSize)
 		fmt.Printf("flushes:      %d\n", m.Flushes)
 		fmt.Printf("compactions:  %d\n", m.Compactions)
+		fmt.Printf("write stalls: %d\n", m.WriteStalls)
+		fmt.Println()
+		o := db.Observer()
+		o.WriteSummary(os.Stdout)
+		o.WriteEvents(os.Stdout, 20)
 	default:
 		usage()
 	}

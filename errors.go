@@ -1,0 +1,25 @@
+package clsm
+
+import "clsm/internal/core"
+
+// Exported errors. The API is deliberately free of an ErrKeyNotFound
+// sentinel: reads are tri-state. Get and Has report absence through their
+// ok boolean with a nil error — an absent or deleted key is a normal
+// outcome, not an error — and err is reserved for real failures (store
+// closed, snapshot expired, I/O or corruption). The same contract holds
+// across all three read surfaces: DB, Snapshot, and Iterator (where
+// absence is Valid() == false).
+//
+// Errors returned by the store may wrap these sentinels with context
+// (e.g. "snapshot read: ..."), so compare with errors.Is, not ==:
+//
+//	if errors.Is(err, clsm.ErrSnapshotExpired) { ... }
+var (
+	// ErrClosed is returned by operations on a closed store or on a
+	// snapshot/iterator handle that was closed by the application.
+	ErrClosed = core.ErrClosed
+
+	// ErrSnapshotExpired is returned by reads on a snapshot handle
+	// reclaimed by the TTL sweeper (Options.SnapshotTTL).
+	ErrSnapshotExpired = core.ErrSnapshotExpired
+)

@@ -26,6 +26,38 @@ func Example() {
 	// Output: hello true
 }
 
+// ExampleOpenPath opens an in-memory store with functional options, uses
+// the Get/Has tri-state read surface, and inspects the always-on latency
+// histograms.
+func ExampleOpenPath() {
+	db, err := clsm.OpenPath("", // empty path = volatile in-memory store
+		clsm.WithMemtableSize(8<<20),
+		clsm.WithCompactionThreads(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.Put([]byte("greeting"), []byte("hello")); err != nil {
+		log.Fatal(err)
+	}
+	v, ok, err := db.Get([]byte("greeting"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ok, string(v))
+
+	ok, _ = db.Has([]byte("absent")) // absence is not an error
+	fmt.Println(ok)
+
+	// Every operation is recorded in an allocation-free histogram.
+	fmt.Println(db.Observer().Op(clsm.OpPut).Count())
+	// Output:
+	// true hello
+	// false
+	// 1
+}
+
 // ExampleDB_RMW implements an atomic counter with the paper's non-blocking
 // read-modify-write.
 func ExampleDB_RMW() {

@@ -7,6 +7,8 @@ package cache
 import (
 	"container/list"
 	"sync"
+
+	"clsm/internal/obs"
 )
 
 const shards = 16
@@ -21,6 +23,11 @@ type Key struct {
 type Cache struct {
 	capacityPerShard int64
 	shard            [shards]lruShard
+
+	// hits and misses, when wired via SetMetrics, count lookups on the
+	// engine's observer. Striped counters keep the bump off the shard
+	// mutexes' cache lines.
+	hits, misses *obs.Counter
 }
 
 type lruShard struct {
@@ -53,14 +60,28 @@ func (c *Cache) shardFor(k Key) *lruShard {
 	return &c.shard[h%shards]
 }
 
+// SetMetrics wires hit/miss counters (typically the owning engine's
+// observer counters). Call before the cache is shared between goroutines.
+func (c *Cache) SetMetrics(hits, misses *obs.Counter) {
+	c.hits, c.misses = hits, misses
+}
+
 // Get returns the cached block and whether it was present.
 func (c *Cache) Get(k Key) ([]byte, bool) {
 	s := c.shardFor(k)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if el, ok := s.items[k]; ok {
 		s.order.MoveToFront(el)
-		return el.Value.(*entry).value, true
+		v := el.Value.(*entry).value
+		s.mu.Unlock()
+		if c.hits != nil {
+			c.hits.Inc()
+		}
+		return v, true
+	}
+	s.mu.Unlock()
+	if c.misses != nil {
+		c.misses.Inc()
 	}
 	return nil, false
 }

@@ -7,6 +7,7 @@ import (
 	"clsm/internal/iterator"
 	"clsm/internal/keys"
 	"clsm/internal/memtable"
+	"clsm/internal/obs"
 	"clsm/internal/sstable"
 	"clsm/internal/storage"
 	"clsm/internal/version"
@@ -19,12 +20,17 @@ import (
 type Compactor struct {
 	fs  storage.FS
 	set *version.Set
+	obs *obs.Observer
 }
 
 // NewCompactor wires a compactor to the filesystem and version set.
 func NewCompactor(fs storage.FS, set *version.Set) *Compactor {
 	return &Compactor{fs: fs, set: set}
 }
+
+// SetObserver wires merge counters (tables written, entries dropped) to
+// the engine's observer. Call before background work starts.
+func (c *Compactor) SetObserver(o *obs.Observer) { c.obs = o }
 
 // Stats summarizes one merge execution.
 type Stats struct {
@@ -194,6 +200,10 @@ func (c *Compactor) writeOutputs(it iterator.Iterator, edit *version.Edit, outLe
 	}
 	if err := finish(); err != nil {
 		return stats, err
+	}
+	if c.obs != nil {
+		c.obs.CompactionTables.Add(uint64(stats.Outputs))
+		c.obs.CompactionDropped.Add(uint64(stats.EntriesDrop))
 	}
 	return stats, nil
 }

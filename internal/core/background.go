@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"clsm/internal/memtable"
+	"clsm/internal/obs"
 	"clsm/internal/version"
 	"clsm/internal/wal"
 )
@@ -54,6 +55,7 @@ func (db *DB) rotateAndFlush() error {
 			return err
 		}
 		newLogger = wal.NewLogger(f, db.opts.SyncWrites)
+		newLogger.Instrument(&db.obs.WALAppends, &db.obs.WALSyncs)
 	}
 	newMem := memtable.New(logNum)
 
@@ -79,6 +81,7 @@ func (db *DB) rotateAndFlush() error {
 
 	// The merge proper: frozen memtable -> L0 table(s).
 	start := time.Now()
+	db.obs.Event(obs.Event{Type: obs.EvFlushStart, Level: 0, Bytes: uint64(old.ApproximateSize())})
 	edit, stats, err := db.compactor.FlushMemtable(old, dropBelow)
 	if err != nil {
 		return err
@@ -105,7 +108,9 @@ func (db *DB) rotateAndFlush() error {
 	}
 
 	db.metrics.flushes.Add(1)
-	db.metrics.flushNanos.Add(int64(time.Since(start)))
+	elapsed := time.Since(start)
+	db.metrics.flushNanos.Add(int64(elapsed))
+	db.obs.Event(obs.Event{Type: obs.EvFlushEnd, Level: 0, Bytes: stats.BytesWritten, Dur: elapsed})
 	db.wakeStalled(&db.immGone)
 	db.wakeStalled(&db.l0Relaxed)
 	return nil
@@ -240,6 +245,8 @@ func (db *DB) runCompaction(c *version.Compaction) error {
 	dropBelow := db.mergeHorizonLocked()
 	db.lock.UnlockExclusive()
 
+	start := time.Now()
+	db.obs.Event(obs.Event{Type: obs.EvCompactionStart, Level: c.Level})
 	edit, stats, err := db.compactor.Run(c, dropBelow)
 	if err != nil {
 		return err
@@ -249,6 +256,10 @@ func (db *DB) runCompaction(c *version.Compaction) error {
 	}
 	db.metrics.compactions.Add(1)
 	db.metrics.compactionBytes.Add(stats.BytesWritten)
+	db.obs.Event(obs.Event{
+		Type: obs.EvCompactionEnd, Level: c.Level,
+		Bytes: stats.BytesWritten, Dur: time.Since(start),
+	})
 	return nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"clsm/internal/cache"
 	"clsm/internal/compaction"
 	"clsm/internal/memtable"
+	"clsm/internal/obs"
 	"clsm/internal/oracle"
 	"clsm/internal/storage"
 	"clsm/internal/syncutil"
@@ -23,6 +24,10 @@ var ErrClosed = errors.New("clsm: database closed")
 type DB struct {
 	opts Options
 	fs   storage.FS
+
+	// obs is the engine's observability substrate (always non-nil after
+	// Open): per-op latency histograms, substrate counters, event trace.
+	obs *obs.Observer
 
 	// lock is the paper's shared-exclusive Lock: shared by puts, RMWs and
 	// getSnap; exclusive in beforeMerge/afterMerge and atomic batches.
@@ -76,18 +81,21 @@ func Open(opts Options) (*DB, error) {
 	db := &DB{
 		opts:     opts,
 		fs:       opts.FS,
+		obs:      opts.Observer,
 		oracle:   oracle.New(),
 		flushC:   make(chan struct{}, 1),
 		compactC: make(chan struct{}, 1),
 		closing:  make(chan struct{}),
 	}
 	db.blocks = cache.New(opts.BlockCacheSize)
+	db.blocks.SetMetrics(&db.obs.CacheHits, &db.obs.CacheMisses)
 	vs, err := version.Open(opts.FS, db.blocks, opts.Disk)
 	if err != nil {
 		return nil, err
 	}
 	db.versions = vs
 	db.compactor = compaction.NewCompactor(opts.FS, vs)
+	db.compactor.SetObserver(db.obs)
 	db.storeBroadcast(&db.immGone)
 	db.storeBroadcast(&db.l0Relaxed)
 
@@ -131,6 +139,7 @@ func (db *DB) installFreshMemtable() error {
 			return err
 		}
 		logger = wal.NewLogger(f, db.opts.SyncWrites)
+		logger.Instrument(&db.obs.WALAppends, &db.obs.WALSyncs)
 	}
 	db.mem.Store(memtable.New(logNum))
 	db.log.Store(logger)
@@ -171,6 +180,10 @@ func (db *DB) Close() error {
 // Oracle exposes the timestamp oracle (tests, tools).
 func (db *DB) Oracle() *oracle.Oracle { return db.oracle }
 
+// Observer exposes the engine's observability substrate: latency
+// histograms, substrate counters, and the event trace. Never nil.
+func (db *DB) Observer() *obs.Observer { return db.obs }
+
 // MemtableFillFraction reports how full the mutable memtable is relative
 // to its spill threshold (used by merge-aware write schedulers).
 func (db *DB) MemtableFillFraction() float64 {
@@ -199,6 +212,9 @@ func (db *DB) Metrics() Metrics {
 	m.FlushBytes = db.metrics.flushBytes.Load()
 	m.CompactionBytes = db.metrics.compactionBytes.Load()
 	m.StallTime = time.Duration(db.metrics.stallNanos.Load())
+	m.WriteStalls = db.obs.WriteStalls.Load()
+	m.CacheHits = db.obs.CacheHits.Load()
+	m.CacheMisses = db.obs.CacheMisses.Load()
 	if v := db.versions.Current(); v != nil {
 		m.DiskBytes = v.SizeBytes()
 		m.DiskFiles = v.NumFiles()

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"clsm/internal/obs"
+	"clsm/internal/storage"
+)
+
+// TestEventOrdering drives the engine through flushes and compactions and
+// asserts the trace is well-formed: a flush end never precedes its start,
+// per-level compaction starts/ends alternate, stall begin/end pair up,
+// and sequence numbers/timestamps are monotone.
+func TestEventOrdering(t *testing.T) {
+	o := obs.New()
+	opts := testOptions(storage.NewMemFS())
+	opts.Observer = o
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	val := make([]byte, 512)
+	for i := 0; i < 2000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%06d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CompactRange(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events := o.Trace.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded across flushes and compactions")
+	}
+
+	var flushes, compactions int
+	flushOpen := false
+	compactOpen := map[int]bool{}
+	stallOpen := map[obs.StallCause]int{}
+	var lastSeq uint64
+	var lastTime time.Time
+	for i, e := range events {
+		if e.Seq <= lastSeq {
+			t.Fatalf("event %d: seq %d not increasing (prev %d)", i, e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		if e.Time.Before(lastTime) {
+			t.Fatalf("event %d: time moves backward", i)
+		}
+		lastTime = e.Time
+
+		switch e.Type {
+		case obs.EvFlushStart:
+			if flushOpen {
+				t.Fatalf("event %d: flush start while a flush is open", i)
+			}
+			flushOpen = true
+		case obs.EvFlushEnd:
+			if !flushOpen {
+				t.Fatalf("event %d: flush end precedes its start", i)
+			}
+			flushOpen = false
+			flushes++
+			if e.Bytes == 0 {
+				t.Errorf("event %d: flush end carries no bytes", i)
+			}
+		case obs.EvCompactionStart:
+			if compactOpen[e.Level] {
+				t.Fatalf("event %d: L%d compaction start while one is open", i, e.Level)
+			}
+			compactOpen[e.Level] = true
+		case obs.EvCompactionEnd:
+			if !compactOpen[e.Level] {
+				t.Fatalf("event %d: L%d compaction end precedes its start", i, e.Level)
+			}
+			compactOpen[e.Level] = false
+			compactions++
+		case obs.EvStallBegin:
+			stallOpen[e.Cause]++
+		case obs.EvStallEnd:
+			if stallOpen[e.Cause] == 0 {
+				t.Fatalf("event %d: stall end (%s) precedes its begin", i, e.Cause)
+			}
+			stallOpen[e.Cause]--
+		}
+	}
+	if flushes == 0 {
+		t.Error("no flush episodes recorded")
+	}
+	if compactions == 0 {
+		t.Error("no compaction episodes recorded (CompactRange ran)")
+	}
+}
+
+// TestObserverRecordsOps checks the per-op histograms and substrate
+// counters actually tick when the corresponding surfaces are exercised.
+func TestObserverRecordsOps(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+	o := db.Observer()
+
+	if err := db.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.Get([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RMW([]byte("c"), func(old []byte, ok bool) []byte { return []byte("x") }); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := db.GetSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Close()
+	db.Put([]byte("d"), []byte("1"))
+	db.Put([]byte("e"), []byte("2"))
+	it, err := db.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it.First(); it.Valid(); it.Next() {
+	}
+	it.Close()
+
+	checks := []struct {
+		op   obs.Op
+		want uint64
+	}{
+		{obs.OpPut, 3}, {obs.OpGet, 1}, {obs.OpDelete, 1}, {obs.OpRMW, 1},
+		{obs.OpGetSnapshot, 2}, // explicit + iterator's implicit snapshot
+	}
+	for _, c := range checks {
+		if got := o.Op(c.op).Count(); got != c.want {
+			t.Errorf("%s samples = %d, want %d", c.op, got, c.want)
+		}
+	}
+	if got := o.Op(obs.OpIterNext).Count(); got < 2 {
+		t.Errorf("iter_next samples = %d, want >= 2", got)
+	}
+	if got := o.WALAppends.Load(); got == 0 {
+		t.Error("WAL appends not counted")
+	}
+	m := db.Metrics()
+	if m.CacheHits != o.CacheHits.Load() || m.CacheMisses != o.CacheMisses.Load() {
+		t.Error("Metrics cache counters diverge from observer")
+	}
+}
+
+// TestEventSinkDelivery wires a sink through core options and checks
+// events arrive synchronously and in order.
+func TestEventSinkDelivery(t *testing.T) {
+	o := obs.New()
+	var seqs []uint64
+	o.Trace.SetSink(func(e obs.Event) { seqs = append(seqs, e.Seq) })
+	opts := testOptions(storage.NewMemFS())
+	opts.Observer = o
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 512)
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("k%05d", i)), val)
+	}
+	db.CompactRange()
+	db.Close()
+	if len(seqs) == 0 {
+		t.Fatal("sink saw no events")
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[i-1]+1 {
+			t.Fatalf("sink order broken at %d: %d after %d", i, seqs[i], seqs[i-1])
+		}
+	}
+}

@@ -8,6 +8,7 @@ package core
 import (
 	"time"
 
+	"clsm/internal/obs"
 	"clsm/internal/storage"
 	"clsm/internal/version"
 )
@@ -54,6 +55,14 @@ type Options struct {
 	// Fig. 11 configuration).
 	CompactionThreads int
 
+	// Observer receives the engine's instrumentation: per-op latency
+	// histograms, substrate counters, and the flush/compaction/stall
+	// event trace. When nil, WithDefaults installs a fresh one — the
+	// engine always records, so Metrics and the debug export work out of
+	// the box; pass a shared Observer to aggregate or to attach an event
+	// sink before Open.
+	Observer *obs.Observer
+
 	// Disk tunes the disk component.
 	Disk version.Options
 }
@@ -78,6 +87,9 @@ func (o Options) WithDefaults() Options {
 	if o.CompactionThreads <= 0 {
 		o.CompactionThreads = 1
 	}
+	if o.Observer == nil {
+		o.Observer = obs.New()
+	}
 	o.Disk = o.Disk.WithDefaults()
 	return o
 }
@@ -98,6 +110,12 @@ type Metrics struct {
 	FlushBytes      uint64
 	CompactionBytes uint64
 	StallTime       time.Duration
+	// WriteStalls counts stall episodes writers entered (slowdown, stop,
+	// or memtable waits); the event trace has the per-episode timeline.
+	WriteStalls uint64
+	// CacheHits and CacheMisses are block cache counters.
+	CacheHits   uint64
+	CacheMisses uint64
 	// Disk shape.
 	DiskBytes uint64
 	DiskFiles int

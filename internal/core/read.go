@@ -1,8 +1,11 @@
 package core
 
 import (
+	"time"
+
 	"clsm/internal/keys"
 	"clsm/internal/memtable"
+	"clsm/internal/obs"
 	"clsm/internal/syncutil"
 )
 
@@ -23,6 +26,10 @@ func (db *DB) GetAt(key []byte, ts uint64) (value []byte, ok bool, err error) {
 		return nil, false, ErrClosed
 	}
 	db.metrics.gets.Add(1)
+	// The latency record is an open-coded defer over lock-free atomics:
+	// zero allocations on the hot path (obs.TestRecordPathAllocs).
+	start := time.Now()
+	defer func() { db.obs.Record(obs.OpGet, time.Since(start)) }()
 
 	// Pm
 	if mt := syncutil.Acquire[memtable.Table](&db.mem); mt != nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"clsm/internal/iterator"
 	"clsm/internal/keys"
 	"clsm/internal/memtable"
+	"clsm/internal/obs"
 	"clsm/internal/syncutil"
 	"clsm/internal/version"
 )
@@ -41,6 +43,8 @@ func (db *DB) GetSnapshot() (*Snapshot, error) {
 		return nil, ErrClosed
 	}
 	db.metrics.snapshots.Add(1)
+	start := time.Now()
+	defer func() { db.obs.Record(obs.OpGetSnapshot, time.Since(start)) }()
 
 	var floor uint64
 	if db.opts.LinearizableSnapshots {
@@ -82,11 +86,16 @@ func (db *DB) sweepExpiredSnapshots(now time.Time) {
 	}
 	db.ttlSnaps = live
 	db.snapMu.Unlock()
+	var reclaimed uint64
 	for _, s := range expired {
 		if s.closed.CompareAndSwap(false, true) {
 			s.expired.Store(true)
 			db.oracle.ReleaseSnapshot(s.ts)
+			reclaimed++
 		}
+	}
+	if reclaimed > 0 {
+		db.obs.Event(obs.Event{Type: obs.EvSnapshotReclaim, Bytes: reclaimed})
 	}
 }
 
@@ -101,6 +110,13 @@ func (s *Snapshot) Get(key []byte) (value []byte, ok bool, err error) {
 	return s.db.GetAt(key, s.ts)
 }
 
+// Has reports whether key was present (not deleted) as of the snapshot,
+// mirroring DB.Has for Get/Has symmetry across the read surfaces.
+func (s *Snapshot) Has(key []byte) (bool, error) {
+	_, ok, err := s.Get(key)
+	return ok, err
+}
+
 // NewIterator returns an iterator over the snapshot's visible state.
 func (s *Snapshot) NewIterator() (*Iterator, error) {
 	if err := s.usable(); err != nil {
@@ -109,12 +125,15 @@ func (s *Snapshot) NewIterator() (*Iterator, error) {
 	return s.db.newIterator(s.ts)
 }
 
+// usable wraps the sentinel with the failing surface so callers get
+// context while errors.Is(err, ErrSnapshotExpired/ErrClosed) keeps
+// working (the public API's documented error contract).
 func (s *Snapshot) usable() error {
 	if s.closed.Load() {
 		if s.expired.Load() {
-			return ErrSnapshotExpired
+			return fmt.Errorf("snapshot read: %w", ErrSnapshotExpired)
 		}
-		return ErrClosed
+		return fmt.Errorf("snapshot read: %w", ErrClosed)
 	}
 	return nil
 }
@@ -217,6 +236,8 @@ func (it *Iterator) Next() {
 	if it.closed || !it.valid {
 		return
 	}
+	start := time.Now()
+	defer func() { it.db.obs.Record(obs.OpIterNext, time.Since(start)) }()
 	prev := it.key
 	if it.dirBack {
 		// Direction change: the merged cursor sits at or below the

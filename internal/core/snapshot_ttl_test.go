@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -28,7 +29,7 @@ func TestSnapshotTTLExpiry(t *testing.T) {
 	// Wait past the TTL; the sweeper must reclaim the handle.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if _, _, err := snap.Get([]byte("k")); err == ErrSnapshotExpired {
+		if _, _, err := snap.Get([]byte("k")); errors.Is(err, ErrSnapshotExpired) {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -42,7 +43,7 @@ func TestSnapshotTTLExpiry(t *testing.T) {
 	}
 	// Closing an expired handle is a harmless no-op.
 	snap.Close()
-	if _, _, err := snap.Get([]byte("k")); err != ErrSnapshotExpired {
+	if _, _, err := snap.Get([]byte("k")); !errors.Is(err, ErrSnapshotExpired) {
 		t.Fatalf("post-close error = %v, want ErrSnapshotExpired", err)
 	}
 }
@@ -60,7 +61,7 @@ func TestSnapshotTTLDoesNotExpireClosed(t *testing.T) {
 	time.Sleep(80 * time.Millisecond)
 	// Registry must have been drained and the error must stay ErrClosed,
 	// not ErrSnapshotExpired.
-	if _, _, err := snap.Get([]byte("k")); err != ErrClosed {
+	if _, _, err := snap.Get([]byte("k")); !errors.Is(err, ErrClosed) {
 		t.Fatalf("error = %v, want ErrClosed", err)
 	}
 	db.snapMu.Lock()

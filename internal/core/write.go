@@ -6,6 +6,7 @@ import (
 	"clsm/internal/batch"
 	"clsm/internal/keys"
 	"clsm/internal/memtable"
+	"clsm/internal/obs"
 )
 
 // Put stores (key, value). It follows Algorithm 2's put: acquire the
@@ -27,6 +28,13 @@ func (db *DB) write(key, value []byte, kind keys.Kind) error {
 	if err := db.backgroundErr(); err != nil {
 		return err
 	}
+	// One unconditional defer keeps it open-coded (no closure alloc).
+	start := time.Now()
+	op := obs.OpPut
+	if kind == keys.KindDelete {
+		op = obs.OpDelete
+	}
+	defer func() { db.obs.Record(op, time.Since(start)) }()
 	if err := db.makeRoomForWrite(); err != nil {
 		return err
 	}
@@ -77,6 +85,8 @@ func (db *DB) Write(b *batch.Batch) error {
 	if b.Len() == 0 {
 		return nil
 	}
+	start := time.Now()
+	defer func() { db.obs.Record(obs.OpWrite, time.Since(start)) }()
 	if err := db.makeRoomForWrite(); err != nil {
 		return err
 	}
@@ -116,6 +126,8 @@ func (db *DB) RMW(key []byte, f func(old []byte, exists bool) []byte) error {
 	if err := db.backgroundErr(); err != nil {
 		return err
 	}
+	start := time.Now()
+	defer func() { db.obs.Record(obs.OpRMW, time.Since(start)) }()
 	if err := db.makeRoomForWrite(); err != nil {
 		return err
 	}
@@ -219,23 +231,24 @@ func (db *DB) makeRoomForWrite() error {
 		switch {
 		case !slowed && l0 >= db.opts.L0SlowdownTrigger && l0 < db.opts.L0StopTrigger:
 			// Soft backpressure: one millisecond, once, as in LevelDB.
-			start := time.Now()
+			start := db.stallBegin(obs.CauseL0Slowdown)
 			time.Sleep(time.Millisecond)
-			db.metrics.stallNanos.Add(int64(time.Since(start)))
+			db.stallEnd(obs.CauseL0Slowdown, start)
 			db.kickCompaction()
 			slowed = true
 			continue
 		case l0 >= db.opts.L0StopTrigger:
-			start := time.Now()
+			start := db.stallBegin(obs.CauseL0Stop)
 			ch := *db.l0Relaxed.Load()
 			db.kickCompaction()
 			select {
 			case <-ch:
 			case <-db.closing:
+				db.stallEnd(obs.CauseL0Stop, start)
 				return ErrClosed
 			case <-time.After(10 * time.Millisecond):
 			}
-			db.metrics.stallNanos.Add(int64(time.Since(start)))
+			db.stallEnd(obs.CauseL0Stop, start)
 			continue
 		}
 
@@ -258,16 +271,33 @@ func (db *DB) makeRoomForWrite() error {
 		}
 		// Both memtables full: wait for the in-flight merge (the paper's
 		// "blocks puts for short periods ... before batch I/Os").
-		start := time.Now()
+		start := db.stallBegin(obs.CauseMemtableWait)
 		ch := *db.immGone.Load()
 		select {
 		case <-ch:
 		case <-db.closing:
+			db.stallEnd(obs.CauseMemtableWait, start)
 			return ErrClosed
 		case <-time.After(10 * time.Millisecond):
 		}
-		db.metrics.stallNanos.Add(int64(time.Since(start)))
+		db.stallEnd(obs.CauseMemtableWait, start)
 	}
+}
+
+// stallBegin opens a stall episode: counts it, emits the begin event, and
+// returns the episode start time for stallEnd.
+func (db *DB) stallBegin(cause obs.StallCause) time.Time {
+	db.obs.WriteStalls.Inc()
+	db.obs.Event(obs.Event{Type: obs.EvStallBegin, Cause: cause})
+	return time.Now()
+}
+
+// stallEnd closes a stall episode, folding its duration into the stall
+// metric and emitting the end event.
+func (db *DB) stallEnd(cause obs.StallCause, start time.Time) {
+	d := time.Since(start)
+	db.metrics.stallNanos.Add(int64(d))
+	db.obs.Event(obs.Event{Type: obs.EvStallEnd, Cause: cause, Dur: d})
 }
 
 func (db *DB) level0Count() int {

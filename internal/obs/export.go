@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Snapshot is a point-in-time export of an Observer, shaped for JSON.
+type Snapshot struct {
+	Ops      map[string]HistogramSnapshot `json:"ops"`
+	Counters map[string]uint64            `json:"counters"`
+	Events   []Event                      `json:"events"`
+}
+
+// Snapshot captures the observer's current state.
+func (o *Observer) Snapshot() Snapshot {
+	s := Snapshot{
+		Ops:      make(map[string]HistogramSnapshot, NumOps),
+		Counters: make(map[string]uint64, 8),
+	}
+	if o == nil {
+		return s
+	}
+	for op := Op(0); op < NumOps; op++ {
+		if h := &o.ops[op]; h.Count() > 0 {
+			s.Ops[op.String()] = h.Snapshot()
+		}
+	}
+	s.Counters["cache_hits"] = o.CacheHits.Load()
+	s.Counters["cache_misses"] = o.CacheMisses.Load()
+	s.Counters["wal_appends"] = o.WALAppends.Load()
+	s.Counters["wal_syncs"] = o.WALSyncs.Load()
+	s.Counters["write_stalls"] = o.WriteStalls.Load()
+	s.Counters["compaction_tables"] = o.CompactionTables.Load()
+	s.Counters["compaction_dropped"] = o.CompactionDropped.Load()
+	s.Events = o.Trace.Events()
+	return s
+}
+
+// published maps expvar names to re-pointable observer slots, because
+// expvar.Publish is permanent: republishing under the same name (a store
+// reopened in one process) just swaps the slot's target.
+var (
+	pubMu     sync.Mutex
+	published = map[string]*atomic.Pointer[Observer]{}
+)
+
+// Publish exports the observer's Snapshot under name on expvar's
+// /debug/vars. Publishing a second observer under the same name redirects
+// the export to it.
+func (o *Observer) Publish(name string) {
+	pubMu.Lock()
+	defer pubMu.Unlock()
+	slot, ok := published[name]
+	if !ok {
+		slot = new(atomic.Pointer[Observer])
+		published[name] = slot
+		expvar.Publish(name, expvar.Func(func() any {
+			return slot.Load().Snapshot()
+		}))
+	}
+	slot.Store(o)
+}
+
+// Handler returns the expvar HTTP handler serving every published
+// observer (plus the standard memstats/cmdline vars) as JSON. Mount it at
+// /debug/vars, the conventional expvar path.
+func Handler() http.Handler { return expvar.Handler() }
+
+// WriteSummary renders the per-op latency table: count, mean, p50, p95,
+// p99, max for every operation with at least one sample, then the
+// substrate counters.
+func (o *Observer) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "%-14s %12s %10s %10s %10s %10s %10s\n",
+		"op", "count", "mean", "p50", "p95", "p99", "max")
+	for op := Op(0); op < NumOps; op++ {
+		h := &o.ops[op]
+		if h.Count() == 0 {
+			continue
+		}
+		s := h.Snapshot()
+		fmt.Fprintf(w, "%-14s %12d %10s %10s %10s %10s %10s\n",
+			op, s.Count, fmtDur(s.Mean), fmtDur(s.P50), fmtDur(s.P95),
+			fmtDur(s.P99), fmtDur(s.Max))
+	}
+	snap := o.Snapshot()
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%-22s %12d\n", name, snap.Counters[name])
+	}
+}
+
+// WriteEvents renders the event timeline: an aggregate per-type summary
+// (episode counts, bytes, cumulative durations) followed by the last max
+// raw events with timestamps relative to the first shown (max <= 0 shows
+// everything buffered).
+func (o *Observer) WriteEvents(w io.Writer, max int) {
+	events := o.Trace.Events()
+	if len(events) == 0 {
+		fmt.Fprintln(w, "(no engine events recorded)")
+		return
+	}
+
+	type agg struct {
+		n     int
+		bytes uint64
+		dur   time.Duration
+	}
+	byType := map[EventType]*agg{}
+	for _, e := range events {
+		a := byType[e.Type]
+		if a == nil {
+			a = &agg{}
+			byType[e.Type] = a
+		}
+		a.n++
+		a.bytes += e.Bytes
+		a.dur += e.Dur
+	}
+	fmt.Fprintf(w, "%-18s %8s %14s %12s\n", "event", "count", "bytes", "time")
+	for t := EvFlushStart; t <= EvSnapshotReclaim; t++ {
+		a := byType[t]
+		if a == nil {
+			continue
+		}
+		fmt.Fprintf(w, "%-18s %8d %14d %12s\n", t, a.n, a.bytes, fmtDur(a.dur))
+	}
+
+	if max > 0 && len(events) > max {
+		events = events[len(events)-max:]
+	}
+	base := events[0].Time
+	fmt.Fprintf(w, "timeline (last %d events):\n", len(events))
+	for _, e := range events {
+		fmt.Fprintf(w, "  +%-10s %-18s", fmtDur(e.Time.Sub(base)), e.Type)
+		switch e.Type {
+		case EvCompactionStart, EvCompactionEnd:
+			fmt.Fprintf(w, " L%d->L%d", e.Level, e.Level+1)
+		case EvStallBegin, EvStallEnd:
+			fmt.Fprintf(w, " cause=%s", e.Cause)
+		case EvSnapshotReclaim:
+			fmt.Fprintf(w, " handles=%d", e.Bytes)
+		}
+		if e.Bytes > 0 && e.Type != EvSnapshotReclaim {
+			fmt.Fprintf(w, " bytes=%d", e.Bytes)
+		}
+		if e.Dur > 0 {
+			fmt.Fprintf(w, " dur=%s", fmtDur(e.Dur))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// fmtDur rounds a duration for table display.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < 10*time.Microsecond:
+		return d.Round(time.Nanosecond).String()
+	case d < 10*time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d < 10*time.Second:
+		return d.Round(time.Millisecond).String()
+	}
+	return d.Round(time.Second).String()
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket geometry: values below 2^histSubBits get exact unit
+// buckets; above that, each power of two is split into 2^histSubBits
+// log-linear sub-buckets (HdrHistogram's scheme), bounding quantile error
+// at 1/2^histSubBits = 12.5 % across the full uint64 nanosecond range.
+const (
+	histSubBits  = 3
+	histSubCount = 1 << histSubBits
+	// Largest index produced by histBucketIndex: exp max = 64-1-histSubBits
+	// = 60, sub max = 2*histSubCount-1, so 60*8+15 = 495.
+	histNumBuckets = 496
+)
+
+// Histogram is a fixed-bucket, log-scaled latency histogram safe for
+// concurrent recording without locks: every bucket is an atomic counter,
+// so the record path is wait-free apart from the min/max CAS refinement
+// and never allocates. The zero value is ready to use.
+//
+// Quantile reads race benignly with concurrent records — they see some
+// consistent-enough prefix of the stream, which is what a monitoring
+// export wants.
+type Histogram struct {
+	counts [histNumBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // nanoseconds
+	max    atomic.Uint64 // nanoseconds, exact
+	min    atomic.Uint64 // nanoseconds+1 so zero means "no samples yet"
+}
+
+// histBucketIndex maps a nanosecond value to its bucket.
+func histBucketIndex(v uint64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 - histSubBits
+	sub := v >> uint(exp) // in [histSubCount, 2*histSubCount)
+	return exp*histSubCount + int(sub)
+}
+
+// histBucketValue returns the lower bound of bucket i (the value reported
+// for quantiles falling in it).
+func histBucketValue(i int) uint64 {
+	if i < 2*histSubCount {
+		return uint64(i)
+	}
+	exp := i/histSubCount - 1
+	sub := uint64(i%histSubCount + histSubCount)
+	return sub << uint(exp)
+}
+
+// Record adds one duration sample. Negative durations clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d)
+	}
+	h.RecordValue(v)
+}
+
+// RecordValue adds one raw nanosecond sample.
+func (h *Histogram) RecordValue(v uint64) {
+	h.counts[histBucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if (cur != 0 && v+1 >= cur) || h.min.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+}
+
+// Merge folds other's buckets into h. It tolerates concurrent recording on
+// either side (sums may be mid-flight, never corrupted).
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i := range other.counts {
+		if c := other.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	if m := other.max.Load(); m > h.max.Load() {
+		h.max.Store(m)
+	}
+	if m := other.min.Load(); m != 0 {
+		for {
+			cur := h.min.Load()
+			if (cur != 0 && m >= cur) || h.min.CompareAndSwap(cur, m) {
+				break
+			}
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Quantile returns the latency at quantile q in [0, 1]. Out-of-range q is
+// clamped; an empty histogram reports zero.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		return h.Max()
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum > target {
+			return time.Duration(histBucketValue(i))
+		}
+	}
+	return h.Max()
+}
+
+// Mean returns the exact mean of recorded samples.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest recorded sample (exact).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Min returns the smallest recorded sample (exact), zero when empty.
+func (h *Histogram) Min() time.Duration {
+	m := h.min.Load()
+	if m == 0 {
+		return 0
+	}
+	return time.Duration(m - 1)
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram, in a form
+// that marshals cleanly through expvar/JSON.
+type HistogramSnapshot struct {
+	Count uint64        `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexMonotonic(t *testing.T) {
+	prevIdx := -1
+	var values []uint64
+	for v := uint64(0); v < 4096; v++ {
+		values = append(values, v)
+	}
+	for shift := uint(12); shift < 63; shift++ {
+		values = append(values, 1<<shift, 1<<shift+1, 1<<shift-1)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	for _, v := range values {
+		idx := histBucketIndex(v)
+		if idx < prevIdx {
+			t.Fatalf("bucket index not monotonic at v=%d: %d < %d", v, idx, prevIdx)
+		}
+		if idx < 0 || idx >= histNumBuckets {
+			t.Fatalf("bucket index out of range at v=%d: %d", v, idx)
+		}
+		// The bucket's lower bound must not exceed the value, and the
+		// value must fall short of the next bucket's lower bound.
+		if lb := histBucketValue(idx); lb > v {
+			t.Fatalf("bucket %d lower bound %d exceeds value %d", idx, lb, v)
+		}
+		if idx+1 < histNumBuckets {
+			if nb := histBucketValue(idx + 1); nb <= v && histBucketIndex(nb) != idx {
+				t.Fatalf("value %d at bucket %d overlaps next bound %d", v, idx, nb)
+			}
+		}
+		prevIdx = idx
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..1000 microseconds, uniformly.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if got := h.Count(); got != 1000 {
+		t.Fatalf("count = %d, want 1000", got)
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Microsecond},
+		{0.95, 950 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		// Bucket resolution bounds the error at 12.5 %.
+		lo := c.want - c.want/8
+		hi := c.want + c.want/8
+		if got < lo || got > hi {
+			t.Errorf("q%.2f = %v, want within [%v, %v]", c.q, got, lo, hi)
+		}
+	}
+	if got := h.Max(); got != time.Millisecond {
+		t.Errorf("max = %v, want 1ms (max is exact)", got)
+	}
+	if got := h.Min(); got != time.Microsecond {
+		t.Errorf("min = %v, want 1µs (min is exact)", got)
+	}
+	if got, want := h.Mean(), 500500*time.Nanosecond; got != want {
+		t.Errorf("mean = %v, want %v (mean is exact)", got, want)
+	}
+}
+
+func TestHistogramEmptyAndClamp(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Min() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(-time.Second) // clamps to zero, must not panic or underflow
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatalf("negative sample mishandled: count=%d max=%v", h.Count(), h.Max())
+	}
+	if got := h.Quantile(2.0); got != 0 {
+		t.Fatalf("out-of-range quantile = %v, want clamp to max", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 500; i++ {
+		a.Record(time.Duration(i+1) * time.Microsecond)
+		b.Record(time.Duration(i+501) * time.Microsecond)
+	}
+	var m Histogram
+	m.Merge(&a)
+	m.Merge(&b)
+	m.Merge(nil) // no-op
+	if got := m.Count(); got != 1000 {
+		t.Fatalf("merged count = %d, want 1000", got)
+	}
+	if got := m.Min(); got != time.Microsecond {
+		t.Errorf("merged min = %v, want 1µs", got)
+	}
+	if got := m.Max(); got != time.Millisecond {
+		t.Errorf("merged max = %v, want 1ms", got)
+	}
+	med := m.Quantile(0.5)
+	want := 500 * time.Microsecond
+	if med < want-want/8 || med > want+want/8 {
+		t.Errorf("merged median = %v, want ~%v", med, want)
+	}
+}
+
+// TestConcurrentRecording hammers one observer from many goroutines while
+// a reader polls quantiles and snapshots; run under -race (scripts/
+// check.sh does) to verify the record path is data-race free.
+func TestConcurrentRecording(t *testing.T) {
+	o := New()
+	const workers = 8
+	const perWorker = 20_000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = o.Op(OpGet).Quantile(0.99)
+			_ = o.Snapshot()
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				o.Record(OpGet, time.Duration(rng.Intn(1<<20)))
+				o.Record(OpPut, time.Duration(rng.Intn(1<<20)))
+				o.CacheHits.Inc()
+				o.WALAppends.Add(2)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	close(stop)
+	<-done
+
+	if got := o.Op(OpGet).Count(); got != workers*perWorker {
+		t.Fatalf("get samples = %d, want %d", got, workers*perWorker)
+	}
+	if got := o.CacheHits.Load(); got != workers*perWorker {
+		t.Fatalf("cache hits = %d, want %d", got, workers*perWorker)
+	}
+	if got := o.WALAppends.Load(); got != 2*workers*perWorker {
+		t.Fatalf("wal appends = %d, want %d", got, 2*workers*perWorker)
+	}
+}
+
+// TestRecordPathAllocs pins the acceptance criterion: zero allocations on
+// the Get/Put record path (histogram record + striped counter add).
+func TestRecordPathAllocs(t *testing.T) {
+	o := New()
+	if n := testing.AllocsPerRun(1000, func() {
+		o.Record(OpGet, 1234*time.Nanosecond)
+		o.Record(OpPut, 5678*time.Nanosecond)
+		o.CacheHits.Inc()
+	}); n != 0 {
+		t.Fatalf("record path allocates %v times per op, want 0", n)
+	}
+}
+
+func TestCounterStriping(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10_000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 160_000 {
+		t.Fatalf("counter = %d, want 160000", got)
+	}
+}

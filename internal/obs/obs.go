@@ -1,0 +1,97 @@
+// Package obs is the engine's observability substrate: striped atomic
+// counters, lock-free latency histograms, and an event trace, all
+// stdlib-only and allocation-free on the record path. The paper's whole
+// contribution is concurrency scalability, so the instrumentation itself
+// must not introduce the cache-line contention it is meant to expose —
+// counters are striped per goroutine and histograms are arrays of atomic
+// buckets.
+//
+// One Observer instance belongs to one engine. The engine records
+// operation latencies around Put/Get/Delete/Write/RMW/GetSnapshot and
+// iterator Next, bumps cache/WAL/compaction counters, and appends typed
+// events (flush, compaction, write stall, snapshot reclaim) to the trace.
+// Snapshot/Publish/Handler export everything over expvar's /debug/vars.
+package obs
+
+import "time"
+
+// Op enumerates the instrumented engine operations.
+type Op uint8
+
+// Instrumented operations. NumOps sizes per-op arrays.
+const (
+	OpPut Op = iota
+	OpGet
+	OpDelete
+	OpWrite
+	OpRMW
+	OpGetSnapshot
+	OpIterNext
+	NumOps
+)
+
+// String names the op for export.
+func (op Op) String() string {
+	switch op {
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpDelete:
+		return "delete"
+	case OpWrite:
+		return "write"
+	case OpRMW:
+		return "rmw"
+	case OpGetSnapshot:
+		return "get_snapshot"
+	case OpIterNext:
+		return "iter_next"
+	}
+	return "unknown"
+}
+
+// Observer aggregates one engine's instrumentation. All methods are safe
+// for concurrent use and nil-receiver safe, so call sites need no guards.
+type Observer struct {
+	ops [NumOps]Histogram
+
+	// Counters bumped by the substrates the engine wires up.
+	CacheHits         Counter // block cache hits
+	CacheMisses       Counter // block cache misses
+	WALAppends        Counter // records enqueued to the write-ahead log
+	WALSyncs          Counter // device syncs performed by the log drain
+	WriteStalls       Counter // stall episodes entered by makeRoomForWrite
+	CompactionTables  Counter // output tables written by flushes+compactions
+	CompactionDropped Counter // entries garbage-collected during merges
+
+	// Trace is the engine event timeline.
+	Trace Trace
+}
+
+// New returns an empty Observer.
+func New() *Observer { return &Observer{} }
+
+// Record adds one latency sample for op.
+func (o *Observer) Record(op Op, d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.ops[op].Record(d)
+}
+
+// Op returns the histogram for one operation (nil on a nil Observer).
+func (o *Observer) Op(op Op) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return &o.ops[op]
+}
+
+// Event appends an event to the trace.
+func (o *Observer) Event(e Event) {
+	if o == nil {
+		return
+	}
+	o.Trace.Record(e)
+}

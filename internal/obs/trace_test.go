@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceRingOrderAndWrap(t *testing.T) {
+	var tr Trace
+	tr.SetCapacity(8)
+	for i := 0; i < 20; i++ {
+		tr.Record(Event{Type: EvFlushStart, Bytes: uint64(i)})
+	}
+	events := tr.Events()
+	if len(events) != 8 {
+		t.Fatalf("ring holds %d events, want 8", len(events))
+	}
+	for i, e := range events {
+		if e.Bytes != uint64(12+i) {
+			t.Fatalf("event %d has bytes %d, want %d (oldest-first after wrap)", i, e.Bytes, 12+i)
+		}
+		if i > 0 && e.Seq != events[i-1].Seq+1 {
+			t.Fatalf("event %d seq %d does not follow %d", i, e.Seq, events[i-1].Seq)
+		}
+		if i > 0 && e.Time.Before(events[i-1].Time) {
+			t.Fatalf("event %d time precedes its predecessor", i)
+		}
+	}
+}
+
+func TestTraceSinkOrder(t *testing.T) {
+	var tr Trace
+	var seen []uint64
+	tr.SetSink(func(e Event) { seen = append(seen, e.Seq) })
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Record(Event{Type: EvCompactionStart, Level: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 400 {
+		t.Fatalf("sink saw %d events, want 400", len(seen))
+	}
+	for i, s := range seen {
+		if s != uint64(i+1) {
+			t.Fatalf("sink order broken at %d: seq %d", i, s)
+		}
+	}
+	tr.SetSink(nil)
+	tr.Record(Event{Type: EvFlushEnd})
+	if len(seen) != 400 {
+		t.Fatal("sink invoked after removal")
+	}
+}
+
+func TestTraceZeroValueAndExplicitTime(t *testing.T) {
+	var tr Trace
+	at := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	tr.Record(Event{Type: EvStallBegin, Cause: CauseL0Stop, Time: at})
+	events := tr.Events()
+	if len(events) != 1 || !events[0].Time.Equal(at) {
+		t.Fatalf("explicit time not preserved: %+v", events)
+	}
+	if events[0].Seq != 1 {
+		t.Fatalf("seq = %d, want 1", events[0].Seq)
+	}
+	var nilTrace *Trace
+	nilTrace.Record(Event{Type: EvFlushStart}) // must not panic
+}
+
+func TestStringers(t *testing.T) {
+	types := []EventType{EvFlushStart, EvFlushEnd, EvCompactionStart,
+		EvCompactionEnd, EvStallBegin, EvStallEnd, EvSnapshotReclaim}
+	for _, ty := range types {
+		if ty.String() == "unknown" {
+			t.Errorf("event type %d has no name", ty)
+		}
+	}
+	for op := Op(0); op < NumOps; op++ {
+		if op.String() == "unknown" {
+			t.Errorf("op %d has no name", op)
+		}
+	}
+	for _, c := range []StallCause{CauseL0Slowdown, CauseL0Stop, CauseMemtableWait} {
+		if c.String() == "none" {
+			t.Errorf("stall cause %d has no name", c)
+		}
+	}
+}
+
+func TestPublishAndHandler(t *testing.T) {
+	o := New()
+	o.Record(OpGet, 100*time.Microsecond)
+	o.CacheHits.Add(3)
+	o.Event(Event{Type: EvFlushStart})
+	o.Publish("clsm-test")
+
+	// Republishing under the same name redirects to a new observer
+	// instead of panicking (expvar.Publish is once-only underneath).
+	o2 := New()
+	o2.CacheHits.Add(7)
+	o2.Publish("clsm-test")
+
+	v := expvar.Get("clsm-test")
+	if v == nil {
+		t.Fatal("expvar name not published")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("published value is not JSON: %v", err)
+	}
+	if snap.Counters["cache_hits"] != 7 {
+		t.Fatalf("republish did not redirect: hits=%d, want 7", snap.Counters["cache_hits"])
+	}
+
+	rr := httptest.NewRecorder()
+	Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/vars", nil))
+	if !strings.Contains(rr.Body.String(), "clsm-test") {
+		t.Fatal("handler output missing published observer")
+	}
+}
+
+func TestWriteSummaryAndEvents(t *testing.T) {
+	o := New()
+	for i := 1; i <= 100; i++ {
+		o.Record(OpPut, time.Duration(i)*time.Microsecond)
+		o.Record(OpIterNext, time.Duration(i)*time.Nanosecond)
+	}
+	o.Event(Event{Type: EvFlushStart, Level: 0, Bytes: 1 << 20})
+	o.Event(Event{Type: EvFlushEnd, Level: 0, Bytes: 1 << 19, Dur: 5 * time.Millisecond})
+	o.Event(Event{Type: EvStallBegin, Cause: CauseMemtableWait})
+	o.Event(Event{Type: EvStallEnd, Cause: CauseMemtableWait, Dur: time.Millisecond})
+
+	var sb strings.Builder
+	o.WriteSummary(&sb)
+	out := sb.String()
+	for _, want := range []string{"put", "iter_next", "p50", "p99", "cache_hits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "rmw") {
+		t.Errorf("summary includes op with no samples:\n%s", out)
+	}
+
+	sb.Reset()
+	o.WriteEvents(&sb, 10)
+	out = sb.String()
+	for _, want := range []string{"flush-start", "flush-end", "stall-begin", "memtable-wait", "timeline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("events missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	New().WriteEvents(&sb, 10)
+	if !strings.Contains(sb.String(), "no engine events") {
+		t.Error("empty trace should say so")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"clsm/internal/obs"
 	"clsm/internal/storage"
 	"clsm/internal/syncutil"
 )
@@ -27,6 +28,10 @@ type Logger struct {
 	mu      sync.Mutex // serializes flush waiters
 	err     atomic.Pointer[error]
 	pending atomic.Int64
+
+	// appends and syncs, when wired via Instrument, count enqueued
+	// records and device syncs on the engine's observer.
+	appends, syncs *obs.Counter
 }
 
 type logReq struct {
@@ -49,6 +54,13 @@ func NewLogger(f storage.File, syncMode bool) *Logger {
 	return l
 }
 
+// Instrument wires append/sync counters (typically the owning engine's
+// observer counters). Call right after NewLogger, before the logger is
+// shared between writers.
+func (l *Logger) Instrument(appends, syncs *obs.Counter) {
+	l.appends, l.syncs = appends, syncs
+}
+
 // Append logs one record. In async mode it only enqueues; the copy is taken
 // so the caller may reuse rec.
 func (l *Logger) Append(rec []byte) error {
@@ -63,6 +75,9 @@ func (l *Logger) Append(rec []byte) error {
 	}
 	l.pending.Add(1)
 	l.queue.Enqueue(logReq{rec: cp, done: done})
+	if l.appends != nil {
+		l.appends.Inc()
+	}
 	l.notify()
 	if done != nil {
 		return <-done
@@ -131,6 +146,9 @@ func (l *Logger) handle(req logReq) {
 	if req.done != nil {
 		if err == nil {
 			err = l.w.Sync()
+			if l.syncs != nil {
+				l.syncs.Inc()
+			}
 		}
 		req.done <- err
 	}

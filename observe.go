@@ -1,0 +1,70 @@
+package clsm
+
+import (
+	"net/http"
+
+	"clsm/internal/obs"
+)
+
+// Observer aggregates a store's instrumentation: per-operation latency
+// histograms (Put/Get/Delete/Write/RMW/GetSnapshot/iterator Next), block
+// cache, WAL and compaction counters, and the engine event trace. Obtain
+// a store's observer with DB.Observer; export it over HTTP with
+// Observer.Publish plus Handler.
+type Observer = obs.Observer
+
+// Histogram is a lock-free, mergeable, log-bucketed latency histogram
+// with p50/p95/p99/max accessors; see Observer.Op.
+type Histogram = obs.Histogram
+
+// Op names an instrumented operation; see Observer.Op.
+type Op = obs.Op
+
+// Instrumented operations.
+const (
+	OpPut         = obs.OpPut
+	OpGet         = obs.OpGet
+	OpDelete      = obs.OpDelete
+	OpWrite       = obs.OpWrite
+	OpRMW         = obs.OpRMW
+	OpGetSnapshot = obs.OpGetSnapshot
+	OpIterNext    = obs.OpIterNext
+)
+
+// Event is one engine trace entry; see Options.EventSink / WithObserver.
+type Event = obs.Event
+
+// EventType classifies engine trace events.
+type EventType = obs.EventType
+
+// Engine event types.
+const (
+	EventFlushStart      = obs.EvFlushStart
+	EventFlushEnd        = obs.EvFlushEnd
+	EventCompactionStart = obs.EvCompactionStart
+	EventCompactionEnd   = obs.EvCompactionEnd
+	EventStallBegin      = obs.EvStallBegin
+	EventStallEnd        = obs.EvStallEnd
+	EventSnapshotReclaim = obs.EvSnapshotReclaim
+)
+
+// StallCause says why a writer stalled.
+type StallCause = obs.StallCause
+
+// Stall causes carried by EventStallBegin/EventStallEnd events.
+const (
+	StallL0Slowdown   = obs.CauseL0Slowdown
+	StallL0Stop       = obs.CauseL0Stop
+	StallMemtableWait = obs.CauseMemtableWait
+)
+
+// EventSink receives engine trace events synchronously, in order; it must
+// be fast and must not call back into the store.
+type EventSink = obs.EventSink
+
+// DebugHandler returns the expvar HTTP handler serving every published
+// observer as JSON; mount it at /debug/vars:
+//
+//	db.Observer().Publish("clsm")
+//	http.Handle("/debug/vars", clsm.DebugHandler())
+func DebugHandler() http.Handler { return obs.Handler() }

@@ -1,0 +1,187 @@
+package clsm
+
+import (
+	"time"
+
+	"clsm/internal/core"
+	"clsm/internal/obs"
+	"clsm/internal/storage"
+	"clsm/internal/version"
+)
+
+// Options configures a store. The zero value is a usable in-memory store;
+// every field's zero value picks the default listed below. Options and
+// the functional options accepted by OpenPath configure the same
+// settings and delegate onto one path — use whichever reads better.
+//
+// Defaults (the single source of truth for the public surface):
+//
+//	MemtableSize          4 MiB
+//	BlockCacheSize        32 MiB
+//	SyncWrites            false (asynchronous group logging)
+//	DisableWAL            false
+//	LinearizableSnapshots false (serializable snapshots)
+//	CompactionThreads     1
+//	SnapshotTTL           0 (handles never expire)
+//	Compression           false
+//	L0CompactionTrigger   4 files
+//	L0SlowdownTrigger     8 files
+//	L0StopTrigger         12 files
+//	BaseLevelBytes        10 MiB
+//	TableFileSize         2 MiB
+//	BlockSize             4 KiB
+//	BloomBitsPerKey       0 (Bloom filters disabled; 10 is a good value)
+type Options struct {
+	// Path is the database directory on the local filesystem. When empty,
+	// the store runs on a volatile in-memory filesystem (tests, caches,
+	// benchmarks).
+	Path string
+
+	// MemtableSize is the in-memory component's spill threshold in bytes.
+	// Default 4 MiB (the paper's serving configuration uses 128 MiB; see
+	// the Fig. 8 benchmark for the effect of this knob).
+	MemtableSize int64
+
+	// BlockCacheSize bounds the SSTable block cache in bytes (default 32 MiB).
+	BlockCacheSize int64
+
+	// SyncWrites makes every write wait for WAL durability. Default
+	// false: asynchronous group logging, which allows writes at memory
+	// speed at the risk of losing the last few writes in a crash.
+	SyncWrites bool
+
+	// DisableWAL turns off logging entirely. Data not yet flushed to
+	// sorted tables is lost on restart. For caches and benchmarks.
+	DisableWAL bool
+
+	// LinearizableSnapshots trades snapshot acquisition latency for
+	// linearizability: the snapshot is guaranteed to include every write
+	// completed before GetSnapshot was called. The default (false) gives
+	// serializable snapshots that may be slightly in the past.
+	LinearizableSnapshots bool
+
+	// CompactionThreads is the number of background compaction workers
+	// (default 1).
+	CompactionThreads int
+
+	// SnapshotTTL, when positive, reclaims snapshot handles the
+	// application forgot to Close after this duration; reads on a
+	// reclaimed handle fail with ErrSnapshotExpired.
+	SnapshotTTL time.Duration
+
+	// Compression enables DEFLATE compression of on-disk table blocks.
+	Compression bool
+
+	// EventSink, when set, receives every engine trace event (flushes,
+	// compactions, write stalls, snapshot reclaims) synchronously. See
+	// WithObserver and the Observer returned by DB.Observer.
+	EventSink EventSink
+
+	// L0CompactionTrigger is the L0 file count that triggers a
+	// background compaction. L0SlowdownTrigger and L0StopTrigger are the
+	// write-throttling thresholds honored by the engine: at the slowdown
+	// trigger writers take a one-millisecond pause (LevelDB's soft
+	// backpressure), at the stop trigger they wait for L0 to drain.
+	L0CompactionTrigger int
+	L0SlowdownTrigger   int
+	L0StopTrigger       int
+
+	// BaseLevelBytes, TableFileSize, BlockSize and BloomBitsPerKey shape
+	// the disk component; zero values pick LevelDB-compatible defaults.
+	BaseLevelBytes  int64
+	TableFileSize   int64
+	BlockSize       int
+	BloomBitsPerKey int
+}
+
+// Option mutates Options; see OpenPath. The With* constructors cover the
+// common knobs; anything else is reachable by opening with the struct
+// form, which is equivalent.
+type Option func(*Options)
+
+// WithMemtableSize sets the memtable spill threshold in bytes.
+func WithMemtableSize(n int64) Option {
+	return func(o *Options) { o.MemtableSize = n }
+}
+
+// WithBlockCacheSize bounds the SSTable block cache in bytes.
+func WithBlockCacheSize(n int64) Option {
+	return func(o *Options) { o.BlockCacheSize = n }
+}
+
+// WithSyncWrites makes every write wait for WAL durability.
+func WithSyncWrites(on bool) Option {
+	return func(o *Options) { o.SyncWrites = on }
+}
+
+// WithDisableWAL turns off write-ahead logging entirely.
+func WithDisableWAL(on bool) Option {
+	return func(o *Options) { o.DisableWAL = on }
+}
+
+// WithCompression enables DEFLATE compression of on-disk table blocks.
+func WithCompression(on bool) Option {
+	return func(o *Options) { o.Compression = on }
+}
+
+// WithCompactionThreads sets the number of background compaction workers.
+func WithCompactionThreads(n int) Option {
+	return func(o *Options) { o.CompactionThreads = n }
+}
+
+// WithSnapshotTTL reclaims forgotten snapshot handles after d.
+func WithSnapshotTTL(d time.Duration) Option {
+	return func(o *Options) { o.SnapshotTTL = d }
+}
+
+// WithLinearizableSnapshots makes GetSnapshot linearizable at the cost of
+// a (short) blocking acquisition.
+func WithLinearizableSnapshots(on bool) Option {
+	return func(o *Options) { o.LinearizableSnapshots = on }
+}
+
+// WithL0Triggers sets the L0 file-count thresholds: compaction kicks in
+// at compact files, writers slow down at slowdown and stop at stop. Zero
+// values keep the defaults (4, 8, 12).
+func WithL0Triggers(compact, slowdown, stop int) Option {
+	return func(o *Options) {
+		o.L0CompactionTrigger = compact
+		o.L0SlowdownTrigger = slowdown
+		o.L0StopTrigger = stop
+	}
+}
+
+// WithObserver installs sink as the engine event callback: it receives
+// every flush, compaction, write-stall and snapshot-reclaim event
+// synchronously, in order. Latency histograms and counters are always
+// collected regardless and are reachable via DB.Observer.
+func WithObserver(sink EventSink) Option {
+	return func(o *Options) { o.EventSink = sink }
+}
+
+// engineOptions lowers the public Options onto core options. It is the
+// single delegation path shared by Open and OpenPath, so the two
+// constructors cannot drift (asserted by TestOpenPathEquivalence).
+func (o Options) engineOptions(fs storage.FS, observer *obs.Observer) core.Options {
+	return core.Options{
+		FS:                    fs,
+		MemtableSize:          o.MemtableSize,
+		BlockCacheSize:        o.BlockCacheSize,
+		SyncWrites:            o.SyncWrites,
+		DisableWAL:            o.DisableWAL,
+		LinearizableSnapshots: o.LinearizableSnapshots,
+		SnapshotTTL:           o.SnapshotTTL,
+		CompactionThreads:     o.CompactionThreads,
+		L0SlowdownTrigger:     o.L0SlowdownTrigger,
+		L0StopTrigger:         o.L0StopTrigger,
+		Observer:              observer,
+		Disk: version.Options{
+			L0CompactionTrigger: o.L0CompactionTrigger,
+			BaseLevelBytes:      o.BaseLevelBytes,
+			TableFileSize:       o.TableFileSize,
+			BlockSize:           o.BlockSize,
+			BloomBitsPerKey:     o.BloomBitsPerKey,
+			Compress:            o.Compression,
+		},
+	}
+}

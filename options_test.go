@@ -1,0 +1,96 @@
+package clsm
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"clsm/internal/obs"
+	"clsm/internal/storage"
+)
+
+// TestOpenPathEquivalence asserts the acceptance criterion that the struct
+// form and the functional-option form produce the identical engine
+// configuration: both lower through Options.engineOptions, and a struct
+// built field-by-field must equal one built by the With* options.
+func TestOpenPathEquivalence(t *testing.T) {
+	structOpts := Options{
+		Path:                  "x",
+		MemtableSize:          8 << 20,
+		BlockCacheSize:        16 << 20,
+		SyncWrites:            true,
+		DisableWAL:            false,
+		LinearizableSnapshots: true,
+		CompactionThreads:     3,
+		SnapshotTTL:           2 * time.Minute,
+		Compression:           true,
+		L0CompactionTrigger:   6,
+		L0SlowdownTrigger:     10,
+		L0StopTrigger:         14,
+	}
+
+	fnOpts := Options{Path: "x"}
+	for _, apply := range []Option{
+		WithMemtableSize(8 << 20),
+		WithBlockCacheSize(16 << 20),
+		WithSyncWrites(true),
+		WithDisableWAL(false),
+		WithLinearizableSnapshots(true),
+		WithCompactionThreads(3),
+		WithSnapshotTTL(2 * time.Minute),
+		WithCompression(true),
+		WithL0Triggers(6, 10, 14),
+	} {
+		apply(&fnOpts)
+	}
+
+	fs := storage.NewMemFS()
+	o := obs.New()
+	got := fnOpts.engineOptions(fs, o)
+	want := structOpts.engineOptions(fs, o)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("engine options diverge:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestWithObserverLowering checks the sink option lands in Options.EventSink
+// (function values are not comparable, so it is excluded from the
+// DeepEqual test above).
+func TestWithObserverLowering(t *testing.T) {
+	var opts Options
+	called := 0
+	WithObserver(func(Event) { called++ })(&opts)
+	if opts.EventSink == nil {
+		t.Fatal("WithObserver did not set EventSink")
+	}
+	opts.EventSink(Event{})
+	if called != 1 {
+		t.Fatal("installed sink is not the one provided")
+	}
+}
+
+// TestEngineOptionDefaults pins the documented defaults: the zero Options
+// must lower onto a core config whose WithDefaults resolution matches the
+// table in the Options doc comment.
+func TestEngineOptionDefaults(t *testing.T) {
+	eng := Options{}.engineOptions(storage.NewMemFS(), obs.New()).WithDefaults()
+	if eng.MemtableSize != 4<<20 {
+		t.Errorf("MemtableSize default = %d, want 4 MiB", eng.MemtableSize)
+	}
+	if eng.BlockCacheSize != 32<<20 {
+		t.Errorf("BlockCacheSize default = %d, want 32 MiB", eng.BlockCacheSize)
+	}
+	if eng.CompactionThreads != 1 {
+		t.Errorf("CompactionThreads default = %d, want 1", eng.CompactionThreads)
+	}
+	if eng.L0SlowdownTrigger != 8 || eng.L0StopTrigger != 12 {
+		t.Errorf("L0 triggers = %d/%d, want 8/12", eng.L0SlowdownTrigger, eng.L0StopTrigger)
+	}
+	disk := eng.Disk.WithDefaults()
+	if disk.L0CompactionTrigger != 4 {
+		t.Errorf("L0CompactionTrigger default = %d, want 4", disk.L0CompactionTrigger)
+	}
+	if disk.BloomBitsPerKey != 0 {
+		t.Errorf("BloomBitsPerKey default = %d, want 0 (disabled)", disk.BloomBitsPerKey)
+	}
+}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# check.sh — the PR gate: vet, build, and race-test the packages where
+# concurrency bugs would hide (the observability substrate and the engine).
+# The full suite is `go test ./...`.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./internal/obs ./internal/core
