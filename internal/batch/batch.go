@@ -82,6 +82,23 @@ func (b *Batch) Encode(dst []byte) []byte {
 	return dst
 }
 
+// AppendSingle appends the encoding of a one-entry batch to dst without
+// constructing a Batch — the allocation-free form the engine's Put/Delete
+// hot path uses to encode straight into a pooled WAL buffer. The output is
+// byte-identical to Encode on a one-entry batch.
+func AppendSingle(dst []byte, kind keys.Kind, ts uint64, key, value []byte) []byte {
+	dst = append(dst, 1) // count
+	dst = append(dst, byte(kind))
+	dst = binary.AppendUvarint(dst, ts)
+	dst = binary.AppendUvarint(dst, uint64(len(key)))
+	dst = append(dst, key...)
+	if kind == keys.KindValue {
+		dst = binary.AppendUvarint(dst, uint64(len(value)))
+		dst = append(dst, value...)
+	}
+	return dst
+}
+
 // Decode parses a serialized batch. The returned entries alias data.
 func Decode(data []byte) ([]Entry, error) {
 	count, n := binary.Uvarint(data)

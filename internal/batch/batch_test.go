@@ -108,3 +108,46 @@ func TestRoundTripQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestAppendSingleMatchesEncode pins the contract the WAL hot path relies
+// on: AppendSingle emits byte-for-byte what Encode produces for a
+// one-entry batch, so single puts and batch replay share one decoder.
+func TestAppendSingleMatchesEncode(t *testing.T) {
+	cases := []struct {
+		kind       keys.Kind
+		ts         uint64
+		key, value string
+	}{
+		{keys.KindValue, 1, "k", "v"},
+		{keys.KindValue, 1 << 40, "key", string(bytes.Repeat([]byte{0xab}, 300))},
+		{keys.KindValue, 0, "", ""},
+		{keys.KindDelete, 7, "gone", "ignored-for-deletes"},
+	}
+	for _, c := range cases {
+		var b Batch
+		if c.kind == keys.KindDelete {
+			b.Delete([]byte(c.key))
+		} else {
+			b.Put([]byte(c.key), []byte(c.value))
+		}
+		b.SetTimestamps(c.ts)
+		want := b.Encode(nil)
+		got := AppendSingle(nil, c.kind, c.ts, []byte(c.key), []byte(c.value))
+		if !bytes.Equal(got, want) {
+			t.Errorf("AppendSingle(%v, %d, %q) = %x, Encode = %x", c.kind, c.ts, c.key, got, want)
+		}
+		entries, err := Decode(got)
+		if err != nil {
+			t.Fatalf("Decode(AppendSingle): %v", err)
+		}
+		if len(entries) != 1 || entries[0].TS != c.ts || string(entries[0].Key) != c.key {
+			t.Errorf("round trip = %+v", entries)
+		}
+	}
+	// AppendSingle must append, not overwrite.
+	pre := []byte("prefix")
+	out := AppendSingle(pre, keys.KindValue, 9, []byte("k"), []byte("v"))
+	if !bytes.HasPrefix(out, pre) {
+		t.Error("AppendSingle clobbered existing dst bytes")
+	}
+}

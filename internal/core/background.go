@@ -55,7 +55,7 @@ func (db *DB) rotateAndFlush() error {
 			return err
 		}
 		newLogger = wal.NewLogger(f, db.opts.SyncWrites)
-		newLogger.Instrument(&db.obs.WALAppends, &db.obs.WALSyncs)
+		newLogger.Instrument(&db.obs.WALAppends, &db.obs.WALSyncs, &db.obs.WALGroupSize)
 	}
 	newMem := memtable.New(logNum)
 

@@ -139,7 +139,7 @@ func (db *DB) installFreshMemtable() error {
 			return err
 		}
 		logger = wal.NewLogger(f, db.opts.SyncWrites)
-		logger.Instrument(&db.obs.WALAppends, &db.obs.WALSyncs)
+		logger.Instrument(&db.obs.WALAppends, &db.obs.WALSyncs, &db.obs.WALGroupSize)
 	}
 	db.mem.Store(memtable.New(logNum))
 	db.log.Store(logger)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"clsm/internal/keys"
@@ -8,6 +9,12 @@ import (
 	"clsm/internal/obs"
 	"clsm/internal/syncutil"
 )
+
+// seekScratch pools the seek-key encodings that Pd lookups build once per
+// read. The version search never retains the seek key, so the buffer can
+// be recycled as soon as Get returns — keeping the read path free of
+// per-operation allocations.
+var seekScratch = sync.Pool{New: func() any { return new([]byte) }}
 
 // Get returns the newest value of key, or ok=false if the key is absent or
 // deleted. Gets never block (§3.1): component pointers are read with the
@@ -63,7 +70,10 @@ func (db *DB) GetAt(key []byte, ts uint64) (value []byte, ok bool, err error) {
 		return nil, false, ErrClosed
 	}
 	defer cur.Unref()
-	v, deleted, found, err := cur.Get(keys.SeekKey(key, ts))
+	sk := seekScratch.Get().(*[]byte)
+	*sk = keys.AppendSeek((*sk)[:0], key, ts)
+	v, deleted, found, err := cur.Get(*sk)
+	seekScratch.Put(sk)
 	if err != nil || !found || deleted {
 		return nil, false, err
 	}

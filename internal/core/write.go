@@ -7,6 +7,7 @@ import (
 	"clsm/internal/keys"
 	"clsm/internal/memtable"
 	"clsm/internal/obs"
+	"clsm/internal/wal"
 )
 
 // Put stores (key, value). It follows Algorithm 2's put: acquire the
@@ -45,14 +46,11 @@ func (db *DB) write(key, value []byte, kind keys.Kind) error {
 
 	ts, slot := db.oracle.GetTS()
 	if logger != nil {
-		var b batch.Batch
-		if kind == keys.KindDelete {
-			b.Delete(key)
-		} else {
-			b.Put(key, value)
-		}
-		b.SetTimestamps(ts)
-		if err := logger.Append(b.Encode(nil)); err != nil {
+		// Encode the one-entry batch straight into a pooled WAL buffer and
+		// hand ownership to the logger: no defensive copy, no allocation.
+		buf := wal.GetBuf()
+		*buf = batch.AppendSingle((*buf)[:0], kind, ts, key, value)
+		if err := logger.AppendOwned(buf); err != nil {
 			db.oracle.Done(slot)
 			db.lock.UnlockShared()
 			return err
@@ -98,7 +96,9 @@ func (db *DB) Write(b *batch.Batch) error {
 	first, slot := db.oracle.GetTSBatch(uint64(b.Len()))
 	b.SetTimestamps(first)
 	if logger != nil {
-		if err := logger.Append(b.Encode(nil)); err != nil {
+		buf := wal.GetBuf()
+		*buf = b.Encode((*buf)[:0])
+		if err := logger.AppendOwned(buf); err != nil {
 			db.oracle.Done(slot)
 			db.lock.UnlockExclusive()
 			return err
@@ -148,10 +148,9 @@ func (db *DB) RMW(key []byte, f func(old []byte, exists bool) []byte) error {
 		ts, slot := db.oracle.GetTS()
 		if mt.InsertRMW(key, ts, newVal, readTS) {
 			if logger != nil {
-				var b batch.Batch
-				b.Put(key, newVal)
-				b.SetTimestamps(ts)
-				if err := logger.Append(b.Encode(nil)); err != nil {
+				buf := wal.GetBuf()
+				*buf = batch.AppendSingle((*buf)[:0], keys.KindValue, ts, key, newVal)
+				if err := logger.AppendOwned(buf); err != nil {
 					db.oracle.Done(slot)
 					return err
 				}
@@ -184,7 +183,10 @@ func (db *DB) readLatestLocked(mt *memtable.Table, key []byte) (value []byte, re
 		return nil, 0, false, ErrClosed
 	}
 	defer cur.Unref()
-	v, deleted, found, err := cur.Get(keys.SeekKey(key, keys.MaxTimestamp))
+	sk := seekScratch.Get().(*[]byte)
+	*sk = keys.AppendSeek((*sk)[:0], key, keys.MaxTimestamp)
+	v, deleted, found, err := cur.Get(*sk)
+	seekScratch.Put(sk)
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -300,14 +302,11 @@ func (db *DB) stallEnd(cause obs.StallCause, start time.Time) {
 	db.obs.Event(obs.Event{Type: obs.EvStallEnd, Cause: cause, Dur: d})
 }
 
+// level0Count reads the version set's atomic L0 mirror: no version
+// reference is acquired, so the per-write backpressure probe stays off the
+// version refcount cache line.
 func (db *DB) level0Count() int {
-	v := db.versions.Current()
-	if v == nil {
-		return 0
-	}
-	n := len(v.Levels[0])
-	v.Unref()
-	return n
+	return db.versions.L0Count()
 }
 
 func (db *DB) kickCompaction() {

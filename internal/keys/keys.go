@@ -135,6 +135,36 @@ func SeekKey(key []byte, ts uint64) []byte {
 	return Make(key, ts, Kind(0xff))
 }
 
+// AppendSeek appends the seek encoding of (key, ts) to dst, the in-place
+// form of SeekKey for callers that reuse a scratch buffer.
+func AppendSeek(dst, key []byte, ts uint64) []byte {
+	return Encode(dst, key, ts, Kind(0xff))
+}
+
+// SeekTrailer returns the packed trailer a seek for timestamp ts carries:
+// kind 0xff, which sorts before every real kind at the same timestamp.
+func SeekTrailer(ts uint64) uint64 {
+	return PackTrailer(ts, Kind(0xff))
+}
+
+// CompareSeek orders the internal key ik against the *virtual* internal
+// key (userKey, trailer) without materializing it — the allocation-free
+// equivalent of Compare(ik, AppendSeek(nil, userKey, ts)) with
+// trailer = SeekTrailer(ts).
+func CompareSeek(ik, userKey []byte, trailer uint64) int {
+	ku, ktr := split(ik)
+	if c := bytes.Compare(ku, userKey); c != 0 {
+		return c
+	}
+	switch {
+	case ktr > trailer:
+		return -1
+	case ktr < trailer:
+		return 1
+	}
+	return 0
+}
+
 // Separator returns a short internal key sep such that a <= sep < b in the
 // internal ordering, used to shorten index-block entries. a and b are
 // internal keys with UserKey(a) < UserKey(b).

@@ -6,11 +6,19 @@
 package memtable
 
 import (
+	"sync"
+
 	"clsm/internal/iterator"
 	"clsm/internal/keys"
 	"clsm/internal/skiplist"
 	"clsm/internal/syncutil"
 )
+
+// ikeyScratch pools the transient internal-key encodings built by Add and
+// InsertRMW. The skip list copies the key into its arena, so the scratch
+// can be recycled the moment Insert returns — making the write path free of
+// per-operation allocations.
+var ikeyScratch = sync.Pool{New: func() any { return new([]byte) }}
 
 // Table is one in-memory component.
 type Table struct {
@@ -31,7 +39,10 @@ func New(logNum uint64) *Table {
 
 // Add inserts a version. Safe for concurrent use.
 func (t *Table) Add(key []byte, ts uint64, kind keys.Kind, value []byte) {
-	t.list.Insert(keys.Make(key, ts, kind), value)
+	buf := ikeyScratch.Get().(*[]byte)
+	*buf = keys.Encode((*buf)[:0], key, ts, kind)
+	t.list.Insert(*buf, value)
+	ikeyScratch.Put(buf)
 }
 
 // Get returns the newest version of key visible at ts.
@@ -65,7 +76,11 @@ func (t *Table) GetWithTS(key []byte, ts uint64) (value []byte, valTS uint64, de
 // InsertRMW attempts one conflict-checked insert (Algorithm 3); see
 // skiplist.List.InsertRMW.
 func (t *Table) InsertRMW(key []byte, ts uint64, value []byte, readTS uint64) bool {
-	return t.list.InsertRMW(keys.Make(key, ts, keys.KindValue), value, readTS)
+	buf := ikeyScratch.Get().(*[]byte)
+	*buf = keys.Encode((*buf)[:0], key, ts, keys.KindValue)
+	ok := t.list.InsertRMW(*buf, value, readTS)
+	ikeyScratch.Put(buf)
+	return ok
 }
 
 // ApproximateSize returns the bytes retained by entries, the memtable

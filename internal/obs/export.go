@@ -13,9 +13,10 @@ import (
 
 // Snapshot is a point-in-time export of an Observer, shaped for JSON.
 type Snapshot struct {
-	Ops      map[string]HistogramSnapshot `json:"ops"`
-	Counters map[string]uint64            `json:"counters"`
-	Events   []Event                      `json:"events"`
+	Ops          map[string]HistogramSnapshot `json:"ops"`
+	Counters     map[string]uint64            `json:"counters"`
+	WALGroupSize ValueSnapshot                `json:"wal_group_size"`
+	Events       []Event                      `json:"events"`
 }
 
 // Snapshot captures the observer's current state.
@@ -39,6 +40,7 @@ func (o *Observer) Snapshot() Snapshot {
 	s.Counters["write_stalls"] = o.WriteStalls.Load()
 	s.Counters["compaction_tables"] = o.CompactionTables.Load()
 	s.Counters["compaction_dropped"] = o.CompactionDropped.Load()
+	s.WALGroupSize = o.WALGroupSize.ValueSnapshot()
 	s.Events = o.Trace.Events()
 	return s
 }
@@ -97,6 +99,10 @@ func (o *Observer) WriteSummary(w io.Writer) {
 	sort.Strings(names)
 	for _, name := range names {
 		fmt.Fprintf(w, "%-22s %12d\n", name, snap.Counters[name])
+	}
+	if g := snap.WALGroupSize; g.Count > 0 {
+		fmt.Fprintf(w, "%-22s %12d  mean=%.1f p50=%d p99=%d max=%d\n",
+			"wal_group_size", g.Count, g.Mean, g.P50, g.P99, g.Max)
 	}
 }
 

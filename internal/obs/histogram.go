@@ -182,3 +182,33 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Max:   h.Max(),
 	}
 }
+
+// ValueSnapshot is the unitless counterpart of HistogramSnapshot, for
+// histograms that record raw values (e.g. WAL commit group sizes) rather
+// than durations.
+type ValueSnapshot struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P95   uint64  `json:"p95"`
+	P99   uint64  `json:"p99"`
+	Max   uint64  `json:"max"`
+}
+
+// ValueSnapshot summarizes a raw-value histogram without the duration
+// typing.
+func (h *Histogram) ValueSnapshot() ValueSnapshot {
+	n := h.count.Load()
+	var mean float64
+	if n > 0 {
+		mean = float64(h.sum.Load()) / float64(n)
+	}
+	return ValueSnapshot{
+		Count: n,
+		Mean:  mean,
+		P50:   uint64(h.Quantile(0.50)),
+		P95:   uint64(h.Quantile(0.95)),
+		P99:   uint64(h.Quantile(0.99)),
+		Max:   uint64(h.Max()),
+	}
+}

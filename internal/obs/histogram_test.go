@@ -198,3 +198,32 @@ func TestCounterStriping(t *testing.T) {
 		t.Fatalf("counter = %d, want 160000", got)
 	}
 }
+
+// TestValueSnapshot pins the unitless snapshot used for count-valued
+// histograms (e.g. WAL commit-group sizes): quantiles are raw recorded
+// values, not durations.
+func TestValueSnapshot(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 100; i++ {
+		h.RecordValue(i)
+	}
+	s := h.ValueSnapshot()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	if s.Mean < 45 || s.Mean > 56 {
+		t.Errorf("Mean = %.1f, want ≈ 50.5", s.Mean)
+	}
+	// Log-linear buckets are exact below the linear range's top, so the
+	// small-count quantiles land on the recorded values.
+	if s.P50 < 45 || s.P50 > 56 {
+		t.Errorf("P50 = %d, want ≈ 50", s.P50)
+	}
+	if s.Max < 95 {
+		t.Errorf("Max = %d, want ≈ 100", s.Max)
+	}
+	var empty Histogram
+	if s := empty.ValueSnapshot(); s.Count != 0 || s.Mean != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+}

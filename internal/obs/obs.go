@@ -65,6 +65,12 @@ type Observer struct {
 	CompactionTables  Counter // output tables written by flushes+compactions
 	CompactionDropped Counter // entries garbage-collected during merges
 
+	// WALGroupSize distributes the number of records committed per WAL
+	// group: the amortization factor of group commit. A p50 near 1 means
+	// the drain is keeping up record-by-record; large values mean heavy
+	// batching (and, in sync mode, proportionally fewer device syncs).
+	WALGroupSize Histogram
+
 	// Trace is the engine event timeline.
 	Trace Trace
 }

@@ -27,16 +27,38 @@ const (
 	maxHeight = 20
 	// branching factor 4: P(level up) = 1/4, as in LevelDB.
 	branchBits = 2
+	// inlineHeight is the tower size embedded in every node. With p = 1/4,
+	// P(height > 4) = 4^-4 ≈ 0.39%, so the overflow slice — the second
+	// allocation per insert — is paid by one node in ~256.
+	inlineHeight = 4
 )
 
 type node struct {
 	key []byte // internal key, arena-backed
 	val []byte // value bytes, arena-backed
-	// next[i] is the successor at level i. Only next[:height] are valid.
-	next []atomic.Pointer[node]
+	// tower[i] is the successor at level i < inlineHeight; taller nodes
+	// spill levels [inlineHeight, height) into ext. Only levels below the
+	// node's drawn height are valid.
+	tower [inlineHeight]atomic.Pointer[node]
+	ext   []atomic.Pointer[node]
 }
 
-func (n *node) loadNext(level int) *node { return n.next[level].Load() }
+func newNode(key, val []byte, height int) *node {
+	n := &node{key: key, val: val}
+	if height > inlineHeight {
+		n.ext = make([]atomic.Pointer[node], height-inlineHeight)
+	}
+	return n
+}
+
+func (n *node) nextPtr(level int) *atomic.Pointer[node] {
+	if level < inlineHeight {
+		return &n.tower[level]
+	}
+	return &n.ext[level-inlineHeight]
+}
+
+func (n *node) loadNext(level int) *node { return n.nextPtr(level).Load() }
 
 // List is a concurrent insert-only skip list over internal keys.
 type List struct {
@@ -50,7 +72,7 @@ type List struct {
 // New returns an empty list backed by a fresh arena.
 func New() *List {
 	l := &List{arena: arena.New(0)}
-	l.head = &node{next: make([]atomic.Pointer[node], maxHeight)}
+	l.head = newNode(nil, nil, maxHeight)
 	l.height.Store(1)
 	l.seed.Store(0x9e3779b97f4a7c15)
 	return l
@@ -114,7 +136,7 @@ func (l *List) Insert(ikey, value []byte) bool {
 	k := l.arena.Append(ikey)
 	v := l.arena.Append(value)
 	height := l.randomHeight()
-	n := &node{key: k, val: v, next: make([]atomic.Pointer[node], height)}
+	n := newNode(k, v, height)
 
 	// Raise the list height if needed. A racy CAS-max is fine: a stale
 	// lower height only costs an extra level walk.
@@ -131,8 +153,8 @@ func (l *List) Insert(ikey, value []byte) bool {
 			return false // duplicate internal key
 		}
 		// Splice bottom level first: that makes the node logically present.
-		n.next[0].Store(succs[0])
-		if preds[0].next[0].CompareAndSwap(succs[0], n) {
+		n.tower[0].Store(succs[0])
+		if preds[0].nextPtr(0).CompareAndSwap(succs[0], n) {
 			break
 		}
 		// Lost the race; recompute the splice.
@@ -147,8 +169,8 @@ func (l *List) Insert(ikey, value []byte) bool {
 func (l *List) linkUpper(n *node, height int, preds, succs *[maxHeight]*node) {
 	for i := 1; i < height; i++ {
 		for {
-			n.next[i].Store(succs[i])
-			if preds[i].next[i].CompareAndSwap(succs[i], n) {
+			n.nextPtr(i).Store(succs[i])
+			if preds[i].nextPtr(i).CompareAndSwap(succs[i], n) {
 				break
 			}
 			l.findSpliceLevel(n.key, i, preds, succs)
@@ -209,15 +231,15 @@ func (l *List) InsertRMW(ikey, value []byte, readTS uint64) bool {
 	k := l.arena.Append(ikey)
 	v := l.arena.Append(value)
 	height := l.randomHeight()
-	n := &node{key: k, val: v, next: make([]atomic.Pointer[node], height)}
+	n := newNode(k, v, height)
 	for {
 		h := l.height.Load()
 		if int(h) >= height || l.height.CompareAndSwap(h, int32(height)) {
 			break
 		}
 	}
-	n.next[0].Store(succs[0])
-	if !preds[0].next[0].CompareAndSwap(succs[0], n) {
+	n.tower[0].Store(succs[0])
+	if !preds[0].nextPtr(0).CompareAndSwap(succs[0], n) {
 		// Alg. 3 line 13: failed CAS means some insert interfered; restart.
 		return false
 	}
@@ -310,12 +332,26 @@ func (l *List) findLast() *node {
 	return prev
 }
 
+// seekGE returns the first node whose key sorts at or after the virtual
+// seek key (uk, trailer), without materializing the seek key — the list's
+// point-read path performs no allocation.
+func (l *List) seekGE(uk []byte, trailer uint64) *node {
+	prev := l.head
+	var next *node
+	for i := int(l.height.Load()) - 1; i >= 0; i-- {
+		next = prev.loadNext(i)
+		for next != nil && keys.CompareSeek(next.key, uk, trailer) < 0 {
+			prev = next
+			next = prev.loadNext(i)
+		}
+	}
+	return next
+}
+
 // Get returns the newest version of user key uk visible at timestamp ts.
 // ok is false if the list holds no version of uk at or below ts.
 func (l *List) Get(uk []byte, ts uint64) (value []byte, valTS uint64, kind keys.Kind, ok bool) {
-	var preds, succs [maxHeight]*node
-	l.findSplice(keys.SeekKey(uk, ts), &preds, &succs)
-	n := succs[0]
+	n := l.seekGE(uk, keys.SeekTrailer(ts))
 	if n == nil {
 		return nil, 0, 0, false
 	}

@@ -89,22 +89,42 @@ type blockIter struct {
 }
 
 func newBlockIter(block []byte) (*blockIter, error) {
+	it := &blockIter{}
+	if err := it.init(block); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// init (re)binds the iterator to a decoded block, reusing the restart and
+// key scratch from any previous binding so pooled iterators decode blocks
+// without allocating.
+func (it *blockIter) init(block []byte) error {
+	it.off, it.nextOff = 0, 0
+	it.key = it.key[:0]
+	it.val = nil
+	it.valid = false
+	it.err = nil
 	if len(block) < 4 {
-		return nil, fmt.Errorf("%w: block too small", ErrCorrupt)
+		return fmt.Errorf("%w: block too small", ErrCorrupt)
 	}
 	n := int(binary.LittleEndian.Uint32(block[len(block)-4:]))
 	restartsOff := len(block) - 4 - 4*n
 	if n <= 0 || restartsOff < 0 {
-		return nil, fmt.Errorf("%w: bad restart count %d", ErrCorrupt, n)
+		return fmt.Errorf("%w: bad restart count %d", ErrCorrupt, n)
 	}
-	restarts := make([]uint32, n)
+	if cap(it.restarts) < n {
+		it.restarts = make([]uint32, n)
+	}
+	it.restarts = it.restarts[:n]
 	for i := 0; i < n; i++ {
-		restarts[i] = binary.LittleEndian.Uint32(block[restartsOff+4*i:])
-		if int(restarts[i]) > restartsOff {
-			return nil, fmt.Errorf("%w: restart beyond entries", ErrCorrupt)
+		it.restarts[i] = binary.LittleEndian.Uint32(block[restartsOff+4*i:])
+		if int(it.restarts[i]) > restartsOff {
+			return fmt.Errorf("%w: restart beyond entries", ErrCorrupt)
 		}
 	}
-	return &blockIter{data: block[:restartsOff], restarts: restarts}, nil
+	it.data = block[:restartsOff]
+	return nil
 }
 
 func (it *blockIter) First() {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
 
 	"clsm/internal/bloom"
 	"clsm/internal/cache"
@@ -139,27 +140,66 @@ func (r *Reader) MayContain(userKey []byte) bool {
 	return r.filter.MayContain(bloom.Hash(userKey))
 }
 
-// Get returns the first entry with internal key >= ikey whose user key
-// matches ikey's — i.e. the newest visible version when ikey is a seek key.
-// ok is false when the table holds no such entry.
-func (r *Reader) Get(ikey []byte) (foundKey, value []byte, ok bool, err error) {
+// pointIter is the reusable scratch for Reader.Get: an index iterator and
+// one data-block iterator whose restart/key buffers survive between gets.
+// Pooling it makes the table point-read path allocation-free when the data
+// block is cache-resident.
+type pointIter struct {
+	idx  blockIter
+	data blockIter
+}
+
+var pointIterPool = sync.Pool{New: func() any { return new(pointIter) }}
+
+// Get returns the value and kind of the first entry with internal key >=
+// ikey whose user key matches ikey's — i.e. the newest visible version when
+// ikey is a seek key. ok is false when the table holds no such entry. The
+// value aliases the (cached) block and must be copied if retained.
+//
+// Unlike a full iterator, the lookup never crosses data blocks: the index
+// separator for the candidate block sorts >= every key in it, so a seek
+// that exhausts the block proves the table holds no entry for that user
+// key at or below the seek timestamp.
+func (r *Reader) Get(ikey []byte) (value []byte, kind keys.Kind, ok bool, err error) {
 	uk := keys.UserKey(ikey)
 	if !r.MayContain(uk) {
-		return nil, nil, false, nil
+		return nil, 0, false, nil
 	}
-	it := r.NewIterator()
-	it.SeekGE(ikey)
-	if err := it.Err(); err != nil {
-		return nil, nil, false, err
+	pi := pointIterPool.Get().(*pointIter)
+	defer pointIterPool.Put(pi)
+	if err := pi.idx.init(r.index); err != nil {
+		return nil, 0, false, err
 	}
-	if !it.Valid() {
-		return nil, nil, false, nil
+	pi.idx.SeekGE(ikey)
+	if err := pi.idx.Err(); err != nil {
+		return nil, 0, false, err
 	}
-	fk := it.Key()
+	if !pi.idx.Valid() {
+		return nil, 0, false, nil
+	}
+	h, err := decodeHandle(pi.idx.Value())
+	if err != nil {
+		return nil, 0, false, err
+	}
+	b, err := r.readBlock(h)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if err := pi.data.init(b); err != nil {
+		return nil, 0, false, err
+	}
+	pi.data.SeekGE(ikey)
+	if err := pi.data.Err(); err != nil {
+		return nil, 0, false, err
+	}
+	if !pi.data.Valid() {
+		return nil, 0, false, nil
+	}
+	fk := pi.data.Key()
 	if string(keys.UserKey(fk)) != string(uk) {
-		return nil, nil, false, nil
+		return nil, 0, false, nil
 	}
-	return fk, it.Value(), true, nil
+	return pi.data.Value(), keys.KindOf(fk), true, nil
 }
 
 // tableIter is the two-level iterator: index block -> data blocks.

@@ -151,15 +151,18 @@ func TestGetVersions(t *testing.T) {
 		{10, "v10", true},
 		{9, "", false},
 	} {
-		fk, v, ok, err := r.Get(keys.SeekKey([]byte("k"), tc.ts))
+		v, kind, ok, err := r.Get(keys.SeekKey([]byte("k"), tc.ts))
 		if err != nil {
 			t.Fatal(err)
 		}
 		if ok != tc.ok {
 			t.Fatalf("Get@%d ok=%v want %v", tc.ts, ok, tc.ok)
 		}
+		if ok && kind != keys.KindValue {
+			t.Fatalf("Get@%d kind=%d, want KindValue", tc.ts, kind)
+		}
 		if ok && string(v) != tc.want {
-			t.Fatalf("Get@%d = %q (key %s), want %q", tc.ts, v, keys.String(fk), tc.want)
+			t.Fatalf("Get@%d = %q, want %q", tc.ts, v, tc.want)
 		}
 	}
 	// Absent key, filtered by bloom.
@@ -309,7 +312,7 @@ func TestRandomRoundTrip(t *testing.T) {
 		buildTable(t, fs, "t", entries, WriterOptions{BlockSize: 128 << rng.Intn(6), BloomBitsPerKey: 10})
 		r := openTable(t, fs, "t", nil)
 		for k, v := range m {
-			_, got, ok, err := r.Get(keys.SeekKey([]byte(k), keys.MaxTimestamp))
+			got, _, ok, err := r.Get(keys.SeekKey([]byte(k), keys.MaxTimestamp))
 			if err != nil || !ok || string(got) != v {
 				t.Fatalf("trial %d: Get(%q) = %q,%v,%v", trial, k, got, ok, err)
 			}

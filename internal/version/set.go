@@ -59,6 +59,11 @@ type Set struct {
 	// current is the published Version; readers use syncutil.Acquire.
 	current atomic.Pointer[Version]
 
+	// l0 mirrors len(current.Levels[0]), updated at every version install,
+	// so write-path backpressure checks (makeRoomForWrite) read one atomic
+	// instead of taking a version reference per write.
+	l0 atomic.Int32
+
 	mu           sync.Mutex // serializes LogAndApply and manifest writes
 	manifest     *wal.Writer
 	manifestNum  uint64
@@ -130,6 +135,7 @@ func (s *Set) recover(manifestName string) error {
 	}
 	v := b.finish()
 	s.current.Store(v)
+	s.l0.Store(int32(len(v.Levels[0])))
 	if kind, num, ok := ParseFileName(manifestName); ok && kind == KindManifest {
 		s.manifestNum = num
 	}
@@ -188,6 +194,10 @@ func (s *Set) Current() *Version {
 	return syncutil.Acquire[Version](&s.current)
 }
 
+// L0Count returns the current level-0 file count without touching the
+// version reference count — the write path's fast backpressure probe.
+func (s *Set) L0Count() int { return int(s.l0.Load()) }
+
 // NewFileNum allocates a fresh file number.
 func (s *Set) NewFileNum() uint64 { return s.nextFile.Add(1) }
 
@@ -244,6 +254,7 @@ func (s *Set) LogAndApply(edit *Edit) error {
 	b.apply(edit)
 	v := b.finish()
 	old := s.current.Swap(v)
+	s.l0.Store(int32(len(v.Levels[0])))
 	if old != nil {
 		old.Unref()
 	}

@@ -79,7 +79,7 @@ func (v *Version) Get(ikey []byte) (value []byte, deleted, found bool, err error
 			err = e
 			return true
 		}
-		fk, val, ok, e := r.Get(ikey)
+		val, kind, ok, e := r.Get(ikey)
 		if e != nil {
 			err = e
 			return true
@@ -87,7 +87,7 @@ func (v *Version) Get(ikey []byte) (value []byte, deleted, found bool, err error
 		if !ok {
 			return false
 		}
-		if keys.KindOf(fk) == keys.KindDelete {
+		if kind == keys.KindDelete {
 			deleted, found = true, true
 		} else {
 			value, found = val, true

@@ -1,0 +1,342 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"clsm/internal/obs"
+)
+
+// trackingFile distinguishes written from durable bytes: Sync publishes the
+// current length as the durable horizon, the way a real device loses
+// post-fsync tail bytes on power failure.
+type trackingFile struct {
+	mu      sync.Mutex
+	data    []byte
+	durable int // bytes covered by the last Sync
+	syncs   int
+	writes  int
+	// failAfter, when >= 0, fails every Write once that many writes have
+	// succeeded.
+	failAfter int
+	writeErr  error
+	syncDelay time.Duration
+}
+
+func newTrackingFile() *trackingFile { return &trackingFile{failAfter: -1} }
+
+func (f *trackingFile) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failAfter >= 0 && f.writes >= f.failAfter {
+		return 0, f.writeErr
+	}
+	f.writes++
+	f.data = append(f.data, p...)
+	return len(p), nil
+}
+
+func (f *trackingFile) Sync() error {
+	if f.syncDelay > 0 {
+		time.Sleep(f.syncDelay)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncs++
+	f.durable = len(f.data)
+	return nil
+}
+
+func (f *trackingFile) Close() error { return nil }
+
+func (f *trackingFile) snapshot() (durable []byte, syncs int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]byte(nil), f.data[:f.durable]...), f.syncs
+}
+
+// durableReader adapts a byte snapshot to the Reader's source interface.
+type durableReader struct{ data []byte }
+
+func (r *durableReader) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(r.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+func (r *durableReader) Size() int64  { return int64(len(r.data)) }
+func (r *durableReader) Close() error { return nil }
+
+func readAllRecords(t *testing.T, data []byte) map[string]bool {
+	t.Helper()
+	got := map[string]bool{}
+	rd := NewReader(&durableReader{data: data})
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return got
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		got[string(rec)] = true
+	}
+}
+
+// TestGroupCommitAmortizesSyncs is the tentpole property: under concurrent
+// sync-mode writers, the drain commits whole groups with one device sync
+// each, so syncs ≪ records.
+func TestGroupCommitAmortizesSyncs(t *testing.T) {
+	f := newTrackingFile()
+	f.syncDelay = 200 * time.Microsecond // make groups accumulate
+	l := NewLogger(f, true)
+
+	var appends, syncs obs.Counter
+	var groups obs.Histogram
+	l.Instrument(&appends, &syncs, &groups)
+
+	const writers = 8
+	const perWriter = 100
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rec := []byte(fmt.Sprintf("w%d-r%d", w, i))
+				if err := l.Append(rec); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	const records = writers * perWriter
+	durable, fileSyncs := f.snapshot()
+	got := readAllRecords(t, durable)
+	if len(got) != records {
+		t.Fatalf("recovered %d records, want %d", len(got), records)
+	}
+	if appends.Load() != records {
+		t.Fatalf("appends counter = %d, want %d", appends.Load(), records)
+	}
+	// With 8 writers parked on each group, every sync should cover several
+	// records. Even a heavily preempted run stays far under one sync per
+	// record; the tentpole requires syncs ≪ records.
+	if fileSyncs >= records/2 {
+		t.Fatalf("group commit ineffective: %d syncs for %d records", fileSyncs, records)
+	}
+	// Writer.Close issues one final uncounted sync, so the counter may be
+	// one short of what the file saw.
+	if c := syncs.Load(); c == 0 || c > uint64(fileSyncs) {
+		t.Fatalf("syncs counter = %d, file saw %d", c, fileSyncs)
+	}
+	if groups.Count() == 0 {
+		t.Fatal("group-size histogram recorded nothing")
+	}
+	t.Logf("%d records in %d syncs (mean group %.1f)", records, fileSyncs,
+		float64(records)/float64(fileSyncs))
+}
+
+// TestGroupErrorFailsWholeGroup pins error semantics: a failing write fails
+// every waiter of the group, and the logger stays poisoned — subsequent
+// Appends surface the original error via errors.Is.
+func TestGroupErrorFailsWholeGroup(t *testing.T) {
+	errDisk := errors.New("disk gone")
+	f := newTrackingFile()
+	f.failAfter = 0 // first physical write fails
+	f.writeErr = errDisk
+	l := NewLogger(f, true)
+
+	const writers = 4
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = l.Append([]byte(fmt.Sprintf("rec-%d", w)))
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if !errors.Is(err, errDisk) {
+			t.Fatalf("writer %d: err = %v, want wrapped %v", w, err, errDisk)
+		}
+	}
+	// The logger is poisoned: later appends fail fast with the same error.
+	if err := l.Append([]byte("late")); !errors.Is(err, errDisk) {
+		t.Fatalf("post-failure Append = %v, want wrapped %v", err, errDisk)
+	}
+	if err := l.Flush(); !errors.Is(err, errDisk) {
+		t.Fatalf("post-failure Flush = %v, want wrapped %v", err, errDisk)
+	}
+}
+
+// TestFlushBarrierObservesPriorRecords pins the barrier contract under
+// concurrency: every record whose Append returned before Flush was called
+// is durable when Flush returns.
+func TestFlushBarrierObservesPriorRecords(t *testing.T) {
+	f := newTrackingFile()
+	l := NewLogger(f, false) // async: only barriers force syncs
+
+	var mu sync.Mutex
+	enqueued := map[string]bool{}
+
+	const writers = 4
+	const perWriter = 3000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rec := fmt.Sprintf("w%d-r%d", w, i)
+				if err := l.Append([]byte(rec)); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+				mu.Lock()
+				enqueued[rec] = true
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	// Interleave barriers with the producers; each round checks that every
+	// record enqueued before the Flush is durable when it returns.
+	for round := 0; ; round++ {
+		mu.Lock()
+		want := make([]string, 0, len(enqueued))
+		for rec := range enqueued {
+			want = append(want, rec)
+		}
+		mu.Unlock()
+		if err := l.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		durable, _ := f.snapshot()
+		got := readAllRecords(t, durable)
+		for _, rec := range want {
+			if !got[rec] {
+				t.Fatalf("round %d: record %q enqueued before Flush not durable after", round, rec)
+			}
+		}
+		if len(want) == writers*perWriter {
+			break
+		}
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseSyncsEverything pins the Close sweep: every record accepted
+// before Close — including ones the drain picks up only during the final
+// sweep — is synced, not merely written, when Close returns.
+func TestCloseSyncsEverything(t *testing.T) {
+	f := newTrackingFile()
+	l := NewLogger(f, false)
+
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close races the drain for the backlog; whichever path commits it must
+	// leave nothing beyond the durable horizon.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.mu.Lock()
+	written, durable := len(f.data), f.durable
+	f.mu.Unlock()
+	if durable != written {
+		t.Fatalf("Close left %d of %d bytes unsynced", written-durable, written)
+	}
+	got := readAllRecords(t, f.data[:durable])
+	if len(got) != n {
+		t.Fatalf("recovered %d records after Close, want %d", len(got), n)
+	}
+	if err := l.Append([]byte("late")); !errors.Is(err, ErrLoggerClosed) {
+		t.Fatalf("Append after Close = %v, want ErrLoggerClosed", err)
+	}
+}
+
+// TestAppendOwnedTransfersOwnership pins the zero-copy contract: the buffer
+// handed to AppendOwned is written verbatim and recycled, not copied.
+func TestAppendOwnedTransfersOwnership(t *testing.T) {
+	f := newTrackingFile()
+	l := NewLogger(f, true)
+	payload := []byte("owned-record-payload")
+	buf := GetBuf()
+	*buf = append((*buf)[:0], payload...)
+	if err := l.AppendOwned(buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	durable, _ := f.snapshot()
+	if !readAllRecords(t, durable)[string(payload)] {
+		t.Fatal("owned record not recovered")
+	}
+	// The buffer must not still be referenced by a visible queue entry.
+	if l.Pending() != 0 {
+		t.Fatalf("pending = %d after Close", l.Pending())
+	}
+}
+
+// TestWriterQueueMatchesAppend pins that a group of queued records framed
+// by one FlushQueued is byte-identical to the same records written by
+// individual Appends — the on-disk format is unchanged by group commit.
+func TestWriterQueueMatchesAppend(t *testing.T) {
+	recs := [][]byte{
+		[]byte("a"),
+		bytes.Repeat([]byte("b"), BlockSize), // forces fragmentation
+		[]byte("c"),
+	}
+	one := newTrackingFile()
+	w1 := NewWriter(one, false)
+	for _, r := range recs {
+		if err := w1.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grouped := newTrackingFile()
+	w2 := NewWriter(grouped, false)
+	for _, r := range recs {
+		w2.Queue(r)
+	}
+	if w2.Buffered() == 0 {
+		t.Fatal("Queue buffered nothing")
+	}
+	if err := w2.FlushQueued(); err != nil {
+		t.Fatal(err)
+	}
+	if grouped.writes != 1 {
+		t.Fatalf("grouped flush used %d writes, want 1", grouped.writes)
+	}
+	if !bytes.Equal(one.data, grouped.data) {
+		t.Fatal("grouped framing differs from per-record framing")
+	}
+	if w1.Size() != w2.Size() {
+		t.Fatalf("Size mismatch: %d vs %d", w1.Size(), w2.Size())
+	}
+}

@@ -46,6 +46,11 @@ var ErrCorrupt = errors.New("wal: corrupt record")
 
 // Writer appends records to a log file. It is not safe for concurrent use;
 // the engine's Logger (see logger.go) serializes access.
+//
+// Framing and physical I/O are decoupled for group commit: Queue frames a
+// record into an in-memory buffer, FlushQueued pushes everything buffered
+// to the file in one Write. Append remains the immediate one-record form
+// (Queue + FlushQueued) used by the manifest and tests.
 type Writer struct {
 	f         storage.File
 	blockOff  int // offset within the current block
@@ -61,15 +66,30 @@ func NewWriter(f storage.File, syncEvery bool) *Writer {
 
 // Append writes one record (possibly fragmented across blocks).
 func (w *Writer) Append(record []byte) error {
+	w.Queue(record)
+	if err := w.FlushQueued(); err != nil {
+		return err
+	}
+	if w.syncEvery {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// zeroPad is the zero source for block-tail padding (always < headerSize).
+var zeroPad [headerSize]byte
+
+// Queue frames one record (possibly fragmented across blocks) into the
+// write buffer without touching the file. Call FlushQueued to persist the
+// accumulated frames in a single write.
+func (w *Writer) Queue(record []byte) {
 	first := true
 	for {
 		avail := BlockSize - w.blockOff
 		if avail < headerSize {
 			// Pad the block tail with zeros.
 			if avail > 0 {
-				if _, err := w.f.Write(make([]byte, avail)); err != nil {
-					return fmt.Errorf("wal: pad block: %w", err)
-				}
+				w.buf = append(w.buf, zeroPad[:avail]...)
 				w.written += int64(avail)
 			}
 			w.blockOff = 0
@@ -92,22 +112,16 @@ func (w *Writer) Append(record []byte) error {
 		default:
 			t = typeMiddle
 		}
-		if err := w.emit(t, frag); err != nil {
-			return err
-		}
+		w.emit(t, frag)
 		first = false
 		if len(record) == 0 {
-			break
+			return
 		}
 	}
-	if w.syncEvery {
-		return w.f.Sync()
-	}
-	return nil
 }
 
-func (w *Writer) emit(t recordType, frag []byte) error {
-	w.buf = w.buf[:0]
+// emit frames one fragment into the write buffer.
+func (w *Writer) emit(t recordType, frag []byte) {
 	var hdr [headerSize]byte
 	crc := crc32.Checksum([]byte{byte(t)}, castagnoli)
 	crc = crc32.Update(crc, castagnoli, frag)
@@ -116,23 +130,40 @@ func (w *Writer) emit(t recordType, frag []byte) error {
 	hdr[6] = byte(t)
 	w.buf = append(w.buf, hdr[:]...)
 	w.buf = append(w.buf, frag...)
-	if _, err := w.f.Write(w.buf); err != nil {
-		return fmt.Errorf("wal: write fragment: %w", err)
-	}
 	w.blockOff += headerSize + len(frag)
 	w.written += int64(headerSize + len(frag))
+}
+
+// Buffered returns the bytes queued but not yet written to the file.
+func (w *Writer) Buffered() int { return len(w.buf) }
+
+// FlushQueued writes every queued frame to the file in one Write call.
+func (w *Writer) FlushQueued() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	_, err := w.f.Write(w.buf)
+	w.buf = w.buf[:0]
+	if err != nil {
+		return fmt.Errorf("wal: write group: %w", err)
+	}
 	return nil
 }
 
-// Size returns the bytes written so far.
+// Size returns the bytes framed so far (queued frames included).
 func (w *Writer) Size() int64 { return w.written }
 
-// Sync flushes the underlying file.
-func (w *Writer) Sync() error { return w.f.Sync() }
+// Sync pushes queued frames to the file and flushes it to the device.
+func (w *Writer) Sync() error {
+	if err := w.FlushQueued(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
 
-// Close syncs and closes the file.
+// Close flushes, syncs, and closes the file.
 func (w *Writer) Close() error {
-	if err := w.f.Sync(); err != nil {
+	if err := w.Sync(); err != nil {
 		return err
 	}
 	return w.f.Close()

@@ -1,0 +1,48 @@
+#!/bin/sh
+# bench.sh — the write-path benchmark harness. Runs the parallel put/get
+# benchmarks (async, sync-mode group commit, cache-hit reads) across a
+# writer-count sweep and emits BENCH_walgroup.json with the raw `go test
+# -bench` output plus the headline sync-amortization numbers.
+#
+# The key metric is syncs/op in BenchmarkPutSyncParallel: 1.0 means one
+# device sync per record (no grouping — the single-writer baseline);
+# group commit drives it toward 1/group-size as writers are added.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_walgroup.json
+BENCHTIME=${BENCHTIME:-1s}
+CPUS=${CPUS:-1,2,4,8}
+
+RAW=$(go test ./internal/core -run 'XXNONE' \
+	-bench 'Parallel' -benchtime "$BENCHTIME" -cpu "$CPUS" 2>&1)
+printf '%s\n' "$RAW"
+
+printf '%s\n' "$RAW" | awk -v benchtime="$BENCHTIME" -v cpus="$CPUS" '
+BEGIN {
+	printf "{\n  \"benchtime\": \"%s\",\n  \"cpus\": \"%s\",\n", benchtime, cpus
+	printf "  \"results\": [\n"
+	first = 1
+}
+/^Benchmark/ {
+	name = $1
+	nsop = ""; syncsop = ""; bop = ""; allocsop = ""
+	for (i = 2; i <= NF; i++) {
+		if ($(i) == "ns/op") nsop = $(i - 1)
+		if ($(i) == "syncs/op") syncsop = $(i - 1)
+		if ($(i) == "B/op") bop = $(i - 1)
+		if ($(i) == "allocs/op") allocsop = $(i - 1)
+	}
+	if (!first) printf ",\n"
+	first = 0
+	printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, nsop
+	if (syncsop != "") printf ", \"syncs_per_op\": %s", syncsop
+	if (bop != "") printf ", \"bytes_per_op\": %s", bop
+	if (allocsop != "") printf ", \"allocs_per_op\": %s", allocsop
+	printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' > "$OUT"
+
+echo "wrote $OUT"

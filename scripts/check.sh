@@ -1,6 +1,10 @@
 #!/bin/sh
 # check.sh — the PR gate: vet, build, and race-test the packages where
-# concurrency bugs would hide (the observability substrate and the engine).
+# concurrency bugs would hide (the observability substrate, the WAL
+# group-commit engine, the batch codec, and the engine), then run the
+# allocation-regression tests in a separate non-race pass (the race
+# detector's instrumentation allocates, so those tests carry
+# //go:build !race).
 # The full suite is `go test ./...`.
 set -eux
 
@@ -8,4 +12,5 @@ cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
-go test -race ./internal/obs ./internal/core
+go test -race ./internal/obs ./internal/core ./internal/wal ./internal/batch
+go test ./internal/core ./internal/obs -run 'Allocs'
