@@ -143,6 +143,10 @@ func (db *DB) GetSnapshot() (*Snapshot, error) { return db.inner.GetSnapshot() }
 // when done.
 func (db *DB) NewIterator() (*Iterator, error) { return db.inner.NewIterator() }
 
+// Flush synchronously merges the memtable into the disk component. After
+// it returns, every previously acknowledged write is in a sorted table.
+func (db *DB) Flush() error { return db.inner.Flush() }
+
 // CompactRange synchronously flushes the memtable and compacts every level
 // downward, reclaiming shadowed versions and tombstones.
 func (db *DB) CompactRange() error { return db.inner.CompactRange() }

@@ -46,6 +46,12 @@ func (db *DB) flushLoop() {
 // rotateAndFlush performs one full memtable merge cycle. The caller holds
 // flushMu and has verified that no immutable memtable is in flight.
 func (db *DB) rotateAndFlush() error {
+	// A concurrent flush may have drained the memtable between the
+	// caller's size check and its flushMu acquisition; rotating an empty
+	// table would churn WAL files and emit zero-byte flush events.
+	if db.memLen() == 0 {
+		return nil
+	}
 	// Prepare the successor memtable and WAL outside the critical section.
 	logNum := db.versions.NewFileNum()
 	var newLogger *wal.Logger
@@ -299,6 +305,19 @@ func (db *DB) CompactRange() error {
 		}
 	}
 	return nil
+}
+
+// Flush synchronously rotates the memtable and merges it into L0, even
+// below the spill threshold. After Flush returns, every previously
+// acknowledged write is in the disk component.
+func (db *DB) Flush() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if db.memLen() == 0 {
+		return db.backgroundErr()
+	}
+	return db.forceFlush()
 }
 
 func (db *DB) memLen() int {

@@ -99,6 +99,8 @@ func Open(opts Options) (*DB, error) {
 	db.storeBroadcast(&db.immGone)
 	db.storeBroadcast(&db.l0Relaxed)
 
+	db.obs.OrphanFilesRemoved.Add(vs.OrphansRemoved())
+	db.obs.WALTornTails.Add(vs.TornTailsTruncated())
 	db.oracle.Advance(vs.LastTS())
 	if err := db.recoverWAL(); err != nil {
 		vs.Close()

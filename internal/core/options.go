@@ -50,6 +50,15 @@ type Options struct {
 	// Zero disables the sweeper.
 	SnapshotTTL time.Duration
 
+	// StrictWALTail makes recovery treat a torn WAL tail (the normal
+	// debris of a crash mid-append) as hard corruption instead of
+	// truncating it and continuing. Open then fails on any crash image
+	// with a partial final record. This exists as a negative control for
+	// the crash-consistency harness (a correct recovery must tolerate
+	// torn tails, and the harness proves the matrix catches this
+	// misconfiguration); never set it in production.
+	StrictWALTail bool
+
 	// CompactionThreads is the number of concurrent background
 	// compactors (1 everywhere in the paper except the RocksDB-style
 	// Fig. 11 configuration).

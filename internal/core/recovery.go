@@ -32,7 +32,9 @@ func (db *DB) recoverWAL() error {
 		}
 		if num < minLog {
 			// Fully merged before the crash; just clean it up.
-			db.fs.Remove(name)
+			if db.fs.Remove(name) == nil {
+				db.obs.OrphanFilesRemoved.Add(1)
+			}
 			continue
 		}
 		logs = append(logs, num)
@@ -83,9 +85,13 @@ func (db *DB) replayLog(num uint64, mt *memtable.Table) (entries int, maxTS uint
 	}
 	defer src.Close()
 	r := wal.NewReader(src)
+	r.StrictTail = db.opts.StrictWALTail
 	for {
 		rec, err := r.Next()
 		if err == io.EOF {
+			if _, torn := r.TornTail(); torn {
+				db.obs.WALTornTails.Add(1)
+			}
 			return entries, maxTS, nil
 		}
 		if err != nil {
@@ -103,6 +109,7 @@ func (db *DB) replayLog(num uint64, mt *memtable.Table) (entries int, maxTS uint
 				maxTS = e.TS
 			}
 			entries++
+			db.obs.RecoveryRecords.Add(1)
 		}
 	}
 }

@@ -1,0 +1,134 @@
+package crashtest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"clsm/internal/batch"
+	"clsm/internal/core"
+	"clsm/internal/oracle"
+)
+
+// TestConcurrentOracle runs N goroutines of randomized Put/Delete/Get/
+// batch/RMW/Snapshot traffic against one engine, each goroutine mirroring
+// its operations into a private reference model over a disjoint key range
+// (so per-key histories stay exact without cross-goroutine ordering
+// assumptions). Run under -race by scripts/check.sh; the seed is logged so
+// any failure replays with CRASHTEST_SEED.
+func TestConcurrentOracle(t *testing.T) {
+	seed := envInt("CRASHTEST_SEED", 1)
+	ops := int(envInt("CRASHTEST_OPS", 300))
+	if testing.Short() && ops > 150 {
+		ops = 150
+	}
+	const goroutines = 4
+
+	db, err := core.Open(core.Options{
+		// A small memtable keeps flushes and compactions running under
+		// the reads, which is the interleaving worth stressing.
+		MemtableSize: 16 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	errc := make(chan error, goroutines*8)
+	report := func(err error) {
+		select {
+		case errc <- err:
+		default:
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(g)*7919))
+			model := oracle.NewModel()
+			keys := make([]string, 16)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("g%d-k%02d", g, i)
+			}
+			check := func(ctx, key string, got []byte, ok bool, want []byte, wok bool) {
+				if ok != wok || (ok && !bytes.Equal(got, want)) {
+					report(fmt.Errorf("goroutine %d %s key %q: engine %q,%v, model %q,%v (CRASHTEST_SEED=%d)",
+						g, ctx, key, got, ok, want, wok, seed))
+				}
+			}
+			for i := 0; i < ops; i++ {
+				key := keys[rng.Intn(len(keys))]
+				switch r := rng.Intn(100); {
+				case r < 40: // put
+					val := []byte(fmt.Sprintf("g%d-v%06d", g, i))
+					if db.Put([]byte(key), val) != nil {
+						return
+					}
+					model.Begin(0, oracle.Op{Key: key, Value: val})
+				case r < 55: // delete
+					if db.Delete([]byte(key)) != nil {
+						return
+					}
+					model.Begin(0, oracle.Op{Key: key, Tombstone: true})
+				case r < 65: // atomic batch over own keys
+					var b batch.Batch
+					var mops []oracle.Op
+					for j, ki := range rng.Perm(len(keys))[:3] {
+						val := []byte(fmt.Sprintf("g%d-b%06d-%d", g, i, j))
+						b.Put([]byte(keys[ki]), val)
+						mops = append(mops, oracle.Op{Key: keys[ki], Value: val})
+					}
+					if db.Write(&b) != nil {
+						return
+					}
+					model.Begin(0, mops...)
+				case r < 75: // read-modify-write
+					val := []byte(fmt.Sprintf("g%d-r%06d", g, i))
+					if db.RMW([]byte(key), func([]byte, bool) []byte { return val }) != nil {
+						return
+					}
+					model.Begin(0, oracle.Op{Key: key, Value: val})
+				case r < 92: // live get
+					got, ok, err := db.Get([]byte(key))
+					if err != nil {
+						return
+					}
+					want, wok := model.Get(key)
+					check("get", key, got, ok, want, wok)
+				default: // snapshot: own keys must read at their current state
+					type kv struct {
+						key  string
+						val  []byte
+						ok   bool
+					}
+					var expected []kv
+					for _, ki := range rng.Perm(len(keys))[:4] {
+						v, ok := model.Get(keys[ki])
+						expected = append(expected, kv{keys[ki], v, ok})
+					}
+					snap, err := db.GetSnapshot()
+					if err != nil {
+						return
+					}
+					for _, e := range expected {
+						got, ok, err := snap.Get([]byte(e.key))
+						if err != nil {
+							break
+						}
+						check("snapshot", e.key, got, ok, e.val, e.ok)
+					}
+					snap.Close()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

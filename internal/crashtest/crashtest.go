@@ -1,0 +1,385 @@
+// Package crashtest is the crash-consistency harness: it drives a scripted
+// workload against an engine running on a fault-injecting filesystem
+// (internal/faultfs), captures the would-survive-a-power-cut file state at
+// every interesting I/O point, reopens a fresh engine from each captured
+// image, and checks the recovered contents against a mirrored reference
+// model (internal/oracle.Model).
+//
+// Two invariants are enforced at every crash point (docs/CRASH_CONSISTENCY.md):
+//
+//  1. durability — every operation whose WAL sync completed before the
+//     crash is present with the right value;
+//  2. no fabrication — recovery never surfaces a value that was never
+//     written: no torn-record garbage, no half-applied atomic batch.
+//
+// Crash points include torn variants of every sampled sync: the not-yet-
+// durable tail of the file reaches the medium only partially, or with a
+// flipped bit — the failure modes a real device exhibits on power loss.
+package crashtest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"clsm/internal/batch"
+	"clsm/internal/core"
+	"clsm/internal/faultfs"
+	"clsm/internal/obs"
+	"clsm/internal/oracle"
+	"clsm/internal/storage"
+	"clsm/internal/version"
+)
+
+// Config parameterizes one harness run. The zero value is usable; Run
+// fills defaults.
+type Config struct {
+	// Seed drives the workload and every sampling decision derived from it.
+	Seed int64
+	// Ops is the number of workload operations (default 300).
+	Ops int
+	// WriteSampling checks every Nth write crash point (default 5; writes
+	// are by far the most frequent point and individually least
+	// interesting — nothing new became durable).
+	WriteSampling int
+	// SyncSampling checks every Nth sync crash point per file class and
+	// side (default 2). Sampled pre-sync points also get torn variants.
+	SyncSampling int
+	// MemtableSize for the workload engine (default 2 KiB, small enough
+	// that the run exercises flushes, manifest installs and compactions).
+	MemtableSize int64
+	// StrictWALTail configures the recovery engines opened at every crash
+	// point to reject torn WAL tails — the deliberately broken recovery
+	// used as the harness's negative control.
+	StrictWALTail bool
+	// Faults arms an error-injection plan on the workload filesystem.
+	// Injected errors may fail workload operations or poison the engine;
+	// the harness tolerates both and keeps checking the invariants.
+	Faults []faultfs.Rule
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Ops <= 0 {
+		cfg.Ops = 300
+	}
+	if cfg.WriteSampling <= 0 {
+		cfg.WriteSampling = 5
+	}
+	if cfg.SyncSampling <= 0 {
+		cfg.SyncSampling = 2
+	}
+	if cfg.MemtableSize <= 0 {
+		cfg.MemtableSize = 2 << 10
+	}
+	return cfg
+}
+
+// Failure is one invariant violation found at a crash point.
+type Failure struct {
+	Step  uint64 // crash-point id (faultfs step counter)
+	Label string // point classification, e.g. "wal-sync-torn"
+	Err   error
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("step %d [%s]: %v", f.Step, f.Label, f.Err)
+}
+
+// maxFailures bounds the report; checking stops once it is reached.
+const maxFailures = 25
+
+// Report summarizes one harness run.
+type Report struct {
+	Points   int            // crash images checked (durable captures)
+	Torn     int            // torn/bit-flipped variants checked
+	Coverage map[string]int // crash points observed, by label
+	Failures []Failure
+
+	// Aggregated recovery counters across every reopened engine,
+	// proving the repair paths actually ran.
+	TornTailsTruncated uint64
+	RecordsReplayed    uint64
+	OrphansRemoved     uint64
+}
+
+// checker holds the mutable state shared by the hook and the workload.
+type checker struct {
+	cfg   Config
+	model *oracle.Model
+
+	mu      sync.Mutex
+	report  Report
+	sampled map[string]int // per-label sampling counters
+
+	compacting atomic.Int64 // workload compactions in flight
+}
+
+func (c *checker) fail(step uint64, label string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.report.Failures) < maxFailures {
+		c.report.Failures = append(c.report.Failures, Failure{Step: step, Label: label, Err: err})
+	}
+}
+
+func (c *checker) failed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.report.Failures) >= maxFailures
+}
+
+// classify maps a file name to its role in the engine's on-disk layout.
+func classify(name string) string {
+	if name == version.CurrentFileName {
+		return "current"
+	}
+	kind, _, ok := version.ParseFileName(name)
+	if !ok {
+		return "other"
+	}
+	switch kind {
+	case version.KindLog:
+		return "wal"
+	case version.KindTable:
+		return "sst"
+	case version.KindManifest:
+		return "manifest"
+	case version.KindCurrent:
+		return "current"
+	}
+	return "other"
+}
+
+// hook is the faultfs crash-point callback: label the point, decide by
+// per-label counters whether to check it, and run the reopen-and-verify
+// cycle on captured images. It runs with the filesystem mutex held and
+// never calls back into the workload FS.
+func (c *checker) hook(p faultfs.Point) {
+	label := classify(p.Name) + "-" + p.Op.String()
+
+	c.mu.Lock()
+	c.report.Coverage[label]++
+	if c.compacting.Load() > 0 {
+		c.report.Coverage["during-compaction"]++
+	}
+	sampling := 1
+	counterKey := label
+	switch p.Op {
+	case faultfs.OpWrite:
+		sampling = c.cfg.WriteSampling
+	case faultfs.OpSync:
+		sampling = c.cfg.SyncSampling
+		if p.PreSync {
+			counterKey += "|pre"
+		} else {
+			counterKey += "|post"
+		}
+	}
+	n := c.sampled[counterKey]
+	c.sampled[counterKey] = n + 1
+	c.mu.Unlock()
+
+	if n%sampling != 0 || c.failed() {
+		return
+	}
+
+	if p.PreSync {
+		// Power cut an instant before the sync took effect: the durable
+		// image excludes this file's tail and any unbarriered dir ops.
+		c.verify(p.CaptureDurable(), p.Step-1, p.Step, label+"-pre", false)
+		// Torn variants: the device persisted only part of the tail, or
+		// all of it with a flipped bit.
+		if delta := len(p.SyncDelta); delta > 0 {
+			c.verify(p.CaptureTorn(delta/2, -1), p.Step-1, p.Step, label+"-torn", true)
+			c.verify(p.CaptureTorn(delta, int(p.Step*13)%(delta*8)), p.Step-1, p.Step, label+"-flip", true)
+		}
+		return
+	}
+	// Power cut right after the operation (for syncs: after the barrier).
+	c.verify(p.CaptureDurable(), p.Step, p.Step, label, false)
+}
+
+// verify reopens an engine from one captured crash image and checks both
+// invariants for every key the model has seen. cutoff is the step bound
+// used for the required/allowed version sets; step and label identify the
+// point in failure reports.
+func (c *checker) verify(image map[string][]byte, cutoff, step uint64, label string, torn bool) {
+	if image == nil {
+		return
+	}
+	db, err := core.Open(core.Options{
+		FS:            storage.NewMemFSFromSnapshot(image),
+		SyncWrites:    true,
+		StrictWALTail: c.cfg.StrictWALTail,
+		// Large memtable: recovery checking should not trigger its own
+		// background churn.
+		MemtableSize: 8 << 20,
+	})
+	if err != nil {
+		c.fail(step, label, fmt.Errorf("recovery open: %w", err))
+		return
+	}
+	defer db.Close()
+
+	o := db.Observer()
+	c.mu.Lock()
+	c.report.TornTailsTruncated += o.WALTornTails.Load()
+	c.report.RecordsReplayed += o.RecoveryRecords.Load()
+	c.report.OrphansRemoved += o.OrphanFilesRemoved.Load()
+	if torn {
+		c.report.Torn++
+	} else {
+		c.report.Points++
+	}
+	c.mu.Unlock()
+
+	match := make(map[string]int)
+	for _, key := range c.model.Keys() {
+		got, ok, err := db.Get([]byte(key))
+		if err != nil {
+			c.fail(step, label, fmt.Errorf("recovered get %q: %w", key, err))
+			return
+		}
+		idx, verr := c.model.CheckCrash(key, got, ok, cutoff)
+		if verr != nil {
+			c.fail(step, label, verr)
+			continue
+		}
+		match[key] = idx
+	}
+	for _, berr := range c.model.CheckBatchAtomicity(match) {
+		c.fail(step, label, berr)
+	}
+}
+
+// Run executes one harness run and returns its report. The error return is
+// reserved for harness setup problems; invariant violations are reported
+// in Report.Failures.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	fs := faultfs.Wrap(storage.NewMemFS())
+	c := &checker{
+		cfg:     cfg,
+		model:   oracle.NewModel(),
+		sampled: map[string]int{},
+	}
+	c.report.Coverage = map[string]int{}
+	// The hook is armed before Open so the bootstrap sequence (manifest
+	// creation, CURRENT install) is part of the matrix too.
+	fs.SetHook(c.hook)
+	fs.Arm(cfg.Faults...)
+
+	observer := obs.New()
+	observer.Trace.SetSink(func(e obs.Event) {
+		switch e.Type {
+		case obs.EvCompactionStart:
+			c.compacting.Add(1)
+		case obs.EvCompactionEnd:
+			c.compacting.Add(-1)
+		}
+	})
+	db, err := core.Open(core.Options{
+		FS:           fs,
+		SyncWrites:   true,
+		MemtableSize: cfg.MemtableSize,
+		Observer:     observer,
+		Disk: version.Options{
+			// Small tables and an eager L0 trigger so a few hundred ops
+			// reach flushes, manifest installs, and compactions.
+			L0CompactionTrigger: 2,
+			BaseLevelBytes:      16 << 10,
+			TableFileSize:       8 << 10,
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("crashtest: open workload engine: %w", err)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	keyPool := make([]string, 24)
+	for i := range keyPool {
+		keyPool[i] = fmt.Sprintf("key-%02d", i)
+	}
+	// Injected faults can land a write in the memtable yet fail the call,
+	// so live reads are only compared against the model in fault-free runs.
+	checkLive := len(cfg.Faults) == 0
+
+	for i := 0; i < cfg.Ops; i++ {
+		switch r := rng.Intn(100); {
+		case r < 50: // put
+			key := keyPool[rng.Intn(len(keyPool))]
+			val := []byte(fmt.Sprintf("v-%d-%06d", cfg.Seed, i))
+			pend := c.model.Begin(fs.Step(), oracle.Op{Key: key, Value: val})
+			if db.Put([]byte(key), val) == nil {
+				pend.Ack(fs.Step())
+			}
+		case r < 65: // delete
+			key := keyPool[rng.Intn(len(keyPool))]
+			pend := c.model.Begin(fs.Step(), oracle.Op{Key: key, Tombstone: true})
+			if db.Delete([]byte(key)) == nil {
+				pend.Ack(fs.Step())
+			}
+		case r < 80: // atomic batch over 2–4 distinct keys
+			n := 2 + rng.Intn(3)
+			var ops []oracle.Op
+			var b batch.Batch
+			for j, ki := range rng.Perm(len(keyPool))[:n] {
+				key := keyPool[ki]
+				if rng.Intn(4) == 0 {
+					b.Delete([]byte(key))
+					ops = append(ops, oracle.Op{Key: key, Tombstone: true})
+				} else {
+					val := []byte(fmt.Sprintf("b-%d-%06d-%d", cfg.Seed, i, j))
+					b.Put([]byte(key), val)
+					ops = append(ops, oracle.Op{Key: key, Value: val})
+				}
+			}
+			pend := c.model.Begin(fs.Step(), ops...)
+			if db.Write(&b) == nil {
+				pend.Ack(fs.Step())
+			}
+		case r < 92: // live read, checked against the model
+			key := keyPool[rng.Intn(len(keyPool))]
+			got, ok, err := db.Get([]byte(key))
+			if checkLive && err == nil {
+				want, wok := c.model.Get(key)
+				if ok != wok || (ok && !bytes.Equal(got, want)) {
+					c.fail(fs.Step(), "live-get",
+						fmt.Errorf("key %q: live read %q,%v, model %q,%v", key, got, ok, want, wok))
+				}
+			}
+		default: // snapshot spot check on a few keys
+			snap, err := db.GetSnapshot()
+			if err != nil {
+				break
+			}
+			for _, ki := range rng.Perm(len(keyPool))[:3] {
+				key := keyPool[ki]
+				got, ok, err := snap.Get([]byte(key))
+				if checkLive && err == nil {
+					want, wok := c.model.Get(key)
+					if ok != wok || (ok && !bytes.Equal(got, want)) {
+						c.fail(fs.Step(), "snapshot-get",
+							fmt.Errorf("key %q: snapshot read %q,%v, model %q,%v", key, got, ok, want, wok))
+					}
+				}
+			}
+			snap.Close()
+		}
+		// Scripted structural operations so the matrix reliably covers
+		// flush and full-compaction I/O regardless of the random mix.
+		if i > 0 && i%60 == 0 {
+			db.Flush() // errors tolerated in fault runs
+		}
+		if i > 0 && i%130 == 0 {
+			db.CompactRange()
+		}
+	}
+	db.Close() // errors tolerated: a poisoned engine still left a valid image
+
+	// The final durable image must recover like any other crash point.
+	c.verify(fs.DurableSnapshot(), fs.Step(), fs.Step(), "final", false)
+	return &c.report, nil
+}

@@ -1,0 +1,469 @@
+// Package faultfs wraps a storage.FS with deterministic fault injection
+// and power-loss simulation for crash-consistency testing.
+//
+// Two orthogonal mechanisms are provided:
+//
+//   - Fault plans: Arm installs rules that fire on the Nth operation of a
+//     given kind matching a file-name pattern — an injected error, a torn
+//     write (only a prefix reaches the file), or a silent bit flip. Rules
+//     are counted deterministically, so a (seed → rules) derivation replays
+//     exactly.
+//
+//   - Power-cut tracking: the wrapper maintains, alongside the live inner
+//     filesystem, the durable image — what would survive if power were cut
+//     right now. File content becomes durable only when the file is synced;
+//     directory operations (create, rename, remove, whole-file writes)
+//     become durable at the next successful Sync of ANY file (the "sync
+//     barrier", modeling a journaling filesystem that orders metadata on
+//     flush). A hook observes every mutating operation as a crash point and
+//     can capture the durable image, including torn variants in which the
+//     tail being synced reaches the medium only partially or corrupted.
+//
+// The wrapper is transparent when no rules are armed: every operation is
+// forwarded to the inner FS unchanged (power-cut bookkeeping is passive).
+package faultfs
+
+import (
+	"errors"
+	"path"
+	"sync"
+	"sync/atomic"
+
+	"clsm/internal/storage"
+)
+
+// ErrInjected is the error returned by operations failed by a fault rule.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Op enumerates the intercepted mutating filesystem operations.
+type Op uint8
+
+// Intercepted operations. Read-side operations (Open, ReadFile, List) pass
+// through unfaulted: the engine's durability story is about writes.
+const (
+	OpCreate Op = iota
+	OpWrite
+	OpSync
+	OpRename
+	OpRemove
+	OpWriteFile
+	NumOps
+)
+
+// String names the op for labels and test output.
+func (o Op) String() string {
+	switch o {
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpWriteFile:
+		return "writefile"
+	}
+	return "unknown"
+}
+
+// FaultKind selects what an armed rule does when it fires.
+type FaultKind uint8
+
+const (
+	// FaultErr fails the operation with ErrInjected; no state changes.
+	FaultErr FaultKind = iota
+	// FaultTornWrite (OpWrite only) persists the first TornLen bytes of
+	// the write, then fails with ErrInjected — a write the device cut
+	// short.
+	FaultTornWrite
+	// FaultBitFlip (OpWrite only) persists the full write with bit FlipBit
+	// inverted and reports success — silent medium corruption.
+	FaultBitFlip
+)
+
+// Rule arms one deterministic fault: the Nth operation of kind Op whose
+// file name matches Pattern (a path.Match glob; empty matches everything)
+// fires Kind. A fired rule is spent and never fires again.
+type Rule struct {
+	Op      Op
+	Pattern string
+	N       int // 1-based match count at which the rule fires
+	Kind    FaultKind
+	TornLen int // FaultTornWrite: bytes of the write that reach the file
+	FlipBit int // FaultBitFlip: bit index within the write buffer to invert
+
+	hits  int
+	spent bool
+}
+
+// Point describes one mutating filesystem operation as a crash point. For
+// Sync operations the hook is called twice: once with PreSync set, before
+// the sync takes effect (the torn-write window — SyncDelta holds the
+// not-yet-durable tail of the file, valid only during the call), and once
+// after the barrier applied.
+type Point struct {
+	Step      uint64
+	Op        Op
+	Name      string
+	PreSync   bool
+	SyncDelta []byte
+	fs        *FS
+}
+
+// Hook observes crash points. It is invoked synchronously with the
+// filesystem's mutex held: it may call the Point capture methods (and slow
+// work like reopening a different FS is fine), but it must not call back
+// into this FS.
+type Hook func(Point)
+
+// CaptureDurable deep-copies the durable image at this point: exactly the
+// files and bytes that survive a power cut here.
+func (p Point) CaptureDurable() map[string][]byte {
+	return p.fs.captureLocked(false, "", nil)
+}
+
+// CaptureTorn builds a torn crash image for a PreSync point: the durable
+// image with pending directory operations applied (the barrier was
+// mid-flight) and only the first keep bytes of the sync's delta appended to
+// the file; flipBit >= 0 additionally inverts that bit within the appended
+// tail. It returns nil for non-PreSync points or an empty delta.
+func (p Point) CaptureTorn(keep, flipBit int) map[string][]byte {
+	if !p.PreSync || len(p.SyncDelta) == 0 {
+		return nil
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > len(p.SyncDelta) {
+		keep = len(p.SyncDelta)
+	}
+	tail := append([]byte(nil), p.SyncDelta[:keep]...)
+	if flipBit >= 0 && len(tail) > 0 {
+		tail[(flipBit/8)%len(tail)] ^= 1 << (flipBit % 8)
+	}
+	return p.fs.captureLocked(true, p.Name, tail)
+}
+
+// fileState mirrors one live file's content and its synced prefix.
+type fileState struct {
+	data      []byte
+	syncedLen int
+}
+
+// dirOp is a directory operation awaiting a sync barrier.
+type dirOp struct {
+	op            Op
+	name, newname string
+	data          []byte // OpWriteFile payload
+}
+
+// FS is the fault-injecting wrapper. All methods are safe for concurrent
+// use; a single mutex serializes mutating operations, which also gives
+// crash points a total order (the step counter).
+type FS struct {
+	inner storage.FS
+
+	mu      sync.Mutex
+	step    atomic.Uint64
+	state   map[string]*fileState
+	durable map[string][]byte
+	pending []dirOp
+	rules   []*Rule
+	hook    Hook
+}
+
+// Wrap builds a fault-injecting wrapper around inner. Existing files are
+// imported as fully durable.
+func Wrap(inner storage.FS) *FS {
+	fs := &FS{
+		inner:   inner,
+		state:   map[string]*fileState{},
+		durable: map[string][]byte{},
+	}
+	if names, err := inner.List(); err == nil {
+		for _, name := range names {
+			if data, err := inner.ReadFile(name); err == nil {
+				fs.state[name] = &fileState{data: data, syncedLen: len(data)}
+				fs.durable[name] = append([]byte(nil), data...)
+			}
+		}
+	}
+	return fs
+}
+
+// Arm installs fault rules (appending to any already armed).
+func (fs *FS) Arm(rules ...Rule) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for i := range rules {
+		r := rules[i]
+		fs.rules = append(fs.rules, &r)
+	}
+}
+
+// SetHook installs (or with nil removes) the crash-point hook.
+func (fs *FS) SetHook(h Hook) {
+	fs.mu.Lock()
+	fs.hook = h
+	fs.mu.Unlock()
+}
+
+// Step returns the id of the most recent crash point. Monotone; safe to
+// read without holding any lock.
+func (fs *FS) Step() uint64 { return fs.step.Load() }
+
+// DurableSnapshot captures the current durable image (what a power cut
+// right now would leave behind).
+func (fs *FS) DurableSnapshot() map[string][]byte {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.captureLocked(false, "", nil)
+}
+
+// nextStep allocates the next crash-point id. Caller holds fs.mu.
+func (fs *FS) nextStep() uint64 { return fs.step.Add(1) }
+
+// match counts op against the armed rules and returns the rule that fires
+// now, if any. Caller holds fs.mu.
+func (fs *FS) match(op Op, name string) *Rule {
+	for _, r := range fs.rules {
+		if r.spent || r.Op != op {
+			continue
+		}
+		if r.Pattern != "" {
+			if ok, _ := path.Match(r.Pattern, name); !ok {
+				continue
+			}
+		}
+		r.hits++
+		if r.hits == r.N {
+			r.spent = true
+			return r
+		}
+	}
+	return nil
+}
+
+// fire invokes the hook. Caller holds fs.mu.
+func (fs *FS) fire(p Point) {
+	if fs.hook != nil {
+		p.fs = fs
+		fs.hook(p)
+	}
+}
+
+// applyBarrierLocked makes every pending directory operation durable, in
+// order. Caller holds fs.mu.
+func (fs *FS) applyBarrierLocked() {
+	applyDirOps(fs.durable, fs.pending)
+	fs.pending = fs.pending[:0]
+}
+
+func applyDirOps(durable map[string][]byte, pending []dirOp) {
+	for _, op := range pending {
+		switch op.op {
+		case OpCreate:
+			durable[op.name] = []byte{}
+		case OpRename:
+			if d, ok := durable[op.name]; ok {
+				durable[op.newname] = d
+				delete(durable, op.name)
+			}
+		case OpRemove:
+			delete(durable, op.name)
+		case OpWriteFile:
+			durable[op.name] = append([]byte(nil), op.data...)
+		}
+	}
+}
+
+// captureLocked deep-copies the durable image. With applyPending set it
+// additionally applies the pending directory operations to the copy and,
+// when tornName is non-empty, appends tornTail to that file's content (the
+// CaptureTorn semantics). Called from hook context or under fs.mu.
+func (fs *FS) captureLocked(applyPending bool, tornName string, tornTail []byte) map[string][]byte {
+	out := make(map[string][]byte, len(fs.durable)+1)
+	for name, data := range fs.durable {
+		out[name] = append([]byte(nil), data...)
+	}
+	if applyPending {
+		applyDirOps(out, fs.pending)
+	}
+	if tornName != "" {
+		out[tornName] = append(out[tornName], tornTail...)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// storage.FS implementation
+
+// Create implements storage.FS.
+func (fs *FS) Create(name string) (storage.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	step := fs.nextStep()
+	if r := fs.match(OpCreate, name); r != nil {
+		return nil, ErrInjected
+	}
+	f, err := fs.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	st := &fileState{}
+	fs.state[name] = st
+	fs.pending = append(fs.pending, dirOp{op: OpCreate, name: name})
+	fs.fire(Point{Step: step, Op: OpCreate, Name: name})
+	return &file{fs: fs, name: name, f: f, st: st}, nil
+}
+
+// Open implements storage.FS (pass-through: reads see the live state).
+func (fs *FS) Open(name string) (storage.RandomReader, error) { return fs.inner.Open(name) }
+
+// ReadFile implements storage.FS (pass-through).
+func (fs *FS) ReadFile(name string) ([]byte, error) { return fs.inner.ReadFile(name) }
+
+// List implements storage.FS (pass-through).
+func (fs *FS) List() ([]string, error) { return fs.inner.List() }
+
+// Remove implements storage.FS.
+func (fs *FS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	step := fs.nextStep()
+	if r := fs.match(OpRemove, name); r != nil {
+		return ErrInjected
+	}
+	if err := fs.inner.Remove(name); err != nil {
+		return err
+	}
+	delete(fs.state, name)
+	fs.pending = append(fs.pending, dirOp{op: OpRemove, name: name})
+	fs.fire(Point{Step: step, Op: OpRemove, Name: name})
+	return nil
+}
+
+// Rename implements storage.FS.
+func (fs *FS) Rename(oldname, newname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	step := fs.nextStep()
+	if r := fs.match(OpRename, oldname); r != nil {
+		return ErrInjected
+	}
+	if err := fs.inner.Rename(oldname, newname); err != nil {
+		return err
+	}
+	if st, ok := fs.state[oldname]; ok {
+		fs.state[newname] = st
+		delete(fs.state, oldname)
+	}
+	fs.pending = append(fs.pending, dirOp{op: OpRename, name: oldname, newname: newname})
+	fs.fire(Point{Step: step, Op: OpRename, Name: oldname})
+	return nil
+}
+
+// WriteFile implements storage.FS. The write is atomic (the durable image
+// holds either the old or the new content, never a mix) but not durable
+// until the next sync barrier — the rename-into-place contract of a real
+// filesystem without a directory fsync.
+func (fs *FS) WriteFile(name string, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	step := fs.nextStep()
+	if r := fs.match(OpWriteFile, name); r != nil {
+		return ErrInjected
+	}
+	if err := fs.inner.WriteFile(name, data); err != nil {
+		return err
+	}
+	cp := append([]byte(nil), data...)
+	fs.state[name] = &fileState{data: cp, syncedLen: len(cp)}
+	fs.pending = append(fs.pending, dirOp{op: OpWriteFile, name: name, data: cp})
+	fs.fire(Point{Step: step, Op: OpWriteFile, Name: name})
+	return nil
+}
+
+// file wraps one sequential-write handle.
+type file struct {
+	fs   *FS
+	name string
+	f    storage.File
+	st   *fileState
+}
+
+// Write implements storage.File.
+func (f *file) Write(p []byte) (int, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	step := fs.nextStep()
+	if r := fs.match(OpWrite, f.name); r != nil {
+		switch r.Kind {
+		case FaultTornWrite:
+			keep := r.TornLen
+			if keep > len(p) {
+				keep = len(p)
+			}
+			if keep > 0 {
+				n, err := f.f.Write(p[:keep])
+				f.st.data = append(f.st.data, p[:n]...)
+				if err != nil {
+					return n, err
+				}
+			}
+			return keep, ErrInjected
+		case FaultBitFlip:
+			c := append([]byte(nil), p...)
+			c[(r.FlipBit/8)%len(c)] ^= 1 << (r.FlipBit % 8)
+			n, err := f.f.Write(c)
+			f.st.data = append(f.st.data, c[:n]...)
+			if err != nil {
+				return n, err
+			}
+			// Silent corruption: the caller sees success.
+			fs.fire(Point{Step: step, Op: OpWrite, Name: f.name})
+			return len(p), nil
+		default:
+			return 0, ErrInjected
+		}
+	}
+	n, err := f.f.Write(p)
+	f.st.data = append(f.st.data, p[:n]...)
+	if err != nil {
+		return n, err
+	}
+	fs.fire(Point{Step: step, Op: OpWrite, Name: f.name})
+	return n, nil
+}
+
+// Sync implements storage.File: on success the file's full content becomes
+// durable and every pending directory operation is committed (the sync
+// barrier).
+func (f *file) Sync() error {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	step := fs.nextStep()
+	if r := fs.match(OpSync, f.name); r != nil {
+		return ErrInjected
+	}
+	fs.fire(Point{
+		Step: step, Op: OpSync, Name: f.name,
+		PreSync: true, SyncDelta: f.st.data[f.st.syncedLen:],
+	})
+	if err := f.f.Sync(); err != nil {
+		return err
+	}
+	fs.applyBarrierLocked()
+	fs.durable[f.name] = append([]byte(nil), f.st.data...)
+	f.st.syncedLen = len(f.st.data)
+	fs.fire(Point{Step: step, Op: OpSync, Name: f.name})
+	return nil
+}
+
+// Close implements storage.File (pass-through; closing does not sync).
+func (f *file) Close() error { return f.f.Close() }

@@ -40,6 +40,9 @@ func (o *Observer) Snapshot() Snapshot {
 	s.Counters["write_stalls"] = o.WriteStalls.Load()
 	s.Counters["compaction_tables"] = o.CompactionTables.Load()
 	s.Counters["compaction_dropped"] = o.CompactionDropped.Load()
+	s.Counters["wal_torn_tail_truncated"] = o.WALTornTails.Load()
+	s.Counters["recovery_records_replayed"] = o.RecoveryRecords.Load()
+	s.Counters["orphan_files_removed"] = o.OrphanFilesRemoved.Load()
 	s.WALGroupSize = o.WALGroupSize.ValueSnapshot()
 	s.Events = o.Trace.Events()
 	return s

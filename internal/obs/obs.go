@@ -65,6 +65,12 @@ type Observer struct {
 	CompactionTables  Counter // output tables written by flushes+compactions
 	CompactionDropped Counter // entries garbage-collected during merges
 
+	// Recovery counters, bumped while Open replays the previous
+	// incarnation's state (see docs/CRASH_CONSISTENCY.md).
+	WALTornTails       Counter // torn WAL/manifest tails truncated during replay
+	RecoveryRecords    Counter // WAL entries replayed into the recovery memtable
+	OrphanFilesRemoved Counter // unreferenced files (sstables, manifests, stale WALs) deleted on open
+
 	// WALGroupSize distributes the number of records committed per WAL
 	// group: the amortization factor of group commit. A p50 near 1 means
 	// the drain is keeping up record-by-record; large values mean heavy

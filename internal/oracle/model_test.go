@@ -1,0 +1,100 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestModelGet(t *testing.T) {
+	m := NewModel()
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("empty model returned a value")
+	}
+	m.Begin(1, Op{Key: "a", Value: []byte("v1")}).Ack(2)
+	m.Begin(3, Op{Key: "a", Value: []byte("v2")}).Ack(4)
+	if v, ok := m.Get("a"); !ok || string(v) != "v2" {
+		t.Fatalf("Get = %q,%v, want v2,true", v, ok)
+	}
+	m.Begin(5, Op{Key: "a", Tombstone: true}).Ack(6)
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("deleted key still visible")
+	}
+}
+
+func TestCheckCrashInvariants(t *testing.T) {
+	build := func() *Model {
+		m := NewModel()
+		m.Begin(1, Op{Key: "a", Value: []byte("v1")}).Ack(2)  // acked at 2
+		m.Begin(3, Op{Key: "a", Value: []byte("v2")})         // never acked
+		m.Begin(5, Op{Key: "a", Tombstone: true}).Ack(6)      // delete acked at 6
+		return m
+	}
+	cases := []struct {
+		name    string
+		got     string
+		ok      bool
+		cutoff  uint64
+		wantIdx int
+		wantErr string // substring, "" = pass
+	}{
+		{"required-v1", "v1", true, 2, 0, ""},
+		{"unacked-may-appear", "v2", true, 4, 1, ""},
+		{"unacked-may-be-absent-via-v1", "v1", true, 4, 0, ""},
+		{"pre-start-absent-ok", "", false, 0, -1, ""},
+		{"lost-acked-write", "", false, 2, 0, "durably acked"},
+		{"stale-after-ack", "v1", true, 6, 0, "stale"},
+		{"acked-delete-absent", "", false, 6, 2, ""},
+		{"fabricated", "vX", true, 2, 0, "fabricated"},
+		{"future-value", "v2", true, 2, 0, "fabricated"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := build()
+			idx, err := m.CheckCrash("a", []byte(tc.got), tc.ok, tc.cutoff)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected violation: %v", err)
+				}
+				if idx != tc.wantIdx {
+					t.Fatalf("matchIdx = %d, want %d", idx, tc.wantIdx)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestCheckBatchAtomicity(t *testing.T) {
+	m := NewModel()
+	m.Begin(1, Op{Key: "x", Value: []byte("x0")}).Ack(2)
+	m.Begin(3, // batch: x→x1, y→y1
+		Op{Key: "x", Value: []byte("x1")},
+		Op{Key: "y", Value: []byte("y1")},
+	).Ack(4)
+
+	// Consistent: both members recovered (x idx 1, y idx 0).
+	if errs := m.CheckBatchAtomicity(map[string]int{"x": 1, "y": 0}); len(errs) != 0 {
+		t.Fatalf("false positive: %v", errs)
+	}
+	// Consistent: neither member recovered (x shows pre-batch x0, y absent).
+	if errs := m.CheckBatchAtomicity(map[string]int{"x": 0, "y": -1}); len(errs) != 0 {
+		t.Fatalf("false positive: %v", errs)
+	}
+	// Split: x shows the batch value, y still pre-batch.
+	errs := m.CheckBatchAtomicity(map[string]int{"x": 1, "y": -1})
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "split") {
+		t.Fatalf("split batch not detected: %v", errs)
+	}
+}
+
+func TestModelKeys(t *testing.T) {
+	m := NewModel()
+	m.Begin(1, Op{Key: "b"}, Op{Key: "a"})
+	got := m.Keys()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Keys = %v", got)
+	}
+}

@@ -318,6 +318,31 @@ func (fs *MemFS) WriteFile(name string, data []byte) error {
 	return nil
 }
 
+// Snapshot returns a deep copy of the filesystem image: every file name
+// mapped to its current content. Used by the crash-consistency harness to
+// freeze and later rehydrate on-disk states.
+func (fs *MemFS) Snapshot() map[string][]byte {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make(map[string][]byte, len(fs.files))
+	for name, f := range fs.files {
+		f.mu.RLock()
+		out[name] = append([]byte(nil), f.data...)
+		f.mu.RUnlock()
+	}
+	return out
+}
+
+// NewMemFSFromSnapshot builds a MemFS holding a deep copy of image, the
+// inverse of Snapshot.
+func NewMemFSFromSnapshot(image map[string][]byte) *MemFS {
+	fs := NewMemFS()
+	for name, data := range image {
+		fs.files[name] = &memFile{data: append([]byte(nil), data...)}
+	}
+	return fs
+}
+
 // TotalSize reports the bytes held across all files (tests, metrics).
 func (fs *MemFS) TotalSize() int64 {
 	fs.mu.RLock()

@@ -72,6 +72,14 @@ type Set struct {
 	lastTS       uint64 // recovered timestamp high-water mark
 	compactPtr   [NumLevels][]byte
 	pendingSeeks *syncutil.Queue[seekHint]
+
+	// orphans counts unreferenced files deleted during Open (crash
+	// leftovers: sstables written but never installed, superseded
+	// manifests). tornTails counts manifests whose final record was cut
+	// short by a crash and logically truncated during recovery. The
+	// engine folds both into obs on startup.
+	orphans   atomic.Uint64
+	tornTails atomic.Uint64
 }
 
 type seekHint struct {
@@ -100,7 +108,14 @@ func Open(fs storage.FS, blocks *cache.Cache, opts Options) (*Set, error) {
 func (s *Set) createFresh() error {
 	v := newVersion(s)
 	s.current.Store(v)
-	return s.rollManifest()
+	if err := s.rollManifest(); err != nil {
+		return err
+	}
+	// A crash between writing an sstable (or manifest) and making CURRENT
+	// durable leaves orphans in a directory with no CURRENT; sweep them so
+	// they cannot collide with freshly allocated file numbers.
+	s.cleanupObsolete()
+	return nil
 }
 
 // recover replays the named manifest into a fresh Version.
@@ -118,6 +133,9 @@ func (s *Set) recover(manifestName string) error {
 	for {
 		rec, err := r.Next()
 		if err == io.EOF {
+			if _, torn := r.TornTail(); torn {
+				s.tornTails.Add(1)
+			}
 			break
 		}
 		if err != nil {
@@ -214,6 +232,12 @@ func (s *Set) LastTS() uint64 {
 	defer s.mu.Unlock()
 	return s.lastTS
 }
+
+// OrphansRemoved reports how many unreferenced files Open deleted.
+func (s *Set) OrphansRemoved() uint64 { return s.orphans.Load() }
+
+// TornTailsTruncated reports how many torn manifest tails recovery cut.
+func (s *Set) TornTailsTruncated() uint64 { return s.tornTails.Load() }
 
 // Tables exposes the shared table cache.
 func (s *Set) Tables() *TableCache { return s.tables }
@@ -412,11 +436,15 @@ func (s *Set) cleanupObsolete() {
 		switch kind {
 		case KindTable:
 			if !live[num] {
-				s.fs.Remove(name)
+				if s.fs.Remove(name) == nil {
+					s.orphans.Add(1)
+				}
 			}
 		case KindManifest:
 			if num != s.manifestNum {
-				s.fs.Remove(name)
+				if s.fs.Remove(name) == nil {
+					s.orphans.Add(1)
+				}
 			}
 		}
 	}

@@ -169,10 +169,22 @@ func (w *Writer) Close() error {
 	return w.f.Close()
 }
 
-// Reader iterates the records of a log file. A truncated tail — the normal
-// result of a crash mid-write — terminates iteration with io.EOF rather
-// than an error; genuine corruption inside the file surfaces as ErrCorrupt
-// (the caller may choose to stop or to skip to the next block).
+// Reader iterates the records of a log file, distinguishing three ways a
+// log can end:
+//
+//   - clean EOF: the file ends exactly at a record boundary (possibly
+//     followed by zero padding). Next returns io.EOF, TornTail reports
+//     false.
+//   - torn tail: the final block holds a partial or checksum-failing
+//     fragment — the normal result of a crash mid-write or of a device
+//     persisting only a prefix of the last write. Iteration stops before
+//     the damage with io.EOF and TornTail reports true with the offset of
+//     the intact prefix; the caller logically truncates there and
+//     continues. With StrictTail set, a torn tail surfaces as ErrCorrupt
+//     instead (crash-harness negative control; never set in production).
+//   - mid-file corruption: a framing or checksum failure before the final
+//     block cannot be crash debris (earlier blocks were fully written) and
+//     surfaces as ErrCorrupt.
 type Reader struct {
 	src    storage.RandomReader
 	off    int64
@@ -181,6 +193,13 @@ type Reader struct {
 	blockN int // valid bytes in block
 	pos    int // cursor within block
 	rec    []byte
+
+	// StrictTail makes a torn tail a hard ErrCorrupt instead of a silent
+	// truncation point. Set before the first Next call.
+	StrictTail bool
+
+	torn    bool
+	tornOff int64
 }
 
 // NewReader opens a log file for sequential record iteration.
@@ -188,19 +207,49 @@ func NewReader(src storage.RandomReader) *Reader {
 	return &Reader{src: src, size: src.Size()}
 }
 
+// TornTail reports whether iteration ended at a torn tail rather than a
+// clean record boundary, and the file offset of the intact prefix (the
+// logical truncation point). Meaningful once Next has returned io.EOF.
+func (r *Reader) TornTail() (off int64, torn bool) { return r.tornOff, r.torn }
+
+// tornEOF marks the torn-tail truncation point at file offset off and ends
+// iteration: io.EOF normally, ErrCorrupt under StrictTail.
+func (r *Reader) tornEOF(off int64) error {
+	if !r.torn {
+		r.torn, r.tornOff = true, off
+	}
+	if r.StrictTail {
+		return fmt.Errorf("%w: torn tail at offset %d", ErrCorrupt, off)
+	}
+	return io.EOF
+}
+
+// blockStart is the file offset of the currently loaded block.
+func (r *Reader) blockStart() int64 { return r.off - int64(r.blockN) }
+
+// finalBlock reports whether the loaded block is the file's last.
+func (r *Reader) finalBlock() bool { return r.off >= r.size }
+
 // Next returns the next record, io.EOF at the end of the intact prefix, or
-// ErrCorrupt for a mid-file checksum failure.
+// ErrCorrupt for mid-file corruption. After io.EOF, TornTail tells whether
+// the prefix ended cleanly or at crash debris.
 func (r *Reader) Next() ([]byte, error) {
 	r.rec = r.rec[:0]
 	expectContinuation := false
+	recStart := int64(-1)
 	for {
+		fragOff := r.blockStart() + int64(r.pos)
 		t, frag, err := r.nextFragment()
 		if err != nil {
 			if err == io.EOF && expectContinuation {
-				// Crash mid-record: the partial record is discarded.
-				return nil, io.EOF
+				// Crash mid-record: the partial record is discarded and the
+				// log is truncated at the record's first fragment.
+				return nil, r.tornEOF(recStart)
 			}
 			return nil, err
+		}
+		if recStart < 0 {
+			recStart = fragOff
 		}
 		switch t {
 		case typeFull:
@@ -233,7 +282,16 @@ func (r *Reader) Next() ([]byte, error) {
 func (r *Reader) nextFragment() (recordType, []byte, error) {
 	for {
 		if r.blockN-r.pos < headerSize {
-			// Remaining bytes are padding; load the next block.
+			// Too few bytes for a header. A legitimate writer zero-pads a
+			// block tail, so nonzero residue in the final block is a
+			// partially persisted header: a torn tail.
+			if r.finalBlock() {
+				for i := r.pos; i < r.blockN; i++ {
+					if r.block[i] != 0 {
+						return 0, nil, r.tornEOF(r.blockStart() + int64(r.pos))
+					}
+				}
+			}
 			if err := r.loadBlock(); err != nil {
 				return 0, nil, err
 			}
@@ -249,21 +307,29 @@ func (r *Reader) nextFragment() (recordType, []byte, error) {
 			}
 			continue
 		}
+		fragOff := r.blockStart() + int64(r.pos)
 		if r.pos+headerSize+length > r.blockN {
-			// Fragment extends past the valid data: truncated tail.
-			return 0, nil, io.EOF
+			// Fragment extends past the valid data. In the final block that
+			// is a write the device cut short (torn tail); earlier it is
+			// framing garbage (every non-final block was fully written).
+			if r.finalBlock() {
+				return 0, nil, r.tornEOF(fragOff)
+			}
+			return 0, nil, fmt.Errorf("%w: fragment overruns block at offset %d", ErrCorrupt, fragOff)
 		}
 		frag := r.block[r.pos+headerSize : r.pos+headerSize+length]
 		wantCRC := binary.LittleEndian.Uint32(hdr[0:4])
 		crc := crc32.Checksum([]byte{byte(t)}, castagnoli)
 		crc = crc32.Update(crc, castagnoli, frag)
 		if crc != wantCRC {
-			if r.off >= r.size && r.blockN < BlockSize {
-				// Corruption in the final, partial block: treat as a
-				// truncated tail.
-				return 0, nil, io.EOF
+			if r.finalBlock() {
+				// Checksum failure in the final block: indistinguishable
+				// from a torn write, so truncate there (LevelDB does the
+				// same). Synced data is never affected — it always lies
+				// before the damage in this block.
+				return 0, nil, r.tornEOF(fragOff)
 			}
-			return 0, nil, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, r.off-int64(r.blockN)+int64(r.pos))
+			return 0, nil, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, fragOff)
 		}
 		r.pos += headerSize + length
 		return t, frag, nil

@@ -143,6 +143,133 @@ func TestTruncatedTail(t *testing.T) {
 	}
 }
 
+// drainReader iterates src to the end and returns the record count, the
+// terminal error (nil when iteration ended with io.EOF), and the reader for
+// TornTail inspection.
+func drainReader(src storage.RandomReader, strict bool) (n int, err error, r *Reader) {
+	r = NewReader(src)
+	r.StrictTail = strict
+	for {
+		_, err = r.Next()
+		if err != nil {
+			if err == io.EOF {
+				err = nil
+			}
+			return n, err, r
+		}
+		n++
+	}
+}
+
+// TestTailClassification pins the three-way distinction of log endings:
+// clean EOF, torn tail (truncate and continue), and mid-file corruption
+// (hard failure).
+func TestTailClassification(t *testing.T) {
+	fs := storage.NewMemFS()
+	recs := [][]byte{[]byte("alpha"), []byte("beta"), bytes.Repeat([]byte("c"), 300)}
+	writeLog(t, fs, "l", recs)
+	data, _ := fs.ReadFile("l")
+
+	cases := []struct {
+		name     string
+		mutate   func([]byte) []byte
+		wantRecs int
+		wantTorn bool
+		wantErr  bool
+	}{
+		{"clean-eof", func(b []byte) []byte { return b }, 3, false, false},
+		{"clean-eof-zero-padded", func(b []byte) []byte {
+			return append(b, make([]byte, 11)...) // tail < headerSize, all zero
+		}, 3, false, false},
+		{"torn-last-byte", func(b []byte) []byte { return b[:len(b)-1] }, 2, true, false},
+		{"torn-mid-fragment", func(b []byte) []byte { return b[:len(b)-100] }, 2, true, false},
+		{"torn-partial-header", func(b []byte) []byte {
+			return b[:len(b)-300-4] // 3 bytes of record 2's header remain
+		}, 2, true, false},
+		{"torn-bitflip-tail", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-5] ^= 0x40 // payload of the final record
+			return c
+		}, 2, true, false},
+		{"corrupt-mid-file", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[headerSize+1] ^= 0x40 // payload of record 0 ...
+			// ... followed by a full block so the damage is not in the
+			// final block.
+			return append(c, make([]byte, BlockSize)...)
+		}, 0, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs.WriteFile("m", tc.mutate(data))
+			src, _ := fs.Open("m")
+			defer src.Close()
+			n, err, r := drainReader(src, false)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("want ErrCorrupt, got nil after %d records", n)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if n != tc.wantRecs {
+				t.Errorf("got %d records, want %d", n, tc.wantRecs)
+			}
+			if _, torn := r.TornTail(); torn != tc.wantTorn {
+				t.Errorf("TornTail = %v, want %v", torn, tc.wantTorn)
+			}
+		})
+	}
+}
+
+// TestStrictTail verifies the crash-harness negative-control switch: a torn
+// tail that normal iteration truncates becomes a hard error.
+func TestStrictTail(t *testing.T) {
+	fs := storage.NewMemFS()
+	writeLog(t, fs, "l", [][]byte{[]byte("alpha"), []byte("beta")})
+	data, _ := fs.ReadFile("l")
+	fs.WriteFile("t", data[:len(data)-2])
+
+	src, _ := fs.Open("t")
+	n, err, _ := drainReader(src, false)
+	src.Close()
+	if err != nil || n != 1 {
+		t.Fatalf("lenient: got n=%d err=%v, want 1 record and truncation", n, err)
+	}
+
+	src, _ = fs.Open("t")
+	n, err, _ = drainReader(src, true)
+	src.Close()
+	if err == nil {
+		t.Fatalf("strict: torn tail accepted (%d records)", n)
+	}
+}
+
+// TestTornTailOffset verifies the reported truncation offset delimits
+// exactly the intact prefix.
+func TestTornTailOffset(t *testing.T) {
+	fs := storage.NewMemFS()
+	recs := [][]byte{bytes.Repeat([]byte("x"), 50), bytes.Repeat([]byte("y"), 60)}
+	writeLog(t, fs, "l", recs)
+	data, _ := fs.ReadFile("l")
+	fs.WriteFile("t", data[:len(data)-10])
+	src, _ := fs.Open("t")
+	defer src.Close()
+	n, err, r := drainReader(src, false)
+	if err != nil || n != 1 {
+		t.Fatalf("got n=%d err=%v", n, err)
+	}
+	off, torn := r.TornTail()
+	if !torn {
+		t.Fatal("torn tail not flagged")
+	}
+	if want := int64(headerSize + 50); off != want {
+		t.Errorf("truncation offset %d, want %d", off, want)
+	}
+}
+
 func TestMidFileCorruption(t *testing.T) {
 	fs := storage.NewMemFS()
 	recs := [][]byte{bytes.Repeat([]byte("a"), 100), bytes.Repeat([]byte("b"), 100)}

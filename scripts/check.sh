@@ -4,7 +4,10 @@
 # group-commit engine, the batch codec, and the engine), then run the
 # allocation-regression tests in a separate non-race pass (the race
 # detector's instrumentation allocates, so those tests carry
-# //go:build !race).
+# //go:build !race), then run a bounded crash-consistency matrix and the
+# randomized concurrent oracle test under -race. CRASHTEST_SEED and
+# CRASHTEST_OPS override the crash/oracle workload (a failing CI run
+# prints the pair to replay it).
 # The full suite is `go test ./...`.
 set -eux
 
@@ -14,3 +17,4 @@ go vet ./...
 go build ./...
 go test -race ./internal/obs ./internal/core ./internal/wal ./internal/batch
 go test ./internal/core ./internal/obs -run 'Allocs'
+go test -race -short ./internal/faultfs ./internal/oracle ./internal/crashtest
