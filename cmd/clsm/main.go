@@ -132,6 +132,11 @@ func main() {
 			fatal(err)
 		}
 	case "stats":
+		h := db.Health()
+		fmt.Printf("health:       %s\n", h.State)
+		if h.Err != nil {
+			fmt.Printf("health cause: %v\n", h.Err)
+		}
 		m := db.Metrics()
 		fmt.Printf("disk bytes:   %d\n", m.DiskBytes)
 		fmt.Printf("disk files:   %d\n", m.DiskFiles)

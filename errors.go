@@ -22,4 +22,14 @@ var (
 	// ErrSnapshotExpired is returned by reads on a snapshot handle
 	// reclaimed by the TTL sweeper (Options.SnapshotTTL).
 	ErrSnapshotExpired = core.ErrSnapshotExpired
+
+	// ErrDegraded is returned by writes whose bounded stall expired while
+	// the store was retrying a transient background fault (disk full,
+	// intermittent I/O errors); see HealthState and DB.Health.
+	ErrDegraded = core.ErrDegraded
+
+	// ErrReadOnly is returned by writes while a corruption error has the
+	// store quarantined read-only. Reads, snapshots, and iterators keep
+	// serving; DB.Resume lifts the quarantine.
+	ErrReadOnly = core.ErrReadOnly
 )

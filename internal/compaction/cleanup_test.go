@@ -1,0 +1,113 @@
+package compaction
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"clsm/internal/faultfs"
+	"clsm/internal/keys"
+	"clsm/internal/memtable"
+	"clsm/internal/obs"
+	"clsm/internal/storage"
+	"clsm/internal/version"
+)
+
+// TestDegradedFlushCleansOutputs: a merge that dies partway through its
+// output set must delete everything it created — the finished tables and
+// the in-progress one — and account the reclaimed bytes, so a retrying
+// degraded engine does not leak one table set per attempt.
+func TestDegradedFlushCleansOutputs(t *testing.T) {
+	ffs := faultfs.Wrap(storage.NewMemFS())
+	set, err := version.Open(ffs, nil, version.Options{
+		BaseLevelBytes: 64 << 10, TableFileSize: 4 << 10, BlockSize: 1 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	c := NewCompactor(ffs, set)
+	o := obs.New()
+	c.SetObserver(o)
+
+	mt := memtable.New(1)
+	defer mt.Unref()
+	for i := 0; i < 2000; i++ {
+		mt.Add([]byte(fmt.Sprintf("k%05d", i)), uint64(i+1), keys.KindValue,
+			[]byte(fmt.Sprintf("value-%05d", i)))
+	}
+
+	// ~40 KB of entries across 4 KB tables is several outputs; the 12th
+	// sstable write lands mid-set, after at least one table has finished.
+	ffs.Arm(faultfs.Rule{Op: faultfs.OpWrite, Pattern: "*.sst", N: 12, Kind: faultfs.FaultErr})
+	_, stats, err := c.FlushMemtable(mt, 3000)
+	if !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("FlushMemtable err = %v, want the injected fault", err)
+	}
+	if len(stats.OutputFiles) != 0 {
+		t.Errorf("stats still lists %d outputs after cleanup", len(stats.OutputFiles))
+	}
+
+	names, err := ffs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if strings.HasSuffix(n, ".sst") {
+			t.Errorf("orphan output %s survived the failed merge", n)
+		}
+	}
+	if o.BGBytesReclaimed.Load() == 0 {
+		t.Error("no reclaimed bytes accounted for the deleted outputs")
+	}
+}
+
+// TestDiscardOutputsSparesForeignFiles: Discard after a failed edit install
+// must delete only the files this attempt created — a trivially moved input
+// listed in the same edit is live data and must survive.
+func TestDiscardOutputsSparesForeignFiles(t *testing.T) {
+	fs, set, c := setupSet(t)
+	defer set.Close()
+
+	mt := memtable.New(1)
+	defer mt.Unref()
+	for i := 0; i < 100; i++ {
+		mt.Add([]byte(fmt.Sprintf("k%03d", i)), uint64(i+1), keys.KindValue, []byte("v"))
+	}
+	edit, stats, err := c.FlushMemtable(mt, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.OutputFiles) == 0 {
+		t.Fatal("flush produced no outputs")
+	}
+	// Graft a foreign AddFile (as a trivial move would) into the edit.
+	foreign := version.FileDesc{Num: 999999, Size: 1 << 30}
+	edit.AddFile(1, foreign)
+	var created uint64
+	for _, a := range edit.Added {
+		if a.Meta.Num != foreign.Num {
+			created += a.Meta.Size
+		}
+	}
+
+	reclaimed := c.DiscardOutputs(edit, &stats)
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if strings.HasSuffix(n, ".sst") {
+			t.Errorf("created output %s survived DiscardOutputs", n)
+		}
+	}
+	// Reclaimed accounting covering exactly the created outputs proves the
+	// foreign file was never treated as this attempt's garbage.
+	if reclaimed != created {
+		t.Errorf("reclaimed %d bytes, want exactly the created outputs (%d)", reclaimed, created)
+	}
+	if stats.Outputs != 0 || len(stats.OutputFiles) != 0 {
+		t.Errorf("stats not reset: %+v", stats)
+	}
+}

@@ -39,6 +39,10 @@ type Stats struct {
 	EntriesDrop  int
 	BytesWritten uint64
 	Outputs      int
+	// OutputFiles lists the table files this attempt created (finished
+	// outputs only; trivial moves create nothing). The engine uses it to
+	// discard the attempt's outputs when installing the edit fails.
+	OutputFiles []uint64
 }
 
 // FlushMemtable writes the frozen memtable to one or more L0 tables and
@@ -115,6 +119,25 @@ func (c *Compactor) writeOutputs(it iterator.Iterator, edit *version.Edit, outLe
 	haveLast := false
 	var newerTS uint64 // timestamp of the previous (newer) entry for lastUK
 
+	// fail is every error exit: it deletes the attempt's partial outputs
+	// (the in-progress table and every finished one) right now, not at the
+	// next Open, so a retrying degraded engine does not leak an sstable
+	// per attempt. The edit is discarded by the caller.
+	fail := func(err error) (Stats, error) {
+		var reclaimed uint64
+		if w != nil {
+			reclaimed += w.EstimatedSize()
+			w.Abandon()
+			c.fs.Remove(version.TableFileName(fileNum))
+			w = nil
+		}
+		reclaimed += c.DiscardOutputs(edit, &stats)
+		if c.obs != nil && reclaimed > 0 {
+			c.obs.BGBytesReclaimed.Add(reclaimed)
+		}
+		return stats, err
+	}
+
 	finish := func() error {
 		if w == nil {
 			return nil
@@ -125,6 +148,7 @@ func (c *Compactor) writeOutputs(it iterator.Iterator, edit *version.Edit, outLe
 		}
 		stats.BytesWritten += meta.Size
 		stats.Outputs++
+		stats.OutputFiles = append(stats.OutputFiles, fileNum)
 		edit.AddFile(outLevel, version.FileDesc{
 			Num:      fileNum,
 			Size:     meta.Size,
@@ -141,7 +165,7 @@ func (c *Compactor) writeOutputs(it iterator.Iterator, edit *version.Edit, outLe
 		ik := it.Key()
 		uk, ts, kind, ok := keys.Decode(ik)
 		if !ok {
-			return stats, fmt.Errorf("compaction: corrupt internal key %x", ik)
+			return fail(fmt.Errorf("compaction: corrupt internal key %x", ik))
 		}
 		stats.EntriesIn++
 
@@ -171,14 +195,14 @@ func (c *Compactor) writeOutputs(it iterator.Iterator, edit *version.Edit, outLe
 		// levels stay disjoint in user-key space.
 		if w != nil && w.EstimatedSize() >= uint64(opts.TableFileSize) && !sameKey {
 			if err := finish(); err != nil {
-				return stats, err
+				return fail(err)
 			}
 		}
 		if w == nil {
 			fileNum = c.set.NewFileNum()
 			f, err := c.fs.Create(version.TableFileName(fileNum))
 			if err != nil {
-				return stats, err
+				return fail(err)
 			}
 			comp := sstable.NoCompression
 			if opts.Compress {
@@ -191,21 +215,45 @@ func (c *Compactor) writeOutputs(it iterator.Iterator, edit *version.Edit, outLe
 			})
 		}
 		if err := w.Add(ik, it.Value()); err != nil {
-			return stats, err
+			return fail(err)
 		}
 		stats.EntriesOut++
 	}
 	if err := it.Err(); err != nil {
-		return stats, err
+		return fail(err)
 	}
 	if err := finish(); err != nil {
-		return stats, err
+		return fail(err)
 	}
 	if c.obs != nil {
 		c.obs.CompactionTables.Add(uint64(stats.Outputs))
 		c.obs.CompactionDropped.Add(uint64(stats.EntriesDrop))
 	}
 	return stats, nil
+}
+
+// DiscardOutputs deletes the output tables a failed merge attempt created
+// (per stats.OutputFiles — never inputs or trivially moved files, which the
+// attempt did not create) and returns the bytes reclaimed. It must only run
+// before the edit has been offered to the version set: once LogAndApply has
+// appended the edit, a crash can make that record durable and recovery
+// would need the files. Stats is reset so a retried attempt starts from a
+// clean slate.
+func (c *Compactor) DiscardOutputs(edit *version.Edit, stats *Stats) uint64 {
+	var reclaimed uint64
+	created := make(map[uint64]bool, len(stats.OutputFiles))
+	for _, num := range stats.OutputFiles {
+		created[num] = true
+	}
+	for _, a := range edit.Added {
+		if created[a.Meta.Num] {
+			c.fs.Remove(version.TableFileName(a.Meta.Num))
+			reclaimed += a.Meta.Size
+		}
+	}
+	stats.OutputFiles = nil
+	stats.Outputs = 0
+	return reclaimed
 }
 
 // concatIter wraps the version package's disjoint-level concatenation for

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
+	"clsm/internal/health"
 	"clsm/internal/memtable"
 	"clsm/internal/obs"
 	"clsm/internal/version"
@@ -12,9 +14,13 @@ import (
 
 // flushLoop is the merge driver for the in-memory component: it rotates the
 // memtable (beforeMerge), writes the frozen table to L0, installs the new
-// version, and retires the frozen table (afterMerge).
+// version, and retires the frozen table (afterMerge). A failed merge leaves
+// the frozen table in place (its WAL is retained, so acknowledged writes
+// stay durable) and the loop retries it under the health machinery's
+// backoff instead of dying.
 func (db *DB) flushLoop() {
 	defer db.bg.Done()
+	boff := db.newBackoff()
 	ticker := time.NewTicker(10 * time.Millisecond)
 	defer ticker.Stop()
 	for {
@@ -24,28 +30,49 @@ func (db *DB) flushLoop() {
 		case <-db.flushC:
 		case <-ticker.C:
 		}
-		mt := db.mem.Load()
-		if mt == nil || mt.ApproximateSize() < db.opts.MemtableSize {
+		if !db.bgRunnable() {
 			continue
 		}
 		db.flushMu.Lock()
+		var err error
+		worked := false
 		if db.imm.Load() != nil {
-			db.flushMu.Unlock()
-			continue // previous merge still in flight
+			// A previous attempt failed mid-merge: finish that one first.
+			worked = true
+			err = db.supervised(db.flushImm)
+		} else if mt := db.mem.Load(); mt != nil && mt.ApproximateSize() >= db.opts.MemtableSize {
+			worked = true
+			err = db.supervised(db.rotateAndFlush)
 		}
-		err := db.rotateAndFlush()
 		db.flushMu.Unlock()
-		if err != nil {
-			db.setBGErr(err)
-			return
+		if !worked {
+			continue
 		}
-		db.kickCompaction()
+		if db.settleBG(originFlush, err, boff) {
+			db.kickCompaction()
+		}
 	}
 }
 
 // rotateAndFlush performs one full memtable merge cycle. The caller holds
 // flushMu and has verified that no immutable memtable is in flight.
 func (db *DB) rotateAndFlush() error {
+	if err := db.rotate(); err != nil {
+		return err
+	}
+	if db.imm.Load() == nil {
+		return nil // rotation was a no-op: nothing to merge
+	}
+	return db.flushImm()
+}
+
+// rotate freezes the mutable memtable into P'm and publishes a fresh
+// Pm/WAL pair (beforeMerge). The caller holds flushMu with no immutable
+// memtable in flight. On return with a nil error and a non-nil imm, the
+// frozen table is ready for flushImm; an error after the swap leaves imm
+// set and is retried through flushImm (the frozen table's WAL stays on
+// disk, so no acknowledged write is lost either way).
+func (db *DB) rotate() error {
 	// A concurrent flush may have drained the memtable between the
 	// caller's size check and its flushMu acquisition; rotating an empty
 	// table would churn WAL files and emit zero-byte flush events.
@@ -66,15 +93,13 @@ func (db *DB) rotateAndFlush() error {
 	newMem := memtable.New(logNum)
 
 	// beforeMerge (Algorithm 2 lines 25-31): under the exclusive lock,
-	// freeze Pm into P'm, publish the fresh Pm, and read the merge's
-	// version-GC horizon. Pointer order matters for lock-free readers:
-	// P'm must be set before Pm is replaced.
+	// freeze Pm into P'm and publish the fresh Pm. Pointer order matters
+	// for lock-free readers: P'm must be set before Pm is replaced.
 	db.lock.LockExclusive()
 	old := db.mem.Load()
 	db.imm.Store(old)
 	db.mem.Store(newMem)
 	oldLogger := db.log.Swap(newLogger)
-	dropBelow := db.mergeHorizonLocked()
 	db.lock.UnlockExclusive()
 
 	// Every writer that used the old memtable has released the shared
@@ -84,22 +109,51 @@ func (db *DB) rotateAndFlush() error {
 			return err
 		}
 	}
+	return nil
+}
 
-	// The merge proper: frozen memtable -> L0 table(s).
+// flushImm merges the frozen memtable into L0 and installs the result (the
+// merge proper plus afterMerge). The caller holds flushMu with imm set. It
+// is the retry unit of the flush path: every failure exit leaves the frozen
+// table and its WAL intact, so calling it again is always safe. A failure
+// while building the tables deletes the partial outputs immediately; a
+// failure while installing the edit keeps them (crash recovery may need
+// them — see the LogAndApply call below).
+func (db *DB) flushImm() error {
+	old := db.imm.Load()
+	if old == nil {
+		return nil
+	}
+	// The version-GC horizon is re-read under the exclusive lock on every
+	// attempt; it only moves forward, which is exactly "the merge started
+	// later" and preserves the snapshot-visibility argument.
+	db.lock.LockExclusive()
+	dropBelow := db.mergeHorizonLocked()
+	db.lock.UnlockExclusive()
+
 	start := time.Now()
 	db.obs.Event(obs.Event{Type: obs.EvFlushStart, Level: 0, Bytes: uint64(old.ApproximateSize())})
 	edit, stats, err := db.compactor.FlushMemtable(old, dropBelow)
 	if err != nil {
 		return err
 	}
-	db.metrics.flushBytes.Add(stats.BytesWritten)
-	edit.SetLogNum(logNum)
+	// The mutable memtable's WAL number is the recovery cutoff: logs below
+	// it are fully merged once this edit lands. mem cannot rotate here
+	// (flushMu is held).
+	edit.SetLogNum(db.mem.Load().LogNum)
 	edit.SetLastTS(db.oracle.Now())
 
-	// afterMerge first half: publish the new disk component (Pd).
+	// afterMerge first half: publish the new disk component (Pd). On
+	// failure the outputs are deliberately kept: the aborted append may
+	// have left a complete copy of this edit in the manifest, and
+	// written-but-unsynced bytes can survive a crash — recovery would then
+	// install the edit and need the tables it names. The version set
+	// starts the retry on a fresh manifest that never references them, so
+	// if they stay unpublished the next Open's orphan sweep reclaims them.
 	if err := db.versions.LogAndApply(edit); err != nil {
 		return err
 	}
+	db.metrics.flushBytes.Add(stats.BytesWritten)
 
 	// afterMerge second half (Algorithm 1 lines 13-17): drop P'm. Readers
 	// that still hold references keep the table alive until they finish.
@@ -165,9 +219,14 @@ func (db *DB) snapshotSweepLoop() {
 // compactLoop drives disk-component compactions. Multiple instances may
 // run (Options.CompactionThreads); a level-busy table keeps concurrent
 // compactions on disjoint level pairs, mirroring RocksDB's multi-threaded
-// compaction used in the Fig. 11 comparison.
-func (db *DB) compactLoop() {
+// compaction used in the Fig. 11 comparison. A failed compaction installs
+// nothing — partial outputs of an aborted build are deleted on the spot,
+// outputs of a failed install are left for the orphan sweep — so the retry
+// (after the health machinery's backoff) simply re-picks it.
+func (db *DB) compactLoop(id int) {
 	defer db.bg.Done()
+	origin := fmt.Sprintf("compact-%d", id)
+	boff := db.newBackoff()
 	ticker := time.NewTicker(25 * time.Millisecond)
 	defer ticker.Stop()
 	for {
@@ -177,16 +236,20 @@ func (db *DB) compactLoop() {
 		case <-db.compactC:
 		case <-ticker.C:
 		}
-		for {
+		for db.bgRunnable() {
 			select {
 			case <-db.closing:
 				return
 			default:
 			}
-			did, err := db.compactOnce()
-			if err != nil {
-				db.setBGErr(err)
-				return
+			var did bool
+			err := db.supervised(func() error {
+				var e error
+				did, e = db.compactOnce()
+				return e
+			})
+			if !db.settleBG(origin, err, boff) {
+				break
 			}
 			if !did {
 				break
@@ -258,6 +321,10 @@ func (db *DB) runCompaction(c *version.Compaction) error {
 		return err
 	}
 	if err := db.versions.LogAndApply(edit); err != nil {
+		// Keep the outputs even though nothing was installed: the aborted
+		// manifest append may survive a crash (see flushImm), and recovery
+		// would then need these tables. Unpublished outputs become orphans
+		// reclaimed at the next Open.
 		return err
 	}
 	db.metrics.compactions.Add(1)
@@ -284,7 +351,7 @@ func (db *DB) CompactRange() error {
 	}
 	for level := 0; level < version.NumLevels-1; level++ {
 		for {
-			if err := db.backgroundErr(); err != nil {
+			if err := db.writeGate(); err != nil {
 				return err
 			}
 			if !db.tryLockLevels(level) {
@@ -314,8 +381,8 @@ func (db *DB) Flush() error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
-	if db.memLen() == 0 {
-		return db.backgroundErr()
+	if db.memLen() == 0 && db.imm.Load() == nil {
+		return db.writeGate()
 	}
 	return db.forceFlush()
 }
@@ -329,19 +396,48 @@ func (db *DB) memLen() int {
 }
 
 // forceFlush synchronously rotates and flushes the current memtable, even
-// below the size threshold. It waits out an in-flight merge first.
+// below the size threshold. A pending frozen memtable (an in-flight or
+// previously failed merge) is drained first. Transient failures are
+// retried through the same health machinery as the background loop, up to
+// the degraded stall budget; corruption and fatal states fail immediately.
 func (db *DB) forceFlush() error {
+	boff := db.newBackoff()
+	var degradedSince time.Time
 	for {
-		if err := db.backgroundErr(); err != nil {
+		select {
+		case <-db.closing:
+			return ErrClosed
+		default:
+		}
+		if err := db.writeGate(); err != nil {
 			return err
 		}
+		if db.health.State() == health.Degraded {
+			if degradedSince.IsZero() {
+				degradedSince = time.Now()
+			} else if time.Since(degradedSince) > db.opts.DegradedStallTimeout {
+				return wrapHealthErr(ErrDegraded, db.health.Err())
+			}
+		} else {
+			degradedSince = time.Time{}
+		}
+
 		db.flushMu.Lock()
-		if db.imm.Load() == nil {
-			err := db.rotateAndFlush()
-			db.flushMu.Unlock()
-			return err
+		var err error
+		done := false
+		if db.imm.Load() != nil {
+			err = db.supervised(db.flushImm)
+		} else {
+			err = db.supervised(db.rotateAndFlush)
+			done = err == nil
 		}
 		db.flushMu.Unlock()
-		time.Sleep(time.Millisecond)
+		// settleBG clears the health episode on success and sleeps out the
+		// backoff on a transient failure; done distinguishes "drained the
+		// leftover frozen table, own rotation still pending" from finished.
+		if db.settleBG(originFlush, err, boff) && done {
+			db.kickCompaction()
+			return nil
+		}
 	}
 }

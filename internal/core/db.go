@@ -8,9 +8,11 @@ import (
 
 	"clsm/internal/cache"
 	"clsm/internal/compaction"
+	"clsm/internal/health"
 	"clsm/internal/memtable"
 	"clsm/internal/obs"
 	"clsm/internal/oracle"
+	"clsm/internal/sstable"
 	"clsm/internal/storage"
 	"clsm/internal/syncutil"
 	"clsm/internal/version"
@@ -58,10 +60,20 @@ type DB struct {
 	levelBusy [version.NumLevels]bool
 	busyMu    sync.Mutex
 
+	// health is the background-error state machine: transient faults
+	// degrade (retry with backoff), corruption quarantines to read-only,
+	// fatal errors keep the historical sticky poisoning via bgErr.
+	health *health.Monitor
+
 	// immGone is broadcast (closed and replaced) whenever the immutable
 	// memtable finishes merging, waking stalled writers.
 	immGone   atomic.Pointer[chan struct{}]
 	l0Relaxed atomic.Pointer[chan struct{}]
+
+	// resumed is broadcast on every return to Healthy (auto-resume or an
+	// explicit Resume call) so workers parked in a backoff wait retry
+	// immediately instead of sleeping out their delay.
+	resumed atomic.Pointer[chan struct{}]
 
 	// TTL-tracked snapshot handles (Options.SnapshotTTL).
 	snapMu   sync.Mutex
@@ -96,8 +108,12 @@ func Open(opts Options) (*DB, error) {
 	db.versions = vs
 	db.compactor = compaction.NewCompactor(opts.FS, vs)
 	db.compactor.SetObserver(db.obs)
+	db.health = health.NewMonitor(health.Classifier{
+		Corrupt: []error{wal.ErrCorrupt, sstable.ErrCorrupt, version.ErrCorruptEdit},
+	}, db.onHealthChange)
 	db.storeBroadcast(&db.immGone)
 	db.storeBroadcast(&db.l0Relaxed)
+	db.storeBroadcast(&db.resumed)
 
 	db.obs.OrphanFilesRemoved.Add(vs.OrphansRemoved())
 	db.obs.WALTornTails.Add(vs.TornTailsTruncated())
@@ -116,7 +132,7 @@ func Open(opts Options) (*DB, error) {
 	db.bg.Add(1 + opts.CompactionThreads)
 	go db.flushLoop()
 	for i := 0; i < opts.CompactionThreads; i++ {
-		go db.compactLoop()
+		go db.compactLoop(i)
 	}
 	if opts.SnapshotTTL > 0 {
 		db.bg.Add(1)

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clsm/internal/faultfs"
+	"clsm/internal/health"
+	"clsm/internal/storage"
+	"clsm/internal/wal"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestHealthDegradeRetryResume is the fault-tolerance acceptance scenario:
+// three consecutive flush attempts die on injected sstable-write errors,
+// the fourth succeeds. The engine must go Degraded (not dead), keep
+// accepting writes throughout, retry with backoff, auto-resume to Healthy,
+// and serve back every acknowledged write. Under the pre-health behavior
+// the first failure killed the flusher and poisoned the engine, so the
+// Puts below started failing — this test fails against that.
+func TestHealthDegradeRetryResume(t *testing.T) {
+	ffs := faultfs.Wrap(storage.NewMemFS())
+	var trMu sync.Mutex
+	var transitions []health.Transition
+	db, err := Open(Options{
+		FS:                   ffs,
+		MemtableSize:         4 << 10,
+		RetryBaseDelay:       time.Millisecond,
+		RetryMaxDelay:        4 * time.Millisecond,
+		DegradedStallTimeout: 30 * time.Second,
+		OnHealthChange: func(tr health.Transition) {
+			trMu.Lock()
+			transitions = append(transitions, tr)
+			trMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// Each failed attempt consumes one rule at its first table write, so
+	// exactly three attempts fail and the fourth goes through.
+	ffs.Arm(
+		faultfs.Rule{Op: faultfs.OpWrite, Pattern: "*.sst", N: 1, Kind: faultfs.FaultErr},
+		faultfs.Rule{Op: faultfs.OpWrite, Pattern: "*.sst", N: 1, Kind: faultfs.FaultErr},
+		faultfs.Rule{Op: faultfs.OpWrite, Pattern: "*.sst", N: 1, Kind: faultfs.FaultErr},
+	)
+
+	// Keep writing until the injected faults have tripped at least three
+	// retries; every single Put must succeed during the degraded episode.
+	acked := map[string]string{}
+	pad := strings.Repeat("v", 128)
+	for i := 0; db.obs.BGRetries.Load() < 3 || i < 400; i++ {
+		if i >= 50000 {
+			t.Fatalf("faults never tripped: bg_retries = %d", db.obs.BGRetries.Load())
+		}
+		k := fmt.Sprintf("key-%05d", i)
+		v := pad + k
+		if err := db.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatalf("Put %s during degraded episode: %v", k, err)
+		}
+		acked[k] = v
+		if i%64 == 0 {
+			time.Sleep(time.Millisecond) // give the flusher its turn
+		}
+	}
+
+	waitFor(t, 10*time.Second, "auto-resume to Healthy", func() bool {
+		return db.health.State() == health.Healthy && db.obs.BGAutoResumes.Load() >= 1
+	})
+	if got := db.obs.BGRetries.Load(); got < 3 {
+		t.Errorf("bg_retries = %d, want >= 3", got)
+	}
+	if db.obs.BGBytesReclaimed.Load() == 0 {
+		t.Error("failed attempts reclaimed no partial-output bytes")
+	}
+
+	trMu.Lock()
+	var sawDegrade, sawResume bool
+	for _, tr := range transitions {
+		if tr.From == health.Healthy && tr.To == health.Degraded {
+			sawDegrade = true
+			if !errors.Is(tr.Cause, faultfs.ErrInjected) {
+				t.Errorf("degrade cause = %v, want the injected fault", tr.Cause)
+			}
+		}
+		if tr.From == health.Degraded && tr.To == health.Healthy {
+			sawResume = true
+		}
+	}
+	trMu.Unlock()
+	if !sawDegrade || !sawResume {
+		t.Errorf("transitions degrade=%v resume=%v, want both", sawDegrade, sawResume)
+	}
+
+	// Drain the rest through the (now healthy) synchronous path and check
+	// every acknowledged write reads back.
+	if err := db.Flush(); err != nil {
+		t.Fatalf("Flush after resume: %v", err)
+	}
+	for k, want := range acked {
+		got, ok, err := db.Get([]byte(k))
+		if err != nil || !ok || string(got) != want {
+			t.Fatalf("Get %s after resume = %q, %v, %v", k, got, ok, err)
+		}
+	}
+	if st := db.Health(); st.State != health.Healthy || st.Err != nil {
+		t.Errorf("final health = %v (%v), want Healthy", st.State, st.Err)
+	}
+}
+
+// TestHealthReadOnlyQuarantine: a corruption-classified background error
+// must quarantine the store read-only — reads, snapshots, and iterators
+// keep serving the installed state while every mutation fails with
+// ErrReadOnly — and Resume must lift it.
+func TestHealthReadOnlyQuarantine(t *testing.T) {
+	db, err := Open(Options{MemtableSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	for i := 0; i < 100; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil { // half the data on disk...
+		t.Fatal(err)
+	}
+	for i := 100; i < 120; i++ { // ...half in the memtable
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cause := fmt.Errorf("replay 000007.log: %w", wal.ErrCorrupt)
+	if class := db.health.Report("test", cause); class != health.ClassCorruption {
+		t.Fatalf("Report class = %v, want corruption", class)
+	}
+	if st := db.health.State(); st != health.ReadOnly {
+		t.Fatalf("state = %v, want ReadOnly", st)
+	}
+
+	// Reads serve from both components.
+	for _, k := range []string{"k050", "k110"} {
+		if _, ok, err := db.Get([]byte(k)); err != nil || !ok {
+			t.Fatalf("Get %s while read-only = %v, %v", k, ok, err)
+		}
+	}
+	snap, err := db.GetSnapshot()
+	if err != nil {
+		t.Fatalf("GetSnapshot while read-only: %v", err)
+	}
+	if _, ok, err := snap.Get([]byte("k000")); err != nil || !ok {
+		t.Fatalf("snapshot Get while read-only = %v, %v", ok, err)
+	}
+	it, err := snap.NewIterator()
+	if err != nil {
+		t.Fatalf("NewIterator while read-only: %v", err)
+	}
+	n := 0
+	for it.First(); it.Valid(); it.Next() {
+		n++
+	}
+	if err := it.Err(); err != nil || n != 120 {
+		t.Fatalf("iterator while read-only: n=%d err=%v", n, err)
+	}
+	it.Close()
+	snap.Close()
+
+	// Mutations fail with the wrapped sentinel.
+	if err := db.Put([]byte("x"), []byte("y")); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("Put = %v, want ErrReadOnly", err)
+	}
+	if err := db.Delete([]byte("k000")); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("Delete = %v, want ErrReadOnly", err)
+	}
+	if err := db.RMW([]byte("x"), func(b []byte, _ bool) []byte { return b }); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("RMW = %v, want ErrReadOnly", err)
+	}
+	if err := db.Flush(); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("Flush = %v, want ErrReadOnly", err)
+	}
+	if err := db.CompactRange(); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("CompactRange = %v, want ErrReadOnly", err)
+	}
+	if st := db.Health(); !errors.Is(st.Err, wal.ErrCorrupt) {
+		t.Errorf("Health cause = %v, want the corruption", st.Err)
+	}
+
+	// Resume lifts the quarantine.
+	if err := db.Resume(); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if st := db.health.State(); st != health.Healthy {
+		t.Fatalf("state after Resume = %v", st)
+	}
+	if err := db.Put([]byte("x"), []byte("y")); err != nil {
+		t.Fatalf("Put after Resume: %v", err)
+	}
+}
+
+// TestHealthPanicRecovered: a panic inside a background merge must be
+// contained by the supervisor — recorded as a fatal health error with the
+// process still alive — instead of crashing or silently killing the worker.
+func TestHealthPanicRecovered(t *testing.T) {
+	ffs := faultfs.Wrap(storage.NewMemFS())
+	var panicked atomic.Bool
+	ffs.SetHook(func(p faultfs.Point) {
+		if p.Op == faultfs.OpWrite && strings.HasSuffix(p.Name, ".sst") &&
+			panicked.CompareAndSwap(false, true) {
+			panic("boom in merge")
+		}
+	})
+	db, err := Open(Options{FS: ffs, MemtableSize: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	for i := 0; i < 400 && db.health.State() == health.Healthy; i++ {
+		key := fmt.Sprintf("p%04d", i)
+		if err := db.Put([]byte(key), []byte(strings.Repeat("x", 64))); err != nil {
+			break // the poisoned state is asserted below
+		}
+	}
+	waitFor(t, 10*time.Second, "panic to surface as Failed", func() bool {
+		return db.health.State() == health.Failed
+	})
+
+	err = db.Put([]byte("after"), []byte("panic"))
+	var pe *health.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Put after panic = %v, want a *health.PanicError", err)
+	}
+	if !strings.Contains(err.Error(), "background panic") || len(pe.Stack) == 0 {
+		t.Errorf("panic error lost its identity: %v (stack %d bytes)", err, len(pe.Stack))
+	}
+	if err := db.Resume(); err == nil {
+		t.Error("Resume of a Failed store succeeded, want sticky failure")
+	}
+}
+
+// TestHealthCloseInterruptsBackoff: Close of a degraded store must cancel
+// the worker's in-flight backoff wait promptly instead of sleeping it out.
+func TestHealthCloseInterruptsBackoff(t *testing.T) {
+	ffs := faultfs.Wrap(storage.NewMemFS())
+	rules := make([]faultfs.Rule, 20)
+	for i := range rules {
+		rules[i] = faultfs.Rule{Op: faultfs.OpWrite, Pattern: "*.sst", N: 1, Kind: faultfs.FaultErr}
+	}
+	ffs.Arm(rules...)
+	db, err := Open(Options{
+		FS:                   ffs,
+		MemtableSize:         4 << 10,
+		RetryBaseDelay:       30 * time.Second,
+		RetryMaxDelay:        30 * time.Second,
+		DegradedStallTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; db.obs.BGRetries.Load() == 0; i++ {
+		if i >= 50000 {
+			t.Fatal("fault never tripped")
+		}
+		if err := db.Put([]byte(fmt.Sprintf("c%05d", i)), []byte(strings.Repeat("x", 64))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	// The flusher is now parked in a ~30s backoff wait.
+	start := time.Now()
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("Close of a degraded store took %v, want prompt", d)
+	}
+}
+
+// TestHealthResumeInterruptsBackoff: an explicit Resume must cut the
+// backoff wait short so the retry happens immediately, not after the
+// remaining delay.
+func TestHealthResumeInterruptsBackoff(t *testing.T) {
+	ffs := faultfs.Wrap(storage.NewMemFS())
+	ffs.Arm(faultfs.Rule{Op: faultfs.OpWrite, Pattern: "*.sst", N: 1, Kind: faultfs.FaultErr})
+	db, err := Open(Options{
+		FS:                   ffs,
+		MemtableSize:         4 << 10,
+		RetryBaseDelay:       30 * time.Second,
+		RetryMaxDelay:        30 * time.Second,
+		DegradedStallTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; db.obs.BGRetries.Load() == 0; i++ {
+		if i >= 50000 {
+			t.Fatal("fault never tripped")
+		}
+		if err := db.Put([]byte(fmt.Sprintf("r%05d", i)), []byte(strings.Repeat("x", 64))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := db.Resume(); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	// The spent rule lets the immediate retry succeed; with a 30s backoff
+	// only the resume broadcast can make this fast.
+	waitFor(t, 2*time.Second, "flush to complete after Resume", func() bool {
+		return db.health.State() == health.Healthy && db.imm.Load() == nil && db.metrics.flushes.Load() > 0
+	})
+}
+
+// TestHealthDegradedStallTimeout: once the in-memory budget is exhausted
+// under a persistent transient fault, a write may stall only for the
+// configured bound and must then fail with ErrDegraded, not block forever.
+func TestHealthDegradedStallTimeout(t *testing.T) {
+	ffs := faultfs.Wrap(storage.NewMemFS())
+	rules := make([]faultfs.Rule, 50)
+	for i := range rules {
+		rules[i] = faultfs.Rule{Op: faultfs.OpWrite, Pattern: "*.sst", N: 1, Kind: faultfs.FaultErr}
+	}
+	ffs.Arm(rules...)
+	db, err := Open(Options{
+		FS:                   ffs,
+		MemtableSize:         2 << 10,
+		RetryBaseDelay:       5 * time.Millisecond,
+		RetryMaxDelay:        10 * time.Millisecond,
+		DegradedStallTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	var stallErr error
+	for i := 0; i < 50000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("s%05d", i)), []byte(strings.Repeat("x", 64))); err != nil {
+			stallErr = err
+			break
+		}
+	}
+	if !errors.Is(stallErr, ErrDegraded) {
+		t.Fatalf("stalled write failed with %v, want ErrDegraded", stallErr)
+	}
+	if !errors.Is(stallErr, faultfs.ErrInjected) {
+		t.Errorf("ErrDegraded lost its cause: %v", stallErr)
+	}
+}

@@ -8,6 +8,7 @@ package core
 import (
 	"time"
 
+	"clsm/internal/health"
 	"clsm/internal/obs"
 	"clsm/internal/storage"
 	"clsm/internal/version"
@@ -64,6 +65,29 @@ type Options struct {
 	// Fig. 11 configuration).
 	CompactionThreads int
 
+	// RetryBaseDelay and RetryMaxDelay bound the exponential backoff a
+	// background worker applies between retries of a transiently failing
+	// flush or compaction (health.DefaultBackoffBase/Cap when zero).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+
+	// DegradedStallTimeout bounds how long a single write stalls while
+	// the engine is Degraded and the memtable/L0 budget is exhausted;
+	// past it the write fails with ErrDegraded instead of blocking
+	// indefinitely on a disk that may never recover.
+	DegradedStallTimeout time.Duration
+
+	// PanicOnBGFault disables the background panic recovery (debug mode):
+	// a panicking flush or compaction crashes the process with its
+	// original stack instead of being recorded as a fatal health error.
+	PanicOnBGFault bool
+
+	// OnHealthChange, when set, receives every health state transition
+	// (Healthy/Degraded/ReadOnly/Failed), delivered one at a time in
+	// commit order. It runs on a background goroutine and must not call
+	// back into the engine.
+	OnHealthChange func(health.Transition)
+
 	// Observer receives the engine's instrumentation: per-op latency
 	// histograms, substrate counters, and the flush/compaction/stall
 	// event trace. When nil, WithDefaults installs a fresh one — the
@@ -95,6 +119,15 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.CompactionThreads <= 0 {
 		o.CompactionThreads = 1
+	}
+	if o.RetryBaseDelay <= 0 {
+		o.RetryBaseDelay = health.DefaultBackoffBase
+	}
+	if o.RetryMaxDelay <= 0 {
+		o.RetryMaxDelay = health.DefaultBackoffCap
+	}
+	if o.DegradedStallTimeout <= 0 {
+		o.DegradedStallTimeout = time.Second
 	}
 	if o.Observer == nil {
 		o.Observer = obs.New()

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"clsm/internal/batch"
+	"clsm/internal/health"
 	"clsm/internal/keys"
 	"clsm/internal/memtable"
 	"clsm/internal/obs"
@@ -26,7 +27,7 @@ func (db *DB) write(key, value []byte, kind keys.Kind) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
-	if err := db.backgroundErr(); err != nil {
+	if err := db.writeGate(); err != nil {
 		return err
 	}
 	// One unconditional defer keeps it open-coded (no closure alloc).
@@ -77,7 +78,7 @@ func (db *DB) Write(b *batch.Batch) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
-	if err := db.backgroundErr(); err != nil {
+	if err := db.writeGate(); err != nil {
 		return err
 	}
 	if b.Len() == 0 {
@@ -123,7 +124,7 @@ func (db *DB) RMW(key []byte, f func(old []byte, exists bool) []byte) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
-	if err := db.backgroundErr(); err != nil {
+	if err := db.writeGate(); err != nil {
 		return err
 	}
 	start := time.Now()
@@ -216,17 +217,30 @@ func (db *DB) maybeTriggerFlush(mt *memtable.Table) {
 // makeRoomForWrite implements the paper's only put-side blocking: when the
 // mutable memtable is full but the previous one is still being merged, or
 // when L0 backs up, the writer waits outside the lock (never inside, which
-// would deadlock the merge's exclusive acquisition).
+// would deadlock the merge's exclusive acquisition). While the engine is
+// Degraded the wait is bounded: a write may stall for at most
+// DegradedStallTimeout before failing with ErrDegraded, because the merge
+// it is waiting for may be retrying against a disk that never recovers.
 func (db *DB) makeRoomForWrite() error {
 	slowed := false
+	var degradedSince time.Time
 	for {
 		select {
 		case <-db.closing:
 			return ErrClosed
 		default:
 		}
-		if err := db.backgroundErr(); err != nil {
+		if err := db.writeGate(); err != nil {
 			return err
+		}
+		if db.health.State() == health.Degraded {
+			if degradedSince.IsZero() {
+				degradedSince = time.Now()
+			} else if time.Since(degradedSince) > db.opts.DegradedStallTimeout {
+				return wrapHealthErr(ErrDegraded, db.health.Err())
+			}
+		} else if !degradedSince.IsZero() {
+			degradedSince = time.Time{}
 		}
 
 		l0 := db.level0Count()

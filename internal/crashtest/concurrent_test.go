@@ -101,9 +101,9 @@ func TestConcurrentOracle(t *testing.T) {
 					check("get", key, got, ok, want, wok)
 				default: // snapshot: own keys must read at their current state
 					type kv struct {
-						key  string
-						val  []byte
-						ok   bool
+						key string
+						val []byte
+						ok  bool
 					}
 					var expected []kv
 					for _, ki := range rng.Perm(len(keys))[:4] {

@@ -24,7 +24,6 @@
 package faultfs
 
 import (
-	"errors"
 	"path"
 	"sync"
 	"sync/atomic"
@@ -32,8 +31,19 @@ import (
 	"clsm/internal/storage"
 )
 
+// injectedError is the concrete type behind ErrInjected. It reports
+// Temporary() true — the net.Error convention for a condition that may
+// clear on retry — so the engine's health classifier treats injected
+// faults like the flaky-device errors they model (transient, retried with
+// backoff) rather than as unknown fatal errors.
+type injectedError struct{}
+
+func (injectedError) Error() string   { return "faultfs: injected fault" }
+func (injectedError) Temporary() bool { return true }
+
 // ErrInjected is the error returned by operations failed by a fault rule.
-var ErrInjected = errors.New("faultfs: injected fault")
+// Compare with errors.Is.
+var ErrInjected error = injectedError{}
 
 // Op enumerates the intercepted mutating filesystem operations.
 type Op uint8

@@ -104,7 +104,7 @@ func TestFaultKindsDeterministic(t *testing.T) {
 		{
 			"error-at-N",
 			Rule{Op: OpWrite, Pattern: "*.log", N: n, Kind: FaultErr},
-			result{failedAt: n, content: "w1w2w3w4w5w6"[: 2*(n-1)] + func() string {
+			result{failedAt: n, content: "w1w2w3w4w5w6"[:2*(n-1)] + func() string {
 				s := ""
 				for i := n + 1; i <= 6; i++ {
 					s += fmt.Sprintf("w%d", i)

@@ -1,0 +1,57 @@
+package health
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Default backoff bounds used when a Backoff's fields are zero.
+const (
+	DefaultBackoffBase = 25 * time.Millisecond
+	DefaultBackoffCap  = 2 * time.Second
+)
+
+// Backoff computes capped exponential retry delays with jitter for one
+// background worker. The nth delay is drawn uniformly from the upper half
+// of [0, min(Base<<n, Cap)): the exponential keeps a persistently failing
+// worker from hammering a sick disk, the cap bounds auto-resume latency
+// once the fault clears, and the jitter de-synchronizes workers that all
+// tripped on the same fault (the thundering-retry problem). Not safe for
+// concurrent use — each worker owns one.
+type Backoff struct {
+	Base time.Duration // first delay; DefaultBackoffBase when zero
+	Cap  time.Duration // largest delay; DefaultBackoffCap when zero
+
+	attempts int
+}
+
+// Next returns the delay to wait before the next retry and advances the
+// schedule.
+func (b *Backoff) Next() time.Duration {
+	base, cap := b.Base, b.Cap
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if cap <= 0 {
+		cap = DefaultBackoffCap
+	}
+	if cap < base {
+		cap = base
+	}
+	d := cap
+	if shift := b.attempts; shift < 32 && base<<shift < cap {
+		d = base << shift
+	}
+	b.attempts++
+	// Upper-half jitter: [d/2, d]. Keeps the exponential shape while
+	// spreading simultaneous retries across half a period.
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// Attempts returns how many delays Next has handed out since the last
+// Reset — the retry count of the current episode.
+func (b *Backoff) Attempts() int { return b.attempts }
+
+// Reset rewinds the schedule after a success.
+func (b *Backoff) Reset() { b.attempts = 0 }

@@ -1,0 +1,332 @@
+// Package health is the engine's background-error state machine. It turns
+// "a flush failed" from a process-lifetime death sentence into a managed
+// episode: every background error is classified as transient, corruption,
+// or fatal, and the classification drives a four-state machine
+//
+//	Healthy ──transient──▶ Degraded ──retry ok──▶ Healthy
+//	   │                      │
+//	   │                   corruption
+//	corruption                ▼
+//	   └───────────────▶ ReadOnly ──Resume()──▶ Healthy
+//	                          │
+//	 (any state) ──fatal──▶ Failed        (sticky)
+//
+// modeled on RocksDB's ErrorHandler but stdlib-only. The design premise is
+// the paper's: the in-memory write path keeps moving while disk components
+// are maintained asynchronously, so a transient disk error (ENOSPC, an
+// injected I/O fault, a timeout) must stall and retry the background
+// pipeline — never kill it. Corruption quarantines the store into
+// read-only mode (the current version still serves reads); only genuinely
+// unclassifiable errors poison the engine the way every error used to.
+//
+// The package is deliberately engine-agnostic: the engine supplies the
+// corruption sentinels it knows about (WAL, sstable, manifest), reports
+// outcomes per origin ("flush", "compact-0", ...), and reacts to the
+// transition callback. See docs/FAULT_TOLERANCE.md for the full policy.
+package health
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// State is the engine health state. States are ordered by severity:
+// Report never de-escalates, so a corruption error observed while
+// Degraded moves the machine to ReadOnly, and nothing short of a
+// successful retry (Degraded) or an explicit Resume (Degraded, ReadOnly)
+// moves it back down. Failed is sticky.
+type State uint32
+
+// Health states, in escalating severity order.
+const (
+	// Healthy: background flushes and compactions are running normally.
+	Healthy State = iota
+	// Degraded: a transient background error is being retried with
+	// backoff. Writes are accepted until the immutable-memtable/L0 budget
+	// is exhausted, then stalled for a bounded period, then failed with
+	// the engine's ErrDegraded.
+	Degraded
+	// ReadOnly: a corruption error quarantined the store. Reads,
+	// snapshots, and iterators keep serving off the current version;
+	// writes, flushes, and compactions fail with the engine's ErrReadOnly.
+	ReadOnly
+	// Failed: an unclassifiable error (or a background panic) poisoned
+	// the engine — the pre-health sticky-error behavior.
+	Failed
+)
+
+// String names the state for logs and metric export.
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case ReadOnly:
+		return "read-only"
+	case Failed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// Class is the severity classification of one background error.
+type Class uint8
+
+// Error classes, from most to least recoverable.
+const (
+	// ClassTransient errors (ENOSPC, injected I/O faults, timeouts) are
+	// retried with capped exponential backoff.
+	ClassTransient Class = iota
+	// ClassCorruption errors (torn WAL mid-file, bad sstable block,
+	// corrupt manifest edit) quarantine the store into read-only mode:
+	// retrying cannot help, but the installed version is still intact.
+	ClassCorruption
+	// ClassFatal errors are everything the classifier cannot vouch for;
+	// they keep the historical sticky-error behavior.
+	ClassFatal
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassTransient:
+		return "transient"
+	case ClassCorruption:
+		return "corruption"
+	case ClassFatal:
+		return "fatal"
+	}
+	return "unknown"
+}
+
+// PanicError wraps a panic recovered from a background goroutine so it can
+// travel the error-classification path (always ClassFatal) instead of
+// silently killing the worker.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // the goroutine stack at recovery time
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("background panic: %v", e.Value)
+}
+
+// transientErrnos are OS error codes that describe a full, busy, or
+// interrupted medium rather than a broken one — conditions that can clear
+// on their own (an operator frees disk space, a device hiccup passes).
+var transientErrnos = []error{
+	syscall.ENOSPC, syscall.EDQUOT, syscall.EIO, syscall.EAGAIN,
+	syscall.EINTR, syscall.EBUSY, syscall.ETIMEDOUT,
+}
+
+// Classifier maps one background error to its Class. The zero value knows
+// the OS-level transient conditions and the timeout conventions; the
+// engine adds its own sentinels for the formats it owns.
+type Classifier struct {
+	// Corrupt lists sentinels classified as ClassCorruption (checked
+	// first: a corrupt record is corruption even if some wrapper also
+	// claims to be temporary).
+	Corrupt []error
+	// Transient lists additional sentinels classified as ClassTransient.
+	Transient []error
+}
+
+// Classify maps a non-nil background error to its class. Unknown errors
+// are ClassFatal: an error nobody can vouch for must not be retried
+// against (it could be a logic bug repeating forever) nor shrugged off.
+func (c Classifier) Classify(err error) Class {
+	for _, s := range c.Corrupt {
+		if errors.Is(err, s) {
+			return ClassCorruption
+		}
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return ClassFatal
+	}
+	for _, s := range c.Transient {
+		if errors.Is(err, s) {
+			return ClassTransient
+		}
+	}
+	for _, s := range transientErrnos {
+		if errors.Is(err, s) {
+			return ClassTransient
+		}
+	}
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return ClassTransient
+	}
+	// net.Error conventions: anything that self-reports as a timeout or a
+	// temporary condition is worth retrying (faultfs's injected faults
+	// report Temporary, mirroring how a flaky device presents).
+	var timeout interface{ Timeout() bool }
+	if errors.As(err, &timeout) && timeout.Timeout() {
+		return ClassTransient
+	}
+	var temp interface{ Temporary() bool }
+	if errors.As(err, &temp) && temp.Temporary() {
+		return ClassTransient
+	}
+	return ClassFatal
+}
+
+// Transition describes one state change, delivered to the monitor's
+// callback outside the monitor's locks (a slow observer cannot block
+// Report on the background hot path — but see NewMonitor for ordering).
+type Transition struct {
+	From, To State
+	Cause    error // the error that drove the change; nil when To is Healthy
+}
+
+// Monitor is the background-error state machine. One instance belongs to
+// one engine; all methods are safe for concurrent use.
+type Monitor struct {
+	classifier Classifier
+	state      atomic.Uint32
+
+	mu      sync.Mutex
+	cause   error
+	failing map[string]struct{} // origins with an unresolved transient error
+
+	// cbMu serializes callback delivery so observers see transitions in
+	// commit order.
+	cbMu     sync.Mutex
+	onChange func(Transition)
+}
+
+// NewMonitor builds a Healthy monitor. onChange (may be nil) receives
+// every state transition; it is called outside the state lock but under a
+// delivery lock, so callbacks arrive one at a time, in order.
+func NewMonitor(c Classifier, onChange func(Transition)) *Monitor {
+	return &Monitor{
+		classifier: c,
+		failing:    map[string]struct{}{},
+		onChange:   onChange,
+	}
+}
+
+// State returns the current state (one atomic load; hot-path safe).
+func (m *Monitor) State() State { return State(m.state.Load()) }
+
+// Status returns the current state and the error that caused it (nil when
+// Healthy).
+func (m *Monitor) Status() (State, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return State(m.state.Load()), m.cause
+}
+
+// Err returns the cause of the current non-Healthy state, or nil.
+func (m *Monitor) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cause
+}
+
+// Report classifies err (non-nil) from the named origin and escalates the
+// state machine accordingly. It returns the class so the caller can pick
+// its recovery action (retry with backoff, park, or poison).
+func (m *Monitor) Report(origin string, err error) Class {
+	class := m.classifier.Classify(err)
+	var target State
+	switch class {
+	case ClassTransient:
+		target = Degraded
+	case ClassCorruption:
+		target = ReadOnly
+	default:
+		target = Failed
+	}
+
+	m.mu.Lock()
+	if class == ClassTransient {
+		m.failing[origin] = struct{}{}
+	}
+	cur := State(m.state.Load())
+	if target < cur {
+		// Never de-escalate: a transient error while quarantined does not
+		// un-quarantine anything.
+		m.mu.Unlock()
+		return class
+	}
+	if target == cur {
+		if cur != Healthy {
+			m.cause = err // refresh the cause at equal severity
+		}
+		m.mu.Unlock()
+		return class
+	}
+	m.cause = err
+	m.state.Store(uint32(target))
+	m.mu.Unlock()
+	m.fire(Transition{From: cur, To: target, Cause: err})
+	return class
+}
+
+// OK records a successful background operation from origin. Clearing the
+// last failing origin of a Degraded monitor auto-resumes it to Healthy;
+// OK reports whether this call performed that transition. On a Healthy
+// monitor OK is one atomic load.
+func (m *Monitor) OK(origin string) bool {
+	if State(m.state.Load()) != Degraded {
+		return false
+	}
+	m.mu.Lock()
+	if State(m.state.Load()) != Degraded {
+		m.mu.Unlock()
+		return false
+	}
+	delete(m.failing, origin)
+	if len(m.failing) > 0 {
+		// Another worker is still failing; the episode is not over.
+		m.mu.Unlock()
+		return false
+	}
+	m.cause = nil
+	m.state.Store(uint32(Healthy))
+	m.mu.Unlock()
+	m.fire(Transition{From: Degraded, To: Healthy})
+	return true
+}
+
+// Resume manually returns a Degraded or ReadOnly monitor to Healthy — the
+// operator fixed the disk, or accepts the corruption risk after offline
+// repair. Resume of a Healthy monitor is a no-op; a Failed monitor is
+// sticky and Resume returns its fatal cause.
+func (m *Monitor) Resume() error {
+	m.mu.Lock()
+	cur := State(m.state.Load())
+	switch cur {
+	case Healthy:
+		m.mu.Unlock()
+		return nil
+	case Failed:
+		err := m.cause
+		m.mu.Unlock()
+		if err == nil {
+			err = errors.New("health: engine failed")
+		}
+		return err
+	}
+	m.failing = map[string]struct{}{}
+	m.cause = nil
+	m.state.Store(uint32(Healthy))
+	m.mu.Unlock()
+	m.fire(Transition{From: cur, To: Healthy})
+	return nil
+}
+
+func (m *Monitor) fire(tr Transition) {
+	m.cbMu.Lock()
+	defer m.cbMu.Unlock()
+	if m.onChange != nil {
+		m.onChange(tr)
+	}
+}

@@ -1,0 +1,220 @@
+package health
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+var errCorruptSentinel = errors.New("test: corrupt record")
+
+// tempErr mimics faultfs.ErrInjected / net.Error temporary conditions.
+type tempErr struct{}
+
+func (tempErr) Error() string   { return "test: flaky device" }
+func (tempErr) Temporary() bool { return true }
+
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string { return "test: deadline" }
+func (timeoutErr) Timeout() bool { return true }
+
+func testClassifier() Classifier {
+	return Classifier{Corrupt: []error{errCorruptSentinel}}
+}
+
+func TestClassify(t *testing.T) {
+	c := testClassifier()
+	cases := []struct {
+		name string
+		err  error
+		want Class
+	}{
+		{"enospc", syscall.ENOSPC, ClassTransient},
+		{"enospc-wrapped", &os.PathError{Op: "write", Path: "000001.sst", Err: syscall.ENOSPC}, ClassTransient},
+		{"eio", fmt.Errorf("flush: %w", syscall.EIO), ClassTransient},
+		{"edquot", syscall.EDQUOT, ClassTransient},
+		{"temporary", tempErr{}, ClassTransient},
+		{"temporary-wrapped", fmt.Errorf("compaction: %w", tempErr{}), ClassTransient},
+		{"timeout", timeoutErr{}, ClassTransient},
+		{"deadline", os.ErrDeadlineExceeded, ClassTransient},
+		{"corrupt", errCorruptSentinel, ClassCorruption},
+		{"corrupt-wrapped", fmt.Errorf("wal 7: %w", errCorruptSentinel), ClassCorruption},
+		{"panic", &PanicError{Value: "boom"}, ClassFatal},
+		{"unknown", errors.New("some logic bug"), ClassFatal},
+	}
+	for _, tc := range cases {
+		if got := c.Classify(tc.err); got != tc.want {
+			t.Errorf("Classify(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestClassifyCorruptionWins checks that a corruption sentinel wrapped in a
+// "temporary" coat is still corruption: retrying cannot repair a bad block.
+func TestClassifyCorruptionWins(t *testing.T) {
+	c := testClassifier()
+	err := fmt.Errorf("%w: %w", errCorruptSentinel, tempErr{})
+	if got := c.Classify(err); got != ClassCorruption {
+		t.Fatalf("Classify(corrupt+temporary) = %v, want ClassCorruption", got)
+	}
+}
+
+func TestMonitorDegradeAndAutoResume(t *testing.T) {
+	var trs []Transition
+	m := NewMonitor(testClassifier(), func(tr Transition) { trs = append(trs, tr) })
+
+	if m.State() != Healthy {
+		t.Fatalf("initial state = %v", m.State())
+	}
+	if m.OK("flush") {
+		t.Fatal("OK on a healthy monitor reported a resume")
+	}
+
+	if cl := m.Report("flush", syscall.ENOSPC); cl != ClassTransient {
+		t.Fatalf("Report class = %v", cl)
+	}
+	if m.State() != Degraded {
+		t.Fatalf("state after transient = %v", m.State())
+	}
+	if m.Err() == nil {
+		t.Fatal("degraded monitor has no cause")
+	}
+
+	// A different origin succeeding must not end the episode.
+	if m.OK("compact-0") {
+		t.Fatal("unrelated origin cleared the degraded state")
+	}
+	if m.State() != Degraded {
+		t.Fatalf("state = %v after unrelated OK", m.State())
+	}
+
+	// The failing origin recovering does.
+	if !m.OK("flush") {
+		t.Fatal("OK(flush) did not auto-resume")
+	}
+	if m.State() != Healthy || m.Err() != nil {
+		t.Fatalf("state = %v, err = %v after auto-resume", m.State(), m.Err())
+	}
+
+	want := []Transition{
+		{From: Healthy, To: Degraded},
+		{From: Degraded, To: Healthy},
+	}
+	if len(trs) != len(want) {
+		t.Fatalf("transitions = %+v", trs)
+	}
+	for i, tr := range trs {
+		if tr.From != want[i].From || tr.To != want[i].To {
+			t.Fatalf("transition %d = %+v, want %+v", i, tr, want[i])
+		}
+	}
+	if trs[0].Cause == nil || trs[1].Cause != nil {
+		t.Fatalf("transition causes = %v, %v", trs[0].Cause, trs[1].Cause)
+	}
+}
+
+// TestMonitorMultiOrigin: with two origins failing, the episode ends only
+// when the second one recovers.
+func TestMonitorMultiOrigin(t *testing.T) {
+	m := NewMonitor(testClassifier(), nil)
+	m.Report("flush", syscall.ENOSPC)
+	m.Report("compact-0", syscall.EIO)
+	if m.OK("flush") {
+		t.Fatal("resumed while compact-0 still failing")
+	}
+	if !m.OK("compact-0") {
+		t.Fatal("did not resume when the last origin recovered")
+	}
+}
+
+func TestMonitorEscalation(t *testing.T) {
+	m := NewMonitor(testClassifier(), nil)
+	m.Report("flush", syscall.ENOSPC)
+	if cl := m.Report("compact-0", errCorruptSentinel); cl != ClassCorruption {
+		t.Fatalf("class = %v", cl)
+	}
+	if m.State() != ReadOnly {
+		t.Fatalf("state = %v, want ReadOnly", m.State())
+	}
+	// Neither a transient report nor a success de-escalates a quarantine.
+	m.Report("flush", syscall.ENOSPC)
+	if m.State() != ReadOnly {
+		t.Fatal("transient error de-escalated ReadOnly")
+	}
+	if m.OK("flush") || m.State() != ReadOnly {
+		t.Fatal("OK de-escalated ReadOnly")
+	}
+	// Manual resume clears the quarantine.
+	if err := m.Resume(); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if m.State() != Healthy || m.Err() != nil {
+		t.Fatalf("state = %v, err = %v after Resume", m.State(), m.Err())
+	}
+}
+
+func TestMonitorFatalSticky(t *testing.T) {
+	m := NewMonitor(testClassifier(), nil)
+	cause := errors.New("logic bug")
+	if cl := m.Report("flush", cause); cl != ClassFatal {
+		t.Fatalf("class = %v", cl)
+	}
+	if m.State() != Failed {
+		t.Fatalf("state = %v", m.State())
+	}
+	if err := m.Resume(); !errors.Is(err, cause) {
+		t.Fatalf("Resume on failed monitor = %v, want sticky %v", err, cause)
+	}
+	if m.State() != Failed {
+		t.Fatal("Resume un-stuck a failed monitor")
+	}
+}
+
+func TestPanicErrorClassifiesFatal(t *testing.T) {
+	m := NewMonitor(testClassifier(), nil)
+	err := fmt.Errorf("flush: %w", &PanicError{Value: "index out of range"})
+	if cl := m.Report("flush", err); cl != ClassFatal {
+		t.Fatalf("class = %v", cl)
+	}
+	if m.State() != Failed {
+		t.Fatalf("state = %v", m.State())
+	}
+}
+
+func TestBackoff(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond}
+	// Expected raw (pre-jitter) schedule: 10, 20, 40, 80, 80, ... with each
+	// delay jittered into [d/2, d].
+	raw := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, r := range raw {
+		d := b.Next()
+		lo, hi := r*time.Millisecond/2, r*time.Millisecond
+		if d < lo || d > hi {
+			t.Fatalf("delay %d = %v, want in [%v, %v]", i, d, lo, hi)
+		}
+	}
+	if b.Attempts() != len(raw) {
+		t.Fatalf("Attempts = %d", b.Attempts())
+	}
+	b.Reset()
+	if b.Attempts() != 0 {
+		t.Fatalf("Attempts after Reset = %d", b.Attempts())
+	}
+	if d := b.Next(); d > 10*time.Millisecond {
+		t.Fatalf("post-reset delay = %v, want <= base", d)
+	}
+
+	// The zero value must produce sane defaults and never overflow even
+	// after many attempts.
+	var z Backoff
+	for i := 0; i < 100; i++ {
+		d := z.Next()
+		if d <= 0 || d > DefaultBackoffCap {
+			t.Fatalf("zero-value delay %d = %v", i, d)
+		}
+	}
+}

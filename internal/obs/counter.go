@@ -46,6 +46,19 @@ func (c *Counter) Load() uint64 {
 	return sum
 }
 
+// Gauge is a last-value metric (e.g. the engine health state). Unlike
+// Counter it is not striped: gauges are written on rare transitions, not
+// hot paths. The zero value reads 0.
+type Gauge struct {
+	v atomic.Uint64
+}
+
+// Store sets the gauge.
+func (g *Gauge) Store(v uint64) { g.v.Store(v) }
+
+// Load returns the last stored value.
+func (g *Gauge) Load() uint64 { return g.v.Load() }
+
 // stripeIndex picks a stripe for the calling goroutine without allocating.
 // Goroutine stacks are distinct memory regions, so the address of a stack
 // variable is a cheap goroutine-stable discriminator; a multiplicative

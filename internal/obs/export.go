@@ -43,6 +43,10 @@ func (o *Observer) Snapshot() Snapshot {
 	s.Counters["wal_torn_tail_truncated"] = o.WALTornTails.Load()
 	s.Counters["recovery_records_replayed"] = o.RecoveryRecords.Load()
 	s.Counters["orphan_files_removed"] = o.OrphanFilesRemoved.Load()
+	s.Counters["bg_retries"] = o.BGRetries.Load()
+	s.Counters["bg_auto_resumes"] = o.BGAutoResumes.Load()
+	s.Counters["bg_bytes_reclaimed"] = o.BGBytesReclaimed.Load()
+	s.Counters["health_state"] = o.HealthState.Load()
 	s.WALGroupSize = o.WALGroupSize.ValueSnapshot()
 	s.Events = o.Trace.Events()
 	return s
@@ -137,7 +141,7 @@ func (o *Observer) WriteEvents(w io.Writer, max int) {
 		a.dur += e.Dur
 	}
 	fmt.Fprintf(w, "%-18s %8s %14s %12s\n", "event", "count", "bytes", "time")
-	for t := EvFlushStart; t <= EvSnapshotReclaim; t++ {
+	for t := EvFlushStart; t <= evLast; t++ {
 		a := byType[t]
 		if a == nil {
 			continue
@@ -159,6 +163,8 @@ func (o *Observer) WriteEvents(w io.Writer, max int) {
 			fmt.Fprintf(w, " cause=%s", e.Cause)
 		case EvSnapshotReclaim:
 			fmt.Fprintf(w, " handles=%d", e.Bytes)
+		case EvDegraded, EvReadOnly:
+			fmt.Fprintf(w, " cause=%q", e.Msg)
 		}
 		if e.Bytes > 0 && e.Type != EvSnapshotReclaim {
 			fmt.Fprintf(w, " bytes=%d", e.Bytes)

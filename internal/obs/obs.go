@@ -71,6 +71,20 @@ type Observer struct {
 	RecoveryRecords    Counter // WAL entries replayed into the recovery memtable
 	OrphanFilesRemoved Counter // unreferenced files (sstables, manifests, stale WALs) deleted on open
 
+	// Background fault-tolerance counters (see docs/FAULT_TOLERANCE.md).
+	// BGRetries counts retry attempts scheduled after transient background
+	// errors; BGAutoResumes counts Degraded→Healthy transitions performed
+	// by a successful retry (manual Resume calls are not counted);
+	// BGBytesReclaimed totals the bytes of partial sstable outputs deleted
+	// when a failed flush/compaction attempt is cleaned up at retry time.
+	BGRetries        Counter
+	BGAutoResumes    Counter
+	BGBytesReclaimed Counter
+
+	// HealthState mirrors the engine's health state machine: 0 healthy,
+	// 1 degraded, 2 read-only, 3 failed (health.State numbering).
+	HealthState Gauge
+
 	// WALGroupSize distributes the number of records committed per WAL
 	// group: the amortization factor of group commit. A p50 near 1 means
 	// the drain is keeping up record-by-record; large values mean heavy

@@ -18,7 +18,13 @@ const (
 	EvStallBegin
 	EvStallEnd
 	EvSnapshotReclaim
+	EvDegraded
+	EvResumed
+	EvReadOnly
 )
+
+// evLast is the highest defined event type (export iteration bound).
+const evLast = EvReadOnly
 
 // String names the event type for timelines and JSON export.
 func (t EventType) String() string {
@@ -37,6 +43,12 @@ func (t EventType) String() string {
 		return "stall-end"
 	case EvSnapshotReclaim:
 		return "snapshot-reclaim"
+	case EvDegraded:
+		return "degraded"
+	case EvResumed:
+		return "resumed"
+	case EvReadOnly:
+		return "read-only"
 	}
 	return "unknown"
 }
@@ -80,7 +92,8 @@ func (c StallCause) MarshalJSON() ([]byte, error) {
 // populated where they make sense: Level for compactions (0 for memtable
 // flushes, whose outputs land in L0), Bytes for bytes written by a
 // finished flush/compaction (or handles reclaimed for EvSnapshotReclaim),
-// Dur for the elapsed time of end events, Cause for stalls.
+// Dur for the elapsed time of end events, Cause for stalls, Msg for the
+// error text of health transitions (EvDegraded, EvReadOnly).
 type Event struct {
 	Seq   uint64        `json:"seq"`
 	Time  time.Time     `json:"time"`
@@ -89,6 +102,7 @@ type Event struct {
 	Bytes uint64        `json:"bytes,omitempty"`
 	Dur   time.Duration `json:"dur_ns,omitempty"`
 	Cause StallCause    `json:"cause,omitempty"`
+	Msg   string        `json:"msg,omitempty"`
 }
 
 // EventSink receives every trace event synchronously, in record order

@@ -24,9 +24,9 @@ func TestModelGet(t *testing.T) {
 func TestCheckCrashInvariants(t *testing.T) {
 	build := func() *Model {
 		m := NewModel()
-		m.Begin(1, Op{Key: "a", Value: []byte("v1")}).Ack(2)  // acked at 2
-		m.Begin(3, Op{Key: "a", Value: []byte("v2")})         // never acked
-		m.Begin(5, Op{Key: "a", Tombstone: true}).Ack(6)      // delete acked at 6
+		m.Begin(1, Op{Key: "a", Value: []byte("v1")}).Ack(2) // acked at 2
+		m.Begin(3, Op{Key: "a", Value: []byte("v2")})        // never acked
+		m.Begin(5, Op{Key: "a", Tombstone: true}).Ack(6)     // delete acked at 6
 		return m
 	}
 	cases := []struct {

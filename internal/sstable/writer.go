@@ -237,6 +237,11 @@ func (w *Writer) Finish() (Meta, error) {
 	return w.meta, nil
 }
 
+// Abandon closes the underlying file without finishing the table — the
+// cleanup path of a failed merge attempt, whose partial output is about to
+// be removed. The writer is unusable afterwards.
+func (w *Writer) Abandon() error { return w.f.Close() }
+
 // EstimatedSize returns the bytes emitted so far plus the current block.
 func (w *Writer) EstimatedSize() uint64 {
 	return w.offset + uint64(w.data.estimatedSize())

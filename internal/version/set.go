@@ -64,14 +64,21 @@ type Set struct {
 	// instead of taking a version reference per write.
 	l0 atomic.Int32
 
-	mu           sync.Mutex // serializes LogAndApply and manifest writes
-	manifest     *wal.Writer
-	manifestNum  uint64
-	nextFile     atomic.Uint64
-	logNum       uint64 // WALs below this are fully merged
-	lastTS       uint64 // recovered timestamp high-water mark
-	compactPtr   [NumLevels][]byte
-	pendingSeeks *syncutil.Queue[seekHint]
+	mu          sync.Mutex // serializes LogAndApply and manifest writes
+	manifest    *wal.Writer
+	manifestNum uint64
+	// manifestDirty is set when a manifest append or sync fails: the file
+	// tail may hold a torn (or complete but unsynced) record for an edit
+	// that was never installed. Appending more records behind it would let
+	// a later sync make that stale tail durable, so the next LogAndApply
+	// must first roll to a fresh manifest snapshotted from the installed
+	// state. Guarded by mu.
+	manifestDirty bool
+	nextFile      atomic.Uint64
+	logNum        uint64 // WALs below this are fully merged
+	lastTS        uint64 // recovered timestamp high-water mark
+	compactPtr    [NumLevels][]byte
+	pendingSeeks  *syncutil.Queue[seekHint]
 
 	// orphans counts unreferenced files deleted during Open (crash
 	// leftovers: sstables written but never installed, superseded
@@ -257,18 +264,27 @@ const manifestRollSize = 1 << 20
 func (s *Set) LogAndApply(edit *Edit) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if edit.hasLogNum {
-		s.logNum = edit.LogNum
+	if s.manifestDirty {
+		// A previous append failed partway, leaving a possibly-torn record
+		// in the manifest for an edit that was never installed. Start over
+		// on a fresh manifest (a snapshot of the installed state) so this
+		// edit is never written behind garbage.
+		if err := s.rollManifest(); err != nil {
+			return fmt.Errorf("version: roll dirty manifest: %w", err)
+		}
+		s.manifestDirty = false
 	}
-	if edit.hasLastTS && edit.LastTS > s.lastTS {
-		s.lastTS = edit.LastTS
-	}
+	// s.logNum and s.lastTS are advanced by builder.apply only after the
+	// record is durable: bumping them before the append would let a dirty
+	// roll snapshot a logNum that declares a still-unmerged WAL merged.
 	edit.SetNextFileNum(s.nextFile.Load())
 
 	if err := s.manifest.Append(edit.Encode(nil)); err != nil {
+		s.manifestDirty = true
 		return err
 	}
 	if err := s.manifest.Sync(); err != nil {
+		s.manifestDirty = true
 		return err
 	}
 
@@ -284,7 +300,11 @@ func (s *Set) LogAndApply(edit *Edit) error {
 	}
 	if s.manifest.Size() > manifestRollSize {
 		if err := s.rollManifest(); err != nil {
-			return fmt.Errorf("version: roll manifest: %w", err)
+			// The edit is already durable and installed; a failed roll only
+			// leaves the manifest writer in an ambiguous spot (CURRENT and
+			// s.manifest may disagree). Flag it so the next append re-rolls
+			// instead of failing an already-applied edit.
+			s.manifestDirty = true
 		}
 	}
 	return nil

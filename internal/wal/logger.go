@@ -2,6 +2,7 @@ package wal
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -313,6 +314,10 @@ func (l *Logger) commitGroup(backlog *logReq, forceSync bool) {
 		}
 	}
 	if groupErr != nil {
+		// Wrap once with the failing subsystem so the health classifier's
+		// callers see where a transient errno came from; %w keeps the
+		// underlying sentinel reachable for errors.Is.
+		groupErr = fmt.Errorf("wal: commit group: %w", groupErr)
 		l.err.CompareAndSwap(nil, &groupErr)
 	}
 	if records > 0 && l.groupSize != nil {

@@ -46,6 +46,9 @@ const (
 	EventStallBegin      = obs.EvStallBegin
 	EventStallEnd        = obs.EvStallEnd
 	EventSnapshotReclaim = obs.EvSnapshotReclaim
+	EventDegraded        = obs.EvDegraded
+	EventResumed         = obs.EvResumed
+	EventReadOnly        = obs.EvReadOnly
 )
 
 // StallCause says why a writer stalled.

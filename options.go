@@ -77,6 +77,12 @@ type Options struct {
 	// WithObserver and the Observer returned by DB.Observer.
 	EventSink EventSink
 
+	// OnHealthChange, when set, receives every health state transition
+	// (Healthy/Degraded/ReadOnly/Failed) one at a time, in commit order —
+	// the hook for alerting on background faults. It runs on an engine
+	// goroutine and must not call back into the store. See DB.Health.
+	OnHealthChange func(HealthChange)
+
 	// L0CompactionTrigger is the L0 file count that triggers a
 	// background compaction. L0SlowdownTrigger and L0StopTrigger are the
 	// write-throttling thresholds honored by the engine: at the slowdown
@@ -159,6 +165,13 @@ func WithObserver(sink EventSink) Option {
 	return func(o *Options) { o.EventSink = sink }
 }
 
+// WithHealthChange installs fn as the health transition callback: it fires
+// when the store degrades on a transient background fault, quarantines
+// read-only on corruption, fails fatally, or resumes to Healthy.
+func WithHealthChange(fn func(HealthChange)) Option {
+	return func(o *Options) { o.OnHealthChange = fn }
+}
+
 // engineOptions lowers the public Options onto core options. It is the
 // single delegation path shared by Open and OpenPath, so the two
 // constructors cannot drift (asserted by TestOpenPathEquivalence).
@@ -174,6 +187,7 @@ func (o Options) engineOptions(fs storage.FS, observer *obs.Observer) core.Optio
 		CompactionThreads:     o.CompactionThreads,
 		L0SlowdownTrigger:     o.L0SlowdownTrigger,
 		L0StopTrigger:         o.L0StopTrigger,
+		OnHealthChange:        o.OnHealthChange,
 		Observer:              observer,
 		Disk: version.Options{
 			L0CompactionTrigger: o.L0CompactionTrigger,

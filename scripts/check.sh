@@ -5,16 +5,26 @@
 # allocation-regression tests in a separate non-race pass (the race
 # detector's instrumentation allocates, so those tests carry
 # //go:build !race), then run a bounded crash-consistency matrix and the
-# randomized concurrent oracle test under -race. CRASHTEST_SEED and
-# CRASHTEST_OPS override the crash/oracle workload (a failing CI run
-# prints the pair to replay it).
+# randomized concurrent oracle test under -race, and finally the
+# background-fault suite (health state machine, degraded retry,
+# read-only quarantine) under -race. CRASHTEST_SEED and CRASHTEST_OPS
+# override the crash/oracle workload (a failing CI run prints the pair
+# to replay it).
 # The full suite is `go test ./...`.
 set -eux
 
 cd "$(dirname "$0")/.."
+
+fmt_dirty=$(gofmt -l .)
+if [ -n "$fmt_dirty" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt_dirty" >&2
+    exit 1
+fi
 
 go vet ./...
 go build ./...
 go test -race ./internal/obs ./internal/core ./internal/wal ./internal/batch
 go test ./internal/core ./internal/obs -run 'Allocs'
 go test -race -short ./internal/faultfs ./internal/oracle ./internal/crashtest
+go test -race -run 'Health|Degraded|ReadOnly' ./internal/...
