@@ -56,6 +56,13 @@ type Snapshot = core.Snapshot
 // Iterator walks user keys in ascending order; see DB.NewIterator.
 type Iterator = core.Iterator
 
+// IterOptions bounds an iterator to the user-key range
+// [LowerBound, UpperBound); see DB.NewIterator.
+type IterOptions = core.IterOptions
+
+// Value is one MultiGet result; see DB.MultiGet.
+type Value = core.Value
+
 // Metrics reports engine counters; see DB.Metrics.
 type Metrics = core.Metrics
 
@@ -119,6 +126,14 @@ func (db *DB) Get(key []byte) (value []byte, ok bool, err error) { return db.inn
 // failures. Snapshot.Has is the snapshot-scoped equivalent.
 func (db *DB) Has(key []byte) (bool, error) { return db.inner.Has(key) }
 
+// MultiGet returns the current value of every key in one call:
+// results[i] corresponds to keys[i], with absence reported per key through
+// Value.Exists rather than an error. The batch is read against a single
+// consistent component set — cheaper and stronger than a Get loop, which
+// may interleave with flushes. Snapshot.MultiGet is the snapshot-scoped
+// equivalent.
+func (db *DB) MultiGet(keys [][]byte) ([]Value, error) { return db.inner.MultiGet(keys) }
+
 // Delete removes key.
 func (db *DB) Delete(key []byte) error { return db.inner.Delete(key) }
 
@@ -139,9 +154,19 @@ func (db *DB) RMW(key []byte, f func(old []byte, exists bool) []byte) error {
 // their garbage collection during merges.
 func (db *DB) GetSnapshot() (*Snapshot, error) { return db.inner.GetSnapshot() }
 
-// NewIterator returns an iterator over a fresh implicit snapshot. Close it
-// when done.
-func (db *DB) NewIterator() (*Iterator, error) { return db.inner.NewIterator() }
+// NewIterator returns an iterator over a fresh implicit snapshot,
+// optionally bounded to a user-key range:
+//
+//	it, err := db.NewIterator(clsm.IterOptions{
+//		LowerBound: []byte("user:"),        // inclusive
+//		UpperBound: []byte("user;"),        // exclusive
+//	})
+//
+// Bounds clamp every positioning method and let the engine skip whole
+// sorted tables outside the range. Close the iterator when done.
+func (db *DB) NewIterator(opts ...IterOptions) (*Iterator, error) {
+	return db.inner.NewIterator(opts...)
+}
 
 // Flush synchronously merges the memtable into the disk component. After
 // it returns, every previously acknowledged write is in a sorted table.

@@ -61,6 +61,8 @@ func main() {
 		latency   = flag.Bool("latency", false, "also print throughput-vs-p90-latency tables")
 		list      = flag.Bool("list", false, "list figures and exit")
 		obsFlag   = flag.Bool("obs", true, "finish with an instrumented profile run: per-op latency percentiles and the engine event timeline")
+		stall     = flag.Bool("stall-profile", false, "run the write-stall A/B experiment (legacy gate vs auto-tuned throttle) instead of the figures")
+		stallOut  = flag.String("stall-out", "BENCH_stall.json", "output path for the stall-profile report")
 	)
 	flag.Parse()
 
@@ -79,6 +81,13 @@ func main() {
 	sc, err := harness.ScaleByName(*scaleFlag)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *stall {
+		if err := stallProfile(sc, *stallOut); err != nil {
+			fatal(fmt.Errorf("stall profile: %w", err))
+		}
+		return
 	}
 
 	var ids []string

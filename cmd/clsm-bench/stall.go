@@ -1,0 +1,253 @@
+package main
+
+// The stall profile is the A/B experiment behind the unified background
+// scheduler (docs/SCHEDULING.md): the same overload workload — writers
+// outrunning a deliberately slowed disk — run once under the "legacy"
+// profile (the historical binary L0 slowdown/stop gate) and once under the
+// auto-tuned admission controller. Put completions are bucketed into short
+// wall-clock windows; the worst window's maximum latency is the stall
+// cliff the redesign exists to remove. Results land in BENCH_stall.json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"clsm/internal/core"
+	"clsm/internal/faultfs"
+	"clsm/internal/harness"
+	"clsm/internal/storage"
+)
+
+const stallWindow = 250 * time.Millisecond
+
+// stallSample is one completed put: when it finished (offset from the run
+// start) and how long it took.
+type stallSample struct {
+	at  time.Duration
+	lat time.Duration
+}
+
+// stallWindowStats summarizes one wall-clock window of put completions.
+type stallWindowStats struct {
+	StartMS int64  `json:"start_ms"`
+	Puts    int    `json:"puts"`
+	P99us   uint64 `json:"p99_us"`
+	MaxUs   uint64 `json:"max_us"`
+}
+
+// stallRunResult is one profile's half of the A/B comparison.
+type stallRunResult struct {
+	Profile          string             `json:"profile"`
+	Seconds          float64            `json:"seconds"`
+	Puts             int                `json:"puts"`
+	PutsPerSec       float64            `json:"puts_per_sec"`
+	WorstWindowMaxUs uint64             `json:"worst_window_max_us"`
+	WorstWindowP99us uint64             `json:"worst_window_p99_us"`
+	ThrottledWrites  uint64             `json:"throttled_writes"`
+	Windows          []stallWindowStats `json:"windows"`
+}
+
+// stallReport is the BENCH_stall.json schema.
+type stallReport struct {
+	Scale            string         `json:"scale"`
+	WindowMS         int64          `json:"window_ms"`
+	Writers          int            `json:"writers"`
+	SSTWriteDelayUS  int64          `json:"sst_write_delay_us"`
+	Legacy           stallRunResult `json:"legacy"`
+	Tuned            stallRunResult `json:"tuned"`
+	WorstWindowRatio float64        `json:"worst_window_max_improvement"` // legacy/tuned, >1 = tuned better
+	ThroughputRatio  float64        `json:"throughput_ratio"`             // tuned/legacy, 1.0 = parity
+}
+
+// stallProfile runs the A/B overload experiment and writes out (default
+// BENCH_stall.json).
+func stallProfile(sc harness.Scale, out string) error {
+	dur := 8 * time.Second
+	writers := 4
+	delay := 2 * time.Millisecond
+	switch sc.Name {
+	case "smoke":
+		dur = 3 * time.Second
+	case "full":
+		dur = 20 * time.Second
+		writers = 8
+	}
+
+	fmt.Printf("# stall profile — %v per run, %d writers, %v sst-write delay, %v windows\n",
+		dur, writers, delay, stallWindow)
+
+	legacy, err := stallRun("legacy", dur, writers, delay)
+	if err != nil {
+		return err
+	}
+	tuned, err := stallRun("default", dur, writers, delay)
+	if err != nil {
+		return err
+	}
+
+	rep := stallReport{
+		Scale:           sc.Name,
+		WindowMS:        stallWindow.Milliseconds(),
+		Writers:         writers,
+		SSTWriteDelayUS: delay.Microseconds(),
+		Legacy:          legacy,
+		Tuned:           tuned,
+	}
+	if tuned.WorstWindowMaxUs > 0 {
+		rep.WorstWindowRatio = float64(legacy.WorstWindowMaxUs) / float64(tuned.WorstWindowMaxUs)
+	}
+	if legacy.PutsPerSec > 0 {
+		rep.ThroughputRatio = tuned.PutsPerSec / legacy.PutsPerSec
+	}
+
+	for _, r := range []stallRunResult{legacy, tuned} {
+		fmt.Printf("%-8s %8.0f puts/s   worst-window max %8.1f ms   p99 %8.1f ms   throttled writes %d\n",
+			r.Profile, r.PutsPerSec,
+			float64(r.WorstWindowMaxUs)/1000, float64(r.WorstWindowP99us)/1000,
+			r.ThrottledWrites)
+	}
+	fmt.Printf("worst-window max improvement %.2fx, throughput ratio %.3f\n",
+		rep.WorstWindowRatio, rep.ThroughputRatio)
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// stallRun drives the overload workload against one scheduler profile.
+func stallRun(profile string, dur time.Duration, writers int, delay time.Duration) (stallRunResult, error) {
+	ffs := faultfs.Wrap(storage.NewMemFS())
+	ffs.SetDelay(faultfs.OpWrite, "*.sst", delay)
+	db, err := core.Open(core.Options{
+		FS:                ffs,
+		MemtableSize:      256 << 10,
+		CompactionThreads: 2,
+		L0SlowdownTrigger: 4,
+		L0StopTrigger:     8,
+		SchedulerProfile:  profile,
+	})
+	if err != nil {
+		return stallRunResult{}, err
+	}
+	defer db.Close()
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		samples []stallSample
+		werr    error
+	)
+	val := make([]byte, 512)
+	start := time.Now()
+	if os.Getenv("STALL_DEBUG") != "" && profile != "legacy" {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(20 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					fmt.Printf("t=%6dms rate=%8dKB/s debt=%8dKB fill=%.2f merge=%v\n",
+						time.Since(start).Milliseconds(),
+						db.Observer().ThrottleRate.Load()/1024,
+						db.Observer().CompactionDebt.Load()/1024,
+						db.MemtableFillFraction(), db.MergeInFlight())
+				}
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			local := make([]stallSample, 0, 1<<14)
+			key := make([]byte, 0, 24)
+			for i := 0; ; i++ {
+				el := time.Since(start)
+				if el >= dur {
+					break
+				}
+				key = fmt.Appendf(key[:0], "w%02d-key-%09d", id, i)
+				s := time.Now()
+				err := db.Put(key, val)
+				lat := time.Since(s)
+				if err != nil {
+					mu.Lock()
+					if werr == nil {
+						werr = err
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, stallSample{at: el, lat: lat})
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	throttled := db.Observer().WriteThrottle.Count()
+	if werr != nil {
+		return stallRunResult{}, fmt.Errorf("profile %s: %w", profile, werr)
+	}
+
+	res := stallRunResult{
+		Profile:         profile,
+		Seconds:         elapsed.Seconds(),
+		Puts:            len(samples),
+		PutsPerSec:      float64(len(samples)) / elapsed.Seconds(),
+		ThrottledWrites: throttled,
+	}
+	nWin := int(dur/stallWindow) + 1
+	byWin := make([][]time.Duration, nWin)
+	for _, s := range samples {
+		w := int(s.at / stallWindow)
+		if w >= nWin {
+			w = nWin - 1
+		}
+		byWin[w] = append(byWin[w], s.lat)
+	}
+	for w, lats := range byWin {
+		if len(lats) == 0 {
+			continue
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		p99 := lats[len(lats)*99/100]
+		max := lats[len(lats)-1]
+		ws := stallWindowStats{
+			StartMS: int64(w) * stallWindow.Milliseconds(),
+			Puts:    len(lats),
+			P99us:   uint64(p99.Microseconds()),
+			MaxUs:   uint64(max.Microseconds()),
+		}
+		res.Windows = append(res.Windows, ws)
+		if ws.MaxUs > res.WorstWindowMaxUs {
+			res.WorstWindowMaxUs = ws.MaxUs
+		}
+		if ws.P99us > res.WorstWindowP99us {
+			res.WorstWindowP99us = ws.P99us
+		}
+	}
+	return res, nil
+}

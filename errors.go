@@ -32,4 +32,11 @@ var (
 	// store quarantined read-only. Reads, snapshots, and iterators keep
 	// serving; DB.Resume lifts the quarantine.
 	ErrReadOnly = core.ErrReadOnly
+
+	// ErrInvalidOptions is returned (wrapped, with the offending field
+	// named) by Open/OpenPath when the configuration is nonsensical — a
+	// negative size, count, or rate, L0StopTrigger below L0SlowdownTrigger,
+	// an unknown SchedulerProfile — and by NewIterator when an iterator's
+	// LowerBound sorts above its UpperBound.
+	ErrInvalidOptions = core.ErrInvalidOptions
 )

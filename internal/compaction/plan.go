@@ -1,0 +1,42 @@
+package compaction
+
+import "clsm/internal/version"
+
+// JobPlan names one unit of compaction work the scheduler should queue:
+// either a score-driven level compaction (Level >= 0) or a seek-triggered
+// one (Seek true, Level -1). Score orders jobs within the scheduler's
+// level band; Debt is the level's contribution to the admission
+// controller's backlog signal.
+type JobPlan struct {
+	Level int
+	Score float64
+	Seek  bool
+	Debt  uint64
+}
+
+// Plan surveys the current version and returns the compactions worth
+// queueing, highest-level-pressure first only in the sense that each entry
+// carries its score — ordering is the scheduler's job. Returns nil when
+// the tree is in shape (no allocation on the idle path, which the write
+// path's allocation budget depends on).
+func Plan(set *version.Set) []JobPlan {
+	v := set.Current()
+	if v == nil {
+		return nil
+	}
+	defer v.Unref()
+	var plans []JobPlan
+	for level := 0; level < version.NumLevels-1; level++ {
+		if sc := set.Score(v, level); sc > 0.99 {
+			plans = append(plans, JobPlan{
+				Level: level,
+				Score: sc,
+				Debt:  set.DebtBytes(v, level),
+			})
+		}
+	}
+	if set.PendingSeeks() > 0 {
+		plans = append(plans, JobPlan{Level: -1, Seek: true})
+	}
+	return plans
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -12,47 +11,11 @@ import (
 	"clsm/internal/wal"
 )
 
-// flushLoop is the merge driver for the in-memory component: it rotates the
-// memtable (beforeMerge), writes the frozen table to L0, installs the new
-// version, and retires the frozen table (afterMerge). A failed merge leaves
-// the frozen table in place (its WAL is retained, so acknowledged writes
-// stay durable) and the loop retries it under the health machinery's
-// backoff instead of dying.
-func (db *DB) flushLoop() {
-	defer db.bg.Done()
-	boff := db.newBackoff()
-	ticker := time.NewTicker(10 * time.Millisecond)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-db.closing:
-			return
-		case <-db.flushC:
-		case <-ticker.C:
-		}
-		if !db.bgRunnable() {
-			continue
-		}
-		db.flushMu.Lock()
-		var err error
-		worked := false
-		if db.imm.Load() != nil {
-			// A previous attempt failed mid-merge: finish that one first.
-			worked = true
-			err = db.supervised(db.flushImm)
-		} else if mt := db.mem.Load(); mt != nil && mt.ApproximateSize() >= db.opts.MemtableSize {
-			worked = true
-			err = db.supervised(db.rotateAndFlush)
-		}
-		db.flushMu.Unlock()
-		if !worked {
-			continue
-		}
-		if db.settleBG(originFlush, err, boff) {
-			db.kickCompaction()
-		}
-	}
-}
+// The flush and compaction drivers live in schedule.go: the unified
+// scheduler's planner submits one job per pending unit of work and the job
+// bodies below (rotateAndFlush, flushImm, runCompaction) execute it. This
+// file keeps the merge mechanics themselves plus the synchronous entry
+// points (Flush, CompactRange).
 
 // rotateAndFlush performs one full memtable merge cycle. The caller holds
 // flushMu and has verified that no immutable memtable is in flight.
@@ -214,69 +177,6 @@ func (db *DB) snapshotSweepLoop() {
 			db.sweepExpiredSnapshots(now)
 		}
 	}
-}
-
-// compactLoop drives disk-component compactions. Multiple instances may
-// run (Options.CompactionThreads); a level-busy table keeps concurrent
-// compactions on disjoint level pairs, mirroring RocksDB's multi-threaded
-// compaction used in the Fig. 11 comparison. A failed compaction installs
-// nothing — partial outputs of an aborted build are deleted on the spot,
-// outputs of a failed install are left for the orphan sweep — so the retry
-// (after the health machinery's backoff) simply re-picks it.
-func (db *DB) compactLoop(id int) {
-	defer db.bg.Done()
-	origin := fmt.Sprintf("compact-%d", id)
-	boff := db.newBackoff()
-	ticker := time.NewTicker(25 * time.Millisecond)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-db.closing:
-			return
-		case <-db.compactC:
-		case <-ticker.C:
-		}
-		for db.bgRunnable() {
-			select {
-			case <-db.closing:
-				return
-			default:
-			}
-			var did bool
-			err := db.supervised(func() error {
-				var e error
-				did, e = db.compactOnce()
-				return e
-			})
-			if !db.settleBG(origin, err, boff) {
-				break
-			}
-			if !did {
-				break
-			}
-			db.wakeStalled(&db.l0Relaxed)
-		}
-	}
-}
-
-// compactOnce picks and runs one compaction; reports whether work was done.
-func (db *DB) compactOnce() (bool, error) {
-	db.busyMu.Lock()
-	c := db.versions.PickCompactionFiltered(func(level int) bool {
-		return level < version.NumLevels && db.levelBusy[level]
-	})
-	if c == nil {
-		db.busyMu.Unlock()
-		return false, nil
-	}
-	db.markLevelsLocked(c.Level, true)
-	db.busyMu.Unlock()
-	defer func() {
-		db.busyMu.Lock()
-		db.markLevelsLocked(c.Level, false)
-		db.busyMu.Unlock()
-	}()
-	return true, db.runCompaction(c)
 }
 
 // markLevelsLocked flips the busy flags for a compaction's level pair.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"clsm/internal/memtable"
 	"clsm/internal/obs"
 	"clsm/internal/oracle"
+	"clsm/internal/scheduler"
 	"clsm/internal/sstable"
 	"clsm/internal/storage"
 	"clsm/internal/syncutil"
@@ -49,16 +51,50 @@ type DB struct {
 	compactor *compaction.Compactor
 	blocks    *cache.Cache
 
-	// Background machinery.
-	flushC    chan struct{}
-	compactC  chan struct{}
-	flushMu   sync.Mutex // serializes memtable rotation cycles
-	closing   chan struct{}
-	bg        sync.WaitGroup
-	closed    atomic.Bool
-	bgErr     atomic.Pointer[error]
-	levelBusy [version.NumLevels]bool
-	busyMu    sync.Mutex
+	// Background machinery. sched is the unified scheduler owning every
+	// flush and compaction worker; throttle is the write-path admission
+	// token bucket its planner auto-tunes. legacyGate selects the
+	// historical binary L0 slowdown/stop gate instead of the throttle
+	// (SchedulerProfile "legacy").
+	sched      *scheduler.Scheduler
+	throttle   *scheduler.Throttle
+	legacyGate bool
+	// lastPlanDebt is the previous planner pass's debt signal; its trend
+	// (growing vs draining) picks decay vs hold in tuneThrottle. wallTicks
+	// counts consecutive passes spent at the memtable wall, distinguishing
+	// a rotation-edge graze from a held wall. Both owned by the planner
+	// goroutine.
+	lastPlanDebt uint64
+	wallTicks    int
+	// drainEWMA estimates the disk's recent flush drain rate (bytes/s,
+	// exponentially smoothed); it ceilings rate recovery while a backlog
+	// remains so the controller cannot climb far past what the disk
+	// absorbs. lastFlushBytes/lastDrainAt are its sampling state. All
+	// owned by the planner goroutine.
+	drainEWMA      float64
+	lastFlushBytes uint64
+	lastDrainAt    time.Time
+	flushMu        sync.Mutex // serializes memtable rotation cycles
+	closing        chan struct{}
+	bg             sync.WaitGroup
+	closed         atomic.Bool
+	bgErr          atomic.Pointer[error]
+	levelBusy      [version.NumLevels]bool
+	busyMu         sync.Mutex
+
+	// Per-origin retry backoffs. Each is owned by at most one running job
+	// at a time (the scheduler serializes same-key jobs; Backoff is not
+	// concurrency-safe).
+	flushBoff *health.Backoff
+	levelBoff [version.NumLevels]*health.Backoff
+	seekBoff  *health.Backoff
+
+	// Prebuilt job closures, so the planner submits without allocating a
+	// fresh closure per pass (the Job copy itself only allocates when new
+	// work is actually queued).
+	flushRun    func()
+	seekRun     func()
+	compactRuns [version.NumLevels]func()
 
 	// health is the background-error state machine: transient faults
 	// degrade (retry with backoff), corruption quarantines to read-only,
@@ -87,18 +123,35 @@ type DB struct {
 	}
 }
 
-// Open creates or recovers an engine.
+// Open creates or recovers an engine. Nonsensical options fail fast with a
+// wrapped ErrInvalidOptions before any file is touched.
 func Open(opts Options) (*DB, error) {
-	opts = opts.WithDefaults()
-	db := &DB{
-		opts:     opts,
-		fs:       opts.FS,
-		obs:      opts.Observer,
-		oracle:   oracle.New(),
-		flushC:   make(chan struct{}, 1),
-		compactC: make(chan struct{}, 1),
-		closing:  make(chan struct{}),
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
+	opts = opts.WithDefaults()
+	// Validate ran on the raw options; a trigger pair can also invert when
+	// only one side was set and the default fills the other.
+	if opts.L0StopTrigger < opts.L0SlowdownTrigger {
+		return nil, fmt.Errorf("%w: L0StopTrigger (%d) < L0SlowdownTrigger (%d) after defaults",
+			ErrInvalidOptions, opts.L0StopTrigger, opts.L0SlowdownTrigger)
+	}
+	prof, err := scheduler.ProfileByName(opts.SchedulerProfile)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+	}
+	db := &DB{
+		opts:       opts,
+		fs:         opts.FS,
+		obs:        opts.Observer,
+		oracle:     oracle.New(),
+		closing:    make(chan struct{}),
+		legacyGate: prof.Legacy,
+	}
+	db.throttle = scheduler.NewThrottle(prof, opts.WriteRateLimit)
+	// A user rate limit pre-activates the bucket; mirror it into the gauge
+	// so the export is correct before the tuner's first change.
+	db.obs.ThrottleRate.Store(uint64(db.throttle.Rate()))
 	db.blocks = cache.New(opts.BlockCacheSize)
 	db.blocks.SetMetrics(&db.obs.CacheHits, &db.obs.CacheMisses)
 	vs, err := version.Open(opts.FS, db.blocks, opts.Disk)
@@ -129,11 +182,25 @@ func Open(opts Options) (*DB, error) {
 		}
 	}
 
-	db.bg.Add(1 + opts.CompactionThreads)
-	go db.flushLoop()
-	for i := 0; i < opts.CompactionThreads; i++ {
-		go db.compactLoop(i)
+	// Per-origin backoffs and prebuilt job closures (see schedule.go).
+	db.flushBoff = db.newBackoff()
+	db.seekBoff = db.newBackoff()
+	db.flushRun = db.runFlushJob
+	db.seekRun = db.runSeekJob
+	for l := 0; l < version.NumLevels; l++ {
+		level := l
+		db.levelBoff[l] = db.newBackoff()
+		db.compactRuns[l] = func() { db.runCompactionJob(level) }
 	}
+	// One extra worker beyond the compaction slots so a flush can always
+	// run alongside a full complement of compactions.
+	db.sched = scheduler.New(scheduler.Config{
+		Workers:         opts.CompactionThreads + 1,
+		CompactionSlots: opts.CompactionThreads,
+		FlushSlots:      1,
+		Poll:            10 * time.Millisecond,
+		Planner:         db.plan,
+	})
 	if opts.SnapshotTTL > 0 {
 		db.bg.Add(1)
 		go db.snapshotSweepLoop()
@@ -171,7 +238,10 @@ func (db *DB) Close() error {
 	if !db.closed.CompareAndSwap(false, true) {
 		return ErrClosed
 	}
+	// closing first, so jobs parked in backoff waits and writers parked in
+	// throttle waits unblock before the scheduler drains its running work.
 	close(db.closing)
+	db.sched.Close()
 	db.bg.Wait()
 
 	var firstErr error

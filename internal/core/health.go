@@ -52,12 +52,12 @@ func (db *DB) Resume() error {
 	if err := db.health.Resume(); err != nil {
 		return err
 	}
+	// Reset the admission throttle: the operator vouched for the disk, so
+	// parked writers are admitted immediately and the auto-tuned rate
+	// returns to its configured baseline.
+	db.throttle.Reset()
 	db.wakeStalled(&db.resumed)
-	select {
-	case db.flushC <- struct{}{}:
-	default:
-	}
-	db.kickCompaction()
+	db.sched.Kick()
 	return nil
 }
 
@@ -74,8 +74,22 @@ func (db *DB) onHealthChange(tr health.Transition) {
 		db.obs.Event(obs.Event{Type: obs.EvDegraded, Msg: msg})
 	case health.ReadOnly:
 		db.obs.Event(obs.Event{Type: obs.EvReadOnly, Msg: msg})
+		// Quarantine: background merges must not touch the disk. Pause
+		// drops the queue; the planner regenerates it after Resume. (The
+		// nil guard covers transitions during Open, before the scheduler
+		// exists.)
+		if db.sched != nil {
+			db.sched.Pause()
+		}
+	case health.Failed:
+		if db.sched != nil {
+			db.sched.Pause()
+		}
 	case health.Healthy:
 		db.obs.Event(obs.Event{Type: obs.EvResumed})
+		if db.sched != nil {
+			db.sched.Resume()
+		}
 	}
 	if db.opts.OnHealthChange != nil {
 		db.opts.OnHealthChange(tr)

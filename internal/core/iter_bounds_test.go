@@ -1,0 +1,258 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"clsm/internal/iterator"
+	"clsm/internal/storage"
+)
+
+// boundedTestDB layers data across all three components — compacted disk
+// levels, L0 overwrites and deletes, fresh memtable writes — so bound
+// clamping is exercised against every source an iterator merges.
+func boundedTestDB(t *testing.T) *DB {
+	t.Helper()
+	db := mustOpen(t, storage.NewMemFS())
+	t.Cleanup(func() { db.Close() })
+	for i := 0; i < 200; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("disk"))
+	}
+	if err := db.CompactRange(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i += 3 {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("l0"))
+	}
+	for i := 1; i < 200; i += 7 {
+		db.Delete([]byte(fmt.Sprintf("k%04d", i)))
+	}
+	if err := db.forceFlush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i += 5 {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("mem"))
+	}
+	return db
+}
+
+// collect drains the iterator forward from First.
+func collect(t *testing.T, it *Iterator) []string {
+	t.Helper()
+	var out []string
+	for it.First(); it.Valid(); it.Next() {
+		out = append(out, string(it.Key())+"="+string(it.Value()))
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestBoundedIteratorMatchesFiltered compares bounded scans — forward and
+// backward — against the unbounded scan filtered to the same range, across
+// a grid of bounds including empty ranges and bounds between keys.
+func TestBoundedIteratorMatchesFiltered(t *testing.T) {
+	db := boundedTestDB(t)
+
+	full, err := db.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	all := collect(t, full)
+
+	cases := []struct{ lo, hi string }{
+		{"", ""},
+		{"k0050", ""},
+		{"", "k0150"},
+		{"k0050", "k0150"},
+		{"k0049x", "k0150x"}, // bounds between keys
+		{"k0100", "k0100"},   // empty range
+		{"a", "k0000"},       // entirely below the data
+		{"z", ""},            // entirely above the data
+		{"k0000", "k0001"},   // single key
+	}
+	for _, tc := range cases {
+		var o IterOptions
+		if tc.lo != "" {
+			o.LowerBound = []byte(tc.lo)
+		}
+		if tc.hi != "" {
+			o.UpperBound = []byte(tc.hi)
+		}
+		var want []string
+		for _, kv := range all {
+			k := kv[:bytes.IndexByte([]byte(kv), '=')]
+			if tc.lo != "" && k < tc.lo {
+				continue
+			}
+			if tc.hi != "" && k >= tc.hi {
+				continue
+			}
+			want = append(want, kv)
+		}
+
+		it, err := db.NewIterator(o)
+		if err != nil {
+			t.Fatalf("[%q,%q) NewIterator: %v", tc.lo, tc.hi, err)
+		}
+		got := collect(t, it)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("[%q,%q) forward: got %d keys, want %d\n got=%v\nwant=%v",
+				tc.lo, tc.hi, len(got), len(want), got, want)
+		}
+
+		var back []string
+		for it.Last(); it.Valid(); it.Prev() {
+			back = append(back, string(it.Key())+"="+string(it.Value()))
+		}
+		if err := it.Err(); err != nil {
+			t.Fatal(err)
+		}
+		for i, j := 0, len(back)-1; i < j; i, j = i+1, j-1 {
+			back[i], back[j] = back[j], back[i]
+		}
+		if fmt.Sprint(back) != fmt.Sprint(want) {
+			t.Errorf("[%q,%q) backward: got %v want %v", tc.lo, tc.hi, back, want)
+		}
+		it.Close()
+	}
+}
+
+// TestBoundedIteratorSeekClamps pins the clamping rules of each positioning
+// method at and around the bounds.
+func TestBoundedIteratorSeekClamps(t *testing.T) {
+	db := boundedTestDB(t)
+	it, err := db.NewIterator(IterOptions{
+		LowerBound: []byte("k0050"), UpperBound: []byte("k0150"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+
+	// Seek below the lower bound starts from the bound.
+	it.Seek([]byte("k0000"))
+	if !it.Valid() || string(it.Key()) != "k0050" {
+		t.Fatalf("Seek below lower: at %q valid=%v, want k0050", it.Key(), it.Valid())
+	}
+	// Seek at/past the upper bound invalidates.
+	it.Seek([]byte("k0150"))
+	if it.Valid() {
+		t.Fatalf("Seek at upper bound stayed valid at %q", it.Key())
+	}
+	it.Seek([]byte("k0199"))
+	if it.Valid() {
+		t.Fatalf("Seek past upper bound stayed valid at %q", it.Key())
+	}
+	// First/Last land on the extreme in-bounds keys.
+	it.First()
+	if !it.Valid() || string(it.Key()) != "k0050" {
+		t.Fatalf("First: at %q valid=%v, want k0050", it.Key(), it.Valid())
+	}
+	it.Last()
+	if !it.Valid() || string(it.Key()) < "k0140" || string(it.Key()) >= "k0150" {
+		t.Fatalf("Last: at %q valid=%v, want a key in [k0140,k0150)", it.Key(), it.Valid())
+	}
+	last := string(it.Key())
+	// Next past Last falls off the range, not past it.
+	it.Next()
+	if it.Valid() {
+		t.Fatalf("Next after Last stayed valid at %q", it.Key())
+	}
+	// SeekForPrev at/past the upper bound lands on the last in-bounds key.
+	it.SeekForPrev([]byte("k0199"))
+	if !it.Valid() || string(it.Key()) != last {
+		t.Fatalf("SeekForPrev past upper: at %q valid=%v, want %q", it.Key(), it.Valid(), last)
+	}
+	// SeekForPrev below the lower bound has nothing to land on.
+	it.SeekForPrev([]byte("k0049"))
+	if it.Valid() {
+		t.Fatalf("SeekForPrev below lower stayed valid at %q", it.Key())
+	}
+	// Prev before First falls off the range.
+	it.First()
+	it.Prev()
+	if it.Valid() {
+		t.Fatalf("Prev before First stayed valid at %q", it.Key())
+	}
+}
+
+// TestIterOptionsValidation pins the error contract: inverted bounds are
+// rejected with ErrInvalidOptions on both iterator surfaces, and later
+// variadic options override earlier ones field by field.
+func TestIterOptionsValidation(t *testing.T) {
+	db := boundedTestDB(t)
+
+	bad := IterOptions{LowerBound: []byte("z"), UpperBound: []byte("a")}
+	if _, err := db.NewIterator(bad); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("DB.NewIterator(inverted) = %v, want ErrInvalidOptions", err)
+	}
+	snap, err := db.GetSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	if _, err := snap.NewIterator(bad); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("Snapshot.NewIterator(inverted) = %v, want ErrInvalidOptions", err)
+	}
+
+	// Later options override; the combination may be valid even when pieces
+	// arrive separately, and buffers are copied (mutating the caller's slice
+	// must not move the bound).
+	lo := []byte("k0050")
+	it, err := db.NewIterator(
+		IterOptions{LowerBound: []byte("z")},
+		IterOptions{LowerBound: lo, UpperBound: []byte("k0150")},
+	)
+	if err != nil {
+		t.Fatalf("variadic override: %v", err)
+	}
+	defer it.Close()
+	copy(lo, "XXXXX")
+	it.First()
+	if !it.Valid() || string(it.Key()) != "k0050" {
+		t.Fatalf("combined bounds: First at %q valid=%v, want k0050", it.Key(), it.Valid())
+	}
+}
+
+// TestBoundedIteratorSkipsTables asserts the point of pushing bounds into
+// the version: sstables wholly outside the range never contribute child
+// iterators (and so are never opened).
+func TestBoundedIteratorSkipsTables(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+	// Four disjoint L0 files.
+	for _, r := range []string{"a", "b", "c", "d"} {
+		for i := 0; i < 20; i++ {
+			db.Put([]byte(fmt.Sprintf("%s%04d", r, i)), []byte("v"))
+		}
+		if err := db.forceFlush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := db.versions.Current()
+	if v == nil {
+		t.Fatal("no current version")
+	}
+	defer v.Unref()
+	if n := len(v.Levels[0]); n < 4 {
+		t.Fatalf("expected >=4 L0 files, got %d", n)
+	}
+	unbounded, err := v.Iterators(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := v.IteratorsBounded(nil, []byte("b"), []byte("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounded) >= len(unbounded) {
+		t.Fatalf("bounds opened %d child iterators, unbounded %d — no tables skipped",
+			len(bounded), len(unbounded))
+	}
+	var _ []iterator.Iterator = bounded
+}

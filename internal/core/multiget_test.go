@@ -1,0 +1,114 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"clsm/internal/storage"
+)
+
+// TestMultiGetMatchesGet reads a batch spanning every component — disk,
+// L0, memtable — plus deleted and absent keys, and checks each result
+// against the single-key path.
+func TestMultiGetMatchesGet(t *testing.T) {
+	db := boundedTestDB(t) // layered: disk + L0 (with deletes) + memtable
+
+	var ks [][]byte
+	for i := 0; i < 200; i += 2 {
+		ks = append(ks, []byte(fmt.Sprintf("k%04d", i)))
+	}
+	ks = append(ks, []byte("nope"), []byte("k9999"))
+
+	got, err := db.MultiGet(ks)
+	if err != nil {
+		t.Fatalf("MultiGet: %v", err)
+	}
+	if len(got) != len(ks) {
+		t.Fatalf("MultiGet returned %d results for %d keys", len(got), len(ks))
+	}
+	for i, k := range ks {
+		v, ok, err := db.Get(k)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", k, err)
+		}
+		if got[i].Exists != ok {
+			t.Errorf("key %q: MultiGet exists=%v, Get ok=%v", k, got[i].Exists, ok)
+		}
+		if string(got[i].Data) != string(v) {
+			t.Errorf("key %q: MultiGet=%q, Get=%q", k, got[i].Data, v)
+		}
+		if !got[i].Exists && got[i].Data != nil {
+			t.Errorf("key %q: absent result carries data %q", k, got[i].Data)
+		}
+	}
+}
+
+// TestMultiGetSnapshotConsistency pins the batch to the snapshot time:
+// writes and deletes after the snapshot stay invisible to the snapshot
+// batch while the live batch sees them.
+func TestMultiGetSnapshotConsistency(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+	db.Put([]byte("a"), []byte("old-a"))
+	db.Put([]byte("b"), []byte("old-b"))
+
+	snap, err := db.GetSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+
+	db.Put([]byte("a"), []byte("new-a"))
+	db.Delete([]byte("b"))
+	db.Put([]byte("c"), []byte("new-c"))
+
+	ks := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	old, err := snap.MultiGet(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(old[0].Data) != "old-a" || !old[1].Exists || string(old[1].Data) != "old-b" || old[2].Exists {
+		t.Fatalf("snapshot batch saw post-snapshot state: %+v", old)
+	}
+	now, err := db.MultiGet(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(now[0].Data) != "new-a" || now[1].Exists || !now[2].Exists {
+		t.Fatalf("live batch missed post-snapshot state: %+v", now)
+	}
+}
+
+// TestMultiGetEdgeCases covers the degenerate inputs and the error
+// contract on dead handles.
+func TestMultiGetEdgeCases(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	db.Put([]byte("a"), []byte("v"))
+
+	if out, err := db.MultiGet(nil); err != nil || out != nil {
+		t.Fatalf("MultiGet(nil) = (%v, %v), want (nil, nil)", out, err)
+	}
+	// Duplicate keys each get their own slot.
+	dup, err := db.MultiGet([][]byte{[]byte("a"), []byte("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup[0].Exists || !dup[1].Exists || string(dup[1].Data) != "v" {
+		t.Fatalf("duplicate keys: %+v", dup)
+	}
+
+	snap, err := db.GetSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Close()
+	if _, err := snap.MultiGet([][]byte{[]byte("a")}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed snapshot MultiGet = %v, want ErrClosed", err)
+	}
+
+	db.Close()
+	if _, err := db.MultiGet([][]byte{[]byte("a")}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed DB MultiGet = %v, want ErrClosed", err)
+	}
+}

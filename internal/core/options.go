@@ -6,13 +6,23 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"clsm/internal/health"
 	"clsm/internal/obs"
+	"clsm/internal/scheduler"
 	"clsm/internal/storage"
 	"clsm/internal/version"
 )
+
+// ErrInvalidOptions is returned (wrapped, with the offending field named)
+// by Open when the options are nonsensical — a negative size or trigger,
+// L0StopTrigger below L0SlowdownTrigger, a negative rate limit, an unknown
+// scheduler profile. Zero values are not errors: they select the documented
+// defaults. Match with errors.Is.
+var ErrInvalidOptions = errors.New("clsm: invalid options")
 
 // Options configures an engine instance.
 type Options struct {
@@ -77,6 +87,20 @@ type Options struct {
 	// indefinitely on a disk that may never recover.
 	DegradedStallTimeout time.Duration
 
+	// WriteRateLimit, when positive, caps admitted user-write volume at
+	// this many bytes per second: the admission token bucket stays
+	// permanently active at (at most) this rate, and the auto-tuner can
+	// only lower it under backlog pressure. Zero means no cap — the
+	// bucket engages only while background debt demands it.
+	WriteRateLimit int64
+
+	// SchedulerProfile selects the background scheduler and write-throttle
+	// tuning preset: "default" (balanced), "throughput" (gentle decay,
+	// fast recovery), "latency" (hard decay, cautious recovery), or
+	// "legacy" (the historical binary L0 slowdown/stop gate, no
+	// auto-tuning — kept for A/B measurement). Empty selects "default".
+	SchedulerProfile string
+
 	// PanicOnBGFault disables the background panic recovery (debug mode):
 	// a panicking flush or compaction crashes the process with its
 	// original stack instead of being recorded as a fatal health error.
@@ -134,6 +158,71 @@ func (o Options) WithDefaults() Options {
 	}
 	o.Disk = o.Disk.WithDefaults()
 	return o
+}
+
+// Validate rejects nonsensical configurations before WithDefaults papers
+// over them. The zero value of every field remains valid (it means "use
+// the default"); what Validate catches is actively contradictory input:
+// negative sizes, counts, or durations, an inverted L0 trigger pair, a
+// negative rate limit, an unknown scheduler profile. Every error wraps
+// ErrInvalidOptions.
+func (o Options) Validate() error {
+	bad := func(field string, v any) error {
+		return fmt.Errorf("%w: %s = %v", ErrInvalidOptions, field, v)
+	}
+	if o.MemtableSize < 0 {
+		return bad("MemtableSize", o.MemtableSize)
+	}
+	if o.BlockCacheSize < 0 {
+		return bad("BlockCacheSize", o.BlockCacheSize)
+	}
+	if o.L0SlowdownTrigger < 0 {
+		return bad("L0SlowdownTrigger", o.L0SlowdownTrigger)
+	}
+	if o.L0StopTrigger < 0 {
+		return bad("L0StopTrigger", o.L0StopTrigger)
+	}
+	if o.L0SlowdownTrigger > 0 && o.L0StopTrigger > 0 && o.L0StopTrigger < o.L0SlowdownTrigger {
+		return fmt.Errorf("%w: L0StopTrigger (%d) < L0SlowdownTrigger (%d)",
+			ErrInvalidOptions, o.L0StopTrigger, o.L0SlowdownTrigger)
+	}
+	if o.CompactionThreads < 0 {
+		return bad("CompactionThreads", o.CompactionThreads)
+	}
+	if o.SnapshotTTL < 0 {
+		return bad("SnapshotTTL", o.SnapshotTTL)
+	}
+	if o.RetryBaseDelay < 0 {
+		return bad("RetryBaseDelay", o.RetryBaseDelay)
+	}
+	if o.RetryMaxDelay < 0 {
+		return bad("RetryMaxDelay", o.RetryMaxDelay)
+	}
+	if o.DegradedStallTimeout < 0 {
+		return bad("DegradedStallTimeout", o.DegradedStallTimeout)
+	}
+	if o.WriteRateLimit < 0 {
+		return bad("WriteRateLimit", o.WriteRateLimit)
+	}
+	if _, err := scheduler.ProfileByName(o.SchedulerProfile); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+	}
+	if o.Disk.L0CompactionTrigger < 0 {
+		return bad("Disk.L0CompactionTrigger", o.Disk.L0CompactionTrigger)
+	}
+	if o.Disk.BaseLevelBytes < 0 {
+		return bad("Disk.BaseLevelBytes", o.Disk.BaseLevelBytes)
+	}
+	if o.Disk.TableFileSize < 0 {
+		return bad("Disk.TableFileSize", o.Disk.TableFileSize)
+	}
+	if o.Disk.BlockSize < 0 {
+		return bad("Disk.BlockSize", o.Disk.BlockSize)
+	}
+	if o.Disk.BloomBitsPerKey < 0 {
+		return bad("Disk.BloomBitsPerKey", o.Disk.BloomBitsPerKey)
+	}
+	return nil
 }
 
 // Metrics exposes engine counters. All fields are cumulative.

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"clsm/internal/compaction"
+	"clsm/internal/obs"
+	"clsm/internal/scheduler"
+	"clsm/internal/version"
+)
+
+// This file is the engine side of the unified background scheduler: the
+// planner that surveys engine state and submits jobs, the job bodies that
+// execute flushes and compactions through the health machinery, and the
+// write-path admission controller that converts the scheduler's debt
+// signal into smooth backpressure (docs/SCHEDULING.md).
+
+// Job keys. One queue entry per kind of work: the planner resubmits every
+// pass and the scheduler dedups by key, so the queue mirrors current state
+// instead of accumulating history.
+const (
+	jobKeyFlush = "flush"
+	jobKeySeek  = "compact-seek"
+)
+
+// compactJobKeys names the per-level compaction jobs, doubling as the
+// scheduler dedup key and the health monitor origin. Preformatted so the
+// planner and job bodies never call fmt.
+var compactJobKeys = func() (keys [version.NumLevels]string) {
+	for l := range keys {
+		keys[l] = fmt.Sprintf("compact-L%d", l)
+	}
+	return
+}()
+
+// originSeek is the health origin of seek-triggered compactions.
+const originSeek = "compact-seek"
+
+// plan is the scheduler's Planner callback: it runs every poll tick (and on
+// every Kick and job completion), tunes the admission throttle, and submits
+// one job per pending unit of work. It must stay allocation-free when the
+// tree is in shape — the write path's allocation budget is measured with
+// this loop running. The scheduler arrives as an argument because the first
+// pass can fire before Open has assigned db.sched.
+func (db *DB) plan(sched *scheduler.Scheduler) {
+	if db.closed.Load() {
+		return
+	}
+	var debt uint64
+	if db.bgRunnable() {
+		// Flush work: a frozen memtable waiting to merge, or a mutable one
+		// past its spill threshold waiting to rotate. The filling mutable
+		// memtable deliberately does NOT count toward debt: write arrival
+		// would then read as "debt growing" on every pass and defeat the
+		// throttle's hold-while-draining trend detection.
+		if imm := db.imm.Load(); imm != nil {
+			debt += uint64(imm.ApproximateSize())
+			sched.Submit(scheduler.Job{
+				Key: jobKeyFlush, Band: scheduler.BandFlush, Run: db.flushRun,
+			})
+		} else if mt := db.mem.Load(); mt != nil && mt.ApproximateSize() >= db.opts.MemtableSize {
+			debt += uint64(mt.ApproximateSize())
+			sched.Submit(scheduler.Job{
+				Key: jobKeyFlush, Band: scheduler.BandFlush, Run: db.flushRun,
+			})
+		}
+		// Compaction work, one job per level whose score demands it, plus a
+		// seek-triggered job when hints are pending.
+		for _, p := range compaction.Plan(db.versions) {
+			if p.Seek {
+				sched.Submit(scheduler.Job{
+					Key: jobKeySeek, Band: scheduler.BandSeek, Run: db.seekRun,
+				})
+				continue
+			}
+			band := scheduler.BandLevel
+			if p.Level == 0 {
+				band = scheduler.BandL0
+			}
+			sched.Submit(scheduler.Job{
+				Key: compactJobKeys[p.Level], Band: band,
+				Score: p.Score, Debt: p.Debt, Run: db.compactRuns[p.Level],
+			})
+			debt += p.Debt
+		}
+	}
+	sched.SetDebt(debt)
+	db.obs.CompactionDebt.Store(debt)
+	db.obs.SchedQueueDepth.Store(uint64(sched.QueueDepth()))
+	db.tuneThrottle(debt)
+}
+
+// tuneThrottle maps engine backlog onto throttle pressure and applies one
+// tuning step: multiplicative decrease while the backlog grows, hold while
+// it drains, additive recovery once it is gone (the RocksDB
+// delayed-write-rate scheme, with the debt trend deciding grow vs drain).
+// Runs on every planner pass with that pass's debt signal, throttled or
+// not; the inactive path is cheap and allocation-free.
+func (db *DB) tuneThrottle(debt uint64) {
+	// Update the flush drain-rate estimate (EWMA over planner passes).
+	// Flush completions land in bursts every rotation, so a heavy smoothing
+	// factor turns them into a usable bytes/s capacity signal.
+	now := time.Now()
+	fb := db.metrics.flushBytes.Load()
+	if !db.lastDrainAt.IsZero() {
+		if dt := now.Sub(db.lastDrainAt).Seconds(); dt > 0 {
+			inst := float64(fb-db.lastFlushBytes) / dt
+			db.drainEWMA += 0.05 * (inst - db.drainEWMA)
+		}
+	}
+	db.lastDrainAt, db.lastFlushBytes = now, fb
+
+	merging := db.imm.Load() != nil
+	p := scheduler.PressureNone
+	l0 := db.versions.L0Count()
+	switch {
+	case l0 >= db.opts.L0StopTrigger:
+		p = scheduler.PressureStop
+	case l0 >= db.opts.L0SlowdownTrigger:
+		p = scheduler.PressureSlow
+	}
+	atWall := false
+	if p == scheduler.PressureNone && merging {
+		// Both memtables occupied and the mutable one filling: writers are
+		// heading for the memtable-wait stall. Slow them from the halfway
+		// mark; once the mutable table is full they are at the wall — the
+		// engine's remaining hard stall.
+		if mt := db.mem.Load(); mt != nil {
+			switch sz := mt.ApproximateSize(); {
+			case sz >= db.opts.MemtableSize:
+				p, atWall = scheduler.PressureSlow, true
+			case sz >= db.opts.MemtableSize/2:
+				p = scheduler.PressureSlow
+			}
+		}
+	}
+	if atWall {
+		db.wallTicks++
+	} else {
+		db.wallTicks = 0
+	}
+	if p == scheduler.PressureSlow && debt <= db.lastPlanDebt &&
+		(!atWall || db.wallTicks < 3) {
+		// Backlog exists but is not growing: decaying further would only
+		// waste disk capacity. Two cases. With the flush pipeline idle
+		// (no merge in flight) the admitted rate is provably below the
+		// disk's drain rate — L0 pressure here means a long compaction is
+		// still burning down old debt, not that writers are outrunning the
+		// disk — so keep recovering. With a merge in flight, hold: the rate
+		// is near the drain rate and nudging it either way oscillates. The
+		// memtable wall joins the unconditional decay only once it has
+		// persisted a few passes; at the right rate rotation cycles graze
+		// the wall for a tick or two just before each merge completes, and
+		// reacting to those grazes collapses the rate far below capacity.
+		// A held wall means writers are parked — decay until it clears.
+		// The stop trigger always decays (emergency brake).
+		//
+		// Recovery under a backlog is ceilinged by the drain estimate:
+		// a long compaction can idle the flush pipeline for hundreds of
+		// planner passes, and unchecked additive recovery across them
+		// would send writers into the memtable wall at many times the
+		// disk's speed, stacking wall waits into exactly the stall cliff
+		// this controller removes.
+		if merging || (db.drainEWMA > 0 && float64(db.throttle.Rate()) >= db.drainEWMA) {
+			p = scheduler.PressureHold
+		} else {
+			p = scheduler.PressureNone
+		}
+	}
+	db.lastPlanDebt = debt
+	rate, change := db.throttle.Tune(p)
+	switch change {
+	case scheduler.ChangeNone:
+		return
+	case scheduler.ChangeOn:
+		db.obs.Event(obs.Event{Type: obs.EvThrottleOn, Bytes: uint64(rate)})
+	case scheduler.ChangeAdjust:
+		db.obs.Event(obs.Event{Type: obs.EvThrottleAdjust, Bytes: uint64(rate)})
+	case scheduler.ChangeOff:
+		db.obs.Event(obs.Event{Type: obs.EvThrottleOff})
+	}
+	db.obs.ThrottleRate.Store(uint64(rate))
+}
+
+// runFlushJob is the flush job body: one rotation-or-merge attempt through
+// the same health machinery the old flush loop used. The scheduler's single
+// flush slot serializes it; synchronous forced flushes contend on flushMu
+// the same way they always have.
+func (db *DB) runFlushJob() {
+	if !db.bgRunnable() {
+		return
+	}
+	db.flushMu.Lock()
+	var err error
+	worked := false
+	if db.imm.Load() != nil {
+		// A previous attempt failed mid-merge: finish that one first.
+		worked = true
+		err = db.supervised(db.flushImm)
+	} else if mt := db.mem.Load(); mt != nil && mt.ApproximateSize() >= db.opts.MemtableSize {
+		worked = true
+		err = db.supervised(db.rotateAndFlush)
+	}
+	db.flushMu.Unlock()
+	if worked {
+		// A failed attempt sleeps out its backoff here (occupying the flush
+		// slot — there is no other flush to run) and exits; the planner
+		// resubmits while the work remains. Completion re-plans via the
+		// scheduler's kick, which queues any compaction the flush created.
+		db.settleBG(originFlush, err, db.flushBoff)
+	}
+}
+
+// runCompactionJob is the per-level compaction job body: re-pick the level's
+// inputs against the current version (the backlog may have drained since
+// planning), claim the level pair, run, settle. The busy table still guards
+// adjacent-level overlap — the scheduler serializes same-level jobs by key,
+// but L(n)→L(n+1) and L(n+1)→L(n+2) share a level and must not interleave.
+func (db *DB) runCompactionJob(level int) {
+	if !db.bgRunnable() {
+		return
+	}
+	db.busyMu.Lock()
+	if db.levelBusy[level] || (level+1 < version.NumLevels && db.levelBusy[level+1]) {
+		db.busyMu.Unlock()
+		return
+	}
+	c := db.versions.PickCompactionAt(level)
+	if c == nil {
+		db.busyMu.Unlock()
+		return
+	}
+	db.markLevelsLocked(level, true)
+	db.busyMu.Unlock()
+	err := db.supervised(func() error { return db.runCompaction(c) })
+	db.unlockLevels(level)
+	if db.settleBG(compactJobKeys[level], err, db.levelBoff[level]) {
+		db.wakeStalled(&db.l0Relaxed)
+	}
+}
+
+// runSeekJob drains one pending seek-compaction hint (read-triggered work,
+// scheduled only when nothing more urgent is queued).
+func (db *DB) runSeekJob() {
+	if !db.bgRunnable() {
+		return
+	}
+	db.busyMu.Lock()
+	c := db.versions.PickSeekCompaction(db.levelBusyAt)
+	if c == nil {
+		db.busyMu.Unlock()
+		return
+	}
+	level := c.Level
+	db.markLevelsLocked(level, true)
+	db.busyMu.Unlock()
+	err := db.supervised(func() error { return db.runCompaction(c) })
+	db.unlockLevels(level)
+	if db.settleBG(originSeek, err, db.seekBoff) {
+		db.wakeStalled(&db.l0Relaxed)
+	}
+}
+
+// levelBusyAt reports the busy flag of one level (PickSeekCompaction's
+// blocked callback; it consults both halves of the pair itself).
+func (db *DB) levelBusyAt(level int) bool {
+	return level >= 0 && level < version.NumLevels && db.levelBusy[level]
+}
+
+// admitWrite charges n bytes against the admission token bucket and sleeps
+// out any imposed delay. The healthy path — bucket inactive, or tokens
+// available — is one atomic load (plus the bucket's short mutex when
+// active) and never allocates. An imposed wait is cut short by Close
+// (failing the write) and by Resume (the operator override admits parked
+// writers immediately).
+func (db *DB) admitWrite(n int) error {
+	wait := db.throttle.Reserve(n)
+	if wait == 0 {
+		return nil
+	}
+	start := time.Now()
+	timer := time.NewTimer(wait)
+	select {
+	case <-timer.C:
+	case <-db.closing:
+		timer.Stop()
+		db.recordThrottleWait(start)
+		return ErrClosed
+	case <-*db.resumed.Load():
+		timer.Stop()
+	}
+	db.recordThrottleWait(start)
+	return nil
+}
+
+// recordThrottleWait folds one admission delay into the throttle histogram
+// (microseconds) and the cumulative stall metric.
+func (db *DB) recordThrottleWait(start time.Time) {
+	d := time.Since(start)
+	db.obs.WriteThrottle.RecordValue(uint64(d / time.Microsecond))
+	db.metrics.stallNanos.Add(int64(d))
+}

@@ -117,12 +117,48 @@ func (s *Snapshot) Has(key []byte) (bool, error) {
 	return ok, err
 }
 
-// NewIterator returns an iterator over the snapshot's visible state.
-func (s *Snapshot) NewIterator() (*Iterator, error) {
+// IterOptions bounds an iterator to the user-key range
+// [LowerBound, UpperBound): LowerBound is inclusive, UpperBound exclusive,
+// nil means unbounded on that side. Bounds clamp every positioning method
+// (Seek, SeekForPrev, First, Last, Next, Prev) and let the iterator skip
+// whole sstables that lie outside the range. The iterator copies both
+// slices, so the caller may reuse its buffers.
+type IterOptions struct {
+	LowerBound []byte
+	UpperBound []byte
+}
+
+// combineIterOptions folds the variadic options: each non-nil field of a
+// later option overrides the earlier ones. Bounds are copied.
+func combineIterOptions(opts []IterOptions) (IterOptions, error) {
+	var o IterOptions
+	for _, op := range opts {
+		if op.LowerBound != nil {
+			o.LowerBound = append([]byte(nil), op.LowerBound...)
+		}
+		if op.UpperBound != nil {
+			o.UpperBound = append([]byte(nil), op.UpperBound...)
+		}
+	}
+	if o.LowerBound != nil && o.UpperBound != nil &&
+		bytes.Compare(o.LowerBound, o.UpperBound) > 0 {
+		return o, fmt.Errorf("%w: iterator LowerBound %q > UpperBound %q",
+			ErrInvalidOptions, o.LowerBound, o.UpperBound)
+	}
+	return o, nil
+}
+
+// NewIterator returns an iterator over the snapshot's visible state,
+// optionally bounded (IterOptions).
+func (s *Snapshot) NewIterator(opts ...IterOptions) (*Iterator, error) {
 	if err := s.usable(); err != nil {
 		return nil, err
 	}
-	return s.db.newIterator(s.ts)
+	o, err := combineIterOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.db.newIterator(s.ts, o)
 }
 
 // usable wraps the sentinel with the failing surface so callers get
@@ -146,15 +182,19 @@ func (s *Snapshot) Close() {
 	}
 }
 
-// NewIterator returns an iterator over the current state of the store.
-// Internally it is a snapshot scan at an implicit snapshot, released when
-// the iterator is closed.
-func (db *DB) NewIterator() (*Iterator, error) {
+// NewIterator returns an iterator over the current state of the store,
+// optionally bounded (IterOptions). Internally it is a snapshot scan at an
+// implicit snapshot, released when the iterator is closed.
+func (db *DB) NewIterator(opts ...IterOptions) (*Iterator, error) {
+	o, err := combineIterOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	snap, err := db.GetSnapshot()
 	if err != nil {
 		return nil, err
 	}
-	it, err := db.newIterator(snap.ts)
+	it, err := db.newIterator(snap.ts, o)
 	if err != nil {
 		snap.Close()
 		return nil, err
@@ -175,6 +215,10 @@ type Iterator struct {
 	ver       *version.Version
 	ownedSnap *Snapshot
 
+	// lower and upper clamp the iterator to [lower, upper); nil means
+	// unbounded (IterOptions, copied at creation).
+	lower, upper []byte
+
 	key    []byte
 	value  []byte
 	valid  bool
@@ -187,8 +231,8 @@ type Iterator struct {
 }
 
 // newIterator captures component references and builds the merged view.
-func (db *DB) newIterator(ts uint64) (*Iterator, error) {
-	it := &Iterator{db: db, ts: ts}
+func (db *DB) newIterator(ts uint64, o IterOptions) (*Iterator, error) {
+	it := &Iterator{db: db, ts: ts, lower: o.LowerBound, upper: o.UpperBound}
 	var children []iterator.Iterator
 
 	// Capture in data-flow order, matching Get's traversal argument.
@@ -203,7 +247,7 @@ func (db *DB) newIterator(ts uint64) (*Iterator, error) {
 	it.ver = db.versions.Current()
 	if it.ver != nil {
 		var err error
-		children, err = it.ver.Iterators(children)
+		children, err = it.ver.IteratorsBounded(children, it.lower, it.upper)
 		if err != nil {
 			it.Close()
 			return nil, err
@@ -213,18 +257,31 @@ func (db *DB) newIterator(ts uint64) (*Iterator, error) {
 	return it, nil
 }
 
-// First positions at the smallest visible user key.
+// First positions at the smallest visible user key (within the bounds).
 func (it *Iterator) First() {
 	if it.closed {
 		return
 	}
-	it.merge.First()
+	if it.lower != nil {
+		it.merge.SeekGE(keys.SeekKey(it.lower, it.ts))
+	} else {
+		it.merge.First()
+	}
 	it.settle(nil)
 }
 
-// Seek positions at the first visible user key >= key.
+// Seek positions at the first visible user key >= key (clamped to the
+// bounds: a key below LowerBound seeks from LowerBound; a key at or past
+// UpperBound invalidates the iterator).
 func (it *Iterator) Seek(key []byte) {
 	if it.closed {
+		return
+	}
+	if it.lower != nil && bytes.Compare(key, it.lower) < 0 {
+		key = it.lower
+	}
+	if it.upper != nil && bytes.Compare(key, it.upper) >= 0 {
+		it.valid = false
 		return
 	}
 	it.merge.SeekGE(keys.SeekKey(key, it.ts))
@@ -254,8 +311,19 @@ func (it *Iterator) Next() {
 
 // SeekForPrev positions at the largest visible user key <= key (RocksDB's
 // SeekForPrev): the natural entry point for descending range queries.
+// Bounds clamp it like every other positioning method: a key at or past
+// UpperBound starts from the last in-bounds key.
 func (it *Iterator) SeekForPrev(key []byte) {
 	if it.closed {
+		return
+	}
+	if it.lower != nil && bytes.Compare(key, it.lower) < 0 {
+		// Nothing at or below key lies within the bounds.
+		it.valid = false
+		return
+	}
+	if it.upper != nil && bytes.Compare(key, it.upper) >= 0 {
+		it.Last()
 		return
 	}
 	it.Seek(key)
@@ -269,12 +337,23 @@ func (it *Iterator) SeekForPrev(key []byte) {
 	}
 }
 
-// Last positions at the largest visible user key.
+// Last positions at the largest visible user key (within the bounds).
 func (it *Iterator) Last() {
 	if it.closed {
 		return
 	}
-	it.merge.Last()
+	if it.upper != nil {
+		// SeekKey(upper, MaxTimestamp) sorts before every version of upper,
+		// so one backward step from there rests strictly below the bound.
+		it.merge.SeekGE(keys.SeekKey(it.upper, keys.MaxTimestamp))
+		if it.merge.Valid() {
+			it.merge.Prev()
+		} else {
+			it.merge.Last()
+		}
+	} else {
+		it.merge.Last()
+	}
 	it.settleBackward()
 }
 
@@ -323,6 +402,21 @@ func (it *Iterator) settleBackward() {
 			it.fail()
 			return
 		}
+		if it.upper != nil && bytes.Compare(uk, it.upper) >= 0 {
+			// Above the bound (reachable via a direction change or a
+			// boundary sstable); keep walking down toward it.
+			it.merge.Prev()
+			continue
+		}
+		if it.lower != nil && bytes.Compare(uk, it.lower) < 0 {
+			// Walked below the bound: the pending candidate's group (if
+			// any) is complete, and nothing further back is in range.
+			if emit() {
+				return
+			}
+			it.valid = false
+			return
+		}
 		if have && !bytes.Equal(uk, candUK) {
 			// The group for candUK is complete; the cursor already sits
 			// on the next (smaller) user key, ready for a further Prev.
@@ -367,6 +461,11 @@ func (it *Iterator) settle(skipUK []byte) {
 		uk, ets, kind, ok := keys.Decode(ik)
 		if !ok {
 			it.fail()
+			return
+		}
+		if it.upper != nil && bytes.Compare(uk, it.upper) >= 0 {
+			// Ascending past the bound: nothing further is in range.
+			it.valid = false
 			return
 		}
 		if haveDecided && bytes.Equal(uk, decided) {

@@ -37,6 +37,9 @@ func (db *DB) write(key, value []byte, kind keys.Kind) error {
 		op = obs.OpDelete
 	}
 	defer func() { db.obs.Record(op, time.Since(start)) }()
+	if err := db.admitWrite(len(key) + len(value)); err != nil {
+		return err
+	}
 	if err := db.makeRoomForWrite(); err != nil {
 		return err
 	}
@@ -86,6 +89,13 @@ func (db *DB) Write(b *batch.Batch) error {
 	}
 	start := time.Now()
 	defer func() { db.obs.Record(obs.OpWrite, time.Since(start)) }()
+	n := 0
+	for _, e := range b.Entries() {
+		n += len(e.Key) + len(e.Value)
+	}
+	if err := db.admitWrite(n); err != nil {
+		return err
+	}
 	if err := db.makeRoomForWrite(); err != nil {
 		return err
 	}
@@ -129,6 +139,11 @@ func (db *DB) RMW(key []byte, f func(old []byte, exists bool) []byte) error {
 	}
 	start := time.Now()
 	defer func() { db.obs.Record(obs.OpRMW, time.Since(start)) }()
+	// The new value's size is unknown until f runs; charge the key twice as
+	// a stand-in for key+value (admission is a rate shaper, not a meter).
+	if err := db.admitWrite(2 * len(key)); err != nil {
+		return err
+	}
 	if err := db.makeRoomForWrite(); err != nil {
 		return err
 	}
@@ -203,14 +218,12 @@ func (db *DB) readLatestLocked(mt *memtable.Table, key []byte) (value []byte, re
 	return v, 0, true, nil
 }
 
-// maybeTriggerFlush signals the flusher when the mutable memtable crosses
-// its soft limit.
+// maybeTriggerFlush kicks the scheduler's planner when the mutable memtable
+// crosses its soft limit (the planner turns the observation into a queued
+// flush job).
 func (db *DB) maybeTriggerFlush(mt *memtable.Table) {
 	if mt.ApproximateSize() >= db.opts.MemtableSize {
-		select {
-		case db.flushC <- struct{}{}:
-		default:
-		}
+		db.sched.Kick()
 	}
 }
 
@@ -243,29 +256,35 @@ func (db *DB) makeRoomForWrite() error {
 			degradedSince = time.Time{}
 		}
 
-		l0 := db.level0Count()
-		switch {
-		case !slowed && l0 >= db.opts.L0SlowdownTrigger && l0 < db.opts.L0StopTrigger:
-			// Soft backpressure: one millisecond, once, as in LevelDB.
-			start := db.stallBegin(obs.CauseL0Slowdown)
-			time.Sleep(time.Millisecond)
-			db.stallEnd(obs.CauseL0Slowdown, start)
-			db.kickCompaction()
-			slowed = true
-			continue
-		case l0 >= db.opts.L0StopTrigger:
-			start := db.stallBegin(obs.CauseL0Stop)
-			ch := *db.l0Relaxed.Load()
-			db.kickCompaction()
-			select {
-			case <-ch:
-			case <-db.closing:
+		// The binary L0 gate only runs under the "legacy" scheduler profile;
+		// the default profiles replace it with the token-bucket admission
+		// controller (admitWrite), which converts the same L0 backlog into a
+		// smooth per-write delay instead of a 1ms step and a hard stop.
+		if db.legacyGate {
+			l0 := db.level0Count()
+			switch {
+			case !slowed && l0 >= db.opts.L0SlowdownTrigger && l0 < db.opts.L0StopTrigger:
+				// Soft backpressure: one millisecond, once, as in LevelDB.
+				start := db.stallBegin(obs.CauseL0Slowdown)
+				time.Sleep(time.Millisecond)
+				db.stallEnd(obs.CauseL0Slowdown, start)
+				db.kickCompaction()
+				slowed = true
+				continue
+			case l0 >= db.opts.L0StopTrigger:
+				start := db.stallBegin(obs.CauseL0Stop)
+				ch := *db.l0Relaxed.Load()
+				db.kickCompaction()
+				select {
+				case <-ch:
+				case <-db.closing:
+					db.stallEnd(obs.CauseL0Stop, start)
+					return ErrClosed
+				case <-time.After(10 * time.Millisecond):
+				}
 				db.stallEnd(obs.CauseL0Stop, start)
-				return ErrClosed
-			case <-time.After(10 * time.Millisecond):
+				continue
 			}
-			db.stallEnd(obs.CauseL0Stop, start)
-			continue
 		}
 
 		mt := db.mem.Load()
@@ -277,12 +296,9 @@ func (db *DB) makeRoomForWrite() error {
 		}
 		// Mutable memtable is full.
 		if db.imm.Load() == nil {
-			// Rotation is pending; the flusher will pick it up. Writing
-			// into the (soft-limited) full memtable is allowed.
-			select {
-			case db.flushC <- struct{}{}:
-			default:
-			}
+			// Rotation is pending; the planner will queue a flush job.
+			// Writing into the (soft-limited) full memtable is allowed.
+			db.sched.Kick()
 			return nil
 		}
 		// Both memtables full: wait for the in-flight merge (the paper's
@@ -323,9 +339,9 @@ func (db *DB) level0Count() int {
 	return db.versions.L0Count()
 }
 
+// kickCompaction asks the scheduler's planner to re-survey the tree now
+// (the historical name survives: tests and the forced-flush path use it to
+// expedite compaction after creating work).
 func (db *DB) kickCompaction() {
-	select {
-	case db.compactC <- struct{}{}:
-	default:
-	}
+	db.sched.Kick()
 }

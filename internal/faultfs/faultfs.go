@@ -27,6 +27,7 @@ import (
 	"path"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"clsm/internal/storage"
 )
@@ -183,6 +184,67 @@ type FS struct {
 	pending []dirOp
 	rules   []*Rule
 	hook    Hook
+
+	// Delay rules live under their own mutex and the sleep happens before
+	// fs.mu is taken: a slowed sstable write must not stall unrelated
+	// operations (WAL appends) that share the filesystem.
+	delayMu sync.Mutex
+	delays  []delayRule
+}
+
+// delayRule slows every operation of one kind matching a name pattern.
+type delayRule struct {
+	op      Op
+	pattern string
+	d       time.Duration
+}
+
+// SetDelay makes every subsequent operation of kind op whose file name
+// matches pattern (a path.Match glob; empty matches everything) sleep d
+// before executing — a deterministic slow-device model for backpressure
+// tests. The sleep happens outside the filesystem's operation lock, so only
+// matching operations are slowed. Setting the same (op, pattern) again
+// replaces the delay; d <= 0 removes it.
+func (fs *FS) SetDelay(op Op, pattern string, d time.Duration) {
+	fs.delayMu.Lock()
+	defer fs.delayMu.Unlock()
+	for i := range fs.delays {
+		if fs.delays[i].op == op && fs.delays[i].pattern == pattern {
+			if d <= 0 {
+				fs.delays = append(fs.delays[:i], fs.delays[i+1:]...)
+			} else {
+				fs.delays[i].d = d
+			}
+			return
+		}
+	}
+	if d > 0 {
+		fs.delays = append(fs.delays, delayRule{op: op, pattern: pattern, d: d})
+	}
+}
+
+// delay sleeps out the configured delay for (op, name), if any. Must be
+// called before fs.mu is acquired.
+func (fs *FS) delay(op Op, name string) {
+	fs.delayMu.Lock()
+	var d time.Duration
+	for _, r := range fs.delays {
+		if r.op != op {
+			continue
+		}
+		if r.pattern != "" {
+			if ok, _ := path.Match(r.pattern, name); !ok {
+				continue
+			}
+		}
+		if r.d > d {
+			d = r.d
+		}
+	}
+	fs.delayMu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
 }
 
 // Wrap builds a fault-injecting wrapper around inner. Existing files are
@@ -313,6 +375,7 @@ func (fs *FS) captureLocked(applyPending bool, tornName string, tornTail []byte)
 
 // Create implements storage.FS.
 func (fs *FS) Create(name string) (storage.File, error) {
+	fs.delay(OpCreate, name)
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	step := fs.nextStep()
@@ -341,6 +404,7 @@ func (fs *FS) List() ([]string, error) { return fs.inner.List() }
 
 // Remove implements storage.FS.
 func (fs *FS) Remove(name string) error {
+	fs.delay(OpRemove, name)
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	step := fs.nextStep()
@@ -358,6 +422,7 @@ func (fs *FS) Remove(name string) error {
 
 // Rename implements storage.FS.
 func (fs *FS) Rename(oldname, newname string) error {
+	fs.delay(OpRename, oldname)
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	step := fs.nextStep()
@@ -381,6 +446,7 @@ func (fs *FS) Rename(oldname, newname string) error {
 // until the next sync barrier — the rename-into-place contract of a real
 // filesystem without a directory fsync.
 func (fs *FS) WriteFile(name string, data []byte) error {
+	fs.delay(OpWriteFile, name)
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	step := fs.nextStep()
@@ -408,6 +474,7 @@ type file struct {
 // Write implements storage.File.
 func (f *file) Write(p []byte) (int, error) {
 	fs := f.fs
+	fs.delay(OpWrite, f.name)
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	step := fs.nextStep()
@@ -455,6 +522,7 @@ func (f *file) Write(p []byte) (int, error) {
 // barrier).
 func (f *file) Sync() error {
 	fs := f.fs
+	fs.delay(OpSync, f.name)
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	step := fs.nextStep()

@@ -16,7 +16,9 @@ type Snapshot struct {
 	Ops          map[string]HistogramSnapshot `json:"ops"`
 	Counters     map[string]uint64            `json:"counters"`
 	WALGroupSize ValueSnapshot                `json:"wal_group_size"`
-	Events       []Event                      `json:"events"`
+	// WriteThrottle distributes write-admission waits in microseconds.
+	WriteThrottle ValueSnapshot `json:"write_throttle_micros"`
+	Events        []Event       `json:"events"`
 }
 
 // Snapshot captures the observer's current state.
@@ -47,7 +49,11 @@ func (o *Observer) Snapshot() Snapshot {
 	s.Counters["bg_auto_resumes"] = o.BGAutoResumes.Load()
 	s.Counters["bg_bytes_reclaimed"] = o.BGBytesReclaimed.Load()
 	s.Counters["health_state"] = o.HealthState.Load()
+	s.Counters["sched_queue_depth"] = o.SchedQueueDepth.Load()
+	s.Counters["compaction_debt_bytes"] = o.CompactionDebt.Load()
+	s.Counters["throttle_rate_bytes_per_sec"] = o.ThrottleRate.Load()
 	s.WALGroupSize = o.WALGroupSize.ValueSnapshot()
+	s.WriteThrottle = o.WriteThrottle.ValueSnapshot()
 	s.Events = o.Trace.Events()
 	return s
 }
@@ -111,6 +117,10 @@ func (o *Observer) WriteSummary(w io.Writer) {
 		fmt.Fprintf(w, "%-22s %12d  mean=%.1f p50=%d p99=%d max=%d\n",
 			"wal_group_size", g.Count, g.Mean, g.P50, g.P99, g.Max)
 	}
+	if g := snap.WriteThrottle; g.Count > 0 {
+		fmt.Fprintf(w, "%-22s %12d  mean=%.1fus p50=%dus p99=%dus max=%dus\n",
+			"write_throttle_micros", g.Count, g.Mean, g.P50, g.P99, g.Max)
+	}
 }
 
 // WriteEvents renders the event timeline: an aggregate per-type summary
@@ -165,8 +175,11 @@ func (o *Observer) WriteEvents(w io.Writer, max int) {
 			fmt.Fprintf(w, " handles=%d", e.Bytes)
 		case EvDegraded, EvReadOnly:
 			fmt.Fprintf(w, " cause=%q", e.Msg)
+		case EvThrottleOn, EvThrottleAdjust:
+			fmt.Fprintf(w, " rate=%dB/s", e.Bytes)
 		}
-		if e.Bytes > 0 && e.Type != EvSnapshotReclaim {
+		if e.Bytes > 0 && e.Type != EvSnapshotReclaim &&
+			e.Type != EvThrottleOn && e.Type != EvThrottleAdjust {
 			fmt.Fprintf(w, " bytes=%d", e.Bytes)
 		}
 		if e.Dur > 0 {

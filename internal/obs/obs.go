@@ -27,6 +27,7 @@ const (
 	OpRMW
 	OpGetSnapshot
 	OpIterNext
+	OpMultiGet
 	NumOps
 )
 
@@ -47,6 +48,8 @@ func (op Op) String() string {
 		return "get_snapshot"
 	case OpIterNext:
 		return "iter_next"
+	case OpMultiGet:
+		return "multiget"
 	}
 	return "unknown"
 }
@@ -84,6 +87,21 @@ type Observer struct {
 	// HealthState mirrors the engine's health state machine: 0 healthy,
 	// 1 degraded, 2 read-only, 3 failed (health.State numbering).
 	HealthState Gauge
+
+	// Background-scheduler gauges (see docs/SCHEDULING.md). SchedQueueDepth
+	// is the number of background jobs queued or running; CompactionDebt is
+	// the byte volume of pending flush + compaction work (the admission
+	// controller's input); ThrottleRate is the current admitted write rate
+	// in bytes/s (0 = unthrottled).
+	SchedQueueDepth Gauge
+	CompactionDebt  Gauge
+	ThrottleRate    Gauge
+
+	// WriteThrottle distributes the admission waits the write-path
+	// token bucket imposed, in microseconds (RecordValue; a count-valued
+	// histogram like WALGroupSize). Count is the number of throttled
+	// writes; an empty histogram means the throttle never engaged.
+	WriteThrottle Histogram
 
 	// WALGroupSize distributes the number of records committed per WAL
 	// group: the amortization factor of group commit. A p50 near 1 means

@@ -21,10 +21,18 @@ const (
 	EvDegraded
 	EvResumed
 	EvReadOnly
+	// Write-throttle lifecycle: the admission controller activated
+	// (EvThrottleOn), crossed a 2x rate boundary while tuning
+	// (EvThrottleAdjust), or deactivated (EvThrottleOff). Bytes carries
+	// the admitted rate in bytes/s. Per-step adjustments are deliberately
+	// not traced — the tuner runs every ~10ms.
+	EvThrottleOn
+	EvThrottleAdjust
+	EvThrottleOff
 )
 
 // evLast is the highest defined event type (export iteration bound).
-const evLast = EvReadOnly
+const evLast = EvThrottleOff
 
 // String names the event type for timelines and JSON export.
 func (t EventType) String() string {
@@ -49,6 +57,12 @@ func (t EventType) String() string {
 		return "resumed"
 	case EvReadOnly:
 		return "read-only"
+	case EvThrottleOn:
+		return "throttle-on"
+	case EvThrottleAdjust:
+		return "throttle-adjust"
+	case EvThrottleOff:
+		return "throttle-off"
 	}
 	return "unknown"
 }

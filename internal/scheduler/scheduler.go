@@ -1,0 +1,347 @@
+// Package scheduler is the engine's unified background-work executor: one
+// priority queue and one bounded worker pool own every flush and compaction,
+// replacing the per-loop goroutines that each enforced their own concurrency
+// cap. Jobs are ordered by band — memtable flushes first, then L0→L1
+// compactions, then deeper levels by score, seek-triggered compactions last —
+// and the CompactionThreads cap is enforced globally across all compaction
+// bands instead of per loop.
+//
+// The scheduler also carries the engine's debt signal: the byte volume of
+// pending flush and compaction work, published by the planner on every pass.
+// The write-path admission controller (Throttle, in this package) tunes its
+// token-bucket refill rate from that signal so foreground latency degrades
+// smoothly as background work backs up.
+//
+// The package is deliberately policy-free: a Planner callback owned by the
+// engine inspects engine state and submits jobs; the scheduler only orders,
+// deduplicates, and runs them. Stdlib-only, like the rest of the tree.
+package scheduler
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Band is a job's priority class. Lower bands run first; within a band,
+// higher Score runs first.
+type Band uint8
+
+// Priority bands, most urgent first. Flushes unblock writers stalled on a
+// full memtable pair, so they always preempt compactions in queue order
+// (a reserved worker slot guarantees one can also always run). L0→L1
+// compactions relieve write backpressure next; deeper levels are ordered by
+// their score; seek-triggered compactions are pure read optimization and
+// run only when nothing else is queued.
+const (
+	BandFlush Band = iota
+	BandL0
+	BandLevel
+	BandSeek
+	numBands
+)
+
+// String names the band for logs and tests.
+func (b Band) String() string {
+	switch b {
+	case BandFlush:
+		return "flush"
+	case BandL0:
+		return "l0"
+	case BandLevel:
+		return "level"
+	case BandSeek:
+		return "seek"
+	}
+	return "unknown"
+}
+
+// Job is one unit of background work. Run executes on a scheduler worker
+// and must contain its own error handling (retries, health reporting); the
+// scheduler never interprets job outcomes.
+type Job struct {
+	// Key deduplicates queued work: submitting a job whose Key is already
+	// queued refreshes that entry's Score and Debt instead of queueing a
+	// duplicate. A job with the same Key as a running job may still queue
+	// (the state may have changed since the running job picked its work),
+	// but will not start until the running one finishes.
+	Key string
+	// Band is the priority class.
+	Band Band
+	// Score orders jobs within a band, higher first (compaction scores).
+	Score float64
+	// Debt is the byte volume of pending work this job represents; the
+	// planner aggregates it into the scheduler's debt signal.
+	Debt uint64
+	// Run does the work.
+	Run func()
+}
+
+// Config sizes the scheduler.
+type Config struct {
+	// Workers is the size of the worker pool. The engine uses
+	// CompactionThreads+1 so a flush can always run alongside a full
+	// complement of compactions.
+	Workers int
+	// CompactionSlots caps concurrently running non-flush jobs — the
+	// global CompactionThreads budget.
+	CompactionSlots int
+	// FlushSlots caps concurrently running flush-band jobs (default 1:
+	// rotation cycles are serialized by the engine anyway).
+	FlushSlots int
+	// Poll is the planner cadence (default 10ms). The planner also runs
+	// on every Kick and after every job completion.
+	Poll time.Duration
+	// Planner inspects engine state and submits jobs to the scheduler it
+	// receives. It runs on a dedicated goroutine, never concurrently with
+	// itself, and may fire before New returns — hence the argument: the
+	// owner cannot rely on its own scheduler field being assigned yet. It
+	// must be cheap when there is no work: it runs on every poll tick.
+	Planner func(*Scheduler)
+}
+
+// Scheduler owns the queue and worker pool. Create with New, stop with
+// Close.
+type Scheduler struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*Job
+	running map[string]bool
+	nFlush  int // running flush-band jobs
+	nComp   int // running compaction-band jobs
+	paused  bool
+	closed  bool
+
+	kickC chan struct{}
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	debt atomic.Uint64
+}
+
+// New starts a scheduler with cfg's workers and planner loop.
+func New(cfg Config) *Scheduler {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.CompactionSlots <= 0 {
+		cfg.CompactionSlots = 1
+	}
+	if cfg.FlushSlots <= 0 {
+		cfg.FlushSlots = 1
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 10 * time.Millisecond
+	}
+	s := &Scheduler{
+		cfg:     cfg,
+		running: make(map[string]bool),
+		kickC:   make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	if cfg.Planner != nil {
+		s.wg.Add(1)
+		go s.plannerLoop()
+	}
+	return s
+}
+
+// Submit queues j (or refreshes the queued entry with its Key). Reports
+// whether a new entry was queued. Safe to call from the planner, job Run
+// functions, and foreground goroutines.
+func (s *Scheduler) Submit(j Job) bool {
+	if j.Run == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.paused {
+		return false
+	}
+	if j.Key != "" {
+		for _, q := range s.queue {
+			if q.Key == j.Key {
+				q.Score = j.Score
+				q.Debt = j.Debt
+				return false
+			}
+		}
+	}
+	jc := j
+	s.queue = append(s.queue, &jc)
+	s.cond.Signal()
+	return true
+}
+
+// Kick asks the planner to run soon (non-blocking).
+func (s *Scheduler) Kick() {
+	select {
+	case s.kickC <- struct{}{}:
+	default:
+	}
+}
+
+// Pause stops dispatching and drops all queued jobs (the planner simply
+// regenerates them from engine state after Resume). Running jobs finish.
+// Used by the read-only and failed health states, where background merges
+// must not touch the disk.
+func (s *Scheduler) Pause() {
+	s.mu.Lock()
+	s.paused = true
+	s.queue = s.queue[:0]
+	s.mu.Unlock()
+}
+
+// Resume re-enables dispatching and asks the planner to repopulate the
+// queue.
+func (s *Scheduler) Resume() {
+	s.mu.Lock()
+	s.paused = false
+	s.mu.Unlock()
+	s.Kick()
+}
+
+// Paused reports whether dispatching is paused.
+func (s *Scheduler) Paused() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.paused
+}
+
+// QueueDepth counts jobs queued or running — the sched_queue_depth gauge.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue) + s.nFlush + s.nComp
+}
+
+// SetDebt publishes the pending-work byte volume (planner aggregate).
+func (s *Scheduler) SetDebt(bytes uint64) { s.debt.Store(bytes) }
+
+// Debt reads the pending-work byte volume. One atomic load.
+func (s *Scheduler) Debt() uint64 { return s.debt.Load() }
+
+// Close stops the planner, discards queued jobs, and waits for running
+// jobs and workers to finish.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.queue = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	close(s.done)
+	s.wg.Wait()
+}
+
+// worker is the dispatch loop: wait for a runnable job, run it, notify the
+// planner, repeat.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		var j *Job
+		for {
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			if !s.paused {
+				if j = s.popLocked(); j != nil {
+					break
+				}
+			}
+			s.cond.Wait()
+		}
+		if j.Band == BandFlush {
+			s.nFlush++
+		} else {
+			s.nComp++
+		}
+		if j.Key != "" {
+			s.running[j.Key] = true
+		}
+		s.mu.Unlock()
+
+		j.Run()
+
+		s.mu.Lock()
+		if j.Band == BandFlush {
+			s.nFlush--
+		} else {
+			s.nComp--
+		}
+		if j.Key != "" {
+			delete(s.running, j.Key)
+		}
+		// A slot and possibly a key freed up: other workers may now have
+		// runnable work.
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		// Completing a job changes engine state (L0 drained, level moved);
+		// let the planner re-evaluate immediately rather than on the next
+		// tick.
+		s.Kick()
+	}
+}
+
+// popLocked removes and returns the best runnable job: lowest band first,
+// then highest score. A job is runnable when its band has a free slot and
+// no job with the same key is currently running. Caller holds mu.
+func (s *Scheduler) popLocked() *Job {
+	best := -1
+	for i, j := range s.queue {
+		if j.Band == BandFlush {
+			if s.nFlush >= s.cfg.FlushSlots {
+				continue
+			}
+		} else if s.nComp >= s.cfg.CompactionSlots {
+			continue
+		}
+		if j.Key != "" && s.running[j.Key] {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := s.queue[best]
+		if j.Band < b.Band || (j.Band == b.Band && j.Score > b.Score) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	j := s.queue[best]
+	s.queue = append(s.queue[:best], s.queue[best+1:]...)
+	return j
+}
+
+// plannerLoop runs the planner on a fixed cadence and on every Kick. The
+// planner always runs (even while paused): pausing gates dispatch, not
+// planning, and the admission tuner piggybacks on the planner pass.
+func (s *Scheduler) plannerLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.Poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+		case <-s.kickC:
+		}
+		s.cfg.Planner(s)
+	}
+}

@@ -1,0 +1,250 @@
+package scheduler
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// blockGate parks the single worker so tests can stage a queue and then
+// observe dispatch order.
+type blockGate struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newGate() *blockGate {
+	return &blockGate{entered: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *blockGate) run() {
+	close(g.entered)
+	<-g.release
+}
+
+func TestPriorityOrder(t *testing.T) {
+	s := New(Config{Workers: 1, CompactionSlots: 1})
+	defer s.Close()
+
+	g := newGate()
+	s.Submit(Job{Key: "blocker", Band: BandFlush, Run: g.run})
+	<-g.entered
+
+	var mu sync.Mutex
+	var order []string
+	record := func(name string) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+		}
+	}
+	done := make(chan struct{})
+	// Submit out of priority order; the worker must drain by band, then
+	// by score within the level band.
+	s.Submit(Job{Key: "seek", Band: BandSeek, Run: record("seek")})
+	s.Submit(Job{Key: "L3", Band: BandLevel, Score: 1.1, Run: record("L3")})
+	s.Submit(Job{Key: "L1", Band: BandLevel, Score: 2.5, Run: record("L1")})
+	s.Submit(Job{Key: "l0", Band: BandL0, Score: 1.0, Run: record("l0")})
+	s.Submit(Job{Key: "flush", Band: BandFlush, Run: func() { record("flush")() }})
+	s.Submit(Job{Key: "last", Band: BandSeek, Score: -1, Run: func() {
+		record("last")()
+		close(done)
+	}})
+
+	close(g.release)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("queue did not drain")
+	}
+
+	want := []string{"flush", "l0", "L1", "L3", "seek", "last"}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSubmitDedupsQueuedKey(t *testing.T) {
+	s := New(Config{Workers: 1, CompactionSlots: 1})
+	defer s.Close()
+
+	g := newGate()
+	s.Submit(Job{Key: "blocker", Band: BandFlush, Run: g.run})
+	<-g.entered
+
+	var runs atomic.Int32
+	done := make(chan struct{})
+	if !s.Submit(Job{Key: "c", Band: BandLevel, Score: 1, Run: func() { runs.Add(1) }}) {
+		t.Fatal("first submit not queued")
+	}
+	if s.Submit(Job{Key: "c", Band: BandLevel, Score: 9, Run: func() { runs.Add(1) }}) {
+		t.Fatal("duplicate key queued a second entry")
+	}
+	s.Submit(Job{Key: "end", Band: BandSeek, Run: func() { close(done) }})
+
+	close(g.release)
+	<-done
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("deduplicated job ran %d times, want 1", n)
+	}
+}
+
+func TestCompactionCapIsGlobal(t *testing.T) {
+	// 4 workers but a single compaction slot: two compaction jobs must
+	// never overlap, while a flush runs alongside.
+	s := New(Config{Workers: 4, CompactionSlots: 1})
+	defer s.Close()
+
+	var cur, peak atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(3)
+	comp := func() {
+		defer wg.Done()
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		cur.Add(-1)
+	}
+	flushRan := make(chan struct{})
+	s.Submit(Job{Key: "c1", Band: BandLevel, Run: comp})
+	s.Submit(Job{Key: "c2", Band: BandLevel, Run: comp})
+	s.Submit(Job{Key: "c3", Band: BandSeek, Run: comp})
+	s.Submit(Job{Key: "f", Band: BandFlush, Run: func() { close(flushRan) }})
+
+	select {
+	case <-flushRan:
+	case <-time.After(time.Second):
+		t.Fatal("flush did not run while compactions were queued")
+	}
+	wg.Wait()
+	if p := peak.Load(); p != 1 {
+		t.Fatalf("peak concurrent compactions = %d, want 1", p)
+	}
+}
+
+func TestRunningKeyBlocksRedispatch(t *testing.T) {
+	s := New(Config{Workers: 2, CompactionSlots: 2})
+	defer s.Close()
+
+	g := newGate()
+	var overlap atomic.Bool
+	running := atomic.Bool{}
+	s.Submit(Job{Key: "k", Band: BandLevel, Run: func() {
+		running.Store(true)
+		g.run()
+		running.Store(false)
+	}})
+	<-g.entered
+	done := make(chan struct{})
+	s.Submit(Job{Key: "k", Band: BandLevel, Run: func() {
+		if running.Load() {
+			overlap.Store(true)
+		}
+		close(done)
+	}})
+	// Give the second worker a chance to (incorrectly) start the queued
+	// duplicate while the first still runs.
+	time.Sleep(30 * time.Millisecond)
+	close(g.release)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("second job never ran")
+	}
+	if overlap.Load() {
+		t.Fatal("two jobs with the same key ran concurrently")
+	}
+}
+
+func TestPauseDropsQueueAndBlocksSubmit(t *testing.T) {
+	s := New(Config{Workers: 1, CompactionSlots: 1})
+	defer s.Close()
+
+	g := newGate()
+	s.Submit(Job{Key: "blocker", Band: BandFlush, Run: g.run})
+	<-g.entered
+
+	var dropped atomic.Bool
+	s.Submit(Job{Key: "queued", Band: BandLevel, Run: func() { dropped.Store(true) }})
+	s.Pause()
+	if s.Submit(Job{Key: "rejected", Band: BandLevel, Run: func() {}}) {
+		t.Fatal("Submit accepted while paused")
+	}
+	if d := s.QueueDepth(); d != 1 { // only the running blocker
+		t.Fatalf("queue depth after pause = %d, want 1 (running job)", d)
+	}
+	close(g.release)
+
+	s.Resume()
+	done := make(chan struct{})
+	s.Submit(Job{Key: "after", Band: BandSeek, Run: func() { close(done) }})
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("job did not run after Resume")
+	}
+	if dropped.Load() {
+		t.Fatal("job queued before Pause ran anyway (queue was not dropped)")
+	}
+}
+
+func TestCloseWaitsForRunningJob(t *testing.T) {
+	s := New(Config{Workers: 1, CompactionSlots: 1})
+	finished := atomic.Bool{}
+	g := newGate()
+	s.Submit(Job{Key: "slow", Band: BandLevel, Run: func() {
+		g.run()
+		finished.Store(true)
+	}})
+	<-g.entered
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(g.release)
+	}()
+	s.Close()
+	if !finished.Load() {
+		t.Fatal("Close returned before the running job finished")
+	}
+	// Idempotent.
+	s.Close()
+}
+
+func TestPlannerRunsOnTickAndKick(t *testing.T) {
+	var calls atomic.Int32
+	s := New(Config{Workers: 1, CompactionSlots: 1, Poll: time.Hour, Planner: func(*Scheduler) { calls.Add(1) }})
+	defer s.Close()
+	s.Kick()
+	deadline := time.Now().Add(time.Second)
+	for calls.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("planner did not run on Kick")
+	}
+}
+
+func TestDebtSignal(t *testing.T) {
+	s := New(Config{Workers: 1, CompactionSlots: 1})
+	defer s.Close()
+	if s.Debt() != 0 {
+		t.Fatal("fresh scheduler has nonzero debt")
+	}
+	s.SetDebt(12345)
+	if d := s.Debt(); d != 12345 {
+		t.Fatalf("Debt() = %d, want 12345", d)
+	}
+}

@@ -140,32 +140,125 @@ func (s *Set) PickCompactionFiltered(skip func(level int) bool) *Compaction {
 		return nil
 	}
 
-	var seeds []*FileMeta
-	if bestLevel == 0 {
-		// L0 files overlap; take them all (the trigger bounds the count).
-		seeds = append(seeds, v.Levels[0]...)
-	} else {
-		// Round-robin through the level's key space so every range is
-		// eventually compacted.
-		s.mu.Lock()
-		ptr := s.compactPtr[bestLevel]
-		s.mu.Unlock()
-		files := v.Levels[bestLevel]
-		for _, f := range files {
-			if ptr == nil || keys.Compare(f.Largest, ptr) > 0 {
-				seeds = append(seeds, f)
-				break
-			}
-		}
-		if len(seeds) == 0 && len(files) > 0 {
-			seeds = append(seeds, files[0]) // wrap around
-		}
-	}
+	seeds := s.seedsForLevel(v, bestLevel)
 	if len(seeds) == 0 {
 		v.Unref()
 		return nil
 	}
 	return s.buildCompaction(v, bestLevel, seeds)
+}
+
+// seedsForLevel selects the input seed files for a compaction at level: all
+// of L0 (its files overlap; the trigger bounds the count), or the next file
+// past the round-robin pointer for deeper levels so every key range is
+// eventually compacted.
+func (s *Set) seedsForLevel(v *Version, level int) []*FileMeta {
+	var seeds []*FileMeta
+	if level == 0 {
+		return append(seeds, v.Levels[0]...)
+	}
+	s.mu.Lock()
+	ptr := s.compactPtr[level]
+	s.mu.Unlock()
+	files := v.Levels[level]
+	for _, f := range files {
+		if ptr == nil || keys.Compare(f.Largest, ptr) > 0 {
+			seeds = append(seeds, f)
+			break
+		}
+	}
+	if len(seeds) == 0 && len(files) > 0 {
+		seeds = append(seeds, files[0]) // wrap around
+	}
+	return seeds
+}
+
+// PickCompactionAt builds the compaction for one specific level, or nil
+// when the level's score no longer demands work (the backlog drained
+// between planning and execution) or the level is out of range. This is
+// the execution half of the plan/run split: the scheduler orders levels by
+// their planned scores, and the job re-picks concrete inputs at run time
+// against the then-current version. The returned compaction holds a
+// version reference.
+func (s *Set) PickCompactionAt(level int) *Compaction {
+	if level < 0 || level >= NumLevels-1 {
+		return nil
+	}
+	v := s.Current()
+	if v == nil {
+		return nil
+	}
+	if s.Score(v, level) <= 0.99 {
+		v.Unref()
+		return nil
+	}
+	seeds := s.seedsForLevel(v, level)
+	if len(seeds) == 0 {
+		v.Unref()
+		return nil
+	}
+	return s.buildCompaction(v, level, seeds)
+}
+
+// PickSeekCompaction dequeues pending seek hints until one names a file
+// still live at its level whose level pair is not blocked, and builds a
+// single-file compaction for it. Hints for dead files or blocked levels
+// are dropped (the seek budget refills; a still-hot file will re-trigger).
+// blocked is consulted for both the input level and the level below; nil
+// means nothing is blocked.
+func (s *Set) PickSeekCompaction(blocked func(level int) bool) *Compaction {
+	v := s.Current()
+	if v == nil {
+		return nil
+	}
+	for {
+		hint, ok := s.pendingSeeks.Dequeue()
+		if !ok {
+			break
+		}
+		if hint.level >= NumLevels-1 {
+			continue
+		}
+		if blocked != nil && (blocked(hint.level) || blocked(hint.level+1)) {
+			continue
+		}
+		for _, f := range v.Levels[hint.level] {
+			if f == hint.file {
+				return s.buildCompaction(v, hint.level, []*FileMeta{f})
+			}
+		}
+	}
+	v.Unref()
+	return nil
+}
+
+// PendingSeeks reports the number of queued seek-compaction hints.
+func (s *Set) PendingSeeks() int { return s.pendingSeeks.Len() }
+
+// DebtBytes estimates the byte volume of compaction work pending at level:
+// the whole of L0 once it reaches the compaction trigger (every L0 byte
+// must be rewritten to reach L1), or the overage past the level's byte
+// budget for deeper levels. This is the per-level component of the debt
+// signal driving write admission.
+func (s *Set) DebtBytes(v *Version, level int) uint64 {
+	if level == 0 {
+		if len(v.Levels[0]) < s.opts.L0CompactionTrigger {
+			return 0
+		}
+		var n uint64
+		for _, f := range v.Levels[0] {
+			n += f.Size
+		}
+		return n
+	}
+	var total int64
+	for _, f := range v.Levels[level] {
+		total += int64(f.Size)
+	}
+	if over := total - s.MaxBytesForLevel(level); over > 0 {
+		return uint64(over)
+	}
+	return 0
 }
 
 // buildCompaction completes input selection: expand L0 seeds transitively,

@@ -199,6 +199,48 @@ func (v *Version) Iterators(dst []iterator.Iterator) ([]iterator.Iterator, error
 	return dst, nil
 }
 
+// IteratorsBounded is Iterators restricted to files overlapping the
+// user-key range [lo, hi); nil means unbounded on that side. Whole
+// sstables outside the bounds never open: L0 files are filtered by
+// individual overlap, deeper (disjoint, sorted) levels are narrowed to the
+// contiguous overlapping run by binary search. overlapsUser treats hi as
+// inclusive, so the exclusive upper bound can admit at most one boundary
+// file whose entries the bounded iterator clamps away.
+func (v *Version) IteratorsBounded(dst []iterator.Iterator, lo, hi []byte) ([]iterator.Iterator, error) {
+	if lo == nil && hi == nil {
+		return v.Iterators(dst)
+	}
+	for _, f := range v.Levels[0] {
+		if !f.overlapsUser(lo, hi) {
+			continue
+		}
+		r, err := v.set.tables.Get(f.Num)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, r.NewIterator())
+	}
+	for level := 1; level < NumLevels; level++ {
+		files := v.Levels[level]
+		start := 0
+		if lo != nil {
+			start = sort.Search(len(files), func(i int) bool {
+				return bytes.Compare(keys.UserKey(files[i].Largest), lo) >= 0
+			})
+		}
+		end := len(files)
+		if hi != nil {
+			end = start + sort.Search(len(files)-start, func(i int) bool {
+				return bytes.Compare(keys.UserKey(files[start+i].Smallest), hi) >= 0
+			})
+		}
+		if end > start {
+			dst = append(dst, newLevelIter(v.set.tables, files[start:end]))
+		}
+	}
+	return dst, nil
+}
+
 // levelIter concatenates the file iterators of one disjoint level, opening
 // each file lazily.
 type levelIter struct {

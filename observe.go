@@ -29,6 +29,7 @@ const (
 	OpRMW         = obs.OpRMW
 	OpGetSnapshot = obs.OpGetSnapshot
 	OpIterNext    = obs.OpIterNext
+	OpMultiGet    = obs.OpMultiGet
 )
 
 // Event is one engine trace entry; see Options.EventSink / WithObserver.
@@ -49,6 +50,12 @@ const (
 	EventDegraded        = obs.EvDegraded
 	EventResumed         = obs.EvResumed
 	EventReadOnly        = obs.EvReadOnly
+	// Write-throttle lifecycle: the admission controller activated,
+	// crossed a 2x rate boundary, or deactivated. Throttle events carry
+	// the admitted rate (bytes/s) in Event.Bytes.
+	EventThrottleOn     = obs.EvThrottleOn
+	EventThrottleAdjust = obs.EvThrottleAdjust
+	EventThrottleOff    = obs.EvThrottleOff
 )
 
 // StallCause says why a writer stalled.

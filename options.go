@@ -24,6 +24,8 @@ import (
 //	CompactionThreads     1
 //	SnapshotTTL           0 (handles never expire)
 //	Compression           false
+//	WriteRateLimit        0 (no cap; throttle engages only under backlog)
+//	SchedulerProfile      "default"
 //	L0CompactionTrigger   4 files
 //	L0SlowdownTrigger     8 files
 //	L0StopTrigger         12 files
@@ -83,11 +85,28 @@ type Options struct {
 	// goroutine and must not call back into the store. See DB.Health.
 	OnHealthChange func(HealthChange)
 
+	// WriteRateLimit, when positive, caps admitted write volume at this
+	// many bytes per second: the admission token bucket stays permanently
+	// active at (at most) this rate, and the background auto-tuner can only
+	// lower it while flush/compaction debt demands it. Zero (the default)
+	// means no cap — the throttle engages only under backlog. See
+	// docs/SCHEDULING.md.
+	WriteRateLimit int64
+
+	// SchedulerProfile selects the background scheduler and write-throttle
+	// tuning preset: "default" (balanced), "throughput" (gentle decay, fast
+	// recovery), "latency" (hard decay, cautious recovery), or "legacy"
+	// (the historical binary L0 slowdown/stop gate, no auto-tuning — kept
+	// for A/B measurement). Empty selects "default". Open rejects unknown
+	// names with ErrInvalidOptions.
+	SchedulerProfile string
+
 	// L0CompactionTrigger is the L0 file count that triggers a
-	// background compaction. L0SlowdownTrigger and L0StopTrigger are the
-	// write-throttling thresholds honored by the engine: at the slowdown
-	// trigger writers take a one-millisecond pause (LevelDB's soft
-	// backpressure), at the stop trigger they wait for L0 to drain.
+	// background compaction. L0SlowdownTrigger and L0StopTrigger feed the
+	// write-admission controller: between them the throttle decays
+	// multiplicatively, past the stop trigger it decays hard (under the
+	// "legacy" profile they instead gate writers with LevelDB's binary
+	// pause/stop behavior).
 	L0CompactionTrigger int
 	L0SlowdownTrigger   int
 	L0StopTrigger       int
@@ -146,6 +165,19 @@ func WithLinearizableSnapshots(on bool) Option {
 	return func(o *Options) { o.LinearizableSnapshots = on }
 }
 
+// WithWriteRateLimit caps admitted write volume at n bytes per second
+// (0 = no cap; see Options.WriteRateLimit).
+func WithWriteRateLimit(n int64) Option {
+	return func(o *Options) { o.WriteRateLimit = n }
+}
+
+// WithSchedulerProfile selects the background scheduler and write-throttle
+// tuning preset: "default", "throughput", "latency", or "legacy" (see
+// Options.SchedulerProfile).
+func WithSchedulerProfile(name string) Option {
+	return func(o *Options) { o.SchedulerProfile = name }
+}
+
 // WithL0Triggers sets the L0 file-count thresholds: compaction kicks in
 // at compact files, writers slow down at slowdown and stop at stop. Zero
 // values keep the defaults (4, 8, 12).
@@ -187,6 +219,8 @@ func (o Options) engineOptions(fs storage.FS, observer *obs.Observer) core.Optio
 		CompactionThreads:     o.CompactionThreads,
 		L0SlowdownTrigger:     o.L0SlowdownTrigger,
 		L0StopTrigger:         o.L0StopTrigger,
+		WriteRateLimit:        o.WriteRateLimit,
+		SchedulerProfile:      o.SchedulerProfile,
 		OnHealthChange:        o.OnHealthChange,
 		Observer:              observer,
 		Disk: version.Options{

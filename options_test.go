@@ -24,6 +24,8 @@ func TestOpenPathEquivalence(t *testing.T) {
 		CompactionThreads:     3,
 		SnapshotTTL:           2 * time.Minute,
 		Compression:           true,
+		WriteRateLimit:        4 << 20,
+		SchedulerProfile:      "latency",
 		L0CompactionTrigger:   6,
 		L0SlowdownTrigger:     10,
 		L0StopTrigger:         14,
@@ -39,6 +41,8 @@ func TestOpenPathEquivalence(t *testing.T) {
 		WithCompactionThreads(3),
 		WithSnapshotTTL(2 * time.Minute),
 		WithCompression(true),
+		WithWriteRateLimit(4 << 20),
+		WithSchedulerProfile("latency"),
 		WithL0Triggers(6, 10, 14),
 	} {
 		apply(&fnOpts)
@@ -92,5 +96,49 @@ func TestEngineOptionDefaults(t *testing.T) {
 	}
 	if disk.BloomBitsPerKey != 0 {
 		t.Errorf("BloomBitsPerKey default = %d, want 0 (disabled)", disk.BloomBitsPerKey)
+	}
+}
+
+// TestOptionRoundTrip applies every With* constructor to a zero Options and
+// asserts, by reflection, that it sets exactly its declared field(s) and
+// leaves every other field at the zero value — the guard against an option
+// silently clobbering an unrelated knob.
+func TestOptionRoundTrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		opt    Option
+		fields []string // fields the option must set, and nothing else
+	}{
+		{"WithMemtableSize", WithMemtableSize(1), []string{"MemtableSize"}},
+		{"WithBlockCacheSize", WithBlockCacheSize(1), []string{"BlockCacheSize"}},
+		{"WithSyncWrites", WithSyncWrites(true), []string{"SyncWrites"}},
+		{"WithDisableWAL", WithDisableWAL(true), []string{"DisableWAL"}},
+		{"WithCompression", WithCompression(true), []string{"Compression"}},
+		{"WithCompactionThreads", WithCompactionThreads(2), []string{"CompactionThreads"}},
+		{"WithSnapshotTTL", WithSnapshotTTL(time.Second), []string{"SnapshotTTL"}},
+		{"WithLinearizableSnapshots", WithLinearizableSnapshots(true), []string{"LinearizableSnapshots"}},
+		{"WithWriteRateLimit", WithWriteRateLimit(1), []string{"WriteRateLimit"}},
+		{"WithSchedulerProfile", WithSchedulerProfile("latency"), []string{"SchedulerProfile"}},
+		{"WithL0Triggers", WithL0Triggers(1, 2, 3),
+			[]string{"L0CompactionTrigger", "L0SlowdownTrigger", "L0StopTrigger"}},
+		{"WithObserver", WithObserver(func(Event) {}), []string{"EventSink"}},
+		{"WithHealthChange", WithHealthChange(func(HealthChange) {}), []string{"OnHealthChange"}},
+	}
+	for _, tc := range cases {
+		var opts Options
+		tc.opt(&opts)
+		want := make(map[string]bool, len(tc.fields))
+		for _, f := range tc.fields {
+			want[f] = true
+		}
+		v := reflect.ValueOf(opts)
+		ty := v.Type()
+		for i := 0; i < ty.NumField(); i++ {
+			set := !v.Field(i).IsZero()
+			if set != want[ty.Field(i).Name] {
+				t.Errorf("%s: field %s set=%v, want %v",
+					tc.name, ty.Field(i).Name, set, want[ty.Field(i).Name])
+			}
+		}
 	}
 }

@@ -7,6 +7,10 @@
 # The key metric is syncs/op in BenchmarkPutSyncParallel: 1.0 means one
 # device sync per record (no grouping — the single-writer baseline);
 # group commit drives it toward 1/group-size as writers are added.
+#
+# Also runs the scheduler stall profile (legacy gate vs auto-tuned
+# admission under overload — docs/SCHEDULING.md) and emits
+# BENCH_stall.json. STALL_SCALE picks the run length (smoke/small/full).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -46,3 +50,5 @@ END { printf "\n  ]\n}\n" }
 ' > "$OUT"
 
 echo "wrote $OUT"
+
+go run ./cmd/clsm-bench -stall-profile -scale "${STALL_SCALE:-small}" -stall-out BENCH_stall.json

@@ -28,3 +28,20 @@ go test -race ./internal/obs ./internal/core ./internal/wal ./internal/batch
 go test ./internal/core ./internal/obs -run 'Allocs'
 go test -race -short ./internal/faultfs ./internal/oracle ./internal/crashtest
 go test -race -run 'Health|Degraded|ReadOnly' ./internal/...
+
+# Stall-profile smoke gate: the auto-tuned admission controller must beat
+# the legacy binary gate's worst-window put latency without giving up
+# meaningful throughput (docs/SCHEDULING.md; recorded runs in
+# EXPERIMENTS.md). Thresholds are deliberately looser than the recorded
+# numbers — this is a regression tripwire, not a benchmark.
+go run ./cmd/clsm-bench -stall-profile -scale smoke -stall-out /tmp/clsm_stall_check.json
+awk '
+/"worst_window_max_improvement"/ { imp = $2 + 0 }
+/"throughput_ratio"/            { tp  = $2 + 0 }
+END {
+	if (imp <= 1.0 || tp < 0.90) {
+		printf "stall gate FAILED: improvement %.2fx (need >1.0), throughput ratio %.2f (need >=0.90)\n", imp, tp
+		exit 1
+	}
+	printf "stall gate ok: improvement %.2fx, throughput ratio %.2f\n", imp, tp
+}' /tmp/clsm_stall_check.json
