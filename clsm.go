@@ -41,6 +41,8 @@
 package clsm
 
 import (
+	"context"
+
 	"clsm/internal/batch"
 	"clsm/internal/core"
 	"clsm/internal/obs"
@@ -140,6 +142,41 @@ func (db *DB) Delete(key []byte) error { return db.inner.Delete(key) }
 // Write applies the batch atomically: concurrent readers and snapshots see
 // either all of the batch or none of it.
 func (db *DB) Write(b *Batch) error { return db.inner.Write(b) }
+
+// PutCtx is Put with cancellation: write-admission throttle waits,
+// memtable/L0 stalls, and the bounded degraded-mode stall
+// (Options.DegradedStallTimeout) all return ctx.Err() as soon as ctx is
+// done instead of sleeping out their delay. Once a write is admitted it
+// completes — cancellation never leaves a half-applied write. The network
+// server (cmd/clsm-server) threads every request's context through these
+// variants; see docs/NETWORK.md.
+func (db *DB) PutCtx(ctx context.Context, key, value []byte) error {
+	return db.inner.PutCtx(ctx, key, value)
+}
+
+// GetCtx is Get with a context. Reads never block, so ctx is checked once
+// at entry: a canceled or expired context fails fast with ctx.Err().
+func (db *DB) GetCtx(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
+	return db.inner.GetCtx(ctx, key)
+}
+
+// MultiGetCtx is MultiGet with a context, checked once at entry (reads
+// never block).
+func (db *DB) MultiGetCtx(ctx context.Context, keys [][]byte) ([]Value, error) {
+	return db.inner.MultiGetCtx(ctx, keys)
+}
+
+// DeleteCtx is Delete with cancellation (see PutCtx).
+func (db *DB) DeleteCtx(ctx context.Context, key []byte) error {
+	return db.inner.DeleteCtx(ctx, key)
+}
+
+// WriteCtx is Write with cancellation (see PutCtx): the pre-admission
+// waits honor ctx, and once the batch is admitted it applies atomically —
+// cancellation never splits a batch.
+func (db *DB) WriteCtx(ctx context.Context, b *Batch) error {
+	return db.inner.WriteCtx(ctx, b)
+}
 
 // RMW atomically replaces key's value with f(current). f may be called
 // multiple times on conflicts; it must be pure. This is the paper's

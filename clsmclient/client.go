@@ -1,0 +1,407 @@
+// Package clsmclient is the Go client for a remote clsm store served by
+// cmd/clsm-server. It speaks the pipelined binary protocol of
+// docs/NETWORK.md and is safe for concurrent use by any number of
+// goroutines — concurrency is the point: every in-flight request rides
+// the same small pool of connections with its own request id, so N
+// goroutines calling Put concurrently cost one round trip each without
+// waiting for one another, and the server merges them into shared group
+// commits.
+//
+//	c, err := clsmclient.Dial("localhost:4377",
+//		clsmclient.WithMaxInflight(512),
+//		clsmclient.WithRetry(4, 10*time.Millisecond, time.Second))
+//	if err != nil { ... }
+//	defer c.Close()
+//
+//	err = c.Put(ctx, []byte("k"), []byte("v"))
+//	v, ok, err := c.Get(ctx, []byte("k"))
+//
+// Remote engine errors keep their identity across the wire:
+// errors.Is(err, clsm.ErrReadOnly), clsm.ErrDegraded, clsm.ErrClosed,
+// and the rest work exactly as they do in-process.
+package clsmclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"time"
+
+	"clsm/internal/wire"
+)
+
+// ErrClientClosed is returned by every call after Close.
+var ErrClientClosed = errors.New("clsmclient: client closed")
+
+// Option configures a Client at Dial time.
+type Option func(*config)
+
+type config struct {
+	dialTimeout time.Duration
+	maxInflight int
+	poolSize    int
+
+	retryAttempts int
+	retryBase     time.Duration
+	retryMax      time.Duration
+}
+
+// WithDialTimeout bounds each TCP connect (default 5s).
+func WithDialTimeout(d time.Duration) Option {
+	return func(c *config) { c.dialTimeout = d }
+}
+
+// WithMaxInflight caps the client's total in-flight requests (default
+// 256). Calls beyond the cap wait for a slot; the cap is what turns a
+// burst of goroutines into a deep, bounded pipeline instead of unbounded
+// memory growth.
+func WithMaxInflight(n int) Option {
+	return func(c *config) { c.maxInflight = n }
+}
+
+// WithPoolSize sets how many TCP connections the client spreads requests
+// over (default 1). One pipelined connection usually saturates a server;
+// more help past single-stream TCP limits.
+func WithPoolSize(n int) Option {
+	return func(c *config) { c.poolSize = n }
+}
+
+// WithRetry makes every call retry up to attempts times on transient
+// failures — broken/unreachable connections and remote ErrDegraded (the
+// store auto-resumes when its background retry succeeds) — sleeping a
+// jittered exponential backoff between tries, base doubling up to max.
+// Non-transient remote errors (ErrReadOnly, ErrClosed, ErrInvalidOptions,
+// bad requests) never retry. Retrying writes is safe because every clsm
+// write is last-writer-wins idempotent: reapplying the same Put/Delete/
+// batch converges to the same state.
+func WithRetry(attempts int, base, max time.Duration) Option {
+	return func(c *config) {
+		c.retryAttempts = attempts
+		c.retryBase = base
+		c.retryMax = max
+	}
+}
+
+// Client is a handle on a remote store. Create with Dial; all methods
+// are safe for concurrent use.
+type Client struct {
+	addr string
+	cfg  config
+
+	inflight chan struct{} // client-wide in-flight slots
+	sessions []*sessionSlot
+
+	closed chan struct{}
+}
+
+// Dial connects to a clsm-server at addr. The first connection is
+// established eagerly so configuration and reachability errors surface
+// here; pool connections beyond the first dial lazily.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	cfg := config{
+		dialTimeout: 5 * time.Second,
+		maxInflight: 256,
+		poolSize:    1,
+	}
+	for _, apply := range opts {
+		apply(&cfg)
+	}
+	if cfg.poolSize < 1 || cfg.maxInflight < 1 || cfg.retryAttempts < 0 {
+		return nil, errors.New("clsmclient: options must be positive")
+	}
+	c := &Client{
+		addr:     addr,
+		cfg:      cfg,
+		inflight: make(chan struct{}, cfg.maxInflight),
+		sessions: make([]*sessionSlot, cfg.poolSize),
+		closed:   make(chan struct{}),
+	}
+	for i := range c.sessions {
+		c.sessions[i] = &sessionSlot{}
+	}
+	if _, err := c.sessions[0].get(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close severs every connection and fails all in-flight calls with a
+// connection error. The client is unusable afterwards.
+func (c *Client) Close() error {
+	select {
+	case <-c.closed:
+		return nil
+	default:
+	}
+	close(c.closed)
+	for _, slot := range c.sessions {
+		slot.close()
+	}
+	return nil
+}
+
+// ---- public operations ----
+
+// Put stores (key, value) on the remote store.
+func (c *Client) Put(ctx context.Context, key, value []byte) error {
+	_, err := c.call(ctx, wire.OpPut, wire.AppendPut(nil, key, value))
+	return err
+}
+
+// Get returns the current remote value of key; ok is false when the key
+// is absent (absence is not an error, mirroring clsm.DB.Get).
+func (c *Client) Get(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
+	body, err := c.call(ctx, wire.OpGet, wire.AppendKey(nil, key))
+	if err != nil {
+		return nil, false, err
+	}
+	return wire.DecodeGetReply(body)
+}
+
+// Delete removes key from the remote store.
+func (c *Client) Delete(ctx context.Context, key []byte) error {
+	_, err := c.call(ctx, wire.OpDelete, wire.AppendKey(nil, key))
+	return err
+}
+
+// Value is one MultiGet result: the data and whether the key existed.
+type Value struct {
+	Data   []byte
+	Exists bool
+}
+
+// MultiGet reads every key in one round trip; results[i] corresponds to
+// keys[i], absence reported per key through Value.Exists. The server
+// executes it as a single engine MultiGet, so the batch is mutually
+// consistent.
+func (c *Client) MultiGet(ctx context.Context, keys [][]byte) ([]Value, error) {
+	body, err := c.call(ctx, wire.OpMultiGet, wire.AppendKeys(nil, keys))
+	if err != nil {
+		return nil, err
+	}
+	wvals, err := wire.DecodeValues(body)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]Value, len(wvals))
+	for i, v := range wvals {
+		vals[i] = Value{Data: v.Data, Exists: v.Exists}
+	}
+	return vals, nil
+}
+
+// Batch is an ordered set of writes applied atomically by Client.Write —
+// the remote analogue of clsm.Batch.
+type Batch struct {
+	entries []wire.Entry
+}
+
+// Put queues a write of (key, value) in the batch.
+func (b *Batch) Put(key, value []byte) {
+	b.entries = append(b.entries, wire.Entry{Key: key, Value: value})
+}
+
+// Delete queues a deletion of key in the batch.
+func (b *Batch) Delete(key []byte) {
+	b.entries = append(b.entries, wire.Entry{Delete: true, Key: key})
+}
+
+// Len reports the number of queued operations.
+func (b *Batch) Len() int { return len(b.entries) }
+
+// Reset empties the batch for reuse.
+func (b *Batch) Reset() { b.entries = b.entries[:0] }
+
+// Write applies the batch atomically on the remote store: concurrent
+// readers see all of it or none of it. An empty batch is a no-op.
+func (c *Client) Write(ctx context.Context, b *Batch) error {
+	_, err := c.call(ctx, wire.OpWrite, wire.AppendWrite(nil, b.entries))
+	return err
+}
+
+// KV is one Scan result pair.
+type KV struct {
+	Key, Value []byte
+}
+
+// Scan returns up to limit pairs in ascending key order starting at
+// start (inclusive; nil starts at the first key), read from one
+// consistent remote snapshot.
+func (c *Client) Scan(ctx context.Context, start []byte, limit int) ([]KV, error) {
+	body, err := c.call(ctx, wire.OpScan, wire.AppendScan(nil, start, limit))
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := wire.DecodePairs(body)
+	if err != nil {
+		return nil, err
+	}
+	kvs := make([]KV, len(pairs))
+	for i, p := range pairs {
+		kvs[i] = KV{Key: p.Key, Value: p.Value}
+	}
+	return kvs, nil
+}
+
+// Status is the remote store's health and observability snapshot.
+type Status struct {
+	// Health is the engine health state (clsm.Healthy, Degraded,
+	// ReadOnly, Failed) as its numeric value.
+	Health uint8
+	// HealthMsg is the background error behind a non-healthy state.
+	HealthMsg string
+	// Obs is the JSON observability snapshot (obs.Snapshot): op
+	// latencies, cache/WAL/compaction counters, server batch histograms.
+	Obs []byte
+}
+
+// Status fetches the server's health state and observability snapshot.
+func (c *Client) Status(ctx context.Context) (Status, error) {
+	body, err := c.call(ctx, wire.OpStats, nil)
+	if err != nil {
+		return Status{}, err
+	}
+	st, err := wire.DecodeStatus(body)
+	if err != nil {
+		return Status{}, err
+	}
+	return Status{Health: st.Health, HealthMsg: st.HealthMsg, Obs: st.Obs}, nil
+}
+
+// ---- request execution ----
+
+// call runs one request with the configured retry policy.
+func (c *Client) call(ctx context.Context, op wire.Op, payload []byte) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		body, err := c.callOnce(ctx, op, payload)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		if attempt >= c.cfg.retryAttempts || !transient(err) || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		if err := sleep(ctx, c.backoff(attempt)); err != nil {
+			return nil, lastErr
+		}
+	}
+}
+
+// transient reports whether err is worth retrying: connection failures
+// and remote codes the protocol marks transient (degraded).
+func transient(err error) bool {
+	var re *wire.Error
+	if errors.As(err, &re) {
+		return re.Code.Transient()
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrClientClosed) {
+		return false
+	}
+	return true // dial errors, broken sessions, torn frames
+}
+
+// backoff is the jittered exponential delay before retry attempt+1.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.retryBase << attempt
+	if d > c.cfg.retryMax || d <= 0 {
+		d = c.cfg.retryMax
+	}
+	if d <= 0 {
+		return 0
+	}
+	// Full jitter in [d/2, d): concurrent retriers decorrelate.
+	return d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+}
+
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// callOnce executes one request over one session: acquire an in-flight
+// slot, pick a pool session (dialing if its connection is down), send
+// the frame, and wait for the response with this request's id.
+func (c *Client) callOnce(ctx context.Context, op wire.Op, payload []byte) ([]byte, error) {
+	// Fast path first: a plain buffered send skips the full select
+	// machinery, which matters at pipelined rates.
+	select {
+	case c.inflight <- struct{}{}:
+	default:
+		select {
+		case c.inflight <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-c.closed:
+			return nil, ErrClientClosed
+		}
+	}
+	defer func() { <-c.inflight }()
+
+	slot := c.pick()
+	sess, err := slot.get(c)
+	if err != nil {
+		return nil, err
+	}
+	id, ch := sess.register()
+	frame := wire.AppendFrame(nil, id, byte(op), payload)
+	if err := sess.send(ctx, frame); err != nil {
+		sess.deregister(id)
+		return nil, err
+	}
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return nil, res.err
+		}
+		code := wire.ErrorCode(res.status)
+		if code != wire.CodeOK {
+			return nil, wire.RemoteError(code, string(res.payload))
+		}
+		return res.payload, nil
+	case <-ctx.Done():
+		// The response may still arrive; the session drops it on the
+		// floor when no waiter is registered.
+		sess.deregister(id)
+		return nil, ctx.Err()
+	case <-c.closed:
+		sess.deregister(id)
+		return nil, ErrClientClosed
+	}
+}
+
+// pick spreads calls over the pool round-robin-by-goroutine: cheap and
+// good enough, since any session pipelines arbitrarily deep.
+func (c *Client) pick() *sessionSlot {
+	if len(c.sessions) == 1 {
+		return c.sessions[0]
+	}
+	return c.sessions[int(rand.Uint32N(uint32(len(c.sessions))))]
+}
+
+// dial opens one protocol connection.
+func (c *Client) dial() (net.Conn, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.cfg.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("clsmclient: dial %s: %w", c.addr, err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // pipelined frames must not wait for ACKs
+	}
+	return nc, nil
+}

@@ -1,0 +1,224 @@
+package clsmclient_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"clsm/clsmclient"
+	"clsm/internal/core"
+	"clsm/internal/server"
+	"clsm/internal/wire"
+)
+
+func startServer(t *testing.T) (addr string, db *core.DB) {
+	t.Helper()
+	db, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, server.Config{})
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	return ln.Addr().String(), db
+}
+
+// TestSharedConnectionPipelining: many goroutines multiplex one
+// connection (pool size 1); every request gets its own id and every
+// response routes back to its caller.
+func TestSharedConnectionPipelining(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := clsmclient.Dial(addr, clsmclient.WithPoolSize(1), clsmclient.WithMaxInflight(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	const goroutines = 32
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			k := []byte(fmt.Sprintf("key-%02d", g))
+			want := fmt.Sprintf("val-%02d", g)
+			for i := 0; i < 50; i++ {
+				if err := c.Put(ctx, k, []byte(want)); err != nil {
+					errCh <- err
+					return
+				}
+				got, ok, err := c.Get(ctx, k)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				// Responses arrive out of order across goroutines; each
+				// caller must still see exactly its own answer.
+				if !ok || string(got) != want {
+					errCh <- fmt.Errorf("goroutine %d read %q, want %q", g, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestContextCancellation: a canceled call returns promptly with the
+// context error and does not poison the session for later calls.
+func TestContextCancellation(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := clsmclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.Put(canceled, []byte("k"), []byte("v")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Put = %v, want context.Canceled", err)
+	}
+
+	expired, cancel2 := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel2()
+	time.Sleep(time.Millisecond)
+	if _, _, err := c.Get(expired, []byte("k")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired Get = %v, want context.DeadlineExceeded", err)
+	}
+
+	// The session is intact: a live-context call still works.
+	if err := c.Put(context.Background(), []byte("k"), []byte("v2")); err != nil {
+		t.Fatalf("Put after cancellations: %v", err)
+	}
+	v, ok, err := c.Get(context.Background(), []byte("k"))
+	if err != nil || !ok || string(v) != "v2" {
+		t.Fatalf("Get after cancellations = %q,%v,%v", v, ok, err)
+	}
+}
+
+// TestReconnectAfterServerRestart: a broken connection fails in-flight
+// calls with a transport error, and the next call on the client redials
+// transparently.
+func TestReconnectAfterServerRestart(t *testing.T) {
+	db, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv := server.New(db, server.Config{})
+	go srv.Serve(ln)
+
+	c, err := clsmclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.Put(ctx, []byte("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the server; the client's next call must fail (transport, not
+	// remote) ...
+	srv.Close()
+	if err := c.Put(ctx, []byte("k"), []byte("v2")); err == nil {
+		t.Fatal("Put succeeded against a closed server")
+	} else {
+		var re *wire.Error
+		if errors.As(err, &re) {
+			t.Fatalf("expected a transport error, got remote %v", err)
+		}
+	}
+
+	// ... and once the server is back on the same address, the client
+	// redials on its own.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("ephemeral port %s reused: %v", addr, err)
+	}
+	srv2 := server.New(db, server.Config{})
+	go srv2.Serve(ln2)
+	defer srv2.Close()
+
+	if err := c.Put(ctx, []byte("k"), []byte("v3")); err != nil {
+		t.Fatalf("Put after server restart: %v", err)
+	}
+	v, ok, err := c.Get(ctx, []byte("k"))
+	if err != nil || !ok || string(v) != "v3" {
+		t.Fatalf("Get after restart = %q,%v,%v", v, ok, err)
+	}
+}
+
+// TestStatus: the remote status call reports health and a non-empty
+// observability snapshot.
+func TestStatus(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := clsmclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.Put(ctx, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Health != 0 {
+		t.Fatalf("health = %d, want healthy (0): %s", st.Health, st.HealthMsg)
+	}
+	if len(st.Obs) == 0 || st.Obs[0] != '{' {
+		t.Fatalf("obs snapshot not JSON: %q", st.Obs)
+	}
+}
+
+// TestDialFailure: an unreachable address fails Dial with a useful error.
+func TestDialFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens here now
+	if _, err := clsmclient.Dial(addr, clsmclient.WithDialTimeout(time.Second)); err == nil {
+		t.Fatal("Dial to dead address succeeded")
+	}
+}
+
+// TestClientClosed: calls after Close fail with ErrClientClosed.
+func TestClientClosed(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := clsmclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := c.Put(context.Background(), []byte("k"), []byte("v")); !errors.Is(err, clsmclient.ErrClientClosed) {
+		t.Fatalf("Put after Close = %v, want ErrClientClosed", err)
+	}
+}

@@ -1,0 +1,212 @@
+package clsmclient
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+
+	"clsm/internal/wire"
+)
+
+// sessionSlot is one pool position: it holds the live session and
+// replaces it (lazily, on next use) after the connection breaks.
+type sessionSlot struct {
+	mu   sync.Mutex
+	sess *session
+}
+
+// get returns the slot's live session, dialing a replacement when the
+// current one is broken or absent.
+func (s *sessionSlot) get(c *Client) (*session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sess != nil && !s.sess.broken() {
+		return s.sess, nil
+	}
+	select {
+	case <-c.closed:
+		return nil, ErrClientClosed
+	default:
+	}
+	nc, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	s.sess = newSession(nc)
+	return s.sess, nil
+}
+
+func (s *sessionSlot) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sess != nil {
+		s.sess.fail(ErrClientClosed)
+	}
+}
+
+// result is one response delivered to a waiting call.
+type result struct {
+	status  byte
+	payload []byte
+	err     error // session-level failure; status/payload are invalid
+}
+
+// session is one pipelined protocol connection. Writes use a combining
+// buffer: a sender appends its frame under the lock, and whichever
+// sender finds no flusher active becomes the flusher, writing everything
+// queued (its own frame and everyone else's) in single syscalls until
+// the buffer drains. Concurrent senders therefore batch into few TCP
+// writes with no dedicated writer goroutine and no handoff wakeups. A
+// reader goroutine dispatches responses to waiters by request id.
+type session struct {
+	nc net.Conn
+
+	wmu     sync.Mutex
+	wbuf    []byte // frames queued to write, guarded by wmu
+	wspare  []byte // recycled buffer for the next fill
+	writing bool   // a flusher is draining wbuf
+
+	mu      sync.Mutex
+	pending map[uint64]chan result
+	nextID  uint64
+	err     error // non-nil once the session is broken
+
+	done chan struct{} // closed when the session breaks
+}
+
+func newSession(nc net.Conn) *session {
+	s := &session{
+		nc:      nc,
+		pending: make(map[uint64]chan result),
+		done:    make(chan struct{}),
+	}
+	go s.readLoop()
+	return s
+}
+
+func (s *session) broken() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// register allocates a request id and its response channel.
+func (s *session) register() (uint64, chan result) {
+	ch := make(chan result, 1)
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.pending[id] = ch
+	s.mu.Unlock()
+	return id, ch
+}
+
+// deregister abandons a request (context cancellation, send failure);
+// a late response for it is discarded by the reader.
+func (s *session) deregister(id uint64) {
+	s.mu.Lock()
+	delete(s.pending, id)
+	s.mu.Unlock()
+}
+
+// send queues one encoded frame and, when no other sender is already
+// flushing, drains the combining buffer onto the socket. The write
+// syscall happens outside the lock, so senders arriving meanwhile
+// append and return immediately — their bytes ride the active flusher.
+func (s *session) send(ctx context.Context, frame []byte) error {
+	if s.broken() {
+		return s.failure()
+	}
+	s.wmu.Lock()
+	if s.wbuf == nil {
+		s.wbuf = s.wspare[:0]
+		s.wspare = nil
+	}
+	s.wbuf = append(s.wbuf, frame...)
+	if s.writing {
+		s.wmu.Unlock()
+		return nil
+	}
+	s.writing = true
+	for {
+		// Yield once before draining: workers woken by the same batch of
+		// responses are runnable right now, and giving them one scheduler
+		// pass lets their frames land in wbuf so a single write covers
+		// them all instead of one syscall each.
+		s.wmu.Unlock()
+		runtime.Gosched()
+		s.wmu.Lock()
+		if len(s.wbuf) == 0 {
+			break
+		}
+		buf := s.wbuf
+		s.wbuf = nil
+		s.wmu.Unlock()
+		_, err := s.nc.Write(buf)
+		s.wmu.Lock()
+		s.wspare = buf[:0]
+		if err != nil {
+			s.writing = false
+			s.wmu.Unlock()
+			s.fail(fmt.Errorf("clsmclient: connection lost: %w", err))
+			return err
+		}
+	}
+	s.writing = false
+	s.wmu.Unlock()
+	return nil
+}
+
+// readLoop dispatches response frames to their registered waiters.
+// Responses arrive in whatever order the server finished them; the id
+// is the only correlation.
+func (s *session) readLoop() {
+	r := bufio.NewReaderSize(s.nc, 64<<10)
+	for {
+		id, status, payload, err := wire.ReadFrame(r)
+		if err != nil {
+			s.fail(fmt.Errorf("clsmclient: connection lost: %w", err))
+			return
+		}
+		s.mu.Lock()
+		ch, ok := s.pending[id]
+		delete(s.pending, id)
+		s.mu.Unlock()
+		if ok {
+			ch <- result{status: status, payload: payload}
+		}
+	}
+}
+
+// failure returns the error the session broke with.
+func (s *session) failure() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// fail marks the session broken exactly once: every waiter gets err,
+// the socket closes, and future sends/registrations fail fast. The
+// owning slot dials a fresh session on next use.
+func (s *session) fail(err error) {
+	s.mu.Lock()
+	if s.err != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.err = err
+	pending := s.pending
+	s.pending = make(map[uint64]chan result)
+	s.mu.Unlock()
+	close(s.done)
+	s.nc.Close()
+	for _, ch := range pending {
+		ch <- result{err: err}
+	}
+}

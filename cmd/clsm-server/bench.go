@@ -1,0 +1,220 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clsm"
+	"clsm/clsmclient"
+	"clsm/internal/server"
+)
+
+// benchResult is the BENCH_server.json schema.
+type benchResult struct {
+	Bench    string `json:"bench"`
+	Duration string `json:"duration_per_point"`
+
+	// SingleConnOpsPerSec is the classic-RPC baseline: one connection,
+	// one request in flight at a time (MaxInflight=1).
+	SingleConnOpsPerSec float64 `json:"single_conn_ops_per_sec"`
+
+	// Pipelined sweeps connection count with deep pipelining per
+	// connection.
+	Pipelined []sweepPoint `json:"pipelined"`
+
+	// Pipelined8cVsSingleConn is the acceptance ratio: pipelined
+	// throughput at 8 connections over the single-connection baseline.
+	Pipelined8cVsSingleConn float64 `json:"pipelined_8c_vs_single_conn"`
+
+	// GroupCommit measures WAL sync amortization under concurrent
+	// durable writers: remote clients with SyncWrites on, syncs/op < 1
+	// means the server's cross-connection coalescing + the engine's
+	// group commit shared fsyncs between clients.
+	GroupCommit groupCommitResult `json:"group_commit"`
+}
+
+type sweepPoint struct {
+	Conns     int     `json:"conns"`
+	Ops       int64   `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+type groupCommitResult struct {
+	SyncWriters int     `json:"sync_writers"`
+	Ops         int64   `json:"ops"`
+	WALSyncs    int64   `json:"wal_syncs"`
+	SyncsPerOp  float64 `json:"syncs_per_op"`
+}
+
+const benchPointDuration = 1500 * time.Millisecond
+
+// runBench measures the two acceptance numbers of the network layer —
+// pipelined connection scaling and group-commit sync amortization — and
+// writes them to outPath as JSON.
+func runBench(outPath string) error {
+	res := benchResult{Bench: "server", Duration: benchPointDuration.String()}
+
+	// --- throughput scaling: volatile store, async writes, so the
+	// network layer (not the device) is what's measured. Each point gets
+	// a fresh store so earlier points' accumulated data (GC pressure,
+	// background flushes) can't tax later ones.
+	single, err := benchPoint(1, 1)
+	if err != nil {
+		return err
+	}
+	res.SingleConnOpsPerSec = single.OpsPerSec
+	fmt.Printf("single connection, unpipelined: %11.0f ops/s\n", single.OpsPerSec)
+
+	for _, conns := range []int{1, 2, 4, 8} {
+		p, err := benchPoint(conns, 16)
+		if err != nil {
+			return err
+		}
+		p.Conns = conns
+		res.Pipelined = append(res.Pipelined, p)
+		fmt.Printf("pipelined, %d connection(s):     %11.0f ops/s\n", conns, p.OpsPerSec)
+	}
+	last := res.Pipelined[len(res.Pipelined)-1]
+	res.Pipelined8cVsSingleConn = last.OpsPerSec / res.SingleConnOpsPerSec
+	fmt.Printf("pipelined 8c vs single-conn:   %11.2fx\n", res.Pipelined8cVsSingleConn)
+
+	// --- group commit: durable store on the real filesystem, sync
+	// writes, concurrent writers across 8 connections.
+	gc, err := benchGroupCommit()
+	if err != nil {
+		return err
+	}
+	res.GroupCommit = gc
+	fmt.Printf("group commit, %d sync writers:  %11.3f syncs/op (%d syncs / %d ops)\n",
+		gc.SyncWriters, gc.SyncsPerOp, gc.WALSyncs, gc.Ops)
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// benchPoint measures one throughput point against a fresh volatile
+// store, with a short warmup before the timed window.
+func benchPoint(conns, depth int) (sweepPoint, error) {
+	db, err := clsm.OpenPath("")
+	if err != nil {
+		return sweepPoint{}, err
+	}
+	defer db.Close()
+	srv := server.New(db, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return sweepPoint{}, err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	if _, err := driveLoad(addr, conns, depth, benchPointDuration/5); err != nil {
+		return sweepPoint{}, err
+	}
+	return driveLoad(addr, conns, depth, benchPointDuration)
+}
+
+// driveLoad runs a put-heavy workload for d: conns clients, each with
+// depth goroutines keeping depth requests in flight, all writing disjoint
+// keys. Returns completed ops and throughput.
+func driveLoad(addr string, conns, depth int, d time.Duration) (sweepPoint, error) {
+	clients := make([]*clsmclient.Client, conns)
+	for i := range clients {
+		c, err := clsmclient.Dial(addr,
+			clsmclient.WithPoolSize(1), clsmclient.WithMaxInflight(depth))
+		if err != nil {
+			return sweepPoint{}, err
+		}
+		clients[i] = c
+		defer c.Close()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	var ops atomic.Int64
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	value := make([]byte, 100)
+	for ci, c := range clients {
+		for w := 0; w < depth; w++ {
+			wg.Add(1)
+			go func(c *clsmclient.Client, ci, w int) {
+				defer wg.Done()
+				keys := make([][]byte, 512)
+				for i := range keys {
+					keys[i] = []byte(fmt.Sprintf("c%02d-w%02d-%06d", ci, w, i))
+				}
+				for i := 0; ctx.Err() == nil; i++ {
+					if err := c.Put(ctx, keys[i%len(keys)], value); err != nil {
+						if ctx.Err() == nil {
+							failed.Add(1)
+						}
+						return
+					}
+					ops.Add(1)
+				}
+			}(c, ci, w)
+		}
+	}
+	wg.Wait()
+	if n := failed.Load(); n > 0 {
+		return sweepPoint{}, fmt.Errorf("%d workers failed under load", n)
+	}
+	return sweepPoint{
+		Ops:       ops.Load(),
+		OpsPerSec: float64(ops.Load()) / d.Seconds(),
+	}, nil
+}
+
+// benchGroupCommit counts device syncs per durable remote write with 8
+// connections writing concurrently. The engine's WAL group commit plus
+// the server's cross-connection batching share each fsync across every
+// write that was in flight when it started.
+func benchGroupCommit() (groupCommitResult, error) {
+	dir, err := os.MkdirTemp("", "clsm-server-bench-")
+	if err != nil {
+		return groupCommitResult{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := clsm.OpenPath(dir, clsm.WithSyncWrites(true))
+	if err != nil {
+		return groupCommitResult{}, err
+	}
+	defer db.Close()
+	srv := server.New(db, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return groupCommitResult{}, err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	const conns, depth = 8, 16
+	syncs0 := db.Observer().WALSyncs.Load()
+	p, err := driveLoad(ln.Addr().String(), conns, depth, benchPointDuration)
+	if err != nil {
+		return groupCommitResult{}, err
+	}
+	syncs := int64(db.Observer().WALSyncs.Load() - syncs0)
+	return groupCommitResult{
+		SyncWriters: conns * depth,
+		Ops:         p.Ops,
+		WALSyncs:    syncs,
+		SyncsPerOp:  float64(syncs) / float64(p.Ops),
+	}, nil
+}

@@ -1,0 +1,104 @@
+// clsm-server serves one clsm store over TCP with the pipelined binary
+// protocol of docs/NETWORK.md (clients: the clsmclient package, the
+// `clsm -remote` CLI).
+//
+//	clsm-server -db /var/lib/clsm -addr :4377
+//
+// Concurrent clients share the engine's group commit: the server merges
+// in-flight writes from every connection into single engine batches, so
+// adding clients amortizes WAL syncs instead of multiplying them.
+//
+// Operational modes:
+//
+//	-selftest   run an in-process server + pipelined clients, verify
+//	            results, shut down, and fail on any leaked goroutine
+//	-bench      measure pipelined throughput scaling and group-commit
+//	            sync amortization; write BENCH_server.json
+//	-debug-addr serve /debug/vars (expvar, including the engine's
+//	            observability snapshot) on a side HTTP listener
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"clsm"
+	"clsm/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":4377", "address to serve the wire protocol on")
+		dbPath    = flag.String("db", "", "store directory (empty = volatile in-memory store)")
+		sync      = flag.Bool("sync", false, "make every write wait for WAL durability")
+		debugAddr = flag.String("debug-addr", "", "optional address for the /debug/vars HTTP endpoint")
+		maxBatch  = flag.Int("max-batch", 0, "max requests merged per engine commit (0 = default)")
+		inflight  = flag.Int("max-inflight", 0, "max in-flight requests per connection (0 = default)")
+
+		selftest = flag.Bool("selftest", false, "run the in-process smoke + goroutine-leak test and exit")
+		bench    = flag.Bool("bench", false, "run the server benchmark and exit")
+		benchOut = flag.String("bench-out", "BENCH_server.json", "benchmark result file")
+	)
+	flag.Parse()
+
+	if *selftest {
+		if err := runSelftest(); err != nil {
+			log.Fatalf("selftest: FAIL: %v", err)
+		}
+		fmt.Println("selftest: PASS")
+		return
+	}
+	if *bench {
+		if err := runBench(*benchOut); err != nil {
+			log.Fatalf("bench: %v", err)
+		}
+		return
+	}
+
+	db, err := clsm.OpenPath(*dbPath, clsm.WithSyncWrites(*sync))
+	if err != nil {
+		log.Fatalf("open store: %v", err)
+	}
+	srv := server.New(db, server.Config{MaxBatch: *maxBatch, MaxInflight: *inflight})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
+	}
+	log.Printf("serving %s on %s (db=%q sync=%v)", "clsm wire protocol", ln.Addr(), *dbPath, *sync)
+
+	if *debugAddr != "" {
+		go func() {
+			mux := http.NewServeMux()
+			mux.Handle("/debug/vars", clsm.DebugHandler())
+			log.Printf("debug endpoint on http://%s/debug/vars", *debugAddr)
+			log.Printf("debug server: %v", http.ListenAndServe(*debugAddr, mux))
+		}()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigc:
+		log.Printf("%v: shutting down", sig)
+	case err := <-serveErr:
+		if err != nil {
+			log.Printf("serve: %v", err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("server close: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		log.Fatalf("store close: %v", err)
+	}
+}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"clsm"
+	"clsm/clsmclient"
+	"clsm/internal/server"
+)
+
+// runSelftest is the smoke gate scripts/check.sh runs on every PR: an
+// in-process server, eight pipelining clients running a verified mixed
+// workload, a clean shutdown, and a stdlib-only goroutine-leak check
+// (count + stack diff, with a settle window for runtime bookkeeping).
+func runSelftest() error {
+	baseline := runtime.NumGoroutine()
+
+	db, err := clsm.OpenPath("") // volatile store; the gate tests the network layer
+	if err != nil {
+		return err
+	}
+	srv := server.New(db, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+
+	if err := selftestWorkload(addr); err != nil {
+		srv.Close()
+		db.Close()
+		return err
+	}
+
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("server close: %w", err)
+	}
+	if err := db.Close(); err != nil {
+		return fmt.Errorf("store close: %w", err)
+	}
+	return checkGoroutines(baseline)
+}
+
+func selftestWorkload(addr string) error {
+	const clients = 8
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errCh <- clientWorkload(ctx, addr, g)
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Cross-client verification plus a status probe on one last client.
+	c, err := clsmclient.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	keys := make([][]byte, clients)
+	for g := range keys {
+		keys[g] = []byte(fmt.Sprintf("c%d-final", g))
+	}
+	vals, err := c.MultiGet(ctx, keys)
+	if err != nil {
+		return err
+	}
+	for g, v := range vals {
+		want := fmt.Sprintf("done-%d", g)
+		if !v.Exists || string(v.Data) != want {
+			return fmt.Errorf("client %d final key = %q,%v want %q", g, v.Data, v.Exists, want)
+		}
+	}
+	st, err := c.Status(ctx)
+	if err != nil {
+		return fmt.Errorf("status: %w", err)
+	}
+	if st.Health != uint8(clsm.Healthy) {
+		return fmt.Errorf("server unhealthy after workload: state %d (%s)", st.Health, st.HealthMsg)
+	}
+	return nil
+}
+
+// clientWorkload drives one pipelined client through puts, batched
+// writes, deletes, point and batched reads, and a scan, verifying every
+// read against what this client wrote (keys are sharded per client, so
+// expectations are exact).
+func clientWorkload(ctx context.Context, addr string, g int) error {
+	c, err := clsmclient.Dial(addr, clsmclient.WithMaxInflight(64))
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	key := func(i int) []byte { return []byte(fmt.Sprintf("c%d-k%03d", g, i)) }
+	val := func(i int) []byte { return []byte(fmt.Sprintf("v%d-%03d", g, i)) }
+	const n = 200
+
+	// Pipelined puts: fire-and-collect through goroutines sharing c.
+	var wg sync.WaitGroup
+	errCh := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := c.Put(ctx, key(i), val(i)); err != nil {
+				errCh <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return fmt.Errorf("client %d pipelined put: %w", g, err)
+	}
+
+	// Atomic batch: overwrite a range and delete its tail.
+	var b clsmclient.Batch
+	for i := 0; i < 10; i++ {
+		b.Put(key(i), append(val(i), '!'))
+	}
+	b.Delete(key(n - 1))
+	if err := c.Write(ctx, &b); err != nil {
+		return fmt.Errorf("client %d batch: %w", g, err)
+	}
+
+	// Point reads.
+	v, ok, err := c.Get(ctx, key(0))
+	if err != nil || !ok || !bytes.Equal(v, append(val(0), '!')) {
+		return fmt.Errorf("client %d get = %q,%v,%v", g, v, ok, err)
+	}
+	if _, ok, err = c.Get(ctx, key(n-1)); err != nil || ok {
+		return fmt.Errorf("client %d deleted key visible (ok=%v err=%v)", g, ok, err)
+	}
+
+	// Batched read.
+	vals, err := c.MultiGet(ctx, [][]byte{key(1), key(n - 1), key(2)})
+	if err != nil {
+		return fmt.Errorf("client %d multiget: %w", g, err)
+	}
+	if !vals[0].Exists || vals[1].Exists || !vals[2].Exists {
+		return fmt.Errorf("client %d multiget existence = %+v", g, vals)
+	}
+
+	// Scan the shard: ordered, and exactly n-1 live keys.
+	kvs, err := c.Scan(ctx, []byte(fmt.Sprintf("c%d-k", g)), n+10)
+	if err != nil {
+		return fmt.Errorf("client %d scan: %w", g, err)
+	}
+	count := 0
+	prefix := fmt.Sprintf("c%d-k", g)
+	for _, kv := range kvs {
+		if !bytes.HasPrefix(kv.Key, []byte(prefix)) {
+			break
+		}
+		count++
+	}
+	if count != n-1 {
+		return fmt.Errorf("client %d scan saw %d keys, want %d", g, count, n-1)
+	}
+
+	return c.Put(ctx, []byte(fmt.Sprintf("c%d-final", g)), []byte(fmt.Sprintf("done-%d", g)))
+}
+
+// checkGoroutines waits (bounded) for the goroutine count to settle back
+// to the pre-test baseline, then reports a full stack dump if it never
+// does — the poor man's goleak, with zero dependencies.
+func checkGoroutines(baseline int) error {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= baseline {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			return fmt.Errorf("goroutine leak: %d at start, %d after shutdown\n%s",
+				baseline, now, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -17,28 +17,46 @@
 //	clsm -db /path/to/db manifest         # dump version edits
 //	clsm -db /path/to/db dump-sst <num>   # dump one table
 //	clsm -db /path/to/db dump-wal <num>   # dump one log
+//
+// Against a running clsm-server (see docs/NETWORK.md) instead of a
+// local directory:
+//
+//	clsm -remote host:4377 put <key> <value>
+//	clsm -remote host:4377 get <key>
+//	clsm -remote host:4377 del <key>
+//	clsm -remote host:4377 scan [start [limit]]
+//	clsm -remote host:4377 stats
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"strconv"
+	"time"
 
 	"clsm"
+	"clsm/clsmclient"
 	"clsm/internal/storage"
 	"clsm/internal/tools"
 )
 
 func main() {
-	dir := flag.String("db", "", "database directory (required)")
+	dir := flag.String("db", "", "database directory")
+	remote := flag.String("remote", "", "clsm-server address; run the command over the network instead of -db")
 	sync := flag.Bool("sync", false, "synchronous WAL writes")
 	debugAddr := flag.String("debug-addr", "", "serve observability JSON on http://ADDR/debug/vars while the command runs")
 	flag.Parse()
 	args := flag.Args()
-	if *dir == "" || len(args) == 0 {
+	if (*dir == "") == (*remote == "") || len(args) == 0 {
 		usage()
+	}
+
+	if *remote != "" {
+		remoteCmd(*remote, args)
+		return
 	}
 
 	switch args[0] {
@@ -153,6 +171,82 @@ func main() {
 	}
 }
 
+// remoteCmd runs one command against a clsm-server. Commands that need
+// the engine in-process (incr's RMW loop, compact, the offline
+// inspectors) have no remote form and say so.
+func remoteCmd(addr string, args []string) {
+	switch args[0] {
+	case "put", "get", "del", "scan", "stats":
+	case "incr", "compact", "verify", "manifest", "dump-sst", "dump-wal":
+		fmt.Fprintf(os.Stderr, "clsm: %q is not available over -remote; run it on the server host with -db\n", args[0])
+		os.Exit(2)
+	default:
+		usage()
+	}
+
+	c, err := clsmclient.Dial(addr, clsmclient.WithRetry(3, 50*time.Millisecond, time.Second))
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	switch args[0] {
+	case "put":
+		need(args, 3)
+		if err := c.Put(ctx, []byte(args[1]), []byte(args[2])); err != nil {
+			fatal(err)
+		}
+	case "get":
+		need(args, 2)
+		v, ok, err := c.Get(ctx, []byte(args[1]))
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			fmt.Fprintln(os.Stderr, "(not found)")
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", v)
+	case "del":
+		need(args, 2)
+		if err := c.Delete(ctx, []byte(args[1])); err != nil {
+			fatal(err)
+		}
+	case "scan":
+		var start []byte
+		limit := 100
+		if len(args) > 1 {
+			start = []byte(args[1])
+		}
+		if len(args) > 2 {
+			n, err := strconv.Atoi(args[2])
+			if err != nil {
+				fatal(err)
+			}
+			limit = n
+		}
+		kvs, err := c.Scan(ctx, start, limit)
+		if err != nil {
+			fatal(err)
+		}
+		for _, kv := range kvs {
+			fmt.Printf("%s\t%s\n", kv.Key, kv.Value)
+		}
+	case "stats":
+		st, err := c.Status(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("health:       %s\n", clsm.HealthState(st.Health))
+		if st.HealthMsg != "" {
+			fmt.Printf("health cause: %s\n", st.HealthMsg)
+		}
+		fmt.Printf("%s\n", st.Obs)
+	}
+}
+
 // offline runs the read-only inspection commands without opening the
 // engine (safe on a database another process has live, or a corrupt one).
 func offline(dir string, args []string) {
@@ -199,6 +293,7 @@ func need(args []string, n int) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: clsm -db DIR COMMAND ...
+       clsm -remote ADDR COMMAND ...   (put/get/del/scan/stats only)
 commands:
   put KEY VALUE    store a pair
   get KEY          read a value

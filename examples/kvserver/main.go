@@ -1,56 +1,68 @@
-// Kvserver: a minimal HTTP key-value service backed by cLSM — the
-// "single multicore machine serving a partition" deployment the paper
-// targets (§1). Every HTTP worker goroutine drives the store concurrently;
-// cLSM's non-blocking reads and mostly non-blocking writes are what let
-// one process ride a multicore box instead of sharding into many small
-// partitions.
+// Kvserver: a minimal HTTP key-value façade over a clsm-server. It
+// holds no store of its own — every request is translated onto the
+// binary wire protocol (docs/NETWORK.md) through a single shared
+// clsmclient.Client, whose pipelining multiplexes all concurrent HTTP
+// workers over a handful of TCP connections. This is the tiered
+// deployment the network layer exists for: stateless protocol
+// front-ends fanning in on one store partition.
 //
 //	GET    /kv/{key}            read
 //	PUT    /kv/{key}            write (body = value)
 //	DELETE /kv/{key}            delete
-//	POST   /kv/{key}/incr       atomic counter increment (RMW)
-//	GET    /scan?start=k&n=10   range query over a consistent snapshot
-//	GET    /stats               engine metrics
+//	GET    /scan?start=k&n=10   range query
+//	GET    /stats               store health + observability snapshot
 //
-// Run with -selftest to start the server on a random port, drive it with
-// concurrent HTTP clients, verify the results, and exit.
+// Run with -selftest to start an in-process store + clsm-server +
+// kvserver sandwich, drive it with concurrent HTTP clients, verify the
+// results, and exit.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"net/http"
-	"os"
 	"strconv"
 	"strings"
 	"sync"
 
 	"clsm"
+	"clsm/clsmclient"
+	"clsm/internal/server"
 )
 
-type server struct {
-	db *clsm.DB
+type kvserver struct {
+	c *clsmclient.Client
 }
 
-func (s *server) handleKV(w http.ResponseWriter, r *http.Request) {
-	rest := strings.TrimPrefix(r.URL.Path, "/kv/")
-	if rest == "" {
+// status maps a remote failure onto an HTTP status: sentinel identity
+// survives the wire, so errors.Is picks out the store conditions.
+func status(err error) int {
+	switch {
+	case errors.Is(err, clsm.ErrReadOnly), errors.Is(err, clsm.ErrDegraded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, clsm.ErrClosed):
+		return http.StatusBadGateway
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *kvserver) handleKV(w http.ResponseWriter, r *http.Request) {
+	key := []byte(strings.TrimPrefix(r.URL.Path, "/kv/"))
+	if len(key) == 0 {
 		http.Error(w, "missing key", http.StatusBadRequest)
 		return
 	}
-	if key, ok := strings.CutSuffix(rest, "/incr"); ok && r.Method == http.MethodPost {
-		s.incr(w, []byte(key))
-		return
-	}
-	key := []byte(rest)
+	ctx := r.Context()
 	switch r.Method {
 	case http.MethodGet:
-		v, ok, err := s.db.Get(key)
+		v, ok, err := s.c.Get(ctx, key)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			http.Error(w, err.Error(), status(err))
 			return
 		}
 		if !ok {
@@ -64,14 +76,14 @@ func (s *server) handleKV(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if err := s.db.Put(key, body); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+		if err := s.c.Put(ctx, key, body); err != nil {
+			http.Error(w, err.Error(), status(err))
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	case http.MethodDelete:
-		if err := s.db.Delete(key); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+		if err := s.c.Delete(ctx, key); err != nil {
+			http.Error(w, err.Error(), status(err))
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
@@ -80,24 +92,7 @@ func (s *server) handleKV(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *server) incr(w http.ResponseWriter, key []byte) {
-	var after int64
-	err := s.db.RMW(key, func(old []byte, exists bool) []byte {
-		var n int64
-		if exists {
-			n, _ = strconv.ParseInt(string(old), 10, 64)
-		}
-		after = n + 1
-		return []byte(strconv.FormatInt(after, 10))
-	})
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	fmt.Fprintf(w, "%d", after)
-}
-
-func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
+func (s *kvserver) handleScan(w http.ResponseWriter, r *http.Request) {
 	start := []byte(r.URL.Query().Get("start"))
 	n := 10
 	if q := r.URL.Query().Get("n"); q != "" {
@@ -105,30 +100,29 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 			n = v
 		}
 	}
-	it, err := s.db.NewIterator()
+	kvs, err := s.c.Scan(r.Context(), start, n)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		http.Error(w, err.Error(), status(err))
 		return
 	}
-	defer it.Close()
-	count := 0
-	for it.Seek(start); it.Valid() && count < n; it.Next() {
-		fmt.Fprintf(w, "%s\t%s\n", it.Key(), it.Value())
-		count++
-	}
-	if err := it.Err(); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	for _, kv := range kvs {
+		fmt.Fprintf(w, "%s\t%s\n", kv.Key, kv.Value)
 	}
 }
 
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	m := s.db.Metrics()
-	fmt.Fprintf(w, "puts=%d gets=%d rmws=%d flushes=%d compactions=%d disk_bytes=%d\n",
-		m.Puts, m.Gets, m.RMWs, m.Flushes, m.Compactions, m.DiskBytes)
+func (s *kvserver) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.c.Status(r.Context())
+	if err != nil {
+		http.Error(w, err.Error(), status(err))
+		return
+	}
+	fmt.Fprintf(w, "health=%s\n", clsm.HealthState(st.Health))
+	w.Write(st.Obs)
+	w.Write([]byte("\n"))
 }
 
-func newMux(db *clsm.DB) *http.ServeMux {
-	s := &server{db: db}
+func newMux(c *clsmclient.Client) *http.ServeMux {
+	s := &kvserver{c: c}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/kv/", s.handleKV)
 	mux.HandleFunc("/scan", s.handleScan)
@@ -137,49 +131,70 @@ func newMux(db *clsm.DB) *http.ServeMux {
 }
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	dir := flag.String("db", "", "database directory (empty = in-memory)")
-	selftest := flag.Bool("selftest", false, "run a concurrent self-test and exit")
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	store := flag.String("store", "127.0.0.1:4377", "clsm-server address")
+	selftest := flag.Bool("selftest", false, "run a concurrent self-test against an in-process store and exit")
 	flag.Parse()
 
-	db, err := clsm.Open(clsm.Options{Path: *dir})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer db.Close()
-
 	if *selftest {
-		if err := runSelfTest(db); err != nil {
+		if err := runSelfTest(); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("kvserver self-test passed")
 		return
 	}
 
-	log.Printf("cLSM kv server listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, newMux(db)))
+	c, err := clsmclient.Dial(*store, clsmclient.WithPoolSize(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	log.Printf("kv façade on %s -> store %s", *addr, *store)
+	log.Fatal(http.ListenAndServe(*addr, newMux(c)))
 }
 
-func runSelfTest(db *clsm.DB) error {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+// runSelfTest stands up the full tier — volatile store, clsm-server on
+// a loopback port, kvserver façade on another — and hammers the HTTP
+// side with concurrent clients.
+func runSelfTest() error {
+	db, err := clsm.OpenPath("")
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: newMux(db)}
-	go srv.Serve(ln)
-	defer srv.Close()
-	base := "http://" + ln.Addr().String()
+	defer db.Close()
+	wireLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ws := server.New(db, server.Config{})
+	go ws.Serve(wireLn)
+	defer ws.Close()
+
+	c, err := clsmclient.Dial(wireLn.Addr().String(), clsmclient.WithPoolSize(2))
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: newMux(c)}
+	go hs.Serve(httpLn)
+	defer hs.Close()
+	base := "http://" + httpLn.Addr().String()
 
 	const clients = 8
 	const perClient = 100
 	var wg sync.WaitGroup
 	errs := make(chan error, clients)
-	for c := 0; c < clients; c++ {
+	for cl := 0; cl < clients; cl++ {
 		wg.Add(1)
-		go func(c int) {
+		go func(cl int) {
 			defer wg.Done()
 			for i := 0; i < perClient; i++ {
-				key := fmt.Sprintf("k%d-%d", c, i)
+				key := fmt.Sprintf("k%d-%d", cl, i)
 				req, _ := http.NewRequest(http.MethodPut, base+"/kv/"+key,
 					strings.NewReader(fmt.Sprintf("v%d", i)))
 				resp, err := http.DefaultClient.Do(req)
@@ -188,15 +203,27 @@ func runSelfTest(db *clsm.DB) error {
 					return
 				}
 				resp.Body.Close()
-				ir, err := http.Post(base+"/kv/shared/incr", "", nil)
+				if resp.StatusCode != http.StatusNoContent {
+					errs <- fmt.Errorf("put %s: http %d", key, resp.StatusCode)
+					return
+				}
+			}
+			// read a few of our own writes back
+			for i := 0; i < perClient; i += 17 {
+				key := fmt.Sprintf("k%d-%d", cl, i)
+				resp, err := http.Get(base + "/kv/" + key)
 				if err != nil {
 					errs <- err
 					return
 				}
-				io.Copy(io.Discard, ir.Body)
-				ir.Body.Close()
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if want := fmt.Sprintf("v%d", i); string(body) != want {
+					errs <- fmt.Errorf("get %s = %q, want %q", key, body, want)
+					return
+				}
 			}
-		}(c)
+		}(cl)
 	}
 	wg.Wait()
 	select {
@@ -205,17 +232,7 @@ func runSelfTest(db *clsm.DB) error {
 	default:
 	}
 
-	resp, err := http.Get(base + "/kv/shared")
-	if err != nil {
-		return err
-	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	want := strconv.Itoa(clients * perClient)
-	if string(body) != want {
-		return fmt.Errorf("shared counter = %s, want %s", body, want)
-	}
-	resp, err = http.Get(base + "/scan?start=k&n=10000")
+	resp, err := http.Get(base + "/scan?start=k&n=10000")
 	if err != nil {
 		return err
 	}
@@ -230,6 +247,15 @@ func runSelfTest(db *clsm.DB) error {
 	if lines != clients*perClient {
 		return fmt.Errorf("scan saw %d k-keys, want %d", lines, clients*perClient)
 	}
-	fmt.Fprintln(os.Stdout, "counter ok, scan ok")
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		return err
+	}
+	stats, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.HasPrefix(string(stats), "health=healthy") {
+		return fmt.Errorf("stats = %.40q, want health=healthy prefix", stats)
+	}
+	fmt.Println("puts ok, reads ok, scan ok, stats ok")
 	return nil
 }

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"clsm/internal/batch"
+	"clsm/internal/faultfs"
+	"clsm/internal/health"
+	"clsm/internal/storage"
+)
+
+// TestCtxVariantsEquivalence: with a live (background) context the *Ctx
+// entry points behave exactly like their plain counterparts.
+func TestCtxVariantsEquivalence(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+
+	if err := db.PutCtx(ctx, []byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := db.GetCtx(ctx, []byte("a"))
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("GetCtx = %q, %v, %v", v, ok, err)
+	}
+	var b batch.Batch
+	b.Put([]byte("b"), []byte("2"))
+	b.Delete([]byte("a"))
+	if err := db.WriteCtx(ctx, &b); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := db.MultiGetCtx(ctx, [][]byte{[]byte("a"), []byte("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].Exists || !vals[1].Exists || string(vals[1].Data) != "2" {
+		t.Fatalf("MultiGetCtx = %+v", vals)
+	}
+	if err := db.DeleteCtx(ctx, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := db.Has([]byte("b")); ok {
+		t.Fatal("b survived DeleteCtx")
+	}
+}
+
+// TestCtxCanceledFailsFast: an already-done context fails every variant
+// with ctx.Err() without touching the store.
+func TestCtxCanceledFailsFast(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if err := db.PutCtx(ctx, []byte("k"), []byte("v")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PutCtx = %v, want context.Canceled", err)
+	}
+	if _, _, err := db.GetCtx(ctx, []byte("k")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("GetCtx = %v, want context.Canceled", err)
+	}
+	if _, err := db.MultiGetCtx(ctx, [][]byte{[]byte("k")}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MultiGetCtx = %v, want context.Canceled", err)
+	}
+	if err := db.DeleteCtx(ctx, []byte("k")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DeleteCtx = %v, want context.Canceled", err)
+	}
+	var b batch.Batch
+	b.Put([]byte("k"), []byte("v"))
+	if err := db.WriteCtx(ctx, &b); !errors.Is(err, context.Canceled) {
+		t.Fatalf("WriteCtx = %v, want context.Canceled", err)
+	}
+	if ok, _ := db.Has([]byte("k")); ok {
+		t.Fatal("canceled write reached the store")
+	}
+}
+
+// TestPutCtxDegradedStallHonorsCancel is the satellite acceptance test:
+// while the store is Degraded (flushes failing on injected faults) and the
+// in-memory budget is exhausted, a write parks in the bounded degraded
+// stall — DegradedStallTimeout here is 30s, far beyond the test budget.
+// The context deadline must cut that stall short: the blocked write has to
+// return ctx.Err() within the deadline's order of magnitude, not after the
+// stall timeout.
+func TestPutCtxDegradedStallHonorsCancel(t *testing.T) {
+	ffs := faultfs.Wrap(storage.NewMemFS())
+	db, err := Open(Options{
+		FS:                   ffs,
+		MemtableSize:         4 << 10,
+		RetryBaseDelay:       20 * time.Millisecond,
+		RetryMaxDelay:        100 * time.Millisecond,
+		DegradedStallTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// Every flush attempt dies at its first table write for the whole
+	// test: the store degrades and cannot drain its memtables.
+	rules := make([]faultfs.Rule, 400)
+	for i := range rules {
+		rules[i] = faultfs.Rule{Op: faultfs.OpWrite, Pattern: "*.sst", N: 1, Kind: faultfs.FaultErr}
+	}
+	ffs.Arm(rules...)
+
+	// Fill until a write blocks long enough to trip its 250ms deadline.
+	// Writes that are admitted succeed (degraded stores keep accepting
+	// writes while the budget lasts); the first one to park must come back
+	// with ctx.Err() instead of sleeping toward the 30s stall timeout.
+	pad := strings.Repeat("v", 256)
+	deadline := time.Now().Add(20 * time.Second)
+	var blockedErr error
+	var blockedFor time.Duration
+	for i := 0; blockedErr == nil; i++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("no write ever blocked (health=%v after %d writes)", db.health.State(), i)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+		start := time.Now()
+		err := db.PutCtx(ctx, []byte(fmt.Sprintf("key-%06d", i)), []byte(pad))
+		cancel()
+		if err != nil {
+			blockedErr, blockedFor = err, time.Since(start)
+		}
+	}
+	if !errors.Is(blockedErr, context.DeadlineExceeded) {
+		t.Fatalf("blocked write failed with %v, want context.DeadlineExceeded", blockedErr)
+	}
+	if blockedFor > 5*time.Second {
+		t.Fatalf("blocked write took %v to honor its 250ms deadline", blockedFor)
+	}
+	if st := db.health.State(); st != health.Degraded {
+		t.Fatalf("health = %v, want Degraded", st)
+	}
+
+	// An explicit cancel (not a deadline) unparks a stalled writer too.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err = db.PutCtx(ctx, []byte("parked"), []byte(pad))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled parked write = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancel took %v to unpark the writer", d)
+	}
+}

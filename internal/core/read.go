@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -24,6 +25,28 @@ var seekScratch = sync.Pool{New: func() any { return new([]byte) }}
 // twice.
 func (db *DB) Get(key []byte) (value []byte, ok bool, err error) {
 	return db.GetAt(key, keys.MaxTimestamp)
+}
+
+// GetCtx is Get with a context. Gets never block (§3.1), so there is no
+// wait to interrupt: the context is checked once at entry — a canceled or
+// expired ctx fails fast with ctx.Err() — and the read then runs to
+// completion. The variant exists so context-threading callers (the network
+// server, request-scoped handlers) keep one uniform signature across the
+// whole engine surface.
+func (db *DB) GetCtx(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, false, err
+	}
+	return db.Get(key)
+}
+
+// MultiGetCtx is MultiGet with a context, checked once at entry (see
+// GetCtx: reads never block).
+func (db *DB) MultiGetCtx(ctx context.Context, ks [][]byte) ([]Value, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	return db.MultiGet(ks)
 }
 
 // GetAt returns the newest value of key visible at timestamp ts (snapshot

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -272,9 +273,10 @@ func (db *DB) levelBusyAt(level int) bool {
 // out any imposed delay. The healthy path — bucket inactive, or tokens
 // available — is one atomic load (plus the bucket's short mutex when
 // active) and never allocates. An imposed wait is cut short by Close
-// (failing the write) and by Resume (the operator override admits parked
-// writers immediately).
-func (db *DB) admitWrite(n int) error {
+// (failing the write), by Resume (the operator override admits parked
+// writers immediately), and — on the *Ctx entry points — by ctx.Done()
+// (failing the write with ctx.Err()).
+func (db *DB) admitWrite(ctx context.Context, n int) error {
 	wait := db.throttle.Reserve(n)
 	if wait == 0 {
 		return nil
@@ -287,6 +289,10 @@ func (db *DB) admitWrite(n int) error {
 		timer.Stop()
 		db.recordThrottleWait(start)
 		return ErrClosed
+	case <-ctxDone(ctx):
+		timer.Stop()
+		db.recordThrottleWait(start)
+		return ctx.Err()
 	case <-*db.resumed.Load():
 		timer.Stop()
 	}

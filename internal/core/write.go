@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"clsm/internal/batch"
@@ -11,19 +12,50 @@ import (
 	"clsm/internal/wal"
 )
 
+// ctxDone returns ctx's cancellation channel, tolerating a nil ctx (the
+// non-Ctx entry points). A nil channel never fires in a select, so the
+// ctx-free hot path pays nothing.
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// ctxErr mirrors ctxDone for point-in-time checks.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // Put stores (key, value). It follows Algorithm 2's put: acquire the
 // shared lock, draw a timestamp (registering it in the Active set), log,
 // insert into the mutable memtable, release the timestamp, unlock.
 func (db *DB) Put(key, value []byte) error {
-	return db.write(key, value, keys.KindValue)
+	return db.write(nil, key, value, keys.KindValue)
+}
+
+// PutCtx is Put with cancellation: throttle admission waits, memtable/L0
+// stalls, and the bounded degraded-mode stall all return ctx.Err() as soon
+// as ctx is done instead of sleeping out their delay. Once the write is
+// admitted it completes; cancellation never leaves a half-applied write.
+func (db *DB) PutCtx(ctx context.Context, key, value []byte) error {
+	return db.write(ctx, key, value, keys.KindValue)
 }
 
 // Delete removes key by writing a deletion marker (the paper's ⊥).
 func (db *DB) Delete(key []byte) error {
-	return db.write(key, nil, keys.KindDelete)
+	return db.write(nil, key, nil, keys.KindDelete)
 }
 
-func (db *DB) write(key, value []byte, kind keys.Kind) error {
+// DeleteCtx is Delete with cancellation (see PutCtx).
+func (db *DB) DeleteCtx(ctx context.Context, key []byte) error {
+	return db.write(ctx, key, nil, keys.KindDelete)
+}
+
+func (db *DB) write(ctx context.Context, key, value []byte, kind keys.Kind) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
@@ -37,10 +69,10 @@ func (db *DB) write(key, value []byte, kind keys.Kind) error {
 		op = obs.OpDelete
 	}
 	defer func() { db.obs.Record(op, time.Since(start)) }()
-	if err := db.admitWrite(len(key) + len(value)); err != nil {
+	if err := db.admitWrite(ctx, len(key)+len(value)); err != nil {
 		return err
 	}
-	if err := db.makeRoomForWrite(); err != nil {
+	if err := db.makeRoomForWrite(ctx); err != nil {
 		return err
 	}
 
@@ -78,6 +110,17 @@ func (db *DB) write(key, value []byte, kind keys.Kind) error {
 // all puts and snapshot acquisitions, so the batch's contiguous timestamp
 // range is exposed all-or-nothing.
 func (db *DB) Write(b *batch.Batch) error {
+	return db.writeBatch(nil, b)
+}
+
+// WriteCtx is Write with cancellation (see PutCtx): the pre-admission
+// waits honor ctx, and once the batch is admitted it applies atomically —
+// cancellation never splits a batch.
+func (db *DB) WriteCtx(ctx context.Context, b *batch.Batch) error {
+	return db.writeBatch(ctx, b)
+}
+
+func (db *DB) writeBatch(ctx context.Context, b *batch.Batch) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
@@ -93,10 +136,10 @@ func (db *DB) Write(b *batch.Batch) error {
 	for _, e := range b.Entries() {
 		n += len(e.Key) + len(e.Value)
 	}
-	if err := db.admitWrite(n); err != nil {
+	if err := db.admitWrite(ctx, n); err != nil {
 		return err
 	}
-	if err := db.makeRoomForWrite(); err != nil {
+	if err := db.makeRoomForWrite(ctx); err != nil {
 		return err
 	}
 
@@ -141,10 +184,10 @@ func (db *DB) RMW(key []byte, f func(old []byte, exists bool) []byte) error {
 	defer func() { db.obs.Record(obs.OpRMW, time.Since(start)) }()
 	// The new value's size is unknown until f runs; charge the key twice as
 	// a stand-in for key+value (admission is a rate shaper, not a meter).
-	if err := db.admitWrite(2 * len(key)); err != nil {
+	if err := db.admitWrite(nil, 2*len(key)); err != nil {
 		return err
 	}
-	if err := db.makeRoomForWrite(); err != nil {
+	if err := db.makeRoomForWrite(nil); err != nil {
 		return err
 	}
 
@@ -234,13 +277,18 @@ func (db *DB) maybeTriggerFlush(mt *memtable.Table) {
 // Degraded the wait is bounded: a write may stall for at most
 // DegradedStallTimeout before failing with ErrDegraded, because the merge
 // it is waiting for may be retrying against a disk that never recovers.
-func (db *DB) makeRoomForWrite() error {
+// A non-nil ctx (the *Ctx entry points) bounds every wait — including the
+// degraded stall — by ctx.Done() as well.
+func (db *DB) makeRoomForWrite(ctx context.Context) error {
 	slowed := false
+	done := ctxDone(ctx)
 	var degradedSince time.Time
 	for {
 		select {
 		case <-db.closing:
 			return ErrClosed
+		case <-done:
+			return ctx.Err()
 		default:
 		}
 		if err := db.writeGate(); err != nil {
@@ -280,6 +328,9 @@ func (db *DB) makeRoomForWrite() error {
 				case <-db.closing:
 					db.stallEnd(obs.CauseL0Stop, start)
 					return ErrClosed
+				case <-done:
+					db.stallEnd(obs.CauseL0Stop, start)
+					return ctx.Err()
 				case <-time.After(10 * time.Millisecond):
 				}
 				db.stallEnd(obs.CauseL0Stop, start)
@@ -310,6 +361,9 @@ func (db *DB) makeRoomForWrite() error {
 		case <-db.closing:
 			db.stallEnd(obs.CauseMemtableWait, start)
 			return ErrClosed
+		case <-done:
+			db.stallEnd(obs.CauseMemtableWait, start)
+			return ctx.Err()
 		case <-time.After(10 * time.Millisecond):
 		}
 		db.stallEnd(obs.CauseMemtableWait, start)

@@ -56,6 +56,11 @@ type Gauge struct {
 // Store sets the gauge.
 func (g *Gauge) Store(v uint64) { g.v.Store(v) }
 
+// Add moves the gauge by delta (negative deltas decrement). Used by
+// level-style gauges (connection and inflight-request counts) that rise
+// and fall instead of being overwritten on transitions.
+func (g *Gauge) Add(delta int64) { g.v.Add(uint64(delta)) }
+
 // Load returns the last stored value.
 func (g *Gauge) Load() uint64 { return g.v.Load() }
 

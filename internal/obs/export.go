@@ -18,7 +18,12 @@ type Snapshot struct {
 	WALGroupSize ValueSnapshot                `json:"wal_group_size"`
 	// WriteThrottle distributes write-admission waits in microseconds.
 	WriteThrottle ValueSnapshot `json:"write_throttle_micros"`
-	Events        []Event       `json:"events"`
+	// ServerWriteBatch and ServerReadBatch distribute the network
+	// server's cross-connection coalescing factors (entries per engine
+	// batch, keys per engine MultiGet).
+	ServerWriteBatch ValueSnapshot `json:"server_write_batch"`
+	ServerReadBatch  ValueSnapshot `json:"server_read_batch"`
+	Events           []Event       `json:"events"`
 }
 
 // Snapshot captures the observer's current state.
@@ -52,8 +57,12 @@ func (o *Observer) Snapshot() Snapshot {
 	s.Counters["sched_queue_depth"] = o.SchedQueueDepth.Load()
 	s.Counters["compaction_debt_bytes"] = o.CompactionDebt.Load()
 	s.Counters["throttle_rate_bytes_per_sec"] = o.ThrottleRate.Load()
+	s.Counters["server_conns"] = o.ServerConns.Load()
+	s.Counters["server_inflight"] = o.ServerInflight.Load()
 	s.WALGroupSize = o.WALGroupSize.ValueSnapshot()
 	s.WriteThrottle = o.WriteThrottle.ValueSnapshot()
+	s.ServerWriteBatch = o.ServerWriteBatch.ValueSnapshot()
+	s.ServerReadBatch = o.ServerReadBatch.ValueSnapshot()
 	s.Events = o.Trace.Events()
 	return s
 }
@@ -120,6 +129,14 @@ func (o *Observer) WriteSummary(w io.Writer) {
 	if g := snap.WriteThrottle; g.Count > 0 {
 		fmt.Fprintf(w, "%-22s %12d  mean=%.1fus p50=%dus p99=%dus max=%dus\n",
 			"write_throttle_micros", g.Count, g.Mean, g.P50, g.P99, g.Max)
+	}
+	if g := snap.ServerWriteBatch; g.Count > 0 {
+		fmt.Fprintf(w, "%-22s %12d  mean=%.1f p50=%d p99=%d max=%d\n",
+			"server_write_batch", g.Count, g.Mean, g.P50, g.P99, g.Max)
+	}
+	if g := snap.ServerReadBatch; g.Count > 0 {
+		fmt.Fprintf(w, "%-22s %12d  mean=%.1f p50=%d p99=%d max=%d\n",
+			"server_read_batch", g.Count, g.Mean, g.P50, g.P99, g.Max)
 	}
 }
 

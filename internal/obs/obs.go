@@ -109,6 +109,23 @@ type Observer struct {
 	// batching (and, in sync mode, proportionally fewer device syncs).
 	WALGroupSize Histogram
 
+	// Network-server metrics (cmd/clsm-server, internal/server; see
+	// docs/NETWORK.md). ServerConns is the number of currently connected
+	// clients; ServerInflight is the number of requests being served at
+	// this instant across all connections.
+	ServerConns    Gauge
+	ServerInflight Gauge
+
+	// ServerWriteBatch distributes the number of entries per coalesced
+	// engine write submission (RecordValue; count-valued like
+	// WALGroupSize): the server merges concurrent in-flight writes from
+	// all connections into one atomic engine batch, so values above 1
+	// mean cross-connection group commit is engaging. ServerReadBatch is
+	// the analogous distribution of point reads coalesced into one
+	// engine MultiGet.
+	ServerWriteBatch Histogram
+	ServerReadBatch  Histogram
+
 	// Trace is the engine event timeline.
 	Trace Trace
 }

@@ -1,0 +1,408 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"clsm/clsmclient"
+	"clsm/internal/batch"
+	"clsm/internal/core"
+	"clsm/internal/faultfs"
+	"clsm/internal/obs"
+	"clsm/internal/oracle"
+	"clsm/internal/storage"
+	"clsm/internal/wire"
+)
+
+// startServer serves eng on an ephemeral port and returns its address
+// plus a shutdown func.
+func startServer(t *testing.T, eng Engine, cfg Config) (addr string, shutdown func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, cfg)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	return ln.Addr().String(), func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("serve returned: %v", err)
+		}
+	}
+}
+
+// TestServerPipelinedClientsOracle is the concurrency acceptance test:
+// eight clients pipeline mixed Put/Delete/Write/Get/MultiGet traffic into
+// one server (run it with -race); each goroutine owns a key shard, so an
+// oracle model is exact, and the final state must match the model key by
+// key.
+func TestServerPipelinedClientsOracle(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	db, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, shutdown := startServer(t, db, Config{})
+
+	const (
+		goroutines = 8
+		opsPerG    = 300
+	)
+	model := oracle.NewModel()
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := clsmclient.Dial(addr, clsmclient.WithMaxInflight(64))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			key := func(i int) string { return fmt.Sprintf("g%d-k%04d", g, i%50) }
+			for i := 0; i < opsPerG; i++ {
+				k := key(i)
+				switch i % 5 {
+				case 0, 1, 2: // put
+					v := []byte(fmt.Sprintf("v%d-%d", g, i))
+					p := model.Begin(0, oracle.Op{Key: k, Value: v})
+					if err := c.Put(ctx, []byte(k), v); err != nil {
+						errCh <- fmt.Errorf("put: %w", err)
+						return
+					}
+					p.Ack(1)
+				case 3: // atomic batch across two shard keys
+					var b clsmclient.Batch
+					v1 := []byte(fmt.Sprintf("b%d-%d", g, i))
+					b.Put([]byte(k), v1)
+					b.Delete([]byte(key(i + 1)))
+					p := model.Begin(0,
+						oracle.Op{Key: k, Value: v1},
+						oracle.Op{Key: key(i + 1), Tombstone: true})
+					if err := c.Write(ctx, &b); err != nil {
+						errCh <- fmt.Errorf("write: %w", err)
+						return
+					}
+					p.Ack(1)
+				case 4: // read own shard back
+					want, wantOK := model.Get(k)
+					got, ok, err := c.Get(ctx, []byte(k))
+					if err != nil {
+						errCh <- fmt.Errorf("get: %w", err)
+						return
+					}
+					if ok != wantOK || (ok && string(got) != string(want)) {
+						errCh <- fmt.Errorf("get %q = %q,%v want %q,%v", k, got, ok, want, wantOK)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Final state: every model key, via one remote MultiGet.
+	check, err := clsmclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := model.Keys()
+	bkeys := make([][]byte, len(keys))
+	for i, k := range keys {
+		bkeys[i] = []byte(k)
+	}
+	vals, err := check.MultiGet(ctx, bkeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		want, wantOK := model.Get(k)
+		if vals[i].Exists != wantOK || (wantOK && string(vals[i].Data) != string(want)) {
+			t.Errorf("final %q = %q,%v want %q,%v", k, vals[i].Data, vals[i].Exists, want, wantOK)
+		}
+	}
+
+	// Scan must agree with the model on a shard prefix and come back
+	// ordered.
+	kvs, err := check.Scan(ctx, []byte("g3-"), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ""
+	for _, kv := range kvs {
+		if !strings.HasPrefix(string(kv.Key), "g3-") {
+			break
+		}
+		if string(kv.Key) <= last {
+			t.Fatalf("scan out of order: %q after %q", kv.Key, last)
+		}
+		last = string(kv.Key)
+		want, wantOK := model.Get(string(kv.Key))
+		if !wantOK || string(kv.Value) != string(want) {
+			t.Errorf("scan %q = %q want %q (ok=%v)", kv.Key, kv.Value, want, wantOK)
+		}
+	}
+
+	// The write coalescer must have actually merged concurrent writes:
+	// with 8 pipelining clients, mean ops per engine commit > 1.
+	snap := db.Observer().Snapshot()
+	if snap.ServerWriteBatch.Count == 0 {
+		t.Fatal("no coalesced write batches recorded")
+	}
+	check.Close()
+	shutdown()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertNoLeakedGoroutines(t, before)
+}
+
+// assertNoLeakedGoroutines waits (bounded) for the goroutine count to
+// return to its pre-test level — the stdlib-only leak check the selftest
+// gate also uses.
+func assertNoLeakedGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// errEngine scripts every engine call to fail with a configured error —
+// the harness for proving sentinel identity survives the network.
+type errEngine struct {
+	err error
+	o   *obs.Observer
+}
+
+func (e *errEngine) PutCtx(ctx context.Context, key, value []byte) error { return e.err }
+func (e *errEngine) DeleteCtx(ctx context.Context, key []byte) error     { return e.err }
+func (e *errEngine) WriteCtx(ctx context.Context, b *batch.Batch) error  { return e.err }
+func (e *errEngine) GetCtx(ctx context.Context, key []byte) ([]byte, bool, error) {
+	return nil, false, e.err
+}
+func (e *errEngine) MultiGetCtx(ctx context.Context, keys [][]byte) ([]core.Value, error) {
+	return nil, e.err
+}
+func (e *errEngine) NewIterator(opts ...core.IterOptions) (*core.Iterator, error) {
+	return nil, e.err
+}
+func (e *errEngine) Health() core.HealthStatus { return core.HealthStatus{} }
+func (e *errEngine) Observer() *obs.Observer   { return e.o }
+
+// TestSentinelsAcrossWire is the api_redesign acceptance criterion:
+// errors.Is against every public sentinel must hold on the client side of
+// the connection, with the server's message preserved.
+func TestSentinelsAcrossWire(t *testing.T) {
+	ctx := context.Background()
+	for _, sentinel := range []error{
+		core.ErrReadOnly,
+		core.ErrDegraded,
+		core.ErrClosed,
+		core.ErrInvalidOptions,
+		core.ErrSnapshotExpired,
+	} {
+		eng := &errEngine{err: fmt.Errorf("flush table 7: %w", sentinel), o: obs.New()}
+		addr, shutdown := startServer(t, eng, Config{})
+		c, err := clsmclient.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if err := c.Put(ctx, []byte("k"), []byte("v")); !errors.Is(err, sentinel) {
+			t.Errorf("Put over wire: errors.Is(%v, %v) = false", err, sentinel)
+		}
+		_, _, err = c.Get(ctx, []byte("k"))
+		if !errors.Is(err, sentinel) {
+			t.Errorf("Get over wire: errors.Is(%v, %v) = false", err, sentinel)
+		}
+		var b clsmclient.Batch
+		b.Put([]byte("k"), []byte("v"))
+		if err := c.Write(ctx, &b); !errors.Is(err, sentinel) {
+			t.Errorf("Write over wire: errors.Is(%v, %v) = false", err, sentinel)
+		}
+		_, err = c.Scan(ctx, nil, 10)
+		if !errors.Is(err, sentinel) {
+			t.Errorf("Scan over wire: errors.Is(%v, %v) = false", err, sentinel)
+		}
+		// The server-side message crosses too.
+		if err := c.Delete(ctx, []byte("k")); err == nil ||
+			!strings.Contains(err.Error(), "flush table 7") {
+			t.Errorf("remote message lost: %v", err)
+		}
+
+		c.Close()
+		shutdown()
+	}
+
+	// An error without a public sentinel arrives as a plain remote error:
+	// message intact, no false sentinel identity.
+	eng := &errEngine{err: errors.New("open 000042.sst: no space left"), o: obs.New()}
+	addr, shutdown := startServer(t, eng, Config{})
+	defer shutdown()
+	c, err := clsmclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Put(ctx, []byte("k"), []byte("v"))
+	if err == nil || !strings.Contains(err.Error(), "no space left") {
+		t.Fatalf("internal error message lost: %v", err)
+	}
+	var re *wire.Error
+	if !errors.As(err, &re) || re.Code != wire.CodeInternal {
+		t.Fatalf("internal error code = %v", err)
+	}
+	if errors.Is(err, core.ErrReadOnly) || errors.Is(err, core.ErrDegraded) {
+		t.Fatal("internal error gained a sentinel identity")
+	}
+}
+
+// TestClientRetryDegraded drives the full fault path end to end: flushes
+// fail on injected faults until the store degrades and its write budget
+// fills, so a plain client sees ErrDegraded across the wire — and a
+// client with WithRetry rides the degraded window out and succeeds once
+// the store's own background retry drains it.
+func TestClientRetryDegraded(t *testing.T) {
+	ffs := faultfs.Wrap(storage.NewMemFS())
+	db, err := core.Open(core.Options{
+		FS:                   ffs,
+		MemtableSize:         4 << 10,
+		RetryBaseDelay:       20 * time.Millisecond,
+		RetryMaxDelay:        50 * time.Millisecond,
+		DegradedStallTimeout: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	addr, shutdown := startServer(t, db, Config{})
+	defer shutdown()
+
+	// Twelve flush attempts die at their first table write; the store's
+	// background retry (20–50ms backoff) spends them in roughly half a
+	// second, then the thirteenth attempt succeeds and the store resumes.
+	rules := make([]faultfs.Rule, 12)
+	for i := range rules {
+		rules[i] = faultfs.Rule{Op: faultfs.OpWrite, Pattern: "*.sst", N: 1, Kind: faultfs.FaultErr}
+	}
+	ffs.Arm(rules...)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// A client with no retry policy must surface ErrDegraded — with its
+	// errors.Is identity — once the in-memory budget is exhausted.
+	plain, err := clsmclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	pad := strings.Repeat("x", 256)
+	var degradedErr error
+	for i := 0; i < 5000 && degradedErr == nil && ctx.Err() == nil; i++ {
+		degradedErr = plain.Put(ctx, []byte(fmt.Sprintf("fill-%05d", i)), []byte(pad))
+	}
+	if degradedErr == nil {
+		t.Fatal("write budget never filled — no ErrDegraded observed")
+	}
+	if !errors.Is(degradedErr, core.ErrDegraded) {
+		t.Fatalf("degraded write error = %v, want errors.Is ErrDegraded", degradedErr)
+	}
+	var re *wire.Error
+	if !errors.As(degradedErr, &re) || !re.Code.Transient() {
+		t.Fatalf("degraded error not classified transient on the wire: %v", degradedErr)
+	}
+
+	// A retrying client issued during the degraded window must outlast it.
+	retrying, err := clsmclient.Dial(addr,
+		clsmclient.WithRetry(60, 10*time.Millisecond, 200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer retrying.Close()
+	if err := retrying.Put(ctx, []byte("survivor"), []byte("made-it")); err != nil {
+		t.Fatalf("retrying Put failed: %v", err)
+	}
+	v, ok, err := retrying.Get(ctx, []byte("survivor"))
+	if err != nil || !ok || string(v) != "made-it" {
+		t.Fatalf("survivor readback = %q,%v,%v", v, ok, err)
+	}
+}
+
+// TestBadRequestKeepsConnection: an undecodable payload fails that one
+// request with a bad-request error while the connection (and requests
+// after it) keep working.
+func TestBadRequestKeepsConnection(t *testing.T) {
+	db, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	addr, shutdown := startServer(t, db, Config{})
+	defer shutdown()
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	// Frame is well-formed; the Put payload inside is garbage.
+	bad := wire.AppendFrame(nil, 1, byte(wire.OpPut), []byte{0xff, 0xff})
+	good := wire.AppendFrame(nil, 2, byte(wire.OpPut), wire.AppendPut(nil, []byte("k"), []byte("v")))
+	unknown := wire.AppendFrame(nil, 3, 0xEE, nil)
+	if _, err := nc.Write(append(append(bad, good...), unknown...)); err != nil {
+		t.Fatal(err)
+	}
+
+	replies := map[uint64]byte{}
+	for i := 0; i < 3; i++ {
+		id, status, _, err := wire.ReadFrame(nc)
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		replies[id] = status
+	}
+	if wire.ErrorCode(replies[1]) != wire.CodeBadRequest {
+		t.Errorf("bad payload reply = %s", wire.ErrorCode(replies[1]))
+	}
+	if wire.ErrorCode(replies[2]) != wire.CodeOK {
+		t.Errorf("good request after bad = %s", wire.ErrorCode(replies[2]))
+	}
+	if wire.ErrorCode(replies[3]) != wire.CodeBadRequest {
+		t.Errorf("unknown op reply = %s", wire.ErrorCode(replies[3]))
+	}
+	if v, ok, _ := db.Get([]byte("k")); !ok || string(v) != "v" {
+		t.Errorf("good put did not land: %q %v", v, ok)
+	}
+}

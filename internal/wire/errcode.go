@@ -1,0 +1,123 @@
+// Error codes: the stable numeric identities of the engine's error
+// sentinels on the wire. The server maps an engine error to a code with
+// Code; the client rehydrates the code into an error that wraps the same
+// sentinel, so errors.Is(err, clsm.ErrReadOnly) (and the rest) holds on
+// the far side of the connection exactly as it does in-process.
+//
+// The numeric values are part of the protocol — never renumber an
+// existing code; append new ones. TestErrorCodeExhaustive pins the table.
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"clsm/internal/core"
+)
+
+// ErrorCode is a wire-stable error identity, carried in the status byte of
+// an error response (the response payload is the remote error's message).
+type ErrorCode uint8
+
+// Error codes. CodeOK is the success status and never an error;
+// CodeInternal is every engine/server error without a public sentinel
+// (I/O failures, corruption details) — the message still crosses the
+// wire, only the errors.Is identity is lost.
+const (
+	CodeOK ErrorCode = 0
+
+	CodeInternal        ErrorCode = 1 // no sentinel; message only
+	CodeClosed          ErrorCode = 2 // core.ErrClosed
+	CodeReadOnly        ErrorCode = 3 // core.ErrReadOnly
+	CodeDegraded        ErrorCode = 4 // core.ErrDegraded
+	CodeInvalidOptions  ErrorCode = 5 // core.ErrInvalidOptions
+	CodeSnapshotExpired ErrorCode = 6 // core.ErrSnapshotExpired
+	CodeBadRequest      ErrorCode = 7 // protocol violation; no sentinel
+	codeMax                       = CodeBadRequest
+)
+
+// String names the code for logs.
+func (c ErrorCode) String() string {
+	switch c {
+	case CodeOK:
+		return "ok"
+	case CodeInternal:
+		return "internal"
+	case CodeClosed:
+		return "closed"
+	case CodeReadOnly:
+		return "read_only"
+	case CodeDegraded:
+		return "degraded"
+	case CodeInvalidOptions:
+		return "invalid_options"
+	case CodeSnapshotExpired:
+		return "snapshot_expired"
+	case CodeBadRequest:
+		return "bad_request"
+	}
+	return fmt.Sprintf("code(%d)", uint8(c))
+}
+
+// sentinels is the single source of truth of the code ↔ sentinel pairing.
+// Every public engine sentinel a remote operation can surface must appear
+// here; TestErrorCodeExhaustive fails when the engine grows one that
+// doesn't.
+var sentinels = map[ErrorCode]error{
+	CodeClosed:          core.ErrClosed,
+	CodeReadOnly:        core.ErrReadOnly,
+	CodeDegraded:        core.ErrDegraded,
+	CodeInvalidOptions:  core.ErrInvalidOptions,
+	CodeSnapshotExpired: core.ErrSnapshotExpired,
+}
+
+// Code maps an engine error onto its wire code: the code of the first
+// sentinel the error wraps, or CodeInternal when it wraps none. A nil
+// error is CodeOK.
+func Code(err error) ErrorCode {
+	if err == nil {
+		return CodeOK
+	}
+	for c := ErrorCode(1); c <= codeMax; c++ {
+		if s, ok := sentinels[c]; ok && errors.Is(err, s) {
+			return c
+		}
+	}
+	return CodeInternal
+}
+
+// Sentinel returns the engine sentinel behind a code, or nil for codes
+// without one (CodeOK, CodeInternal, CodeBadRequest, unknown future
+// codes).
+func (c ErrorCode) Sentinel() error { return sentinels[c] }
+
+// Transient reports whether an operation failing with this code is worth
+// retrying: the condition is expected to clear on its own (a degraded
+// store auto-resumes when its background retry succeeds). Read-only and
+// closed states need operator action; invalid input never heals.
+func (c ErrorCode) Transient() bool { return c == CodeDegraded }
+
+// Error is a remote engine error rehydrated client-side: it carries the
+// wire code and the server's message, and unwraps to the code's sentinel
+// so errors.Is works across the connection.
+type Error struct {
+	Code ErrorCode
+	Msg  string // the remote error's Error() text
+}
+
+// RemoteError builds the client-side error for an error response frame.
+func RemoteError(code ErrorCode, msg string) *Error {
+	return &Error{Code: code, Msg: msg}
+}
+
+// Error formats the remote failure with its wire code.
+func (e *Error) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("remote error (%s)", e.Code)
+	}
+	return fmt.Sprintf("remote: %s", e.Msg)
+}
+
+// Unwrap exposes the sentinel identity (nil for sentinel-less codes, which
+// errors.Is treats as "wraps nothing").
+func (e *Error) Unwrap() error { return e.Code.Sentinel() }

@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame drives the full decode surface — frame splitting plus
+// every payload decoder — over arbitrary bytes. Decoders are total: any
+// input must produce (result, nil) or (zero, error); a panic or a hang on
+// hostile input (huge announced lengths, non-terminating uvarints,
+// truncated bodies) is the bug this harness exists to catch.
+func FuzzDecodeFrame(f *testing.F) {
+	// Well-formed frames for every opcode, so the fuzzer starts from
+	// inputs that reach deep into each payload decoder before mutating.
+	f.Add(AppendFrame(nil, 1, byte(OpPut), AppendPut(nil, []byte("key"), []byte("value"))))
+	f.Add(AppendFrame(nil, 2, byte(OpGet), AppendKey(nil, []byte("key"))))
+	f.Add(AppendFrame(nil, 3, byte(OpDelete), AppendKey(nil, []byte("key"))))
+	f.Add(AppendFrame(nil, 4, byte(OpWrite), AppendWrite(nil, []Entry{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Delete: true, Key: []byte("b")},
+	})))
+	f.Add(AppendFrame(nil, 5, byte(OpMultiGet), AppendKeys(nil, [][]byte{[]byte("x"), []byte("y")})))
+	f.Add(AppendFrame(nil, 6, byte(OpScan), AppendScan(nil, []byte("start"), 100)))
+	f.Add(AppendFrame(nil, 7, byte(OpStats), nil))
+	// Responses flow through the same decoders on the client side.
+	f.Add(AppendFrame(nil, 8, byte(CodeOK), AppendGetReply(nil, []byte("v"), true)))
+	f.Add(AppendFrame(nil, 9, byte(CodeOK), AppendValues(nil, []Value{{Data: []byte("v"), Exists: true}, {}})))
+	f.Add(AppendFrame(nil, 10, byte(CodeOK), AppendPairs(nil, []KV{{Key: []byte("k"), Value: []byte("v")}})))
+	f.Add(AppendFrame(nil, 11, byte(CodeOK), AppendStatus(nil, Status{Health: 1, HealthMsg: "m", Obs: []byte("{}")})))
+	// Hostile shapes.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})                                   // oversized announcement
+	f.Add([]byte{0, 0, 0, 1, 0})                                            // body < header
+	f.Add(bytes.Repeat([]byte{0x80}, 32))                                   // non-terminating uvarint
+	f.Add([]byte{0, 0, 0, 12, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0xff, 0xff, 0x7f}) // huge inner count
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Split frames until the input is exhausted or rejected.
+		rest := data
+		for len(rest) > 0 {
+			_, op, payload, next, err := DecodeFrame(rest)
+			if err != nil {
+				// ReadFrame must agree with DecodeFrame on rejection
+				// (modulo EOF flavor).
+				if _, _, _, rerr := ReadFrame(bytes.NewReader(rest)); rerr == nil {
+					t.Fatalf("DecodeFrame rejected (%v) what ReadFrame accepted", err)
+				}
+				break
+			}
+			if len(next) >= len(rest) {
+				t.Fatal("DecodeFrame made no progress")
+			}
+			// Feed the payload to every decoder: none may panic.
+			DecodePut(payload)
+			DecodeKey(payload)
+			DecodeWrite(payload)
+			DecodeKeys(payload)
+			DecodeScan(payload)
+			DecodeGetReply(payload)
+			DecodeValues(payload)
+			DecodePairs(payload)
+			DecodeStatus(payload)
+			_ = op
+			rest = next
+		}
+	})
+}
+
+// FuzzWriteRoundTrip: any entry list that decodes must re-encode and decode
+// to the same entries (canonical encoding).
+func FuzzWriteRoundTrip(f *testing.F) {
+	f.Add(AppendWrite(nil, []Entry{{Key: []byte("a"), Value: []byte("1")}, {Delete: true, Key: []byte("b")}}))
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodeWrite(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeWrite(AppendWrite(nil, entries))
+		if err != nil {
+			t.Fatalf("re-decode of re-encode failed: %v", err)
+		}
+		if len(again) != len(entries) {
+			t.Fatalf("round trip changed entry count: %d != %d", len(again), len(entries))
+		}
+		for i := range entries {
+			if entries[i].Delete != again[i].Delete ||
+				!bytes.Equal(entries[i].Key, again[i].Key) ||
+				!bytes.Equal(entries[i].Value, again[i].Value) {
+				t.Fatalf("entry %d changed: %+v != %+v", i, entries[i], again[i])
+			}
+		}
+	})
+}

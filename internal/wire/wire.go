@@ -1,0 +1,487 @@
+// Package wire is the cLSM network protocol: the length-prefixed binary
+// frame both cmd/clsm-server and the clsmclient SDK speak, the per-opcode
+// payload encodings, and the stable error-code table that carries the
+// engine's error sentinels across the connection (errcode.go).
+//
+// Frame layout (all integers big-endian; lengths within payloads are
+// unsigned varints):
+//
+//	length   uint32   bytes that follow (id + op + payload); <= MaxFrame
+//	id       uint64   request id, echoed verbatim on the response
+//	op       byte     request: opcode (OpPut..OpStats)
+//	                  response: status (0 = OK, else an ErrorCode)
+//	payload  ...      opcode-specific body
+//
+// Request ids exist for pipelining: a client may have many requests in
+// flight on one connection, and the server completes them out of order
+// (reads overtake group-committed writes and vice versa); the id is the
+// only correlation between the two directions. Ids are chosen by the
+// client and must be unique among its in-flight requests; the server
+// echoes them blindly.
+//
+// Every decoder in this package is total: arbitrary input returns an
+// error, never a panic or an oversized allocation (FuzzDecode holds this).
+// See docs/NETWORK.md for the full protocol contract.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"slices"
+)
+
+// MaxFrame bounds a frame's post-length-prefix size (id + op + payload).
+// Both sides reject larger announcements before allocating, so a garbage
+// length prefix cannot balloon memory.
+const MaxFrame = 16 << 20
+
+// frameHeader is the fixed-size part after the length prefix.
+const frameHeader = 8 + 1 // id + op
+
+// Op is a request opcode.
+type Op byte
+
+// Request opcodes. The zero value is deliberately invalid.
+const (
+	OpPut      Op = 1 // key, value            -> empty
+	OpGet      Op = 2 // key                   -> exists byte [, value]
+	OpDelete   Op = 3 // key                   -> empty
+	OpWrite    Op = 4 // entry list            -> empty (atomic batch)
+	OpMultiGet Op = 5 // key list              -> value list
+	OpScan     Op = 6 // start key, limit      -> key/value pair list
+	OpStats    Op = 7 // empty                 -> health + obs JSON
+	opMax         = OpStats
+)
+
+// String names the opcode for logs and errors.
+func (op Op) String() string {
+	switch op {
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpDelete:
+		return "delete"
+	case OpWrite:
+		return "write"
+	case OpMultiGet:
+		return "multiget"
+	case OpScan:
+		return "scan"
+	case OpStats:
+		return "stats"
+	}
+	return fmt.Sprintf("op(%d)", byte(op))
+}
+
+// Valid reports whether op is a defined request opcode.
+func (op Op) Valid() bool { return op >= OpPut && op <= opMax }
+
+// Protocol errors. ErrFrame covers every malformed-input case; decoders
+// wrap it with detail. Match with errors.Is.
+var (
+	ErrFrame    = errors.New("wire: malformed frame")
+	ErrTooLarge = fmt.Errorf("%w: frame exceeds MaxFrame", ErrFrame)
+)
+
+// AppendFrame appends a complete frame (length prefix, id, op/status,
+// payload) to dst and returns the extended slice.
+func AppendFrame(dst []byte, id uint64, op byte, payload []byte) []byte {
+	dst = slices.Grow(dst, 4+frameHeader+len(payload))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(frameHeader+len(payload)))
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = append(dst, op)
+	return append(dst, payload...)
+}
+
+// ReadFrame reads one frame from r. The returned payload is freshly
+// allocated and owned by the caller. A length announcement above MaxFrame
+// (or below the fixed header) fails with ErrFrame before any allocation.
+// io.EOF is returned untouched when the stream ends cleanly between
+// frames; a stream cut mid-frame is io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) (id uint64, op byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return 0, 0, nil, fmt.Errorf("%w (%d bytes)", ErrTooLarge, n)
+	}
+	if n < frameHeader {
+		return 0, 0, nil, fmt.Errorf("%w: body %d bytes, need >= %d", ErrFrame, n, frameHeader)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, nil, err
+	}
+	return binary.BigEndian.Uint64(body), body[8], body[frameHeader:], nil
+}
+
+// DecodeFrame parses one frame from the front of data, returning the rest
+// for the next frame. It is ReadFrame for in-memory buffers (and the fuzz
+// entry point); the payload aliases data.
+func DecodeFrame(data []byte) (id uint64, op byte, payload, rest []byte, err error) {
+	if len(data) < 4 {
+		return 0, 0, nil, nil, fmt.Errorf("%w: short length prefix", ErrFrame)
+	}
+	n := binary.BigEndian.Uint32(data)
+	if n > MaxFrame {
+		return 0, 0, nil, nil, fmt.Errorf("%w (%d bytes)", ErrTooLarge, n)
+	}
+	if n < frameHeader {
+		return 0, 0, nil, nil, fmt.Errorf("%w: body %d bytes, need >= %d", ErrFrame, n, frameHeader)
+	}
+	if uint32(len(data)-4) < n {
+		return 0, 0, nil, nil, fmt.Errorf("%w: truncated body (%d of %d bytes)", ErrFrame, len(data)-4, n)
+	}
+	body := data[4 : 4+n]
+	return binary.BigEndian.Uint64(body), body[8], body[frameHeader:], data[4+n:], nil
+}
+
+// --- payload primitives -------------------------------------------------
+
+// AppendBytes appends a uvarint-length-prefixed byte string.
+func AppendBytes(dst, b []byte) []byte {
+	dst = slices.Grow(dst, binary.MaxVarintLen32+len(b))
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// ConsumeBytes splits one length-prefixed byte string off the front of
+// data. The returned slice aliases data.
+func ConsumeBytes(data []byte) (b, rest []byte, err error) {
+	l, n := binary.Uvarint(data)
+	if n <= 0 || l > uint64(len(data)-n) {
+		return nil, nil, fmt.Errorf("%w: bad byte-string length", ErrFrame)
+	}
+	return data[n : n+int(l)], data[n+int(l):], nil
+}
+
+// consumeCount reads a uvarint element count and sanity-bounds it against
+// the remaining payload (each element costs at least min bytes), so a
+// hostile count cannot drive an oversized allocation.
+func consumeCount(data []byte, min int) (count int, rest []byte, err error) {
+	c, n := binary.Uvarint(data)
+	if n <= 0 || c > uint64(len(data)-n)/uint64(min) {
+		return 0, nil, fmt.Errorf("%w: implausible element count", ErrFrame)
+	}
+	return int(c), data[n:], nil
+}
+
+// --- request payloads ---------------------------------------------------
+
+// Entry is one write in an OpWrite batch.
+type Entry struct {
+	Delete bool // tombstone instead of a value write
+	Key    []byte
+	Value  []byte // nil for deletes
+}
+
+// AppendPut encodes an OpPut payload.
+func AppendPut(dst, key, value []byte) []byte {
+	dst = slices.Grow(dst, 2*binary.MaxVarintLen32+len(key)+len(value))
+	dst = AppendBytes(dst, key)
+	return AppendBytes(dst, value)
+}
+
+// DecodePut parses an OpPut payload.
+func DecodePut(p []byte) (key, value []byte, err error) {
+	key, p, err = ConsumeBytes(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	value, p, err = ConsumeBytes(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(p) != 0 {
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(p))
+	}
+	return key, value, nil
+}
+
+// AppendKey encodes the single-key payload of OpGet and OpDelete.
+func AppendKey(dst, key []byte) []byte { return AppendBytes(dst, key) }
+
+// DecodeKey parses a single-key payload.
+func DecodeKey(p []byte) (key []byte, err error) {
+	key, p, err = ConsumeBytes(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(p))
+	}
+	return key, nil
+}
+
+// AppendWrite encodes an OpWrite payload: count, then per entry a kind
+// byte (0 put, 1 delete), the key, and — for puts — the value.
+func AppendWrite(dst []byte, entries []Entry) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	for i := range entries {
+		e := &entries[i]
+		if e.Delete {
+			dst = append(dst, 1)
+			dst = AppendBytes(dst, e.Key)
+		} else {
+			dst = append(dst, 0)
+			dst = AppendBytes(dst, e.Key)
+			dst = AppendBytes(dst, e.Value)
+		}
+	}
+	return dst
+}
+
+// DecodeWrite parses an OpWrite payload. Entries alias p.
+func DecodeWrite(p []byte) ([]Entry, error) {
+	count, p, err := consumeCount(p, 2) // kind byte + 1-byte length minimum
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]Entry, 0, count)
+	for i := 0; i < count; i++ {
+		if len(p) < 1 {
+			return nil, fmt.Errorf("%w: truncated entry", ErrFrame)
+		}
+		kind := p[0]
+		if kind > 1 {
+			return nil, fmt.Errorf("%w: bad entry kind %d", ErrFrame, kind)
+		}
+		p = p[1:]
+		var e Entry
+		e.Key, p, err = ConsumeBytes(p)
+		if err != nil {
+			return nil, err
+		}
+		if kind == 1 {
+			e.Delete = true
+		} else {
+			e.Value, p, err = ConsumeBytes(p)
+			if err != nil {
+				return nil, err
+			}
+		}
+		entries = append(entries, e)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(p))
+	}
+	return entries, nil
+}
+
+// AppendKeys encodes an OpMultiGet payload.
+func AppendKeys(dst []byte, keys [][]byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = AppendBytes(dst, k)
+	}
+	return dst
+}
+
+// DecodeKeys parses an OpMultiGet payload. Keys alias p.
+func DecodeKeys(p []byte) ([][]byte, error) {
+	count, p, err := consumeCount(p, 1)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		var k []byte
+		k, p, err = ConsumeBytes(p)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, k)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(p))
+	}
+	return keys, nil
+}
+
+// AppendScan encodes an OpScan payload: the inclusive start key and the
+// maximum number of pairs to return.
+func AppendScan(dst, start []byte, limit int) []byte {
+	dst = AppendBytes(dst, start)
+	return binary.AppendUvarint(dst, uint64(limit))
+}
+
+// DecodeScan parses an OpScan payload.
+func DecodeScan(p []byte) (start []byte, limit int, err error) {
+	start, p, err = ConsumeBytes(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	l, n := binary.Uvarint(p)
+	if n <= 0 || len(p) != n {
+		return nil, 0, fmt.Errorf("%w: bad scan limit", ErrFrame)
+	}
+	const maxScanLimit = 1 << 20
+	if l > maxScanLimit {
+		return nil, 0, fmt.Errorf("%w: scan limit %d exceeds %d", ErrFrame, l, maxScanLimit)
+	}
+	return start, int(l), nil
+}
+
+// --- response payloads --------------------------------------------------
+
+// AppendGetReply encodes an OpGet response: an exists byte, then the value
+// when present.
+func AppendGetReply(dst, value []byte, ok bool) []byte {
+	if !ok {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return AppendBytes(dst, value)
+}
+
+// DecodeGetReply parses an OpGet response.
+func DecodeGetReply(p []byte) (value []byte, ok bool, err error) {
+	if len(p) < 1 || p[0] > 1 {
+		return nil, false, fmt.Errorf("%w: bad get reply", ErrFrame)
+	}
+	if p[0] == 0 {
+		if len(p) != 1 {
+			return nil, false, fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(p)-1)
+		}
+		return nil, false, nil
+	}
+	value, err = DecodeKey(p[1:])
+	return value, err == nil, err
+}
+
+// Value is one OpMultiGet result: the value bytes and whether the key was
+// present. It mirrors the engine's MultiGet result shape.
+type Value struct {
+	Data   []byte
+	Exists bool
+}
+
+// AppendValues encodes an OpMultiGet response.
+func AppendValues(dst []byte, vals []Value) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vals)))
+	for i := range vals {
+		if !vals[i].Exists {
+			dst = append(dst, 0)
+			continue
+		}
+		dst = append(dst, 1)
+		dst = AppendBytes(dst, vals[i].Data)
+	}
+	return dst
+}
+
+// DecodeValues parses an OpMultiGet response. Values alias p.
+func DecodeValues(p []byte) ([]Value, error) {
+	count, p, err := consumeCount(p, 1)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]Value, 0, count)
+	for i := 0; i < count; i++ {
+		if len(p) < 1 || p[0] > 1 {
+			return nil, fmt.Errorf("%w: bad value marker", ErrFrame)
+		}
+		exists := p[0] == 1
+		p = p[1:]
+		var v Value
+		if exists {
+			v.Data, p, err = ConsumeBytes(p)
+			if err != nil {
+				return nil, err
+			}
+			v.Exists = true
+		}
+		vals = append(vals, v)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(p))
+	}
+	return vals, nil
+}
+
+// KV is one OpScan result pair.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// AppendPairs encodes an OpScan response.
+func AppendPairs(dst []byte, pairs []KV) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(pairs)))
+	for i := range pairs {
+		dst = AppendBytes(dst, pairs[i].Key)
+		dst = AppendBytes(dst, pairs[i].Value)
+	}
+	return dst
+}
+
+// DecodePairs parses an OpScan response. Pairs alias p.
+func DecodePairs(p []byte) ([]KV, error) {
+	count, p, err := consumeCount(p, 2)
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([]KV, 0, count)
+	for i := 0; i < count; i++ {
+		var kv KV
+		kv.Key, p, err = ConsumeBytes(p)
+		if err != nil {
+			return nil, err
+		}
+		kv.Value, p, err = ConsumeBytes(p)
+		if err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, kv)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(p))
+	}
+	return pairs, nil
+}
+
+// Status is the OpStats response: the store's health position and the
+// observability snapshot, wired straight from DB.Health and the expvar/obs
+// export (Observer.Snapshot serialized as JSON).
+type Status struct {
+	Health    uint8  // health.State numbering: 0 healthy .. 3 failed
+	HealthMsg string // cause of a non-healthy state, "" otherwise
+	Obs       []byte // JSON obs.Snapshot
+}
+
+// AppendStatus encodes an OpStats response.
+func AppendStatus(dst []byte, s Status) []byte {
+	dst = append(dst, s.Health)
+	dst = AppendBytes(dst, []byte(s.HealthMsg))
+	return AppendBytes(dst, s.Obs)
+}
+
+// DecodeStatus parses an OpStats response.
+func DecodeStatus(p []byte) (Status, error) {
+	var s Status
+	if len(p) < 1 {
+		return s, fmt.Errorf("%w: empty status", ErrFrame)
+	}
+	s.Health = p[0]
+	msg, p, err := ConsumeBytes(p[1:])
+	if err != nil {
+		return s, err
+	}
+	s.HealthMsg = string(msg)
+	s.Obs, p, err = ConsumeBytes(p)
+	if err != nil {
+		return s, err
+	}
+	if len(p) != 0 {
+		return s, fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(p))
+	}
+	return s, nil
+}

@@ -1,0 +1,250 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"clsm/internal/core"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = AppendFrame(buf, 7, byte(OpPut), AppendPut(nil, []byte("k"), []byte("v")))
+	buf = AppendFrame(buf, 8, byte(OpGet), AppendKey(nil, []byte("k")))
+	buf = AppendFrame(buf, 9, byte(OpStats), nil)
+
+	// Stream form.
+	r := bytes.NewReader(buf)
+	for want := uint64(7); want <= 9; want++ {
+		id, _, _, err := ReadFrame(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != want {
+			t.Fatalf("id = %d, want %d", id, want)
+		}
+	}
+	if _, _, _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("end of stream = %v, want io.EOF", err)
+	}
+
+	// In-memory form.
+	rest := buf
+	var ids []uint64
+	for len(rest) > 0 {
+		var id uint64
+		var err error
+		id, _, _, rest, err = DecodeFrame(rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) != 3 || ids[0] != 7 || ids[2] != 9 {
+		t.Fatalf("DecodeFrame ids = %v", ids)
+	}
+}
+
+func TestFrameMalformed(t *testing.T) {
+	// Truncated everywhere: every prefix of a valid frame must error (or
+	// hit clean EOF at zero bytes), never panic.
+	full := AppendFrame(nil, 1, byte(OpPut), AppendPut(nil, []byte("key"), []byte("value")))
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, _, err := ReadFrame(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("ReadFrame accepted a %d-byte prefix of a %d-byte frame", cut, len(full))
+		}
+		if _, _, _, _, err := DecodeFrame(full[:cut]); err == nil {
+			t.Fatalf("DecodeFrame accepted a %d-byte prefix", cut)
+		}
+	}
+
+	// Oversized announcement: rejected before allocation.
+	huge := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, _, _, err := ReadFrame(bytes.NewReader(huge)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized frame = %v, want ErrTooLarge", err)
+	}
+	if _, _, _, _, err := DecodeFrame(huge); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized frame = %v, want ErrTooLarge", err)
+	}
+
+	// Body shorter than the fixed header.
+	short := []byte{0, 0, 0, 2, 1, 2}
+	if _, _, _, err := ReadFrame(bytes.NewReader(short)); !errors.Is(err, ErrFrame) {
+		t.Fatalf("short body = %v, want ErrFrame", err)
+	}
+}
+
+func TestPayloadRoundTrips(t *testing.T) {
+	k, v := []byte("key"), []byte("value")
+
+	if gotK, gotV, err := DecodePut(AppendPut(nil, k, v)); err != nil ||
+		!bytes.Equal(gotK, k) || !bytes.Equal(gotV, v) {
+		t.Fatalf("put: %q %q %v", gotK, gotV, err)
+	}
+	if gotK, err := DecodeKey(AppendKey(nil, k)); err != nil || !bytes.Equal(gotK, k) {
+		t.Fatalf("key: %q %v", gotK, err)
+	}
+
+	entries := []Entry{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Delete: true, Key: []byte("b")},
+		{Key: []byte("c"), Value: nil}, // empty value put
+	}
+	got, err := DecodeWrite(AppendWrite(nil, entries))
+	if err != nil || len(got) != 3 {
+		t.Fatalf("write: %v %v", got, err)
+	}
+	if !got[1].Delete || got[1].Value != nil || string(got[0].Value) != "1" {
+		t.Fatalf("write entries = %+v", got)
+	}
+
+	keys := [][]byte{[]byte("x"), nil, []byte("z")}
+	gotKeys, err := DecodeKeys(AppendKeys(nil, keys))
+	if err != nil || len(gotKeys) != 3 || string(gotKeys[2]) != "z" {
+		t.Fatalf("keys: %v %v", gotKeys, err)
+	}
+
+	start, limit, err := DecodeScan(AppendScan(nil, []byte("s"), 42))
+	if err != nil || string(start) != "s" || limit != 42 {
+		t.Fatalf("scan: %q %d %v", start, limit, err)
+	}
+
+	if gv, ok, err := DecodeGetReply(AppendGetReply(nil, v, true)); err != nil || !ok || !bytes.Equal(gv, v) {
+		t.Fatalf("get reply hit: %q %v %v", gv, ok, err)
+	}
+	if _, ok, err := DecodeGetReply(AppendGetReply(nil, nil, false)); err != nil || ok {
+		t.Fatalf("get reply miss: %v %v", ok, err)
+	}
+
+	vals := []Value{{Data: []byte("1"), Exists: true}, {}, {Data: nil, Exists: true}}
+	gotVals, err := DecodeValues(AppendValues(nil, vals))
+	if err != nil || len(gotVals) != 3 || gotVals[1].Exists || !gotVals[2].Exists {
+		t.Fatalf("values: %+v %v", gotVals, err)
+	}
+
+	pairs := []KV{{Key: k, Value: v}, {Key: []byte("k2"), Value: nil}}
+	gotPairs, err := DecodePairs(AppendPairs(nil, pairs))
+	if err != nil || len(gotPairs) != 2 || !bytes.Equal(gotPairs[0].Value, v) {
+		t.Fatalf("pairs: %+v %v", gotPairs, err)
+	}
+
+	st := Status{Health: 2, HealthMsg: "corrupt block", Obs: []byte(`{"x":1}`)}
+	gotSt, err := DecodeStatus(AppendStatus(nil, st))
+	if err != nil || gotSt.Health != 2 || gotSt.HealthMsg != st.HealthMsg ||
+		!bytes.Equal(gotSt.Obs, st.Obs) {
+		t.Fatalf("status: %+v %v", gotSt, err)
+	}
+}
+
+func TestPayloadDecodersRejectGarbage(t *testing.T) {
+	garbage := [][]byte{
+		nil,
+		{0xff},
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, // huge uvarint
+		bytes.Repeat([]byte{0x80}, 16),                               // non-terminating uvarint
+		{2, 0},                                                       // count 2, one byte of body
+		{1, 9, 0, 0},                                                 // kind 9 / length overrun shapes
+	}
+	for _, g := range garbage {
+		if _, _, err := DecodePut(g); err == nil && g != nil {
+			t.Errorf("DecodePut(%x) accepted garbage", g)
+		}
+		if _, err := DecodeWrite(g); err == nil {
+			t.Errorf("DecodeWrite(%x) accepted garbage", g)
+		}
+		if _, err := DecodeKeys(g); err == nil {
+			t.Errorf("DecodeKeys(%x) accepted garbage", g)
+		}
+		if _, err := DecodeValues(g); err == nil {
+			t.Errorf("DecodeValues(%x) accepted garbage", g)
+		}
+		if _, err := DecodePairs(g); err == nil {
+			t.Errorf("DecodePairs(%x) accepted garbage", g)
+		}
+		if _, err := DecodeStatus(g); err == nil {
+			t.Errorf("DecodeStatus(%x) accepted garbage", g)
+		}
+	}
+	// Trailing bytes after a well-formed body are a framing bug: reject.
+	if _, err := DecodeKey(append(AppendKey(nil, []byte("k")), 0)); err == nil {
+		t.Error("DecodeKey accepted trailing bytes")
+	}
+}
+
+// TestErrorCodeExhaustive pins the code ↔ sentinel table: every public
+// engine sentinel maps to a distinct stable code, every code rehydrates to
+// an error that errors.Is-matches its sentinel (wrapped or bare), and the
+// table covers the full code range — a new sentinel or code added without
+// updating the mapping fails here.
+func TestErrorCodeExhaustive(t *testing.T) {
+	// The complete list of public sentinels a remote operation can
+	// surface. Keep in sync with errors.go at the repo root.
+	publicSentinels := []error{
+		core.ErrClosed,
+		core.ErrReadOnly,
+		core.ErrDegraded,
+		core.ErrInvalidOptions,
+		core.ErrSnapshotExpired,
+	}
+	if len(sentinels) != len(publicSentinels) {
+		t.Fatalf("wire maps %d sentinels, engine exposes %d — update the table", len(sentinels), len(publicSentinels))
+	}
+	seen := map[ErrorCode]bool{}
+	for _, s := range publicSentinels {
+		c := Code(s)
+		if c == CodeOK || c == CodeInternal {
+			t.Errorf("sentinel %v has no dedicated code (got %s)", s, c)
+		}
+		if seen[c] {
+			t.Errorf("code %s assigned to two sentinels", c)
+		}
+		seen[c] = true
+		if c.Sentinel() != s {
+			t.Errorf("code %s rehydrates to %v, want %v", c, c.Sentinel(), s)
+		}
+		// Wrapped errors (the engine always wraps with context) map too.
+		if got := Code(fmt.Errorf("snapshot read: %w", s)); got != c {
+			t.Errorf("wrapped %v → %s, want %s", s, got, c)
+		}
+		// The client-side rehydration preserves the errors.Is identity
+		// and the remote message.
+		re := RemoteError(c, "disk exploded")
+		if !errors.Is(re, s) {
+			t.Errorf("errors.Is(RemoteError(%s), %v) = false", c, s)
+		}
+		if re.Error() == "" {
+			t.Errorf("RemoteError(%s) has empty message", c)
+		}
+	}
+	// Full range: every code in [0, codeMax] is either OK, a mapped
+	// sentinel, or one of the two deliberately sentinel-less codes.
+	for c := ErrorCode(0); c <= codeMax; c++ {
+		_, mapped := sentinels[c]
+		switch {
+		case c == CodeOK || c == CodeInternal || c == CodeBadRequest:
+			if mapped {
+				t.Errorf("code %s must not carry a sentinel", c)
+			}
+		case !mapped:
+			t.Errorf("code %s has no sentinel and is not a known sentinel-less code", c)
+		}
+	}
+	// Unmapped errors fall back to CodeInternal, and sentinel-less codes
+	// rehydrate without an identity but keep the message.
+	if Code(errors.New("some io error")) != CodeInternal {
+		t.Error("unmapped error did not map to CodeInternal")
+	}
+	re := RemoteError(CodeInternal, "open /x: no space")
+	if errors.Is(re, core.ErrClosed) || re.Unwrap() != nil {
+		t.Error("CodeInternal must not carry a sentinel identity")
+	}
+	if Code(nil) != CodeOK {
+		t.Error("Code(nil) != CodeOK")
+	}
+	if !CodeDegraded.Transient() || CodeReadOnly.Transient() || CodeClosed.Transient() {
+		t.Error("Transient classification wrong")
+	}
+}

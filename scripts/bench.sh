@@ -11,6 +11,11 @@
 # Also runs the scheduler stall profile (legacy gate vs auto-tuned
 # admission under overload — docs/SCHEDULING.md) and emits
 # BENCH_stall.json. STALL_SCALE picks the run length (smoke/small/full).
+#
+# Finally runs the network-layer benchmark (docs/NETWORK.md) and emits
+# BENCH_server.json: remote throughput vs connection count (pipelined
+# vs classic one-request-at-a-time RPC) and WAL syncs per durable
+# remote write under 128 concurrent sync writers.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -52,3 +57,5 @@ END { printf "\n  ]\n}\n" }
 echo "wrote $OUT"
 
 go run ./cmd/clsm-bench -stall-profile -scale "${STALL_SCALE:-small}" -stall-out BENCH_stall.json
+
+go run ./cmd/clsm-server -bench -bench-out BENCH_server.json

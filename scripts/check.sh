@@ -29,6 +29,14 @@ go test ./internal/core ./internal/obs -run 'Allocs'
 go test -race -short ./internal/faultfs ./internal/oracle ./internal/crashtest
 go test -race -run 'Health|Degraded|ReadOnly' ./internal/...
 
+# Network layer: the shared frame codec, the pipelining/coalescing
+# server, and the client SDK — all under -race (8-client oracle test,
+# sentinel round-trip across the wire, retry vs degraded store). Then
+# the server's own smoke gate: a full client/server sandwich on
+# loopback with a goroutine-leak check after shutdown (docs/NETWORK.md).
+go test -race ./internal/wire ./internal/server ./clsmclient
+go run ./cmd/clsm-server -selftest
+
 # Stall-profile smoke gate: the auto-tuned admission controller must beat
 # the legacy binary gate's worst-window put latency without giving up
 # meaningful throughput (docs/SCHEDULING.md; recorded runs in
