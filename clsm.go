@@ -46,17 +46,12 @@ import (
 	"clsm/internal/batch"
 	"clsm/internal/core"
 	"clsm/internal/obs"
+	"clsm/internal/shard"
 	"clsm/internal/storage"
 )
 
 // Batch is an ordered set of writes applied atomically by DB.Write.
 type Batch = batch.Batch
-
-// Snapshot is a consistent read-only view of the store; see DB.GetSnapshot.
-type Snapshot = core.Snapshot
-
-// Iterator walks user keys in ascending order; see DB.NewIterator.
-type Iterator = core.Iterator
 
 // IterOptions bounds an iterator to the user-key range
 // [LowerBound, UpperBound); see DB.NewIterator.
@@ -70,14 +65,26 @@ type Metrics = core.Metrics
 
 // DB is a concurrent LSM key-value store. All methods are safe for
 // concurrent use by any number of goroutines.
+//
+// A DB is either a single engine or — when opened with Options.Shards,
+// WithShards, or OpenSharded — a hash-partitioned facade over several
+// independent engines (docs/SHARDING.md). The API is identical either
+// way; exactly one of the two fields is set.
 type DB struct {
 	inner *core.DB
+	sh    *shard.DB
 }
 
 // Open creates or opens a store configured by the options struct. It is
 // equivalent to OpenPath with the corresponding With* options; both
 // constructors lower onto the same engine configuration.
 func Open(opts Options) (*DB, error) {
+	if opts.Shards != 0 {
+		return openSharded(opts)
+	}
+	if err := rejectShardedLayout(opts.Path); err != nil {
+		return nil, err
+	}
 	var fs storage.FS
 	if opts.Path == "" {
 		fs = storage.NewMemFS()
@@ -116,17 +123,32 @@ func OpenPath(path string, options ...Option) (*DB, error) {
 
 // Put stores (key, value), overwriting any previous value. It never blocks
 // except during memtable-merge pointer swaps and write stalls.
-func (db *DB) Put(key, value []byte) error { return db.inner.Put(key, value) }
+func (db *DB) Put(key, value []byte) error {
+	if db.sh != nil {
+		return db.sh.Put(key, value)
+	}
+	return db.inner.Put(key, value)
+}
 
 // Get returns the current value of key. ok is false when the key is absent
 // or deleted — absence is not an error (see the package error docs). Gets
 // never block.
-func (db *DB) Get(key []byte) (value []byte, ok bool, err error) { return db.inner.Get(key) }
+func (db *DB) Get(key []byte) (value []byte, ok bool, err error) {
+	if db.sh != nil {
+		return db.sh.Get(key)
+	}
+	return db.inner.Get(key)
+}
 
 // Has reports whether key is present (not deleted). It mirrors Get's
 // tri-state contract: absence is (false, nil), err is reserved for real
 // failures. Snapshot.Has is the snapshot-scoped equivalent.
-func (db *DB) Has(key []byte) (bool, error) { return db.inner.Has(key) }
+func (db *DB) Has(key []byte) (bool, error) {
+	if db.sh != nil {
+		return db.sh.Has(key)
+	}
+	return db.inner.Has(key)
+}
 
 // MultiGet returns the current value of every key in one call:
 // results[i] corresponds to keys[i], with absence reported per key through
@@ -134,14 +156,29 @@ func (db *DB) Has(key []byte) (bool, error) { return db.inner.Has(key) }
 // consistent component set — cheaper and stronger than a Get loop, which
 // may interleave with flushes. Snapshot.MultiGet is the snapshot-scoped
 // equivalent.
-func (db *DB) MultiGet(keys [][]byte) ([]Value, error) { return db.inner.MultiGet(keys) }
+func (db *DB) MultiGet(keys [][]byte) ([]Value, error) {
+	if db.sh != nil {
+		return db.sh.MultiGet(keys)
+	}
+	return db.inner.MultiGet(keys)
+}
 
 // Delete removes key.
-func (db *DB) Delete(key []byte) error { return db.inner.Delete(key) }
+func (db *DB) Delete(key []byte) error {
+	if db.sh != nil {
+		return db.sh.Delete(key)
+	}
+	return db.inner.Delete(key)
+}
 
 // Write applies the batch atomically: concurrent readers and snapshots see
 // either all of the batch or none of it.
-func (db *DB) Write(b *Batch) error { return db.inner.Write(b) }
+func (db *DB) Write(b *Batch) error {
+	if db.sh != nil {
+		return db.sh.Write(b)
+	}
+	return db.inner.Write(b)
+}
 
 // PutCtx is Put with cancellation: write-admission throttle waits,
 // memtable/L0 stalls, and the bounded degraded-mode stall
@@ -151,23 +188,35 @@ func (db *DB) Write(b *Batch) error { return db.inner.Write(b) }
 // server (cmd/clsm-server) threads every request's context through these
 // variants; see docs/NETWORK.md.
 func (db *DB) PutCtx(ctx context.Context, key, value []byte) error {
+	if db.sh != nil {
+		return db.sh.PutCtx(ctx, key, value)
+	}
 	return db.inner.PutCtx(ctx, key, value)
 }
 
 // GetCtx is Get with a context. Reads never block, so ctx is checked once
 // at entry: a canceled or expired context fails fast with ctx.Err().
 func (db *DB) GetCtx(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
+	if db.sh != nil {
+		return db.sh.GetCtx(ctx, key)
+	}
 	return db.inner.GetCtx(ctx, key)
 }
 
 // MultiGetCtx is MultiGet with a context, checked once at entry (reads
 // never block).
 func (db *DB) MultiGetCtx(ctx context.Context, keys [][]byte) ([]Value, error) {
+	if db.sh != nil {
+		return db.sh.MultiGetCtx(ctx, keys)
+	}
 	return db.inner.MultiGetCtx(ctx, keys)
 }
 
 // DeleteCtx is Delete with cancellation (see PutCtx).
 func (db *DB) DeleteCtx(ctx context.Context, key []byte) error {
+	if db.sh != nil {
+		return db.sh.DeleteCtx(ctx, key)
+	}
 	return db.inner.DeleteCtx(ctx, key)
 }
 
@@ -175,6 +224,9 @@ func (db *DB) DeleteCtx(ctx context.Context, key []byte) error {
 // waits honor ctx, and once the batch is admitted it applies atomically —
 // cancellation never splits a batch.
 func (db *DB) WriteCtx(ctx context.Context, b *Batch) error {
+	if db.sh != nil {
+		return db.sh.WriteCtx(ctx, b)
+	}
 	return db.inner.WriteCtx(ctx, b)
 }
 
@@ -183,13 +235,29 @@ func (db *DB) WriteCtx(ctx context.Context, b *Batch) error {
 // general non-blocking read-modify-write (Algorithm 3) — useful for
 // counters, vector-clock updates, and multisite reconciliation.
 func (db *DB) RMW(key []byte, f func(old []byte, exists bool) []byte) error {
+	if db.sh != nil {
+		return db.sh.RMW(key, f)
+	}
 	return db.inner.RMW(key, f)
 }
 
 // GetSnapshot returns a consistent snapshot handle for point reads and
 // scans. Close it promptly: live snapshots pin old versions, blocking
 // their garbage collection during merges.
-func (db *DB) GetSnapshot() (*Snapshot, error) { return db.inner.GetSnapshot() }
+func (db *DB) GetSnapshot() (*Snapshot, error) {
+	if db.sh != nil {
+		s, err := db.sh.GetSnapshot()
+		if err != nil {
+			return nil, err
+		}
+		return &Snapshot{s: s}, nil
+	}
+	c, err := db.inner.GetSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{c: c}, nil
+}
 
 // NewIterator returns an iterator over a fresh implicit snapshot,
 // optionally bounded to a user-key range:
@@ -202,25 +270,61 @@ func (db *DB) GetSnapshot() (*Snapshot, error) { return db.inner.GetSnapshot() }
 // Bounds clamp every positioning method and let the engine skip whole
 // sorted tables outside the range. Close the iterator when done.
 func (db *DB) NewIterator(opts ...IterOptions) (*Iterator, error) {
-	return db.inner.NewIterator(opts...)
+	if db.sh != nil {
+		it, err := db.sh.NewIterator(opts...)
+		if err != nil {
+			return nil, err
+		}
+		return &Iterator{s: it}, nil
+	}
+	it, err := db.inner.NewIterator(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Iterator{c: it}, nil
 }
 
 // Flush synchronously merges the memtable into the disk component. After
 // it returns, every previously acknowledged write is in a sorted table.
-func (db *DB) Flush() error { return db.inner.Flush() }
+func (db *DB) Flush() error {
+	if db.sh != nil {
+		return db.sh.Flush()
+	}
+	return db.inner.Flush()
+}
 
 // CompactRange synchronously flushes the memtable and compacts every level
 // downward, reclaiming shadowed versions and tombstones.
-func (db *DB) CompactRange() error { return db.inner.CompactRange() }
+func (db *DB) CompactRange() error {
+	if db.sh != nil {
+		return db.sh.CompactRange()
+	}
+	return db.inner.CompactRange()
+}
 
 // Metrics returns a snapshot of the engine's counters.
-func (db *DB) Metrics() Metrics { return db.inner.Metrics() }
+func (db *DB) Metrics() Metrics {
+	if db.sh != nil {
+		return db.sh.Metrics()
+	}
+	return db.inner.Metrics()
+}
 
 // Observer returns the store's observability substrate: per-op latency
 // histograms, substrate counters, and the engine event trace. Never nil;
 // recording is always on (it is allocation-free and contention-striped).
-func (db *DB) Observer() *Observer { return db.inner.Observer() }
+func (db *DB) Observer() *Observer {
+	if db.sh != nil {
+		return db.sh.Observer()
+	}
+	return db.inner.Observer()
+}
 
 // Close flushes the log and releases all resources. Unflushed writes are
 // recovered from the WAL on the next Open (unless DisableWAL was set).
-func (db *DB) Close() error { return db.inner.Close() }
+func (db *DB) Close() error {
+	if db.sh != nil {
+		return db.sh.Close()
+	}
+	return db.inner.Close()
+}

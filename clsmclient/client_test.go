@@ -15,6 +15,18 @@ import (
 	"clsm/internal/wire"
 )
 
+// coreEngine adapts a bare *core.DB to server.Engine (the server wants
+// its iterator interface, core returns the concrete type).
+type coreEngine struct{ *core.DB }
+
+func (e coreEngine) NewIterator(opts ...core.IterOptions) (server.Iterator, error) {
+	it, err := e.DB.NewIterator(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
 func startServer(t *testing.T) (addr string, db *core.DB) {
 	t.Helper()
 	db, err := core.Open(core.Options{})
@@ -25,7 +37,7 @@ func startServer(t *testing.T) (addr string, db *core.DB) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := server.New(db, server.Config{})
+	srv := server.New(coreEngine{db}, server.Config{})
 	go srv.Serve(ln)
 	t.Cleanup(func() {
 		srv.Close()
@@ -128,7 +140,7 @@ func TestReconnectAfterServerRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	addr := ln.Addr().String()
-	srv := server.New(db, server.Config{})
+	srv := server.New(coreEngine{db}, server.Config{})
 	go srv.Serve(ln)
 
 	c, err := clsmclient.Dial(addr)
@@ -159,7 +171,7 @@ func TestReconnectAfterServerRestart(t *testing.T) {
 	if err != nil {
 		t.Skipf("ephemeral port %s reused: %v", addr, err)
 	}
-	srv2 := server.New(db, server.Config{})
+	srv2 := server.New(coreEngine{db}, server.Config{})
 	go srv2.Serve(ln2)
 	defer srv2.Close()
 

@@ -63,6 +63,9 @@ func main() {
 		obsFlag   = flag.Bool("obs", true, "finish with an instrumented profile run: per-op latency percentiles and the engine event timeline")
 		stall     = flag.Bool("stall-profile", false, "run the write-stall A/B experiment (legacy gate vs auto-tuned throttle) instead of the figures")
 		stallOut  = flag.String("stall-out", "BENCH_stall.json", "output path for the stall-profile report")
+		shardProf = flag.Bool("shard-profile", false, "run the horizontal-sharding A/B experiment (scaling, N=1 parity, adaptive governor) instead of the figures")
+		shardN    = flag.Int("shards", 4, "shard count for the -shard-profile scaling and governor runs")
+		shardOut  = flag.String("shard-out", "BENCH_shard.json", "output path for the shard-profile report")
 	)
 	flag.Parse()
 
@@ -86,6 +89,13 @@ func main() {
 	if *stall {
 		if err := stallProfile(sc, *stallOut); err != nil {
 			fatal(fmt.Errorf("stall profile: %w", err))
+		}
+		return
+	}
+
+	if *shardProf {
+		if err := shardProfile(sc, *shardN, *shardOut); err != nil {
+			fatal(fmt.Errorf("shard profile: %w", err))
 		}
 		return
 	}

@@ -113,7 +113,7 @@ func benchPoint(conns, depth int) (sweepPoint, error) {
 		return sweepPoint{}, err
 	}
 	defer db.Close()
-	srv := server.New(db, server.Config{})
+	srv := server.New(engine{db}, server.Config{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return sweepPoint{}, err
@@ -196,7 +196,7 @@ func benchGroupCommit() (groupCommitResult, error) {
 		return groupCommitResult{}, err
 	}
 	defer db.Close()
-	srv := server.New(db, server.Config{})
+	srv := server.New(engine{db}, server.Config{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return groupCommitResult{}, err

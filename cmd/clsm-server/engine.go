@@ -1,0 +1,21 @@
+package main
+
+import (
+	"clsm"
+	"clsm/internal/server"
+)
+
+// engine bridges *clsm.DB to server.Engine: the facade's NewIterator
+// returns its own concrete iterator type, the server wants the
+// interface. Everything else (including the sharded store's
+// ShardObservers capability, which the Stats opcode picks up) promotes
+// through the embedding.
+type engine struct{ *clsm.DB }
+
+func (e engine) NewIterator(opts ...clsm.IterOptions) (server.Iterator, error) {
+	it, err := e.DB.NewIterator(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return it, nil
+}

@@ -37,6 +37,7 @@ func main() {
 		addr      = flag.String("addr", ":4377", "address to serve the wire protocol on")
 		dbPath    = flag.String("db", "", "store directory (empty = volatile in-memory store)")
 		sync      = flag.Bool("sync", false, "make every write wait for WAL durability")
+		shards    = flag.Int("shards", 0, "hash-partition the store across this many engines (0 = unsharded; see docs/SHARDING.md)")
 		debugAddr = flag.String("debug-addr", "", "optional address for the /debug/vars HTTP endpoint")
 		maxBatch  = flag.Int("max-batch", 0, "max requests merged per engine commit (0 = default)")
 		inflight  = flag.Int("max-inflight", 0, "max in-flight requests per connection (0 = default)")
@@ -61,11 +62,15 @@ func main() {
 		return
 	}
 
-	db, err := clsm.OpenPath(*dbPath, clsm.WithSyncWrites(*sync))
+	openOpts := []clsm.Option{clsm.WithSyncWrites(*sync)}
+	if *shards != 0 {
+		openOpts = append(openOpts, clsm.WithShards(*shards))
+	}
+	db, err := clsm.OpenPath(*dbPath, openOpts...)
 	if err != nil {
 		log.Fatalf("open store: %v", err)
 	}
-	srv := server.New(db, server.Config{MaxBatch: *maxBatch, MaxInflight: *inflight})
+	srv := server.New(engine{db}, server.Config{MaxBatch: *maxBatch, MaxInflight: *inflight})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -25,7 +25,7 @@ func runSelftest() error {
 	if err != nil {
 		return err
 	}
-	srv := server.New(db, server.Config{})
+	srv := server.New(engine{db}, server.Config{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err

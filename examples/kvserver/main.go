@@ -166,7 +166,7 @@ func runSelfTest() error {
 	if err != nil {
 		return err
 	}
-	ws := server.New(db, server.Config{})
+	ws := server.New(engine{db}, server.Config{})
 	go ws.Serve(wireLn)
 	defer ws.Close()
 
@@ -258,4 +258,17 @@ func runSelfTest() error {
 	}
 	fmt.Println("puts ok, reads ok, scan ok, stats ok")
 	return nil
+}
+
+// engine bridges *clsm.DB to server.Engine: the facade's NewIterator
+// returns its own concrete iterator type, the server wants the
+// interface.
+type engine struct{ *clsm.DB }
+
+func (e engine) NewIterator(opts ...clsm.IterOptions) (server.Iterator, error) {
+	it, err := e.DB.NewIterator(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return it, nil
 }

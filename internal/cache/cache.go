@@ -2,16 +2,28 @@
 // reads. The paper's CPU-bound read experiments (§5.1) depend on the disk
 // component serving hot blocks from RAM; this cache plays that role. It is
 // sharded 16 ways so concurrent readers do not serialize on one mutex.
+//
+// A Cache value is a handle onto a shared store. View derives additional
+// handles that namespace block identities, so several independent engines
+// (the shards of a sharded store) can pool one fixed byte budget without
+// file-number collisions, while Resize lets a memory governor grow or
+// shrink that budget at runtime.
 package cache
 
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"clsm/internal/obs"
 )
 
 const shards = 16
+
+// nsShift positions a view's namespace above the file-number bits. File
+// numbers are allocated sequentially per engine and stay far below 2^40
+// in any realistic lifetime.
+const nsShift = 40
 
 // Key identifies a cached block by file number and block offset.
 type Key struct {
@@ -19,15 +31,22 @@ type Key struct {
 	Offset uint64
 }
 
-// Cache is a fixed-capacity sharded LRU cache of byte blocks.
+// Cache is a handle onto a fixed-capacity sharded LRU cache of byte
+// blocks. Handles derived with View share the same memory pool but keep
+// their own namespace and hit/miss counters.
 type Cache struct {
-	capacityPerShard int64
-	shard            [shards]lruShard
+	s  *store
+	ns uint64
 
 	// hits and misses, when wired via SetMetrics, count lookups on the
-	// engine's observer. Striped counters keep the bump off the shard
-	// mutexes' cache lines.
+	// owning engine's observer. Striped counters keep the bump off the
+	// shard mutexes' cache lines.
 	hits, misses *obs.Counter
+}
+
+type store struct {
+	capacityPerShard atomic.Int64
+	shard            [shards]lruShard
 }
 
 type lruShard struct {
@@ -44,31 +63,53 @@ type entry struct {
 
 // New returns a cache bounded at roughly capacity bytes total.
 func New(capacity int64) *Cache {
-	c := &Cache{capacityPerShard: capacity / shards}
-	if c.capacityPerShard < 1 {
-		c.capacityPerShard = 1
+	st := &store{}
+	st.capacityPerShard.Store(perShard(capacity))
+	for i := range st.shard {
+		st.shard[i].order = list.New()
+		st.shard[i].items = make(map[Key]*list.Element)
 	}
-	for i := range c.shard {
-		c.shard[i].order = list.New()
-		c.shard[i].items = make(map[Key]*list.Element)
-	}
-	return c
+	return &Cache{s: st}
 }
 
-func (c *Cache) shardFor(k Key) *lruShard {
+func perShard(capacity int64) int64 {
+	p := capacity / shards
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// View returns a handle that shares this cache's memory pool but maps
+// block identities into namespace ns, so independent engines can share
+// one budget without their file numbers colliding. Metrics wired on the
+// returned handle are independent of the parent's. ns must fit in 24
+// bits.
+func (c *Cache) View(ns int) *Cache {
+	return &Cache{s: c.s, ns: uint64(ns) << nsShift}
+}
+
+func (c *Cache) key(k Key) Key {
+	k.File |= c.ns
+	return k
+}
+
+func (s *store) shardFor(k Key) *lruShard {
 	h := k.File*0x9e3779b97f4a7c15 + k.Offset
-	return &c.shard[h%shards]
+	return &s.shard[h%shards]
 }
 
 // SetMetrics wires hit/miss counters (typically the owning engine's
-// observer counters). Call before the cache is shared between goroutines.
+// observer counters). Call before the handle is shared between
+// goroutines.
 func (c *Cache) SetMetrics(hits, misses *obs.Counter) {
 	c.hits, c.misses = hits, misses
 }
 
 // Get returns the cached block and whether it was present.
 func (c *Cache) Get(k Key) ([]byte, bool) {
-	s := c.shardFor(k)
+	k = c.key(k)
+	s := c.s.shardFor(k)
 	s.mu.Lock()
 	if el, ok := s.items[k]; ok {
 		s.order.MoveToFront(el)
@@ -89,7 +130,8 @@ func (c *Cache) Get(k Key) ([]byte, bool) {
 // Put inserts a block, evicting LRU entries to stay within capacity.
 // Blocks are immutable once inserted; callers must not modify value.
 func (c *Cache) Put(k Key, value []byte) {
-	s := c.shardFor(k)
+	k = c.key(k)
+	s := c.s.shardFor(k)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.items[k]; ok {
@@ -102,7 +144,13 @@ func (c *Cache) Put(k Key, value []byte) {
 		s.items[k] = el
 		s.used += int64(len(value))
 	}
-	for s.used > c.capacityPerShard && s.order.Len() > 1 {
+	s.evict(c.s.capacityPerShard.Load())
+}
+
+// evict drops LRU entries until the shard fits within limit bytes,
+// always keeping at least one entry. Caller holds s.mu.
+func (s *lruShard) evict(limit int64) {
+	for s.used > limit && s.order.Len() > 1 {
 		tail := s.order.Back()
 		e := tail.Value.(*entry)
 		s.order.Remove(tail)
@@ -111,10 +159,32 @@ func (c *Cache) Put(k Key, value []byte) {
 	}
 }
 
-// EvictFile drops every cached block of a deleted table file.
+// Resize rebounds the pool at roughly capacity bytes total. Shrinking
+// evicts LRU entries immediately; growth takes effect as blocks are
+// inserted. Safe to call concurrently with readers; all handles sharing
+// the pool observe the new bound.
+func (c *Cache) Resize(capacity int64) {
+	per := perShard(capacity)
+	c.s.capacityPerShard.Store(per)
+	for i := range c.s.shard {
+		s := &c.s.shard[i]
+		s.mu.Lock()
+		s.evict(per)
+		s.mu.Unlock()
+	}
+}
+
+// Capacity returns the pool's current total byte bound.
+func (c *Cache) Capacity() int64 {
+	return c.s.capacityPerShard.Load() * shards
+}
+
+// EvictFile drops every cached block of a deleted table file (file is
+// interpreted in this handle's namespace).
 func (c *Cache) EvictFile(file uint64) {
-	for i := range c.shard {
-		s := &c.shard[i]
+	file |= c.ns
+	for i := range c.s.shard {
+		s := &c.s.shard[i]
 		s.mu.Lock()
 		for k, el := range s.items {
 			if k.File == file {
@@ -127,11 +197,12 @@ func (c *Cache) EvictFile(file uint64) {
 	}
 }
 
-// Len returns the number of cached blocks (tests, metrics).
+// Len returns the number of cached blocks across the whole pool (tests,
+// metrics).
 func (c *Cache) Len() int {
 	n := 0
-	for i := range c.shard {
-		s := &c.shard[i]
+	for i := range c.s.shard {
+		s := &c.s.shard[i]
 		s.mu.Lock()
 		n += s.order.Len()
 		s.mu.Unlock()
@@ -139,11 +210,11 @@ func (c *Cache) Len() int {
 	return n
 }
 
-// Used returns the cached byte volume.
+// Used returns the cached byte volume across the whole pool.
 func (c *Cache) Used() int64 {
 	var n int64
-	for i := range c.shard {
-		s := &c.shard[i]
+	for i := range c.s.shard {
+		s := &c.s.shard[i]
 		s.mu.Lock()
 		n += s.used
 		s.mu.Unlock()

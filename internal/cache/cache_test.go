@@ -55,10 +55,10 @@ func TestLRUOrder(t *testing.T) {
 	c := New(16 * 100)
 	// Keys in the same shard: craft by trial.
 	var same []Key
-	target := c.shardFor(Key{File: 9, Offset: 0})
+	target := c.s.shardFor(Key{File: 9, Offset: 0})
 	for off := uint64(0); len(same) < 3; off++ {
 		k := Key{File: 9, Offset: off}
-		if c.shardFor(k) == target {
+		if c.s.shardFor(k) == target {
 			same = append(same, k)
 		}
 	}
@@ -111,6 +111,57 @@ func TestConcurrentAccess(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+func TestViewNamespacing(t *testing.T) {
+	pool := New(1 << 20)
+	a, b := pool.View(1), pool.View(2)
+	k := Key{File: 7, Offset: 0}
+	a.Put(k, []byte("from-a"))
+	b.Put(k, []byte("from-b"))
+	if v, _ := a.Get(k); string(v) != "from-a" {
+		t.Fatalf("view a sees %q", v)
+	}
+	if v, _ := b.Get(k); string(v) != "from-b" {
+		t.Fatalf("view b sees %q", v)
+	}
+	// EvictFile is namespaced too: dropping file 7 in a must not touch b.
+	a.EvictFile(7)
+	if _, ok := a.Get(k); ok {
+		t.Fatal("view-a block survived EvictFile")
+	}
+	if _, ok := b.Get(k); !ok {
+		t.Fatal("view-b block wrongly evicted")
+	}
+	// Both views draw from one pool.
+	if pool.Len() != 1 {
+		t.Fatalf("pool Len = %d, want 1", pool.Len())
+	}
+}
+
+func TestResize(t *testing.T) {
+	c := New(1 << 20)
+	for i := uint64(0); i < 64; i++ {
+		c.Put(Key{File: 1, Offset: i}, make([]byte, 1024))
+	}
+	if c.Used() < 32<<10 {
+		t.Fatalf("setup: used = %d", c.Used())
+	}
+	c.Resize(16 * 100) // shrink hard: immediate eviction
+	if got := c.Used(); got > 16*100+1024*16 {
+		t.Fatalf("Used after shrink = %d", got)
+	}
+	if got := c.Capacity(); got != 16*100 {
+		t.Fatalf("Capacity = %d, want %d", got, 16*100)
+	}
+	// Growing again lets new inserts stick around.
+	c.Resize(1 << 20)
+	for i := uint64(0); i < 64; i++ {
+		c.Put(Key{File: 2, Offset: i}, make([]byte, 1024))
+	}
+	if c.Used() < 32<<10 {
+		t.Fatalf("used after regrow = %d", c.Used())
+	}
 }
 
 func TestTinyCapacity(t *testing.T) {

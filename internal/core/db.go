@@ -51,6 +51,12 @@ type DB struct {
 	compactor *compaction.Compactor
 	blocks    *cache.Cache
 
+	// memBudget is the memtable spill threshold. It starts at
+	// Options.MemtableSize and can be moved at runtime by an external
+	// memory governor (SetMemtableBudget) arbitrating one byte budget
+	// across shards and the shared block cache.
+	memBudget atomic.Int64
+
 	// Background machinery. sched is the unified scheduler owning every
 	// flush and compaction worker; throttle is the write-path admission
 	// token bucket its planner auto-tunes. legacyGate selects the
@@ -120,6 +126,10 @@ type DB struct {
 		snapshots, flushes, compactions       atomic.Uint64
 		flushBytes, compactionBytes           atomic.Uint64
 		stallNanos, flushNanos                atomic.Int64
+		// writeBytes is the cumulative logical user-write volume
+		// (key+value bytes of puts, deletes, batches, RMWs) — the
+		// governor's per-shard write-pressure signal.
+		writeBytes atomic.Uint64
 	}
 }
 
@@ -152,7 +162,12 @@ func Open(opts Options) (*DB, error) {
 	// A user rate limit pre-activates the bucket; mirror it into the gauge
 	// so the export is correct before the tuner's first change.
 	db.obs.ThrottleRate.Store(uint64(db.throttle.Rate()))
-	db.blocks = cache.New(opts.BlockCacheSize)
+	db.memBudget.Store(opts.MemtableSize)
+	if opts.BlockCache != nil {
+		db.blocks = opts.BlockCache
+	} else {
+		db.blocks = cache.New(opts.BlockCacheSize)
+	}
 	db.blocks.SetMetrics(&db.obs.CacheHits, &db.obs.CacheMisses)
 	vs, err := version.Open(opts.FS, db.blocks, opts.Disk)
 	if err != nil {
@@ -279,7 +294,62 @@ func (db *DB) MemtableFillFraction() float64 {
 	if mt == nil {
 		return 0
 	}
-	return float64(mt.ApproximateSize()) / float64(db.opts.MemtableSize)
+	return float64(mt.ApproximateSize()) / float64(db.memBudget.Load())
+}
+
+// MemtableBudget returns the current memtable spill threshold.
+func (db *DB) MemtableBudget() int64 { return db.memBudget.Load() }
+
+// SetMemtableBudget moves the memtable spill threshold at runtime. An
+// external memory governor uses it to shift quota between shards and
+// the shared block cache; the engine clamps the floor so a starved
+// shard still batches writes usefully. Shrinking kicks the scheduler so
+// an over-budget memtable rotates promptly.
+func (db *DB) SetMemtableBudget(n int64) {
+	const floor = 256 << 10
+	if n < floor {
+		n = floor
+	}
+	old := db.memBudget.Swap(n)
+	if n < old && db.sched != nil {
+		db.sched.Kick()
+	}
+}
+
+// Pressure is a point-in-time report of one engine's memory pressure,
+// consumed by the cross-shard memory governor.
+type Pressure struct {
+	// MemBytes is the mutable memtable's fill; ImmBytes the frozen
+	// memtable still merging (0 when none).
+	MemBytes, ImmBytes int64
+	// Budget is the current memtable spill threshold.
+	Budget int64
+	// Debt is the scheduler's backlog signal (flush + compaction bytes).
+	Debt uint64
+	// WriteBytes is the cumulative logical user-write volume; its delta
+	// between samples is the shard's write arrival rate.
+	WriteBytes uint64
+	// CacheHits and CacheMisses are this engine's block cache counters;
+	// their deltas give the shard's read pressure.
+	CacheHits, CacheMisses uint64
+}
+
+// Pressure samples the engine's memory-pressure signals.
+func (db *DB) Pressure() Pressure {
+	p := Pressure{
+		Budget:      db.memBudget.Load(),
+		Debt:        db.obs.CompactionDebt.Load(),
+		WriteBytes:  db.metrics.writeBytes.Load(),
+		CacheHits:   db.obs.CacheHits.Load(),
+		CacheMisses: db.obs.CacheMisses.Load(),
+	}
+	if mt := db.mem.Load(); mt != nil {
+		p.MemBytes = int64(mt.ApproximateSize())
+	}
+	if imm := db.imm.Load(); imm != nil {
+		p.ImmBytes = int64(imm.ApproximateSize())
+	}
+	return p
 }
 
 // MergeInFlight reports whether an immutable memtable is currently being

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"clsm/internal/cache"
 	"clsm/internal/health"
 	"clsm/internal/obs"
 	"clsm/internal/scheduler"
@@ -36,6 +37,13 @@ type Options struct {
 
 	// BlockCacheSize bounds the SSTable block cache.
 	BlockCacheSize int64
+
+	// BlockCache, when non-nil, is an externally provided block cache
+	// handle — typically a namespaced View of a pool shared across the
+	// shards of a sharded store — and BlockCacheSize is ignored. The
+	// engine wires its own hit/miss counters onto the handle. When nil,
+	// the engine creates a private cache of BlockCacheSize bytes.
+	BlockCache *cache.Cache
 
 	// SyncWrites makes every put wait for WAL durability. The paper's
 	// (and LevelDB's) default is asynchronous logging.

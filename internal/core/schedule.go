@@ -60,7 +60,7 @@ func (db *DB) plan(sched *scheduler.Scheduler) {
 			sched.Submit(scheduler.Job{
 				Key: jobKeyFlush, Band: scheduler.BandFlush, Run: db.flushRun,
 			})
-		} else if mt := db.mem.Load(); mt != nil && mt.ApproximateSize() >= db.opts.MemtableSize {
+		} else if mt := db.mem.Load(); mt != nil && mt.ApproximateSize() >= db.memBudget.Load() {
 			debt += uint64(mt.ApproximateSize())
 			sched.Submit(scheduler.Job{
 				Key: jobKeyFlush, Band: scheduler.BandFlush, Run: db.flushRun,
@@ -128,10 +128,11 @@ func (db *DB) tuneThrottle(debt uint64) {
 		// mark; once the mutable table is full they are at the wall — the
 		// engine's remaining hard stall.
 		if mt := db.mem.Load(); mt != nil {
+			budget := db.memBudget.Load()
 			switch sz := mt.ApproximateSize(); {
-			case sz >= db.opts.MemtableSize:
+			case sz >= budget:
 				p, atWall = scheduler.PressureSlow, true
-			case sz >= db.opts.MemtableSize/2:
+			case sz >= budget/2:
 				p = scheduler.PressureSlow
 			}
 		}
@@ -199,7 +200,7 @@ func (db *DB) runFlushJob() {
 		// A previous attempt failed mid-merge: finish that one first.
 		worked = true
 		err = db.supervised(db.flushImm)
-	} else if mt := db.mem.Load(); mt != nil && mt.ApproximateSize() >= db.opts.MemtableSize {
+	} else if mt := db.mem.Load(); mt != nil && mt.ApproximateSize() >= db.memBudget.Load() {
 		worked = true
 		err = db.supervised(db.rotateAndFlush)
 	}

@@ -101,6 +101,7 @@ func (db *DB) write(ctx context.Context, key, value []byte, kind keys.Kind) erro
 	} else {
 		db.metrics.puts.Add(1)
 	}
+	db.metrics.writeBytes.Add(uint64(len(key) + len(value)))
 	db.maybeTriggerFlush(mt)
 	return nil
 }
@@ -165,6 +166,7 @@ func (db *DB) writeBatch(ctx context.Context, b *batch.Batch) error {
 	db.lock.UnlockExclusive()
 
 	db.metrics.puts.Add(uint64(b.Len()))
+	db.metrics.writeBytes.Add(uint64(n))
 	db.maybeTriggerFlush(mt)
 	return nil
 }
@@ -217,6 +219,7 @@ func (db *DB) RMW(key []byte, f func(old []byte, exists bool) []byte) error {
 			db.oracle.Done(slot)
 			db.metrics.rmws.Add(1)
 			db.metrics.rmwRetries.Add(uint64(attempt))
+			db.metrics.writeBytes.Add(uint64(len(key) + len(newVal)))
 			db.maybeTriggerFlush(mt)
 			return nil
 		}
@@ -265,7 +268,7 @@ func (db *DB) readLatestLocked(mt *memtable.Table, key []byte) (value []byte, re
 // crosses its soft limit (the planner turns the observation into a queued
 // flush job).
 func (db *DB) maybeTriggerFlush(mt *memtable.Table) {
-	if mt.ApproximateSize() >= db.opts.MemtableSize {
+	if mt.ApproximateSize() >= db.memBudget.Load() {
 		db.sched.Kick()
 	}
 }
@@ -342,7 +345,7 @@ func (db *DB) makeRoomForWrite(ctx context.Context) error {
 		if mt == nil {
 			return ErrClosed
 		}
-		if mt.ApproximateSize() < db.opts.MemtableSize {
+		if mt.ApproximateSize() < db.memBudget.Load() {
 			return nil
 		}
 		// Mutable memtable is full.

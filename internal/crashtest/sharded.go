@@ -1,0 +1,273 @@
+package crashtest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"clsm/internal/batch"
+	"clsm/internal/core"
+	"clsm/internal/faultfs"
+	"clsm/internal/obs"
+	"clsm/internal/oracle"
+	"clsm/internal/shard"
+	"clsm/internal/storage"
+	"clsm/internal/version"
+)
+
+// shardPrefix names shard i's namespace on the shared crash filesystem.
+func shardPrefix(i int) string { return fmt.Sprintf("s%d-", i) }
+
+// splitShard recovers (shard, plain name) from a prefixed file name, so
+// crash points can be classified per shard. ok is false for names
+// outside any shard namespace.
+func splitShard(name string) (int, string, bool) {
+	if !strings.HasPrefix(name, "s") {
+		return 0, "", false
+	}
+	dash := strings.IndexByte(name, '-')
+	if dash < 2 {
+		return 0, "", false
+	}
+	var s int
+	if _, err := fmt.Sscanf(name[1:dash], "%d", &s); err != nil {
+		return 0, "", false
+	}
+	return s, name[dash+1:], true
+}
+
+// shardChecker runs the reopen-and-verify cycle for a sharded store:
+// every captured image is reopened as a full shard.DB (each shard
+// recovering from its own WAL and manifest inside the shared image) and
+// checked against the same two invariants. Because a sync only ever
+// belongs to one shard's file, torn variants directly prove recovery
+// independence: tearing shard i's WAL tail must not cost any other
+// shard an acknowledged write.
+type shardChecker struct {
+	checker
+	shards int
+}
+
+func (c *shardChecker) hook(p faultfs.Point) {
+	s, plain, ok := splitShard(p.Name)
+	if !ok {
+		plain = p.Name
+		s = -1
+	}
+	label := classify(plain) + "-" + p.Op.String()
+	if s >= 0 {
+		label = fmt.Sprintf("s%d-%s", s, label)
+	}
+
+	c.mu.Lock()
+	c.report.Coverage[label]++
+	sampling := 1
+	counterKey := label
+	switch p.Op {
+	case faultfs.OpWrite:
+		sampling = c.cfg.WriteSampling
+	case faultfs.OpSync:
+		sampling = c.cfg.SyncSampling
+		if p.PreSync {
+			counterKey += "|pre"
+		} else {
+			counterKey += "|post"
+		}
+	}
+	n := c.sampled[counterKey]
+	c.sampled[counterKey] = n + 1
+	c.mu.Unlock()
+
+	if n%sampling != 0 || c.failed() {
+		return
+	}
+
+	if p.PreSync {
+		c.verify(p.CaptureDurable(), p.Step-1, p.Step, label+"-pre", false)
+		if delta := len(p.SyncDelta); delta > 0 {
+			c.verify(p.CaptureTorn(delta/2, -1), p.Step-1, p.Step, label+"-torn", true)
+			c.verify(p.CaptureTorn(delta, int(p.Step*13)%(delta*8)), p.Step-1, p.Step, label+"-flip", true)
+		}
+		return
+	}
+	c.verify(p.CaptureDurable(), p.Step, p.Step, label, false)
+}
+
+// verify reopens a sharded store from one crash image and checks
+// durability and no-fabrication for every key the model has seen —
+// including, critically, keys owned by shards other than the one whose
+// file the crash point touched.
+func (c *shardChecker) verify(image map[string][]byte, cutoff, step uint64, label string, torn bool) {
+	if image == nil {
+		return
+	}
+	base := storage.NewMemFSFromSnapshot(image)
+	var opts shard.Options
+	for i := 0; i < c.shards; i++ {
+		opts.Engines = append(opts.Engines, core.Options{
+			FS:            storage.NewPrefixFS(base, shardPrefix(i)),
+			SyncWrites:    true,
+			StrictWALTail: c.cfg.StrictWALTail,
+			MemtableSize:  8 << 20,
+		})
+	}
+	db, err := shard.Open(opts)
+	if err != nil {
+		c.fail(step, label, fmt.Errorf("sharded recovery open: %w", err))
+		return
+	}
+	defer db.Close()
+
+	c.mu.Lock()
+	for i := 0; i < c.shards; i++ {
+		o := db.Shard(i).Observer()
+		c.report.TornTailsTruncated += o.WALTornTails.Load()
+		c.report.RecordsReplayed += o.RecoveryRecords.Load()
+		c.report.OrphansRemoved += o.OrphanFilesRemoved.Load()
+	}
+	if torn {
+		c.report.Torn++
+	} else {
+		c.report.Points++
+	}
+	c.mu.Unlock()
+
+	match := make(map[string]int)
+	for _, key := range c.model.Keys() {
+		got, ok, err := db.Get([]byte(key))
+		if err != nil {
+			c.fail(step, label, fmt.Errorf("recovered get %q: %w", key, err))
+			return
+		}
+		idx, verr := c.model.CheckCrash(key, got, ok, cutoff)
+		if verr != nil {
+			c.fail(step, label, verr)
+			continue
+		}
+		match[key] = idx
+	}
+	for _, berr := range c.model.CheckBatchAtomicity(match) {
+		c.fail(step, label, berr)
+	}
+}
+
+// RunSharded executes the crash matrix against a sharded store: N
+// engines over one fault-injecting filesystem (each in its own file
+// namespace), so every shard's WAL appends, syncs, flushes, and
+// manifest installs become crash points in a single matrix, and every
+// captured image is recovered as a whole sharded store. shards < 2 is a
+// setup error — the point of the matrix is cross-shard independence.
+func RunSharded(cfg Config, shards int) (*Report, error) {
+	if shards < 2 {
+		return nil, fmt.Errorf("crashtest: sharded run needs >= 2 shards, got %d", shards)
+	}
+	cfg = cfg.withDefaults()
+	fs := faultfs.Wrap(storage.NewMemFS())
+	c := &shardChecker{
+		checker: checker{
+			cfg:     cfg,
+			model:   oracle.NewModel(),
+			sampled: map[string]int{},
+		},
+		shards: shards,
+	}
+	c.report.Coverage = map[string]int{}
+	fs.SetHook(c.hook)
+	fs.Arm(cfg.Faults...)
+
+	var opts shard.Options
+	for i := 0; i < shards; i++ {
+		observer := obs.New()
+		observer.Trace.SetShard(i)
+		opts.Engines = append(opts.Engines, core.Options{
+			FS:           storage.NewPrefixFS(fs, shardPrefix(i)),
+			SyncWrites:   true,
+			MemtableSize: cfg.MemtableSize,
+			Observer:     observer,
+			Disk: version.Options{
+				L0CompactionTrigger: 2,
+				BaseLevelBytes:      16 << 10,
+				TableFileSize:       8 << 10,
+			},
+		})
+	}
+	db, err := shard.Open(opts)
+	if err != nil {
+		return nil, fmt.Errorf("crashtest: open sharded workload store: %w", err)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	keyPool := make([]string, 24)
+	for i := range keyPool {
+		keyPool[i] = fmt.Sprintf("key-%02d", i)
+	}
+
+	// beginPerShard registers a cross-shard batch as one model batch per
+	// touched shard: the store's contract is per-shard atomicity, so the
+	// model must not demand more (or a crash between two shards' commits
+	// would be misreported as a torn batch).
+	beginPerShard := func(start uint64, ops []oracle.Op) []*oracle.Pending {
+		groups := make([][]oracle.Op, shards)
+		for _, op := range ops {
+			s := shard.IndexOf([]byte(op.Key), shards)
+			groups[s] = append(groups[s], op)
+		}
+		var pend []*oracle.Pending
+		for _, g := range groups {
+			if len(g) > 0 {
+				pend = append(pend, c.model.Begin(start, g...))
+			}
+		}
+		return pend
+	}
+
+	for i := 0; i < cfg.Ops; i++ {
+		switch r := rng.Intn(100); {
+		case r < 50: // put
+			key := keyPool[rng.Intn(len(keyPool))]
+			val := []byte(fmt.Sprintf("v-%d-%06d", cfg.Seed, i))
+			pend := c.model.Begin(fs.Step(), oracle.Op{Key: key, Value: val})
+			if db.Put([]byte(key), val) == nil {
+				pend.Ack(fs.Step())
+			}
+		case r < 62: // delete
+			key := keyPool[rng.Intn(len(keyPool))]
+			pend := c.model.Begin(fs.Step(), oracle.Op{Key: key, Tombstone: true})
+			if db.Delete([]byte(key)) == nil {
+				pend.Ack(fs.Step())
+			}
+		default: // cross-shard atomic batch over 2–4 distinct keys
+			n := 2 + rng.Intn(3)
+			var ops []oracle.Op
+			var b batch.Batch
+			for j, ki := range rng.Perm(len(keyPool))[:n] {
+				key := keyPool[ki]
+				if rng.Intn(4) == 0 {
+					b.Delete([]byte(key))
+					ops = append(ops, oracle.Op{Key: key, Tombstone: true})
+				} else {
+					val := []byte(fmt.Sprintf("b-%d-%06d-%d", cfg.Seed, i, j))
+					b.Put([]byte(key), val)
+					ops = append(ops, oracle.Op{Key: key, Value: val})
+				}
+			}
+			pend := beginPerShard(fs.Step(), ops)
+			if db.Write(&b) == nil {
+				step := fs.Step()
+				for _, p := range pend {
+					p.Ack(step)
+				}
+			}
+		}
+		if i > 0 && i%60 == 0 {
+			db.Flush()
+		}
+		if i > 0 && i%130 == 0 {
+			db.CompactRange()
+		}
+	}
+	db.Close()
+
+	c.verify(fs.DurableSnapshot(), fs.Step(), fs.Step(), "final", false)
+	return &c.report, nil
+}

@@ -1,0 +1,65 @@
+package obs
+
+import "sort"
+
+// Aggregate builds a point-in-time merged Observer over srcs — the
+// cross-shard view of a sharded store. Histograms are bucket-merged
+// (percentiles stay exact within bucket resolution), counters are
+// summed, and gauges combine by meaning: queue depth, debt, and
+// throttle rate sum across shards while the health state takes the
+// worst shard. The event timelines are interleaved in time order into
+// the result's trace (events keep their shard labels), capped at the
+// default trace capacity.
+//
+// The result is a snapshot, not a live view: it does not update as the
+// sources record, and recording into it affects nothing. Call again for
+// fresh numbers.
+func Aggregate(srcs ...*Observer) *Observer {
+	dst := New()
+	var events []Event
+	for _, src := range srcs {
+		if src == nil {
+			continue
+		}
+		for op := Op(0); op < NumOps; op++ {
+			dst.ops[op].Merge(&src.ops[op])
+		}
+		dst.CacheHits.Add(src.CacheHits.Load())
+		dst.CacheMisses.Add(src.CacheMisses.Load())
+		dst.WALAppends.Add(src.WALAppends.Load())
+		dst.WALSyncs.Add(src.WALSyncs.Load())
+		dst.WriteStalls.Add(src.WriteStalls.Load())
+		dst.CompactionTables.Add(src.CompactionTables.Load())
+		dst.CompactionDropped.Add(src.CompactionDropped.Load())
+		dst.WALTornTails.Add(src.WALTornTails.Load())
+		dst.RecoveryRecords.Add(src.RecoveryRecords.Load())
+		dst.OrphanFilesRemoved.Add(src.OrphanFilesRemoved.Load())
+		dst.BGRetries.Add(src.BGRetries.Load())
+		dst.BGAutoResumes.Add(src.BGAutoResumes.Load())
+		dst.BGBytesReclaimed.Add(src.BGBytesReclaimed.Load())
+		if hs := src.HealthState.Load(); hs > dst.HealthState.Load() {
+			dst.HealthState.Store(hs)
+		}
+		dst.SchedQueueDepth.Add(int64(src.SchedQueueDepth.Load()))
+		dst.CompactionDebt.Add(int64(src.CompactionDebt.Load()))
+		dst.ThrottleRate.Add(int64(src.ThrottleRate.Load()))
+		dst.ServerConns.Add(int64(src.ServerConns.Load()))
+		dst.ServerInflight.Add(int64(src.ServerInflight.Load()))
+		dst.WriteThrottle.Merge(&src.WriteThrottle)
+		dst.WALGroupSize.Merge(&src.WALGroupSize)
+		dst.ServerWriteBatch.Merge(&src.ServerWriteBatch)
+		dst.ServerReadBatch.Merge(&src.ServerReadBatch)
+		events = append(events, src.Trace.Events()...)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		return events[i].Time.Before(events[j].Time)
+	})
+	if len(events) > DefaultTraceCap {
+		events = events[len(events)-DefaultTraceCap:]
+	}
+	for _, e := range events {
+		e.Seq = 0 // restamped in merged order
+		dst.Trace.Record(e)
+	}
+	return dst
+}

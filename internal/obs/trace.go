@@ -117,6 +117,9 @@ type Event struct {
 	Dur   time.Duration `json:"dur_ns,omitempty"`
 	Cause StallCause    `json:"cause,omitempty"`
 	Msg   string        `json:"msg,omitempty"`
+	// Shard labels events of a sharded store with the emitting shard's
+	// index (Trace.SetShard); 0 on unsharded stores and on shard 0.
+	Shard int `json:"shard,omitempty"`
 }
 
 // EventSink receives every trace event synchronously, in record order
@@ -133,12 +136,22 @@ const DefaultTraceCap = 1024
 // fine here; the sink is invoked under the lock so it observes events in
 // record order. The zero value is ready to use.
 type Trace struct {
-	mu   sync.Mutex
-	buf  []Event
-	head int // index of the oldest event
-	n    int
-	seq  uint64
-	sink EventSink
+	mu    sync.Mutex
+	buf   []Event
+	head  int // index of the oldest event
+	n     int
+	seq   uint64
+	sink  EventSink
+	shard int
+}
+
+// SetShard labels every subsequently recorded event with shard index i
+// (sharded stores give each per-shard observer its own label, so an
+// aggregated or sink-merged timeline stays attributable).
+func (t *Trace) SetShard(i int) {
+	t.mu.Lock()
+	t.shard = i
+	t.mu.Unlock()
 }
 
 // SetSink installs (or, with nil, removes) the event callback.
@@ -175,6 +188,9 @@ func (t *Trace) Record(e Event) {
 	}
 	t.seq++
 	e.Seq = t.seq
+	if e.Shard == 0 {
+		e.Shard = t.shard
+	}
 	if t.n < len(t.buf) {
 		t.buf[(t.head+t.n)%len(t.buf)] = e
 		t.n++

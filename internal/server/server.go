@@ -44,17 +44,42 @@ import (
 )
 
 // Engine is the store surface the server needs. *clsm.DB satisfies it
-// (the public package aliases these exact types); tests substitute fakes
-// to script error paths.
+// up to NewIterator, whose concrete return type differs — a two-line
+// adapter in the caller bridges it (see cmd/clsm-server); tests
+// substitute fakes to script error paths.
 type Engine interface {
 	PutCtx(ctx context.Context, key, value []byte) error
 	DeleteCtx(ctx context.Context, key []byte) error
 	WriteCtx(ctx context.Context, b *batch.Batch) error
 	GetCtx(ctx context.Context, key []byte) (value []byte, ok bool, err error)
 	MultiGetCtx(ctx context.Context, keys [][]byte) ([]core.Value, error)
-	NewIterator(opts ...core.IterOptions) (*core.Iterator, error)
+	NewIterator(opts ...core.IterOptions) (Iterator, error)
 	Health() core.HealthStatus
 	Observer() *obs.Observer
+}
+
+// Iterator is the scan cursor surface the server needs — satisfied by
+// both the single-engine and the sharded merged iterator.
+type Iterator interface {
+	First()
+	Seek(key []byte)
+	Next()
+	Valid() bool
+	Key() []byte
+	Value() []byte
+	Err() error
+	Close()
+}
+
+// ShardedEngine is the optional capability a hash-partitioned engine
+// exposes: per-shard observability substrates. When the engine
+// implements it (and reports more than one shard), the Stats opcode
+// carries a per-shard snapshot list alongside the aggregate, and the
+// server keeps its own substrate for server-side instrumentation
+// (a sharded engine's Observer() is a point-in-time aggregate, not a
+// live recording target).
+type ShardedEngine interface {
+	ShardObservers() []*obs.Observer
 }
 
 // Config tunes the server. The zero value is ready to use.
@@ -86,6 +111,10 @@ type Server struct {
 	cfg Config
 	o   *obs.Observer
 
+	// shardObs holds the per-shard observers of a sharded engine (nil
+	// for single-engine stores); stats() aggregates them on demand.
+	shardObs []*obs.Observer
+
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
@@ -104,16 +133,28 @@ type Server struct {
 // Close to shut down.
 func New(eng Engine, cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
+	var shardObs []*obs.Observer
+	o := eng.Observer()
+	if se, ok := eng.(ShardedEngine); ok {
+		if so := se.ShardObservers(); len(so) > 0 {
+			// Sharded store: record server-side instrumentation into a
+			// dedicated substrate; the engine's per-shard observers are
+			// aggregated fresh per Stats request.
+			shardObs = so
+			o = obs.New()
+		}
+	}
 	s := &Server{
-		eng:     eng,
-		cfg:     cfg.withDefaults(),
-		o:       eng.Observer(),
-		baseCtx: ctx,
-		cancel:  cancel,
-		writeCh: make(chan *writeReq),
-		readCh:  make(chan *readReq),
-		lns:     make(map[net.Listener]struct{}),
-		conns:   make(map[net.Conn]struct{}),
+		eng:      eng,
+		cfg:      cfg.withDefaults(),
+		o:        o,
+		shardObs: shardObs,
+		baseCtx:  ctx,
+		cancel:   cancel,
+		writeCh:  make(chan *writeReq),
+		readCh:   make(chan *readReq),
+		lns:      make(map[net.Listener]struct{}),
+		conns:    make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(2)
 	go s.writeCoalescer()
@@ -664,14 +705,31 @@ func (s *Server) scan(start []byte, limit int) ([]byte, error) {
 
 // stats reports the engine's health state plus the full observability
 // snapshot as JSON, so a remote client sees exactly what the in-process
-// debug endpoint serves.
+// debug endpoint serves. For a sharded engine the top-level snapshot is
+// the cross-shard aggregate (server counters included) and a "shards"
+// key carries the per-shard snapshots; the top-level shape is unchanged,
+// so existing decoders keep working.
 func (s *Server) stats() ([]byte, error) {
 	st := s.eng.Health()
 	msg := ""
 	if st.Err != nil {
 		msg = st.Err.Error()
 	}
-	snap, err := json.Marshal(s.o.Snapshot())
+	var payload any
+	if len(s.shardObs) > 0 {
+		perShard := make([]obs.Snapshot, len(s.shardObs))
+		for i, so := range s.shardObs {
+			perShard[i] = so.Snapshot()
+		}
+		all := append([]*obs.Observer{s.o}, s.shardObs...)
+		payload = struct {
+			obs.Snapshot
+			Shards []obs.Snapshot `json:"shards,omitempty"`
+		}{obs.Aggregate(all...).Snapshot(), perShard}
+	} else {
+		payload = s.o.Snapshot()
+	}
+	snap, err := json.Marshal(payload)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -11,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"clsm"
 	"clsm/clsmclient"
 	"clsm/internal/batch"
 	"clsm/internal/core"
@@ -20,6 +22,18 @@ import (
 	"clsm/internal/storage"
 	"clsm/internal/wire"
 )
+
+// coreEngine adapts a bare *core.DB to Engine for the tests (the same
+// two-line bridge cmd/clsm-server uses for *clsm.DB).
+type coreEngine struct{ *core.DB }
+
+func (e coreEngine) NewIterator(opts ...core.IterOptions) (Iterator, error) {
+	it, err := e.DB.NewIterator(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return it, nil
+}
 
 // startServer serves eng on an ephemeral port and returns its address
 // plus a shutdown func.
@@ -54,7 +68,7 @@ func TestServerPipelinedClientsOracle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	addr, shutdown := startServer(t, db, Config{})
+	addr, shutdown := startServer(t, coreEngine{db}, Config{})
 
 	const (
 		goroutines = 8
@@ -213,7 +227,7 @@ func (e *errEngine) GetCtx(ctx context.Context, key []byte) ([]byte, bool, error
 func (e *errEngine) MultiGetCtx(ctx context.Context, keys [][]byte) ([]core.Value, error) {
 	return nil, e.err
 }
-func (e *errEngine) NewIterator(opts ...core.IterOptions) (*core.Iterator, error) {
+func (e *errEngine) NewIterator(opts ...core.IterOptions) (Iterator, error) {
 	return nil, e.err
 }
 func (e *errEngine) Health() core.HealthStatus { return core.HealthStatus{} }
@@ -305,7 +319,7 @@ func TestClientRetryDegraded(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db.Close()
-	addr, shutdown := startServer(t, db, Config{})
+	addr, shutdown := startServer(t, coreEngine{db}, Config{})
 	defer shutdown()
 
 	// Twelve flush attempts die at their first table write; the store's
@@ -368,7 +382,7 @@ func TestBadRequestKeepsConnection(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db.Close()
-	addr, shutdown := startServer(t, db, Config{})
+	addr, shutdown := startServer(t, coreEngine{db}, Config{})
 	defer shutdown()
 
 	nc, err := net.Dial("tcp", addr)
@@ -404,5 +418,100 @@ func TestBadRequestKeepsConnection(t *testing.T) {
 	}
 	if v, ok, _ := db.Get([]byte("k")); !ok || string(v) != "v" {
 		t.Errorf("good put did not land: %q %v", v, ok)
+	}
+}
+
+// shardedEngine bridges *clsm.DB (sharded or not) to Engine, exactly
+// like cmd/clsm-server's adapter.
+type shardedEngine struct{ *clsm.DB }
+
+func (e shardedEngine) NewIterator(opts ...core.IterOptions) (Iterator, error) {
+	it, err := e.DB.NewIterator(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// TestShardedEngineOverWire serves a 4-shard store and checks that the
+// wire protocol is oblivious to sharding: writes, reads, ordered scans,
+// and a Stats payload that still decodes with the same top-level shape
+// plus a per-shard snapshot list.
+func TestShardedEngineOverWire(t *testing.T) {
+	db, err := clsm.OpenPath("", clsm.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	addr, shutdown := startServer(t, shardedEngine{db}, Config{})
+	defer shutdown()
+
+	c, err := clsmclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := c.Put(ctx, []byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Point reads and a cross-shard MultiGet.
+	var keys [][]byte
+	for i := 0; i < n; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("k%04d", i)))
+	}
+	vals, err := c.MultiGet(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if !v.Exists || string(v.Data) != fmt.Sprintf("v%04d", i) {
+			t.Fatalf("MultiGet[%d] = %q %v", i, v.Data, v.Exists)
+		}
+	}
+	// Scan must come back globally ordered despite the k-way merge.
+	kvs, err := c.Scan(ctx, nil, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != n {
+		t.Fatalf("scan returned %d pairs, want %d", len(kvs), n)
+	}
+	for i := 1; i < len(kvs); i++ {
+		if string(kvs[i].Key) <= string(kvs[i-1].Key) {
+			t.Fatalf("scan out of order: %q after %q", kvs[i].Key, kvs[i-1].Key)
+		}
+	}
+	// Stats: same top-level shape (WALAppends etc. present and summed)
+	// plus a "shards" list with one snapshot per shard.
+	st, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Counters map[string]uint64 `json:"counters"`
+		Shards   []struct {
+			Counters map[string]uint64 `json:"counters"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(st.Obs, &decoded); err != nil {
+		t.Fatalf("stats payload does not decode: %v\n%s", err, st.Obs)
+	}
+	if len(decoded.Shards) != 4 {
+		t.Fatalf("stats carries %d shard snapshots, want 4", len(decoded.Shards))
+	}
+	var sum uint64
+	for _, s := range decoded.Shards {
+		sum += s.Counters["wal_appends"]
+	}
+	if sum == 0 {
+		t.Fatal("no WAL appends across shard snapshots")
+	}
+	if decoded.Counters["wal_appends"] != sum {
+		t.Fatalf("aggregate wal_appends %d != per-shard sum %d", decoded.Counters["wal_appends"], sum)
 	}
 }

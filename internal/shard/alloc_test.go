@@ -1,0 +1,67 @@
+//go:build !race
+
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// The acceptance bar from the unsharded engine carries through the
+// facade: routing (inline FNV-1a) and the shard dispatch must not add
+// allocations on the hot paths.
+
+func TestWritePathAllocs(t *testing.T) {
+	opts := testOptions(4, 256<<20)
+	db := mustOpen(t, opts)
+	defer db.Close()
+
+	key := []byte("alloc-bench-key")
+	value := []byte("alloc-bench-value-0123456789")
+	for i := 0; i < 2000; i++ {
+		if err := db.Put(key, value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.GC()
+	avg := testing.AllocsPerRun(5000, func() {
+		if err := db.Put(key, value); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 1 {
+		t.Fatalf("sharded Put allocates %.2f allocs/op, want <= 1", avg)
+	}
+}
+
+func TestGetPathAllocs(t *testing.T) {
+	opts := testOptions(4, 256<<20)
+	db := mustOpen(t, opts)
+	defer db.Close()
+
+	for i := 0; i < 512; i++ {
+		k := []byte(fmt.Sprintf("key%06d", i))
+		if err := db.Put(k, []byte("value-0123456789")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CompactRange(); err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("key000256")
+	for i := 0; i < 200; i++ {
+		if _, _, err := db.Get(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.GC()
+	avg := testing.AllocsPerRun(5000, func() {
+		if _, _, err := db.Get(key); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 1 {
+		t.Fatalf("sharded Get allocates %.2f allocs/op, want <= 1", avg)
+	}
+}

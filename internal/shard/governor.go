@@ -1,0 +1,221 @@
+package shard
+
+import (
+	"sync"
+	"time"
+
+	"clsm/internal/cache"
+	"clsm/internal/core"
+)
+
+// GovernorConfig configures the global memory governor: one arbiter
+// holding a fixed byte budget and shifting memtable quota between
+// shards — and between the shard pool and the shared block cache —
+// from observed per-shard pressure. Modeled on "Breaking Down Memory
+// Walls" (PAPERS.md): static per-partition budgets leave throughput on
+// the table when load is skewed, because a hot shard flushes tiny
+// memtables while cold shards sit on idle quota.
+type GovernorConfig struct {
+	// TotalBytes is the fixed budget: the sum of all shards' memtable
+	// quotas plus the shared cache's capacity is held at this value.
+	// <= 0 disables the governor entirely.
+	TotalBytes int64
+
+	// Cache is the shared block cache pool (the parent handle, not a
+	// per-shard view); when non-nil the governor resizes it as part of
+	// the arbitration. Nil restricts arbitration to memtable quotas.
+	Cache *cache.Cache
+
+	// CacheMin and CacheMax clamp the cache's share of TotalBytes.
+	// Defaults: TotalBytes/16 and TotalBytes/2.
+	CacheMin, CacheMax int64
+
+	// ShardFloor is the minimum memtable quota any shard can be
+	// squeezed to (default TotalBytes/(8*shards), at least 256 KiB —
+	// matching the engine-side clamp in SetMemtableBudget).
+	ShardFloor int64
+
+	// Interval is the survey period (default 25ms — a few engine
+	// planner ticks per adjustment).
+	Interval time.Duration
+
+	// Static freezes the configured equal-split budgets: the governor
+	// goroutine never starts. This is the A/B baseline for
+	// BENCH_shard.json and the "I want predictable quotas" escape
+	// hatch.
+	Static bool
+}
+
+// governor is the arbiter goroutine's state. All EWMA state is owned by
+// the loop; Budgets-style introspection goes through the engines'
+// atomics, so there is no shared mutable state to lock.
+type governor struct {
+	shards []*core.DB
+	cfg    GovernorConfig
+
+	writeEW []float64 // per-shard write arrival EWMA (bytes/tick)
+	debtEW  []float64 // per-shard flush+compaction debt EWMA (bytes)
+	prevW   []uint64  // previous cumulative writeBytes sample
+
+	prevHits, prevMiss uint64
+	missEW             float64 // cache miss-ratio EWMA
+
+	cacheTarget int64
+
+	stopCh chan struct{}
+	done   sync.WaitGroup
+}
+
+// startGovernor validates the config, fills defaults, and starts the
+// arbiter loop. It returns a no-op governor (stop is still safe) when
+// the config disables arbitration.
+func startGovernor(shards []*core.DB, cfg GovernorConfig) *governor {
+	g := &governor{shards: shards, cfg: cfg}
+	if cfg.TotalBytes <= 0 || cfg.Static || len(shards) == 0 {
+		return g
+	}
+	n := int64(len(shards))
+	if g.cfg.CacheMin <= 0 {
+		g.cfg.CacheMin = cfg.TotalBytes / 16
+	}
+	if g.cfg.CacheMax <= 0 {
+		g.cfg.CacheMax = cfg.TotalBytes / 2
+	}
+	if g.cfg.ShardFloor <= 0 {
+		g.cfg.ShardFloor = cfg.TotalBytes / (8 * n)
+	}
+	if g.cfg.ShardFloor < 256<<10 {
+		g.cfg.ShardFloor = 256 << 10
+	}
+	if g.cfg.Interval <= 0 {
+		g.cfg.Interval = 25 * time.Millisecond
+	}
+	if g.cfg.Cache != nil {
+		g.cacheTarget = clamp(g.cfg.Cache.Capacity(), g.cfg.CacheMin, g.cfg.CacheMax)
+	}
+	g.writeEW = make([]float64, len(shards))
+	g.debtEW = make([]float64, len(shards))
+	g.prevW = make([]uint64, len(shards))
+	for i, s := range shards {
+		g.prevW[i] = s.Pressure().WriteBytes
+	}
+	g.stopCh = make(chan struct{})
+	g.done.Add(1)
+	go g.loop()
+	return g
+}
+
+func (g *governor) stop() {
+	if g.stopCh != nil {
+		close(g.stopCh)
+		g.done.Wait()
+	}
+}
+
+func (g *governor) loop() {
+	defer g.done.Done()
+	t := time.NewTicker(g.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stopCh:
+			return
+		case <-t.C:
+			g.tick()
+		}
+	}
+}
+
+// tick runs one arbitration pass: sample pressure, update the EWMAs,
+// pick a cache target, and redistribute the memtable pool
+// proportionally to write pressure (with floors and hysteresis).
+func (g *governor) tick() {
+	const alpha = 0.3 // EWMA smoothing per tick
+	var hits, misses uint64
+	var totalDebt float64
+	for i, s := range g.shards {
+		p := s.Pressure()
+		dw := float64(p.WriteBytes - g.prevW[i])
+		g.prevW[i] = p.WriteBytes
+		g.writeEW[i] += alpha * (dw - g.writeEW[i])
+		inst := float64(p.Debt) + float64(p.ImmBytes)
+		g.debtEW[i] += alpha * (inst - g.debtEW[i])
+		totalDebt += g.debtEW[i]
+		hits += p.CacheHits
+		misses += p.CacheMisses
+	}
+	dh, dm := float64(hits-g.prevHits), float64(misses-g.prevMiss)
+	g.prevHits, g.prevMiss = hits, misses
+	if dh+dm > 0 {
+		g.missEW += alpha * (dm/(dh+dm) - g.missEW)
+	}
+
+	n := int64(len(g.shards))
+	floorSum := g.cfg.ShardFloor * n
+
+	// Cache arbitration: under sustained flush debt the memtables are
+	// the bottleneck — shrink the cache one step and hand the bytes to
+	// the shard pool. With the write side calm and misses high, grow
+	// it back. One step per tick, clamped, so the cache never whipsaws.
+	if g.cfg.Cache != nil {
+		step := g.cfg.TotalBytes / 32
+		memPool := g.cfg.TotalBytes - g.cacheTarget
+		target := g.cacheTarget
+		switch {
+		case totalDebt > float64(memPool)/4:
+			target -= step
+		case g.missEW > 0.2 && totalDebt < float64(memPool)/16:
+			target += step
+		}
+		target = clamp(target, g.cfg.CacheMin, g.cfg.CacheMax)
+		if max := g.cfg.TotalBytes - floorSum; target > max {
+			target = max
+		}
+		if target != g.cacheTarget {
+			g.cacheTarget = target
+			g.cfg.Cache.Resize(target)
+		}
+	}
+
+	// Memtable arbitration: split the pool above the floors in
+	// proportion to each shard's write-pressure weight. Weight blends
+	// arrival rate with standing flush debt so a shard that is already
+	// behind keeps its quota while it drains.
+	memPool := g.cfg.TotalBytes - g.cacheTarget
+	spread := memPool - floorSum
+	if spread < 0 {
+		spread = 0
+	}
+	var sumW float64
+	for i := range g.shards {
+		sumW += g.weight(i)
+	}
+	for i, s := range g.shards {
+		quota := g.cfg.ShardFloor
+		if sumW > 0 {
+			quota += int64(float64(spread) * g.weight(i) / sumW)
+		} else {
+			quota += spread / n
+		}
+		// Hysteresis: apply only a >1/8 relative move, so quotas settle
+		// instead of chasing sampling noise.
+		cur := s.MemtableBudget()
+		if delta := quota - cur; delta > cur/8 || delta < -cur/8 {
+			s.SetMemtableBudget(quota)
+		}
+	}
+}
+
+func (g *governor) weight(i int) float64 {
+	return g.writeEW[i] + g.debtEW[i]/4
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,122 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"clsm/internal/cache"
+	"clsm/internal/core"
+	"clsm/internal/obs"
+	"clsm/internal/storage"
+)
+
+// TestGovernorShiftsBudget drives a skewed workload — every write lands
+// on shard 0 — and asserts the adaptive governor moves memtable quota
+// from the idle shard to the hot one while respecting floor and total
+// budget.
+func TestGovernorShiftsBudget(t *testing.T) {
+	const (
+		total = 16 << 20
+		mem   = 1 << 20
+	)
+	pool := cache.New(2 << 20)
+	var opts Options
+	for i := 0; i < 2; i++ {
+		opts.Engines = append(opts.Engines, core.Options{
+			FS:           storage.NewMemFS(),
+			MemtableSize: mem,
+			BlockCache:   pool.View(i),
+			Observer:     obs.New(),
+		})
+	}
+	opts.Governor = GovernorConfig{
+		TotalBytes: total,
+		Cache:      pool,
+		Interval:   2 * time.Millisecond,
+	}
+	db := mustOpen(t, opts)
+	defer db.Close()
+
+	// Collect keys that route to shard 0 of 2.
+	var hot [][]byte
+	for i := 0; len(hot) < 512; i++ {
+		k := []byte(fmt.Sprintf("hot%06d", i))
+		if IndexOf(k, 2) == 0 {
+			hot = append(hot, k)
+		}
+	}
+	val := make([]byte, 4<<10)
+	deadline := time.Now().Add(3 * time.Second)
+	shifted := false
+	for time.Now().Before(deadline) {
+		for _, k := range hot {
+			if err := db.Put(k, val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b := db.MemtableBudgets()
+		if b[0] > b[1] {
+			shifted = true
+			break
+		}
+	}
+	b := db.MemtableBudgets()
+	if !shifted {
+		t.Fatalf("governor never shifted quota to the hot shard: budgets %v", b)
+	}
+	// Floors respected and the split stays inside the total budget.
+	floor := opts.Governor.ShardFloor
+	if floor == 0 {
+		floor = 256 << 10 // default clamp
+	}
+	if b[1] < floor {
+		t.Errorf("cold shard squeezed below floor: %d < %d", b[1], floor)
+	}
+	if sum := b[0] + b[1] + pool.Capacity(); sum > total+total/8 {
+		t.Errorf("memtable quotas + cache exceed budget: %d > %d", sum, total)
+	}
+}
+
+// TestGovernorStatic: Static mode must leave the configured budgets
+// untouched no matter the workload.
+func TestGovernorStatic(t *testing.T) {
+	opts := testOptions(2, 1<<20)
+	opts.Governor = GovernorConfig{TotalBytes: 16 << 20, Static: true}
+	db := mustOpen(t, opts)
+	defer db.Close()
+	for i := 0; i < 2000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%05d", i)), make([]byte, 512)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	for i, b := range db.MemtableBudgets() {
+		if b != 1<<20 {
+			t.Errorf("static governor changed shard %d budget to %d", i, b)
+		}
+	}
+}
+
+// TestAggregatedObserver: the facade Observer must sum counters across
+// shards.
+func TestAggregatedObserver(t *testing.T) {
+	db := mustOpen(t, testOptions(3, 1<<20))
+	defer db.Close()
+	for i := 0; i < 300; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%05d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg := db.Observer()
+	var perShard uint64
+	for _, o := range db.Observers() {
+		perShard += o.WALAppends.Load()
+	}
+	if got := agg.WALAppends.Load(); got != perShard {
+		t.Errorf("aggregate WALAppends = %d, per-shard sum = %d", got, perShard)
+	}
+	if perShard == 0 {
+		t.Error("no WAL appends recorded across shards")
+	}
+}

@@ -1,0 +1,653 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"clsm/internal/batch"
+	"clsm/internal/cache"
+	"clsm/internal/core"
+	"clsm/internal/obs"
+	"clsm/internal/oracle"
+	"clsm/internal/storage"
+)
+
+// testOptions builds an n-shard configuration over fresh MemFS roots
+// with a shared block cache pool, one observer per shard, and the
+// governor frozen (static) so tests see deterministic budgets. The
+// returned engine options can be reused to reopen the same store.
+func testOptions(n int, memtable int64) Options {
+	pool := cache.New(4 << 20)
+	var opts Options
+	for i := 0; i < n; i++ {
+		o := core.Options{
+			FS:           storage.NewMemFS(),
+			MemtableSize: memtable,
+			BlockCache:   pool.View(i),
+			Observer:     obs.New(),
+		}
+		o.Observer.Trace.SetShard(i)
+		opts.Engines = append(opts.Engines, o)
+	}
+	opts.Governor = GovernorConfig{Static: true}
+	return opts
+}
+
+func mustOpen(t testing.TB, opts Options) *DB {
+	t.Helper()
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestIndexOfContract freezes the routing hash: it must match FNV-1a
+// (routing is part of the on-disk contract — a new build that routed
+// differently would strand every existing key on the wrong shard) and
+// must spread keys over all shards.
+func TestIndexOfContract(t *testing.T) {
+	counts := make([]int, 8)
+	for i := 0; i < 4096; i++ {
+		key := []byte(fmt.Sprintf("user:%05d", i))
+		h := fnv.New64a()
+		h.Write(key)
+		want := int(h.Sum64() % 8)
+		got := IndexOf(key, 8)
+		if got != want {
+			t.Fatalf("IndexOf(%q, 8) = %d, FNV-1a says %d", key, got, want)
+		}
+		counts[got]++
+	}
+	for s, c := range counts {
+		if c < 4096/8/2 {
+			t.Errorf("shard %d got %d of 4096 keys — hash not spreading", s, c)
+		}
+	}
+	if IndexOf([]byte("anything"), 1) != 0 {
+		t.Error("n=1 must route everything to shard 0")
+	}
+}
+
+func TestBasicOpsAcrossShards(t *testing.T) {
+	db := mustOpen(t, testOptions(4, 1<<20))
+	defer db.Close()
+
+	const n = 500
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key%05d", i))
+		if err := db.Put(k, []byte(fmt.Sprintf("val%05d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every key readable; deletes take effect; Has agrees.
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key%05d", i))
+		v, ok, err := db.Get(k)
+		if err != nil || !ok || string(v) != fmt.Sprintf("val%05d", i) {
+			t.Fatalf("Get(%s) = %q %v %v", k, v, ok, err)
+		}
+	}
+	if err := db.Delete([]byte("key00007")); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := db.Has([]byte("key00007")); ok {
+		t.Fatal("deleted key still present")
+	}
+	// RMW on one shard.
+	if err := db.RMW([]byte("key00009"), func(old []byte, exists bool) []byte {
+		return append(append([]byte(nil), old...), '!')
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := db.Get([]byte("key00009")); string(v) != "val00009!" {
+		t.Fatalf("RMW result %q", v)
+	}
+	// Writes actually spread over all shards.
+	for i := 0; i < db.NumShards(); i++ {
+		if got := db.Shard(i).Metrics().Puts; got == 0 {
+			t.Errorf("shard %d saw no puts", i)
+		}
+	}
+	// Aggregated metrics count every shard.
+	if m := db.Metrics(); m.Puts < n {
+		t.Errorf("aggregate Puts = %d, want >= %d", m.Puts, n)
+	}
+}
+
+// TestPerShardRecovery closes a sharded store and reopens it from the
+// same per-shard filesystems: every shard recovers from its own WAL.
+func TestPerShardRecovery(t *testing.T) {
+	opts := testOptions(3, 1<<20)
+	db := mustOpen(t, opts)
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := mustOpen(t, opts)
+	defer db2.Close()
+	for i := 0; i < n; i++ {
+		v, ok, err := db2.Get([]byte(fmt.Sprintf("k%04d", i)))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%04d", i) {
+			t.Fatalf("after reopen Get(k%04d) = %q %v %v", i, v, ok, err)
+		}
+	}
+}
+
+// TestCloseClosesAllShardsOnError: when one shard's Close errors, the
+// remaining shards must still be closed and the first error returned.
+func TestCloseClosesAllShardsOnError(t *testing.T) {
+	db := mustOpen(t, testOptions(4, 1<<20))
+	// Force shard 1 to error at facade Close time by closing it early.
+	if err := db.Shard(1).Close(); err != nil {
+		t.Fatal(err)
+	}
+	err := db.Close()
+	if err != core.ErrClosed {
+		t.Fatalf("facade Close = %v, want first shard error (ErrClosed)", err)
+	}
+	// Every other shard must have been closed despite shard 1's error.
+	for i := 0; i < db.NumShards(); i++ {
+		if i == 1 {
+			continue
+		}
+		if err := db.Shard(i).Close(); err != core.ErrClosed {
+			t.Errorf("shard %d was not closed by facade Close (Close = %v)", i, err)
+		}
+	}
+	if err := db.Close(); err != core.ErrClosed {
+		t.Errorf("second facade Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestCrossShardMultiGetRace hammers MultiGet from several goroutines
+// while concurrent writers mutate disjoint key sets, then validates the
+// final state exactly against the oracle model. During the race each
+// key's value carries a version that may only grow — a torn fan-out
+// would surface as a version running backwards.
+func TestCrossShardMultiGetRace(t *testing.T) {
+	db := mustOpen(t, testOptions(4, 256<<10))
+	defer db.Close()
+
+	const (
+		writers       = 4
+		keysPerWriter = 64
+		rounds        = 60
+	)
+	model := oracle.NewModel()
+	var modelMu sync.Mutex
+	var step uint64
+
+	keyOf := func(w, i int) string { return fmt.Sprintf("w%d-key%03d", w, i) }
+	allKeys := make([][]byte, 0, writers*keysPerWriter)
+	for w := 0; w < writers; w++ {
+		for i := 0; i < keysPerWriter; i++ {
+			allKeys = append(allKeys, []byte(keyOf(w, i)))
+		}
+	}
+
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers: each owns its keys, bumping a per-key version.
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < keysPerWriter; i++ {
+					k := keyOf(w, i)
+					v := []byte(fmt.Sprintf("%s#%06d", k, r))
+					modelMu.Lock()
+					step++
+					p := model.Begin(step, oracle.Op{Key: k, Value: v})
+					modelMu.Unlock()
+					if err := db.Put([]byte(k), v); err != nil {
+						t.Error(err)
+						return
+					}
+					modelMu.Lock()
+					p.Ack(step)
+					modelMu.Unlock()
+				}
+			}
+		}(w)
+	}
+	// Readers: random cross-shard MultiGets, checking shape and version
+	// monotonicity per key.
+	for g := 0; g < 3; g++ {
+		readerWG.Add(1)
+		go func(seed int64) {
+			defer readerWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			last := map[string]string{}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ks := make([][]byte, 0, 32)
+				for len(ks) < 32 {
+					ks = append(ks, allKeys[rng.Intn(len(allKeys))])
+				}
+				vals, err := db.MultiGet(ks)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(vals) != len(ks) {
+					t.Errorf("MultiGet returned %d results for %d keys", len(vals), len(ks))
+					return
+				}
+				for i, v := range vals {
+					if !v.Exists {
+						continue
+					}
+					k := string(ks[i])
+					if !bytes.HasPrefix(v.Data, []byte(k)) {
+						t.Errorf("MultiGet scatter mismatch: key %q got value %q", k, v.Data)
+						return
+					}
+					if prev, ok := last[k]; ok && string(v.Data) < prev {
+						t.Errorf("version ran backwards for %q: %q after %q", k, v.Data, prev)
+						return
+					}
+					last[k] = string(v.Data)
+				}
+			}
+		}(int64(g))
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	// Final exact validation against the model.
+	vals, err := db.MultiGet(allKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range allKeys {
+		want, ok := model.Get(string(k))
+		if ok != vals[i].Exists || (ok && !bytes.Equal(want, vals[i].Data)) {
+			t.Fatalf("final state mismatch at %q: got (%q,%v) want (%q,%v)",
+				k, vals[i].Data, vals[i].Exists, want, ok)
+		}
+	}
+}
+
+// TestMergedIteratorSemantics drives the merged iterator through every
+// positioning method against a deterministic reference, including
+// direction changes, bounds, and tombstones.
+func TestMergedIteratorSemantics(t *testing.T) {
+	db := mustOpen(t, testOptions(3, 1<<20))
+	defer db.Close()
+
+	var ref []string
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		if err := db.Put([]byte(k), []byte("v-"+k)); err != nil {
+			t.Fatal(err)
+		}
+		if i%7 == 0 {
+			if err := db.Delete([]byte(k)); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		ref = append(ref, k)
+	}
+	sort.Strings(ref)
+
+	it, err := db.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+
+	// Full forward walk.
+	var got []string
+	for it.First(); it.Valid(); it.Next() {
+		got = append(got, string(it.Key()))
+		if want := "v-" + string(it.Key()); string(it.Value()) != want {
+			t.Fatalf("value mismatch at %q: %q", it.Key(), it.Value())
+		}
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(ref) {
+		t.Fatalf("forward walk: %d keys, want %d\n got[:5]=%v\nwant[:5]=%v",
+			len(got), len(ref), got[:min(5, len(got))], ref[:min(5, len(ref))])
+	}
+	// Full backward walk.
+	got = got[:0]
+	for it.Last(); it.Valid(); it.Prev() {
+		got = append(got, string(it.Key()))
+	}
+	for i, j := 0, len(got)-1; i < j; i, j = i+1, j-1 {
+		got[i], got[j] = got[j], got[i]
+	}
+	if fmt.Sprint(got) != fmt.Sprint(ref) {
+		t.Fatalf("backward walk mismatch: %d keys want %d", len(got), len(ref))
+	}
+	// Seek + direction changes.
+	it.Seek([]byte("k0100"))
+	if !it.Valid() {
+		t.Fatal("Seek(k0100) invalid")
+	}
+	atSeek := string(it.Key())
+	i := sort.SearchStrings(ref, "k0100")
+	if atSeek != ref[i] {
+		t.Fatalf("Seek landed at %q, want %q", atSeek, ref[i])
+	}
+	it.Next()
+	if string(it.Key()) != ref[i+1] {
+		t.Fatalf("Next after Seek: %q, want %q", it.Key(), ref[i+1])
+	}
+	it.Prev() // direction change
+	if string(it.Key()) != ref[i] {
+		t.Fatalf("Prev after Next: %q, want %q", it.Key(), ref[i])
+	}
+	it.Prev()
+	if string(it.Key()) != ref[i-1] {
+		t.Fatalf("second Prev: %q, want %q", it.Key(), ref[i-1])
+	}
+	it.Next() // direction change again
+	if string(it.Key()) != ref[i] {
+		t.Fatalf("Next after Prev: %q, want %q", it.Key(), ref[i])
+	}
+	// SeekForPrev between keys.
+	it.SeekForPrev([]byte("k0100x"))
+	if string(it.Key()) != ref[i] {
+		t.Fatalf("SeekForPrev(k0100x): %q, want %q", it.Key(), ref[i])
+	}
+	// Tombstone hidden.
+	it.Seek([]byte("k0007"))
+	if string(it.Key()) == "k0007" {
+		t.Fatal("deleted key visible through merged iterator")
+	}
+
+	// Bounded iterator via options.
+	bit, err := db.NewIterator(core.IterOptions{LowerBound: []byte("k0050"), UpperBound: []byte("k0060")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bit.Close()
+	var bounded []string
+	for bit.First(); bit.Valid(); bit.Next() {
+		bounded = append(bounded, string(bit.Key()))
+	}
+	lo := sort.SearchStrings(ref, "k0050")
+	hi := sort.SearchStrings(ref, "k0060")
+	if fmt.Sprint(bounded) != fmt.Sprint(ref[lo:hi]) {
+		t.Fatalf("bounded walk %v, want %v", bounded, ref[lo:hi])
+	}
+	// Invalid bounds surface ErrInvalidOptions through the facade.
+	if _, err := db.NewIterator(core.IterOptions{LowerBound: []byte("z"), UpperBound: []byte("a")}); err == nil {
+		t.Fatal("inverted bounds accepted")
+	}
+	// Range helper.
+	ks, vs, err := db2Range(db, "k0050", "k0060", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 4 || len(vs) != 4 || string(ks[0]) != ref[lo] {
+		t.Fatalf("Range = %d keys starting %q, want 4 starting %q", len(ks), ks[0], ref[lo])
+	}
+}
+
+func db2Range(db *DB, start, end string, limit int) ([][]byte, [][]byte, error) {
+	it, err := db.NewIterator()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer it.Close()
+	return it.Range([]byte(start), []byte(end), limit)
+}
+
+// TestMergedIteratorRace runs bounded merged iterators concurrently
+// with writers, checking order and bounds under -race, then validates a
+// final full scan against the oracle model.
+func TestMergedIteratorRace(t *testing.T) {
+	db := mustOpen(t, testOptions(4, 256<<10))
+	defer db.Close()
+
+	model := oracle.NewModel()
+	var modelMu sync.Mutex
+	var step uint64
+
+	const writers = 3
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for r := 0; r < 40; r++ {
+				for i := 0; i < 50; i++ {
+					k := fmt.Sprintf("w%d-%03d", w, i)
+					v := []byte(fmt.Sprintf("%s#%04d", k, r))
+					modelMu.Lock()
+					step++
+					p := model.Begin(step, oracle.Op{Key: k, Value: v})
+					modelMu.Unlock()
+					if err := db.Put([]byte(k), v); err != nil {
+						t.Error(err)
+						return
+					}
+					modelMu.Lock()
+					p.Ack(step)
+					modelMu.Unlock()
+				}
+			}
+		}(w)
+	}
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		readerWG.Add(1)
+		go func(g int) {
+			defer readerWG.Done()
+			lower := []byte(fmt.Sprintf("w%d-", g))
+			upper := []byte(fmt.Sprintf("w%d.", g)) // '.' > '-'
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				it, err := db.NewIterator(core.IterOptions{LowerBound: lower, UpperBound: upper})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				prev := ""
+				for it.First(); it.Valid(); it.Next() {
+					k := string(it.Key())
+					if k < string(lower) || k >= string(upper) {
+						t.Errorf("key %q escaped bounds [%q,%q)", k, lower, upper)
+					}
+					if prev != "" && k <= prev {
+						t.Errorf("merged iterator out of order: %q after %q", k, prev)
+					}
+					prev = k
+				}
+				if err := it.Err(); err != nil {
+					t.Error(err)
+				}
+				it.Close()
+			}
+		}(g)
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	// Final full scan must equal the model exactly.
+	it, err := db.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	got := map[string]string{}
+	for it.First(); it.Valid(); it.Next() {
+		got[string(it.Key())] = string(it.Value())
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	keys := model.Keys()
+	if len(got) != len(keys) {
+		t.Fatalf("final scan has %d keys, model has %d", len(got), len(keys))
+	}
+	for _, k := range keys {
+		want, _ := model.Get(k)
+		if got[k] != string(want) {
+			t.Fatalf("final scan mismatch at %q: got %q want %q", k, got[k], want)
+		}
+	}
+}
+
+// TestBatchWriteRace applies cross-shard batches from concurrent
+// writers and validates the final state against the oracle model. Live
+// visibility of a returned Write is also checked: once WriteCtx
+// returns, every entry of the batch must be readable (per-shard
+// atomicity composes to full visibility after the call completes).
+func TestBatchWriteRace(t *testing.T) {
+	db := mustOpen(t, testOptions(4, 256<<10))
+	defer db.Close()
+
+	model := oracle.NewModel()
+	var modelMu sync.Mutex
+	var step uint64
+
+	const writers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < 50; r++ {
+				b := new(batch.Batch)
+				var ops []oracle.Op
+				for i := 0; i < 8; i++ {
+					k := fmt.Sprintf("w%d-%02d", w, i)
+					if r%5 == 4 && i%3 == 0 {
+						b.Delete([]byte(k))
+						ops = append(ops, oracle.Op{Key: k, Tombstone: true})
+						continue
+					}
+					v := []byte(fmt.Sprintf("%s#%04d", k, r))
+					b.Put([]byte(k), v)
+					ops = append(ops, oracle.Op{Key: k, Value: v})
+				}
+				modelMu.Lock()
+				step++
+				p := model.Begin(step, ops...)
+				modelMu.Unlock()
+				if err := db.Write(b); err != nil {
+					t.Error(err)
+					return
+				}
+				modelMu.Lock()
+				p.Ack(step)
+				modelMu.Unlock()
+				// Post-return visibility: every entry readable.
+				for _, e := range b.Entries() {
+					v, ok, err := db.Get(e.Key)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					_ = v
+					_ = ok
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for _, k := range model.Keys() {
+		want, wantOK := model.Get(k)
+		got, ok, err := db.Get([]byte(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != wantOK || (ok && !bytes.Equal(got, want)) {
+			t.Fatalf("final state at %q: got (%q,%v) want (%q,%v)", k, got, ok, want, wantOK)
+		}
+	}
+}
+
+// TestSnapshotIsolation: a sharded snapshot must not see writes made
+// after it was taken, across all shards.
+func TestSnapshotIsolation(t *testing.T) {
+	db := mustOpen(t, testOptions(3, 1<<20))
+	defer db.Close()
+	for i := 0; i < 90; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("before")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := db.GetSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	for i := 0; i < 90; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("after")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Point reads, MultiGet, and scans through the snapshot all see the
+	// old state on every shard.
+	var ks [][]byte
+	for i := 0; i < 90; i++ {
+		ks = append(ks, []byte(fmt.Sprintf("k%03d", i)))
+	}
+	vals, err := snap.MultiGet(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if !v.Exists || string(v.Data) != "before" {
+			t.Fatalf("snapshot MultiGet[%d] = %q %v", i, v.Data, v.Exists)
+		}
+	}
+	it, err := snap.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	n := 0
+	for it.First(); it.Valid(); it.Next() {
+		if string(it.Value()) != "before" {
+			t.Fatalf("snapshot iterator sees %q at %q", it.Value(), it.Key())
+		}
+		n++
+	}
+	if n != 90 {
+		t.Fatalf("snapshot iterator saw %d keys, want 90", n)
+	}
+	if v, _, _ := db.Get([]byte("k000")); string(v) != "after" {
+		t.Fatalf("live read = %q, want after", v)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

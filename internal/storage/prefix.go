@@ -1,0 +1,59 @@
+package storage
+
+import "strings"
+
+// PrefixFS namespaces an FS: every file the wrapped view touches is
+// stored in the parent under prefix+name, and List shows only (and
+// strips the prefix from) the view's own files. It lets several engines
+// — e.g. the shards of one store in the crash harness — share a single
+// underlying filesystem while keeping their file sets disjoint, so one
+// fault-injection wrapper observes and captures all of them at once.
+type PrefixFS struct {
+	parent FS
+	prefix string
+}
+
+// NewPrefixFS returns a view of parent under prefix. The prefix must
+// keep names valid for the parent (MemFS and OSFS reject separators, so
+// use flat prefixes like "s0-").
+func NewPrefixFS(parent FS, prefix string) *PrefixFS {
+	return &PrefixFS{parent: parent, prefix: prefix}
+}
+
+func (p *PrefixFS) Create(name string) (File, error) {
+	return p.parent.Create(p.prefix + name)
+}
+
+func (p *PrefixFS) Open(name string) (RandomReader, error) {
+	return p.parent.Open(p.prefix + name)
+}
+
+func (p *PrefixFS) Remove(name string) error {
+	return p.parent.Remove(p.prefix + name)
+}
+
+func (p *PrefixFS) Rename(oldname, newname string) error {
+	return p.parent.Rename(p.prefix+oldname, p.prefix+newname)
+}
+
+func (p *PrefixFS) List() ([]string, error) {
+	all, err := p.parent.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, name := range all {
+		if rest, ok := strings.CutPrefix(name, p.prefix); ok {
+			out = append(out, rest)
+		}
+	}
+	return out, nil
+}
+
+func (p *PrefixFS) ReadFile(name string) ([]byte, error) {
+	return p.parent.ReadFile(p.prefix + name)
+}
+
+func (p *PrefixFS) WriteFile(name string, data []byte) error {
+	return p.parent.WriteFile(p.prefix+name, data)
+}

@@ -39,9 +39,23 @@ type Options struct {
 	// benchmarks).
 	Path string
 
+	// Shards, when >= 1, opens the store horizontally sharded: keys are
+	// hash-partitioned across this many fully independent engines (each
+	// with its own memtable, WAL, levels, and scheduler), removing the
+	// single-store write chokepoints and cutting compaction write
+	// amplification. A global memory governor shifts memtable quota
+	// between shards and the shared block cache under skewed load. The
+	// shard count is part of the on-disk layout and must match on every
+	// reopen. Zero (the default) opens a single unsharded engine.
+	// Sharding cannot be combined with LinearizableSnapshots (there is
+	// no cross-shard timestamp). See docs/SHARDING.md.
+	Shards int
+
 	// MemtableSize is the in-memory component's spill threshold in bytes.
 	// Default 4 MiB (the paper's serving configuration uses 128 MiB; see
-	// the Fig. 8 benchmark for the effect of this knob).
+	// the Fig. 8 benchmark for the effect of this knob). Under sharding
+	// this is each shard's initial budget; the governor rebalances from
+	// there.
 	MemtableSize int64
 
 	// BlockCacheSize bounds the SSTable block cache in bytes (default 32 MiB).
@@ -123,6 +137,21 @@ type Options struct {
 // common knobs; anything else is reachable by opening with the struct
 // form, which is equivalent.
 type Option func(*Options)
+
+// WithShards opens the store hash-partitioned across n independent
+// engines (see Options.Shards and docs/SHARDING.md). n must be at
+// least 1; smaller values make Open fail with ErrInvalidOptions.
+func WithShards(n int) Option {
+	return func(o *Options) {
+		if n < 1 {
+			// Remember the invalid request (the zero value means
+			// "unsharded", so it cannot carry the error to Open).
+			o.Shards = -1
+			return
+		}
+		o.Shards = n
+	}
+}
 
 // WithMemtableSize sets the memtable spill threshold in bytes.
 func WithMemtableSize(n int64) Option {

@@ -12,10 +12,16 @@
 # admission under overload — docs/SCHEDULING.md) and emits
 # BENCH_stall.json. STALL_SCALE picks the run length (smoke/small/full).
 #
-# Finally runs the network-layer benchmark (docs/NETWORK.md) and emits
+# Runs the network-layer benchmark (docs/NETWORK.md) and emits
 # BENCH_server.json: remote throughput vs connection count (pipelined
 # vs classic one-request-at-a-time RPC) and WAL syncs per durable
 # remote write under 128 concurrent sync writers.
+#
+# Finally runs the horizontal-sharding A/B profile (docs/SHARDING.md)
+# and emits BENCH_shard.json: sharded vs unsharded put throughput at 8
+# concurrent writers, N=1 facade parity (median of interleaved pairs),
+# and the adaptive memory governor vs a frozen equal split on a
+# hot-shard workload. SHARD_SCALE picks the run length (smoke/small/full).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -59,3 +65,5 @@ echo "wrote $OUT"
 go run ./cmd/clsm-bench -stall-profile -scale "${STALL_SCALE:-small}" -stall-out BENCH_stall.json
 
 go run ./cmd/clsm-server -bench -bench-out BENCH_server.json
+
+go run ./cmd/clsm-bench -shard-profile -scale "${SHARD_SCALE:-small}" -shard-out BENCH_shard.json

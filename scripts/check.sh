@@ -25,7 +25,7 @@ fi
 go vet ./...
 go build ./...
 go test -race ./internal/obs ./internal/core ./internal/wal ./internal/batch
-go test ./internal/core ./internal/obs -run 'Allocs'
+go test ./internal/core ./internal/obs ./internal/shard -run 'Allocs'
 go test -race -short ./internal/faultfs ./internal/oracle ./internal/crashtest
 go test -race -run 'Health|Degraded|ReadOnly' ./internal/...
 
@@ -53,3 +53,24 @@ END {
 	}
 	printf "stall gate ok: improvement %.2fx, throughput ratio %.2f\n", imp, tp
 }' /tmp/clsm_stall_check.json
+
+# Sharding gate (docs/SHARDING.md): the shard facade's own -race suite
+# (cross-shard MultiGet, merged iterators, batch splitting vs the
+# oracle model), the 2-shard crash matrix, the public sharded API, and
+# the sharded-engine server path — then a smoke-scale profile run as an
+# N=1 parity tripwire. The smoke parity run is a single short pair, so
+# the threshold is deliberately loose (±25%); BENCH_shard.json records
+# the median-of-pairs number at small scale.
+go test -race -short ./internal/shard
+go test -race -short -run 'Shard' . ./internal/server ./internal/crashtest
+go run ./cmd/clsm-bench -shard-profile -scale smoke -shard-out /tmp/clsm_shard_check.json
+awk '
+/"speedup"/ { sp = $2 + 0 }
+/"ratio"/   { if (!par) par = $2 + 0 }   # first "ratio" is the parity block
+END {
+	if (sp < 1.0 || par < 0.75 || par > 1.33) {
+		printf "shard gate FAILED: speedup %.2fx (need >=1.0), parity %.2f (need 0.75..1.33)\n", sp, par
+		exit 1
+	}
+	printf "shard gate ok: speedup %.2fx, N=1 parity %.2f\n", sp, par
+}' /tmp/clsm_shard_check.json

@@ -1,0 +1,228 @@
+package clsm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestShardOptionValidation: invalid shard counts and un-lowerable
+// combinations must fail Open with a wrapped ErrInvalidOptions.
+func TestShardOptionValidation(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		if _, err := OpenPath("", WithShards(n)); !errors.Is(err, ErrInvalidOptions) {
+			t.Errorf("WithShards(%d): err = %v, want ErrInvalidOptions", n, err)
+		}
+	}
+	if _, err := Open(Options{Shards: MaxShards + 1}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("Shards over MaxShards: err = %v, want ErrInvalidOptions", err)
+	}
+	if _, err := Open(Options{Shards: 2, LinearizableSnapshots: true}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("Shards+LinearizableSnapshots: err = %v, want ErrInvalidOptions", err)
+	}
+	// One shard plus linearizable snapshots is fine (single oracle).
+	db, err := Open(Options{Shards: 1, LinearizableSnapshots: true})
+	if err != nil {
+		t.Fatalf("Shards=1 + LinearizableSnapshots: %v", err)
+	}
+	db.Close()
+	// The struct zero value stays unsharded.
+	db, err = Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if got := db.NumShards(); got != 1 {
+		t.Errorf("unsharded NumShards = %d, want 1", got)
+	}
+}
+
+// TestShardedRoundTrip opens a sharded store on disk, writes through
+// the public API, and verifies reopen recovers everything — and that
+// every shard-count mismatch on reopen is rejected instead of
+// misrouting reads.
+func TestShardedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenSharded(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.NumShards(); got != 4 {
+		t.Fatalf("NumShards = %d, want 4", got)
+	}
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A batch and a delete, to round-trip more than the Put path.
+	var b Batch
+	b.Put([]byte("batch-a"), []byte("1"))
+	b.Put([]byte("batch-b"), []byte("2"))
+	if err := db.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete([]byte("k0007")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second Close = %v, want ErrClosed", err)
+	}
+
+	// Wrong shard count, and unsharded: both rejected.
+	if _, err := OpenSharded(dir, 8); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("reopen with 8 shards: err = %v, want ErrInvalidOptions", err)
+	}
+	if _, err := OpenPath(dir); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("unsharded reopen of sharded dir: err = %v, want ErrInvalidOptions", err)
+	}
+
+	db, err = OpenSharded(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		v, ok, err := db.Get([]byte(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == "k0007" {
+			if ok {
+				t.Fatalf("deleted key %q resurrected after reopen", k)
+			}
+			continue
+		}
+		if !ok || string(v) != fmt.Sprintf("v%04d", i) {
+			t.Fatalf("after reopen Get(%q) = %q %v", k, v, ok)
+		}
+	}
+	for _, k := range []string{"batch-a", "batch-b"} {
+		if ok, _ := db.Has([]byte(k)); !ok {
+			t.Fatalf("batch key %q lost across reopen", k)
+		}
+	}
+}
+
+// TestShardedRejectsUnshardedDir: sharding over an existing unsharded
+// store must be refused (the old data would vanish behind empty
+// shard directories).
+func TestShardedRejectsUnshardedDir(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSharded(dir, 4); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("sharded open of unsharded dir: err = %v, want ErrInvalidOptions", err)
+	}
+}
+
+// TestShardedFacadeSurface drives the remaining public methods through
+// a sharded in-memory store: snapshots, iterators, MultiGet, RMW,
+// metrics, health, budgets, observers.
+func TestShardedFacadeSurface(t *testing.T) {
+	db, err := OpenPath("", WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	var ks [][]byte
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("k%04d", i))
+		ks = append(ks, k)
+		if err := db.Put(k, []byte("v1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := db.GetSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	for i := 0; i < 200; i++ {
+		if err := db.Put(ks[i], []byte("v2")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, ok, _ := snap.Get(ks[0]); !ok || string(v) != "v1" {
+		t.Fatalf("snapshot Get = %q %v, want v1", v, ok)
+	}
+	vals, err := snap.MultiGet(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if !v.Exists || string(v.Data) != "v1" {
+			t.Fatalf("snapshot MultiGet[%d] = %q %v", i, v.Data, v.Exists)
+		}
+	}
+	if snap.TS() == 0 {
+		t.Error("snapshot TS = 0")
+	}
+
+	it, err := db.NewIterator(IterOptions{LowerBound: []byte("k0010"), UpperBound: []byte("k0020")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	var prev []byte
+	for it.First(); it.Valid(); it.Next() {
+		if prev != nil && bytes.Compare(it.Key(), prev) <= 0 {
+			t.Fatalf("merged iterator out of order: %q after %q", it.Key(), prev)
+		}
+		prev = append(prev[:0], it.Key()...)
+		if string(it.Value()) != "v2" {
+			t.Fatalf("live iterator sees %q", it.Value())
+		}
+		count++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	it.Close()
+	if count != 10 {
+		t.Fatalf("bounded iterator saw %d keys, want 10", count)
+	}
+
+	if err := db.RMW(ks[3], func(old []byte, exists bool) []byte {
+		return append(append([]byte(nil), old...), '+')
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := db.Get(ks[3]); string(v) != "v2+" {
+		t.Fatalf("RMW result %q", v)
+	}
+
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if m := db.Metrics(); m.Puts < 400 || m.Flushes == 0 {
+		t.Errorf("aggregate metrics look wrong: %+v", m)
+	}
+	if st := db.Health(); st.State != Healthy {
+		t.Errorf("health = %v", st.State)
+	}
+	if got := len(db.MemtableBudgets()); got != 4 {
+		t.Errorf("MemtableBudgets len = %d, want 4", got)
+	}
+	if got := len(db.ShardObservers()); got != 4 {
+		t.Errorf("ShardObservers len = %d, want 4", got)
+	}
+	if db.Observer().WALAppends.Load() == 0 {
+		t.Error("aggregate observer shows no WAL appends")
+	}
+}
