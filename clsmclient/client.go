@@ -221,6 +221,52 @@ func (c *Client) Write(ctx context.Context, b *Batch) error {
 	return err
 }
 
+// ReadExpect is one read observation carried by TxnWrite: the caller read
+// Key and saw Value (or absence, Exists=false), and asks the server to
+// commit only if that observation still holds.
+type ReadExpect struct {
+	Key    []byte
+	Value  []byte
+	Exists bool
+}
+
+// TxnWrite commits the batch only if every read observation still holds —
+// a single-round-trip optimistic transaction (the protocol is stateless,
+// so validation is by value, not by snapshot timestamp). A failed check
+// or a commit-time conflict returns an error with clsm.ErrTxnConflict
+// identity; conflicts are deliberately never auto-retried (resending the
+// identical request re-fails by construction) — re-read the keys, rebuild
+// the request, and call again:
+//
+//	for {
+//		v, ok, err := c.Get(ctx, key)
+//		if err != nil { return err }
+//		var b clsmclient.Batch
+//		b.Put(key, bump(v))
+//		err = c.TxnWrite(ctx, []clsmclient.ReadExpect{{Key: key, Value: v, Exists: ok}}, &b)
+//		if !errors.Is(err, clsm.ErrTxnConflict) { return err }
+//	}
+//
+// Under WithRetry, connection failures are still retried; if the lost
+// reply was a success, the retry either re-commits the identical batch
+// (idempotent) or reports a conflict against the first attempt's own
+// writes — a conflict after a connection retry can therefore mean "already
+// committed", and the re-read loop above handles both the same way.
+// On a sharded server every key must route to one shard; cross-shard
+// requests fail with clsm.ErrInvalidOptions.
+func (c *Client) TxnWrite(ctx context.Context, reads []ReadExpect, b *Batch) error {
+	wr := make([]wire.ReadExpect, len(reads))
+	for i, r := range reads {
+		wr[i] = wire.ReadExpect{Key: r.Key, Value: r.Value, Exists: r.Exists}
+	}
+	var entries []wire.Entry
+	if b != nil {
+		entries = b.entries
+	}
+	_, err := c.call(ctx, wire.OpTxnWrite, wire.AppendTxnWrite(nil, wr, entries))
+	return err
+}
+
 // KV is one Scan result pair.
 type KV struct {
 	Key, Value []byte

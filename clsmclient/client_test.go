@@ -209,6 +209,133 @@ func TestStatus(t *testing.T) {
 	}
 }
 
+// TestTxnWrite: the single-round-trip remote transaction — commit when
+// the read observations hold, a wrapped ErrTxnConflict with its errors.Is
+// identity intact when they don't, and no auto-retry of conflicts even
+// under a retry policy.
+func TestTxnWrite(t *testing.T) {
+	addr, db := startServer(t)
+	// A retry policy must NOT mask conflicts: the conflict path below
+	// would succeed on retry if the client blindly resent after re-reads.
+	c, err := clsmclient.Dial(addr, clsmclient.WithRetry(4, time.Millisecond, 10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	if err := c.Put(ctx, []byte("acct"), []byte("100")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Valid observation → commit, atomically, both entries.
+	var b clsmclient.Batch
+	b.Put([]byte("acct"), []byte("90"))
+	b.Put([]byte("audit"), []byte("-10"))
+	checks := []clsmclient.ReadExpect{{Key: []byte("acct"), Value: []byte("100"), Exists: true}}
+	if err := c.TxnWrite(ctx, checks, &b); err != nil {
+		t.Fatalf("TxnWrite with valid checks: %v", err)
+	}
+	v, ok, _ := c.Get(ctx, []byte("acct"))
+	if !ok || string(v) != "90" {
+		t.Fatalf("acct = %q,%v after txn", v, ok)
+	}
+
+	// Stale observation → conflict with sentinel identity across the wire.
+	b.Reset()
+	b.Put([]byte("acct"), []byte("80"))
+	start := time.Now()
+	err = c.TxnWrite(ctx, checks, &b) // still claims acct=100
+	if !errors.Is(err, core.ErrTxnConflict) {
+		t.Fatalf("stale TxnWrite = %v, want ErrTxnConflict identity", err)
+	}
+	// Conflicts are not transient: the retry policy must not have burned
+	// its backoff schedule on a deterministic failure.
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("conflict took %v — it was retried", d)
+	}
+	if v, _, _ := c.Get(ctx, []byte("acct")); string(v) != "90" {
+		t.Fatalf("conflicted txn leaked a write: acct = %q", v)
+	}
+
+	// Observation of absence: commits only while the key stays absent.
+	b.Reset()
+	b.Put([]byte("once"), []byte("init"))
+	absent := []clsmclient.ReadExpect{{Key: []byte("once"), Exists: false}}
+	if err := c.TxnWrite(ctx, absent, &b); err != nil {
+		t.Fatalf("TxnWrite claiming absence: %v", err)
+	}
+	if err := c.TxnWrite(ctx, absent, &b); !errors.Is(err, core.ErrTxnConflict) {
+		t.Fatalf("second absence claim = %v, want conflict", err)
+	}
+
+	// The engine saw real transactions, not plain writes.
+	if m := db.Metrics(); m.Txns < 2 || m.TxnConflicts < 2 {
+		t.Fatalf("metrics = %d txns / %d conflicts, want >=2 / >=2", m.Txns, m.TxnConflicts)
+	}
+}
+
+// TestTxnWriteRetryLoop: concurrent clients increment one counter through
+// the re-read/rebuild/resend loop the TxnWrite docs prescribe; no lost
+// updates despite constant conflicts.
+func TestTxnWriteRetryLoop(t *testing.T) {
+	addr, _ := startServer(t)
+	ctx := context.Background()
+	const clients, perClient = 4, 25
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := clsmclient.Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < perClient; i++ {
+				for {
+					v, ok, err := c.Get(ctx, []byte("counter"))
+					if err != nil {
+						errCh <- err
+						return
+					}
+					n := 0
+					if ok {
+						fmt.Sscanf(string(v), "%d", &n)
+					}
+					var b clsmclient.Batch
+					b.Put([]byte("counter"), []byte(fmt.Sprintf("%d", n+1)))
+					err = c.TxnWrite(ctx,
+						[]clsmclient.ReadExpect{{Key: []byte("counter"), Value: v, Exists: ok}}, &b)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, core.ErrTxnConflict) {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	check, err := clsmclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer check.Close()
+	v, ok, err := check.Get(ctx, []byte("counter"))
+	if err != nil || !ok || string(v) != fmt.Sprintf("%d", clients*perClient) {
+		t.Fatalf("counter = %q,%v,%v, want %d", v, ok, err, clients*perClient)
+	}
+}
+
 // TestDialFailure: an unreachable address fails Dial with a useful error.
 func TestDialFailure(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

@@ -66,6 +66,8 @@ func main() {
 		shardProf = flag.Bool("shard-profile", false, "run the horizontal-sharding A/B experiment (scaling, N=1 parity, adaptive governor) instead of the figures")
 		shardN    = flag.Int("shards", 4, "shard count for the -shard-profile scaling and governor runs")
 		shardOut  = flag.String("shard-out", "BENCH_shard.json", "output path for the shard-profile report")
+		txnProf   = flag.Bool("txn-profile", false, "run the multi-key transaction experiment (txn vs RMW vs blind batch, hot vs uniform keyspaces) instead of the figures")
+		txnOut    = flag.String("txn-out", "BENCH_txn.json", "output path for the txn-profile report")
 	)
 	flag.Parse()
 
@@ -96,6 +98,13 @@ func main() {
 	if *shardProf {
 		if err := shardProfile(sc, *shardN, *shardOut); err != nil {
 			fatal(fmt.Errorf("shard profile: %w", err))
+		}
+		return
+	}
+
+	if *txnProf {
+		if err := txnProfile(sc, *txnOut); err != nil {
+			fatal(fmt.Errorf("txn profile: %w", err))
 		}
 		return
 	}

@@ -1,0 +1,231 @@
+package main
+
+// The txn profile measures what multi-key optimistic transactions cost
+// relative to the write primitives they generalize: the same concurrent
+// read-modify-write workload run as transactions (BeginTxn/Get×2/Put×2/
+// Commit with a retry loop), as single-key RMW (Algorithm 3), and as
+// blind atomic batches (no validation — the throughput ceiling). Each
+// transactional mode runs on two keyspaces: a small hot set where
+// conflicts are constant and retries dominate, and a wide uniform set
+// where validation almost always succeeds — bracketing the conflict-rate
+// axis. Results land in BENCH_txn.json.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clsm"
+	"clsm/internal/harness"
+)
+
+// txnRunResult is one (mode, keyspace) cell of the profile.
+type txnRunResult struct {
+	Mode     string  `json:"mode"`     // txn | rmw | batch
+	Keyspace string  `json:"keyspace"` // hot | uniform
+	Keys     int     `json:"keys"`
+	Seconds  float64 `json:"seconds"`
+	// Commits counts successful operations (committed txns / RMWs /
+	// batches); Attempts additionally counts conflicted tries.
+	Commits       int     `json:"commits"`
+	Attempts      int     `json:"attempts"`
+	Conflicts     uint64  `json:"conflicts"`
+	ConflictRate  float64 `json:"conflict_rate"` // conflicts / attempts
+	CommitsPerSec float64 `json:"commits_per_sec"`
+}
+
+// txnReport is the BENCH_txn.json schema.
+type txnReport struct {
+	Scale   string         `json:"scale"`
+	Writers int            `json:"writers"`
+	Runs    []txnRunResult `json:"runs"`
+	// TxnVsBatchUniform is uniform-keyspace txn throughput over blind
+	// batch throughput — the price of validation off the contended path.
+	TxnVsBatchUniform float64 `json:"txn_vs_batch_uniform"`
+	// TxnVsRMWHot compares hot-keyspace txn commits/sec against RMW on
+	// the same keyspace (both retry optimistically under contention).
+	TxnVsRMWHot float64 `json:"txn_vs_rmw_hot"`
+	// HotConflictRate / UniformConflictRate summarize the two ends of
+	// the conflict axis for the txn mode.
+	HotConflictRate     float64 `json:"hot_conflict_rate"`
+	UniformConflictRate float64 `json:"uniform_conflict_rate"`
+}
+
+// txnProfile runs the grid and writes out (default BENCH_txn.json).
+func txnProfile(sc harness.Scale, out string) error {
+	dur := 4 * time.Second
+	writers := runtime.GOMAXPROCS(0)
+	if writers < 4 {
+		writers = 4
+	}
+	switch sc.Name {
+	case "smoke":
+		dur = 1500 * time.Millisecond
+	case "full":
+		dur = 12 * time.Second
+		if writers < 8 {
+			writers = 8
+		}
+	}
+	const hotKeys, uniformKeys = 64, 16384
+
+	fmt.Printf("# txn profile — %v per run, %d writers, hot=%d keys, uniform=%d keys\n",
+		dur, writers, hotKeys, uniformKeys)
+
+	grid := []struct {
+		mode     string
+		keyspace string
+		keys     int
+	}{
+		{"txn", "hot", hotKeys},
+		{"txn", "uniform", uniformKeys},
+		{"rmw", "hot", hotKeys},
+		{"rmw", "uniform", uniformKeys},
+		{"batch", "hot", hotKeys},
+		{"batch", "uniform", uniformKeys},
+	}
+	rep := txnReport{Scale: sc.Name, Writers: writers}
+	cells := map[string]txnRunResult{}
+	for _, g := range grid {
+		r, err := txnRun(g.mode, g.keyspace, g.keys, dur, writers)
+		if err != nil {
+			return err
+		}
+		rep.Runs = append(rep.Runs, r)
+		cells[g.mode+"/"+g.keyspace] = r
+		fmt.Printf("%-6s %-8s %9.0f commits/s   conflict rate %5.1f%%   (%d commits, %d conflicts)\n",
+			r.Mode, r.Keyspace, r.CommitsPerSec, r.ConflictRate*100, r.Commits, r.Conflicts)
+	}
+
+	if b := cells["batch/uniform"]; b.CommitsPerSec > 0 {
+		rep.TxnVsBatchUniform = cells["txn/uniform"].CommitsPerSec / b.CommitsPerSec
+	}
+	if r := cells["rmw/hot"]; r.CommitsPerSec > 0 {
+		rep.TxnVsRMWHot = cells["txn/hot"].CommitsPerSec / r.CommitsPerSec
+	}
+	rep.HotConflictRate = cells["txn/hot"].ConflictRate
+	rep.UniformConflictRate = cells["txn/uniform"].ConflictRate
+	fmt.Printf("txn/batch uniform throughput ratio %.3f, txn/rmw hot ratio %.3f, conflict rate hot %.1f%% vs uniform %.1f%%\n",
+		rep.TxnVsBatchUniform, rep.TxnVsRMWHot, rep.HotConflictRate*100, rep.UniformConflictRate*100)
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// txnRun executes one (mode, keyspace) cell against a fresh in-memory
+// store.
+func txnRun(mode, keyspace string, keys int, dur time.Duration, writers int) (txnRunResult, error) {
+	db, err := clsm.OpenPath("", clsm.WithMemtableSize(32<<20))
+	if err != nil {
+		return txnRunResult{}, err
+	}
+	defer db.Close()
+
+	var (
+		commits   atomic.Int64
+		attempts  atomic.Int64
+		conflicts atomic.Uint64
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+		firstErr  error
+		errOnce   sync.Once
+	)
+	val := make([]byte, 128)
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			k1 := make([]byte, 0, 16)
+			k2 := make([]byte, 0, 16)
+			for !stop.Load() {
+				k1 = fmt.Appendf(k1[:0], "key-%06d", rng.Intn(keys))
+				k2 = fmt.Appendf(k2[:0], "key-%06d", rng.Intn(keys))
+				var err error
+				switch mode {
+				case "txn":
+					// Read both keys, rewrite both: the read set makes
+					// every concurrent overlap a validation conflict.
+					for {
+						attempts.Add(1)
+						err = db.Txn(func(t *clsm.Txn) error {
+							if _, _, err := t.Get(k1); err != nil {
+								return err
+							}
+							if _, _, err := t.Get(k2); err != nil {
+								return err
+							}
+							if err := t.Put(k1, val); err != nil {
+								return err
+							}
+							return t.Put(k2, val)
+						})
+						if errors.Is(err, clsm.ErrTxnConflict) {
+							conflicts.Add(1)
+							continue
+						}
+						break
+					}
+				case "rmw":
+					attempts.Add(1)
+					err = db.RMW(k1, func(old []byte, ok bool) []byte { return val })
+				case "batch":
+					attempts.Add(1)
+					var b clsm.Batch
+					b.Put(k1, val)
+					b.Put(k2, val)
+					err = db.Write(&b)
+				}
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				commits.Add(1)
+			}
+		}(int64(w + 1))
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	if firstErr != nil {
+		return txnRunResult{}, firstErr
+	}
+	elapsed := time.Since(start)
+
+	r := txnRunResult{
+		Mode:      mode,
+		Keyspace:  keyspace,
+		Keys:      keys,
+		Seconds:   elapsed.Seconds(),
+		Commits:   int(commits.Load()),
+		Attempts:  int(attempts.Load()),
+		Conflicts: conflicts.Load(),
+	}
+	if r.Attempts > 0 {
+		r.ConflictRate = float64(r.Conflicts) / float64(r.Attempts)
+	}
+	if elapsed > 0 {
+		r.CommitsPerSec = float64(r.Commits) / elapsed.Seconds()
+	}
+	return r, nil
+}

@@ -33,6 +33,15 @@ var (
 	// serving; DB.Resume lifts the quarantine.
 	ErrReadOnly = core.ErrReadOnly
 
+	// ErrTxnConflict is returned by Txn.Commit (and DB.TxnWriteCtx) when
+	// optimistic validation finds that a read- or write-set key changed
+	// after the transaction's snapshot. The transaction is rolled back;
+	// retry it from scratch with a fresh snapshot. The error crosses the
+	// network with its identity intact and is deliberately not retried
+	// automatically by the client — resending the identical request
+	// re-fails by construction.
+	ErrTxnConflict = core.ErrTxnConflict
+
 	// ErrInvalidOptions is returned (wrapped, with the offending field
 	// named) by Open/OpenPath when the configuration is nonsensical — a
 	// negative size, count, or rate, L0StopTrigger below L0SlowdownTrigger,

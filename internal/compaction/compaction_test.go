@@ -125,7 +125,7 @@ func TestFlushMemtable(t *testing.T) {
 	}
 	v := set.Current()
 	defer v.Unref()
-	val, _, found, err := v.Get(keys.SeekKey([]byte("k0500"), keys.MaxTimestamp))
+	val, _, _, found, err := v.Get(keys.SeekKey([]byte("k0500"), keys.MaxTimestamp))
 	if err != nil || !found || string(val) != "v500" {
 		t.Fatalf("flushed Get = %q,%v,%v", val, found, err)
 	}
@@ -156,11 +156,11 @@ func TestFlushDropsShadowedVersions(t *testing.T) {
 	}
 	v := set.Current()
 	defer v.Unref()
-	val, _, found, _ := v.Get(keys.SeekKey([]byte("k"), 25))
+	val, _, _, found, _ := v.Get(keys.SeekKey([]byte("k"), 25))
 	if !found || string(val) != "v20" {
 		t.Fatalf("snapshot-visible version lost: %q,%v", val, found)
 	}
-	val, _, found, _ = v.Get(keys.SeekKey([]byte("k"), keys.MaxTimestamp))
+	val, _, _, found, _ = v.Get(keys.SeekKey([]byte("k"), keys.MaxTimestamp))
 	if !found || string(val) != "v30" {
 		t.Fatalf("newest version = %q,%v", val, found)
 	}
@@ -205,7 +205,7 @@ func TestCompactionMergesLevels(t *testing.T) {
 	if len(v.Levels[0]) != 0 {
 		t.Fatalf("L0 still has %d files", len(v.Levels[0]))
 	}
-	val, _, found, _ := v.Get(keys.SeekKey([]byte("k0007"), keys.MaxTimestamp))
+	val, _, _, found, _ := v.Get(keys.SeekKey([]byte("k0007"), keys.MaxTimestamp))
 	if !found || string(val) != "r1-7" {
 		t.Fatalf("post-compaction Get = %q,%v", val, found)
 	}
@@ -244,7 +244,7 @@ func TestTombstoneElision(t *testing.T) {
 	}
 	v := set.Current()
 	defer v.Unref()
-	if _, _, found, _ := v.Get(keys.SeekKey([]byte("k"), keys.MaxTimestamp)); found {
+	if _, _, _, found, _ := v.Get(keys.SeekKey([]byte("k"), keys.MaxTimestamp)); found {
 		t.Fatal("deleted key visible after compaction")
 	}
 }
@@ -297,7 +297,7 @@ func TestTombstoneKeptWhenBaseHoldsKey(t *testing.T) {
 	}
 	v := set.Current()
 	defer v.Unref()
-	_, deleted, found, _ := v.Get(keys.SeekKey([]byte("k"), keys.MaxTimestamp))
+	_, _, deleted, found, _ := v.Get(keys.SeekKey([]byte("k"), keys.MaxTimestamp))
 	if !found || !deleted {
 		t.Fatalf("tombstone lost: deleted=%v found=%v — deep value would resurrect", deleted, found)
 	}
@@ -347,7 +347,7 @@ func TestTrivialMove(t *testing.T) {
 		t.Fatalf("levels after move: L1=%d L2=%d", len(v.Levels[1]), len(v.Levels[2]))
 	}
 	// Data still readable through the moved file.
-	if _, _, found, _ := v.Get(keys.SeekKey([]byte("k050"), keys.MaxTimestamp)); !found {
+	if _, _, _, found, _ := v.Get(keys.SeekKey([]byte("k050"), keys.MaxTimestamp)); !found {
 		t.Fatal("data lost by trivial move")
 	}
 }

@@ -92,3 +92,50 @@ func TestGetPathAllocs(t *testing.T) {
 		t.Fatalf("Get allocates %.0f times per op, want <= 1", allocs)
 	}
 }
+
+// TestTxnReadAllocs pins the transactional read path — a snapshot get
+// inside an open Txn — at ≤ 1 allocation per operation, same budget as the
+// plain Get gate. The read-set and write-buffer probes are map lookups
+// keyed by an unretained string(key) conversion (no allocation), the
+// read-set insert amortizes to zero over repeat reads, and the underlying
+// GetAt is the pinned Pd path.
+func TestTxnReadAllocs(t *testing.T) {
+	opts := testOptions(storage.NewMemFS())
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const n = 512
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key%06d", i)
+		if err := db.Put([]byte(k), []byte("value-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CompactRange(); err != nil {
+		t.Fatal(err)
+	}
+	txn, err := db.BeginTxn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer txn.Rollback()
+	key := []byte("key000256")
+	for i := 0; i < 200; i++ {
+		if _, ok, err := txn.Get(key); err != nil || !ok {
+			t.Fatalf("warmup txn.Get = %v, %v", ok, err)
+		}
+	}
+	runtime.GC()
+	allocs := testing.AllocsPerRun(5000, func() {
+		v, ok, err := txn.Get(key)
+		if err != nil || !ok || len(v) == 0 {
+			t.Fatalf("txn.Get = %q, %v, %v", v, ok, err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("txn.Get allocates %.0f times per op, want <= 1", allocs)
+	}
+}

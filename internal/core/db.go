@@ -123,6 +123,7 @@ type DB struct {
 
 	metrics struct {
 		puts, gets, deletes, rmws, rmwRetries atomic.Uint64
+		txns, txnConflicts                    atomic.Uint64
 		snapshots, flushes, compactions       atomic.Uint64
 		flushBytes, compactionBytes           atomic.Uint64
 		stallNanos, flushNanos                atomic.Int64
@@ -364,6 +365,8 @@ func (db *DB) Metrics() Metrics {
 	m.Deletes = db.metrics.deletes.Load()
 	m.RMWs = db.metrics.rmws.Load()
 	m.RMWRetries = db.metrics.rmwRetries.Load()
+	m.Txns = db.metrics.txns.Load()
+	m.TxnConflicts = db.metrics.txnConflicts.Load()
 	m.Snapshots = db.metrics.snapshots.Load()
 	m.Flushes = db.metrics.flushes.Load()
 	m.Compactions = db.metrics.compactions.Load()

@@ -235,14 +235,18 @@ func (o Options) Validate() error {
 
 // Metrics exposes engine counters. All fields are cumulative.
 type Metrics struct {
-	Puts        uint64
-	Gets        uint64
-	Deletes     uint64
-	RMWs        uint64
-	RMWRetries  uint64
-	Snapshots   uint64
-	Flushes     uint64
-	Compactions uint64
+	Puts       uint64
+	Gets       uint64
+	Deletes    uint64
+	RMWs       uint64
+	RMWRetries uint64
+	// Txns counts committed transactions (including read-only ones);
+	// TxnConflicts counts commit attempts rejected by OCC validation.
+	Txns         uint64
+	TxnConflicts uint64
+	Snapshots    uint64
+	Flushes      uint64
+	Compactions  uint64
 	// FlushBytes and CompactionBytes are the cumulative volumes written
 	// by memtable flushes and level compactions (write amplification =
 	// (FlushBytes+CompactionBytes) / logical bytes written).

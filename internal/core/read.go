@@ -95,7 +95,7 @@ func (db *DB) GetAt(key []byte, ts uint64) (value []byte, ok bool, err error) {
 	defer cur.Unref()
 	sk := seekScratch.Get().(*[]byte)
 	*sk = keys.AppendSeek((*sk)[:0], key, ts)
-	v, deleted, found, err := cur.Get(*sk)
+	v, _, deleted, found, err := cur.Get(*sk)
 	seekScratch.Put(sk)
 	if err != nil || !found || deleted {
 		return nil, false, err
@@ -198,7 +198,7 @@ func (db *DB) multiGet(ks [][]byte, ts uint64) ([]Value, error) {
 			}
 		}
 		*sk = keys.AppendSeek((*sk)[:0], key, ts)
-		v, deleted, found, err := cur.Get(*sk)
+		v, _, deleted, found, err := cur.Get(*sk)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"clsm/internal/batch"
+	"clsm/internal/storage"
+)
+
+func TestTxnCommitAtomicVisible(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+
+	if err := db.Put([]byte("a"), []byte("a0")); err != nil {
+		t.Fatal(err)
+	}
+	txn, err := db.BeginTxn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := txn.Get([]byte("a")); err != nil || !ok || string(v) != "a0" {
+		t.Fatalf("txn.Get(a) = %q,%v,%v", v, ok, err)
+	}
+	if err := txn.Put([]byte("a"), []byte("a1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put([]byte("b"), []byte("b1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Delete([]byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	// Buffered writes invisible outside the txn, visible inside it.
+	if _, ok, _ := db.Get([]byte("b")); ok {
+		t.Fatal("uncommitted write visible outside the txn")
+	}
+	if v, ok, _ := txn.Get([]byte("a")); !ok || string(v) != "a1" {
+		t.Fatalf("read-your-writes: got %q,%v", v, ok)
+	}
+	if _, ok, _ := txn.Get([]byte("c")); ok {
+		t.Fatal("buffered delete not visible inside the txn")
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if txn.CommitTS() == 0 {
+		t.Fatal("CommitTS = 0 after a writing commit")
+	}
+	for _, kv := range [][2]string{{"a", "a1"}, {"b", "b1"}} {
+		if v, ok, err := db.Get([]byte(kv[0])); err != nil || !ok || string(v) != kv[1] {
+			t.Fatalf("Get(%s) after commit = %q,%v,%v", kv[0], v, ok, err)
+		}
+	}
+	// Double-finish is rejected, Rollback after finish is a safe no-op.
+	if err := txn.Commit(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second Commit = %v, want wrapped ErrClosed", err)
+	}
+	txn.Rollback()
+
+	m := db.Metrics()
+	if m.Txns != 1 || m.TxnConflicts != 0 {
+		t.Fatalf("Metrics Txns=%d TxnConflicts=%d, want 1, 0", m.Txns, m.TxnConflicts)
+	}
+}
+
+func TestTxnReadConflict(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+
+	if err := db.Put([]byte("x"), []byte("x0")); err != nil {
+		t.Fatal(err)
+	}
+	txn, err := db.BeginTxn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := txn.Get([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent writer updates a read-set key after the snapshot.
+	if err := db.Put([]byte("x"), []byte("x1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put([]byte("y"), []byte("y1")); err != nil {
+		t.Fatal(err)
+	}
+	err = txn.Commit()
+	if !errors.Is(err, ErrTxnConflict) {
+		t.Fatalf("Commit = %v, want wrapped ErrTxnConflict", err)
+	}
+	if _, ok, _ := db.Get([]byte("y")); ok {
+		t.Fatal("conflicted txn leaked a write")
+	}
+	if m := db.Metrics(); m.TxnConflicts != 1 {
+		t.Fatalf("TxnConflicts = %d, want 1", m.TxnConflicts)
+	}
+}
+
+func TestTxnWriteWriteConflict(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+
+	txn, err := db.BeginTxn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blind write to a key another writer touches first: the write set is
+	// validated too, so the slower committer loses.
+	if err := txn.Put([]byte("w"), []byte("mine")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("w"), []byte("theirs")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); !errors.Is(err, ErrTxnConflict) {
+		t.Fatalf("Commit = %v, want wrapped ErrTxnConflict", err)
+	}
+	if v, _, _ := db.Get([]byte("w")); string(v) != "theirs" {
+		t.Fatalf("w = %q, want the first-committed value", v)
+	}
+}
+
+// A version flushed to the disk component between snapshot and commit must
+// still be detected: the validation path reads version timestamps out of
+// sstables, not just memtables.
+func TestTxnConflictAcrossFlush(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+
+	if err := db.Put([]byte("k"), []byte("v0")); err != nil {
+		t.Fatal(err)
+	}
+	txn, err := db.BeginTxn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := txn.Get([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Push the conflicting version through the full pipeline: flush it out
+	// of the memtables and compact so it is served from Pd.
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CompactRange(); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put([]byte("k"), []byte("mine")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); !errors.Is(err, ErrTxnConflict) {
+		t.Fatalf("Commit after flush = %v, want wrapped ErrTxnConflict", err)
+	}
+
+	// And the inverse: a non-conflicting txn commits across a flush.
+	txn2, err := db.BeginTxn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := txn2.Get([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn2.Put([]byte("other"), []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn2.Commit(); err != nil {
+		t.Fatalf("independent commit across flush: %v", err)
+	}
+}
+
+func TestTxnSnapshotIsolation(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+
+	if err := db.Put([]byte("s"), []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	txn, err := db.BeginTxn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("s"), []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	// Reads stay pinned at the snapshot even after the external write.
+	if v, ok, err := txn.Get([]byte("s")); err != nil || !ok || string(v) != "old" {
+		t.Fatalf("txn.Get = %q,%v,%v, want the snapshot value", v, ok, err)
+	}
+	txn.Rollback()
+}
+
+func TestTxnReadOnlyAndRollback(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+
+	if err := db.Put([]byte("r"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Read-only txns commit trivially even when their reads went stale.
+	txn, err := db.BeginTxn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := txn.Has([]byte("r")); err != nil || !ok {
+		t.Fatalf("Has = %v,%v", ok, err)
+	}
+	if err := db.Put([]byte("r"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("read-only Commit: %v", err)
+	}
+	if txn.CommitTS() != 0 {
+		t.Fatal("read-only commit claimed a commit timestamp")
+	}
+
+	// Rollback discards writes.
+	txn2, err := db.BeginTxn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn2.Put([]byte("gone"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	txn2.Rollback()
+	if _, ok, _ := db.Get([]byte("gone")); ok {
+		t.Fatal("rolled-back write visible")
+	}
+	if err := txn2.Put([]byte("late"), nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Rollback = %v, want wrapped ErrClosed", err)
+	}
+}
+
+func TestTxnClosureAPI(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+
+	if err := db.Txn(func(txn *Txn) error {
+		return txn.Put([]byte("k"), []byte("v"))
+	}); err != nil {
+		t.Fatalf("Txn: %v", err)
+	}
+	if v, ok, _ := db.Get([]byte("k")); !ok || string(v) != "v" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+
+	sentinel := errors.New("abort")
+	if err := db.Txn(func(txn *Txn) error {
+		if err := txn.Put([]byte("k"), []byte("clobbered")); err != nil {
+			return err
+		}
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("Txn = %v, want the fn error", err)
+	}
+	if v, _, _ := db.Get([]byte("k")); string(v) != "v" {
+		t.Fatalf("aborted closure leaked a write: %q", v)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := db.TxnCtx(ctx, func(txn *Txn) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TxnCtx on canceled ctx = %v", err)
+	}
+}
+
+// A retry loop over conflicting increments must converge to the exact sum
+// — the transactional counterpart of the RMW counter test.
+func TestTxnRetryConvergence(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+
+	key := []byte("counter")
+	if err := db.Put(key, []byte("0")); err != nil {
+		t.Fatal(err)
+	}
+	increment := func() error {
+		for {
+			err := db.Txn(func(txn *Txn) error {
+				v, _, err := txn.Get(key)
+				if err != nil {
+					return err
+				}
+				var n int
+				fmt.Sscanf(string(v), "%d", &n)
+				return txn.Put(key, []byte(fmt.Sprintf("%d", n+1)))
+			})
+			if !errors.Is(err, ErrTxnConflict) {
+				return err
+			}
+		}
+	}
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < 25; i++ {
+				if err := increment(); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, _, _ := db.Get(key); string(v) != "100" {
+		t.Fatalf("counter = %q, want 100", v)
+	}
+}
+
+func TestTxnWriteCtxChecks(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	defer db.Close()
+
+	if err := db.Put([]byte("p"), []byte("v0")); err != nil {
+		t.Fatal(err)
+	}
+	mkBatch := func(k, v string) *batch.Batch {
+		var b batch.Batch
+		b.Put([]byte(k), []byte(v))
+		return &b
+	}
+
+	// Matching checks commit.
+	checks := []ReadCheck{
+		{Key: []byte("p"), Value: []byte("v0"), Exists: true},
+		{Key: []byte("absent"), Exists: false},
+	}
+	if err := db.TxnWriteCtx(context.Background(), checks, mkBatch("p", "v1")); err != nil {
+		t.Fatalf("TxnWriteCtx: %v", err)
+	}
+	if v, _, _ := db.Get([]byte("p")); string(v) != "v1" {
+		t.Fatalf("p = %q", v)
+	}
+
+	// Stale value check conflicts without applying anything.
+	err := db.TxnWriteCtx(context.Background(), []ReadCheck{
+		{Key: []byte("p"), Value: []byte("v0"), Exists: true},
+	}, mkBatch("p", "v2"))
+	if !errors.Is(err, ErrTxnConflict) {
+		t.Fatalf("stale check = %v, want wrapped ErrTxnConflict", err)
+	}
+	if v, _, _ := db.Get([]byte("p")); string(v) != "v1" {
+		t.Fatalf("conflicted TxnWrite applied: p = %q", v)
+	}
+
+	// Existence mismatch conflicts too.
+	err = db.TxnWriteCtx(context.Background(), []ReadCheck{
+		{Key: []byte("p"), Exists: false},
+	}, nil)
+	if !errors.Is(err, ErrTxnConflict) {
+		t.Fatalf("existence check = %v, want wrapped ErrTxnConflict", err)
+	}
+}
+
+func TestTxnAfterClose(t *testing.T) {
+	db := mustOpen(t, storage.NewMemFS())
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.BeginTxn(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("BeginTxn on closed db = %v", err)
+	}
+}
+
+// Committed txn writes must survive reopen: the commit record rides the
+// same WAL batch encoding recovery already replays.
+func TestTxnDurableAcrossReopen(t *testing.T) {
+	fs := storage.NewMemFS()
+	db := mustOpen(t, fs)
+	if err := db.Txn(func(txn *Txn) error {
+		if err := txn.Put([]byte("d1"), []byte("v1")); err != nil {
+			return err
+		}
+		return txn.Put([]byte("d2"), []byte("v2"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db = mustOpen(t, fs)
+	defer db.Close()
+	for _, kv := range [][2]string{{"d1", "v1"}, {"d2", "v2"}} {
+		v, ok, err := db.Get([]byte(kv[0]))
+		if err != nil || !ok || !bytes.Equal(v, []byte(kv[1])) {
+			t.Fatalf("Get(%s) after reopen = %q,%v,%v", kv[0], v, ok, err)
+		}
+	}
+}

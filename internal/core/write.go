@@ -247,7 +247,7 @@ func (db *DB) readLatestLocked(mt *memtable.Table, key []byte) (value []byte, re
 	defer cur.Unref()
 	sk := seekScratch.Get().(*[]byte)
 	*sk = keys.AppendSeek((*sk)[:0], key, keys.MaxTimestamp)
-	v, deleted, found, err := cur.Get(*sk)
+	v, _, deleted, found, err := cur.Get(*sk)
 	seekScratch.Put(sk)
 	if err != nil {
 		return nil, 0, false, err

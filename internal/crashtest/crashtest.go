@@ -54,6 +54,11 @@ type Config struct {
 	// point to reject torn WAL tails — the deliberately broken recovery
 	// used as the harness's negative control.
 	StrictWALTail bool
+	// Txns replaces the atomic-batch workload slice with multi-key
+	// optimistic transactions (BeginTxn/Get/Put/Commit), so the matrix
+	// proves a txn commit record is all-or-nothing at every crash point:
+	// an acked commit must survive whole, a torn one must vanish whole.
+	Txns bool
 	// Faults arms an error-injection plan on the workload filesystem.
 	// Injected errors may fail workload operations or poison the engine;
 	// the harness tolerates both and keeps checking the invariants.
@@ -96,6 +101,10 @@ type Report struct {
 	Torn     int            // torn/bit-flipped variants checked
 	Coverage map[string]int // crash points observed, by label
 	Failures []Failure
+
+	// TxnCommits counts acknowledged transaction commits in a Txns run —
+	// the population whose atomicity every crash point then checks.
+	TxnCommits int
 
 	// Aggregated recovery counters across every reopened engine,
 	// proving the repair paths actually ran.
@@ -320,6 +329,39 @@ func Run(cfg Config) (*Report, error) {
 			pend := c.model.Begin(fs.Step(), oracle.Op{Key: key, Tombstone: true})
 			if db.Delete([]byte(key)) == nil {
 				pend.Ack(fs.Step())
+			}
+		case r < 80 && cfg.Txns: // multi-key optimistic transaction
+			txn, err := db.BeginTxn()
+			if err != nil {
+				break
+			}
+			// Reads join the read set, so commit-time validation runs for
+			// real; the workload is single-threaded, so it never conflicts —
+			// commit atomicity is the invariant under test here.
+			for _, ki := range rng.Perm(len(keyPool))[:2] {
+				if _, _, err := txn.Get([]byte(keyPool[ki])); err != nil {
+					break
+				}
+			}
+			n := 2 + rng.Intn(3)
+			var ops []oracle.Op
+			for j, ki := range rng.Perm(len(keyPool))[:n] {
+				key := keyPool[ki]
+				if rng.Intn(4) == 0 {
+					txn.Delete([]byte(key))
+					ops = append(ops, oracle.Op{Key: key, Tombstone: true})
+				} else {
+					val := []byte(fmt.Sprintf("t-%d-%06d-%d", cfg.Seed, i, j))
+					txn.Put([]byte(key), val)
+					ops = append(ops, oracle.Op{Key: key, Value: val})
+				}
+			}
+			pend := c.model.Begin(fs.Step(), ops...)
+			if txn.Commit() == nil {
+				pend.Ack(fs.Step())
+				c.mu.Lock()
+				c.report.TxnCommits++
+				c.mu.Unlock()
 			}
 		case r < 80: // atomic batch over 2–4 distinct keys
 			n := 2 + rng.Intn(3)

@@ -1,0 +1,66 @@
+package crashtest
+
+import (
+	"testing"
+
+	"clsm/internal/faultfs"
+)
+
+// TestCrashMatrixTxn runs the crash matrix with the transactional
+// workload: multi-key optimistic commits instead of plain batches. The
+// model mirrors each transaction's write set as one atomic group, so
+// CheckBatchAtomicity at every crash point — including torn and
+// bit-flipped WAL tails — is exactly the all-or-nothing proof for txn
+// commit records: an acknowledged transaction survives whole, a torn one
+// vanishes whole, and no recovered state ever shows part of one.
+func TestCrashMatrixTxn(t *testing.T) {
+	seed := envInt("CRASHTEST_SEED", 1)
+	ops := int(envInt("CRASHTEST_OPS", 300))
+	if testing.Short() && ops > 200 {
+		ops = 200
+	}
+	rep, err := Run(Config{Seed: seed, Ops: ops, Txns: true})
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	t.Logf("seed=%d ops=%d: %d txn commits; %d crash points + %d torn variants checked; %d torn tails truncated, %d records replayed",
+		seed, ops, rep.TxnCommits, rep.Points, rep.Torn, rep.TornTailsTruncated, rep.RecordsReplayed)
+	for _, f := range rep.Failures {
+		t.Errorf("txn atomicity violation (replay with CRASHTEST_SEED=%d CRASHTEST_OPS=%d): %s", seed, ops, f)
+	}
+	if rep.TxnCommits < 20 {
+		t.Errorf("only %d transactions committed — the txn workload barely ran", rep.TxnCommits)
+	}
+	if total := rep.Points + rep.Torn; total < 200 {
+		t.Errorf("only %d crash points checked, want >= 200", total)
+	}
+	// Torn-tail coverage is the heart of the all-or-nothing claim: a
+	// commit record persisted only partially must disappear entirely.
+	if rep.Torn == 0 {
+		t.Error("no torn variants checked — txn commit tearing not exercised")
+	}
+	if rep.TornTailsTruncated == 0 {
+		t.Error("no recovery ever truncated a torn tail")
+	}
+	if rep.RecordsReplayed == 0 {
+		t.Error("no recovery ever replayed a WAL record")
+	}
+}
+
+// TestCrashMatrixTxnWithInjectedErrors: the transactional workload under
+// error injection — failed WAL syncs may fail commits or poison the
+// engine, but no crash image may ever recover a partial transaction.
+func TestCrashMatrixTxnWithInjectedErrors(t *testing.T) {
+	seed := envInt("CRASHTEST_SEED", 1)
+	rep, err := Run(Config{Seed: seed, Ops: 120, Txns: true, Faults: []faultfs.Rule{
+		{Op: faultfs.OpSync, Pattern: "*.log", N: 10, Kind: faultfs.FaultErr},
+	}})
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	t.Logf("seed=%d: %d txn commits, %d points + %d torn checked under wal-sync errors",
+		seed, rep.TxnCommits, rep.Points, rep.Torn)
+	for _, f := range rep.Failures {
+		t.Errorf("txn atomicity violation under faults (CRASHTEST_SEED=%d): %s", seed, f)
+	}
+}

@@ -103,6 +103,24 @@ func (p *Pending) Ack(step uint64) {
 	}
 }
 
+// VersionsIn returns the indices of key's versions issued in the fs-step
+// interval (lo, hi] — the model-side analogue of the engine's commit-time
+// validation query ("did any version of this key appear since my
+// snapshot?"). The transactional crash workload uses it to bound which
+// versions a recovered image may legally surface.
+func (m *Model) VersionsIn(key string, lo, hi uint64) []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []int
+	vs := m.keys[key]
+	for i := range vs {
+		if s := vs[i].Start; s > lo && s <= hi {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // Get returns the latest written value of key (exact under sequential
 // per-key writes). ok is false if the key was never written or its latest
 // version is a tombstone.

@@ -51,6 +51,7 @@ type Engine interface {
 	PutCtx(ctx context.Context, key, value []byte) error
 	DeleteCtx(ctx context.Context, key []byte) error
 	WriteCtx(ctx context.Context, b *batch.Batch) error
+	TxnWriteCtx(ctx context.Context, checks []core.ReadCheck, b *batch.Batch) error
 	GetCtx(ctx context.Context, key []byte) (value []byte, ok bool, err error)
 	MultiGetCtx(ctx context.Context, keys [][]byte) ([]core.Value, error)
 	NewIterator(opts ...core.IterOptions) (Iterator, error)
@@ -664,6 +665,28 @@ func (s *Server) dispatch(op wire.Op, payload []byte) ([]byte, error) {
 			wvals[i] = wire.Value{Data: v.Data, Exists: v.Exists}
 		}
 		return wire.AppendValues(nil, wvals), nil
+
+	case wire.OpTxnWrite:
+		// Validated commits bypass the write coalescer: coalescing would
+		// batch them with unvalidated writes and lose the conflict
+		// atomicity (the check and the commit must share one engine txn).
+		reads, entries, err := wire.DecodeTxnWrite(payload)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		checks := make([]core.ReadCheck, len(reads))
+		for i, r := range reads {
+			checks[i] = core.ReadCheck{Key: r.Key, Value: r.Value, Exists: r.Exists}
+		}
+		var b batch.Batch
+		for _, e := range entries {
+			if e.Delete {
+				b.Delete(e.Key)
+			} else {
+				b.Put(e.Key, e.Value)
+			}
+		}
+		return nil, s.eng.TxnWriteCtx(s.baseCtx, checks, &b)
 
 	case wire.OpScan:
 		start, limit, err := wire.DecodeScan(payload)

@@ -19,6 +19,7 @@ import (
 	"clsm/internal/faultfs"
 	"clsm/internal/obs"
 	"clsm/internal/oracle"
+	"clsm/internal/shard"
 	"clsm/internal/storage"
 	"clsm/internal/wire"
 )
@@ -221,6 +222,9 @@ type errEngine struct {
 func (e *errEngine) PutCtx(ctx context.Context, key, value []byte) error { return e.err }
 func (e *errEngine) DeleteCtx(ctx context.Context, key []byte) error     { return e.err }
 func (e *errEngine) WriteCtx(ctx context.Context, b *batch.Batch) error  { return e.err }
+func (e *errEngine) TxnWriteCtx(ctx context.Context, checks []core.ReadCheck, b *batch.Batch) error {
+	return e.err
+}
 func (e *errEngine) GetCtx(ctx context.Context, key []byte) ([]byte, bool, error) {
 	return nil, false, e.err
 }
@@ -244,6 +248,7 @@ func TestSentinelsAcrossWire(t *testing.T) {
 		core.ErrClosed,
 		core.ErrInvalidOptions,
 		core.ErrSnapshotExpired,
+		core.ErrTxnConflict,
 	} {
 		eng := &errEngine{err: fmt.Errorf("flush table 7: %w", sentinel), o: obs.New()}
 		addr, shutdown := startServer(t, eng, Config{})
@@ -418,6 +423,68 @@ func TestBadRequestKeepsConnection(t *testing.T) {
 	}
 	if v, ok, _ := db.Get([]byte("k")); !ok || string(v) != "v" {
 		t.Errorf("good put did not land: %q %v", v, ok)
+	}
+}
+
+// TestTxnWriteOverShardedWire: remote transactions against a sharded
+// engine — single-shard requests commit, cross-shard requests are
+// rejected with ErrInvalidOptions identity intact across the wire, and
+// nothing from a rejected request lands.
+func TestTxnWriteOverShardedWire(t *testing.T) {
+	db, err := clsm.OpenPath("", clsm.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	addr, shutdown := startServer(t, shardedEngine{db}, Config{})
+	defer shutdown()
+
+	c, err := clsmclient.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	// Find two keys on the same shard and one on a different shard.
+	var same1, same2, other string
+	for i := 0; same2 == "" || other == ""; i++ {
+		k := fmt.Sprintf("txk-%03d", i)
+		switch s := shard.IndexOf([]byte(k), 4); {
+		case same1 == "":
+			same1 = k
+		case s == shard.IndexOf([]byte(same1), 4) && same2 == "":
+			same2 = k
+		case s != shard.IndexOf([]byte(same1), 4) && other == "":
+			other = k
+		}
+	}
+
+	// Single-shard txn commits.
+	var b clsmclient.Batch
+	b.Put([]byte(same1), []byte("v1"))
+	b.Put([]byte(same2), []byte("v2"))
+	checks := []clsmclient.ReadExpect{{Key: []byte(same1), Exists: false}}
+	if err := c.TxnWrite(ctx, checks, &b); err != nil {
+		t.Fatalf("single-shard TxnWrite: %v", err)
+	}
+	if v, ok, _ := c.Get(ctx, []byte(same2)); !ok || string(v) != "v2" {
+		t.Fatalf("%s = %q,%v after single-shard txn", same2, v, ok)
+	}
+
+	// Cross-shard txn is rejected atomically.
+	b.Reset()
+	b.Put([]byte(same1), []byte("vX"))
+	b.Put([]byte(other), []byte("vY"))
+	err = c.TxnWrite(ctx, nil, &b)
+	if !errors.Is(err, core.ErrInvalidOptions) {
+		t.Fatalf("cross-shard TxnWrite = %v, want ErrInvalidOptions identity", err)
+	}
+	if v, _, _ := c.Get(ctx, []byte(same1)); string(v) == "vX" {
+		t.Fatal("rejected cross-shard txn leaked a write")
+	}
+	if _, ok, _ := c.Get(ctx, []byte(other)); ok {
+		t.Fatal("rejected cross-shard txn leaked a write to the other shard")
 	}
 }
 

@@ -339,6 +339,8 @@ func (db *DB) Metrics() core.Metrics {
 		m.Deletes += sm.Deletes
 		m.RMWs += sm.RMWs
 		m.RMWRetries += sm.RMWRetries
+		m.Txns += sm.Txns
+		m.TxnConflicts += sm.TxnConflicts
 		m.Snapshots += sm.Snapshots
 		m.Flushes += sm.Flushes
 		m.Compactions += sm.Compactions

@@ -1,0 +1,233 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"clsm/internal/batch"
+	"clsm/internal/core"
+)
+
+// openTxnDB opens an n-shard in-memory store for the txn tests.
+func openTxnDB(t *testing.T, n int) *DB {
+	t.Helper()
+	opts := Options{}
+	for i := 0; i < n; i++ {
+		opts.Engines = append(opts.Engines, core.Options{})
+	}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// shardKeys returns one key per requested shard, probing a printable
+// keyspace with IndexOf (routing is part of the on-disk contract, so the
+// probe is deterministic).
+func shardKeys(t *testing.T, n, want int) [][]byte {
+	t.Helper()
+	out := make([][]byte, want)
+	seen := 0
+	for i := 0; seen < want && i < 10000; i++ {
+		k := []byte(fmt.Sprintf("probe-%04d", i))
+		if s := IndexOf(k, n); s < want && out[s] == nil {
+			out[s] = k
+			seen++
+		}
+	}
+	if seen < want {
+		t.Fatalf("could not find keys for %d shards", want)
+	}
+	return out
+}
+
+// TestTxnSingleShard: a transaction whose keys all route to one shard
+// commits atomically through the facade, with read-your-writes and
+// conflict detection intact.
+func TestTxnSingleShard(t *testing.T) {
+	db := openTxnDB(t, 4)
+	ks := shardKeys(t, 4, 2)
+	k := ks[0]
+
+	// Find a second key on k's shard.
+	var k2 []byte
+	for i := 0; ; i++ {
+		c := []byte(fmt.Sprintf("mate-%04d", i))
+		if IndexOf(c, 4) == IndexOf(k, 4) {
+			k2 = c
+			break
+		}
+	}
+
+	txn, err := db.BeginTxn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := txn.Get(k); err != nil || ok {
+		t.Fatalf("fresh read = %v,%v", ok, err)
+	}
+	txn.Put(k, []byte("a"))
+	txn.Put(k2, []byte("b"))
+	if v, ok, _ := txn.Get(k2); !ok || string(v) != "b" {
+		t.Fatalf("read-your-writes = %q,%v", v, ok)
+	}
+	if s := txn.Shard(); s != IndexOf(k, 4) {
+		t.Fatalf("pinned shard %d, key routes to %d", s, IndexOf(k, 4))
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := db.Get(k2); !ok || string(v) != "b" {
+		t.Fatalf("committed read = %q,%v", v, ok)
+	}
+
+	// A conflicting direct write between snapshot and commit conflicts.
+	txn2, _ := db.BeginTxn()
+	if _, _, err := txn2.Get(k); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put(k, []byte("external")); err != nil {
+		t.Fatal(err)
+	}
+	txn2.Put(k2, []byte("c"))
+	if err := txn2.Commit(); !errors.Is(err, core.ErrTxnConflict) {
+		t.Fatalf("commit after external write = %v, want ErrTxnConflict", err)
+	}
+}
+
+// TestTxnCrossShardRejected: the second shard's key fails the operation
+// with ErrInvalidOptions, the transaction stays usable, and nothing from
+// the rejected key ever lands.
+func TestTxnCrossShardRejected(t *testing.T) {
+	db := openTxnDB(t, 4)
+	ks := shardKeys(t, 4, 2)
+
+	txn, err := db.BeginTxn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put(ks[0], []byte("v0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put(ks[1], []byte("v1")); !errors.Is(err, core.ErrInvalidOptions) {
+		t.Fatalf("cross-shard Put = %v, want ErrInvalidOptions", err)
+	}
+	if _, _, err := txn.Get(ks[1]); !errors.Is(err, core.ErrInvalidOptions) {
+		t.Fatalf("cross-shard Get = %v, want ErrInvalidOptions", err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("commit on pinned shard after rejection: %v", err)
+	}
+	if v, ok, _ := db.Get(ks[0]); !ok || string(v) != "v0" {
+		t.Fatalf("pinned-shard write = %q,%v", v, ok)
+	}
+	if _, ok, _ := db.Get(ks[1]); ok {
+		t.Fatal("rejected cross-shard write landed")
+	}
+}
+
+// TestTxnWriteCtxRouting: the stateless form routes to the single owning
+// shard and rejects mixed-shard checks/entries without touching any
+// engine.
+func TestTxnWriteCtxRouting(t *testing.T) {
+	db := openTxnDB(t, 4)
+	ks := shardKeys(t, 4, 2)
+	ctx := context.Background()
+
+	var b batch.Batch
+	b.Put(ks[0], []byte("v"))
+	checks := []core.ReadCheck{{Key: ks[0], Exists: false}}
+	if err := db.TxnWriteCtx(ctx, checks, &b); err != nil {
+		t.Fatalf("single-shard TxnWriteCtx: %v", err)
+	}
+	if v, ok, _ := db.Get(ks[0]); !ok || string(v) != "v" {
+		t.Fatalf("committed = %q,%v", v, ok)
+	}
+
+	// Entries spanning two shards.
+	var b2 batch.Batch
+	b2.Put(ks[0], []byte("x"))
+	b2.Put(ks[1], []byte("y"))
+	if err := db.TxnWriteCtx(ctx, nil, &b2); !errors.Is(err, core.ErrInvalidOptions) {
+		t.Fatalf("cross-shard entries = %v, want ErrInvalidOptions", err)
+	}
+	// Check on one shard, entry on another.
+	var b3 batch.Batch
+	b3.Put(ks[1], []byte("y"))
+	if err := db.TxnWriteCtx(ctx, checks, &b3); !errors.Is(err, core.ErrInvalidOptions) {
+		t.Fatalf("check/entry shard mismatch = %v, want ErrInvalidOptions", err)
+	}
+	if v, _, _ := db.Get(ks[0]); string(v) != "v" {
+		t.Fatalf("rejected request mutated state: %q", v)
+	}
+	if _, ok, _ := db.Get(ks[1]); ok {
+		t.Fatal("rejected request wrote the other shard")
+	}
+
+	// Empty request is a no-op, not an error.
+	if err := db.TxnWriteCtx(ctx, nil, nil); err != nil {
+		t.Fatalf("empty TxnWriteCtx: %v", err)
+	}
+}
+
+// TestTxnShardConcurrent: per-shard counters incremented by concurrent
+// retry loops through the facade — lost updates would show up as a short
+// final sum; run under -race in check.sh.
+func TestTxnShardConcurrent(t *testing.T) {
+	const shards = 4
+	db := openTxnDB(t, shards)
+	keys := shardKeys(t, shards, shards)
+
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := keys[w%shards]
+			for i := 0; i < perWorker; i++ {
+				for {
+					err := db.Txn(func(txn *Txn) error {
+						v, _, err := txn.Get(key)
+						if err != nil {
+							return err
+						}
+						n, _ := strconv.Atoi(string(v))
+						return txn.Put(key, []byte(strconv.Itoa(n+1)))
+					})
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, core.ErrTxnConflict) {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, key := range keys {
+		v, _, err := db.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _ := strconv.Atoi(string(v))
+		total += n
+	}
+	if total != workers*perWorker {
+		t.Fatalf("counters sum to %d, want %d (lost updates)", total, workers*perWorker)
+	}
+
+	m := db.Metrics()
+	if m.Txns < uint64(workers*perWorker) {
+		t.Fatalf("aggregated Txns = %d, want >= %d", m.Txns, workers*perWorker)
+	}
+}

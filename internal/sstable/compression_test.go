@@ -49,7 +49,7 @@ func TestFlateRoundTrip(t *testing.T) {
 	}
 	// Point reads through compressed blocks.
 	for i := 0; i < 1000; i += 111 {
-		v, _, ok, err := r.Get(keys.SeekKey([]byte(fmt.Sprintf("key%06d", i)), keys.MaxTimestamp))
+		v, _, _, ok, err := r.Get(keys.SeekKey([]byte(fmt.Sprintf("key%06d", i)), keys.MaxTimestamp))
 		if err != nil || !ok || !bytes.Equal(v, entries[i].v) {
 			t.Fatalf("Get(%d) through flate block failed: %v %v", i, ok, err)
 		}

@@ -151,55 +151,56 @@ type pointIter struct {
 
 var pointIterPool = sync.Pool{New: func() any { return new(pointIter) }}
 
-// Get returns the value and kind of the first entry with internal key >=
-// ikey whose user key matches ikey's — i.e. the newest visible version when
-// ikey is a seek key. ok is false when the table holds no such entry. The
-// value aliases the (cached) block and must be copied if retained.
+// Get returns the value, timestamp, and kind of the first entry with
+// internal key >= ikey whose user key matches ikey's — i.e. the newest
+// visible version when ikey is a seek key. ok is false when the table holds
+// no such entry. The value aliases the (cached) block and must be copied if
+// retained.
 //
 // Unlike a full iterator, the lookup never crosses data blocks: the index
 // separator for the candidate block sorts >= every key in it, so a seek
 // that exhausts the block proves the table holds no entry for that user
 // key at or below the seek timestamp.
-func (r *Reader) Get(ikey []byte) (value []byte, kind keys.Kind, ok bool, err error) {
+func (r *Reader) Get(ikey []byte) (value []byte, ts uint64, kind keys.Kind, ok bool, err error) {
 	uk := keys.UserKey(ikey)
 	if !r.MayContain(uk) {
-		return nil, 0, false, nil
+		return nil, 0, 0, false, nil
 	}
 	pi := pointIterPool.Get().(*pointIter)
 	defer pointIterPool.Put(pi)
 	if err := pi.idx.init(r.index); err != nil {
-		return nil, 0, false, err
+		return nil, 0, 0, false, err
 	}
 	pi.idx.SeekGE(ikey)
 	if err := pi.idx.Err(); err != nil {
-		return nil, 0, false, err
+		return nil, 0, 0, false, err
 	}
 	if !pi.idx.Valid() {
-		return nil, 0, false, nil
+		return nil, 0, 0, false, nil
 	}
 	h, err := decodeHandle(pi.idx.Value())
 	if err != nil {
-		return nil, 0, false, err
+		return nil, 0, 0, false, err
 	}
 	b, err := r.readBlock(h)
 	if err != nil {
-		return nil, 0, false, err
+		return nil, 0, 0, false, err
 	}
 	if err := pi.data.init(b); err != nil {
-		return nil, 0, false, err
+		return nil, 0, 0, false, err
 	}
 	pi.data.SeekGE(ikey)
 	if err := pi.data.Err(); err != nil {
-		return nil, 0, false, err
+		return nil, 0, 0, false, err
 	}
 	if !pi.data.Valid() {
-		return nil, 0, false, nil
+		return nil, 0, 0, false, nil
 	}
 	fk := pi.data.Key()
 	if string(keys.UserKey(fk)) != string(uk) {
-		return nil, 0, false, nil
+		return nil, 0, 0, false, nil
 	}
-	return pi.data.Value(), keys.KindOf(fk), true, nil
+	return pi.data.Value(), keys.Timestamp(fk), keys.KindOf(fk), true, nil
 }
 
 // tableIter is the two-level iterator: index block -> data blocks.

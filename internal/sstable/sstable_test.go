@@ -151,7 +151,7 @@ func TestGetVersions(t *testing.T) {
 		{10, "v10", true},
 		{9, "", false},
 	} {
-		v, kind, ok, err := r.Get(keys.SeekKey([]byte("k"), tc.ts))
+		v, vts, kind, ok, err := r.Get(keys.SeekKey([]byte("k"), tc.ts))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -164,9 +164,12 @@ func TestGetVersions(t *testing.T) {
 		if ok && string(v) != tc.want {
 			t.Fatalf("Get@%d = %q, want %q", tc.ts, v, tc.want)
 		}
+		if ok && vts > tc.ts {
+			t.Fatalf("Get@%d returned version ts %d from the future", tc.ts, vts)
+		}
 	}
 	// Absent key, filtered by bloom.
-	if _, _, ok, _ := r.Get(keys.SeekKey([]byte("absent"), 100)); ok {
+	if _, _, _, ok, _ := r.Get(keys.SeekKey([]byte("absent"), 100)); ok {
 		t.Fatal("found absent key")
 	}
 }
@@ -282,7 +285,7 @@ func TestEmptyTable(t *testing.T) {
 	if it.Valid() {
 		t.Fatal("empty table iterator valid")
 	}
-	if _, _, ok, _ := r.Get(keys.SeekKey([]byte("x"), 1)); ok {
+	if _, _, _, ok, _ := r.Get(keys.SeekKey([]byte("x"), 1)); ok {
 		t.Fatal("Get on empty table found something")
 	}
 }
@@ -312,7 +315,7 @@ func TestRandomRoundTrip(t *testing.T) {
 		buildTable(t, fs, "t", entries, WriterOptions{BlockSize: 128 << rng.Intn(6), BloomBitsPerKey: 10})
 		r := openTable(t, fs, "t", nil)
 		for k, v := range m {
-			got, _, ok, err := r.Get(keys.SeekKey([]byte(k), keys.MaxTimestamp))
+			got, _, _, ok, err := r.Get(keys.SeekKey([]byte(k), keys.MaxTimestamp))
 			if err != nil || !ok || string(got) != v {
 				t.Fatalf("trial %d: Get(%q) = %q,%v,%v", trial, k, got, ok, err)
 			}

@@ -55,8 +55,10 @@ func (v *Version) SizeBytes() uint64 {
 
 // Get searches the disk component for the newest visible version at seek
 // key ikey (user key + read timestamp). deleted=true reports a tombstone,
-// which terminates the whole lookup.
-func (v *Version) Get(ikey []byte) (value []byte, deleted, found bool, err error) {
+// which terminates the whole lookup. ts is the timestamp of the version
+// found (zero when found is false); transaction commit validation uses it
+// to detect versions written after a snapshot even once they are flushed.
+func (v *Version) Get(ikey []byte) (value []byte, ts uint64, deleted, found bool, err error) {
 	uk := keys.UserKey(ikey)
 	var firstSeekFile *FileMeta
 	firstSeekLevel := -1
@@ -79,7 +81,7 @@ func (v *Version) Get(ikey []byte) (value []byte, deleted, found bool, err error
 			err = e
 			return true
 		}
-		val, kind, ok, e := r.Get(ikey)
+		val, vts, kind, ok, e := r.Get(ikey)
 		if e != nil {
 			err = e
 			return true
@@ -87,6 +89,7 @@ func (v *Version) Get(ikey []byte) (value []byte, deleted, found bool, err error
 		if !ok {
 			return false
 		}
+		ts = vts
 		if kind == keys.KindDelete {
 			deleted, found = true, true
 		} else {
@@ -103,7 +106,7 @@ func (v *Version) Get(ikey []byte) (value []byte, deleted, found bool, err error
 			continue
 		}
 		if search(f, 0) {
-			return value, deleted, found, err
+			return value, ts, deleted, found, err
 		}
 	}
 	for level := 1; level < NumLevels; level++ {
@@ -115,10 +118,10 @@ func (v *Version) Get(ikey []byte) (value []byte, deleted, found bool, err error
 			continue
 		}
 		if search(files[i], level) {
-			return value, deleted, found, err
+			return value, ts, deleted, found, err
 		}
 	}
-	return nil, false, false, nil
+	return nil, 0, false, false, nil
 }
 
 // ApproximateSize estimates the byte volume of tables overlapping the

@@ -154,7 +154,7 @@ func TestLogAndApplyAndRecover(t *testing.T) {
 		t.Fatalf("recovered NumFiles = %d", v2.NumFiles())
 	}
 	// Reads must work after recovery.
-	val, deleted, found, err := v2.Get(keys.SeekKey([]byte("k0150"), keys.MaxTimestamp))
+	val, _, deleted, found, err := v2.Get(keys.SeekKey([]byte("k0150"), keys.MaxTimestamp))
 	if err != nil || !found || deleted || string(val) != "v150@10" {
 		t.Fatalf("Get after recovery = %q,%v,%v,%v", val, deleted, found, err)
 	}
@@ -176,23 +176,30 @@ func TestVersionGetSemantics(t *testing.T) {
 	v := s.Current()
 	defer v.Unref()
 
-	// Key in both files: newest version wins.
-	val, _, found, err := v.Get(keys.SeekKey([]byte("k0030"), keys.MaxTimestamp))
+	// Key in both files: newest version wins, and its timestamp is surfaced
+	// (the commit-validation path depends on it).
+	val, ts, _, found, err := v.Get(keys.SeekKey([]byte("k0030"), keys.MaxTimestamp))
 	if err != nil || !found || string(val) != "v30@20" {
 		t.Fatalf("Get = %q,%v,%v", val, found, err)
 	}
+	if ts != 20 {
+		t.Fatalf("Get ts = %d, want 20", ts)
+	}
 	// Timestamp-bounded read sees the old version.
-	val, _, found, _ = v.Get(keys.SeekKey([]byte("k0030"), 15))
+	val, ts, _, found, _ = v.Get(keys.SeekKey([]byte("k0030"), 15))
 	if !found || string(val) != "v30@10" {
 		t.Fatalf("Get@15 = %q,%v", val, found)
 	}
+	if ts != 10 {
+		t.Fatalf("Get@15 ts = %d, want 10", ts)
+	}
 	// Key only in the old file.
-	val, _, found, _ = v.Get(keys.SeekKey([]byte("k0010"), keys.MaxTimestamp))
+	val, _, _, found, _ = v.Get(keys.SeekKey([]byte("k0010"), keys.MaxTimestamp))
 	if !found || string(val) != "v10@10" {
 		t.Fatalf("Get(k0010) = %q,%v", val, found)
 	}
 	// Absent key.
-	if _, _, found, _ := v.Get(keys.SeekKey([]byte("zzz"), keys.MaxTimestamp)); found {
+	if _, _, _, found, _ := v.Get(keys.SeekKey([]byte("zzz"), keys.MaxTimestamp)); found {
 		t.Fatal("absent key found")
 	}
 }

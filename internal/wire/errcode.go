@@ -33,7 +33,8 @@ const (
 	CodeInvalidOptions  ErrorCode = 5 // core.ErrInvalidOptions
 	CodeSnapshotExpired ErrorCode = 6 // core.ErrSnapshotExpired
 	CodeBadRequest      ErrorCode = 7 // protocol violation; no sentinel
-	codeMax                       = CodeBadRequest
+	CodeTxnConflict     ErrorCode = 8 // core.ErrTxnConflict
+	codeMax                       = CodeTxnConflict
 )
 
 // String names the code for logs.
@@ -55,6 +56,8 @@ func (c ErrorCode) String() string {
 		return "snapshot_expired"
 	case CodeBadRequest:
 		return "bad_request"
+	case CodeTxnConflict:
+		return "txn_conflict"
 	}
 	return fmt.Sprintf("code(%d)", uint8(c))
 }
@@ -69,6 +72,7 @@ var sentinels = map[ErrorCode]error{
 	CodeDegraded:        core.ErrDegraded,
 	CodeInvalidOptions:  core.ErrInvalidOptions,
 	CodeSnapshotExpired: core.ErrSnapshotExpired,
+	CodeTxnConflict:     core.ErrTxnConflict,
 }
 
 // Code maps an engine error onto its wire code: the code of the first
@@ -94,7 +98,9 @@ func (c ErrorCode) Sentinel() error { return sentinels[c] }
 // Transient reports whether an operation failing with this code is worth
 // retrying: the condition is expected to clear on its own (a degraded
 // store auto-resumes when its background retry succeeds). Read-only and
-// closed states need operator action; invalid input never heals.
+// closed states need operator action; invalid input never heals. A txn
+// conflict is deliberately NOT transient — resending the identical request
+// re-fails by construction; the caller must re-read and rebuild it.
 func (c ErrorCode) Transient() bool { return c == CodeDegraded }
 
 // Error is a remote engine error rehydrated client-side: it carries the

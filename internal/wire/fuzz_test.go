@@ -23,6 +23,15 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, 5, byte(OpMultiGet), AppendKeys(nil, [][]byte{[]byte("x"), []byte("y")})))
 	f.Add(AppendFrame(nil, 6, byte(OpScan), AppendScan(nil, []byte("start"), 100)))
 	f.Add(AppendFrame(nil, 7, byte(OpStats), nil))
+	f.Add(AppendFrame(nil, 12, byte(OpTxnWrite), AppendTxnWrite(nil,
+		[]ReadExpect{
+			{Key: []byte("seen"), Value: []byte("v0"), Exists: true},
+			{Key: []byte("absent")},
+		},
+		[]Entry{
+			{Key: []byte("a"), Value: []byte("1")},
+			{Delete: true, Key: []byte("b")},
+		})))
 	// Responses flow through the same decoders on the client side.
 	f.Add(AppendFrame(nil, 8, byte(CodeOK), AppendGetReply(nil, []byte("v"), true)))
 	f.Add(AppendFrame(nil, 9, byte(CodeOK), AppendValues(nil, []Value{{Data: []byte("v"), Exists: true}, {}})))
@@ -54,6 +63,7 @@ func FuzzDecodeFrame(f *testing.F) {
 			DecodePut(payload)
 			DecodeKey(payload)
 			DecodeWrite(payload)
+			DecodeTxnWrite(payload)
 			DecodeKeys(payload)
 			DecodeScan(payload)
 			DecodeGetReply(payload)
@@ -88,6 +98,43 @@ func FuzzWriteRoundTrip(f *testing.F) {
 				!bytes.Equal(entries[i].Key, again[i].Key) ||
 				!bytes.Equal(entries[i].Value, again[i].Value) {
 				t.Fatalf("entry %d changed: %+v != %+v", i, entries[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzTxnWriteRoundTrip: any OpTxnWrite payload that decodes must re-encode
+// and decode to the same read checks and entries (canonical encoding).
+func FuzzTxnWriteRoundTrip(f *testing.F) {
+	f.Add(AppendTxnWrite(nil,
+		[]ReadExpect{{Key: []byte("k"), Value: []byte("v"), Exists: true}, {Key: []byte("m")}},
+		[]Entry{{Key: []byte("a"), Value: []byte("1")}, {Delete: true, Key: []byte("b")}}))
+	f.Add(AppendTxnWrite(nil, nil, nil))
+	f.Add([]byte{0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reads, entries, err := DecodeTxnWrite(data)
+		if err != nil {
+			return
+		}
+		r2, e2, err := DecodeTxnWrite(AppendTxnWrite(nil, reads, entries))
+		if err != nil {
+			t.Fatalf("re-decode of re-encode failed: %v", err)
+		}
+		if len(r2) != len(reads) || len(e2) != len(entries) {
+			t.Fatalf("round trip changed counts: %d/%d != %d/%d", len(r2), len(e2), len(reads), len(entries))
+		}
+		for i := range reads {
+			if reads[i].Exists != r2[i].Exists ||
+				!bytes.Equal(reads[i].Key, r2[i].Key) ||
+				!bytes.Equal(reads[i].Value, r2[i].Value) {
+				t.Fatalf("read %d changed: %+v != %+v", i, reads[i], r2[i])
+			}
+		}
+		for i := range entries {
+			if entries[i].Delete != e2[i].Delete ||
+				!bytes.Equal(entries[i].Key, e2[i].Key) ||
+				!bytes.Equal(entries[i].Value, e2[i].Value) {
+				t.Fatalf("entry %d changed: %+v != %+v", i, entries[i], e2[i])
 			}
 		}
 	})

@@ -52,7 +52,8 @@ const (
 	OpMultiGet Op = 5 // key list              -> value list
 	OpScan     Op = 6 // start key, limit      -> key/value pair list
 	OpStats    Op = 7 // empty                 -> health + obs JSON
-	opMax         = OpStats
+	OpTxnWrite Op = 8 // read checks, entries  -> empty (validated commit)
+	opMax         = OpTxnWrite
 )
 
 // String names the opcode for logs and errors.
@@ -72,6 +73,8 @@ func (op Op) String() string {
 		return "scan"
 	case OpStats:
 		return "stats"
+	case OpTxnWrite:
+		return "txnwrite"
 	}
 	return fmt.Sprintf("op(%d)", byte(op))
 }
@@ -274,6 +277,74 @@ func DecodeWrite(p []byte) ([]Entry, error) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(p))
 	}
 	return entries, nil
+}
+
+// ReadExpect is one read-set assertion in an OpTxnWrite payload: the
+// client read Key and observed Value (or absence when Exists is false),
+// and the server must commit the entries only if that observation still
+// holds. The protocol is stateless — no snapshot survives a round trip —
+// so validation ships by value.
+type ReadExpect struct {
+	Key    []byte
+	Value  []byte // nil when Exists is false
+	Exists bool
+}
+
+// AppendTxnWrite encodes an OpTxnWrite payload: the read-check count, then
+// per check a marker byte (0 absent, 1 present), the key, and — for
+// present checks — the expected value; then the write entries in the
+// OpWrite encoding.
+func AppendTxnWrite(dst []byte, reads []ReadExpect, entries []Entry) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(reads)))
+	for i := range reads {
+		r := &reads[i]
+		if r.Exists {
+			dst = append(dst, 1)
+			dst = AppendBytes(dst, r.Key)
+			dst = AppendBytes(dst, r.Value)
+		} else {
+			dst = append(dst, 0)
+			dst = AppendBytes(dst, r.Key)
+		}
+	}
+	return AppendWrite(dst, entries)
+}
+
+// DecodeTxnWrite parses an OpTxnWrite payload. Reads and entries alias p.
+func DecodeTxnWrite(p []byte) (reads []ReadExpect, entries []Entry, err error) {
+	count, p, err := consumeCount(p, 2) // marker byte + 1-byte length minimum
+	if err != nil {
+		return nil, nil, err
+	}
+	reads = make([]ReadExpect, 0, count)
+	for i := 0; i < count; i++ {
+		if len(p) < 1 {
+			return nil, nil, fmt.Errorf("%w: truncated read check", ErrFrame)
+		}
+		marker := p[0]
+		if marker > 1 {
+			return nil, nil, fmt.Errorf("%w: bad read-check marker %d", ErrFrame, marker)
+		}
+		p = p[1:]
+		var r ReadExpect
+		r.Key, p, err = ConsumeBytes(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		if marker == 1 {
+			r.Exists = true
+			r.Value, p, err = ConsumeBytes(p)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		reads = append(reads, r)
+	}
+	entries, err = DecodeWrite(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return reads, entries, nil
 }
 
 // AppendKeys encodes an OpMultiGet payload.

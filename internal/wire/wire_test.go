@@ -188,6 +188,7 @@ func TestErrorCodeExhaustive(t *testing.T) {
 		core.ErrDegraded,
 		core.ErrInvalidOptions,
 		core.ErrSnapshotExpired,
+		core.ErrTxnConflict,
 	}
 	if len(sentinels) != len(publicSentinels) {
 		t.Fatalf("wire maps %d sentinels, engine exposes %d — update the table", len(sentinels), len(publicSentinels))
@@ -246,5 +247,68 @@ func TestErrorCodeExhaustive(t *testing.T) {
 	}
 	if !CodeDegraded.Transient() || CodeReadOnly.Transient() || CodeClosed.Transient() {
 		t.Error("Transient classification wrong")
+	}
+	// A conflict is not transient: blindly resending the identical TxnWrite
+	// re-fails; the caller must re-read first.
+	if CodeTxnConflict.Transient() {
+		t.Error("CodeTxnConflict must not be transient")
+	}
+}
+
+// TestTxnWriteCodec pins the OpTxnWrite payload encoding.
+func TestTxnWriteCodec(t *testing.T) {
+	reads := []ReadExpect{
+		{Key: []byte("a"), Value: []byte("va"), Exists: true},
+		{Key: []byte("gone"), Exists: false},
+		{Key: []byte("empty"), Value: []byte{}, Exists: true},
+	}
+	entries := []Entry{
+		{Key: []byte("a"), Value: []byte("new")},
+		{Delete: true, Key: []byte("b")},
+	}
+	p := AppendTxnWrite(nil, reads, entries)
+	gotReads, gotEntries, err := DecodeTxnWrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotReads) != len(reads) || len(gotEntries) != len(entries) {
+		t.Fatalf("decoded %d reads, %d entries", len(gotReads), len(gotEntries))
+	}
+	for i := range reads {
+		if gotReads[i].Exists != reads[i].Exists ||
+			!bytes.Equal(gotReads[i].Key, reads[i].Key) ||
+			!bytes.Equal(gotReads[i].Value, reads[i].Value) {
+			t.Fatalf("read %d: %+v != %+v", i, gotReads[i], reads[i])
+		}
+	}
+	for i := range entries {
+		if gotEntries[i].Delete != entries[i].Delete ||
+			!bytes.Equal(gotEntries[i].Key, entries[i].Key) ||
+			!bytes.Equal(gotEntries[i].Value, entries[i].Value) {
+			t.Fatalf("entry %d: %+v != %+v", i, gotEntries[i], entries[i])
+		}
+	}
+
+	// Empty checks and empty batch are legal (a pure existence probe).
+	if r, e, err := DecodeTxnWrite(AppendTxnWrite(nil, nil, nil)); err != nil || len(r) != 0 || len(e) != 0 {
+		t.Fatalf("empty TxnWrite: %v %v %v", r, e, err)
+	}
+
+	// Malformed payloads are rejected, never panic.
+	for _, bad := range [][]byte{
+		nil,
+		{0x80},            // non-terminating count
+		{1},               // count without body
+		{1, 2, 1, 'k'},    // bad marker
+		{1, 1, 1, 'k'},    // present check missing value
+		append(p, 0),      // trailing byte
+		p[:len(p)-1],      // truncated batch section
+		{1, 0, 1, 'k'},    // checks ok, missing write section
+		{0, 1, 0, 1, 'k'}, // write entry missing value
+		{0, 1, 2, 1, 'k'}, // bad entry kind
+	} {
+		if _, _, err := DecodeTxnWrite(bad); err == nil {
+			t.Errorf("DecodeTxnWrite(%x) accepted malformed payload", bad)
+		}
 	}
 }

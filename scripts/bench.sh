@@ -22,6 +22,11 @@
 # concurrent writers, N=1 facade parity (median of interleaved pairs),
 # and the adaptive memory governor vs a frozen equal split on a
 # hot-shard workload. SHARD_SCALE picks the run length (smoke/small/full).
+#
+# Finally runs the multi-key transaction profile (docs/TRANSACTIONS.md)
+# and emits BENCH_txn.json: optimistic txn commit throughput vs single-key
+# RMW and blind atomic batches, on hot vs uniform keyspaces, with
+# conflict rates. TXN_SCALE picks the run length (smoke/small/full).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -67,3 +72,5 @@ go run ./cmd/clsm-bench -stall-profile -scale "${STALL_SCALE:-small}" -stall-out
 go run ./cmd/clsm-server -bench -bench-out BENCH_server.json
 
 go run ./cmd/clsm-bench -shard-profile -scale "${SHARD_SCALE:-small}" -shard-out BENCH_shard.json
+
+go run ./cmd/clsm-bench -txn-profile -scale "${TXN_SCALE:-small}" -txn-out BENCH_txn.json

@@ -74,3 +74,23 @@ END {
 	}
 	printf "shard gate ok: speedup %.2fx, N=1 parity %.2f\n", sp, par
 }' /tmp/clsm_shard_check.json
+
+# Transaction gate (docs/TRANSACTIONS.md): the multi-key OCC suites under
+# -race — engine txns plus the 8-writer serializability check against the
+# oracle's cycle-finding checker, the checker's own unit tests, the
+# transactional crash matrix (torn commit records must vanish whole), and
+# the remote TxnWrite path end to end — then a smoke-scale profile run as
+# a sanity tripwire: every mode must make progress and the optimistic
+# retry loop must converge (conflict rate strictly below 1).
+go test -race -short -run 'Txn|Serial' . ./internal/core ./internal/oracle ./internal/shard ./internal/crashtest ./internal/server ./clsmclient
+go run ./cmd/clsm-bench -txn-profile -scale smoke -txn-out /tmp/clsm_txn_check.json
+awk '
+/"txn_vs_batch_uniform"/ { ratio = $2 + 0 }
+/"hot_conflict_rate"/    { hot = $2 + 0 }
+END {
+	if (ratio <= 0.05 || hot >= 1.0) {
+		printf "txn gate FAILED: txn/batch ratio %.3f (need >0.05), hot conflict rate %.3f (need <1.0)\n", ratio, hot
+		exit 1
+	}
+	printf "txn gate ok: txn/batch ratio %.3f, hot conflict rate %.3f\n", ratio, hot
+}' /tmp/clsm_txn_check.json

@@ -1,0 +1,159 @@
+package clsm
+
+import (
+	"context"
+
+	"clsm/internal/core"
+	"clsm/internal/shard"
+)
+
+// ReadCheck is one read-set assertion of a stateless remote transaction;
+// see DB.TxnWrite and docs/TRANSACTIONS.md.
+type ReadCheck = core.ReadCheck
+
+// Txn is a multi-key optimistic transaction: reads are served at a
+// snapshot timestamp and recorded in a read set, writes are buffered, and
+// Commit validates that no read- or write-set key changed since the
+// snapshot before applying the write set as one atomic batch. On conflict
+// Commit returns a wrapped ErrTxnConflict and the caller retries from
+// scratch — the paper's Algorithm 3 read-modify-write generalized from
+// one key to many.
+//
+// A Txn is not safe for concurrent use and pins engine versions until
+// Commit or Rollback; always finish it (defer txn.Rollback() is safe).
+// On a sharded store transactions are single-shard: the first operation
+// pins the owning shard and any key routing elsewhere fails with
+// ErrInvalidOptions (see docs/SHARDING.md for why atomicity stops at the
+// shard boundary).
+type Txn struct {
+	c *core.Txn
+	s *shard.Txn
+}
+
+// BeginTxn starts a transaction.
+func (db *DB) BeginTxn() (*Txn, error) { return db.BeginTxnCtx(nil) }
+
+// BeginTxnCtx is BeginTxn with a context, checked once at entry.
+func (db *DB) BeginTxnCtx(ctx context.Context) (*Txn, error) {
+	if db.sh != nil {
+		t, err := db.sh.BeginTxnCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &Txn{s: t}, nil
+	}
+	t, err := db.inner.BeginTxnCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Txn{c: t}, nil
+}
+
+// Get reads key at the transaction's snapshot, seeing the transaction's
+// own buffered writes first (read-your-writes). External reads join the
+// read set validated at Commit.
+func (t *Txn) Get(key []byte) (value []byte, ok bool, err error) {
+	if t.s != nil {
+		return t.s.Get(key)
+	}
+	return t.c.Get(key)
+}
+
+// Has reports whether key is visible to the transaction (see Get).
+func (t *Txn) Has(key []byte) (bool, error) {
+	if t.s != nil {
+		return t.s.Has(key)
+	}
+	return t.c.Has(key)
+}
+
+// Put buffers (key, value); nothing is visible outside the transaction
+// until Commit. Key and value are copied.
+func (t *Txn) Put(key, value []byte) error {
+	if t.s != nil {
+		return t.s.Put(key, value)
+	}
+	return t.c.Put(key, value)
+}
+
+// Delete buffers a deletion marker for key (see Put).
+func (t *Txn) Delete(key []byte) error {
+	if t.s != nil {
+		return t.s.Delete(key)
+	}
+	return t.c.Delete(key)
+}
+
+// Pending returns the number of buffered writes.
+func (t *Txn) Pending() int {
+	if t.s != nil {
+		return t.s.Pending()
+	}
+	return t.c.Pending()
+}
+
+// Rollback discards the transaction and releases its snapshot. It is a
+// no-op on a finished transaction, so deferring it is always safe.
+func (t *Txn) Rollback() {
+	if t.s != nil {
+		t.s.Rollback()
+		return
+	}
+	t.c.Rollback()
+}
+
+// Commit validates and applies the transaction. On conflict it returns a
+// wrapped ErrTxnConflict; the transaction is finished either way (retry
+// by beginning a new one).
+func (t *Txn) Commit() error { return t.CommitCtx(nil) }
+
+// CommitCtx is Commit with cancellation for the pre-admission waits (see
+// PutCtx). Once validation starts the commit runs to completion.
+func (t *Txn) CommitCtx(ctx context.Context) error {
+	if t.s != nil {
+		return t.s.CommitCtx(ctx)
+	}
+	return t.c.CommitCtx(ctx)
+}
+
+// Txn runs fn inside a transaction: commit if fn returns nil, roll back
+// (returning fn's error) otherwise. Conflicts surface as a wrapped
+// ErrTxnConflict; retry loops belong to the caller, whose fn must be safe
+// to re-run:
+//
+//	for {
+//		err := db.Txn(func(t *clsm.Txn) error {
+//			v, _, _ := t.Get(k)
+//			return t.Put(k, bump(v))
+//		})
+//		if !errors.Is(err, clsm.ErrTxnConflict) {
+//			return err
+//		}
+//	}
+func (db *DB) Txn(fn func(*Txn) error) error { return db.TxnCtx(nil, fn) }
+
+// TxnCtx is Txn with cancellation (see CommitCtx).
+func (db *DB) TxnCtx(ctx context.Context, fn func(*Txn) error) error {
+	t, err := db.BeginTxnCtx(ctx)
+	if err != nil {
+		return err
+	}
+	if err := fn(t); err != nil {
+		t.Rollback()
+		return err
+	}
+	return t.CommitCtx(ctx)
+}
+
+// TxnWriteCtx commits b only if every ReadCheck still holds: each check
+// key's current value (or absence) must equal what the caller observed.
+// It is the engine half of the wire protocol's single-round-trip remote
+// transaction (clsmclient.TxnWrite) and is validated and applied through
+// the same optimistic path as Txn. A failed check returns a wrapped
+// ErrTxnConflict. On a sharded store all keys must route to one shard.
+func (db *DB) TxnWriteCtx(ctx context.Context, checks []ReadCheck, b *Batch) error {
+	if db.sh != nil {
+		return db.sh.TxnWriteCtx(ctx, checks, b)
+	}
+	return db.inner.TxnWriteCtx(ctx, checks, b)
+}

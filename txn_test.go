@@ -1,0 +1,201 @@
+package clsm_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"clsm"
+)
+
+// TestTxnPublicAPI drives the transaction surface through the public
+// package: read-your-writes, buffered isolation, commit atomicity, the
+// closure form, and conflict identity.
+func TestTxnPublicAPI(t *testing.T) {
+	db, err := clsm.OpenPath("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+
+	txn, err := db.BeginTxn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := txn.Get([]byte("a")); !ok || string(v) != "1" {
+		t.Fatalf("txn read a = %q,%v", v, ok)
+	}
+	txn.Put([]byte("a"), []byte("2"))
+	txn.Delete([]byte("gone"))
+	if v, _, _ := txn.Get([]byte("a")); string(v) != "2" {
+		t.Fatalf("read-your-writes: a = %q", v)
+	}
+	// Buffered writes are invisible outside the transaction.
+	if v, _, _ := db.Get([]byte("a")); string(v) != "1" {
+		t.Fatalf("uncommitted write leaked: a = %q", v)
+	}
+	if txn.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", txn.Pending())
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := db.Get([]byte("a")); string(v) != "2" {
+		t.Fatalf("committed write missing: a = %q", v)
+	}
+
+	// The closure form rolls back on error ...
+	sentinel := errors.New("abort")
+	err = db.Txn(func(txn *clsm.Txn) error {
+		txn.Put([]byte("a"), []byte("3"))
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Txn returned %v, want fn's error", err)
+	}
+	if v, _, _ := db.Get([]byte("a")); string(v) != "2" {
+		t.Fatalf("rolled-back write leaked: a = %q", v)
+	}
+	// ... and commits on nil.
+	if err := db.TxnCtx(context.Background(), func(txn *clsm.Txn) error {
+		return txn.Put([]byte("a"), []byte("4"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := db.Get([]byte("a")); string(v) != "4" {
+		t.Fatalf("closure commit missing: a = %q", v)
+	}
+
+	// A conflicting external write surfaces as ErrTxnConflict.
+	txn, _ = db.BeginTxn()
+	if _, _, err := txn.Get([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("a"), []byte("external")); err != nil {
+		t.Fatal(err)
+	}
+	txn.Put([]byte("b"), []byte("x"))
+	if err := txn.Commit(); !errors.Is(err, clsm.ErrTxnConflict) {
+		t.Fatalf("conflicting commit = %v, want ErrTxnConflict", err)
+	}
+	if _, ok, _ := db.Get([]byte("b")); ok {
+		t.Fatal("conflicted txn leaked a write")
+	}
+}
+
+// TestTxnSharded: transactions on a sharded store — same-shard txns
+// commit through the facade, cross-shard keys fail the operation with
+// ErrInvalidOptions while leaving the transaction usable, and the
+// retry-loop idiom converges under concurrency.
+func TestTxnSharded(t *testing.T) {
+	const shards = 4
+	db, err := clsm.OpenPath("", clsm.WithShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// Probe for two keys on one shard and one on another, using only the
+	// public API: a cross-shard pair is whatever the facade rejects.
+	sameShard := func(a, b string) bool {
+		txn, _ := db.BeginTxn()
+		defer txn.Rollback()
+		if _, _, err := txn.Get([]byte(a)); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := txn.Get([]byte(b))
+		return err == nil
+	}
+	var same1, same2, other string
+	same1 = "sk-000"
+	for i := 1; same2 == "" || other == ""; i++ {
+		k := fmt.Sprintf("sk-%03d", i)
+		if sameShard(same1, k) {
+			if same2 == "" {
+				same2 = k
+			}
+		} else if other == "" {
+			other = k
+		}
+	}
+
+	// Same-shard multi-key txn commits atomically.
+	if err := db.Txn(func(txn *clsm.Txn) error {
+		txn.Put([]byte(same1), []byte("v1"))
+		return txn.Put([]byte(same2), []byte("v2"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := db.Get([]byte(same2)); !ok || string(v) != "v2" {
+		t.Fatalf("%s = %q,%v", same2, v, ok)
+	}
+
+	// Cross-shard key fails that op with ErrInvalidOptions; the txn is
+	// still usable on its pinned shard.
+	txn, _ := db.BeginTxn()
+	if err := txn.Put([]byte(same1), []byte("w1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put([]byte(other), []byte("w2")); !errors.Is(err, clsm.ErrInvalidOptions) {
+		t.Fatalf("cross-shard Put = %v, want ErrInvalidOptions", err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("commit after rejected cross-shard op: %v", err)
+	}
+	if v, _, _ := db.Get([]byte(same1)); string(v) != "w1" {
+		t.Fatalf("pinned-shard write missing: %q", v)
+	}
+	if _, ok, _ := db.Get([]byte(other)); ok {
+		t.Fatal("rejected cross-shard write leaked")
+	}
+
+	// Concurrent increment loops on per-shard counters: no lost updates.
+	const workers, perWorker = 4, 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := []byte(fmt.Sprintf("ctr-%d", w%2))
+			for i := 0; i < perWorker; i++ {
+				for {
+					err := db.Txn(func(txn *clsm.Txn) error {
+						v, _, err := txn.Get(key)
+						if err != nil {
+							return err
+						}
+						n, _ := strconv.Atoi(string(v))
+						return txn.Put(key, []byte(strconv.Itoa(n+1)))
+					})
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, clsm.ErrTxnConflict) {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for i := 0; i < 2; i++ {
+		v, _, err := db.Get([]byte(fmt.Sprintf("ctr-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _ := strconv.Atoi(string(v))
+		total += n
+	}
+	if total != workers*perWorker {
+		t.Fatalf("counters sum to %d, want %d (lost updates)", total, workers*perWorker)
+	}
+}
