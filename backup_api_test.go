@@ -1,0 +1,200 @@
+package clsm
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// TestCheckpointOpensAsStore: DB.Checkpoint produces a directory that
+// OpenPath serves as an independent store, immune to writes that land
+// after the checkpoint.
+func TestCheckpointOpensAsStore(t *testing.T) {
+	root := t.TempDir()
+	db, err := OpenPath(filepath.Join(root, "live"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ckpt := filepath.Join(root, "ckpt")
+	n, err := db.Checkpoint(ckpt)
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("checkpoint linked no tables")
+	}
+	if err := db.Put([]byte("k000"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenPath(ckpt)
+	if err != nil {
+		t.Fatalf("open checkpoint: %v", err)
+	}
+	defer re.Close()
+	v, ok, err := re.Get([]byte("k000"))
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("checkpoint k000 = %q,%v,%v, want v1", v, ok, err)
+	}
+}
+
+// TestBackupRestoreRoundTrip drives the public backup surface end to end
+// on disk: two incremental backups, point-in-time restore of the first,
+// full restore of the latest.
+func TestBackupRestoreRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	db, err := OpenPath(filepath.Join(root, "live"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	be, err := NewBackupEngine(filepath.Join(root, "remote"), RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := be.Latest(); !errors.Is(err, ErrNoBackup) {
+		t.Fatalf("Latest on empty remote = %v, want ErrNoBackup", err)
+	}
+
+	for i := 0; i < 100; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("a%03d", i)), []byte("one")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m1, err := db.Backup(be)
+	if err != nil {
+		t.Fatalf("backup 1: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("b%03d", i)), []byte("two")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m2, err := db.Backup(be)
+	if err != nil {
+		t.Fatalf("backup 2: %v", err)
+	}
+	if m1.ID != 1 || m2.ID != 2 || m2.Prev != 1 {
+		t.Fatalf("manifest ids = %d, %d (prev %d)", m1.ID, m2.ID, m2.Prev)
+	}
+	if id, _, err := be.Latest(); err != nil || id != 2 {
+		t.Fatalf("Latest = %d, %v", id, err)
+	}
+	if got := db.Observer().BackupFilesSkipped.Load(); got == 0 {
+		t.Error("second backup skipped no files — incremental shipping broken")
+	}
+
+	// Point-in-time: backup 1 has a-keys only.
+	p1 := filepath.Join(root, "restore-1")
+	if _, err := be.Restore(1, p1); err != nil {
+		t.Fatalf("restore 1: %v", err)
+	}
+	r1, err := OpenPath(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1.Close()
+	if _, ok, _ := r1.Get([]byte("a000")); !ok {
+		t.Error("restore of backup 1 lost a-key")
+	}
+	if _, ok, _ := r1.Get([]byte("b000")); ok {
+		t.Error("restore of backup 1 surfaced a key written after it")
+	}
+
+	// Latest: both generations, and the restored store accepts writes.
+	p2 := filepath.Join(root, "restore-latest")
+	if _, err := be.Restore(0, p2); err != nil {
+		t.Fatalf("restore latest: %v", err)
+	}
+	r2, err := OpenPath(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	for _, k := range []string{"a099", "b099"} {
+		if _, ok, _ := r2.Get([]byte(k)); !ok {
+			t.Errorf("restore of latest lost %s", k)
+		}
+	}
+	if err := r2.Put([]byte("new"), []byte("x")); err != nil {
+		t.Errorf("restored store rejected a write: %v", err)
+	}
+}
+
+// TestShardedCheckpointAndBackup: a sharded store checkpoints into a
+// sharded layout (marker + per-shard images) and its backups restore into
+// a directory that reopens with the same WithShards.
+func TestShardedCheckpointAndBackup(t *testing.T) {
+	root := t.TempDir()
+	db, err := OpenSharded(filepath.Join(root, "live"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 200; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ckpt := filepath.Join(root, "ckpt")
+	if _, err := db.Checkpoint(ckpt); err != nil {
+		t.Fatalf("sharded checkpoint: %v", err)
+	}
+	ck, err := OpenSharded(ckpt, 2)
+	if err != nil {
+		t.Fatalf("open sharded checkpoint: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		v, ok, err := ck.Get([]byte(k))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("checkpoint %s = %q,%v,%v", k, v, ok, err)
+		}
+	}
+	ck.Close()
+
+	be, err := NewBackupEngine(filepath.Join(root, "remote"), RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := db.Backup(be)
+	if err != nil {
+		t.Fatalf("sharded backup: %v", err)
+	}
+	if len(m.Stores) != 2 {
+		t.Fatalf("sharded backup has %d store images, want 2", len(m.Stores))
+	}
+
+	restored := filepath.Join(root, "restored")
+	if _, err := be.Restore(0, restored); err != nil {
+		t.Fatalf("sharded restore: %v", err)
+	}
+	// The restored layout must reject an unsharded open and accept the
+	// original shard count.
+	if _, err := OpenPath(restored); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("unsharded open of sharded restore = %v, want ErrInvalidOptions", err)
+	}
+	re, err := OpenSharded(restored, 2)
+	if err != nil {
+		t.Fatalf("open sharded restore: %v", err)
+	}
+	defer re.Close()
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		v, ok, err := re.Get([]byte(k))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("restored %s = %q,%v,%v", k, v, ok, err)
+		}
+	}
+}

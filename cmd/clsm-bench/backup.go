@@ -1,0 +1,214 @@
+package main
+
+// The backup profile prices the promise docs/BACKUP.md makes: backups
+// are online. The same concurrent put workload runs twice on a real
+// on-disk store — once undisturbed (the baseline), once with
+// back-to-back incremental backups shipping to a remote directory the
+// whole time (the worst case: every backup forces a flush and a
+// checkpoint, and the shipping competes for the same disk). The ratio
+// between the two is the foreground cost of the backup tier. The run
+// finishes by restoring the newest backup and counting its keys, so the
+// throughput number is tied to an image that verifiably opens. Results
+// land in BENCH_backup.json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clsm"
+	"clsm/internal/harness"
+)
+
+// backupReport is the BENCH_backup.json schema.
+type backupReport struct {
+	Scale   string `json:"scale"`
+	Writers int    `json:"writers"`
+	Keys    int    `json:"keys"`
+
+	BaselineSeconds    float64 `json:"baseline_seconds"`
+	BaselinePutsPerSec float64 `json:"baseline_puts_per_sec"`
+	BackupSeconds      float64 `json:"backup_seconds"`
+	BackupPutsPerSec   float64 `json:"backup_puts_per_sec"`
+	// ThroughputRatio is with-backups over baseline put throughput —
+	// 1.0 means free, lower is foreground cost paid to the backup tier.
+	ThroughputRatio float64 `json:"throughput_ratio"`
+
+	BackupsCompleted int     `json:"backups_completed"`
+	BytesShipped     uint64  `json:"bytes_shipped"`
+	FilesSkipped     uint64  `json:"files_skipped"`
+	RestoreSeconds   float64 `json:"restore_seconds"`
+	RestoredKeys     int     `json:"restored_keys"`
+}
+
+// backupProfile runs both phases and writes out (default
+// BENCH_backup.json).
+func backupProfile(sc harness.Scale, out string) error {
+	dur := 4 * time.Second
+	writers := runtime.GOMAXPROCS(0)
+	if writers < 4 {
+		writers = 4
+	}
+	keys := 1 << 16
+	switch sc.Name {
+	case "smoke":
+		dur = 1500 * time.Millisecond
+		keys = 1 << 14
+	case "full":
+		dur = 12 * time.Second
+	}
+
+	root, err := os.MkdirTemp("", "clsm-backup-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	db, err := clsm.OpenPath(filepath.Join(root, "db"))
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	fmt.Printf("# backup profile — %v per phase, %d writers, %d keys\n", dur, writers, keys)
+
+	rep := backupReport{Scale: sc.Name, Writers: writers, Keys: keys}
+
+	// Phase 1: undisturbed baseline.
+	puts, elapsed, err := backupPutPhase(db, writers, keys, dur)
+	if err != nil {
+		return err
+	}
+	rep.BaselineSeconds = elapsed.Seconds()
+	rep.BaselinePutsPerSec = float64(puts) / elapsed.Seconds()
+	fmt.Printf("baseline      %9.0f puts/s\n", rep.BaselinePutsPerSec)
+
+	// Phase 2: the same workload with back-to-back incremental backups
+	// shipping the whole time.
+	be, err := clsm.NewBackupEngine(filepath.Join(root, "remote"), clsm.RemoteOptions{})
+	if err != nil {
+		return err
+	}
+	var (
+		stopBackups atomic.Bool
+		backupErr   error
+		backupWG    sync.WaitGroup
+	)
+	backupWG.Add(1)
+	go func() {
+		defer backupWG.Done()
+		for !stopBackups.Load() {
+			if _, err := db.Backup(be); err != nil {
+				backupErr = err
+				return
+			}
+			rep.BackupsCompleted++
+		}
+	}()
+	puts, elapsed, err = backupPutPhase(db, writers, keys, dur)
+	stopBackups.Store(true)
+	backupWG.Wait()
+	if err != nil {
+		return err
+	}
+	if backupErr != nil {
+		return fmt.Errorf("backup during workload: %w", backupErr)
+	}
+	if rep.BackupsCompleted == 0 {
+		return fmt.Errorf("no backup completed within the %v phase", dur)
+	}
+	rep.BackupSeconds = elapsed.Seconds()
+	rep.BackupPutsPerSec = float64(puts) / elapsed.Seconds()
+	rep.ThroughputRatio = rep.BackupPutsPerSec / rep.BaselinePutsPerSec
+	o := db.Observer()
+	rep.BytesShipped = o.BackupBytesShipped.Load()
+	rep.FilesSkipped = o.BackupFilesSkipped.Load()
+	fmt.Printf("with backups  %9.0f puts/s   ratio %.2f   (%d backups, %d MiB shipped, %d files skipped)\n",
+		rep.BackupPutsPerSec, rep.ThroughputRatio, rep.BackupsCompleted,
+		rep.BytesShipped>>20, rep.FilesSkipped)
+
+	// Restore the newest backup and count what came back: the profile's
+	// throughput numbers only count if the images open.
+	restoreDir := filepath.Join(root, "restored")
+	t0 := time.Now()
+	if _, err := be.Restore(0, restoreDir); err != nil {
+		return fmt.Errorf("restore: %w", err)
+	}
+	rep.RestoreSeconds = time.Since(t0).Seconds()
+	rdb, err := clsm.OpenPath(restoreDir)
+	if err != nil {
+		return fmt.Errorf("open restored store: %w", err)
+	}
+	it, err := rdb.NewIterator()
+	if err != nil {
+		rdb.Close()
+		return err
+	}
+	for it.First(); it.Valid(); it.Next() {
+		rep.RestoredKeys++
+	}
+	ierr := it.Err()
+	it.Close()
+	rdb.Close()
+	if ierr != nil {
+		return fmt.Errorf("scan restored store: %w", ierr)
+	}
+	if rep.RestoredKeys == 0 {
+		return fmt.Errorf("restored store is empty")
+	}
+	fmt.Printf("restore       %6.2fs for %d keys\n", rep.RestoreSeconds, rep.RestoredKeys)
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// backupPutPhase runs the concurrent put workload for dur and returns
+// how many puts landed.
+func backupPutPhase(db *clsm.DB, writers, keys int, dur time.Duration) (int64, time.Duration, error) {
+	var (
+		puts     atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		firstErr error
+		errOnce  sync.Once
+	)
+	val := make([]byte, 128)
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			k := make([]byte, 0, 16)
+			for i := seed; !stop.Load(); i += writers {
+				k = fmt.Appendf(k[:0], "key-%08d", i%keys)
+				if err := db.Put(k, val); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				puts.Add(1)
+			}
+		}(w)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	return puts.Load(), time.Since(start), firstErr
+}

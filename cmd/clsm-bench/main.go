@@ -68,6 +68,8 @@ func main() {
 		shardOut  = flag.String("shard-out", "BENCH_shard.json", "output path for the shard-profile report")
 		txnProf   = flag.Bool("txn-profile", false, "run the multi-key transaction experiment (txn vs RMW vs blind batch, hot vs uniform keyspaces) instead of the figures")
 		txnOut    = flag.String("txn-out", "BENCH_txn.json", "output path for the txn-profile report")
+		bkProf    = flag.Bool("backup-profile", false, "run the online-backup overhead experiment (put throughput with vs without concurrent incremental backups) instead of the figures")
+		bkOut     = flag.String("backup-out", "BENCH_backup.json", "output path for the backup-profile report")
 	)
 	flag.Parse()
 
@@ -105,6 +107,13 @@ func main() {
 	if *txnProf {
 		if err := txnProfile(sc, *txnOut); err != nil {
 			fatal(fmt.Errorf("txn profile: %w", err))
+		}
+		return
+	}
+
+	if *bkProf {
+		if err := backupProfile(sc, *bkOut); err != nil {
+			fatal(fmt.Errorf("backup profile: %w", err))
 		}
 		return
 	}

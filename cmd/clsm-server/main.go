@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -27,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"clsm"
 	"clsm/internal/server"
@@ -41,6 +43,7 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "optional address for the /debug/vars HTTP endpoint")
 		maxBatch  = flag.Int("max-batch", 0, "max requests merged per engine commit (0 = default)")
 		inflight  = flag.Int("max-inflight", 0, "max in-flight requests per connection (0 = default)")
+		drain     = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests before severing connections")
 
 		selftest = flag.Bool("selftest", false, "run the in-process smoke + goroutine-leak test and exit")
 		bench    = flag.Bool("bench", false, "run the server benchmark and exit")
@@ -94,15 +97,25 @@ func main() {
 
 	select {
 	case sig := <-sigc:
-		log.Printf("%v: shutting down", sig)
+		log.Printf("%v: draining connections (timeout %v)", sig, *drain)
 	case err := <-serveErr:
 		if err != nil {
 			log.Printf("serve: %v", err)
 		}
 	}
-	if err := srv.Close(); err != nil {
-		log.Printf("server close: %v", err)
+	// Graceful drain: in-flight requests finish and their responses reach
+	// the wire before the engine closes underneath them. A second signal
+	// or the -drain-timeout deadline cuts the grace short.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	go func() {
+		<-sigc
+		log.Printf("second signal: severing connections")
+		cancel()
+	}()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("server shutdown: %v (connections severed)", err)
 	}
+	cancel()
 	if err := db.Close(); err != nil {
 		log.Fatalf("store close: %v", err)
 	}

@@ -10,6 +10,12 @@
 //	clsm -db /path/to/db incr <key>       # atomic counter via RMW
 //	clsm -db /path/to/db compact
 //	clsm -db /path/to/db stats
+//	clsm -db /path/to/db checkpoint <dest-dir>
+//	clsm -db /path/to/db backup <remote-dir>
+//
+// Restore runs without a live store (the target must not exist yet):
+//
+//	clsm restore <remote-dir> <target-dir> [backup-id]
 //
 // Offline (read-only, no engine):
 //
@@ -50,6 +56,10 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve observability JSON on http://ADDR/debug/vars while the command runs")
 	flag.Parse()
 	args := flag.Args()
+	if len(args) > 0 && args[0] == "restore" {
+		restoreCmd(args)
+		return
+	}
 	if (*dir == "") == (*remote == "") || len(args) == 0 {
 		usage()
 	}
@@ -149,6 +159,26 @@ func main() {
 		if err := db.CompactRange(); err != nil {
 			fatal(err)
 		}
+	case "checkpoint":
+		need(args, 2)
+		n, err := db.Checkpoint(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("checkpoint: %d tables linked into %s\n", n, args[1])
+	case "backup":
+		need(args, 2)
+		be, err := clsm.NewBackupEngine(args[1], clsm.RemoteOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		m, err := db.Backup(be)
+		if err != nil {
+			fatal(err)
+		}
+		o := db.Observer()
+		fmt.Printf("backup %d complete (incremental against %d): %d bytes shipped, %d files skipped\n",
+			m.ID, m.Prev, o.BackupBytesShipped.Load(), o.BackupFilesSkipped.Load())
 	case "stats":
 		h := db.Health()
 		fmt.Printf("health:       %s\n", h.State)
@@ -177,7 +207,7 @@ func main() {
 func remoteCmd(addr string, args []string) {
 	switch args[0] {
 	case "put", "get", "del", "scan", "stats":
-	case "incr", "compact", "verify", "manifest", "dump-sst", "dump-wal":
+	case "incr", "compact", "verify", "manifest", "dump-sst", "dump-wal", "checkpoint", "backup":
 		fmt.Fprintf(os.Stderr, "clsm: %q is not available over -remote; run it on the server host with -db\n", args[0])
 		os.Exit(2)
 	default:
@@ -291,6 +321,39 @@ func need(args []string, n int) {
 	}
 }
 
+// restoreCmd materializes a backup into a fresh directory: no live store
+// is opened, so it works on a machine that never held the original.
+func restoreCmd(args []string) {
+	if len(args) < 3 || len(args) > 4 {
+		usage()
+	}
+	var id uint64
+	if len(args) == 4 {
+		n, err := strconv.ParseUint(args[3], 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("backup id %q: %w", args[3], err))
+		}
+		id = n
+	}
+	if _, err := os.Stat(args[2]); err == nil {
+		fatal(fmt.Errorf("restore target %s already exists; restore only into a fresh directory", args[2]))
+	}
+	be, err := clsm.NewBackupEngine(args[1], clsm.RemoteOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	m, err := be.Restore(id, args[2])
+	if err != nil {
+		fatal(err)
+	}
+	tables := 0
+	for _, st := range m.Stores {
+		tables += len(st.Tables)
+	}
+	fmt.Printf("restored backup %d into %s (%d store images, %d tables)\n",
+		m.ID, args[2], len(m.Stores), tables)
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: clsm -db DIR COMMAND ...
        clsm -remote ADDR COMMAND ...   (put/get/del/scan/stats only)
@@ -302,10 +365,14 @@ commands:
   incr KEY         atomically increment a decimal counter (RMW)
   compact          force a full flush + compaction sweep
   stats            print store shape
+  checkpoint DEST  link a consistent openable image of the store into DEST
+  backup REMOTE    ship an incremental backup to the REMOTE directory
   verify           offline integrity check (tables, WALs, manifest)
   manifest         dump the MANIFEST edit sequence
   dump-sst NUM     dump one table file
-  dump-wal NUM     dump one write-ahead log`)
+  dump-wal NUM     dump one write-ahead log
+standalone (no -db):
+  restore REMOTE TARGET [ID]  restore backup ID (default latest) into TARGET`)
 	os.Exit(2)
 }
 

@@ -1,6 +1,9 @@
 package clsm
 
-import "clsm/internal/core"
+import (
+	"clsm/internal/backup"
+	"clsm/internal/core"
+)
 
 // Exported errors. The API is deliberately free of an ErrKeyNotFound
 // sentinel: reads are tri-state. Get and Has report absence through their
@@ -48,4 +51,19 @@ var (
 	// an unknown SchedulerProfile — and by NewIterator when an iterator's
 	// LowerBound sorts above its UpperBound.
 	ErrInvalidOptions = core.ErrInvalidOptions
+
+	// ErrBackupFailed wraps every error a DB.Backup run aborts on, after
+	// its partial uploads have been garbage-collected from the remote
+	// tier. The previous backup remains the restore point.
+	ErrBackupFailed = backup.ErrBackupFailed
+
+	// ErrNoBackup is returned by BackupEngine.Latest and Restore when the
+	// remote tier holds no completed backup (or not the requested id).
+	ErrNoBackup = backup.ErrNoBackup
+
+	// ErrBackupCorrupt is returned by BackupEngine.Restore when a
+	// downloaded object's content does not hash to its content-addressed
+	// name — remote bit rot or a torn upload — instead of writing a
+	// silently wrong store.
+	ErrBackupCorrupt = backup.ErrObjectCorrupt
 )

@@ -1,15 +1,15 @@
-// Backup: consistent online backup and restore built on snapshot scans —
-// the paper's §2.2 argument for large consistent scans within one
-// partition, applied to operations. The backup runs while writers keep
-// mutating the store, yet captures an exact point-in-time image: every key
-// at the snapshot's timestamp, none of the concurrent churn.
+// Backup: consistent online checkpoint, incremental backup, and verified
+// restore using the engine's native machinery (docs/BACKUP.md). The
+// backups run while writers keep mutating the store — the checkpoint
+// inside each backup pins a consistent version, so every image is an
+// exact point in time: every acknowledged key, none of the torn churn.
+// The second backup ships only the sstables created since the first
+// (content-addressed incremental shipping), and the restore re-hashes
+// every object before trusting it.
 package main
 
 import (
-	"bufio"
-	"encoding/binary"
 	"fmt"
-	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -39,7 +39,7 @@ func main() {
 		src.Put(key(i), []byte(fmt.Sprintf("stable-%d", i)))
 	}
 
-	// Writers churn the store during the backup.
+	// Writers churn the store during the backups.
 	stop := make(chan struct{})
 	var churn atomic.Int64
 	var wg sync.WaitGroup
@@ -60,135 +60,81 @@ func main() {
 			}
 		}(w)
 	}
-
-	// Let the churn writers get going, then take the snapshot and stream
-	// it to the backup file.
 	time.Sleep(20 * time.Millisecond)
-	snap, err := src.GetSnapshot()
+
+	// A checkpoint is the cheapest consistent image: hard links into a
+	// directory that opens as an independent store.
+	ckptDir := filepath.Join(tmp, "checkpoint")
+	linked, err := src.Checkpoint(ckptDir)
 	if err != nil {
 		log.Fatal(err)
 	}
-	backupPath := filepath.Join(tmp, "backup.dat")
-	count, err := backup(snap, backupPath)
-	snap.Close()
+	fmt.Printf("checkpoint: %d tables linked while writers churned\n", linked)
+
+	// Two incremental backups to a remote tier (a directory here; an
+	// object store in production), with churn landing between them.
+	be, err := clsm.NewBackupEngine(filepath.Join(tmp, "remote"), clsm.RemoteOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m1, err := src.Backup(be)
+	if err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	m2, err := src.Backup(be)
 	if err != nil {
 		log.Fatal(err)
 	}
 	close(stop)
 	wg.Wait()
-	fmt.Printf("backed up %d keys while %d concurrent writes landed\n", count, churn.Load())
+	o := src.Observer()
+	fmt.Printf("backup %d then %d: %d bytes shipped, %d files skipped as already remote; %d concurrent writes landed\n",
+		m1.ID, m2.ID, o.BackupBytesShipped.Load(), o.BackupFilesSkipped.Load(), churn.Load())
 
-	// Restore into a fresh store and verify the image is complete and
-	// internally consistent (all values from the seed or pre-snapshot
-	// churn; never a torn mix).
-	dst, err := clsm.Open(clsm.Options{Path: filepath.Join(tmp, "dst")})
+	// Restore the latest backup into a fresh directory. Every object is
+	// re-hashed against its content address on the way down, then the
+	// directory opens as an ordinary store.
+	restoreDir := filepath.Join(tmp, "restored")
+	if _, err := be.Restore(0, restoreDir); err != nil {
+		log.Fatal(err)
+	}
+	dst, err := clsm.Open(clsm.Options{Path: restoreDir})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer dst.Close()
-	restored, err := restore(dst, backupPath)
+
+	// The image must be complete (all n seeded keys present — churn only
+	// overwrites) and internally consistent (every value is a stable-
+	// or churn-write that was acknowledged; never a torn mix).
+	it, err := dst.NewIterator()
 	if err != nil {
 		log.Fatal(err)
 	}
-	if restored != count {
-		log.Fatalf("restore count %d != backup count %d", restored, count)
-	}
-	it, _ := dst.NewIterator()
 	defer it.Close()
 	verified := 0
 	for it.First(); it.Valid(); it.Next() {
 		verified++
 	}
-	if verified != count {
-		log.Fatalf("restored store holds %d keys, want %d", verified, count)
+	if err := it.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if verified != n {
+		log.Fatalf("restored store holds %d keys, want %d", verified, n)
 	}
 	fmt.Printf("restored and verified %d keys — consistent point-in-time image\n", verified)
+
+	// The checkpoint opens too, entirely independent of the live store.
+	ck, err := clsm.Open(clsm.Options{Path: ckptDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ck.Close()
+	if _, ok, err := ck.Get(key(0)); err != nil || !ok {
+		log.Fatalf("checkpoint lost %s: ok=%v err=%v", key(0), ok, err)
+	}
+	fmt.Println("checkpoint opens as an independent store")
 }
 
 func key(i int) []byte { return []byte(fmt.Sprintf("row:%06d", i)) }
-
-// backup streams a snapshot to a length-prefixed binary file.
-func backup(snap *clsm.Snapshot, path string) (int, error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return 0, err
-	}
-	defer f.Close()
-	w := bufio.NewWriter(f)
-	it, err := snap.NewIterator()
-	if err != nil {
-		return 0, err
-	}
-	defer it.Close()
-	count := 0
-	var lenBuf [binary.MaxVarintLen64]byte
-	writeBlob := func(b []byte) error {
-		n := binary.PutUvarint(lenBuf[:], uint64(len(b)))
-		if _, err := w.Write(lenBuf[:n]); err != nil {
-			return err
-		}
-		_, err := w.Write(b)
-		return err
-	}
-	for it.First(); it.Valid(); it.Next() {
-		if err := writeBlob(it.Key()); err != nil {
-			return count, err
-		}
-		if err := writeBlob(it.Value()); err != nil {
-			return count, err
-		}
-		count++
-	}
-	if err := it.Err(); err != nil {
-		return count, err
-	}
-	return count, w.Flush()
-}
-
-// restore loads a backup file into a store using atomic batches.
-func restore(db *clsm.DB, path string) (int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return 0, err
-	}
-	defer f.Close()
-	r := bufio.NewReader(f)
-	readBlob := func() ([]byte, error) {
-		n, err := binary.ReadUvarint(r)
-		if err != nil {
-			return nil, err
-		}
-		b := make([]byte, n)
-		_, err = io.ReadFull(r, b)
-		return b, err
-	}
-	count := 0
-	var b clsm.Batch
-	for {
-		k, err := readBlob()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return count, err
-		}
-		v, err := readBlob()
-		if err != nil {
-			return count, err
-		}
-		b.Put(k, v)
-		count++
-		if b.Len() >= 256 {
-			if err := db.Write(&b); err != nil {
-				return count, err
-			}
-			b.Reset()
-		}
-	}
-	if b.Len() > 0 {
-		if err := db.Write(&b); err != nil {
-			return count, err
-		}
-	}
-	return count, nil
-}

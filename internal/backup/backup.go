@@ -1,0 +1,403 @@
+// Package backup implements incremental backup and point-in-time restore
+// on top of engine checkpoints, shipping through a pluggable remote
+// storage.FS "object store".
+//
+// A backup is a checkpoint (a consistent image of one or more stores —
+// the shards of a sharded store each contribute one) whose files are
+// uploaded as content-addressed objects: every sstable and checkpoint
+// manifest is stored under a name derived from the SHA-256 of its bytes.
+// Content addressing is what makes backups incremental — an sstable whose
+// content the previous backup's manifest already names is skipped, so
+// successive backups ship only the tables flushes and compactions created
+// since — and what makes restores verified: every downloaded object is
+// re-hashed against its name before it is written into the target
+// directory.
+//
+// Each completed backup writes a JSON backup manifest (BACKUP-%06d)
+// naming its stores, their CURRENT contents, and the object behind every
+// file, then repoints LATEST at it; LATEST is the commit point, so a
+// backup that dies mid-ship is never visible to restores. Remote faults
+// are classified with internal/health semantics: transient errors retry
+// with capped jittered backoff per object, anything else aborts the
+// backup cleanly — objects uploaded by the failed run are deleted (they
+// are provably unshared: shared content would have been skipped), a
+// backup-failed event is traced, and the previous backup remains the
+// restore point.
+package backup
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"clsm/internal/health"
+	"clsm/internal/obs"
+	"clsm/internal/storage"
+	"clsm/internal/version"
+)
+
+// ErrBackupFailed wraps every error a backup run aborts on, after its
+// partial uploads have been garbage-collected. Match with errors.Is.
+var ErrBackupFailed = errors.New("backup: backup failed")
+
+// ErrNoBackup is returned when the remote tier holds no completed backup.
+var ErrNoBackup = errors.New("backup: no completed backup")
+
+// ErrObjectCorrupt is returned by restore when a downloaded object's
+// content does not hash to its name (remote bit rot or a torn upload that
+// somehow became visible).
+var ErrObjectCorrupt = errors.New("backup: object content does not match its name")
+
+// latestName is the remote pointer object naming the newest completed
+// backup manifest — the backup commit point.
+const latestName = "LATEST"
+
+// ManifestName returns the remote name of backup manifest id.
+func ManifestName(id uint64) string { return fmt.Sprintf("BACKUP-%06d", id) }
+
+// ObjectName content-addresses data.
+func ObjectName(data []byte) string { return fmt.Sprintf("obj-%x", sha256.Sum256(data)) }
+
+// TableObject maps one engine file to its remote object.
+type TableObject struct {
+	// Name is the file's name inside the store directory (000005.sst,
+	// MANIFEST-000012).
+	Name string `json:"name"`
+	// Object is the content-addressed remote object holding its bytes.
+	Object string `json:"object"`
+	// Size is the file length, double-checked on restore.
+	Size int64 `json:"size"`
+}
+
+// StoreImage is one store's (or one shard's) slice of a backup.
+type StoreImage struct {
+	// Prefix distinguishes the shards of a sharded store (shard-000, …);
+	// empty for an unsharded store.
+	Prefix string `json:"prefix,omitempty"`
+	// Current is the verbatim content of the checkpoint's CURRENT file.
+	Current string `json:"current"`
+	// Manifest is the checkpoint's snapshot MANIFEST.
+	Manifest TableObject `json:"manifest"`
+	// Tables are the live sstables of the checkpointed version.
+	Tables []TableObject `json:"tables"`
+}
+
+// Manifest describes one completed backup.
+type Manifest struct {
+	ID   uint64 `json:"id"`
+	Prev uint64 `json:"prev,omitempty"` // previous backup id (0 = none)
+	// Stores holds one image per store; sharded stores contribute one
+	// per shard under its directory prefix.
+	Stores []StoreImage `json:"stores"`
+}
+
+// objects returns every remote object the manifest references.
+func (m *Manifest) objects() map[string]bool {
+	set := make(map[string]bool)
+	if m == nil {
+		return set
+	}
+	for _, st := range m.Stores {
+		set[st.Manifest.Object] = true
+		for _, t := range st.Tables {
+			set[t.Object] = true
+		}
+	}
+	return set
+}
+
+// Checkpointer materializes a consistent store image into dst and reports
+// how many tables it linked. Implemented by core.DB.Checkpoint.
+type Checkpointer interface {
+	Checkpoint(dst storage.FS) (int, error)
+}
+
+// Source is one store to include in a backup.
+type Source struct {
+	// Prefix labels the store's image in the backup manifest (the shard
+	// directory name for sharded stores; empty for unsharded).
+	Prefix string
+	// DB produces the checkpoint.
+	DB Checkpointer
+}
+
+// Options tunes an Engine.
+type Options struct {
+	// Classifier decides which remote errors are worth retrying. The
+	// zero value knows the OS-level transient conditions and the
+	// Temporary()/Timeout() conventions.
+	Classifier health.Classifier
+	// RetryBase and RetryCap bound the per-object retry backoff
+	// (health.DefaultBackoffBase/Cap when zero).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// MaxAttempts caps upload/download attempts per object (default 5).
+	MaxAttempts int
+	// Observer receives backup counters, the upload-latency histogram,
+	// and the backup lifecycle events. Defaults to a fresh Observer.
+	Observer *obs.Observer
+}
+
+// Engine ships backups to (and restores from) one remote object store.
+// Methods are not safe for concurrent use with each other; the engine
+// serializes backups by construction (one store ships one backup at a
+// time, on the scheduler's backup band).
+type Engine struct {
+	remote storage.FS
+	opts   Options
+}
+
+// New builds an engine over the remote object store.
+func New(remote storage.FS, opts Options) *Engine {
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 5
+	}
+	if opts.Observer == nil {
+		opts.Observer = obs.New()
+	}
+	return &Engine{remote: remote, opts: opts}
+}
+
+// Remote exposes the underlying object store (tests, tools).
+func (e *Engine) Remote() storage.FS { return e.remote }
+
+// Latest returns the id and manifest of the most recent completed backup,
+// or ErrNoBackup when none exists.
+func (e *Engine) Latest() (uint64, *Manifest, error) {
+	b, err := e.remote.ReadFile(latestName)
+	if errors.Is(err, storage.ErrNotExist) {
+		return 0, nil, ErrNoBackup
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	var id uint64
+	if _, err := fmt.Sscanf(strings.TrimSpace(string(b)), "%d", &id); err != nil || id == 0 {
+		return 0, nil, fmt.Errorf("backup: malformed LATEST %q", b)
+	}
+	m, err := e.Load(id)
+	return id, m, err
+}
+
+// Load fetches and decodes backup manifest id.
+func (e *Engine) Load(id uint64) (*Manifest, error) {
+	b, err := e.remote.ReadFile(ManifestName(id))
+	if errors.Is(err, storage.ErrNotExist) {
+		return nil, fmt.Errorf("%w: id %d", ErrNoBackup, id)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("backup: decode manifest %d: %w", id, err)
+	}
+	return &m, nil
+}
+
+// Backup checkpoints every source and ships the images incrementally: a
+// table whose content the previous backup already holds is skipped
+// (backup_files_skipped), everything else is uploaded content-addressed
+// with per-object transient retry. On success the backup manifest and the
+// LATEST pointer are written — in that order, so LATEST always names a
+// complete backup — and the manifest is returned. On failure the run's
+// partial uploads are removed, a backup-failed event is traced, and the
+// error wraps ErrBackupFailed.
+func (e *Engine) Backup(sources ...Source) (*Manifest, error) {
+	o := e.opts.Observer
+	o.Event(obs.Event{Type: obs.EvBackupStart})
+
+	prevID, prev, err := e.Latest()
+	if err != nil && !errors.Is(err, ErrNoBackup) {
+		return nil, e.fail(nil, err)
+	}
+	have := prev.objects()
+
+	m := &Manifest{ID: prevID + 1, Prev: prevID}
+	var uploaded []string
+	shippedBefore := o.BackupBytesShipped.Load()
+	boff := &health.Backoff{Base: e.opts.RetryBase, Cap: e.opts.RetryCap}
+
+	for _, src := range sources {
+		// Checkpoint into volatile staging: the links pin nothing on the
+		// remote path, and the staging image dies with the run.
+		staging := storage.NewMemFS()
+		if _, err := src.DB.Checkpoint(staging); err != nil {
+			return nil, e.fail(uploaded, fmt.Errorf("checkpoint %q: %w", src.Prefix, err))
+		}
+		st, err := e.ship(staging, src.Prefix, have, &uploaded, boff)
+		if err != nil {
+			return nil, e.fail(uploaded, err)
+		}
+		m.Stores = append(m.Stores, *st)
+	}
+
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, e.fail(uploaded, err)
+	}
+	if err := e.put(ManifestName(m.ID), data, &uploaded, boff); err != nil {
+		return nil, e.fail(uploaded, err)
+	}
+	if err := e.put(latestName, []byte(fmt.Sprintf("%d\n", m.ID)), nil, boff); err != nil {
+		return nil, e.fail(uploaded, err)
+	}
+	o.Event(obs.Event{Type: obs.EvBackupEnd, Bytes: o.BackupBytesShipped.Load() - shippedBefore})
+	return m, nil
+}
+
+// fail garbage-collects the aborted run's uploads (content addressing
+// guarantees they are unshared: content a previous backup holds was
+// skipped, not re-uploaded) and traces the failure.
+func (e *Engine) fail(uploaded []string, err error) error {
+	for _, name := range uploaded {
+		e.remote.Remove(name)
+	}
+	e.opts.Observer.Event(obs.Event{Type: obs.EvBackupFailed, Msg: err.Error()})
+	return fmt.Errorf("%w: %v", ErrBackupFailed, err)
+}
+
+// ship uploads one staged checkpoint. have accumulates the object names
+// known to exist remotely — seeded from the previous backup's manifest
+// and extended by this run's uploads, so identical tables (across shards,
+// or across backups) ship exactly once.
+func (e *Engine) ship(staging storage.FS, prefix string, have map[string]bool, uploaded *[]string, boff *health.Backoff) (*StoreImage, error) {
+	cur, err := staging.ReadFile(version.CurrentFileName)
+	if err != nil {
+		return nil, fmt.Errorf("staging CURRENT: %w", err)
+	}
+	st := &StoreImage{Prefix: prefix, Current: string(cur)}
+
+	names, err := staging.List()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		kind, _, ok := version.ParseFileName(name)
+		if !ok || kind == version.KindCurrent || kind == version.KindLog {
+			continue
+		}
+		data, err := staging.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		entry := TableObject{Name: name, Object: ObjectName(data), Size: int64(len(data))}
+		if have[entry.Object] {
+			if kind == version.KindTable {
+				e.opts.Observer.BackupFilesSkipped.Add(1)
+			}
+		} else {
+			if err := e.put(entry.Object, data, uploaded, boff); err != nil {
+				return nil, err
+			}
+			have[entry.Object] = true
+		}
+		switch kind {
+		case version.KindTable:
+			st.Tables = append(st.Tables, entry)
+		case version.KindManifest:
+			st.Manifest = entry
+		}
+	}
+	if st.Manifest.Object == "" {
+		return nil, fmt.Errorf("backup: staged checkpoint %q has no manifest", prefix)
+	}
+	return st, nil
+}
+
+// put uploads one object, retrying transient remote faults with capped
+// jittered backoff up to MaxAttempts; any other class aborts immediately.
+func (e *Engine) put(name string, data []byte, uploaded *[]string, boff *health.Backoff) error {
+	o := e.opts.Observer
+	for attempt := 1; ; attempt++ {
+		start := time.Now()
+		err := e.remote.WriteFile(name, data)
+		o.BackupUpload.RecordValue(uint64(time.Since(start).Microseconds()))
+		if err == nil {
+			o.BackupBytesShipped.Add(uint64(len(data)))
+			if uploaded != nil {
+				*uploaded = append(*uploaded, name)
+			}
+			boff.Reset()
+			return nil
+		}
+		if e.opts.Classifier.Classify(err) != health.ClassTransient || attempt >= e.opts.MaxAttempts {
+			// The failed PUT may have left partial content under the
+			// object's name (a torn multipart upload). GC-tracked names
+			// are this run's own, so removing is always safe; the LATEST
+			// pointer (uploaded == nil) must never be removed — it still
+			// names the previous completed backup.
+			if uploaded != nil {
+				e.remote.Remove(name)
+			}
+			return fmt.Errorf("upload %s: %w", name, err)
+		}
+		time.Sleep(boff.Next())
+	}
+}
+
+// Restore materializes backup id (0 selects the latest) through mkfs,
+// which maps each store image's prefix to its target filesystem (an
+// unsharded backup calls it once with ""). Every object is verified
+// against its content address before it is written; CURRENT is written
+// last, so an interrupted restore is never mistaken for a complete store.
+// The restored directories open as ordinary stores.
+func (e *Engine) Restore(id uint64, mkfs func(prefix string) (storage.FS, error)) (*Manifest, error) {
+	var m *Manifest
+	var err error
+	if id == 0 {
+		_, m, err = e.Latest()
+	} else {
+		m, err = e.Load(id)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range m.Stores {
+		dst, err := mkfs(st.Prefix)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.restoreStore(st, dst); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func (e *Engine) restoreStore(st StoreImage, dst storage.FS) error {
+	for _, t := range st.Tables {
+		if err := e.fetch(t, dst); err != nil {
+			return err
+		}
+	}
+	if err := e.fetch(st.Manifest, dst); err != nil {
+		return err
+	}
+	return dst.WriteFile(version.CurrentFileName, []byte(st.Current))
+}
+
+// fetch downloads one object (retrying transients), verifies its size and
+// content address, and writes it under its store name.
+func (e *Engine) fetch(t TableObject, dst storage.FS) error {
+	boff := &health.Backoff{Base: e.opts.RetryBase, Cap: e.opts.RetryCap}
+	var data []byte
+	for attempt := 1; ; attempt++ {
+		var err error
+		data, err = e.remote.ReadFile(t.Object)
+		if err == nil {
+			break
+		}
+		if e.opts.Classifier.Classify(err) != health.ClassTransient || attempt >= e.opts.MaxAttempts {
+			return fmt.Errorf("backup: fetch %s (%s): %w", t.Name, t.Object, err)
+		}
+		time.Sleep(boff.Next())
+	}
+	if int64(len(data)) != t.Size || ObjectName(data) != t.Object {
+		return fmt.Errorf("%w: %s (%s)", ErrObjectCorrupt, t.Object, t.Name)
+	}
+	return dst.WriteFile(t.Name, data)
+}

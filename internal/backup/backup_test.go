@@ -1,0 +1,311 @@
+package backup
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"clsm/internal/core"
+	"clsm/internal/faultfs"
+	"clsm/internal/obs"
+	"clsm/internal/storage"
+)
+
+func openDB(t *testing.T, fs storage.FS) *core.DB {
+	t.Helper()
+	db, err := core.Open(core.Options{FS: fs, MemtableSize: 4 << 10})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return db
+}
+
+func mustPut(t *testing.T, db *core.DB, k, v string) {
+	t.Helper()
+	if err := db.Put([]byte(k), []byte(v)); err != nil {
+		t.Fatalf("put %s: %v", k, err)
+	}
+}
+
+func checkGet(t *testing.T, db *core.DB, k, want string) {
+	t.Helper()
+	v, ok, err := db.Get([]byte(k))
+	if err != nil || !ok {
+		t.Fatalf("get %s: ok=%v err=%v", k, ok, err)
+	}
+	if string(v) != want {
+		t.Fatalf("get %s = %q, want %q", k, v, want)
+	}
+}
+
+// TestCheckpointOpensIndependently: a checkpoint of a live store is a
+// complete store of its own — it opens from the checkpoint filesystem and
+// serves every key written before the checkpoint.
+func TestCheckpointOpensIndependently(t *testing.T) {
+	src := storage.NewMemFS()
+	db := openDB(t, src)
+	for i := 0; i < 200; i++ {
+		mustPut(t, db, fmt.Sprintf("key-%03d", i), fmt.Sprintf("val-%d", i))
+	}
+	ckpt := storage.NewMemFS()
+	n, err := db.Checkpoint(ckpt)
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("checkpoint linked no tables")
+	}
+	if got := db.Observer().CheckpointLiveLinks.Load(); got != uint64(n) {
+		t.Fatalf("checkpoint_live_links = %d, want %d", got, n)
+	}
+	// Mutate the source after the checkpoint; the image must not move.
+	mustPut(t, db, "key-000", "mutated")
+	if err := db.Close(); err != nil {
+		t.Fatalf("close src: %v", err)
+	}
+
+	re := openDB(t, ckpt)
+	defer re.Close()
+	checkGet(t, re, "key-000", "val-0")
+	checkGet(t, re, "key-199", "val-199")
+}
+
+// TestIncrementalBackupRestore: a second backup ships only tables created
+// since the first (backup_files_skipped > 0, object store holds each
+// content exactly once), and restore of each backup serves exactly its
+// point-in-time image.
+func TestIncrementalBackupRestore(t *testing.T) {
+	db := openDB(t, storage.NewMemFS())
+	defer db.Close()
+	o := obs.New()
+	eng := New(storage.NewMemFS(), Options{Observer: o})
+
+	for i := 0; i < 100; i++ {
+		mustPut(t, db, fmt.Sprintf("a-%03d", i), "one")
+	}
+	m1, err := eng.Backup(Source{DB: db})
+	if err != nil {
+		t.Fatalf("backup 1: %v", err)
+	}
+	if m1.ID != 1 || m1.Prev != 0 {
+		t.Fatalf("backup 1 ids = %d/%d", m1.ID, m1.Prev)
+	}
+	if len(m1.Stores) != 1 || len(m1.Stores[0].Tables) == 0 {
+		t.Fatalf("backup 1 shape: %+v", m1)
+	}
+	if o.BackupFilesSkipped.Load() != 0 {
+		t.Fatalf("first backup skipped %d files", o.BackupFilesSkipped.Load())
+	}
+
+	for i := 0; i < 100; i++ {
+		mustPut(t, db, fmt.Sprintf("b-%03d", i), "two")
+	}
+	m2, err := eng.Backup(Source{DB: db})
+	if err != nil {
+		t.Fatalf("backup 2: %v", err)
+	}
+	if m2.ID != 2 || m2.Prev != 1 {
+		t.Fatalf("backup 2 ids = %d/%d", m2.ID, m2.Prev)
+	}
+	if o.BackupFilesSkipped.Load() == 0 {
+		t.Fatal("second backup re-shipped every table (backup_files_skipped = 0)")
+	}
+	if o.BackupBytesShipped.Load() == 0 {
+		t.Fatal("backup_bytes_shipped = 0")
+	}
+
+	// The object store holds each distinct content exactly once: every
+	// object named by either manifest exists, and no object exists that
+	// neither names (no leaked partials, no duplicates by construction
+	// of content addressing).
+	want := m1.objects()
+	for k := range m2.objects() {
+		want[k] = true
+	}
+	names, err := eng.Remote().List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if strings.HasPrefix(name, "obj-") && !want[name] {
+			t.Fatalf("unreferenced object %s", name)
+		}
+		delete(want, name)
+	}
+	for k := range want {
+		t.Fatalf("missing object %s", k)
+	}
+
+	// Restore backup 1: point-in-time — a-keys only.
+	fs1 := storage.NewMemFS()
+	if _, err := eng.Restore(1, func(string) (storage.FS, error) { return fs1, nil }); err != nil {
+		t.Fatalf("restore 1: %v", err)
+	}
+	r1 := openDB(t, fs1)
+	checkGet(t, r1, "a-000", "one")
+	if _, ok, _ := r1.Get([]byte("b-000")); ok {
+		t.Fatal("restore of backup 1 surfaced a key written after it")
+	}
+	r1.Close()
+
+	// Restore latest (id 0): both generations.
+	fs2 := storage.NewMemFS()
+	if _, err := eng.Restore(0, func(string) (storage.FS, error) { return fs2, nil }); err != nil {
+		t.Fatalf("restore latest: %v", err)
+	}
+	r2 := openDB(t, fs2)
+	checkGet(t, r2, "a-099", "one")
+	checkGet(t, r2, "b-099", "two")
+	r2.Close()
+}
+
+// TestBackupTransientRetry: an injected transient remote fault is retried
+// and the backup completes.
+func TestBackupTransientRetry(t *testing.T) {
+	db := openDB(t, storage.NewMemFS())
+	defer db.Close()
+	remote := faultfs.Wrap(storage.NewMemFS())
+	remote.Arm(
+		faultfs.Rule{Op: faultfs.OpWriteFile, N: 1, Kind: faultfs.FaultErr},
+		faultfs.Rule{Op: faultfs.OpWriteFile, N: 2, Kind: faultfs.FaultErr},
+	)
+	o := obs.New()
+	eng := New(remote, Options{Observer: o, RetryBase: time.Millisecond, RetryCap: 2 * time.Millisecond})
+
+	mustPut(t, db, "k", "v")
+	if _, err := eng.Backup(Source{DB: db}); err != nil {
+		t.Fatalf("backup with transient faults: %v", err)
+	}
+	fs := storage.NewMemFS()
+	if _, err := eng.Restore(0, func(string) (storage.FS, error) { return fs, nil }); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	re := openDB(t, fs)
+	defer re.Close()
+	checkGet(t, re, "k", "v")
+}
+
+// fatalFS fails one named write with an unclassifiable error.
+type fatalFS struct {
+	storage.FS
+	failPrefix string
+	failed     bool
+}
+
+var errPermanent = errors.New("remote bucket deleted")
+
+func (f *fatalFS) WriteFile(name string, data []byte) error {
+	if !f.failed && f.failPrefix != "" && strings.HasPrefix(name, f.failPrefix) {
+		f.failed = true
+		return errPermanent
+	}
+	return f.FS.WriteFile(name, data)
+}
+
+// TestBackupFatalAbortGC: a fatal remote fault aborts the run cleanly —
+// the error wraps ErrBackupFailed, the run's partial uploads are removed,
+// the previous backup stays restorable, and a backup-failed event is
+// traced.
+func TestBackupFatalAbortGC(t *testing.T) {
+	db := openDB(t, storage.NewMemFS())
+	defer db.Close()
+	inner := storage.NewMemFS()
+	remote := &fatalFS{FS: inner}
+	o := obs.New()
+	eng := New(remote, Options{Observer: o})
+
+	mustPut(t, db, "a", "1")
+	if _, err := eng.Backup(Source{DB: db}); err != nil {
+		t.Fatalf("backup 1: %v", err)
+	}
+	before, _ := inner.List()
+
+	// Second backup: new table upload hits the fatal fault.
+	mustPut(t, db, "b", "2")
+	remote.failPrefix = "obj-"
+	_, err := eng.Backup(Source{DB: db})
+	if !errors.Is(err, ErrBackupFailed) {
+		t.Fatalf("err = %v, want ErrBackupFailed", err)
+	}
+	after, _ := inner.List()
+	if len(after) != len(before) {
+		t.Fatalf("aborted backup leaked objects: before %v, after %v", before, after)
+	}
+	var sawFail bool
+	for _, e := range o.Trace.Events() {
+		if e.Type == obs.EvBackupFailed {
+			sawFail = true
+		}
+	}
+	if !sawFail {
+		t.Fatal("no backup-failed event traced")
+	}
+
+	// The previous backup is still the restore point.
+	fs := storage.NewMemFS()
+	m, err := eng.Restore(0, func(string) (storage.FS, error) { return fs, nil })
+	if err != nil {
+		t.Fatalf("restore after abort: %v", err)
+	}
+	if m.ID != 1 {
+		t.Fatalf("restored backup id = %d, want 1", m.ID)
+	}
+	re := openDB(t, fs)
+	defer re.Close()
+	checkGet(t, re, "a", "1")
+	if _, ok, _ := re.Get([]byte("b")); ok {
+		t.Fatal("aborted backup's data surfaced in restore")
+	}
+}
+
+// TestRestoreVerifiesContent: a corrupted remote object is detected by
+// the restore's content-address check instead of being written through.
+func TestRestoreVerifiesContent(t *testing.T) {
+	db := openDB(t, storage.NewMemFS())
+	defer db.Close()
+	inner := storage.NewMemFS()
+	eng := New(inner, Options{})
+
+	mustPut(t, db, "k", "v")
+	m, err := eng.Backup(Source{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := m.Stores[0].Tables[0].Object
+	data, _ := inner.ReadFile(obj)
+	data[len(data)/2] ^= 0x40
+	inner.WriteFile(obj, data)
+
+	fs := storage.NewMemFS()
+	_, err = eng.Restore(0, func(string) (storage.FS, error) { return fs, nil })
+	if !errors.Is(err, ErrObjectCorrupt) {
+		t.Fatalf("err = %v, want ErrObjectCorrupt", err)
+	}
+}
+
+// TestBackupOnScheduler: the whole backup runs as a backup-band job on
+// the engine's unified scheduler and still completes while foreground
+// writes keep flowing.
+func TestBackupOnScheduler(t *testing.T) {
+	db := openDB(t, storage.NewMemFS())
+	defer db.Close()
+	eng := New(storage.NewMemFS(), Options{})
+	for i := 0; i < 50; i++ {
+		mustPut(t, db, fmt.Sprintf("k-%02d", i), "v")
+	}
+	var m *Manifest
+	var berr error
+	if err := db.RunBackupJob(func() {
+		m, berr = eng.Backup(Source{DB: db})
+	}); err != nil {
+		t.Fatalf("RunBackupJob: %v", err)
+	}
+	if berr != nil {
+		t.Fatalf("backup on scheduler: %v", berr)
+	}
+	if m == nil || m.ID != 1 {
+		t.Fatalf("manifest = %+v", m)
+	}
+}

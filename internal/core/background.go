@@ -266,6 +266,7 @@ func (db *DB) CompactRange() error {
 			err := db.runCompaction(c)
 			db.unlockLevels(level)
 			if err != nil {
+				db.reportForeground("compact-range", err)
 				return err
 			}
 			break

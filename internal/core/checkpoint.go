@@ -1,0 +1,58 @@
+package core
+
+import (
+	"clsm/internal/scheduler"
+	"clsm/internal/storage"
+)
+
+// Checkpoint materializes a consistent, independently openable image of
+// the store in dst: the memtable is flushed first (so every acknowledged
+// write is in the disk component and the image needs no WAL), then the
+// pinned version's sstables are linked — hard links when both sides are
+// directories on one device, copies otherwise — alongside a snapshot
+// MANIFEST and CURRENT. Writes that land after the flush may or may not
+// be included; the image is always some consistent point in time at or
+// after the call. Returns the number of tables linked.
+func (db *DB) Checkpoint(dst storage.FS) (int, error) {
+	if db.closed.Load() {
+		return 0, ErrClosed
+	}
+	if err := db.Flush(); err != nil {
+		return 0, err
+	}
+	n, err := db.versions.Checkpoint(dst)
+	if err != nil {
+		return n, err
+	}
+	db.obs.CheckpointLiveLinks.Add(uint64(n))
+	return n, nil
+}
+
+// RunBackupJob runs fn on the unified scheduler's backup band — the
+// lowest priority class, with its own worker slot, so a long backup ship
+// never occupies a compaction slot and can never starve a flush — and
+// waits for it to finish. Returns without running fn when the store is
+// closed, or when background dispatch is paused (read-only quarantine or
+// a fatal fault: a store in that state must not drive new background
+// I/O).
+func (db *DB) RunBackupJob(fn func()) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	done := make(chan struct{})
+	ok := db.sched.Submit(scheduler.Job{
+		Band: scheduler.BandBackup,
+		Run:  func() { defer close(done); fn() },
+	})
+	if !ok {
+		return wrapHealthErr(ErrReadOnly, db.health.Err())
+	}
+	select {
+	case <-done:
+		return nil
+	case <-db.closing:
+		// Close drops queued jobs; a job that already started finishes
+		// under scheduler.Close, but this caller's store is going away.
+		return ErrClosed
+	}
+}

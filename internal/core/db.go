@@ -105,7 +105,10 @@ type DB struct {
 	// health is the background-error state machine: transient faults
 	// degrade (retry with backoff), corruption quarantines to read-only,
 	// fatal errors keep the historical sticky poisoning via bgErr.
-	health *health.Monitor
+	// classifier is the monitor's error taxonomy, kept for foreground
+	// paths that must classify without driving the state machine.
+	health     *health.Monitor
+	classifier health.Classifier
 
 	// immGone is broadcast (closed and replaced) whenever the immutable
 	// memtable finishes merging, waking stalled writers.
@@ -177,9 +180,10 @@ func Open(opts Options) (*DB, error) {
 	db.versions = vs
 	db.compactor = compaction.NewCompactor(opts.FS, vs)
 	db.compactor.SetObserver(db.obs)
-	db.health = health.NewMonitor(health.Classifier{
+	db.classifier = health.Classifier{
 		Corrupt: []error{wal.ErrCorrupt, sstable.ErrCorrupt, version.ErrCorruptEdit},
-	}, db.onHealthChange)
+	}
+	db.health = health.NewMonitor(db.classifier, db.onHealthChange)
 	db.storeBroadcast(&db.immGone)
 	db.storeBroadcast(&db.l0Relaxed)
 	db.storeBroadcast(&db.resumed)
@@ -208,12 +212,14 @@ func Open(opts Options) (*DB, error) {
 		db.levelBoff[l] = db.newBackoff()
 		db.compactRuns[l] = func() { db.runCompactionJob(level) }
 	}
-	// One extra worker beyond the compaction slots so a flush can always
-	// run alongside a full complement of compactions.
+	// Two extra workers beyond the compaction slots so a flush — and a
+	// long-running backup ship on the backup band — can always run
+	// alongside a full complement of compactions.
 	db.sched = scheduler.New(scheduler.Config{
-		Workers:         opts.CompactionThreads + 1,
+		Workers:         opts.CompactionThreads + 2,
 		CompactionSlots: opts.CompactionThreads,
 		FlushSlots:      1,
+		BackupSlots:     1,
 		Poll:            10 * time.Millisecond,
 		Planner:         db.plan,
 	})

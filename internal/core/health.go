@@ -152,6 +152,19 @@ func (db *DB) supervised(fn func() error) (err error) {
 	return fn()
 }
 
+// reportForeground folds a synchronous, caller-driven merge failure
+// (CompactRange) into the health machine — but only corruption: a store
+// whose tables fail their checksums must quarantine read-only no matter
+// which path discovered it. Transient errors stay the caller's to retry
+// (reporting them would strand a failing origin no background loop ever
+// clears), and unclassifiable errors are returned, not escalated — the
+// caller's operation failed, the engine itself may be fine.
+func (db *DB) reportForeground(origin string, err error) {
+	if db.classifier.Classify(err) == health.ClassCorruption {
+		db.health.Report(origin, err)
+	}
+}
+
 // settleBG folds one background attempt's outcome into the health machine
 // and reports whether the attempt succeeded. On success the origin is
 // cleared (possibly auto-resuming the engine) and the backoff resets. On a

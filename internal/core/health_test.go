@@ -284,6 +284,12 @@ func TestHealthCloseInterruptsBackoff(t *testing.T) {
 			t.Fatal("fault never tripped")
 		}
 		if err := db.Put([]byte(fmt.Sprintf("c%05d", i)), []byte(strings.Repeat("x", 64))); err != nil {
+			if errors.Is(err, ErrDegraded) {
+				// On a loaded machine the write budget can fill and stall
+				// out before the retry counter ticks — the store is in the
+				// degraded state the loop was waiting for either way.
+				break
+			}
 			t.Fatalf("Put: %v", err)
 		}
 	}

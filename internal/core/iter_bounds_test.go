@@ -223,7 +223,15 @@ func TestIterOptionsValidation(t *testing.T) {
 // the version: sstables wholly outside the range never contribute child
 // iterators (and so are never opened).
 func TestBoundedIteratorSkipsTables(t *testing.T) {
-	db := mustOpen(t, storage.NewMemFS())
+	// A lazy L0 trigger keeps the four flushed files in L0: the test is
+	// about bound-driven table skipping, and a background compaction
+	// racing the assertions would merge them away.
+	opts := testOptions(storage.NewMemFS())
+	opts.Disk.L0CompactionTrigger = 100
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
 	defer db.Close()
 	// Four disjoint L0 files.
 	for _, r := range []string{"a", "b", "c", "d"} {

@@ -1,0 +1,301 @@
+package crashtest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"clsm/internal/backup"
+	"clsm/internal/batch"
+	"clsm/internal/core"
+	"clsm/internal/faultfs"
+	"clsm/internal/obs"
+	"clsm/internal/oracle"
+	"clsm/internal/storage"
+	"clsm/internal/version"
+)
+
+// BackupConfig parameterizes one backup crash-matrix run: a scripted
+// workload over a fault-injecting local store, with incremental backups
+// taken mid-workload through a fault-injecting remote tier, and every
+// completed backup restored and verified against the oracle model.
+type BackupConfig struct {
+	// Seed drives the workload.
+	Seed int64
+	// Ops is the number of workload operations (default 240).
+	Ops int
+	// BackupEvery takes a backup after every Nth workload op (default 80).
+	BackupEvery int
+	// MemtableSize for the workload engine (default 2 KiB).
+	MemtableSize int64
+	// LocalFaults arms error injection on the workload store — failures
+	// here can abort the flush inside a checkpoint (the crash-during-
+	// checkpoint leg of the matrix) or quarantine the engine entirely;
+	// the harness tolerates both and keeps verifying what completed.
+	LocalFaults []faultfs.Rule
+	// RemoteFaults arms error injection on the remote object store. The
+	// injected error is transient, so with MaxAttempts > 1 it exercises
+	// the retry path and with MaxAttempts == 1 the abort-and-GC path.
+	RemoteFaults []faultfs.Rule
+	// TornUploads makes every 5th new-object PUT tear mid-upload: half
+	// the object lands under its full-content name before the PUT fails
+	// with a transient error, the way a crashed multipart upload leaves a
+	// stale partial. Retries must overwrite it; aborts must remove it.
+	TornUploads bool
+	// MaxAttempts caps per-object upload attempts (default 3).
+	MaxAttempts int
+}
+
+func (cfg BackupConfig) withDefaults() BackupConfig {
+	if cfg.Ops <= 0 {
+		cfg.Ops = 240
+	}
+	if cfg.BackupEvery <= 0 {
+		cfg.BackupEvery = 80
+	}
+	if cfg.MemtableSize <= 0 {
+		cfg.MemtableSize = 2 << 10
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	return cfg
+}
+
+// BackupPoint records one completed backup: its manifest and the local
+// crash-step cutoff at the moment the backup began. Everything the model
+// acked at or before Cutoff must be served by this backup's restore.
+type BackupPoint struct {
+	Manifest *backup.Manifest
+	Cutoff   uint64
+}
+
+// BackupReport summarizes one backup matrix run.
+type BackupReport struct {
+	Completed []BackupPoint
+	Aborted   int // backups that failed (fault-injected or quarantined)
+	Restores  int // completed backups restored and verified
+
+	// FilesSkipped / BytesShipped are the engine's incremental-shipping
+	// counters across the whole run.
+	FilesSkipped uint64
+	BytesShipped uint64
+
+	Failures []Failure
+}
+
+// tornFS tears every 5th new-object PUT: it writes the first half of the
+// payload under the object's (full-content) name, then fails with a
+// transient error — the visible aftermath of a multipart upload whose
+// client died. Everything else passes through.
+type tornFS struct {
+	storage.FS
+	puts int
+}
+
+type errTorn struct{}
+
+func (errTorn) Error() string   { return "torn upload: connection reset mid-object" }
+func (errTorn) Temporary() bool { return true }
+
+func (t *tornFS) WriteFile(name string, data []byte) error {
+	if strings.HasPrefix(name, "obj-") {
+		t.puts++
+		if t.puts%5 == 0 {
+			t.FS.WriteFile(name, data[:len(data)/2])
+			return errTorn{}
+		}
+	}
+	return t.FS.WriteFile(name, data)
+}
+
+// RunBackup executes one backup crash-matrix run. The error return is
+// reserved for harness setup problems; invariant violations are reported
+// in the report's Failures.
+func RunBackup(cfg BackupConfig) (*BackupReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &BackupReport{}
+	fail := func(step uint64, label string, err error) {
+		if len(rep.Failures) < maxFailures {
+			rep.Failures = append(rep.Failures, Failure{Step: step, Label: label, Err: err})
+		}
+	}
+
+	local := faultfs.Wrap(storage.NewMemFS())
+	local.Arm(cfg.LocalFaults...)
+	model := oracle.NewModel()
+
+	db, err := core.Open(core.Options{
+		FS:           local,
+		SyncWrites:   true,
+		MemtableSize: cfg.MemtableSize,
+		Disk: version.Options{
+			// A lazier L0 than the main matrix: tables must survive
+			// across backups for incremental shipping to have anything
+			// to skip; the scripted CompactRange still churns the tree.
+			L0CompactionTrigger: 8,
+			BaseLevelBytes:      16 << 10,
+			TableFileSize:       8 << 10,
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("crashtest: open workload engine: %w", err)
+	}
+
+	var remote storage.FS = storage.NewMemFS()
+	if cfg.TornUploads {
+		remote = &tornFS{FS: remote}
+	}
+	rfs := faultfs.Wrap(remote)
+	rfs.Arm(cfg.RemoteFaults...)
+	bobs := obs.New()
+	eng := backup.New(rfs, backup.Options{
+		Observer:    bobs,
+		MaxAttempts: cfg.MaxAttempts,
+		// Real but fast retries: the matrix injects transients on purpose.
+		RetryBase: time.Millisecond,
+		RetryCap:  4 * time.Millisecond,
+	})
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	keyPool := make([]string, 24)
+	for i := range keyPool {
+		keyPool[i] = fmt.Sprintf("key-%02d", i)
+	}
+
+	for i := 0; i < cfg.Ops; i++ {
+		switch r := rng.Intn(100); {
+		case r < 55: // put
+			key := keyPool[rng.Intn(len(keyPool))]
+			val := []byte(fmt.Sprintf("v-%d-%06d", cfg.Seed, i))
+			pend := model.Begin(local.Step(), oracle.Op{Key: key, Value: val})
+			if db.Put([]byte(key), val) == nil {
+				pend.Ack(local.Step())
+			}
+		case r < 75: // delete
+			key := keyPool[rng.Intn(len(keyPool))]
+			pend := model.Begin(local.Step(), oracle.Op{Key: key, Tombstone: true})
+			if db.Delete([]byte(key)) == nil {
+				pend.Ack(local.Step())
+			}
+		default: // atomic batch over 2–4 distinct keys
+			n := 2 + rng.Intn(3)
+			var ops []oracle.Op
+			var b batch.Batch
+			for j, ki := range rng.Perm(len(keyPool))[:n] {
+				key := keyPool[ki]
+				if rng.Intn(4) == 0 {
+					b.Delete([]byte(key))
+					ops = append(ops, oracle.Op{Key: key, Tombstone: true})
+				} else {
+					val := []byte(fmt.Sprintf("b-%d-%06d-%d", cfg.Seed, i, j))
+					b.Put([]byte(key), val)
+					ops = append(ops, oracle.Op{Key: key, Value: val})
+				}
+			}
+			pend := model.Begin(local.Step(), ops...)
+			if db.Write(&b) == nil {
+				pend.Ack(local.Step())
+			}
+		}
+		// Structural churn between backups so incremental runs have both
+		// new tables to ship and obsoleted tables to drop.
+		if i > 0 && i%60 == 0 {
+			db.Flush() // errors tolerated in fault runs
+		}
+		if i > 0 && i%150 == 0 {
+			db.CompactRange()
+		}
+
+		if (i+1)%cfg.BackupEvery == 0 {
+			// The workload is paused here, so everything acked so far is
+			// exactly the state the checkpoint inside the backup will pin.
+			cutoff := local.Step()
+			var m *backup.Manifest
+			var berr error
+			jerr := db.RunBackupJob(func() {
+				m, berr = eng.Backup(backup.Source{DB: db})
+			})
+			switch {
+			case jerr != nil: // closed or quarantined: no backup ran
+				rep.Aborted++
+			case berr != nil:
+				rep.Aborted++
+				if !errors.Is(berr, backup.ErrBackupFailed) {
+					fail(cutoff, "backup-abort", fmt.Errorf("abort did not wrap ErrBackupFailed: %w", berr))
+				}
+			default:
+				rep.Completed = append(rep.Completed, BackupPoint{Manifest: m, Cutoff: cutoff})
+			}
+		}
+	}
+	db.Close() // errors tolerated: verification reads only the remote
+
+	rep.FilesSkipped = bobs.BackupFilesSkipped.Load()
+	rep.BytesShipped = bobs.BackupBytesShipped.Load()
+
+	// The remote tier must hold no objects outside the completed backups'
+	// manifests: aborted runs GC their uploads, torn partials included.
+	live := map[string]bool{}
+	for _, bp := range rep.Completed {
+		for _, st := range bp.Manifest.Stores {
+			live[st.Manifest.Object] = true
+			for _, t := range st.Tables {
+				live[t.Object] = true
+			}
+		}
+	}
+	names, err := rfs.List()
+	if err != nil {
+		return nil, fmt.Errorf("crashtest: list remote: %w", err)
+	}
+	for _, name := range names {
+		if strings.HasPrefix(name, "obj-") && !live[name] {
+			fail(0, "remote-gc", fmt.Errorf("object %s not referenced by any completed backup", name))
+		}
+	}
+	if len(rep.Completed) > 0 {
+		last := rep.Completed[len(rep.Completed)-1].Manifest.ID
+		if id, _, err := eng.Latest(); err != nil || id != last {
+			fail(0, "latest-pointer", fmt.Errorf("LATEST = %d (%v), want %d", id, err, last))
+		}
+	}
+
+	// Restore every completed backup and hold it to the crash invariants
+	// at its cutoff: every op acked before the backup began is present
+	// with the right value, nothing fabricated, no half-applied batch.
+	for _, bp := range rep.Completed {
+		target := storage.NewMemFS()
+		if _, err := eng.Restore(bp.Manifest.ID, func(string) (storage.FS, error) { return target, nil }); err != nil {
+			fail(bp.Cutoff, "restore", fmt.Errorf("restore backup %d: %w", bp.Manifest.ID, err))
+			continue
+		}
+		rdb, err := core.Open(core.Options{FS: target, MemtableSize: 8 << 20})
+		if err != nil {
+			fail(bp.Cutoff, "restore-open", fmt.Errorf("open restored backup %d: %w", bp.Manifest.ID, err))
+			continue
+		}
+		match := make(map[string]int)
+		for _, key := range model.Keys() {
+			got, ok, err := rdb.Get([]byte(key))
+			if err != nil {
+				fail(bp.Cutoff, "restore-get", fmt.Errorf("backup %d key %q: %w", bp.Manifest.ID, key, err))
+				continue
+			}
+			idx, verr := model.CheckCrash(key, got, ok, bp.Cutoff)
+			if verr != nil {
+				fail(bp.Cutoff, "restore-verify", fmt.Errorf("backup %d: %w", bp.Manifest.ID, verr))
+				continue
+			}
+			match[key] = idx
+		}
+		for _, berr := range model.CheckBatchAtomicity(match) {
+			fail(bp.Cutoff, "restore-atomicity", fmt.Errorf("backup %d: %w", bp.Manifest.ID, berr))
+		}
+		rdb.Close()
+		rep.Restores++
+	}
+	return rep, nil
+}

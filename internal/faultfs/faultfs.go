@@ -463,6 +463,19 @@ func (fs *FS) WriteFile(name string, data []byte) error {
 	return nil
 }
 
+// Link implements storage.FS by copying: the source read passes through
+// (reads are never faulted), and the destination write goes through dst's
+// own WriteFile — so when dst is itself a fault-injecting wrapper (the
+// remote tier in the backup crash matrix), its armed rules and durable
+// image govern the copy exactly like any other whole-file write.
+func (fs *FS) Link(oldname string, dst storage.FS, newname string) error {
+	data, err := fs.ReadFile(oldname)
+	if err != nil {
+		return err
+	}
+	return dst.WriteFile(newname, data)
+}
+
 // file wraps one sequential-write handle.
 type file struct {
 	fs   *FS

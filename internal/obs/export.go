@@ -23,7 +23,9 @@ type Snapshot struct {
 	// batch, keys per engine MultiGet).
 	ServerWriteBatch ValueSnapshot `json:"server_write_batch"`
 	ServerReadBatch  ValueSnapshot `json:"server_read_batch"`
-	Events           []Event       `json:"events"`
+	// BackupUpload distributes per-object remote upload latencies.
+	BackupUpload ValueSnapshot `json:"backup_upload_micros"`
+	Events       []Event       `json:"events"`
 }
 
 // Snapshot captures the observer's current state.
@@ -59,10 +61,14 @@ func (o *Observer) Snapshot() Snapshot {
 	s.Counters["throttle_rate_bytes_per_sec"] = o.ThrottleRate.Load()
 	s.Counters["server_conns"] = o.ServerConns.Load()
 	s.Counters["server_inflight"] = o.ServerInflight.Load()
+	s.Counters["backup_bytes_shipped"] = o.BackupBytesShipped.Load()
+	s.Counters["backup_files_skipped"] = o.BackupFilesSkipped.Load()
+	s.Counters["checkpoint_live_links"] = o.CheckpointLiveLinks.Load()
 	s.WALGroupSize = o.WALGroupSize.ValueSnapshot()
 	s.WriteThrottle = o.WriteThrottle.ValueSnapshot()
 	s.ServerWriteBatch = o.ServerWriteBatch.ValueSnapshot()
 	s.ServerReadBatch = o.ServerReadBatch.ValueSnapshot()
+	s.BackupUpload = o.BackupUpload.ValueSnapshot()
 	s.Events = o.Trace.Events()
 	return s
 }
@@ -138,6 +144,10 @@ func (o *Observer) WriteSummary(w io.Writer) {
 		fmt.Fprintf(w, "%-22s %12d  mean=%.1f p50=%d p99=%d max=%d\n",
 			"server_read_batch", g.Count, g.Mean, g.P50, g.P99, g.Max)
 	}
+	if g := snap.BackupUpload; g.Count > 0 {
+		fmt.Fprintf(w, "%-22s %12d  mean=%.1fus p50=%dus p99=%dus max=%dus\n",
+			"backup_upload_micros", g.Count, g.Mean, g.P50, g.P99, g.Max)
+	}
 }
 
 // WriteEvents renders the event timeline: an aggregate per-type summary
@@ -190,7 +200,7 @@ func (o *Observer) WriteEvents(w io.Writer, max int) {
 			fmt.Fprintf(w, " cause=%s", e.Cause)
 		case EvSnapshotReclaim:
 			fmt.Fprintf(w, " handles=%d", e.Bytes)
-		case EvDegraded, EvReadOnly:
+		case EvDegraded, EvReadOnly, EvBackupFailed:
 			fmt.Fprintf(w, " cause=%q", e.Msg)
 		case EvThrottleOn, EvThrottleAdjust:
 			fmt.Fprintf(w, " rate=%dB/s", e.Bytes)

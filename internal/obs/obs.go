@@ -116,6 +116,21 @@ type Observer struct {
 	ServerConns    Gauge
 	ServerInflight Gauge
 
+	// Backup-subsystem counters (see docs/BACKUP.md). BackupBytesShipped
+	// totals the object bytes uploaded to the remote tier;
+	// BackupFilesSkipped counts sstables an incremental backup did not
+	// re-ship because the previous backup's manifest already named their
+	// content; CheckpointLiveLinks counts live tables linked into
+	// checkpoint directories.
+	BackupBytesShipped  Counter
+	BackupFilesSkipped  Counter
+	CheckpointLiveLinks Counter
+
+	// BackupUpload distributes per-object upload latencies in
+	// microseconds (RecordValue; count-valued like WriteThrottle),
+	// including retried attempts.
+	BackupUpload Histogram
+
 	// ServerWriteBatch distributes the number of entries per coalesced
 	// engine write submission (RecordValue; count-valued like
 	// WALGroupSize): the server merges concurrent in-flight writes from

@@ -29,10 +29,18 @@ const (
 	EvThrottleOn
 	EvThrottleAdjust
 	EvThrottleOff
+	// Backup lifecycle: a checkpoint+ship cycle started (EvBackupStart),
+	// completed with its manifest durable on the remote tier
+	// (EvBackupEnd, Bytes = object bytes shipped), or aborted on a fatal
+	// remote error after garbage-collecting its partial uploads
+	// (EvBackupFailed, Msg = error text).
+	EvBackupStart
+	EvBackupEnd
+	EvBackupFailed
 )
 
 // evLast is the highest defined event type (export iteration bound).
-const evLast = EvThrottleOff
+const evLast = EvBackupFailed
 
 // String names the event type for timelines and JSON export.
 func (t EventType) String() string {
@@ -63,6 +71,12 @@ func (t EventType) String() string {
 		return "throttle-adjust"
 	case EvThrottleOff:
 		return "throttle-off"
+	case EvBackupStart:
+		return "backup-start"
+	case EvBackupEnd:
+		return "backup-end"
+	case EvBackupFailed:
+		return "backup-failed"
 	}
 	return "unknown"
 }

@@ -38,6 +38,11 @@ const (
 	BandL0
 	BandLevel
 	BandSeek
+	// BandBackup is the lowest class: long-running checkpoint/backup
+	// shipping. It has its own slot budget (BackupSlots) so a backup in
+	// flight never occupies a compaction slot — and conversely a full
+	// compaction complement never blocks the backup from starting.
+	BandBackup
 	numBands
 )
 
@@ -52,6 +57,8 @@ func (b Band) String() string {
 		return "level"
 	case BandSeek:
 		return "seek"
+	case BandBackup:
+		return "backup"
 	}
 	return "unknown"
 }
@@ -89,6 +96,9 @@ type Config struct {
 	// FlushSlots caps concurrently running flush-band jobs (default 1:
 	// rotation cycles are serialized by the engine anyway).
 	FlushSlots int
+	// BackupSlots caps concurrently running backup-band jobs (default 1:
+	// a store ships one backup at a time).
+	BackupSlots int
 	// Poll is the planner cadence (default 10ms). The planner also runs
 	// on every Kick and after every job completion.
 	Poll time.Duration
@@ -111,6 +121,7 @@ type Scheduler struct {
 	running map[string]bool
 	nFlush  int // running flush-band jobs
 	nComp   int // running compaction-band jobs
+	nBackup int // running backup-band jobs
 	paused  bool
 	closed  bool
 
@@ -131,6 +142,9 @@ func New(cfg Config) *Scheduler {
 	}
 	if cfg.FlushSlots <= 0 {
 		cfg.FlushSlots = 1
+	}
+	if cfg.BackupSlots <= 0 {
+		cfg.BackupSlots = 1
 	}
 	if cfg.Poll <= 0 {
 		cfg.Poll = 10 * time.Millisecond
@@ -219,7 +233,7 @@ func (s *Scheduler) Paused() bool {
 func (s *Scheduler) QueueDepth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue) + s.nFlush + s.nComp
+	return len(s.queue) + s.nFlush + s.nComp + s.nBackup
 }
 
 // SetDebt publishes the pending-work byte volume (planner aggregate).
@@ -263,9 +277,12 @@ func (s *Scheduler) worker() {
 			}
 			s.cond.Wait()
 		}
-		if j.Band == BandFlush {
+		switch j.Band {
+		case BandFlush:
 			s.nFlush++
-		} else {
+		case BandBackup:
+			s.nBackup++
+		default:
 			s.nComp++
 		}
 		if j.Key != "" {
@@ -276,9 +293,12 @@ func (s *Scheduler) worker() {
 		j.Run()
 
 		s.mu.Lock()
-		if j.Band == BandFlush {
+		switch j.Band {
+		case BandFlush:
 			s.nFlush--
-		} else {
+		case BandBackup:
+			s.nBackup--
+		default:
 			s.nComp--
 		}
 		if j.Key != "" {
@@ -301,12 +321,19 @@ func (s *Scheduler) worker() {
 func (s *Scheduler) popLocked() *Job {
 	best := -1
 	for i, j := range s.queue {
-		if j.Band == BandFlush {
+		switch {
+		case j.Band == BandFlush:
 			if s.nFlush >= s.cfg.FlushSlots {
 				continue
 			}
-		} else if s.nComp >= s.cfg.CompactionSlots {
-			continue
+		case j.Band == BandBackup:
+			if s.nBackup >= s.cfg.BackupSlots {
+				continue
+			}
+		default:
+			if s.nComp >= s.cfg.CompactionSlots {
+				continue
+			}
 		}
 		if j.Key != "" && s.running[j.Key] {
 			continue

@@ -127,7 +127,8 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 
-	wg sync.WaitGroup // connections + coalescer goroutines
+	wg     sync.WaitGroup // connections + coalescer goroutines
+	connWG sync.WaitGroup // connections only — Shutdown's drain barrier
 }
 
 // New builds a server around eng. Call Serve to accept connections and
@@ -195,6 +196,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		}
 		s.conns[nc] = struct{}{}
 		s.wg.Add(1)
+		s.connWG.Add(1)
 		s.mu.Unlock()
 		s.o.ServerConns.Add(1)
 		go s.serveConn(nc)
@@ -221,6 +223,65 @@ func (s *Server) Close() error {
 	s.cancel()
 	s.wg.Wait()
 	return nil
+}
+
+// Shutdown drains the server gracefully: it stops accepting, half-closes
+// every connection's read side so no new requests arrive, and waits for
+// the requests already in flight to finish and their responses to reach
+// the wire. When every connection has drained — or ctx expires, in which
+// case the stragglers are severed the Close way and ctx.Err() is
+// returned — the coalescers are stopped and all goroutines joined.
+// Clients see a clean EOF after their last response instead of a reset
+// mid-pipeline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	// Half-close: CloseRead makes the connection's pending ReadFrame
+	// return EOF (ending its reading loop) while the write side stays
+	// open for the responses still in flight. Connections that cannot
+	// half-close (pipes, TLS wrappers) are severed outright — correct,
+	// just less graceful.
+	for nc := range s.conns {
+		if hc, ok := nc.(interface{ CloseRead() error }); ok {
+			hc.CloseRead()
+		} else {
+			nc.Close()
+		}
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		// Deadline passed: abandon grace. Cancel first so handler
+		// goroutines parked in submitWrite/submitRead unblock, then
+		// sever the sockets under the slow requests.
+		s.cancel()
+		s.mu.Lock()
+		for nc := range s.conns {
+			nc.Close()
+		}
+		s.mu.Unlock()
+		<-drained
+	}
+	s.cancel()
+	s.wg.Wait()
+	return err
 }
 
 // ---- cross-connection coalescers ----
@@ -381,6 +442,7 @@ func (s *Server) submitRead(keys [][]byte) ([]core.Value, error) {
 // each get their own goroutine so they never hold up the groups.
 func (s *Server) serveConn(nc net.Conn) {
 	defer s.wg.Done()
+	defer s.connWG.Done()
 	defer s.o.ServerConns.Add(-1)
 
 	out := make(chan []byte, s.cfg.MaxInflight)

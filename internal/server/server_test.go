@@ -582,3 +582,171 @@ func TestShardedEngineOverWire(t *testing.T) {
 		t.Fatalf("aggregate wal_appends %d != per-shard sum %d", decoded.Counters["wal_appends"], sum)
 	}
 }
+
+// slowEngine parks every read until released — the harness for proving
+// Shutdown drains in-flight requests instead of severing them. Writes
+// succeed immediately; reads signal arrival on started (once) and then
+// block until release closes or the engine context dies.
+type slowEngine struct {
+	o         *obs.Observer
+	started   chan struct{} // closed when the first read reaches the engine
+	release   chan struct{} // close to let parked reads complete
+	startOnce sync.Once
+}
+
+func newSlowEngine() *slowEngine {
+	return &slowEngine{
+		o:       obs.New(),
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+}
+
+func (e *slowEngine) block(ctx context.Context) error {
+	e.startOnce.Do(func() { close(e.started) })
+	select {
+	case <-e.release:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *slowEngine) PutCtx(ctx context.Context, key, value []byte) error { return nil }
+func (e *slowEngine) DeleteCtx(ctx context.Context, key []byte) error     { return nil }
+func (e *slowEngine) WriteCtx(ctx context.Context, b *batch.Batch) error  { return nil }
+func (e *slowEngine) TxnWriteCtx(ctx context.Context, checks []core.ReadCheck, b *batch.Batch) error {
+	return nil
+}
+func (e *slowEngine) GetCtx(ctx context.Context, key []byte) ([]byte, bool, error) {
+	if err := e.block(ctx); err != nil {
+		return nil, false, err
+	}
+	return []byte("drained"), true, nil
+}
+func (e *slowEngine) MultiGetCtx(ctx context.Context, keys [][]byte) ([]core.Value, error) {
+	if err := e.block(ctx); err != nil {
+		return nil, err
+	}
+	vals := make([]core.Value, len(keys))
+	for i := range vals {
+		vals[i] = core.Value{Data: []byte("drained"), Exists: true}
+	}
+	return vals, nil
+}
+func (e *slowEngine) NewIterator(opts ...core.IterOptions) (Iterator, error) {
+	return nil, errors.New("no iterators")
+}
+func (e *slowEngine) Health() core.HealthStatus { return core.HealthStatus{} }
+func (e *slowEngine) Observer() *obs.Observer   { return e.o }
+
+// TestShutdownDrainsInflightGet is the graceful-drain acceptance test
+// (run with -race): a Get is parked inside the engine when Shutdown
+// begins; Shutdown must wait for it, the response must reach the client,
+// and only then may Shutdown return — with no error, because the drain
+// beat the deadline.
+func TestShutdownDrainsInflightGet(t *testing.T) {
+	eng := newSlowEngine()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, Config{})
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	c, err := clsmclient.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	type getResult struct {
+		v   []byte
+		ok  bool
+		err error
+	}
+	got := make(chan getResult, 1)
+	go func() {
+		v, ok, gerr := c.Get(context.Background(), []byte("slow"))
+		got <- getResult{v, ok, gerr}
+	}()
+	select {
+	case <-eng.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Get never reached the engine")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- srv.Shutdown(ctx) }()
+
+	// The drain must not complete — and the client must not see a
+	// response or a reset — while the request is still parked.
+	select {
+	case err := <-shutdownErr:
+		t.Fatalf("Shutdown returned %v with a request still in flight", err)
+	case r := <-got:
+		t.Fatalf("Get returned early: %q,%v,%v", r.v, r.ok, r.err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(eng.release)
+	r := <-got
+	if r.err != nil || !r.ok || string(r.v) != "drained" {
+		t.Fatalf("in-flight Get across shutdown = %q,%v,%v; want drained,true,nil", r.v, r.ok, r.err)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("graceful Shutdown returned %v, want nil", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve returned %v after Shutdown", err)
+	}
+	// The listener is gone: new connections are refused, not queued.
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("dial succeeded after Shutdown closed the listener")
+	}
+}
+
+// TestShutdownDeadlineSevers: when the drain deadline expires with a
+// request still parked in the engine, Shutdown severs the stragglers,
+// reports ctx.Err(), and still joins every goroutine.
+func TestShutdownDeadlineSevers(t *testing.T) {
+	eng := newSlowEngine()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, Config{})
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	c, err := clsmclient.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got := make(chan error, 1)
+	go func() {
+		_, _, gerr := c.Get(context.Background(), []byte("stuck"))
+		got <- gerr
+	}()
+	select {
+	case <-eng.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Get never reached the engine")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown past deadline = %v, want DeadlineExceeded", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve returned %v after Shutdown", err)
+	}
+	if err := <-got; err == nil {
+		t.Fatal("severed Get returned no error")
+	}
+}

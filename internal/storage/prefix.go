@@ -57,3 +57,13 @@ func (p *PrefixFS) ReadFile(name string) ([]byte, error) {
 func (p *PrefixFS) WriteFile(name string, data []byte) error {
 	return p.parent.WriteFile(p.prefix+name, data)
 }
+
+// Link forwards to the parent when dst is a view of the same kind (so an
+// OSFS underneath can still hard-link); otherwise it copies through the
+// view, keeping the prefix translation on both sides.
+func (p *PrefixFS) Link(oldname string, dst FS, newname string) error {
+	if d, ok := dst.(*PrefixFS); ok {
+		return p.parent.Link(p.prefix+oldname, d.parent, d.prefix+newname)
+	}
+	return p.parent.Link(p.prefix+oldname, dst, newname)
+}

@@ -58,6 +58,22 @@ type FS interface {
 	ReadFile(name string) ([]byte, error)
 	// WriteFile atomically writes a whole small file.
 	WriteFile(name string, data []byte) error
+	// Link makes newname in dst refer to oldname's current content
+	// without rewriting it when the medium allows (a hard link between
+	// two OSFS roots on one device); otherwise it copies. Checkpoints
+	// use it to materialize a version's sstables in another directory
+	// at O(1) cost per file.
+	Link(oldname string, dst FS, newname string) error
+}
+
+// copyLink is the portable Link fallback: read the whole file from src
+// and atomically write it into dst.
+func copyLink(src FS, oldname string, dst FS, newname string) error {
+	data, err := src.ReadFile(oldname)
+	if err != nil {
+		return err
+	}
+	return dst.WriteFile(newname, data)
 }
 
 // ---------------------------------------------------------------------------
@@ -153,6 +169,22 @@ func (fs *OSFS) WriteFile(name string, data []byte) error {
 		return err
 	}
 	return os.Rename(tmp, fs.path(name))
+}
+
+// Link implements FS. When dst is another OSFS it hard-links (falling
+// back to a copy if the roots span devices); otherwise it copies.
+func (fs *OSFS) Link(oldname string, dst FS, newname string) error {
+	if dfs, ok := dst.(*OSFS); ok {
+		err := os.Link(fs.path(oldname), dfs.path(newname))
+		if err == nil {
+			return nil
+		}
+		if os.IsNotExist(err) {
+			return ErrNotExist
+		}
+		// EXDEV or a filesystem without hard links: copy instead.
+	}
+	return copyLink(fs, oldname, dst, newname)
 }
 
 // ---------------------------------------------------------------------------
@@ -316,6 +348,12 @@ func (fs *MemFS) WriteFile(name string, data []byte) error {
 	defer fs.mu.Unlock()
 	fs.files[name] = &memFile{data: append([]byte(nil), data...)}
 	return nil
+}
+
+// Link implements FS by copying: MemFS has no notion of shared inodes,
+// and an independent copy keeps crash-harness durable images honest.
+func (fs *MemFS) Link(oldname string, dst FS, newname string) error {
+	return copyLink(fs, oldname, dst, newname)
 }
 
 // Snapshot returns a deep copy of the filesystem image: every file name

@@ -1,0 +1,91 @@
+package version
+
+import (
+	"errors"
+
+	"clsm/internal/storage"
+	"clsm/internal/wal"
+)
+
+// Checkpoint materializes a consistent, independently openable image of
+// the current version in dst: every live sstable linked (hard links when
+// the media allow, copies otherwise), plus a fresh MANIFEST holding a
+// single snapshot edit and a CURRENT pointing at it. The image carries no
+// WAL — the caller is expected to flush the memtable first, so recovery
+// on the checkpoint is a pure manifest replay.
+//
+// While the checkpoint is in flight its tables are pinned against
+// obsolete-file deletion, so compactions proceed normally underneath it;
+// deletions they trigger are deferred and replayed when the pin drops.
+//
+// The write order makes partial checkpoints detectable: CURRENT is
+// written last, after the manifest and every table link succeeded, so a
+// crash mid-checkpoint leaves a directory without CURRENT — which Open
+// treats as an empty store, never as a silently truncated image.
+//
+// Checkpoint returns the number of tables linked.
+func (s *Set) Checkpoint(dst storage.FS) (int, error) {
+	// Pin a consistent (version, lastTS) pair under mu: lastTS only
+	// grows, so reading it with the version guarantees it covers every
+	// timestamp in the pinned tables.
+	s.mu.Lock()
+	v := s.current.Load()
+	if v == nil {
+		s.mu.Unlock()
+		return 0, errors.New("version: checkpoint on closed set")
+	}
+	v.Ref()
+	logNum := s.logNum
+	lastTS := s.lastTS
+	s.mu.Unlock()
+	defer v.Unref()
+
+	var nums []uint64
+	for _, level := range v.Levels {
+		for _, f := range level {
+			nums = append(nums, f.Num)
+		}
+	}
+	s.protect(nums)
+	defer s.unprotect(nums)
+
+	// Snapshot manifest first (its name is allocated from the source's
+	// counter, so checkpoint and source numbering never collide), then
+	// the tables, then CURRENT.
+	num := s.NewFileNum()
+	name := ManifestFileName(num)
+	f, err := dst.Create(name)
+	if err != nil {
+		return 0, err
+	}
+	w := wal.NewWriter(f, false)
+	var snap Edit
+	snap.SetNextFileNum(s.nextFile.Load())
+	snap.SetLogNum(logNum)
+	snap.SetLastTS(lastTS)
+	for level := 0; level < NumLevels; level++ {
+		for _, fm := range v.Levels[level] {
+			snap.AddFile(level, fm.FileDesc)
+		}
+	}
+	if err := w.Append(snap.Encode(nil)); err != nil {
+		w.Close()
+		return 0, err
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+
+	linked := 0
+	for _, n := range nums {
+		if err := s.fs.Link(TableFileName(n), dst, TableFileName(n)); err != nil {
+			return linked, err
+		}
+		linked++
+	}
+
+	if err := dst.WriteFile(CurrentFileName, []byte(name+"\n")); err != nil {
+		return linked, err
+	}
+	return linked, nil
+}

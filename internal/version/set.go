@@ -87,6 +87,16 @@ type Set struct {
 	// engine folds both into obs on startup.
 	orphans   atomic.Uint64
 	tornTails atomic.Uint64
+
+	// protMu guards the checkpoint pins: protected maps a table number to
+	// the count of in-flight checkpoints linking it, and deferred records
+	// tables whose obsolete-deletion fired while pinned — the delete is
+	// replayed when the last pin drops. deleteFile runs on arbitrary
+	// unref paths (some already under s.mu), so the pins take their own
+	// lock.
+	protMu    sync.Mutex
+	protected map[uint64]int
+	deferred  map[uint64]bool
 }
 
 type seekHint struct {
@@ -101,6 +111,8 @@ func Open(fs storage.FS, blocks *cache.Cache, opts Options) (*Set, error) {
 		opts:         opts.WithDefaults(),
 		tables:       NewTableCache(fs, blocks),
 		pendingSeeks: syncutil.NewQueue[seekHint](),
+		protected:    map[uint64]int{},
+		deferred:     map[uint64]bool{},
 	}
 	cur, err := fs.ReadFile(CurrentFileName)
 	if err == storage.ErrNotExist {
@@ -420,10 +432,53 @@ func (b *builder) finish() *Version {
 	return v
 }
 
-// deleteFile is the FileMeta finalizer: close, evict, remove.
+// deleteFile is the FileMeta finalizer: close, evict, remove. A table
+// pinned by an in-flight checkpoint is not removed now; the deletion is
+// deferred until the last pin drops (unprotect replays it).
 func (s *Set) deleteFile(f *FileMeta) {
-	s.tables.Evict(f.Num)
-	s.fs.Remove(TableFileName(f.Num))
+	s.protMu.Lock()
+	if s.protected[f.Num] > 0 {
+		s.deferred[f.Num] = true
+		s.protMu.Unlock()
+		return
+	}
+	s.protMu.Unlock()
+	s.removeTable(f.Num)
+}
+
+func (s *Set) removeTable(num uint64) {
+	s.tables.Evict(num)
+	s.fs.Remove(TableFileName(num))
+}
+
+// protect pins a set of table numbers against obsolete-file deletion for
+// the duration of a checkpoint.
+func (s *Set) protect(nums []uint64) {
+	s.protMu.Lock()
+	defer s.protMu.Unlock()
+	for _, n := range nums {
+		s.protected[n]++
+	}
+}
+
+// unprotect drops checkpoint pins and replays any deletions that were
+// deferred while the tables were pinned.
+func (s *Set) unprotect(nums []uint64) {
+	s.protMu.Lock()
+	var doomed []uint64
+	for _, n := range nums {
+		if s.protected[n]--; s.protected[n] <= 0 {
+			delete(s.protected, n)
+			if s.deferred[n] {
+				delete(s.deferred, n)
+				doomed = append(doomed, n)
+			}
+		}
+	}
+	s.protMu.Unlock()
+	for _, n := range doomed {
+		s.removeTable(n)
+	}
 }
 
 // recordSeekCompaction notes a file whose seek budget is exhausted.
@@ -448,6 +503,11 @@ func (s *Set) cleanupObsolete() {
 			live[f.Num] = true
 		}
 	}
+	s.protMu.Lock()
+	for num := range s.protected {
+		live[num] = true
+	}
+	s.protMu.Unlock()
 	for _, name := range names {
 		kind, num, ok := ParseFileName(name)
 		if !ok {

@@ -27,6 +27,11 @@
 # and emits BENCH_txn.json: optimistic txn commit throughput vs single-key
 # RMW and blind atomic batches, on hot vs uniform keyspaces, with
 # conflict rates. TXN_SCALE picks the run length (smoke/small/full).
+#
+# Finally runs the online-backup profile (docs/BACKUP.md) and emits
+# BENCH_backup.json: foreground put throughput with vs without
+# back-to-back incremental backups shipping concurrently, plus restore
+# time for the final image. BACKUP_SCALE picks the run length.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -74,3 +79,5 @@ go run ./cmd/clsm-server -bench -bench-out BENCH_server.json
 go run ./cmd/clsm-bench -shard-profile -scale "${SHARD_SCALE:-small}" -shard-out BENCH_shard.json
 
 go run ./cmd/clsm-bench -txn-profile -scale "${TXN_SCALE:-small}" -txn-out BENCH_txn.json
+
+go run ./cmd/clsm-bench -backup-profile -scale "${BACKUP_SCALE:-small}" -backup-out BENCH_backup.json

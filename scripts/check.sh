@@ -94,3 +94,28 @@ END {
 	}
 	printf "txn gate ok: txn/batch ratio %.3f, hot conflict rate %.3f\n", ratio, hot
 }' /tmp/clsm_txn_check.json
+
+# Backup gate (docs/BACKUP.md): the backup engine's own -race suite
+# (incremental skipping, abort GC, hash-verified restore,
+# restore-after-quarantine), the checkpoint/backup surfaces across the
+# engine and public API, the fault-injected backup crash matrix, the
+# graceful server drain, then a smoke-scale online-backup profile as a
+# tripwire: backups must complete under concurrent writers, the restored
+# image must be non-empty, and back-to-back backups must not cost more
+# than ~2/3 of put throughput (deliberately loose — the recorded numbers
+# live in BENCH_backup.json).
+go test -race ./internal/backup
+go test -race -short -run 'Backup|Checkpoint|Restore' . ./internal/version ./internal/core ./internal/crashtest
+go test -race -run 'Shutdown' ./internal/server
+go run ./cmd/clsm-bench -backup-profile -scale smoke -backup-out /tmp/clsm_backup_check.json
+awk '
+/"throughput_ratio"/  { ratio = $2 + 0 }
+/"backups_completed"/ { n = $2 + 0 }
+/"restored_keys"/     { rk = $2 + 0 }
+END {
+	if (ratio < 0.33 || n < 1 || rk < 1) {
+		printf "backup gate FAILED: throughput ratio %.2f (need >=0.33), %d backups, %d restored keys\n", ratio, n, rk
+		exit 1
+	}
+	printf "backup gate ok: throughput ratio %.2f, %d backups completed, %d keys restored\n", ratio, n, rk
+}' /tmp/clsm_backup_check.json
