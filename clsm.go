@@ -302,6 +302,17 @@ func (db *DB) CompactRange() error {
 	return db.inner.CompactRange()
 }
 
+// CompactValueLog synchronously garbage-collects the value log: every
+// segment whose garbage fraction is at or past Options.ValueLogGCRatio is
+// rewritten (live values relocated to the head of the log) and reclaimed.
+// A no-op on stores without separated values. See docs/VALUELOG.md.
+func (db *DB) CompactValueLog(ctx context.Context) error {
+	if db.sh != nil {
+		return db.sh.CompactValueLog(ctx)
+	}
+	return db.inner.CompactValueLog(ctx)
+}
+
 // Metrics returns a snapshot of the engine's counters.
 func (db *DB) Metrics() Metrics {
 	if db.sh != nil {

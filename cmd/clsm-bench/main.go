@@ -70,6 +70,8 @@ func main() {
 		txnOut    = flag.String("txn-out", "BENCH_txn.json", "output path for the txn-profile report")
 		bkProf    = flag.Bool("backup-profile", false, "run the online-backup overhead experiment (put throughput with vs without concurrent incremental backups) instead of the figures")
 		bkOut     = flag.String("backup-out", "BENCH_backup.json", "output path for the backup-profile report")
+		vlogProf  = flag.Bool("vlog-profile", false, "run the key-value-separation experiment (inline vs value-log at 4KiB values, small-value parity) instead of the figures")
+		vlogOut   = flag.String("vlog-out", "BENCH_vlog.json", "output path for the vlog-profile report")
 	)
 	flag.Parse()
 
@@ -114,6 +116,13 @@ func main() {
 	if *bkProf {
 		if err := backupProfile(sc, *bkOut); err != nil {
 			fatal(fmt.Errorf("backup profile: %w", err))
+		}
+		return
+	}
+
+	if *vlogProf {
+		if err := vlogProfile(sc, *vlogOut); err != nil {
+			fatal(fmt.Errorf("vlog profile: %w", err))
 		}
 		return
 	}

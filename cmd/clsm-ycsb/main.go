@@ -28,10 +28,17 @@ func main() {
 		ops     = flag.Int64("ops", 100_000, "operations in the transaction phase")
 		threads = flag.Int("threads", 4, "client threads")
 		scale   = flag.String("scale", "small", "engine sizing preset: smoke | small | full")
+		vsize   = flag.Int("value-size", 1000, "value size in bytes (the minimum under variable distributions)")
+		vdist   = flag.String("value-dist", "fixed", "value size distribution: fixed | uniform | zipf")
+		vmax    = flag.Int("value-max", 0, "largest value in bytes for uniform/zipf (default 4x -value-size)")
 	)
 	flag.Parse()
 
 	sc, err := harness.ScaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	dist, err := ycsb.ParseValueDist(*vdist)
 	if err != nil {
 		fatal(err)
 	}
@@ -57,6 +64,9 @@ func main() {
 			RecordCount: *records,
 			OpCount:     *ops,
 			Threads:     *threads,
+			ValueSize:   *vsize,
+			ValueDist:   dist,
+			ValueMax:    *vmax,
 		}
 		loadStart := time.Now()
 		if err := ycsb.Load(s, cfg); err != nil {

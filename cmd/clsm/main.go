@@ -192,6 +192,10 @@ func main() {
 		fmt.Printf("flushes:      %d\n", m.Flushes)
 		fmt.Printf("compactions:  %d\n", m.Compactions)
 		fmt.Printf("write stalls: %d\n", m.WriteStalls)
+		if m.VlogSegments > 0 || m.VlogGCRuns > 0 {
+			fmt.Printf("value log:    %d segments, %d garbage bytes, %d gc runs\n",
+				m.VlogSegments, m.VlogGarbageBytes, m.VlogGCRuns)
+		}
 		fmt.Println()
 		o := db.Observer()
 		o.WriteSummary(os.Stdout)

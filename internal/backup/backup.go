@@ -296,7 +296,9 @@ func (e *Engine) ship(staging storage.FS, prefix string, have map[string]bool, u
 			have[entry.Object] = true
 		}
 		switch kind {
-		case version.KindTable:
+		case version.KindTable, version.KindValueLog:
+			// Value-log segments restore exactly like tables: named files
+			// the manifest's segment records expect to find on disk.
 			st.Tables = append(st.Tables, entry)
 		case version.KindManifest:
 			st.Manifest = entry

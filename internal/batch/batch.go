@@ -6,10 +6,11 @@
 //
 //	count   uvarint
 //	entries count times:
-//	  kind  byte          (keys.KindValue | keys.KindDelete)
+//	  kind  byte          (keys.KindValue | keys.KindValuePtr | keys.KindDelete)
 //	  ts    uvarint       (timestamp assigned at apply time)
 //	  klen  uvarint, key bytes
-//	  vlen  uvarint, value bytes   (KindValue only)
+//	  vlen  uvarint, value bytes   (KindValue: the user value;
+//	                                KindValuePtr: the encoded vlog pointer)
 package batch
 
 import (
@@ -74,7 +75,7 @@ func (b *Batch) Encode(dst []byte) []byte {
 		dst = binary.AppendUvarint(dst, e.TS)
 		dst = binary.AppendUvarint(dst, uint64(len(e.Key)))
 		dst = append(dst, e.Key...)
-		if e.Kind == keys.KindValue {
+		if e.Kind != keys.KindDelete {
 			dst = binary.AppendUvarint(dst, uint64(len(e.Value)))
 			dst = append(dst, e.Value...)
 		}
@@ -92,7 +93,7 @@ func AppendSingle(dst []byte, kind keys.Kind, ts uint64, key, value []byte) []by
 	dst = binary.AppendUvarint(dst, ts)
 	dst = binary.AppendUvarint(dst, uint64(len(key)))
 	dst = append(dst, key...)
-	if kind == keys.KindValue {
+	if kind != keys.KindDelete {
 		dst = binary.AppendUvarint(dst, uint64(len(value)))
 		dst = append(dst, value...)
 	}
@@ -115,7 +116,7 @@ func Decode(data []byte) ([]Entry, error) {
 			return nil, ErrCorrupt
 		}
 		kind := keys.Kind(data[0])
-		if kind != keys.KindValue && kind != keys.KindDelete {
+		if kind != keys.KindValue && kind != keys.KindDelete && kind != keys.KindValuePtr {
 			return nil, fmt.Errorf("%w: bad kind %d", ErrCorrupt, kind)
 		}
 		data = data[1:]
@@ -130,7 +131,7 @@ func Decode(data []byte) ([]Entry, error) {
 		}
 		data = rest
 		e := Entry{Kind: kind, TS: ts, Key: key}
-		if kind == keys.KindValue {
+		if kind != keys.KindDelete {
 			val, rest, err := takeBytes(data)
 			if err != nil {
 				return nil, err

@@ -11,6 +11,7 @@ import (
 	"clsm/internal/sstable"
 	"clsm/internal/storage"
 	"clsm/internal/version"
+	"clsm/internal/vlog"
 )
 
 // Compactor executes merges: memtable flushes and level compactions. It is
@@ -119,6 +120,11 @@ func (c *Compactor) writeOutputs(it iterator.Iterator, edit *version.Edit, outLe
 	haveLast := false
 	var newerTS uint64 // timestamp of the previous (newer) entry for lastUK
 
+	// Dropped pointer entries turn their value-log bytes into garbage; the
+	// per-segment byte counts ride the edit as garbage-delta records, the
+	// input signal of value-log GC candidate selection.
+	var vlogGarbage map[uint64]uint64
+
 	// fail is every error exit: it deletes the attempt's partial outputs
 	// (the in-progress table and every finished one) right now, not at the
 	// next Open, so a retrying degraded engine does not leak an sstable
@@ -188,6 +194,14 @@ func (c *Compactor) writeOutputs(it iterator.Iterator, edit *version.Edit, outLe
 
 		if drop {
 			stats.EntriesDrop++
+			if kind == keys.KindValuePtr {
+				if p, ok := vlog.DecodePointer(it.Value()); ok {
+					if vlogGarbage == nil {
+						vlogGarbage = make(map[uint64]uint64)
+					}
+					vlogGarbage[p.Seg] += uint64(p.Len)
+				}
+			}
 			continue
 		}
 
@@ -224,6 +238,9 @@ func (c *Compactor) writeOutputs(it iterator.Iterator, edit *version.Edit, outLe
 	}
 	if err := finish(); err != nil {
 		return fail(err)
+	}
+	for seg, garbage := range vlogGarbage {
+		edit.AddVlogGarbage(seg, garbage)
 	}
 	if c.obs != nil {
 		c.obs.CompactionTables.Add(uint64(stats.Outputs))

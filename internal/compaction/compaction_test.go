@@ -297,9 +297,9 @@ func TestTombstoneKeptWhenBaseHoldsKey(t *testing.T) {
 	}
 	v := set.Current()
 	defer v.Unref()
-	_, _, deleted, found, _ := v.Get(keys.SeekKey([]byte("k"), keys.MaxTimestamp))
-	if !found || !deleted {
-		t.Fatalf("tombstone lost: deleted=%v found=%v — deep value would resurrect", deleted, found)
+	_, _, kind, found, _ := v.Get(keys.SeekKey([]byte("k"), keys.MaxTimestamp))
+	if !found || kind != keys.KindDelete {
+		t.Fatalf("tombstone lost: kind=%v found=%v — deep value would resurrect", kind, found)
 	}
 }
 

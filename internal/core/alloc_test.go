@@ -93,6 +93,78 @@ func TestGetPathAllocs(t *testing.T) {
 	}
 }
 
+// TestWritePathAllocsWithThreshold re-pins the put gate with key-value
+// separation enabled: a value below the threshold must take the identical
+// inline path — the routing decision is a length compare, not an
+// allocation.
+func TestWritePathAllocsWithThreshold(t *testing.T) {
+	opts := testOptions(storage.NewMemFS())
+	opts.MemtableSize = 256 << 20
+	opts.ValueThreshold = 1024
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	key := []byte("alloc-test-key")
+	value := []byte("alloc-test-value-0123456789abcdef") // 33 B, well inline
+	for i := 0; i < 2000; i++ {
+		if err := db.Put(key, value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.GC()
+	allocs := testing.AllocsPerRun(5000, func() {
+		if err := db.Put(key, value); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("Put with threshold allocates %.0f times per op, want <= 1", allocs)
+	}
+}
+
+// TestGetPathAllocsWithThreshold re-pins the read gate with separation
+// enabled: inline values never consult the value log, so the cache-hit Pd
+// lookup keeps its budget.
+func TestGetPathAllocsWithThreshold(t *testing.T) {
+	opts := testOptions(storage.NewMemFS())
+	opts.ValueThreshold = 1024
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const n = 512
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key%06d", i)
+		if err := db.Put([]byte(k), []byte("value-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CompactRange(); err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("key000256")
+	for i := 0; i < 200; i++ {
+		if _, ok, err := db.Get(key); err != nil || !ok {
+			t.Fatalf("warmup Get = %v, %v", ok, err)
+		}
+	}
+	runtime.GC()
+	allocs := testing.AllocsPerRun(5000, func() {
+		v, ok, err := db.Get(key)
+		if err != nil || !ok || len(v) == 0 {
+			t.Fatalf("Get = %q, %v, %v", v, ok, err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("Get with threshold allocates %.0f times per op, want <= 1", allocs)
+	}
+}
+
 // TestTxnReadAllocs pins the transactional read path — a snapshot get
 // inside an open Txn — at ≤ 1 allocation per operation, same budget as the
 // plain Get gate. The read-set and write-buffer probes are map lookups

@@ -106,6 +106,17 @@ func (db *DB) flushImm() error {
 	edit.SetLogNum(db.mem.Load().LogNum)
 	edit.SetLastTS(db.oracle.Now())
 
+	// Any value-log entries the frozen memtable points at must be durable
+	// before the edit publishes the tables: a crash after the manifest
+	// install would otherwise recover sstable pointers whose values never
+	// reached the medium (async writes and GC relinks insert pointers
+	// ahead of the vlog sync). Sealed segments were synced at rotation,
+	// so one active-segment sync covers every referenced entry; when the
+	// value log is idle this is a no-op.
+	if err := db.vlog.WaitSync(); err != nil {
+		return err
+	}
+
 	// afterMerge first half: publish the new disk component (Pd). On
 	// failure the outputs are deliberately kept: the aborted append may
 	// have left a complete copy of this edit in the manifest, and

@@ -18,6 +18,7 @@ import (
 	"clsm/internal/storage"
 	"clsm/internal/syncutil"
 	"clsm/internal/version"
+	"clsm/internal/vlog"
 	"clsm/internal/wal"
 )
 
@@ -50,6 +51,15 @@ type DB struct {
 	versions  *version.Set
 	compactor *compaction.Compactor
 	blocks    *cache.Cache
+
+	// vlog is the segmented value log (docs/VALUELOG.md). Always open —
+	// a store whose threshold was lowered to 0 must still dereference the
+	// pointers earlier incarnations wrote — but appends only happen when
+	// Options.ValueThreshold > 0. vlogGCMu serializes GC segment rewrites
+	// (the scheduler's single vlog-gc slot and the synchronous
+	// CompactValueLog entry point contend on it).
+	vlog     *vlog.Log
+	vlogGCMu sync.Mutex
 
 	// memBudget is the memtable spill threshold. It starts at
 	// Options.MemtableSize and can be moved at runtime by an external
@@ -94,12 +104,16 @@ type DB struct {
 	flushBoff *health.Backoff
 	levelBoff [version.NumLevels]*health.Backoff
 	seekBoff  *health.Backoff
+	vlogBoff  *health.Backoff
 
 	// Prebuilt job closures, so the planner submits without allocating a
 	// fresh closure per pass (the Job copy itself only allocates when new
-	// work is actually queued).
+	// work is actually queued). vlogGCSkip exempts the active value-log
+	// segment from GC candidate selection.
 	flushRun    func()
 	seekRun     func()
+	vlogGCRun   func()
+	vlogGCSkip  func(num uint64) bool
 	compactRuns [version.NumLevels]func()
 
 	// health is the background-error state machine: transient faults
@@ -134,6 +148,8 @@ type DB struct {
 		// (key+value bytes of puts, deletes, batches, RMWs) — the
 		// governor's per-shard write-pressure signal.
 		writeBytes atomic.Uint64
+		// vlogGCRuns counts completed value-log GC segment rewrites.
+		vlogGCRuns atomic.Uint64
 	}
 }
 
@@ -191,12 +207,28 @@ func Open(opts Options) (*DB, error) {
 	db.obs.OrphanFilesRemoved.Add(vs.OrphansRemoved())
 	db.obs.WALTornTails.Add(vs.TornTailsTruncated())
 	db.oracle.Advance(vs.LastTS())
+	// The value log opens before WAL replay: recovery validates every
+	// replayed pointer record against it, dropping records whose value
+	// bytes never became durable (necessarily unacknowledged in sync mode).
+	db.vlog, err = vlog.Open(vlog.Config{
+		FS:          opts.FS,
+		Set:         vs,
+		SegmentSize: opts.ValueLogSegmentSize,
+		SyncWrites:  opts.SyncWrites,
+		Observer:    db.obs,
+	})
+	if err != nil {
+		vs.Close()
+		return nil, err
+	}
 	if err := db.recoverWAL(); err != nil {
+		db.vlog.Close()
 		vs.Close()
 		return nil, err
 	}
 	if db.mem.Load() == nil {
 		if err := db.installFreshMemtable(); err != nil {
+			db.vlog.Close()
 			vs.Close()
 			return nil, err
 		}
@@ -205,21 +237,25 @@ func Open(opts Options) (*DB, error) {
 	// Per-origin backoffs and prebuilt job closures (see schedule.go).
 	db.flushBoff = db.newBackoff()
 	db.seekBoff = db.newBackoff()
+	db.vlogBoff = db.newBackoff()
 	db.flushRun = db.runFlushJob
 	db.seekRun = db.runSeekJob
+	db.vlogGCRun = db.runVlogGCJob
+	db.vlogGCSkip = func(num uint64) bool { return num == db.vlog.ActiveSegment() }
 	for l := 0; l < version.NumLevels; l++ {
 		level := l
 		db.levelBoff[l] = db.newBackoff()
 		db.compactRuns[l] = func() { db.runCompactionJob(level) }
 	}
-	// Two extra workers beyond the compaction slots so a flush — and a
-	// long-running backup ship on the backup band — can always run
+	// Three extra workers beyond the compaction slots so a flush, a
+	// long-running backup ship, and a value-log GC rewrite can always run
 	// alongside a full complement of compactions.
 	db.sched = scheduler.New(scheduler.Config{
-		Workers:         opts.CompactionThreads + 2,
+		Workers:         opts.CompactionThreads + 3,
 		CompactionSlots: opts.CompactionThreads,
 		FlushSlots:      1,
 		BackupSlots:     1,
+		VlogGCSlots:     1,
 		Poll:            10 * time.Millisecond,
 		Planner:         db.plan,
 	})
@@ -277,6 +313,11 @@ func (db *DB) Close() error {
 	}
 	if m := db.imm.Swap(nil); m != nil {
 		m.Unref()
+	}
+	if db.vlog != nil {
+		if err := db.vlog.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	if err := db.versions.Close(); err != nil && firstErr == nil {
 		firstErr = err
@@ -390,6 +431,10 @@ func (db *DB) Metrics() Metrics {
 		}
 		v.Unref()
 	}
+	segs, _, garbage := db.versions.VlogStats()
+	m.VlogSegments = segs
+	m.VlogGarbageBytes = garbage
+	m.VlogGCRuns = db.metrics.vlogGCRuns.Load()
 	return m
 }
 

@@ -120,6 +120,24 @@ type Options struct {
 	// back into the engine.
 	OnHealthChange func(health.Transition)
 
+	// ValueThreshold routes values of at least this many bytes to the
+	// value log (docs/VALUELOG.md): the LSM then stores a fixed-size
+	// pointer in their place and compactions never rewrite the value
+	// bytes. Zero (the default) disables key-value separation — every
+	// value stays inline, the historical behavior.
+	ValueThreshold int
+
+	// ValueLogSegmentSize caps value-log segment files; appends past it
+	// rotate to a fresh segment (default 64 MB). Segments are the unit of
+	// value-log GC.
+	ValueLogSegmentSize int64
+
+	// ValueLogGCRatio is the garbage fraction (garbage bytes / segment
+	// size, in (0, 1]) past which a sealed segment becomes a GC rewrite
+	// candidate (default 0.5). Lower values reclaim space more eagerly at
+	// the cost of more relink writes.
+	ValueLogGCRatio float64
+
 	// Observer receives the engine's instrumentation: per-op latency
 	// histograms, substrate counters, and the flush/compaction/stall
 	// event trace. When nil, WithDefaults installs a fresh one — the
@@ -160,6 +178,12 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.DegradedStallTimeout <= 0 {
 		o.DegradedStallTimeout = time.Second
+	}
+	if o.ValueLogSegmentSize <= 0 {
+		o.ValueLogSegmentSize = 64 << 20
+	}
+	if o.ValueLogGCRatio <= 0 {
+		o.ValueLogGCRatio = 0.5
 	}
 	if o.Observer == nil {
 		o.Observer = obs.New()
@@ -215,6 +239,35 @@ func (o Options) Validate() error {
 	if _, err := scheduler.ProfileByName(o.SchedulerProfile); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalidOptions, err)
 	}
+	if o.ValueThreshold < 0 {
+		return bad("ValueThreshold", o.ValueThreshold)
+	}
+	if o.ValueLogSegmentSize < 0 {
+		return bad("ValueLogSegmentSize", o.ValueLogSegmentSize)
+	}
+	if o.ValueLogGCRatio < 0 || o.ValueLogGCRatio > 1 {
+		return bad("ValueLogGCRatio", o.ValueLogGCRatio)
+	}
+	if o.ValueThreshold > 0 {
+		// A threshold past the memtable's spill size can never trigger
+		// before the write itself forces a rotation: the configuration is
+		// contradictory, not merely conservative.
+		memSize := o.MemtableSize
+		if memSize <= 0 {
+			memSize = 4 << 20
+		}
+		if int64(o.ValueThreshold) > memSize {
+			return fmt.Errorf("%w: ValueThreshold (%d) > MemtableSize (%d)",
+				ErrInvalidOptions, o.ValueThreshold, memSize)
+		}
+		if o.DisableWAL && o.SyncWrites {
+			// SyncWrites promises durability-on-ack through the WAL; with
+			// the WAL disabled a synced value-log entry's pointer is not
+			// durable, so the combination would silently lie.
+			return fmt.Errorf("%w: ValueThreshold with DisableWAL and SyncWrites (no log to make pointers durable)",
+				ErrInvalidOptions)
+		}
+	}
 	if o.Disk.L0CompactionTrigger < 0 {
 		return bad("Disk.L0CompactionTrigger", o.Disk.L0CompactionTrigger)
 	}
@@ -263,4 +316,10 @@ type Metrics struct {
 	DiskBytes uint64
 	DiskFiles int
 	LevelSize [version.NumLevels]int
+	// Value-log shape (docs/VALUELOG.md): live segment count, manifest-
+	// accounted garbage bytes awaiting GC, and completed GC segment
+	// rewrites.
+	VlogSegments     int
+	VlogGarbageBytes uint64
+	VlogGCRuns       uint64
 }

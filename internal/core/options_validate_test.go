@@ -31,6 +31,18 @@ func TestValidateRejectsNonsense(t *testing.T) {
 		{"negative Disk.TableFileSize", func(o *Options) { o.Disk.TableFileSize = -1 }},
 		{"negative Disk.BlockSize", func(o *Options) { o.Disk.BlockSize = -1 }},
 		{"negative Disk.BloomBitsPerKey", func(o *Options) { o.Disk.BloomBitsPerKey = -1 }},
+		{"negative ValueThreshold", func(o *Options) { o.ValueThreshold = -1 }},
+		{"negative ValueLogSegmentSize", func(o *Options) { o.ValueLogSegmentSize = -1 }},
+		{"ValueLogGCRatio above 1", func(o *Options) { o.ValueLogGCRatio = 1.5 }},
+		{"ValueThreshold above MemtableSize", func(o *Options) {
+			o.MemtableSize = 1 << 10
+			o.ValueThreshold = 2 << 10
+		}},
+		{"ValueThreshold without any log", func(o *Options) {
+			o.ValueThreshold = 64
+			o.DisableWAL = true
+			o.SyncWrites = true
+		}},
 	}
 	for _, tc := range cases {
 		var o Options

@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -9,6 +11,7 @@ import (
 	"clsm/internal/memtable"
 	"clsm/internal/obs"
 	"clsm/internal/syncutil"
+	"clsm/internal/vlog"
 )
 
 // seekScratch pools the seek-key encodings that Pd lookups build once per
@@ -49,6 +52,12 @@ func (db *DB) MultiGetCtx(ctx context.Context, ks [][]byte) ([]Value, error) {
 	return db.MultiGet(ks)
 }
 
+// maxDerefRetries bounds the re-lookup loop a retired-segment dereference
+// enters. One retry almost always resolves (the newest version carries the
+// relocated pointer); the bound only guards against a pathological chase
+// across back-to-back GC cycles.
+const maxDerefRetries = 8
+
 // GetAt returns the newest value of key visible at timestamp ts (snapshot
 // reads use this with their snapshot time).
 func (db *DB) GetAt(key []byte, ts uint64) (value []byte, ok bool, err error) {
@@ -60,14 +69,32 @@ func (db *DB) GetAt(key []byte, ts uint64) (value []byte, ok bool, err error) {
 	// zero allocations on the hot path (obs.TestRecordPathAllocs).
 	start := time.Now()
 	defer func() { db.obs.Record(obs.OpGet, time.Since(start)) }()
+	for attempt := 0; ; attempt++ {
+		value, ok, err = db.getAtOnce(key, ts)
+		if err != nil && errors.Is(err, vlog.ErrRetired) && attempt < maxDerefRetries {
+			// The pointer's segment was GC-retired between the component
+			// search and the dereference; the newest version of the key
+			// carries the relocated pointer. Re-run the whole lookup.
+			continue
+		}
+		return value, ok, err
+	}
+}
 
+// getAtOnce is one component-search + dereference pass of GetAt.
+func (db *DB) getAtOnce(key []byte, ts uint64) (value []byte, ok bool, err error) {
 	// Pm
 	if mt := syncutil.Acquire[memtable.Table](&db.mem); mt != nil {
-		v, deleted, found := mt.Get(key, ts)
+		v, _, kind, found := mt.GetKind(key, ts)
 		if found {
+			if kind == keys.KindValuePtr {
+				value, err = db.derefValue(v)
+				mt.Unref()
+				return value, err == nil, err
+			}
 			v = cloneValue(v, mt)
 			mt.Unref()
-			if deleted {
+			if kind == keys.KindDelete {
 				return nil, false, nil
 			}
 			return v, true, nil
@@ -76,11 +103,16 @@ func (db *DB) GetAt(key []byte, ts uint64) (value []byte, ok bool, err error) {
 	}
 	// P'm
 	if imm := syncutil.Acquire[memtable.Table](&db.imm); imm != nil {
-		v, deleted, found := imm.Get(key, ts)
+		v, _, kind, found := imm.GetKind(key, ts)
 		if found {
+			if kind == keys.KindValuePtr {
+				value, err = db.derefValue(v)
+				imm.Unref()
+				return value, err == nil, err
+			}
 			v = cloneValue(v, imm)
 			imm.Unref()
-			if deleted {
+			if kind == keys.KindDelete {
 				return nil, false, nil
 			}
 			return v, true, nil
@@ -95,15 +127,34 @@ func (db *DB) GetAt(key []byte, ts uint64) (value []byte, ok bool, err error) {
 	defer cur.Unref()
 	sk := seekScratch.Get().(*[]byte)
 	*sk = keys.AppendSeek((*sk)[:0], key, ts)
-	v, _, deleted, found, err := cur.Get(*sk)
+	v, _, kind, found, err := cur.Get(*sk)
 	seekScratch.Put(sk)
-	if err != nil || !found || deleted {
+	if err != nil || !found || kind == keys.KindDelete {
 		return nil, false, err
+	}
+	if kind == keys.KindValuePtr {
+		value, err = db.derefValue(v)
+		return value, err == nil, err
 	}
 	// SSTable values alias cached blocks, which the garbage collector
 	// keeps alive for as long as the caller holds the slice; no copy is
 	// needed.
 	return v, true, nil
+}
+
+// derefValue resolves an encoded value-log pointer to its value bytes,
+// recording the dereference latency. The memtable/sstable slice holding the
+// pointer encoding is only read before the first I/O, so callers may drop
+// their component reference once derefValue returns.
+func (db *DB) derefValue(ptr []byte) ([]byte, error) {
+	p, pok := vlog.DecodePointer(ptr)
+	if !pok {
+		return nil, fmt.Errorf("%w: bad pointer encoding (%d bytes)", vlog.ErrCorrupt, len(ptr))
+	}
+	start := time.Now()
+	v, err := db.vlog.Get(p, nil)
+	db.obs.VlogDeref.RecordValue(uint64(time.Since(start) / time.Microsecond))
+	return v, err
 }
 
 // cloneValue copies a memtable value out before the component reference is
@@ -181,31 +232,65 @@ func (db *DB) multiGet(ks [][]byte, ts uint64) ([]Value, error) {
 
 	out := make([]Value, len(ks))
 	for i, key := range ks {
+		// deref resolves a pointer hit for this key; a retired segment
+		// (GC raced the batch's pinned components) falls back to a fresh
+		// single-key lookup, which re-pins the newest version.
+		deref := func(ptr []byte) error {
+			v, err := db.derefValue(ptr)
+			if err == nil {
+				out[i] = Value{Data: v, Exists: true}
+				return nil
+			}
+			if !errors.Is(err, vlog.ErrRetired) {
+				return err
+			}
+			v, ok, err := db.GetAt(key, ts)
+			if err != nil {
+				return err
+			}
+			out[i] = Value{Data: v, Exists: ok}
+			return nil
+		}
 		if mt != nil {
-			if v, deleted, found := mt.Get(key, ts); found {
-				if !deleted {
+			if v, _, kind, found := mt.GetKind(key, ts); found {
+				if kind == keys.KindValuePtr {
+					if err := deref(v); err != nil {
+						return nil, err
+					}
+				} else if kind != keys.KindDelete {
 					out[i] = Value{Data: cloneValue(v, mt), Exists: true}
 				}
 				continue
 			}
 		}
 		if imm != nil {
-			if v, deleted, found := imm.Get(key, ts); found {
-				if !deleted {
+			if v, _, kind, found := imm.GetKind(key, ts); found {
+				if kind == keys.KindValuePtr {
+					if err := deref(v); err != nil {
+						return nil, err
+					}
+				} else if kind != keys.KindDelete {
 					out[i] = Value{Data: cloneValue(v, imm), Exists: true}
 				}
 				continue
 			}
 		}
 		*sk = keys.AppendSeek((*sk)[:0], key, ts)
-		v, _, deleted, found, err := cur.Get(*sk)
+		v, _, kind, found, err := cur.Get(*sk)
 		if err != nil {
 			return nil, err
 		}
-		if found && !deleted {
-			// SSTable values alias cached blocks (see GetAt); no copy.
-			out[i] = Value{Data: v, Exists: true}
+		if !found || kind == keys.KindDelete {
+			continue
 		}
+		if kind == keys.KindValuePtr {
+			if err := deref(v); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// SSTable values alias cached blocks (see GetAt); no copy.
+		out[i] = Value{Data: v, Exists: true}
 	}
 	return out, nil
 }

@@ -6,10 +6,23 @@ import (
 	"sort"
 
 	"clsm/internal/batch"
+	"clsm/internal/keys"
 	"clsm/internal/memtable"
 	"clsm/internal/version"
+	"clsm/internal/vlog"
 	"clsm/internal/wal"
 )
+
+// pointerReadable reports whether a replayed pointer record dereferences
+// cleanly: the segment exists and the entry's framing and checksum match.
+func (db *DB) pointerReadable(ptr []byte) bool {
+	p, ok := vlog.DecodePointer(ptr)
+	if !ok {
+		return false
+	}
+	_, err := db.vlog.Get(p, nil)
+	return err == nil
+}
 
 // recoverWAL replays the write-ahead logs left by the previous incarnation.
 // cLSM relaxes the single-writer constraint, so log records are not in
@@ -104,6 +117,14 @@ func (db *DB) replayLog(num uint64, mt *memtable.Table) (entries int, maxTS uint
 			return entries, maxTS, fmt.Errorf("core: wal %d: %w", num, err)
 		}
 		for _, e := range es {
+			if e.Kind == keys.KindValuePtr && !db.pointerReadable(e.Value) {
+				// A pointer record whose value bytes never became durable
+				// (a torn value-log tail, possible only in async mode —
+				// sync mode syncs the value before the WAL record) was
+				// necessarily unacknowledged: drop it rather than recover
+				// a pointer to garbage.
+				continue
+			}
 			mt.Add(e.Key, e.TS, e.Kind, e.Value)
 			if e.TS > maxTS {
 				maxTS = e.TS

@@ -21,8 +21,9 @@ import (
 // pass and the scheduler dedups by key, so the queue mirrors current state
 // instead of accumulating history.
 const (
-	jobKeyFlush = "flush"
-	jobKeySeek  = "compact-seek"
+	jobKeyFlush  = "flush"
+	jobKeySeek   = "compact-seek"
+	jobKeyVlogGC = "vlog-gc"
 )
 
 // compactJobKeys names the per-level compaction jobs, doubling as the
@@ -84,6 +85,14 @@ func (db *DB) plan(sched *scheduler.Scheduler) {
 				Score: p.Score, Debt: p.Debt, Run: db.compactRuns[p.Level],
 			})
 			debt += p.Debt
+		}
+		// Value-log GC: a segment past the garbage ratio, or retired
+		// segments whose snapshot pins may have cleared. Deliberately not
+		// counted as debt — reclaiming vlog space does not gate writes.
+		if db.vlogGCPending() {
+			sched.Submit(scheduler.Job{
+				Key: jobKeyVlogGC, Band: scheduler.BandVlogGC, Run: db.vlogGCRun,
+			})
 		}
 	}
 	sched.SetDebt(debt)

@@ -388,7 +388,17 @@ func (it *Iterator) settleBackward() {
 	emit := func() bool {
 		if have && candKind != keys.KindDelete {
 			it.key = candUK
-			it.value = candVal
+			if candKind == keys.KindValuePtr {
+				v, err := it.db.derefValue(candVal)
+				if err != nil {
+					it.err = err
+					it.valid = false
+					return true // stop settling; Err() surfaces the cause
+				}
+				it.value = v
+			} else {
+				it.value = candVal
+			}
 			it.valid = true
 			it.dirBack = true
 			return true
@@ -485,7 +495,17 @@ func (it *Iterator) settle(skipUK []byte) {
 			continue
 		}
 		it.key = decided
-		it.value = it.merge.Value()
+		if kind == keys.KindValuePtr {
+			v, err := it.db.derefValue(it.merge.Value())
+			if err != nil {
+				it.err = err
+				it.valid = false
+				return
+			}
+			it.value = v
+		} else {
+			it.value = it.merge.Value()
+		}
 		it.valid = true
 		it.dirBack = false
 		return

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"time"
 
 	"clsm/internal/batch"
@@ -9,6 +10,7 @@ import (
 	"clsm/internal/keys"
 	"clsm/internal/memtable"
 	"clsm/internal/obs"
+	"clsm/internal/vlog"
 	"clsm/internal/wal"
 )
 
@@ -76,11 +78,22 @@ func (db *DB) write(ctx context.Context, key, value []byte, kind keys.Kind) erro
 		return err
 	}
 
+	logicalBytes := len(key) + len(value)
 	db.lock.LockShared()
 	mt := db.mem.Load()
 	logger := db.log.Load()
 
 	ts, slot := db.oracle.GetTS()
+	// Large values divert to the value log before the WAL record carrying
+	// their pointer is appended: in sync mode the value bytes are made
+	// durable first (WaitSync inside routeValue), so a durable pointer
+	// always implies a durable value.
+	kind, value, verr := db.routeValue(kind, key, ts, value, logger != nil)
+	if verr != nil {
+		db.oracle.Done(slot)
+		db.lock.UnlockShared()
+		return verr
+	}
 	if logger != nil {
 		// Encode the one-entry batch straight into a pooled WAL buffer and
 		// hand ownership to the logger: no defensive copy, no allocation.
@@ -101,7 +114,7 @@ func (db *DB) write(ctx context.Context, key, value []byte, kind keys.Kind) erro
 	} else {
 		db.metrics.puts.Add(1)
 	}
-	db.metrics.writeBytes.Add(uint64(len(key) + len(value)))
+	db.metrics.writeBytes.Add(uint64(logicalBytes))
 	db.maybeTriggerFlush(mt)
 	return nil
 }
@@ -110,6 +123,11 @@ func (db *DB) write(ctx context.Context, key, value []byte, kind keys.Kind) erro
 // batches take the coarse path: the exclusive lock serializes them against
 // all puts and snapshot acquisitions, so the batch's contiguous timestamp
 // range is exposed all-or-nothing.
+//
+// When value separation is enabled (Options.ValueThreshold), entries whose
+// values the engine routes to the value log are rewritten in place as
+// pointer entries: a successfully written batch is consumed and must be
+// rebuilt, not resubmitted.
 func (db *DB) Write(b *batch.Batch) error {
 	return db.writeBatch(nil, b)
 }
@@ -150,6 +168,14 @@ func (db *DB) writeBatch(ctx context.Context, b *batch.Batch) error {
 
 	first, slot := db.oracle.GetTSBatch(uint64(b.Len()))
 	b.SetTimestamps(first)
+	// Divert the batch's large values to the value log (rewriting those
+	// entries in place as pointer entries) with one group-committed sync
+	// for the whole batch, before the WAL record is appended.
+	if err := db.routeBatch(b, logger != nil); err != nil {
+		db.oracle.Done(slot)
+		db.lock.UnlockExclusive()
+		return err
+	}
 	if logger != nil {
 		buf := wal.GetBuf()
 		*buf = b.Encode((*buf)[:0])
@@ -202,15 +228,26 @@ func (db *DB) RMW(key []byte, f func(old []byte, exists bool) []byte) error {
 		// Read step (Alg. 3 line 4): newest version across Pm, P'm, Pd.
 		val, readTS, exists, err := db.readLatestLocked(mt, key)
 		if err != nil {
+			if errors.Is(err, vlog.ErrRetired) && attempt < maxDerefRetries {
+				// GC relocated the value between the component search and
+				// the dereference; the relink is a newer version, so the
+				// retry adopts it like any other interfering write.
+				continue
+			}
 			return err
 		}
 		newVal := f(val, exists)
 
 		ts, slot := db.oracle.GetTS()
-		if mt.InsertRMW(key, ts, newVal, readTS) {
+		kind, stored, verr := db.routeValue(keys.KindValue, key, ts, newVal, logger != nil)
+		if verr != nil {
+			db.oracle.Done(slot)
+			return verr
+		}
+		if mt.InsertRMWKind(key, ts, kind, stored, readTS) {
 			if logger != nil {
 				buf := wal.GetBuf()
-				*buf = batch.AppendSingle((*buf)[:0], keys.KindValue, ts, key, newVal)
+				*buf = batch.AppendSingle((*buf)[:0], kind, ts, key, stored)
 				if err := logger.AppendOwned(buf); err != nil {
 					db.oracle.Done(slot)
 					return err
@@ -224,44 +261,119 @@ func (db *DB) RMW(key []byte, f func(old []byte, exists bool) []byte) error {
 			return nil
 		}
 		// Conflict (Alg. 3 line 13): release the timestamp and restart.
+		// A diverted value becomes unreferenced value-log garbage, swept
+		// up by the next GC pass over its segment.
 		db.oracle.Done(slot)
 	}
 }
 
-// readLatestLocked returns the newest version of key and its timestamp.
+// routeValue diverts one put's value into the value log when separation is
+// enabled and the value is at or past the threshold, returning the pointer
+// entry (KindValuePtr, encoded pointer) that replaces it. In sync mode with
+// a WAL present it group-syncs the value bytes first, so the WAL record the
+// caller appends next can never be durable ahead of the value it points at.
+// Small values, deletes, and already-encoded pointers pass through
+// untouched — the inline path pays only this comparison.
+func (db *DB) routeValue(kind keys.Kind, key []byte, ts uint64, value []byte, logged bool) (keys.Kind, []byte, error) {
+	t := db.opts.ValueThreshold
+	if t <= 0 || kind != keys.KindValue || len(value) < t {
+		return kind, value, nil
+	}
+	p, err := db.vlog.Append(key, ts, value)
+	if err != nil {
+		return kind, value, err
+	}
+	if db.opts.SyncWrites && logged {
+		if err := db.vlog.WaitSync(); err != nil {
+			return kind, value, err
+		}
+	}
+	return keys.KindValuePtr, vlog.AppendPointer(nil, p), nil
+}
+
+// routeBatch is routeValue over a batch: every large value is appended to
+// the value log and its entry rewritten in place as a pointer entry, then
+// one group-committed WaitSync covers the whole batch (sync mode). Caller
+// holds the exclusive lock with timestamps already assigned.
+func (db *DB) routeBatch(b *batch.Batch, logged bool) error {
+	t := db.opts.ValueThreshold
+	if t <= 0 {
+		return nil
+	}
+	routed := false
+	ents := b.Entries()
+	for i := range ents {
+		e := &ents[i]
+		if e.Kind != keys.KindValue || len(e.Value) < t {
+			continue
+		}
+		p, err := db.vlog.Append(e.Key, e.TS, e.Value)
+		if err != nil {
+			return err
+		}
+		e.Kind = keys.KindValuePtr
+		e.Value = vlog.AppendPointer(nil, p)
+		routed = true
+	}
+	if routed && db.opts.SyncWrites && logged {
+		return db.vlog.WaitSync()
+	}
+	return nil
+}
+
+// readLatestLocked returns the newest version of key and its timestamp,
+// dereferencing a value-log pointer so the caller always sees value bytes.
 // The caller holds the shared lock, so the memtable cannot rotate and any
 // conflicting concurrent write must land in mt.
 func (db *DB) readLatestLocked(mt *memtable.Table, key []byte) (value []byte, readTS uint64, exists bool, err error) {
-	if v, vts, deleted, found := mt.GetWithTS(key, keys.MaxTimestamp); found {
-		return v, vts, !deleted, nil
+	raw, _, kind, readTS, found, err := db.readLatestRawLocked(mt, key)
+	if err != nil || !found {
+		return nil, 0, false, err
+	}
+	if kind == keys.KindDelete {
+		return nil, readTS, false, nil
+	}
+	if kind == keys.KindValuePtr {
+		v, err := db.derefValue(raw)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		return v, readTS, true, nil
+	}
+	return raw, readTS, true, nil
+}
+
+// readLatestRawLocked is the undereferenced read step shared by RMW and
+// value-log GC: the newest version's raw stored bytes (an inline value or
+// an encoded pointer), its kind and timestamp, and the conflict baseline
+// readTS for InsertRMW. readTS is the version's timestamp when the hit came
+// from Pm and 0 otherwise: every Pm version of the key is strictly newer
+// than a non-Pm read (rotation is a write barrier and the shared lock is
+// held), so "a version newer than ours appeared in Pm" is exactly "any
+// version of the key is in Pm" — a baseline of 0 encodes that, and a retry
+// re-reads through Pm and adopts the interfering version.
+func (db *DB) readLatestRawLocked(mt *memtable.Table, key []byte) (value []byte, vts uint64, kind keys.Kind, readTS uint64, found bool, err error) {
+	if v, ts, k, ok := mt.GetKind(key, keys.MaxTimestamp); ok {
+		return v, ts, k, ts, true, nil
 	}
 	if imm := db.imm.Load(); imm != nil {
-		if v, vts, deleted, found := imm.GetWithTS(key, keys.MaxTimestamp); found {
-			return v, vts, !deleted, nil
+		if v, ts, k, ok := imm.GetKind(key, keys.MaxTimestamp); ok {
+			return v, ts, k, 0, true, nil
 		}
 	}
 	cur := db.versions.Current()
 	if cur == nil {
-		return nil, 0, false, ErrClosed
+		return nil, 0, 0, 0, false, ErrClosed
 	}
 	defer cur.Unref()
 	sk := seekScratch.Get().(*[]byte)
 	*sk = keys.AppendSeek((*sk)[:0], key, keys.MaxTimestamp)
-	v, _, deleted, found, err := cur.Get(*sk)
+	v, ts, k, ok, err := cur.Get(*sk)
 	seekScratch.Put(sk)
-	if err != nil {
-		return nil, 0, false, err
+	if err != nil || !ok {
+		return nil, 0, 0, 0, false, err
 	}
-	if !found || deleted {
-		return nil, 0, false, nil
-	}
-	// The read was served by a component other than Pm. Every Pm version
-	// of the key is strictly newer than what we read (rotation is a write
-	// barrier and the shared lock is held), so "a version newer than ours
-	// appeared in Pm" is exactly "any version of the key is in Pm" — a
-	// conflict baseline of 0 encodes that. A retry then re-reads through
-	// Pm and adopts the interfering version.
-	return v, 0, true, nil
+	return v, ts, k, 0, true, nil
 }
 
 // maybeTriggerFlush kicks the scheduler's planner when the mutable memtable

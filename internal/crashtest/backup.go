@@ -46,6 +46,11 @@ type BackupConfig struct {
 	TornUploads bool
 	// MaxAttempts caps per-object upload attempts (default 3).
 	MaxAttempts int
+	// ValueThreshold enables key-value separation on the workload engine
+	// and pads roughly half the written values past the threshold, so
+	// backups ship value-log segments alongside sstables and restores
+	// prove the pointers they contain dereference on the other side.
+	ValueThreshold int
 }
 
 func (cfg BackupConfig) withDefaults() BackupConfig {
@@ -128,9 +133,12 @@ func RunBackup(cfg BackupConfig) (*BackupReport, error) {
 	model := oracle.NewModel()
 
 	db, err := core.Open(core.Options{
-		FS:           local,
-		SyncWrites:   true,
-		MemtableSize: cfg.MemtableSize,
+		FS:             local,
+		SyncWrites:     true,
+		MemtableSize:   cfg.MemtableSize,
+		ValueThreshold: cfg.ValueThreshold,
+		// Small segments so multi-segment value logs are what backups ship.
+		ValueLogSegmentSize: 4 << 10,
 		Disk: version.Options{
 			// A lazier L0 than the main matrix: tables must survive
 			// across backups for incremental shipping to have anything
@@ -164,12 +172,24 @@ func RunBackup(cfg BackupConfig) (*BackupReport, error) {
 	for i := range keyPool {
 		keyPool[i] = fmt.Sprintf("key-%02d", i)
 	}
+	// grow pads a value past the separation threshold when one is
+	// configured (see Config.ValueThreshold in crashtest.go).
+	grow := func(val []byte) []byte {
+		if cfg.ValueThreshold <= 0 || rng.Intn(2) == 1 {
+			return val
+		}
+		n := cfg.ValueThreshold + rng.Intn(2*cfg.ValueThreshold)
+		for len(val) < n {
+			val = append(val, byte('A'+len(val)%26))
+		}
+		return val
+	}
 
 	for i := 0; i < cfg.Ops; i++ {
 		switch r := rng.Intn(100); {
 		case r < 55: // put
 			key := keyPool[rng.Intn(len(keyPool))]
-			val := []byte(fmt.Sprintf("v-%d-%06d", cfg.Seed, i))
+			val := grow([]byte(fmt.Sprintf("v-%d-%06d", cfg.Seed, i)))
 			pend := model.Begin(local.Step(), oracle.Op{Key: key, Value: val})
 			if db.Put([]byte(key), val) == nil {
 				pend.Ack(local.Step())

@@ -59,6 +59,12 @@ type Config struct {
 	// proves a txn commit record is all-or-nothing at every crash point:
 	// an acked commit must survive whole, a torn one must vanish whole.
 	Txns bool
+	// ValueThreshold enables key-value separation on the workload engine
+	// and makes roughly half the written values exceed the threshold, so
+	// the matrix covers value-log appends, syncs, segment rotations and
+	// GC rewrites. Recovery engines are opened WITHOUT the threshold:
+	// reading pointers back must not depend on the write-side knob.
+	ValueThreshold int
 	// Faults arms an error-injection plan on the workload filesystem.
 	// Injected errors may fail workload operations or poison the engine;
 	// the harness tolerates both and keeps checking the invariants.
@@ -157,6 +163,8 @@ func classify(name string) string {
 		return "manifest"
 	case version.KindCurrent:
 		return "current"
+	case version.KindValueLog:
+		return "vlog"
 	}
 	return "other"
 }
@@ -290,10 +298,15 @@ func Run(cfg Config) (*Report, error) {
 		}
 	})
 	db, err := core.Open(core.Options{
-		FS:           fs,
-		SyncWrites:   true,
-		MemtableSize: cfg.MemtableSize,
-		Observer:     observer,
+		FS:             fs,
+		SyncWrites:     true,
+		MemtableSize:   cfg.MemtableSize,
+		Observer:       observer,
+		ValueThreshold: cfg.ValueThreshold,
+		// Tiny segments so a few hundred ops rotate the value log and give
+		// live-ratio GC retirable candidates; an eager ratio so it fires.
+		ValueLogSegmentSize: 4 << 10,
+		ValueLogGCRatio:     0.3,
 		Disk: version.Options{
 			// Small tables and an eager L0 trigger so a few hundred ops
 			// reach flushes, manifest installs, and compactions.
@@ -311,6 +324,20 @@ func Run(cfg Config) (*Report, error) {
 	for i := range keyPool {
 		keyPool[i] = fmt.Sprintf("key-%02d", i)
 	}
+	// grow pads a value past the separation threshold (when one is
+	// configured) so roughly half the workload takes the value-log path.
+	// The padding is deterministic, keeping the model's byte-for-byte
+	// comparison exact.
+	grow := func(val []byte) []byte {
+		if cfg.ValueThreshold <= 0 || rng.Intn(2) == 1 {
+			return val
+		}
+		n := cfg.ValueThreshold + rng.Intn(2*cfg.ValueThreshold)
+		for len(val) < n {
+			val = append(val, byte('A'+len(val)%26))
+		}
+		return val
+	}
 	// Injected faults can land a write in the memtable yet fail the call,
 	// so live reads are only compared against the model in fault-free runs.
 	checkLive := len(cfg.Faults) == 0
@@ -319,7 +346,7 @@ func Run(cfg Config) (*Report, error) {
 		switch r := rng.Intn(100); {
 		case r < 50: // put
 			key := keyPool[rng.Intn(len(keyPool))]
-			val := []byte(fmt.Sprintf("v-%d-%06d", cfg.Seed, i))
+			val := grow([]byte(fmt.Sprintf("v-%d-%06d", cfg.Seed, i)))
 			pend := c.model.Begin(fs.Step(), oracle.Op{Key: key, Value: val})
 			if db.Put([]byte(key), val) == nil {
 				pend.Ack(fs.Step())
@@ -373,7 +400,7 @@ func Run(cfg Config) (*Report, error) {
 					b.Delete([]byte(key))
 					ops = append(ops, oracle.Op{Key: key, Tombstone: true})
 				} else {
-					val := []byte(fmt.Sprintf("b-%d-%06d-%d", cfg.Seed, i, j))
+					val := grow([]byte(fmt.Sprintf("b-%d-%06d-%d", cfg.Seed, i, j)))
 					b.Put([]byte(key), val)
 					ops = append(ops, oracle.Op{Key: key, Value: val})
 				}

@@ -30,6 +30,13 @@ const (
 	KindDelete Kind = 0
 	// KindValue marks a regular key/value pair.
 	KindValue Kind = 1
+	// KindValuePtr marks a key whose value lives in the value log: the
+	// entry's value bytes are a fixed-size vlog pointer (segment, offset,
+	// length, checksum), not the user value. Everything between the write
+	// path and the read path — memtable, WAL, sstables, compaction —
+	// treats it exactly like KindValue; only the boundary layers
+	// (core read path, vlog GC) dereference it.
+	KindValuePtr Kind = 2
 )
 
 // MaxTimestamp is the largest encodable timestamp (56 bits).

@@ -73,11 +73,24 @@ func (t *Table) GetWithTS(key []byte, ts uint64) (value []byte, valTS uint64, de
 	return v, vts, false, true
 }
 
-// InsertRMW attempts one conflict-checked insert (Algorithm 3); see
-// skiplist.List.InsertRMW.
+// GetKind is Get surfacing the raw entry kind: the value-log read path
+// needs to distinguish an inline value (KindValue) from an encoded vlog
+// pointer (KindValuePtr) without decoding heuristics.
+func (t *Table) GetKind(key []byte, ts uint64) (value []byte, valTS uint64, kind keys.Kind, found bool) {
+	return t.list.Get(key, ts)
+}
+
+// InsertRMW attempts one conflict-checked insert (Algorithm 3) of kind
+// KindValue; see skiplist.List.InsertRMW.
 func (t *Table) InsertRMW(key []byte, ts uint64, value []byte, readTS uint64) bool {
+	return t.InsertRMWKind(key, ts, keys.KindValue, value, readTS)
+}
+
+// InsertRMWKind is InsertRMW with an explicit kind: value-log GC relinks
+// insert KindValuePtr entries through the same conflict check.
+func (t *Table) InsertRMWKind(key []byte, ts uint64, kind keys.Kind, value []byte, readTS uint64) bool {
 	buf := ikeyScratch.Get().(*[]byte)
-	*buf = keys.Encode((*buf)[:0], key, ts, keys.KindValue)
+	*buf = keys.Encode((*buf)[:0], key, ts, kind)
 	ok := t.list.InsertRMW(*buf, value, readTS)
 	ikeyScratch.Put(buf)
 	return ok

@@ -37,6 +37,9 @@ func Aggregate(srcs ...*Observer) *Observer {
 		dst.BGRetries.Add(src.BGRetries.Load())
 		dst.BGAutoResumes.Add(src.BGAutoResumes.Load())
 		dst.BGBytesReclaimed.Add(src.BGBytesReclaimed.Load())
+		dst.VlogBytesWritten.Add(src.VlogBytesWritten.Load())
+		dst.VlogBytesReclaimed.Add(src.VlogBytesReclaimed.Load())
+		dst.VlogGCRewrites.Add(src.VlogGCRewrites.Load())
 		if hs := src.HealthState.Load(); hs > dst.HealthState.Load() {
 			dst.HealthState.Store(hs)
 		}
@@ -47,6 +50,7 @@ func Aggregate(srcs ...*Observer) *Observer {
 		dst.ServerInflight.Add(int64(src.ServerInflight.Load()))
 		dst.WriteThrottle.Merge(&src.WriteThrottle)
 		dst.WALGroupSize.Merge(&src.WALGroupSize)
+		dst.VlogDeref.Merge(&src.VlogDeref)
 		dst.ServerWriteBatch.Merge(&src.ServerWriteBatch)
 		dst.ServerReadBatch.Merge(&src.ServerReadBatch)
 		events = append(events, src.Trace.Events()...)

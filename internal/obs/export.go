@@ -25,7 +25,20 @@ type Snapshot struct {
 	ServerReadBatch  ValueSnapshot `json:"server_read_batch"`
 	// BackupUpload distributes per-object remote upload latencies.
 	BackupUpload ValueSnapshot `json:"backup_upload_micros"`
-	Events       []Event       `json:"events"`
+	// Vlog carries value-log activity (docs/VALUELOG.md). The block is
+	// additive and omitted while the value log is untouched, so decoders
+	// of the pre-separation Stats shape keep working unchanged.
+	Vlog   *VlogSnapshot `json:"vlog,omitempty"`
+	Events []Event       `json:"events"`
+}
+
+// VlogSnapshot is the value-log section of a Snapshot.
+type VlogSnapshot struct {
+	BytesWritten   uint64 `json:"bytes_written"`
+	BytesReclaimed uint64 `json:"bytes_reclaimed"`
+	GCRewrites     uint64 `json:"gc_rewrites"`
+	// DerefMicros distributes pointer dereference latencies.
+	DerefMicros ValueSnapshot `json:"deref_micros"`
 }
 
 // Snapshot captures the observer's current state.
@@ -69,6 +82,14 @@ func (o *Observer) Snapshot() Snapshot {
 	s.ServerWriteBatch = o.ServerWriteBatch.ValueSnapshot()
 	s.ServerReadBatch = o.ServerReadBatch.ValueSnapshot()
 	s.BackupUpload = o.BackupUpload.ValueSnapshot()
+	if w, r, g := o.VlogBytesWritten.Load(), o.VlogBytesReclaimed.Load(), o.VlogGCRewrites.Load(); w|r|g != 0 || o.VlogDeref.Count() > 0 {
+		s.Vlog = &VlogSnapshot{
+			BytesWritten:   w,
+			BytesReclaimed: r,
+			GCRewrites:     g,
+			DerefMicros:    o.VlogDeref.ValueSnapshot(),
+		}
+	}
 	s.Events = o.Trace.Events()
 	return s
 }
@@ -147,6 +168,14 @@ func (o *Observer) WriteSummary(w io.Writer) {
 	if g := snap.BackupUpload; g.Count > 0 {
 		fmt.Fprintf(w, "%-22s %12d  mean=%.1fus p50=%dus p99=%dus max=%dus\n",
 			"backup_upload_micros", g.Count, g.Mean, g.P50, g.P99, g.Max)
+	}
+	if v := snap.Vlog; v != nil {
+		fmt.Fprintf(w, "%-22s written=%d reclaimed=%d rewrites=%d\n",
+			"vlog_bytes", v.BytesWritten, v.BytesReclaimed, v.GCRewrites)
+		if g := v.DerefMicros; g.Count > 0 {
+			fmt.Fprintf(w, "%-22s %12d  mean=%.1fus p50=%dus p99=%dus max=%dus\n",
+				"vlog_deref_micros", g.Count, g.Mean, g.P50, g.P99, g.Max)
+		}
 	}
 }
 

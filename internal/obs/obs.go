@@ -131,6 +131,20 @@ type Observer struct {
 	// including retried attempts.
 	BackupUpload Histogram
 
+	// Value-log counters (see docs/VALUELOG.md). VlogBytesWritten totals
+	// the entry bytes appended to value-log segments (user values plus
+	// per-entry framing); VlogBytesReclaimed totals the segment bytes
+	// freed by GC segment retirement; VlogGCRewrites counts live values
+	// relinked (re-appended and re-pointed) by GC segment rewrites.
+	VlogBytesWritten   Counter
+	VlogBytesReclaimed Counter
+	VlogGCRewrites     Counter
+
+	// VlogDeref distributes value-log pointer dereference latencies in
+	// microseconds (RecordValue; count-valued like BackupUpload): the
+	// extra read the LSM pays for each large value it points at.
+	VlogDeref Histogram
+
 	// ServerWriteBatch distributes the number of entries per coalesced
 	// engine write submission (RecordValue; count-valued like
 	// WALGroupSize): the server merges concurrent in-flight writes from

@@ -37,10 +37,13 @@ const (
 	EvBackupStart
 	EvBackupEnd
 	EvBackupFailed
+	// EvVlogGC records a completed value-log segment rewrite: Bytes is the
+	// retired segment's size, Dur the rewrite's elapsed time.
+	EvVlogGC
 )
 
 // evLast is the highest defined event type (export iteration bound).
-const evLast = EvBackupFailed
+const evLast = EvVlogGC
 
 // String names the event type for timelines and JSON export.
 func (t EventType) String() string {
@@ -77,6 +80,8 @@ func (t EventType) String() string {
 		return "backup-end"
 	case EvBackupFailed:
 		return "backup-failed"
+	case EvVlogGC:
+		return "vlog-gc"
 	}
 	return "unknown"
 }

@@ -38,6 +38,11 @@ const (
 	BandL0
 	BandLevel
 	BandSeek
+	// BandVlogGC is value-log garbage collection: live-ratio-driven segment
+	// rewrites. Like backup it has its own slot budget (VlogGCSlots) — a
+	// segment rewrite is long-running, space-driven rather than
+	// write-pressure-driven work, and must never occupy a compaction slot.
+	BandVlogGC
 	// BandBackup is the lowest class: long-running checkpoint/backup
 	// shipping. It has its own slot budget (BackupSlots) so a backup in
 	// flight never occupies a compaction slot — and conversely a full
@@ -57,6 +62,8 @@ func (b Band) String() string {
 		return "level"
 	case BandSeek:
 		return "seek"
+	case BandVlogGC:
+		return "vlog-gc"
 	case BandBackup:
 		return "backup"
 	}
@@ -99,6 +106,9 @@ type Config struct {
 	// BackupSlots caps concurrently running backup-band jobs (default 1:
 	// a store ships one backup at a time).
 	BackupSlots int
+	// VlogGCSlots caps concurrently running value-log GC jobs (default 1:
+	// segment rewrites are serialized per store).
+	VlogGCSlots int
 	// Poll is the planner cadence (default 10ms). The planner also runs
 	// on every Kick and after every job completion.
 	Poll time.Duration
@@ -122,6 +132,7 @@ type Scheduler struct {
 	nFlush  int // running flush-band jobs
 	nComp   int // running compaction-band jobs
 	nBackup int // running backup-band jobs
+	nVlogGC int // running vlog-gc-band jobs
 	paused  bool
 	closed  bool
 
@@ -145,6 +156,9 @@ func New(cfg Config) *Scheduler {
 	}
 	if cfg.BackupSlots <= 0 {
 		cfg.BackupSlots = 1
+	}
+	if cfg.VlogGCSlots <= 0 {
+		cfg.VlogGCSlots = 1
 	}
 	if cfg.Poll <= 0 {
 		cfg.Poll = 10 * time.Millisecond
@@ -233,7 +247,7 @@ func (s *Scheduler) Paused() bool {
 func (s *Scheduler) QueueDepth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue) + s.nFlush + s.nComp + s.nBackup
+	return len(s.queue) + s.nFlush + s.nComp + s.nBackup + s.nVlogGC
 }
 
 // SetDebt publishes the pending-work byte volume (planner aggregate).
@@ -282,6 +296,8 @@ func (s *Scheduler) worker() {
 			s.nFlush++
 		case BandBackup:
 			s.nBackup++
+		case BandVlogGC:
+			s.nVlogGC++
 		default:
 			s.nComp++
 		}
@@ -298,6 +314,8 @@ func (s *Scheduler) worker() {
 			s.nFlush--
 		case BandBackup:
 			s.nBackup--
+		case BandVlogGC:
+			s.nVlogGC--
 		default:
 			s.nComp--
 		}
@@ -328,6 +346,10 @@ func (s *Scheduler) popLocked() *Job {
 			}
 		case j.Band == BandBackup:
 			if s.nBackup >= s.cfg.BackupSlots {
+				continue
+			}
+		case j.Band == BandVlogGC:
+			if s.nVlogGC >= s.cfg.VlogGCSlots {
 				continue
 			}
 		default:

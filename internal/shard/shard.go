@@ -316,6 +316,12 @@ func (db *DB) Flush() error { return db.each((*core.DB).Flush) }
 // CompactRange synchronously flushes and fully compacts every shard.
 func (db *DB) CompactRange() error { return db.each((*core.DB).CompactRange) }
 
+// CompactValueLog garbage-collects every shard's value log; all shards
+// run even when one errors, and the first error is returned.
+func (db *DB) CompactValueLog(ctx context.Context) error {
+	return db.each(func(s *core.DB) error { return s.CompactValueLog(ctx) })
+}
+
 // Resume clears retryable health states on every shard.
 func (db *DB) Resume() error { return db.each((*core.DB).Resume) }
 
@@ -352,6 +358,9 @@ func (db *DB) Metrics() core.Metrics {
 		m.CacheMisses += sm.CacheMisses
 		m.DiskBytes += sm.DiskBytes
 		m.DiskFiles += sm.DiskFiles
+		m.VlogSegments += sm.VlogSegments
+		m.VlogGarbageBytes += sm.VlogGarbageBytes
+		m.VlogGCRuns += sm.VlogGCRuns
 		for i := range m.LevelSize {
 			m.LevelSize[i] += sm.LevelSize[i]
 		}

@@ -46,6 +46,17 @@ func (s *Set) Checkpoint(dst storage.FS) (int, error) {
 			nums = append(nums, f.Num)
 		}
 	}
+	// Value-log segments are part of the image: pointers in the pinned
+	// tables resolve into them. GC only retires a segment after the
+	// relinked values are flushed into the disk component, so every
+	// segment a pinned-version pointer references is still in the live
+	// set here; pinning defers physical removal until the links land.
+	vsegs := s.VlogSegments()
+	var vnums []uint64
+	for _, m := range vsegs {
+		vnums = append(vnums, m.Num)
+	}
+	nums = append(nums, vnums...)
 	s.protect(nums)
 	defer s.unprotect(nums)
 
@@ -68,6 +79,19 @@ func (s *Set) Checkpoint(dst storage.FS) (int, error) {
 			snap.AddFile(level, fm.FileDesc)
 		}
 	}
+	for _, m := range vsegs {
+		snap.AddVlogSegment(m.Num)
+		// Every segment is sealed in the image — the restored store never
+		// appends to a recovered segment. The active segment's size is
+		// whatever the link captures; recording its current size is only
+		// a lower bound, so the restored open re-stats unsealed segments.
+		if m.Sealed {
+			snap.SealVlogSegment(m.Num, m.Size)
+		}
+		if m.Garbage > 0 {
+			snap.AddVlogGarbage(m.Num, m.Garbage)
+		}
+	}
 	if err := w.Append(snap.Encode(nil)); err != nil {
 		w.Close()
 		return 0, err
@@ -77,11 +101,18 @@ func (s *Set) Checkpoint(dst storage.FS) (int, error) {
 	}
 
 	linked := 0
-	for _, n := range nums {
-		if err := s.fs.Link(TableFileName(n), dst, TableFileName(n)); err != nil {
+	for _, m := range vsegs {
+		if err := s.fs.Link(VlogFileName(m.Num), dst, VlogFileName(m.Num)); err != nil {
 			return linked, err
 		}
-		linked++
+	}
+	for _, level := range v.Levels {
+		for _, f := range level {
+			if err := s.fs.Link(TableFileName(f.Num), dst, TableFileName(f.Num)); err != nil {
+				return linked, err
+			}
+			linked++
+		}
 	}
 
 	if err := dst.WriteFile(CurrentFileName, []byte(name+"\n")); err != nil {

@@ -21,6 +21,23 @@ type Edit struct {
 
 	Added   []AddedFile
 	Deleted []DeletedFile
+
+	// Value-log segment lifecycle. A segment is added to the manifest
+	// before its first value lands (so recovery never meets a durable
+	// pointer into an unrecorded segment), sealed with its final size at
+	// rotation, accumulates garbage-byte deltas as compactions drop
+	// pointers into it, and is deleted when GC retires it.
+	VlogAdded   []uint64
+	VlogDeleted []uint64
+	VlogSealed  []VlogSegSize
+	VlogGarbage []VlogSegSize
+}
+
+// VlogSegSize pairs a value-log segment with a byte figure: the final
+// segment size for seal records, a garbage-byte delta for garbage records.
+type VlogSegSize struct {
+	Num   uint64
+	Bytes uint64
 }
 
 // AddedFile places a new table in a level.
@@ -54,6 +71,27 @@ func (e *Edit) DeleteFile(level int, num uint64) {
 	e.Deleted = append(e.Deleted, DeletedFile{Level: level, Num: num})
 }
 
+// AddVlogSegment records a new value-log segment in the live set.
+func (e *Edit) AddVlogSegment(num uint64) {
+	e.VlogAdded = append(e.VlogAdded, num)
+}
+
+// DeleteVlogSegment removes a retired value-log segment from the live set.
+func (e *Edit) DeleteVlogSegment(num uint64) {
+	e.VlogDeleted = append(e.VlogDeleted, num)
+}
+
+// SealVlogSegment records a segment's final size (no further appends).
+func (e *Edit) SealVlogSegment(num, size uint64) {
+	e.VlogSealed = append(e.VlogSealed, VlogSegSize{Num: num, Bytes: size})
+}
+
+// AddVlogGarbage accumulates dead bytes against a segment (compaction
+// dropped pointers into it), feeding the GC live-ratio picker.
+func (e *Edit) AddVlogGarbage(num, bytes uint64) {
+	e.VlogGarbage = append(e.VlogGarbage, VlogSegSize{Num: num, Bytes: bytes})
+}
+
 // Edit record field tags.
 const (
 	tagLogNum      = 1
@@ -61,6 +99,10 @@ const (
 	tagLastTS      = 3
 	tagAddFile     = 4
 	tagDeleteFile  = 5
+	tagAddVlogSeg  = 6
+	tagDelVlogSeg  = 7
+	tagSealVlogSeg = 8
+	tagVlogGarbage = 9
 )
 
 // ErrCorruptEdit reports a malformed manifest record.
@@ -93,6 +135,24 @@ func (e *Edit) Encode(dst []byte) []byte {
 		dst = binary.AppendUvarint(dst, tagDeleteFile)
 		dst = binary.AppendUvarint(dst, uint64(d.Level))
 		dst = binary.AppendUvarint(dst, d.Num)
+	}
+	for _, num := range e.VlogAdded {
+		dst = binary.AppendUvarint(dst, tagAddVlogSeg)
+		dst = binary.AppendUvarint(dst, num)
+	}
+	for _, num := range e.VlogDeleted {
+		dst = binary.AppendUvarint(dst, tagDelVlogSeg)
+		dst = binary.AppendUvarint(dst, num)
+	}
+	for _, s := range e.VlogSealed {
+		dst = binary.AppendUvarint(dst, tagSealVlogSeg)
+		dst = binary.AppendUvarint(dst, s.Num)
+		dst = binary.AppendUvarint(dst, s.Bytes)
+	}
+	for _, g := range e.VlogGarbage {
+		dst = binary.AppendUvarint(dst, tagVlogGarbage)
+		dst = binary.AppendUvarint(dst, g.Num)
+		dst = binary.AppendUvarint(dst, g.Bytes)
 	}
 	return dst
 }
@@ -162,6 +222,33 @@ func DecodeEdit(data []byte) (*Edit, error) {
 				return nil, fmt.Errorf("%w: level %d", ErrCorruptEdit, lvl)
 			}
 			e.Deleted = append(e.Deleted, DeletedFile{Level: int(lvl), Num: num})
+		case tagAddVlogSeg, tagDelVlogSeg:
+			num, n := binary.Uvarint(data)
+			if n <= 0 {
+				return nil, ErrCorruptEdit
+			}
+			data = data[n:]
+			if tag == tagAddVlogSeg {
+				e.VlogAdded = append(e.VlogAdded, num)
+			} else {
+				e.VlogDeleted = append(e.VlogDeleted, num)
+			}
+		case tagSealVlogSeg, tagVlogGarbage:
+			num, n := binary.Uvarint(data)
+			if n <= 0 {
+				return nil, ErrCorruptEdit
+			}
+			data = data[n:]
+			b, n := binary.Uvarint(data)
+			if n <= 0 {
+				return nil, ErrCorruptEdit
+			}
+			data = data[n:]
+			if tag == tagSealVlogSeg {
+				e.VlogSealed = append(e.VlogSealed, VlogSegSize{Num: num, Bytes: b})
+			} else {
+				e.VlogGarbage = append(e.VlogGarbage, VlogSegSize{Num: num, Bytes: b})
+			}
 		default:
 			return nil, fmt.Errorf("%w: unknown tag %d", ErrCorruptEdit, tag)
 		}

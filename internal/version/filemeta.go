@@ -82,6 +82,9 @@ func TableFileName(num uint64) string { return fmt.Sprintf("%06d.sst", num) }
 // LogFileName returns the name of WAL num.
 func LogFileName(num uint64) string { return fmt.Sprintf("%06d.log", num) }
 
+// VlogFileName returns the name of value-log segment num.
+func VlogFileName(num uint64) string { return fmt.Sprintf("%06d.vlg", num) }
+
 // ManifestFileName returns the name of manifest num.
 func ManifestFileName(num uint64) string { return fmt.Sprintf("MANIFEST-%06d", num) }
 
@@ -105,6 +108,10 @@ func ParseFileName(name string) (kind FileKind, num uint64, ok bool) {
 		if _, err := fmt.Sscanf(name[:6], "%d", &num); err == nil {
 			return KindLog, num, true
 		}
+	case len(name) == 10 && name[6:] == ".vlg":
+		if _, err := fmt.Sscanf(name[:6], "%d", &num); err == nil {
+			return KindValueLog, num, true
+		}
 	}
 	return 0, 0, false
 }
@@ -118,4 +125,5 @@ const (
 	KindManifest
 	KindTable
 	KindLog
+	KindValueLog
 )

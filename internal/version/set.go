@@ -97,6 +97,23 @@ type Set struct {
 	protMu    sync.Mutex
 	protected map[uint64]int
 	deferred  map[uint64]bool
+	// deferredVlog mirrors deferred for value-log segments: a retired
+	// segment whose physical removal fired while a checkpoint pinned it.
+	deferredVlog map[uint64]bool
+
+	// vlogMu guards vlogSegs, the durable value-log segment set recovered
+	// from (and maintained through) manifest edits. It is a leaf lock:
+	// builder.apply takes it while holding mu, accessors take it alone.
+	vlogMu   sync.Mutex
+	vlogSegs map[uint64]*VlogSegMeta
+}
+
+// VlogSegMeta is the manifest-recorded state of one value-log segment.
+type VlogSegMeta struct {
+	Num     uint64
+	Size    uint64 // final size once sealed; 0 while the segment is active
+	Garbage uint64 // dead bytes accumulated by compaction drop accounting
+	Sealed  bool
 }
 
 type seekHint struct {
@@ -113,6 +130,8 @@ func Open(fs storage.FS, blocks *cache.Cache, opts Options) (*Set, error) {
 		pendingSeeks: syncutil.NewQueue[seekHint](),
 		protected:    map[uint64]int{},
 		deferred:     map[uint64]bool{},
+		deferredVlog: map[uint64]bool{},
+		vlogSegs:     map[uint64]*VlogSegMeta{},
 	}
 	cur, err := fs.ReadFile(CurrentFileName)
 	if err == storage.ErrNotExist {
@@ -205,6 +224,7 @@ func (s *Set) rollManifest() error {
 			snap.AddFile(level, fm.FileDesc)
 		}
 	}
+	s.appendVlogSnapshot(&snap)
 	if err := w.Append(snap.Encode(nil)); err != nil {
 		return err
 	}
@@ -223,6 +243,68 @@ func (s *Set) rollManifest() error {
 		s.fs.Remove(ManifestFileName(oldNum))
 	}
 	return nil
+}
+
+// appendVlogSnapshot folds the live value-log segment set into a snapshot
+// edit (fresh-manifest rolls and checkpoints both need it): each segment's
+// existence, seal state, and accumulated garbage, re-expressed as one
+// delta on top of an empty state.
+func (s *Set) appendVlogSnapshot(snap *Edit) {
+	s.vlogMu.Lock()
+	defer s.vlogMu.Unlock()
+	for _, m := range s.vlogSegs {
+		snap.AddVlogSegment(m.Num)
+		if m.Sealed {
+			snap.SealVlogSegment(m.Num, m.Size)
+		}
+		if m.Garbage > 0 {
+			snap.AddVlogGarbage(m.Num, m.Garbage)
+		}
+	}
+}
+
+// VlogSegments returns a point-in-time copy of the manifest-recorded
+// value-log segment set, sorted by segment number.
+func (s *Set) VlogSegments() []VlogSegMeta {
+	s.vlogMu.Lock()
+	out := make([]VlogSegMeta, 0, len(s.vlogSegs))
+	for _, m := range s.vlogSegs {
+		out = append(out, *m)
+	}
+	s.vlogMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Num < out[j].Num })
+	return out
+}
+
+// VlogGCCandidate returns the sealed segment with the highest garbage
+// ratio at or above ratio (excluding segments in skip), if any. It is
+// allocation-light and safe to call from the scheduler's planner loop.
+func (s *Set) VlogGCCandidate(ratio float64, skip func(uint64) bool) (num uint64, ok bool) {
+	s.vlogMu.Lock()
+	defer s.vlogMu.Unlock()
+	best := ratio
+	for _, m := range s.vlogSegs {
+		if !m.Sealed || m.Size == 0 || (skip != nil && skip(m.Num)) {
+			continue
+		}
+		if r := float64(m.Garbage) / float64(m.Size); r >= best {
+			best, num, ok = r, m.Num, true
+		}
+	}
+	return num, ok
+}
+
+// VlogStats sums the segment set: segment count, total sealed bytes, and
+// total garbage bytes.
+func (s *Set) VlogStats() (segments int, sizeBytes, garbageBytes uint64) {
+	s.vlogMu.Lock()
+	defer s.vlogMu.Unlock()
+	for _, m := range s.vlogSegs {
+		segments++
+		sizeBytes += m.Size
+		garbageBytes += m.Garbage
+	}
+	return segments, sizeBytes, garbageBytes
 }
 
 // Current acquires a reference to the live Version (RCU protocol). The
@@ -370,6 +452,37 @@ func (b *builder) apply(e *Edit) {
 		delete(b.deleted[a.Level], fm.Num)
 		b.added[a.Level] = append(b.added[a.Level], fm)
 	}
+	b.applyVlog(e)
+}
+
+// applyVlog folds an edit's value-log records into the set's segment map.
+func (b *builder) applyVlog(e *Edit) {
+	if len(e.VlogAdded)+len(e.VlogDeleted)+len(e.VlogSealed)+len(e.VlogGarbage) == 0 {
+		return
+	}
+	s := b.set
+	s.vlogMu.Lock()
+	defer s.vlogMu.Unlock()
+	for _, num := range e.VlogAdded {
+		if s.vlogSegs[num] == nil {
+			s.vlogSegs[num] = &VlogSegMeta{Num: num}
+		}
+	}
+	for _, sl := range e.VlogSealed {
+		if m := s.vlogSegs[sl.Num]; m != nil {
+			m.Size, m.Sealed = sl.Bytes, true
+		}
+	}
+	for _, g := range e.VlogGarbage {
+		if m := s.vlogSegs[g.Num]; m != nil {
+			if m.Garbage += g.Bytes; m.Sealed && m.Garbage > m.Size {
+				m.Garbage = m.Size
+			}
+		}
+	}
+	for _, num := range e.VlogDeleted {
+		delete(s.vlogSegs, num)
+	}
 }
 
 // lookupBase finds a live FileMeta by number in the base version.
@@ -466,6 +579,7 @@ func (s *Set) protect(nums []uint64) {
 func (s *Set) unprotect(nums []uint64) {
 	s.protMu.Lock()
 	var doomed []uint64
+	var doomedVlog []uint64
 	for _, n := range nums {
 		if s.protected[n]--; s.protected[n] <= 0 {
 			delete(s.protected, n)
@@ -473,12 +587,36 @@ func (s *Set) unprotect(nums []uint64) {
 				delete(s.deferred, n)
 				doomed = append(doomed, n)
 			}
+			if s.deferredVlog[n] {
+				delete(s.deferredVlog, n)
+				doomedVlog = append(doomedVlog, n)
+			}
 		}
 	}
 	s.protMu.Unlock()
 	for _, n := range doomed {
 		s.removeTable(n)
 	}
+	for _, n := range doomedVlog {
+		s.fs.Remove(VlogFileName(n))
+	}
+}
+
+// RemoveVlogFile physically deletes a retired value-log segment, honoring
+// checkpoint pins the same way table deletion does: if a checkpoint is
+// linking the segment the removal is deferred until the pin drops. The
+// caller must already have logged the segment's retirement (the segment
+// is out of the manifest set, so a crash before the deferred removal is
+// reconciled by the next Open's orphan sweep).
+func (s *Set) RemoveVlogFile(num uint64) {
+	s.protMu.Lock()
+	if s.protected[num] > 0 {
+		s.deferredVlog[num] = true
+		s.protMu.Unlock()
+		return
+	}
+	s.protMu.Unlock()
+	s.fs.Remove(VlogFileName(num))
 }
 
 // recordSeekCompaction notes a file whose seek budget is exhausted.
@@ -522,6 +660,20 @@ func (s *Set) cleanupObsolete() {
 			}
 		case KindManifest:
 			if num != s.manifestNum {
+				if s.fs.Remove(name) == nil {
+					s.orphans.Add(1)
+				}
+			}
+		case KindValueLog:
+			// A segment file absent from the manifest set is either a
+			// crash leftover (created but its add-record never became
+			// durable — by the manifest-before-first-value rule no durable
+			// pointer references it) or a retired segment whose physical
+			// removal was lost in a crash. Both delete safely.
+			s.vlogMu.Lock()
+			_, liveSeg := s.vlogSegs[num]
+			s.vlogMu.Unlock()
+			if !liveSeg {
 				if s.fs.Remove(name) == nil {
 					s.orphans.Add(1)
 				}

@@ -54,11 +54,13 @@ func (v *Version) SizeBytes() uint64 {
 }
 
 // Get searches the disk component for the newest visible version at seek
-// key ikey (user key + read timestamp). deleted=true reports a tombstone,
-// which terminates the whole lookup. ts is the timestamp of the version
-// found (zero when found is false); transaction commit validation uses it
-// to detect versions written after a snapshot even once they are flushed.
-func (v *Version) Get(ikey []byte) (value []byte, ts uint64, deleted, found bool, err error) {
+// key ikey (user key + read timestamp). kind discriminates the hit: a
+// KindDelete tombstone terminates the whole lookup, a KindValuePtr's
+// value bytes are an encoded vlog pointer the caller dereferences. ts is
+// the timestamp of the version found (zero when found is false);
+// transaction commit validation uses it to detect versions written after
+// a snapshot even once they are flushed.
+func (v *Version) Get(ikey []byte) (value []byte, ts uint64, kind keys.Kind, found bool, err error) {
 	uk := keys.UserKey(ikey)
 	var firstSeekFile *FileMeta
 	firstSeekLevel := -1
@@ -81,7 +83,7 @@ func (v *Version) Get(ikey []byte) (value []byte, ts uint64, deleted, found bool
 			err = e
 			return true
 		}
-		val, vts, kind, ok, e := r.Get(ikey)
+		val, vts, vkind, ok, e := r.Get(ikey)
 		if e != nil {
 			err = e
 			return true
@@ -89,11 +91,9 @@ func (v *Version) Get(ikey []byte) (value []byte, ts uint64, deleted, found bool
 		if !ok {
 			return false
 		}
-		ts = vts
-		if kind == keys.KindDelete {
-			deleted, found = true, true
-		} else {
-			value, found = val, true
+		ts, kind, found = vts, vkind, true
+		if vkind != keys.KindDelete {
+			value = val
 		}
 		return true
 	}
@@ -106,7 +106,7 @@ func (v *Version) Get(ikey []byte) (value []byte, ts uint64, deleted, found bool
 			continue
 		}
 		if search(f, 0) {
-			return value, ts, deleted, found, err
+			return value, ts, kind, found, err
 		}
 	}
 	for level := 1; level < NumLevels; level++ {
@@ -118,10 +118,10 @@ func (v *Version) Get(ikey []byte) (value []byte, ts uint64, deleted, found bool
 			continue
 		}
 		if search(files[i], level) {
-			return value, ts, deleted, found, err
+			return value, ts, kind, found, err
 		}
 	}
-	return nil, 0, false, false, nil
+	return nil, 0, 0, false, nil
 }
 
 // ApproximateSize estimates the byte volume of tables overlapping the

@@ -154,9 +154,9 @@ func TestLogAndApplyAndRecover(t *testing.T) {
 		t.Fatalf("recovered NumFiles = %d", v2.NumFiles())
 	}
 	// Reads must work after recovery.
-	val, _, deleted, found, err := v2.Get(keys.SeekKey([]byte("k0150"), keys.MaxTimestamp))
-	if err != nil || !found || deleted || string(val) != "v150@10" {
-		t.Fatalf("Get after recovery = %q,%v,%v,%v", val, deleted, found, err)
+	val, _, kind, found, err := v2.Get(keys.SeekKey([]byte("k0150"), keys.MaxTimestamp))
+	if err != nil || !found || kind == keys.KindDelete || string(val) != "v150@10" {
+		t.Fatalf("Get after recovery = %q,%v,%v,%v", val, kind, found, err)
 	}
 }
 

@@ -1,0 +1,561 @@
+// Package vlog implements a WiscKey-style segmented value log: an
+// append-only sequence of segment files holding large values, with the
+// LSM storing fixed-size pointers in their place. Separating values from
+// keys cuts compaction write amplification to the pointer size — values
+// are written once and never ride a merge.
+//
+// Segment lifecycle is manifest-recorded (see internal/version): a
+// segment is added to the manifest before its first value lands, sealed
+// with its final size at rotation, accumulates garbage-byte counters as
+// compactions drop pointers into it, and is deleted when GC retires it —
+// so crash recovery reconciles orphan segments exactly like orphan
+// sstables.
+//
+// Durability ordering is the package's central invariant: in sync mode a
+// value's segment bytes are group-synced (WaitSync) before the WAL record
+// carrying its pointer is appended, so a durable pointer always implies a
+// durable value. The converse — durable value bytes with no WAL record —
+// is harmless garbage reclaimed by GC.
+package vlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+
+	"clsm/internal/obs"
+	"clsm/internal/storage"
+	"clsm/internal/version"
+)
+
+// ErrCorrupt reports a value-log entry whose framing or checksum does not
+// match its pointer — corruption, a torn tail, or a stale pointer.
+var ErrCorrupt = errors.New("vlog: corrupt value-log entry")
+
+// ErrRetired reports a dereference into a segment that no longer exists:
+// GC retired it after relinking its live values. The newest version of
+// the key carries the relocated pointer, so callers retry the lookup.
+var ErrRetired = errors.New("vlog: segment retired")
+
+// castagnoli is the CRC32-C table shared by entry checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// PointerSize is the encoded size of a Pointer: the fixed "value" the LSM
+// stores for a KindValuePtr entry.
+const PointerSize = 24
+
+// headerSize frames each segment entry: crc32c + payload length.
+const headerSize = 8
+
+// Pointer locates one value inside the log.
+type Pointer struct {
+	Seg uint64 // segment file number
+	Off uint64 // entry offset inside the segment
+	Len uint32 // total entry length (header + payload)
+	CRC uint32 // entry payload checksum, cross-checked at dereference
+}
+
+// AppendPointer appends the 24-byte encoding of p to dst.
+func AppendPointer(dst []byte, p Pointer) []byte {
+	var b [PointerSize]byte
+	binary.BigEndian.PutUint64(b[0:8], p.Seg)
+	binary.BigEndian.PutUint64(b[8:16], p.Off)
+	binary.BigEndian.PutUint32(b[16:20], p.Len)
+	binary.BigEndian.PutUint32(b[20:24], p.CRC)
+	return append(dst, b[:]...)
+}
+
+// DecodePointer parses an encoded pointer.
+func DecodePointer(b []byte) (Pointer, bool) {
+	if len(b) != PointerSize {
+		return Pointer{}, false
+	}
+	return Pointer{
+		Seg: binary.BigEndian.Uint64(b[0:8]),
+		Off: binary.BigEndian.Uint64(b[8:16]),
+		Len: binary.BigEndian.Uint32(b[16:20]),
+		CRC: binary.BigEndian.Uint32(b[20:24]),
+	}, true
+}
+
+// Config configures a Log.
+type Config struct {
+	FS storage.FS
+	// Set is the manifest authority: segment numbers come from its
+	// allocator and lifecycle transitions are logged through it.
+	Set *version.Set
+	// SegmentSize caps segment files; appends past it rotate.
+	SegmentSize int64
+	// SyncWrites selects the group-sync discipline (WaitSync).
+	SyncWrites bool
+	// Observer receives vlog counters; may be nil.
+	Observer *obs.Observer
+}
+
+// Log is one store's value log. Append/WaitSync/Get/ScanSegment are safe
+// for concurrent use.
+type Log struct {
+	fs   storage.FS
+	set  *version.Set
+	obs  *obs.Observer
+	size int64
+	sync bool
+
+	mu      sync.Mutex // append + rotation critical section
+	actNum  uint64     // 0 = no active segment yet
+	actFile storage.File
+	actOff  int64
+	// actPub mirrors actNum for lock-free readers: GC candidate selection
+	// consults ActiveSegment while holding the version-set mutex, which a
+	// rotating appender needs with l.mu held — taking l.mu there would
+	// deadlock (planner: set mutex → l.mu; appender: l.mu → set mutex).
+	actPub atomic.Uint64
+	buf    []byte // entry scratch, reused under mu
+	werr   error  // sticky append error
+
+	pending atomic.Pointer[syncWaiter]
+	wake    chan struct{}
+	closing chan struct{}
+	drained chan struct{}
+
+	readMu  sync.Mutex
+	readers map[uint64]*segReader
+
+	retMu   sync.Mutex
+	retired map[uint64]retiredSeg
+}
+
+type syncWaiter struct {
+	next *syncWaiter
+	err  chan error
+}
+
+type segReader struct {
+	r    storage.RandomReader
+	refs int
+	dead bool
+}
+
+type retiredSeg struct {
+	retireTS uint64 // snapshots older than this may still read the segment
+	size     uint64
+}
+
+// Open builds the Log over the segment set recovered from the manifest.
+// Recovered unsealed segments (the previous incarnation's active segment)
+// are sealed at their on-disk size — the log never appends to a recovered
+// segment, so a possibly-torn tail is never built upon.
+func Open(cfg Config) (*Log, error) {
+	l := &Log{
+		fs:      cfg.FS,
+		set:     cfg.Set,
+		obs:     cfg.Observer,
+		size:    cfg.SegmentSize,
+		sync:    cfg.SyncWrites,
+		wake:    make(chan struct{}, 1),
+		closing: make(chan struct{}),
+		drained: make(chan struct{}),
+		readers: map[uint64]*segReader{},
+		retired: map[uint64]retiredSeg{},
+	}
+	var seal version.Edit
+	dirty := false
+	for _, m := range cfg.Set.VlogSegments() {
+		if m.Sealed {
+			continue
+		}
+		var size uint64
+		if r, err := cfg.FS.Open(version.VlogFileName(m.Num)); err == nil {
+			size = uint64(r.Size())
+			r.Close()
+		}
+		seal.SealVlogSegment(m.Num, size)
+		dirty = true
+	}
+	if dirty {
+		if err := cfg.Set.LogAndApply(&seal); err != nil {
+			return nil, err
+		}
+	}
+	go l.syncLoop()
+	return l, nil
+}
+
+// ActiveSegment returns the current append segment's number (0 if no
+// append has happened yet). Lock-free; safe to call from code already
+// holding the version-set mutex.
+func (l *Log) ActiveSegment() uint64 { return l.actPub.Load() }
+
+// Append writes one (key, ts, value) entry to the active segment and
+// returns its pointer. The entry is buffered in the OS (readable
+// immediately, durable only after WaitSync or rotation); in sync mode the
+// caller must WaitSync before logging the pointer to the WAL.
+func (l *Log) Append(key []byte, ts uint64, value []byte) (Pointer, error) {
+	l.mu.Lock()
+	if l.werr != nil {
+		err := l.werr
+		l.mu.Unlock()
+		return Pointer{}, err
+	}
+	if err := l.ensureActiveLocked(); err != nil {
+		l.mu.Unlock()
+		return Pointer{}, err
+	}
+	// payload: klen uvarint | ts uvarint | key | value
+	b := l.buf[:0]
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+	b = binary.AppendUvarint(b, uint64(len(key)))
+	b = binary.AppendUvarint(b, ts)
+	b = append(b, key...)
+	b = append(b, value...)
+	payload := b[headerSize:]
+	crc := crc32.Checksum(payload, castagnoli)
+	binary.LittleEndian.PutUint32(b[0:4], crc)
+	binary.LittleEndian.PutUint32(b[4:8], uint32(len(payload)))
+	l.buf = b
+
+	off := l.actOff
+	if _, err := l.actFile.Write(b); err != nil {
+		l.werr = err
+		l.mu.Unlock()
+		return Pointer{}, err
+	}
+	l.actOff += int64(len(b))
+	p := Pointer{Seg: l.actNum, Off: uint64(off), Len: uint32(len(b)), CRC: crc}
+	l.mu.Unlock()
+
+	if l.obs != nil {
+		l.obs.VlogBytesWritten.Add(uint64(len(b)))
+	}
+	return p, nil
+}
+
+// ensureActiveLocked rotates when there is no active segment or the
+// active one is full. Caller holds mu.
+func (l *Log) ensureActiveLocked() error {
+	if l.actFile != nil && l.actOff < l.size {
+		return nil
+	}
+	return l.rotateLocked()
+}
+
+// rotateLocked opens a fresh segment, recording it in the manifest before
+// any value can land in it (so a durable pointer never references an
+// unrecorded segment) and sealing the previous segment — synced first, so
+// the seal record never outlives its bytes.
+func (l *Log) rotateLocked() error {
+	num := l.set.NewFileNum()
+	name := version.VlogFileName(num)
+	f, err := l.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	var e version.Edit
+	e.AddVlogSegment(num)
+	if l.actFile != nil {
+		if err := l.actFile.Sync(); err != nil {
+			f.Close()
+			l.fs.Remove(name)
+			l.werr = err
+			return err
+		}
+		e.SealVlogSegment(l.actNum, uint64(l.actOff))
+	}
+	if err := l.set.LogAndApply(&e); err != nil {
+		f.Close()
+		l.fs.Remove(name)
+		return err
+	}
+	if l.actFile != nil {
+		l.actFile.Close()
+	}
+	l.actNum, l.actFile, l.actOff = num, f, 0
+	l.actPub.Store(num)
+	return nil
+}
+
+// WaitSync blocks until every previously appended entry is durable. Waits
+// are group-committed: one device sync completes every waiter enqueued
+// since the last, mirroring the WAL group-commit discipline.
+func (l *Log) WaitSync() error {
+	w := &syncWaiter{err: make(chan error, 1)}
+	for {
+		old := l.pending.Load()
+		w.next = old
+		if l.pending.CompareAndSwap(old, w) {
+			break
+		}
+	}
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+	return <-w.err
+}
+
+func (l *Log) syncLoop() {
+	defer close(l.drained)
+	for {
+		select {
+		case <-l.closing:
+			l.drainSync()
+			return
+		case <-l.wake:
+			l.drainSync()
+		}
+	}
+}
+
+// drainSync completes one sync group. Syncing the current active file
+// covers every waiter: a waiter's bytes are either in this file or in a
+// predecessor that rotation already synced.
+func (l *Log) drainSync() {
+	head := l.pending.Swap(nil)
+	if head == nil {
+		return
+	}
+	l.mu.Lock()
+	err := l.werr
+	if err == nil && l.actFile != nil {
+		if err = l.actFile.Sync(); err != nil {
+			l.werr = err
+		}
+	}
+	l.mu.Unlock()
+	for w := head; w != nil; w = w.next {
+		w.err <- err
+	}
+}
+
+// Get dereferences p, verifying framing and checksum, and returns the
+// value appended to dst. ErrRetired means the segment is gone (GC) and
+// the caller should re-read the key; ErrCorrupt means the pointer does
+// not match the bytes on disk.
+func (l *Log) Get(p Pointer, dst []byte) ([]byte, error) {
+	if p.Len < headerSize {
+		return nil, fmt.Errorf("%w: implausible entry length %d", ErrCorrupt, p.Len)
+	}
+	sr, err := l.acquire(p.Seg)
+	if err != nil {
+		return nil, err
+	}
+	defer l.release(p.Seg)
+	buf := entryBufs.Get().(*[]byte)
+	defer entryBufs.Put(buf)
+	if cap(*buf) < int(p.Len) {
+		*buf = make([]byte, p.Len)
+	}
+	b := (*buf)[:p.Len]
+	if _, err := sr.r.ReadAt(b, int64(p.Off)); err != nil {
+		return nil, fmt.Errorf("%w: read seg %d off %d: %v", ErrCorrupt, p.Seg, p.Off, err)
+	}
+	_, _, value, err := decodeEntry(b, p.CRC)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, value...), nil
+}
+
+var entryBufs = sync.Pool{New: func() any { b := make([]byte, 0, 8<<10); return &b }}
+
+// decodeEntry validates one framed entry (optionally against a pointer's
+// checksum; pass wantCRC 0 to skip) and splits out its fields.
+func decodeEntry(b []byte, wantCRC uint32) (key []byte, ts uint64, value []byte, err error) {
+	if len(b) < headerSize {
+		return nil, 0, nil, ErrCorrupt
+	}
+	crc := binary.LittleEndian.Uint32(b[0:4])
+	plen := binary.LittleEndian.Uint32(b[4:8])
+	if int(plen) != len(b)-headerSize {
+		return nil, 0, nil, fmt.Errorf("%w: payload length %d != %d", ErrCorrupt, plen, len(b)-headerSize)
+	}
+	payload := b[headerSize:]
+	if wantCRC != 0 && crc != wantCRC {
+		return nil, 0, nil, fmt.Errorf("%w: pointer crc mismatch", ErrCorrupt)
+	}
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return nil, 0, nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	klen, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, 0, nil, ErrCorrupt
+	}
+	payload = payload[n:]
+	ts, n = binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, 0, nil, ErrCorrupt
+	}
+	payload = payload[n:]
+	if klen > uint64(len(payload)) {
+		return nil, 0, nil, ErrCorrupt
+	}
+	return payload[:klen], ts, payload[klen:], nil
+}
+
+// acquire returns a refcounted reader for segment num, opening and
+// caching it on first use.
+func (l *Log) acquire(num uint64) (*segReader, error) {
+	l.readMu.Lock()
+	defer l.readMu.Unlock()
+	if sr, ok := l.readers[num]; ok && !sr.dead {
+		sr.refs++
+		return sr, nil
+	}
+	r, err := l.fs.Open(version.VlogFileName(num))
+	if err != nil {
+		if errors.Is(err, storage.ErrNotExist) {
+			return nil, ErrRetired
+		}
+		return nil, err
+	}
+	sr := &segReader{r: r, refs: 1}
+	l.readers[num] = sr
+	return sr, nil
+}
+
+func (l *Log) release(num uint64) {
+	l.readMu.Lock()
+	sr, ok := l.readers[num]
+	if ok {
+		if sr.refs--; sr.dead && sr.refs == 0 {
+			delete(l.readers, num)
+			defer sr.r.Close()
+		}
+	}
+	l.readMu.Unlock()
+}
+
+// dropReader retires a cached reader; the close is deferred past
+// in-flight dereferences.
+func (l *Log) dropReader(num uint64) {
+	l.readMu.Lock()
+	sr, ok := l.readers[num]
+	if ok {
+		sr.dead = true
+		if sr.refs == 0 {
+			delete(l.readers, num)
+			defer sr.r.Close()
+		}
+	}
+	l.readMu.Unlock()
+}
+
+// ScanSegment walks segment num's entries in file order, calling fn with
+// each entry's key, timestamp, pointer, and value. The walk stops cleanly
+// at the first torn or corrupt entry: bytes past it are unreachable by
+// any acked pointer (sync ordering), so GC treats them as garbage.
+func (l *Log) ScanSegment(num uint64, fn func(key []byte, ts uint64, ptr Pointer, value []byte) error) error {
+	r, err := l.fs.Open(version.VlogFileName(num))
+	if err != nil {
+		if errors.Is(err, storage.ErrNotExist) {
+			return ErrRetired
+		}
+		return err
+	}
+	defer r.Close()
+	size := r.Size()
+	var hdr [headerSize]byte
+	var buf []byte
+	for off := int64(0); off+headerSize <= size; {
+		if _, err := r.ReadAt(hdr[:], off); err != nil {
+			return nil // torn tail
+		}
+		plen := binary.LittleEndian.Uint32(hdr[4:8])
+		total := int64(headerSize) + int64(plen)
+		if off+total > size {
+			return nil // torn tail
+		}
+		if int64(cap(buf)) < total {
+			buf = make([]byte, total)
+		}
+		b := buf[:total]
+		if _, err := r.ReadAt(b, off); err != nil {
+			return nil
+		}
+		key, ts, value, err := decodeEntry(b, 0)
+		if err != nil {
+			return nil // corrupt entry: stop, the tail is unreachable
+		}
+		p := Pointer{Seg: num, Off: uint64(off), Len: uint32(total), CRC: binary.LittleEndian.Uint32(hdr[0:4])}
+		if err := fn(key, ts, p, value); err != nil {
+			return err
+		}
+		off += total
+	}
+	return nil
+}
+
+// Retire registers a segment whose manifest retirement is durable for
+// deferred physical removal: snapshots installed before retireTS may
+// still resolve old pointers into it, so the file is removed by
+// ReapRetired once no such snapshot remains.
+func (l *Log) Retire(num, retireTS, size uint64) {
+	l.retMu.Lock()
+	l.retired[num] = retiredSeg{retireTS: retireTS, size: size}
+	l.retMu.Unlock()
+}
+
+// ReapRetired removes retired segments no live snapshot can reference:
+// those whose retireTS is at or below the oldest installed snapshot
+// (minSnapshot 0 = no snapshots). Returns the number of segments removed.
+func (l *Log) ReapRetired(minSnapshot uint64) int {
+	l.retMu.Lock()
+	var doomed []uint64
+	var bytes uint64
+	for num, rs := range l.retired {
+		if minSnapshot == 0 || minSnapshot >= rs.retireTS {
+			doomed = append(doomed, num)
+			bytes += rs.size
+			delete(l.retired, num)
+		}
+	}
+	l.retMu.Unlock()
+	for _, num := range doomed {
+		l.dropReader(num)
+		l.set.RemoveVlogFile(num)
+	}
+	if l.obs != nil && bytes > 0 {
+		l.obs.VlogBytesReclaimed.Add(bytes)
+	}
+	return len(doomed)
+}
+
+// RetiredPending reports how many retired segments still await removal.
+func (l *Log) RetiredPending() int {
+	l.retMu.Lock()
+	defer l.retMu.Unlock()
+	return len(l.retired)
+}
+
+// Close seals nothing (the next Open re-seals the active segment at its
+// recovered size) but syncs and closes the active file and every cached
+// reader. Appends racing Close are the caller's bug, as with the WAL.
+func (l *Log) Close() error {
+	close(l.closing)
+	<-l.drained
+	l.mu.Lock()
+	var err error
+	if l.actFile != nil {
+		if serr := l.actFile.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+		if cerr := l.actFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		l.actFile = nil
+	}
+	if l.werr != nil && err == nil {
+		err = l.werr
+	}
+	l.mu.Unlock()
+	l.readMu.Lock()
+	for num, sr := range l.readers {
+		sr.r.Close()
+		delete(l.readers, num)
+	}
+	l.readMu.Unlock()
+	return err
+}

@@ -1,0 +1,321 @@
+package vlog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"clsm/internal/storage"
+	"clsm/internal/version"
+)
+
+// openTestLog builds a Log over a fresh in-memory store with a small
+// segment size so tests rotate cheaply.
+func openTestLog(t *testing.T, fs storage.FS, segSize int64) (*Log, *version.Set) {
+	t.Helper()
+	set, err := version.Open(fs, nil, version.Options{})
+	if err != nil {
+		t.Fatalf("version.Open: %v", err)
+	}
+	l, err := Open(Config{FS: fs, Set: set, SegmentSize: segSize, SyncWrites: true})
+	if err != nil {
+		t.Fatalf("vlog.Open: %v", err)
+	}
+	return l, set
+}
+
+func TestPointerRoundTrip(t *testing.T) {
+	p := Pointer{Seg: 7, Off: 1 << 40, Len: 4096, CRC: 0xdeadbeef}
+	b := AppendPointer(nil, p)
+	if len(b) != PointerSize {
+		t.Fatalf("encoded pointer is %d bytes, want %d", len(b), PointerSize)
+	}
+	got, ok := DecodePointer(b)
+	if !ok || got != p {
+		t.Fatalf("DecodePointer = %+v, %v; want %+v", got, ok, p)
+	}
+	if _, ok := DecodePointer(b[:PointerSize-1]); ok {
+		t.Fatal("DecodePointer accepted a truncated encoding")
+	}
+}
+
+func TestAppendGetRoundTrip(t *testing.T) {
+	fs := storage.NewMemFS()
+	l, _ := openTestLog(t, fs, 1<<20)
+	defer l.Close()
+
+	type rec struct {
+		key, val []byte
+		ts       uint64
+		p        Pointer
+	}
+	var recs []rec
+	for i := 0; i < 20; i++ {
+		r := rec{
+			key: []byte(fmt.Sprintf("key-%03d", i)),
+			val: bytes.Repeat([]byte{byte('a' + i)}, 100+i*37),
+			ts:  uint64(i + 1),
+		}
+		p, err := l.Append(r.key, r.ts, r.val)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		r.p = p
+		recs = append(recs, r)
+	}
+	if err := l.WaitSync(); err != nil {
+		t.Fatalf("WaitSync: %v", err)
+	}
+	for i, r := range recs {
+		got, err := l.Get(r.p, nil)
+		if err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+		if !bytes.Equal(got, r.val) {
+			t.Fatalf("Get %d: value mismatch (%d vs %d bytes)", i, len(got), len(r.val))
+		}
+	}
+	// Get must append to dst, not replace it.
+	prefix := []byte("prefix:")
+	got, err := l.Get(recs[0].p, prefix)
+	if err != nil {
+		t.Fatalf("Get with dst: %v", err)
+	}
+	if !bytes.Equal(got[:7], prefix) || !bytes.Equal(got[7:], recs[0].val) {
+		t.Fatal("Get did not append to dst")
+	}
+}
+
+func TestSegmentRotationAndSeal(t *testing.T) {
+	fs := storage.NewMemFS()
+	l, set := openTestLog(t, fs, 512) // tiny: a few appends per segment
+	defer l.Close()
+
+	val := bytes.Repeat([]byte{'v'}, 200)
+	segs := map[uint64]bool{}
+	for i := 0; i < 12; i++ {
+		p, err := l.Append([]byte("k"), uint64(i+1), val)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		segs[p.Seg] = true
+	}
+	if len(segs) < 3 {
+		t.Fatalf("12 appends of 200B at 512B segments used %d segments, want >= 3", len(segs))
+	}
+	metas := set.VlogSegments()
+	if len(metas) != len(segs) {
+		t.Fatalf("manifest records %d segments, log used %d", len(metas), len(segs))
+	}
+	sealed, active := 0, 0
+	for _, m := range metas {
+		if !segs[m.Num] {
+			t.Fatalf("manifest segment %d never used by the log", m.Num)
+		}
+		if m.Sealed {
+			sealed++
+			if m.Size == 0 {
+				t.Fatalf("sealed segment %d has size 0", m.Num)
+			}
+		} else {
+			active++
+		}
+	}
+	if active != 1 {
+		t.Fatalf("%d active (unsealed) segments, want exactly 1", active)
+	}
+	if sealed != len(metas)-1 {
+		t.Fatalf("%d sealed segments of %d", sealed, len(metas))
+	}
+	if got := l.ActiveSegment(); !segs[got] {
+		t.Fatalf("ActiveSegment() = %d, not a segment the log wrote to", got)
+	}
+}
+
+func TestScanSegment(t *testing.T) {
+	fs := storage.NewMemFS()
+	l, _ := openTestLog(t, fs, 1<<20)
+	defer l.Close()
+
+	var want []Pointer
+	for i := 0; i < 5; i++ {
+		p, err := l.Append([]byte(fmt.Sprintf("k%d", i)), uint64(i+1), bytes.Repeat([]byte{'x'}, 64))
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		want = append(want, p)
+	}
+	if err := l.WaitSync(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Pointer
+	err := l.ScanSegment(l.ActiveSegment(), func(key []byte, ts uint64, p Pointer, value []byte) error {
+		if string(key) != fmt.Sprintf("k%d", ts-1) {
+			t.Errorf("entry ts=%d has key %q", ts, key)
+		}
+		if len(value) != 64 {
+			t.Errorf("entry ts=%d has %d value bytes", ts, len(value))
+		}
+		got = append(got, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ScanSegment: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan yielded %d entries, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: scan pointer %+v != append pointer %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanSegmentStopsAtTornTail(t *testing.T) {
+	fs := storage.NewMemFS()
+	l, _ := openTestLog(t, fs, 1<<20)
+
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte("k"), uint64(i+1), bytes.Repeat([]byte{'x'}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg := l.ActiveSegment()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the file mid-entry: the scan must stop cleanly before it.
+	name := version.VlogFileName(seg)
+	data, err := fs.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(name, data[:len(data)-20]); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, _ := openTestLog(t, fs, 1<<20)
+	defer l2.Close()
+	n := 0
+	if err := l2.ScanSegment(seg, func([]byte, uint64, Pointer, []byte) error {
+		n++
+		return nil
+	}); err != nil {
+		t.Fatalf("ScanSegment on torn file: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("scan of torn segment yielded %d entries, want 2 (third is torn)", n)
+	}
+}
+
+func TestGetDetectsCorruption(t *testing.T) {
+	fs := storage.NewMemFS()
+	l, _ := openTestLog(t, fs, 1<<20)
+
+	p, err := l.Append([]byte("k"), 1, bytes.Repeat([]byte{'x'}, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := l.ActiveSegment()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	name := version.VlogFileName(seg)
+	data, _ := fs.ReadFile(name)
+	data[int(p.Off)+headerSize+10] ^= 0x40 // flip a payload bit
+	if err := fs.WriteFile(name, data); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, _ := openTestLog(t, fs, 1<<20)
+	defer l2.Close()
+	if _, err := l2.Get(p, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get on flipped payload = %v, want ErrCorrupt", err)
+	}
+	// A pointer whose CRC does not match the (intact) entry is also corrupt.
+	data[int(p.Off)+headerSize+10] ^= 0x40 // restore
+	if err := fs.WriteFile(name, data); err != nil {
+		t.Fatal(err)
+	}
+	bad := p
+	bad.CRC ^= 1
+	if _, err := l2.Get(bad, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get with wrong pointer CRC = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRetireAndReap(t *testing.T) {
+	fs := storage.NewMemFS()
+	l, _ := openTestLog(t, fs, 1<<20)
+	defer l.Close()
+
+	p, err := l.Append([]byte("k"), 1, bytes.Repeat([]byte{'x'}, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitSync(); err != nil {
+		t.Fatal(err)
+	}
+	seg := l.ActiveSegment()
+
+	l.Retire(seg, 100, 64)
+	if got := l.RetiredPending(); got != 1 {
+		t.Fatalf("RetiredPending = %d, want 1", got)
+	}
+	// A snapshot older than retireTS pins the file.
+	if n := l.ReapRetired(50); n != 0 {
+		t.Fatalf("ReapRetired(50) removed %d segments under a pinning snapshot", n)
+	}
+	if _, err := l.Get(p, nil); err != nil {
+		t.Fatalf("Get while pinned: %v", err)
+	}
+	// Snapshot released (or newer than retirement): the file goes.
+	if n := l.ReapRetired(0); n != 1 {
+		t.Fatalf("ReapRetired(0) removed %d segments, want 1", n)
+	}
+	if _, err := l.Get(p, nil); !errors.Is(err, ErrRetired) {
+		t.Fatalf("Get after reap = %v, want ErrRetired", err)
+	}
+	if err := l.ScanSegment(seg, func([]byte, uint64, Pointer, []byte) error { return nil }); !errors.Is(err, ErrRetired) {
+		t.Fatalf("ScanSegment after reap = %v, want ErrRetired", err)
+	}
+}
+
+// TestReopenSealsRecoveredActiveSegment covers the recovery contract: the
+// previous incarnation's active (unsealed) segment is sealed at its
+// on-disk size and never appended to again.
+func TestReopenSealsRecoveredActiveSegment(t *testing.T) {
+	fs := storage.NewMemFS()
+	l, _ := openTestLog(t, fs, 1<<20)
+	p, err := l.Append([]byte("k"), 1, bytes.Repeat([]byte{'x'}, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := l.ActiveSegment()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, set2 := openTestLog(t, fs, 1<<20)
+	defer l2.Close()
+	for _, m := range set2.VlogSegments() {
+		if m.Num == old && (!m.Sealed || m.Size == 0) {
+			t.Fatalf("recovered segment %d not sealed with its size: %+v", old, m)
+		}
+	}
+	// Old entries stay readable; new appends go to a fresh segment.
+	if _, err := l2.Get(p, nil); err != nil {
+		t.Fatalf("Get of recovered entry: %v", err)
+	}
+	p2, err := l2.Append([]byte("k"), 2, []byte("fresh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Seg == old {
+		t.Fatalf("append after reopen landed in recovered segment %d", old)
+	}
+}

@@ -47,6 +47,28 @@ func ParseWorkload(s string) (Workload, error) {
 	return 0, fmt.Errorf("ycsb: unknown workload %q (a-f)", s)
 }
 
+// Value size distributions (Config.ValueDist).
+const (
+	// DistFixed writes every value at exactly ValueSize bytes (default).
+	DistFixed = "fixed"
+	// DistUniform draws sizes uniformly from [ValueSize, ValueMax].
+	DistUniform = "uniform"
+	// DistZipf skews sizes toward ValueSize with a heavy tail up to
+	// ValueMax — the mixed small/large shape key-value separation targets.
+	DistZipf = "zipf"
+)
+
+// ParseValueDist validates a -value-dist flag value.
+func ParseValueDist(s string) (string, error) {
+	switch s {
+	case "", DistFixed:
+		return DistFixed, nil
+	case DistUniform, DistZipf:
+		return s, nil
+	}
+	return "", fmt.Errorf("ycsb: unknown value distribution %q (fixed|uniform|zipf)", s)
+}
+
 // Config parameterizes a run.
 type Config struct {
 	Workload    Workload
@@ -55,7 +77,12 @@ type Config struct {
 	Threads     int
 	KeySize     int // default 23 ("user" + 20 digits), per YCSB
 	ValueSize   int // default 1000 (10 fields x 100 bytes)
-	Seed        int64
+	// ValueDist picks the per-write value size distribution (DistFixed,
+	// DistUniform, DistZipf); ValueMax bounds the variable distributions
+	// (default 4x ValueSize).
+	ValueDist string
+	ValueMax  int
+	Seed      int64
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +100,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ValueSize <= 0 {
 		c.ValueSize = 1000
+	}
+	if c.ValueDist == "" {
+		c.ValueDist = DistFixed
+	}
+	if c.ValueMax < c.ValueSize {
+		c.ValueMax = 4 * c.ValueSize
 	}
 	if c.Seed == 0 {
 		c.Seed = 42
@@ -166,14 +199,15 @@ func Run(s baseline.Store, cfg Config) (*Result, error) {
 
 // worker holds one thread's generators and measurement state.
 type worker struct {
-	cfg    Config
-	rng    *rand.Rand
-	zipf   *rand.Zipf
-	cursor *atomic.Int64
-	keyBuf []byte
-	valBuf []byte
-	hists  map[string]*harness.Histogram
-	counts map[string]uint64
+	cfg      Config
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	sizeZipf *rand.Zipf // value-size tail generator (DistZipf)
+	cursor   *atomic.Int64
+	keyBuf   []byte
+	valBuf   []byte
+	hists    map[string]*harness.Histogram
+	counts   map[string]uint64
 }
 
 func newWorker(cfg Config, id int64, cursor *atomic.Int64) *worker {
@@ -183,9 +217,12 @@ func newWorker(cfg Config, id int64, cursor *atomic.Int64) *worker {
 		rng:    rng,
 		zipf:   rand.NewZipf(rng, 1.1, 1, uint64(cfg.RecordCount-1)),
 		cursor: cursor,
-		valBuf: make([]byte, cfg.ValueSize),
+		valBuf: make([]byte, cfg.ValueMax),
 		hists:  map[string]*harness.Histogram{},
 		counts: map[string]uint64{},
+	}
+	if cfg.ValueDist == DistZipf && cfg.ValueMax > cfg.ValueSize {
+		w.sizeZipf = rand.NewZipf(rng, 1.1, 1, uint64(cfg.ValueMax-cfg.ValueSize))
 	}
 	for _, op := range []string{"read", "update", "insert", "scan", "rmw"} {
 		w.hists[op] = harness.NewHistogram()
@@ -194,6 +231,22 @@ func newWorker(cfg Config, id int64, cursor *atomic.Int64) *worker {
 		w.valBuf[i] = byte('A' + (i*13)%26)
 	}
 	return w
+}
+
+// value draws one write's value per the configured size distribution.
+func (w *worker) value() []byte {
+	n := w.cfg.ValueSize
+	switch w.cfg.ValueDist {
+	case DistUniform:
+		if w.cfg.ValueMax > n {
+			n += w.rng.Intn(w.cfg.ValueMax - n + 1)
+		}
+	case DistZipf:
+		if w.sizeZipf != nil {
+			n += int(w.sizeZipf.Uint64())
+		}
+	}
+	return w.valBuf[:n]
 }
 
 // key formats record index i in YCSB's hashed style.
@@ -268,7 +321,7 @@ func (w *worker) read(s baseline.Store, idx int64) error {
 func (w *worker) update(s baseline.Store, idx int64) error {
 	return w.measure("update", func() error {
 		k := append([]byte(nil), w.key(idx)...)
-		return s.Put(k, w.valBuf)
+		return s.Put(k, w.value())
 	})
 }
 
@@ -276,7 +329,7 @@ func (w *worker) insert(s baseline.Store) error {
 	return w.measure("insert", func() error {
 		idx := w.cursor.Add(1) - 1
 		k := append([]byte(nil), w.key(idx)...)
-		return s.Put(k, w.valBuf)
+		return s.Put(k, w.value())
 	})
 }
 
@@ -291,7 +344,7 @@ func (w *worker) rmw(s baseline.Store, idx int64) error {
 	return w.measure("rmw", func() error {
 		k := append([]byte(nil), w.key(idx)...)
 		return s.RMW(k, func(old []byte, exists bool) []byte {
-			return w.valBuf
+			return w.value()
 		})
 	})
 }

@@ -56,6 +56,9 @@ const (
 	EventThrottleOn     = obs.EvThrottleOn
 	EventThrottleAdjust = obs.EvThrottleAdjust
 	EventThrottleOff    = obs.EvThrottleOff
+	// EventVlogGC records a completed value-log segment rewrite; Bytes is
+	// the retired segment's size (see docs/VALUELOG.md).
+	EventVlogGC = obs.EvVlogGC
 )
 
 // StallCause says why a writer stalled.

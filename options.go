@@ -33,6 +33,9 @@ import (
 //	TableFileSize         2 MiB
 //	BlockSize             4 KiB
 //	BloomBitsPerKey       0 (Bloom filters disabled; 10 is a good value)
+//	ValueThreshold        0 (key-value separation disabled)
+//	ValueLogSegmentSize   64 MiB
+//	ValueLogGCRatio       0.5
 type Options struct {
 	// Path is the database directory on the local filesystem. When empty,
 	// the store runs on a volatile in-memory filesystem (tests, caches,
@@ -131,6 +134,26 @@ type Options struct {
 	TableFileSize   int64
 	BlockSize       int
 	BloomBitsPerKey int
+
+	// ValueThreshold, when positive, separates keys from large values
+	// (docs/VALUELOG.md): values of at least this many bytes are written
+	// once to an append-only segmented value log and the LSM stores a
+	// fixed-size pointer, so compactions stop rewriting the value bytes.
+	// Values below the threshold keep the inline path unchanged. Zero (the
+	// default) disables separation. Must be no larger than MemtableSize;
+	// combining it with DisableWAL+SyncWrites is rejected (there is no log
+	// to make the pointers durable).
+	ValueThreshold int
+
+	// ValueLogSegmentSize is the rotation size of value-log segments in
+	// bytes (default 64 MiB). Larger segments amortize file overhead;
+	// smaller ones give garbage collection finer reclamation units.
+	ValueLogSegmentSize int64
+
+	// ValueLogGCRatio is the garbage fraction (0, 1] at which a sealed
+	// value-log segment becomes a GC rewrite candidate (default 0.5).
+	// Lower values reclaim space sooner at the cost of more rewrite I/O.
+	ValueLogGCRatio float64
 }
 
 // Option mutates Options; see OpenPath. The With* constructors cover the
@@ -233,6 +256,25 @@ func WithHealthChange(fn func(HealthChange)) Option {
 	return func(o *Options) { o.OnHealthChange = fn }
 }
 
+// WithValueThreshold separates values of at least n bytes into the
+// segmented value log (0 disables separation; see Options.ValueThreshold
+// and docs/VALUELOG.md).
+func WithValueThreshold(n int) Option {
+	return func(o *Options) { o.ValueThreshold = n }
+}
+
+// WithValueLogSegmentSize sets the value-log segment rotation size in
+// bytes (see Options.ValueLogSegmentSize).
+func WithValueLogSegmentSize(n int64) Option {
+	return func(o *Options) { o.ValueLogSegmentSize = n }
+}
+
+// WithValueLogGCRatio sets the garbage fraction at which a value-log
+// segment is rewritten (see Options.ValueLogGCRatio).
+func WithValueLogGCRatio(f float64) Option {
+	return func(o *Options) { o.ValueLogGCRatio = f }
+}
+
 // engineOptions lowers the public Options onto core options. It is the
 // single delegation path shared by Open and OpenPath, so the two
 // constructors cannot drift (asserted by TestOpenPathEquivalence).
@@ -252,6 +294,9 @@ func (o Options) engineOptions(fs storage.FS, observer *obs.Observer) core.Optio
 		SchedulerProfile:      o.SchedulerProfile,
 		OnHealthChange:        o.OnHealthChange,
 		Observer:              observer,
+		ValueThreshold:        o.ValueThreshold,
+		ValueLogSegmentSize:   o.ValueLogSegmentSize,
+		ValueLogGCRatio:       o.ValueLogGCRatio,
 		Disk: version.Options{
 			L0CompactionTrigger: o.L0CompactionTrigger,
 			BaseLevelBytes:      o.BaseLevelBytes,

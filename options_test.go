@@ -29,6 +29,9 @@ func TestOpenPathEquivalence(t *testing.T) {
 		L0CompactionTrigger:   6,
 		L0SlowdownTrigger:     10,
 		L0StopTrigger:         14,
+		ValueThreshold:        1024,
+		ValueLogSegmentSize:   32 << 20,
+		ValueLogGCRatio:       0.4,
 	}
 
 	fnOpts := Options{Path: "x"}
@@ -44,6 +47,9 @@ func TestOpenPathEquivalence(t *testing.T) {
 		WithWriteRateLimit(4 << 20),
 		WithSchedulerProfile("latency"),
 		WithL0Triggers(6, 10, 14),
+		WithValueThreshold(1024),
+		WithValueLogSegmentSize(32 << 20),
+		WithValueLogGCRatio(0.4),
 	} {
 		apply(&fnOpts)
 	}

@@ -32,6 +32,12 @@
 # BENCH_backup.json: foreground put throughput with vs without
 # back-to-back incremental backups shipping concurrently, plus restore
 # time for the final image. BACKUP_SCALE picks the run length.
+#
+# Finally runs the key-value-separation profile (docs/VALUELOG.md) and
+# emits BENCH_vlog.json: inline vs value-log put throughput and rewrite
+# (flush+compaction) bytes per logical byte at 4 KiB values, plus the
+# small-value parity cell proving a configured-but-unused threshold is
+# free. VLOG_SCALE picks the run length (smoke/small/full).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -81,3 +87,5 @@ go run ./cmd/clsm-bench -shard-profile -scale "${SHARD_SCALE:-small}" -shard-out
 go run ./cmd/clsm-bench -txn-profile -scale "${TXN_SCALE:-small}" -txn-out BENCH_txn.json
 
 go run ./cmd/clsm-bench -backup-profile -scale "${BACKUP_SCALE:-small}" -backup-out BENCH_backup.json
+
+go run ./cmd/clsm-bench -vlog-profile -scale "${VLOG_SCALE:-small}" -vlog-out BENCH_vlog.json

@@ -119,3 +119,28 @@ END {
 	}
 	printf "backup gate ok: throughput ratio %.2f, %d backups completed, %d keys restored\n", ratio, n, rk
 }' /tmp/clsm_backup_check.json
+
+# Value-log gate (docs/VALUELOG.md): the segmented log's own unit suite
+# and the core integration tests under -race, the fault-injected vlog
+# crash matrix (pointer durability ordering, GC retirement barriers,
+# torn-tail recovery), the inline-path allocation gates re-pinned with a
+# threshold configured, then a smoke-scale separation profile as a
+# tripwire: separated 4 KiB puts must beat inline on throughput or
+# rewrite bytes, and the small-value parity cell must stay within ±15%
+# (looser than the ±5% recorded in BENCH_vlog.json — smoke runs are
+# noisy).
+go test -race ./internal/vlog
+go test -race -short -run 'Vlog' . ./internal/core ./internal/crashtest
+go test ./internal/core -run 'AllocsWithThreshold'
+go run ./cmd/clsm-bench -vlog-profile -scale smoke -vlog-out /tmp/clsm_vlog_check.json
+awk '
+/"put_speedup"/         { sp  = $2 + 0 }
+/"rewrite_reduction"/   { rw  = $2 + 0 }
+/"small_value_parity"/  { par = $2 + 0 }
+END {
+	if ((sp < 1.0 && rw < 1.0) || par < 0.85 || par > 1.15) {
+		printf "vlog gate FAILED: speedup %.2fx / rewrite reduction %.2fx (need one >=1.0), parity %.3f (need 0.85..1.15)\n", sp, rw, par
+		exit 1
+	}
+	printf "vlog gate ok: speedup %.2fx, rewrite reduction %.2fx, parity %.3f\n", sp, rw, par
+}' /tmp/clsm_vlog_check.json

@@ -1,0 +1,114 @@
+package clsm
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func vlogVal(i, n int) []byte {
+	b := make([]byte, 0, n)
+	stamp := fmt.Sprintf("blob-%06d-", i)
+	for len(b) < n {
+		b = append(b, stamp...)
+	}
+	return b[:n]
+}
+
+// TestVlogPublicSurface drives the large-value API end to end through the
+// public package: separation threshold, GC trigger, and the vlog metrics
+// block — on both the single-engine and sharded facades.
+func TestVlogPublicSurface(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			db, err := OpenPath("",
+				WithShards(shards),
+				WithMemtableSize(64<<10),
+				WithValueThreshold(64),
+				WithValueLogSegmentSize(8<<10),
+				WithValueLogGCRatio(0.3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+
+			const rounds, nKeys = 20, 25
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < nKeys; i++ {
+					if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), vlogVal(r*nKeys+i, 256)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if m := db.Metrics(); m.VlogSegments == 0 {
+				t.Fatal("no value-log segments after 500 large puts")
+			}
+			if err := db.CompactRange(); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.CompactValueLog(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			if m := db.Metrics(); m.VlogGCRuns == 0 {
+				t.Fatal("CompactValueLog rewrote nothing despite 95% garbage")
+			}
+			for i := 0; i < nKeys; i++ {
+				want := vlogVal((rounds-1)*nKeys+i, 256)
+				got, ok, err := db.Get([]byte(fmt.Sprintf("k%03d", i)))
+				if err != nil || !ok || !bytes.Equal(got, want) {
+					t.Fatalf("after GC: Get k%03d = ok=%v err=%v (%d bytes)", i, ok, err, len(got))
+				}
+			}
+		})
+	}
+}
+
+// TestVlogBackupRestoreRoundTrip: backing up a store with key-value
+// separation ships the value-log segments, and the restored store
+// resolves every pointer — even when opened without the threshold.
+func TestVlogBackupRestoreRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	db, err := OpenPath(filepath.Join(root, "live"),
+		WithValueThreshold(64),
+		WithValueLogSegmentSize(8<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const n = 60
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), vlogVal(i, 300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	be, err := NewBackupEngine(filepath.Join(root, "remote"), RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := db.Backup(be)
+	if err != nil {
+		t.Fatalf("backup: %v", err)
+	}
+
+	restored := filepath.Join(root, "restored")
+	if _, err := be.Restore(m.ID, restored); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	re, err := OpenPath(restored) // no threshold: reads must not need it
+	if err != nil {
+		t.Fatalf("open restored: %v", err)
+	}
+	defer re.Close()
+	for i := 0; i < n; i++ {
+		got, ok, err := re.Get([]byte(fmt.Sprintf("k%03d", i)))
+		if err != nil || !ok || !bytes.Equal(got, vlogVal(i, 300)) {
+			t.Fatalf("restored Get k%03d = ok=%v err=%v (%d bytes)", i, ok, err, len(got))
+		}
+	}
+}
